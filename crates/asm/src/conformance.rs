@@ -1,0 +1,145 @@
+//! Conformance co-execution of two models — the AsmL conformance test the
+//! paper uses to show the ASM → SystemC translation preserves behaviour.
+
+use crate::value::Value;
+use std::error::Error;
+use std::fmt;
+
+/// A deterministic, steppable system with named observable outputs.
+///
+/// Both the ASM-level and SystemC-level LA-1 models implement this trait
+/// (in `la1-core`), so [`conformance_check`] can drive them with the same
+/// stimulus and compare the observations cycle by cycle — the paper's
+/// "execute the exploration algorithm at the same time on both the ASM
+/// model and [the] SystemC design … verify if for all possible inputs,
+/// both models behave the same".
+pub trait StepSystem {
+    /// Resets the system to its initial state.
+    fn reset(&mut self);
+
+    /// The action labels this system accepts in its current state.
+    fn enabled_actions(&self) -> Vec<String>;
+
+    /// Applies one named action; returns `false` when the action is not
+    /// enabled (the conformance driver treats acceptance mismatches as
+    /// failures).
+    fn apply(&mut self, action: &str) -> bool;
+
+    /// The current observable outputs as `(name, value)` pairs, in a
+    /// stable order.
+    fn observe(&self) -> Vec<(String, Value)>;
+}
+
+/// How two systems disagreed during co-execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// The implementation refused an action the model accepts (or vice
+    /// versa) at the given step.
+    AcceptanceMismatch {
+        /// Index into the stimulus sequence.
+        step: usize,
+        /// The action in question.
+        action: String,
+        /// Whether the reference model accepted it.
+        model_accepts: bool,
+        /// Whether the implementation accepted it.
+        impl_accepts: bool,
+    },
+    /// Observable outputs differ after the given step.
+    ObservationMismatch {
+        /// Index into the stimulus sequence.
+        step: usize,
+        /// Name of the differing observable.
+        observable: String,
+        /// Reference model's value (`None` when the observable is absent).
+        model_value: Option<Value>,
+        /// Implementation's value (`None` when the observable is absent).
+        impl_value: Option<Value>,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::AcceptanceMismatch {
+                step,
+                action,
+                model_accepts,
+                impl_accepts,
+            } => write!(
+                f,
+                "step {step}: action {action} accepted by model={model_accepts}, by implementation={impl_accepts}"
+            ),
+            ConformanceError::ObservationMismatch {
+                step,
+                observable,
+                model_value,
+                impl_value,
+            } => write!(
+                f,
+                "step {step}: observable {observable} differs: model={model_value:?}, implementation={impl_value:?}"
+            ),
+        }
+    }
+}
+
+impl Error for ConformanceError {}
+
+/// Co-executes `model` and `implementation` over each stimulus sequence.
+///
+/// For every action in a sequence both systems must agree on acceptance;
+/// after every accepted action all observables present in the *model*
+/// must be present and equal in the implementation.
+///
+/// # Errors
+///
+/// Returns the first [`ConformanceError`] found, with its step index.
+pub fn conformance_check<M: StepSystem + ?Sized, I: StepSystem + ?Sized>(
+    model: &mut M,
+    implementation: &mut I,
+    sequences: &[Vec<String>],
+) -> Result<(), ConformanceError> {
+    for seq in sequences {
+        model.reset();
+        implementation.reset();
+        compare_observations(model, implementation, 0)?;
+        for (step, action) in seq.iter().enumerate() {
+            let m_ok = model.apply(action);
+            let i_ok = implementation.apply(action);
+            if m_ok != i_ok {
+                return Err(ConformanceError::AcceptanceMismatch {
+                    step,
+                    action: action.clone(),
+                    model_accepts: m_ok,
+                    impl_accepts: i_ok,
+                });
+            }
+            if !m_ok {
+                continue; // both refused: state unchanged by contract
+            }
+            compare_observations(model, implementation, step + 1)?;
+        }
+    }
+    Ok(())
+}
+
+fn compare_observations<M: StepSystem + ?Sized, I: StepSystem + ?Sized>(
+    model: &M,
+    implementation: &I,
+    step: usize,
+) -> Result<(), ConformanceError> {
+    let m_obs = model.observe();
+    let i_obs = implementation.observe();
+    for (name, m_val) in &m_obs {
+        let i_val = i_obs.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone());
+        if i_val.as_ref() != Some(m_val) {
+            return Err(ConformanceError::ObservationMismatch {
+                step,
+                observable: name.clone(),
+                model_value: Some(m_val.clone()),
+                impl_value: i_val,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,492 @@
+//! Bounded reachability exploration (the AsmL tool's FSM generation) with
+//! attached PSL model checking.
+
+use crate::machine::{AsmState, Machine};
+use crate::Value;
+use la1_psl::{Directive, DirectiveKind, Monitor, Valuation};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Limits guiding the exploration, mirroring the AsmL configuration
+/// parameters (domains, bounds) the paper says "are the most important
+/// issues to consider".
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum number of product states explored.
+    pub max_states: usize,
+    /// Maximum number of transitions recorded.
+    pub max_transitions: usize,
+    /// Maximum BFS depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Stop expanding a path once a property violation determined it
+    /// (the paper's `P_status && !P_value` stop filter).
+    pub stop_on_violation: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 200_000,
+            max_transitions: 2_000_000,
+            max_depth: None,
+            stop_on_violation: true,
+        }
+    }
+}
+
+/// The explicit finite state machine produced by exploration.
+///
+/// When limits were hit this is an *under-approximation* of the model's
+/// full FSM — the paper makes the same caveat for the AsmL tool.
+#[derive(Debug, Clone)]
+pub struct Fsm {
+    states: Vec<AsmState>,
+    transitions: Vec<(usize, u32, usize)>,
+    rule_labels: Vec<String>,
+    initial: usize,
+}
+
+impl Fsm {
+    /// Number of FSM nodes (Table 1's "Number of Nodes").
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of FSM transitions (Table 1's "FSM Transitions").
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The explored states.
+    pub fn states(&self) -> &[AsmState] {
+        &self.states
+    }
+
+    /// Transitions as `(from, rule_label, to)` triples.
+    pub fn transitions(&self) -> impl Iterator<Item = (usize, &str, usize)> + '_ {
+        self.transitions
+            .iter()
+            .map(|&(f, r, t)| (f, self.rule_labels[r as usize].as_str(), t))
+    }
+
+    /// Index of the initial state.
+    pub fn initial(&self) -> usize {
+        self.initial
+    }
+
+    /// Renders the FSM in Graphviz DOT format, labelling states with
+    /// `fmt` (e.g. [`Machine::format_state`]).
+    ///
+    /// ```
+    /// use la1_asm::{MachineBuilder, Value, Explorer, ExploreConfig};
+    /// let mut b = MachineBuilder::new();
+    /// let x = b.var("x", Value::Bool(false));
+    /// b.rule("flip", |_| true, move |s| vec![vec![(x, Value::Bool(!s.bool(x)))]]);
+    /// let m = b.build();
+    /// let fsm = Explorer::new(&m, ExploreConfig::default()).run().fsm;
+    /// let dot = fsm.to_dot(|s| m.format_state(s));
+    /// assert!(dot.contains("digraph fsm"));
+    /// assert!(dot.contains("flip"));
+    /// ```
+    pub fn to_dot<F: Fn(&AsmState) -> String>(&self, fmt: F) -> String {
+        let mut out = String::from("digraph fsm {\n  rankdir=LR;\n");
+        out.push_str(&format!(
+            "  n{} [shape=doublecircle];\n",
+            self.initial
+        ));
+        for (i, s) in self.states.iter().enumerate() {
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\"];\n",
+                fmt(s).replace('"', "'")
+            ));
+        }
+        for (from, label, to) in self.transitions() {
+            out.push_str(&format!("  n{from} -> n{to} [label=\"{label}\"];\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Counters reported by the exploration (Table 1 columns).
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Product states explored.
+    pub states: usize,
+    /// Transitions recorded.
+    pub transitions: usize,
+    /// Wall-clock exploration time.
+    pub elapsed: Duration,
+    /// True when a configured limit truncated the exploration.
+    pub truncated: bool,
+    /// Deepest BFS level reached.
+    pub max_depth_reached: usize,
+}
+
+/// A violating path through the model, from the initial state to the
+/// state where the paper's stop filter fired.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violated directive's name.
+    pub property: String,
+    /// `(rule that was fired, resulting state)`; the first entry has no
+    /// rule — it is the initial state.
+    pub path: Vec<(Option<String>, AsmState)>,
+}
+
+impl Counterexample {
+    /// Renders the path with the machine's variable names.
+    pub fn render(&self, machine: &Machine) -> String {
+        let mut out = format!("counterexample for {}:\n", self.property);
+        for (i, (rule, state)) in self.path.iter().enumerate() {
+            match rule {
+                None => out.push_str(&format!("  #{i} (initial) {}\n", machine.format_state(state))),
+                Some(r) => out.push_str(&format!("  #{i} --{r}--> {}\n", machine.format_state(state))),
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of checking one directive during exploration.
+#[derive(Debug, Clone)]
+pub enum CheckOutcome {
+    /// No violation found in the explored portion.
+    Holds,
+    /// The stop filter fired; a counterexample path is attached.
+    Violated(Counterexample),
+    /// A `cover` directive's trigger was reached.
+    Covered,
+    /// A `cover` directive's trigger was never reached within bounds.
+    NotCovered,
+}
+
+impl CheckOutcome {
+    /// True for [`CheckOutcome::Holds`] and [`CheckOutcome::Covered`].
+    pub fn is_pass(&self) -> bool {
+        matches!(self, CheckOutcome::Holds | CheckOutcome::Covered)
+    }
+}
+
+/// Per-directive result of an exploration run.
+#[derive(Debug, Clone)]
+pub struct PropertyReport {
+    /// Directive name.
+    pub name: String,
+    /// Verdict.
+    pub outcome: CheckOutcome,
+}
+
+/// Complete result of an exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// The generated FSM.
+    pub fsm: Fsm,
+    /// Counters for Table 1.
+    pub stats: ExploreStats,
+    /// One report per attached directive.
+    pub reports: Vec<PropertyReport>,
+}
+
+impl ExploreResult {
+    /// True when every attached directive passed.
+    pub fn all_pass(&self) -> bool {
+        self.reports.iter().all(|r| r.outcome.is_pass())
+    }
+
+    /// The first violated directive's counterexample, if any.
+    pub fn first_counterexample(&self) -> Option<&Counterexample> {
+        self.reports.iter().find_map(|r| match &r.outcome {
+            CheckOutcome::Violated(c) => Some(c),
+            _ => None,
+        })
+    }
+}
+
+struct StateValuation<'a> {
+    machine: &'a Machine,
+    state: &'a AsmState,
+}
+
+impl Valuation for StateValuation<'_> {
+    fn value(&self, name: &str) -> bool {
+        self.machine.predicate(name, self.state)
+    }
+}
+
+struct Node {
+    state: AsmState,
+    monitors: Vec<Monitor>,
+    parent: Option<(usize, u32)>,
+    depth: usize,
+}
+
+/// The exploration engine.
+///
+/// Create one with [`Explorer::new`], optionally attach PSL directives
+/// with [`Explorer::with_directives`], then call [`Explorer::run`].
+pub struct Explorer<'a> {
+    machine: &'a Machine,
+    config: ExploreConfig,
+    directives: Vec<Directive>,
+}
+
+impl<'a> Explorer<'a> {
+    /// Creates an explorer over `machine`.
+    pub fn new(machine: &'a Machine, config: ExploreConfig) -> Self {
+        Explorer {
+            machine,
+            config,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Attaches PSL directives to be checked during exploration.
+    pub fn with_directives(mut self, directives: &[Directive]) -> Self {
+        self.directives.extend(directives.iter().cloned());
+        self
+    }
+
+    /// Runs the bounded exploration, returning the FSM, statistics and a
+    /// verdict per attached directive.
+    pub fn run(self) -> ExploreResult {
+        let start = Instant::now();
+        let machine = self.machine;
+        let config = &self.config;
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut index: HashMap<(AsmState, Vec<u64>), usize> = HashMap::new();
+        let mut transitions: Vec<(usize, u32, usize)> = Vec::new();
+        let mut truncated = false;
+        let mut max_depth_reached = 0usize;
+
+        // verdicts[i]: None = still checking, Some = settled
+        let mut verdicts: Vec<Option<CheckOutcome>> = vec![None; self.directives.len()];
+        let mut covered: Vec<bool> = vec![false; self.directives.len()];
+
+        // initial node: monitors observe the initial state as cycle 0
+        let init_state = machine.initial_state();
+        let mut init_monitors: Vec<Monitor> = self
+            .directives
+            .iter()
+            .map(|d| Monitor::new(&d.property))
+            .collect();
+        let env = StateValuation {
+            machine,
+            state: &init_state,
+        };
+        let mut init_prune = false;
+        for (i, mon) in init_monitors.iter_mut().enumerate() {
+            let st = mon.step(&env);
+            if mon.covered() {
+                covered[i] = true;
+            }
+            if st.is_violation() && verdicts[i].is_none() {
+                match self.directives[i].kind {
+                    DirectiveKind::Assume => init_prune = true,
+                    _ => {
+                        verdicts[i] = Some(CheckOutcome::Violated(Counterexample {
+                            property: self.directives[i].name.clone(),
+                            path: vec![(None, init_state.clone())],
+                        }));
+                    }
+                }
+            }
+        }
+        let fp: Vec<u64> = init_monitors.iter().map(Monitor::fingerprint).collect();
+        index.insert((init_state.clone(), fp), 0);
+        nodes.push(Node {
+            state: init_state,
+            monitors: init_monitors,
+            parent: None,
+            depth: 0,
+        });
+
+        let mut frontier = 0usize;
+        let assert_violated_and_stop = |verdicts: &[Option<CheckOutcome>]| {
+            config.stop_on_violation
+                && !verdicts.is_empty()
+                && verdicts.iter().all(|v| v.is_some())
+        };
+
+        'bfs: while frontier < nodes.len() {
+            if init_prune {
+                break;
+            }
+            let node_idx = frontier;
+            frontier += 1;
+            let depth = nodes[node_idx].depth;
+            max_depth_reached = max_depth_reached.max(depth);
+            if let Some(max) = config.max_depth {
+                if depth >= max {
+                    truncated = true;
+                    continue;
+                }
+            }
+            // snapshot what we need from the current node
+            let cur_state = nodes[node_idx].state.clone();
+            for (rule_idx, rule) in machine.rules().iter().enumerate() {
+                if !(rule.guard)(&cur_state) {
+                    continue;
+                }
+                for updates in (rule.body)(&cur_state) {
+                    if transitions.len() >= config.max_transitions {
+                        truncated = true;
+                        break 'bfs;
+                    }
+                    let next_state = machine
+                        .apply(&cur_state, rule, &updates)
+                        .expect("model produced an inconsistent update set");
+                    // advance monitors over the successor state
+                    let mut monitors = nodes[node_idx].monitors.clone();
+                    let env = StateValuation {
+                        machine,
+                        state: &next_state,
+                    };
+                    let mut prune = false;
+                    for (i, mon) in monitors.iter_mut().enumerate() {
+                        let st = mon.step(&env);
+                        if mon.covered() {
+                            covered[i] = true;
+                        }
+                        if st.is_violation() {
+                            match self.directives[i].kind {
+                                DirectiveKind::Assume => prune = true,
+                                _ => {
+                                    if verdicts[i].is_none() {
+                                        let mut path =
+                                            reconstruct(&nodes, node_idx, machine);
+                                        path.push((
+                                            Some(rule.name().to_string()),
+                                            next_state.clone(),
+                                        ));
+                                        verdicts[i] = Some(CheckOutcome::Violated(
+                                            Counterexample {
+                                                property: self.directives[i].name.clone(),
+                                                path,
+                                            },
+                                        ));
+                                    }
+                                    if config.stop_on_violation {
+                                        prune = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if prune {
+                        // the paper's stop filter: do not extend this path
+                        if assert_violated_and_stop(&verdicts) {
+                            break 'bfs;
+                        }
+                        continue;
+                    }
+                    let fp: Vec<u64> = monitors.iter().map(Monitor::fingerprint).collect();
+                    let key = (next_state.clone(), fp);
+                    let to = match index.get(&key) {
+                        Some(&i) => i,
+                        None => {
+                            if nodes.len() >= config.max_states {
+                                truncated = true;
+                                break 'bfs;
+                            }
+                            let i = nodes.len();
+                            index.insert(key, i);
+                            nodes.push(Node {
+                                state: next_state,
+                                monitors,
+                                parent: Some((node_idx, rule_idx as u32)),
+                                depth: depth + 1,
+                            });
+                            i
+                        }
+                    };
+                    transitions.push((node_idx, rule_idx as u32, to));
+                }
+            }
+        }
+
+        let reports = self
+            .directives
+            .iter()
+            .enumerate()
+            .map(|(i, d)| PropertyReport {
+                name: d.name.clone(),
+                outcome: match (verdicts[i].clone(), d.kind) {
+                    (Some(v), _) => v,
+                    (None, DirectiveKind::Cover) => {
+                        if covered[i] {
+                            CheckOutcome::Covered
+                        } else {
+                            CheckOutcome::NotCovered
+                        }
+                    }
+                    (None, _) => CheckOutcome::Holds,
+                },
+            })
+            .collect();
+
+        let fsm = Fsm {
+            states: nodes.iter().map(|n| n.state.clone()).collect(),
+            transitions,
+            rule_labels: machine.rules().iter().map(|r| r.name().to_string()).collect(),
+            initial: 0,
+        };
+        let stats = ExploreStats {
+            states: fsm.num_states(),
+            transitions: fsm.num_transitions(),
+            elapsed: start.elapsed(),
+            truncated,
+            max_depth_reached,
+        };
+        ExploreResult {
+            fsm,
+            stats,
+            reports,
+        }
+    }
+}
+
+/// Walks parent pointers to rebuild the path from the initial state to
+/// `node_idx` inclusive.
+fn reconstruct(
+    nodes: &[Node],
+    node_idx: usize,
+    machine: &Machine,
+) -> Vec<(Option<String>, AsmState)> {
+    let mut rev = Vec::new();
+    let mut cur = node_idx;
+    loop {
+        let node = &nodes[cur];
+        match node.parent {
+            Some((p, rule)) => {
+                rev.push((
+                    Some(machine.rules()[rule as usize].name().to_string()),
+                    node.state.clone(),
+                ));
+                cur = p;
+            }
+            None => {
+                rev.push((None, node.state.clone()));
+                break;
+            }
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+/// The finite domain of an integer variable: the values `lo..=hi`.
+///
+/// Mirrors AsmL's finite domains, "defined as finite collections of
+/// values from which method arguments are taken" — the paper calls
+/// defining them "the most important issue to consider" when configuring
+/// the exploration.
+///
+/// ```
+/// use la1_asm::{int_domain, Value};
+/// assert_eq!(int_domain(0, 2), vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
+/// ```
+pub fn int_domain(lo: i64, hi: i64) -> Vec<Value> {
+    (lo..=hi).map(Value::Int).collect()
+}

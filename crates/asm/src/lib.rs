@@ -1,0 +1,59 @@
+//! # la1-asm — an Abstract State Machine modelling and exploration framework
+//!
+//! This crate reproduces the role the Microsoft AsmL tool plays in
+//! *On the Design and Verification Methodology of the Look-Aside Interface*
+//! (DATE 2004):
+//!
+//! * **Modelling** — a machine is a set of typed state variables
+//!   ([`Value`]) plus guarded rules ([`Rule`]). A rule's *guard* is the
+//!   AsmL `require` precondition that filters the states in which the rule
+//!   may fire; a rule's body produces one or more consistent *update sets*
+//!   (the AsmL `any x in {…}` nondeterministic choice yields several).
+//! * **Exploration** — [`Explorer`] performs the bounded reachability
+//!   analysis the AsmL tool calls *exploration*, producing an explicit
+//!   [`Fsm`] (an under-approximation when limits are hit, exactly as the
+//!   paper describes).
+//! * **Model checking** — PSL directives from `la1-psl` are attached to
+//!   the exploration; each explored path drags monitor state along
+//!   (deduplicated via monitor fingerprints), and the paper's stop filter
+//!   `P_status && !P_value` cuts a counterexample path on violation.
+//! * **Conformance testing** — [`conformance_check`] co-executes two
+//!   implementations of [`StepSystem`] on the same stimulus, mirroring the
+//!   AsmL conformance test the paper uses to show the ASM → SystemC
+//!   mapping preserves behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use la1_asm::{MachineBuilder, Value, Explorer, ExploreConfig};
+//!
+//! // a modulo-3 counter
+//! let mut b = MachineBuilder::new();
+//! let c = b.var("count", Value::Int(0));
+//! b.rule("tick", move |s| s.int(c) < 2, move |s| {
+//!     vec![vec![(c, Value::Int(s.int(c) + 1))]]
+//! });
+//! b.rule("wrap", move |s| s.int(c) == 2, move |_| {
+//!     vec![vec![(c, Value::Int(0))]]
+//! });
+//! let machine = b.build();
+//! let result = Explorer::new(&machine, ExploreConfig::default()).run();
+//! assert_eq!(result.fsm.num_states(), 3);
+//! assert_eq!(result.fsm.num_transitions(), 3);
+//! ```
+
+mod conformance;
+mod explore;
+mod machine;
+mod value;
+
+pub use conformance::{conformance_check, ConformanceError, StepSystem};
+pub use explore::{
+    int_domain, CheckOutcome, Counterexample, ExploreConfig, ExploreResult, ExploreStats,
+    Explorer, Fsm, PropertyReport,
+};
+pub use machine::{AsmState, InconsistentUpdateError, Machine, MachineBuilder, Rule, VarId};
+pub use value::Value;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,84 @@
+//! The universe of ASM state values.
+
+use std::fmt;
+
+/// A value stored in an ASM location.
+///
+/// AsmL is richly typed; the LA-1 models only need Booleans, bounded
+/// integers and enumeration symbols, which keeps states hashable and the
+/// exploration's state table exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A Boolean flag (clock levels, select lines, status bits).
+    Bool(bool),
+    /// A bounded integer (addresses, counters, data words).
+    Int(i64),
+    /// An enumeration symbol (e.g. `"INIT"`, `"CHECKING_PROP"`).
+    Sym(&'static str),
+}
+
+impl Value {
+    /// The Boolean payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Bool`].
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, found {other:?}"),
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Int`].
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// The symbol payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Sym`].
+    pub fn as_sym(&self) -> &'static str {
+        match self {
+            Value::Sym(s) => s,
+            other => panic!("expected Sym, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(s: &'static str) -> Self {
+        Value::Sym(s)
+    }
+}

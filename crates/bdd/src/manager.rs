@@ -1,0 +1,374 @@
+//! The BDD manager: node storage, unique table, caches and the node budget.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiply-rotate hasher (FxHash-style) for the manager's hot
+/// tables; BDD performance is dominated by unique-table and cache
+/// lookups, where SipHash's DoS resistance buys nothing.
+#[derive(Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ n).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+pub(crate) type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// Index of a BDD node inside a [`Bdd`] manager.
+///
+/// `NodeId` values are only meaningful for the manager that produced them.
+/// The two terminal nodes are [`Bdd::ZERO`] and [`Bdd::ONE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of a Boolean variable in the manager's fixed order.
+///
+/// Variables are ordered by their numeric id: smaller ids appear closer to
+/// the root of every diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Error returned when an operation would grow the manager past its
+/// configured node budget.
+///
+/// This is the mechanism by which the `la1-smc` checker reports the
+/// *state explosion* outcome of the paper's Table 2 (RuleBase, 4 banks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BddOverflowError {
+    /// The budget that was in force when the overflow happened.
+    pub budget: usize,
+}
+
+impl fmt::Display for BddOverflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bdd node budget of {} nodes exhausted", self.budget)
+    }
+}
+
+impl Error for BddOverflowError {}
+
+/// An internal decision node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: NodeId,
+    pub(crate) hi: NodeId,
+}
+
+/// Keys for the binary-operation cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum CacheKey {
+    Ite(NodeId, NodeId, NodeId),
+    Exists(NodeId, u64),
+    Forall(NodeId, u64),
+    AndExists(NodeId, NodeId, u64),
+    Rename(NodeId, u64),
+}
+
+/// A reduced ordered BDD manager with hash-consed nodes.
+///
+/// All diagrams produced by one manager share structure; equality of
+/// [`NodeId`]s is equivalence of the represented functions.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), la1_bdd::BddOverflowError> {
+/// use la1_bdd::Bdd;
+/// let mut bdd = Bdd::new(3);
+/// let x = bdd.var(0);
+/// let t = bdd.or(x, Bdd::ONE)?;
+/// assert_eq!(t, Bdd::ONE);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxMap<Node, NodeId>,
+    pub(crate) cache: FxMap<CacheKey, NodeId>,
+    num_vars: u32,
+    budget: usize,
+    /// Interned variable-set cubes used as compact cache keys for
+    /// quantification (each distinct set gets a small integer id).
+    cube_ids: HashMap<Vec<u32>, u64>,
+    pub(crate) cubes: Vec<Vec<u32>>,
+    /// Interned renaming maps for [`Bdd::rename`].
+    map_ids: HashMap<Vec<(u32, u32)>, u64>,
+    pub(crate) maps: Vec<Vec<(u32, u32)>>,
+    peak_nodes: usize,
+}
+
+impl Bdd {
+    /// The terminal node representing the constant `false`.
+    pub const ZERO: NodeId = NodeId(0);
+    /// The terminal node representing the constant `true`.
+    pub const ONE: NodeId = NodeId(1);
+
+    const TERMINAL_VAR: u32 = u32::MAX;
+    /// Default node budget: generous for ordinary use, finite so runaway
+    /// computations surface as [`BddOverflowError`] instead of OOM.
+    pub const DEFAULT_BUDGET: usize = 16_000_000;
+
+    /// Creates a manager for `num_vars` Boolean variables with the
+    /// [default node budget](Self::DEFAULT_BUDGET).
+    pub fn new(num_vars: u32) -> Self {
+        Self::with_budget(num_vars, Self::DEFAULT_BUDGET)
+    }
+
+    /// Creates a manager whose total live node count may not exceed `budget`.
+    ///
+    /// A small budget is the faithful reproduction of a 2004-era model
+    /// checker running out of memory; see the crate docs.
+    pub fn with_budget(num_vars: u32, budget: usize) -> Self {
+        let terminal = |id| Node {
+            var: Self::TERMINAL_VAR,
+            lo: id,
+            hi: id,
+        };
+        Bdd {
+            nodes: vec![terminal(NodeId(0)), terminal(NodeId(1))],
+            unique: FxMap::default(),
+            cache: FxMap::default(),
+            num_vars,
+            budget,
+            cube_ids: HashMap::new(),
+            cubes: Vec::new(),
+            map_ids: HashMap::new(),
+            maps: Vec::new(),
+            peak_nodes: 2,
+        }
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Grows the variable universe to at least `num_vars` variables.
+    pub fn ensure_vars(&mut self, num_vars: u32) {
+        if num_vars > self.num_vars {
+            self.num_vars = num_vars;
+        }
+    }
+
+    /// Total number of nodes ever allocated (live size of the manager).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Highest node count observed so far (equals [`Self::node_count`] since
+    /// this manager does not garbage-collect).
+    pub fn peak_node_count(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// The configured node budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Approximate memory used by node storage, in bytes.
+    ///
+    /// Matches the paper's Table 2 "Memory (in MB)" column when divided by
+    /// `1024 * 1024`.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.unique.len() * (std::mem::size_of::<Node>() + std::mem::size_of::<NodeId>())
+            + self.cache.len()
+                * (std::mem::size_of::<CacheKey>() + std::mem::size_of::<NodeId>())
+    }
+
+    /// Returns the projection function for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the manager's variable universe.
+    pub fn var(&mut self, var: u32) -> NodeId {
+        assert!(var < self.num_vars, "variable x{var} out of range");
+        self.mk(var, Self::ZERO, Self::ONE)
+            .expect("two-node diagram cannot exceed any sane budget")
+    }
+
+    /// Returns the negated projection function for variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is outside the manager's variable universe.
+    pub fn nvar(&mut self, var: u32) -> NodeId {
+        assert!(var < self.num_vars, "variable x{var} out of range");
+        self.mk(var, Self::ONE, Self::ZERO)
+            .expect("two-node diagram cannot exceed any sane budget")
+    }
+
+    /// Returns the constant node for `value`.
+    pub fn constant(&self, value: bool) -> NodeId {
+        if value {
+            Self::ONE
+        } else {
+            Self::ZERO
+        }
+    }
+
+    /// True if `f` is one of the two terminal nodes.
+    pub fn is_terminal(&self, f: NodeId) -> bool {
+        f == Self::ZERO || f == Self::ONE
+    }
+
+    /// The decision variable of `f`, or `None` for terminals.
+    pub fn node_var(&self, f: NodeId) -> Option<VarId> {
+        let n = self.nodes[f.index()];
+        (n.var != Self::TERMINAL_VAR).then_some(VarId(n.var))
+    }
+
+    /// The `(lo, hi)` cofactors of a non-terminal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn cofactors(&self, f: NodeId) -> (NodeId, NodeId) {
+        assert!(!self.is_terminal(f), "terminals have no cofactors");
+        let n = self.nodes[f.index()];
+        (n.lo, n.hi)
+    }
+
+    pub(crate) fn var_raw(&self, f: NodeId) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    /// Hash-consing constructor (the `mk` of Andersen's lecture notes):
+    /// returns the unique reduced node for `(var, lo, hi)`.
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> Result<NodeId, BddOverflowError> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return Ok(id);
+        }
+        if self.nodes.len() >= self.budget {
+            return Err(BddOverflowError { budget: self.budget });
+        }
+        // the operation cache is part of the checker's memory: when it
+        // outgrows the budget by 4x the computation's working set has
+        // exploded even if distinct nodes have not (clearing it instead
+        // would make the in-flight operation exponential — a livelock)
+        if self.cache.len() >= self.budget.saturating_mul(4) {
+            return Err(BddOverflowError { budget: self.budget });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        self.peak_nodes = self.peak_nodes.max(self.nodes.len());
+        Ok(id)
+    }
+
+    /// Interns a sorted variable set and returns its compact id.
+    pub(crate) fn intern_cube(&mut self, mut vars: Vec<u32>) -> u64 {
+        vars.sort_unstable();
+        vars.dedup();
+        if let Some(&id) = self.cube_ids.get(&vars) {
+            return id;
+        }
+        let id = self.cubes.len() as u64;
+        self.cubes.push(vars.clone());
+        self.cube_ids.insert(vars, id);
+        id
+    }
+
+    /// Interns a variable renaming (sorted by source var) and returns its id.
+    pub(crate) fn intern_map(&mut self, mut map: Vec<(u32, u32)>) -> u64 {
+        map.sort_unstable();
+        map.dedup();
+        if let Some(&id) = self.map_ids.get(&map) {
+            return id;
+        }
+        let id = self.maps.len() as u64;
+        self.maps.push(map.clone());
+        self.map_ids.insert(map, id);
+        id
+    }
+
+    /// Number of nodes reachable from `f` (size of the diagram itself).
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![f];
+        let mut count = 0usize;
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            count += 1;
+            if !self.is_terminal(n) {
+                let node = self.nodes[n.index()];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        count
+    }
+
+    /// The set of variables appearing in `f`, ascending.
+    pub fn support(&self, f: NodeId) -> Vec<VarId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut vars = Vec::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] || self.is_terminal(n) {
+                continue;
+            }
+            seen[n.index()] = true;
+            let node = self.nodes[n.index()];
+            vars.push(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars.into_iter().map(VarId).collect()
+    }
+}

@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * monolithic vs partitioned image computation (Table 2's limitation
+//!   is a tool-era artefact);
+//! * monitors attached vs detached (the cost of ABV itself);
+//! * PSL monitor stepping cost in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use la1_bench::table2_row;
+use la1_core::properties::cycle_properties;
+use la1_core::sc_model::LaSystemC;
+use la1_core::spec::LaConfig;
+use la1_core::workloads::{BurstLookup, RandomMix, Workload};
+use la1_psl::Monitor;
+use la1_smc::Strategy;
+
+fn smc_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_smc_strategy");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(15));
+    for (name, strategy) in [
+        ("monolithic", Strategy::Monolithic),
+        ("partitioned", Strategy::Partitioned),
+    ] {
+        let banks = 1u32;
+        g.bench_with_input(BenchmarkId::new(name, banks), &banks, |b, &banks| {
+            b.iter(|| table2_row(banks, strategy, 60_000_000));
+        });
+    }
+    g.finish();
+}
+
+fn monitor_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_monitor_overhead");
+    g.sample_size(10);
+    let cfg = LaConfig::new(4);
+    for attached in [false, true] {
+        let label = if attached { "with_monitors" } else { "without_monitors" };
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut la1 = LaSystemC::new(&cfg);
+                if attached {
+                    la1.attach_monitors(&cycle_properties(4));
+                }
+                let mut w = RandomMix::new(&cfg, 7, 0.6, 0.4);
+                for _ in 0..200 {
+                    la1.cycle(&w.next_cycle());
+                }
+                la1.cycles()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn monitor_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_psl_monitor_step");
+    for src in [
+        "always {rd0} |=> next dv0",
+        "never {!rd0 ; true ; dv0}",
+        "always !perr0",
+    ] {
+        let prop = la1_psl::parse_property(src).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(src), |b| {
+            b.iter(|| {
+                let mut m = Monitor::new(&prop).bind(&["rd0", "dv0", "perr0"]);
+                for i in 0..500u32 {
+                    m.step(&[i % 3 == 0, i % 3 == 2, false]);
+                }
+                m.verdict()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn burst_extension(c: &mut Criterion) {
+    // LA-1B ablation: words delivered per simulated cycle, burst-of-2
+    // vs base LA-1, under an address-bus-limited lookup stream
+    let mut g = c.benchmark_group("ablation_la1b_burst");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("la1_base", LaConfig::new(2)),
+        ("la1b_burst2", LaConfig::la1b(2)),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut la1 = la1_core::sc_model::LaSystemC::new(&cfg);
+                la1.attach_default_monitors();
+                let mut w = BurstLookup::new(&cfg, 17);
+                let mut words = 0u64;
+                for _ in 0..300 {
+                    la1.cycle(&w.next_cycle());
+                    for bank in 0..cfg.banks {
+                        if la1.bank_output(bank).is_some() {
+                            words += 1;
+                        }
+                    }
+                }
+                words
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    smc_strategies,
+    monitor_overhead,
+    monitor_stepping,
+    burst_extension
+);
+criterion_main!(benches);

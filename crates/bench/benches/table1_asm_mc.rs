@@ -1,0 +1,29 @@
+//! Criterion bench for Table 1: ASM-level model checking per bank count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use la1_asm::ExploreConfig;
+use la1_bench::table_config;
+use la1_core::harness::asm_model_check;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_asm_model_checking");
+    g.sample_size(10);
+    for banks in 1..=4u32 {
+        g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
+            let cfg = table_config(banks);
+            b.iter(|| {
+                asm_model_check(
+                    &cfg,
+                    ExploreConfig {
+                        max_depth: Some(2),
+                        ..ExploreConfig::default()
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for Table 2: symbolic model checking of the read
+//! mode per bank count (monolithic strategy; 4 banks explodes, so only
+//! 1..=3 are timed here — the explosion itself is timed in `ablations`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use la1_bench::{table2_row, TABLE2_NODE_BUDGET};
+use la1_smc::Strategy;
+
+fn bench(c: &mut Criterion) {
+    // the 3-bank row takes tens of seconds per iteration — the timed
+    // bench covers 1-2 banks; the `table2` binary reports the full table
+    let mut g = c.benchmark_group("table2_rulebase_read_mode");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(20));
+    for banks in 1..=2u32 {
+        g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
+            b.iter(|| table2_row(banks, Strategy::Monolithic, TABLE2_NODE_BUDGET));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Table 3: per-cycle ABV cost of the two
+//! simulation flows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use la1_core::harness::{run_rtl_ovl, run_systemc_abv};
+use la1_core::spec::LaConfig;
+use la1_core::workloads::RandomMix;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_systemc_abv");
+    g.sample_size(10);
+    const CYCLES: u64 = 300;
+    g.throughput(Throughput::Elements(CYCLES));
+    for banks in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
+            let cfg = LaConfig::new(banks);
+            b.iter(|| {
+                let mut w = RandomMix::new(&cfg, 42, 0.6, 0.4);
+                run_systemc_abv(&cfg, &mut w, CYCLES)
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("table3_rtl_ovl");
+    g.sample_size(10);
+    const RTL_CYCLES: u64 = 50;
+    g.throughput(Throughput::Elements(RTL_CYCLES));
+    for banks in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(banks), &banks, |b, &banks| {
+            let cfg = LaConfig::new(banks);
+            b.iter(|| {
+                let mut w = RandomMix::new(&cfg, 42, 0.6, 0.4);
+                run_rtl_ovl(&cfg, &mut w, RTL_CYCLES)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Internal calibration helper for the Table 2 node budget: runs the
+//! read-mode check with an uncapped budget and prints per-bank peaks.
+//! (Not part of the documented table flow; see `table2` for the
+//! reproduction binary.)
+
+use la1_core::harness::rulebase_read_mode;
+use la1_core::spec::LaConfig;
+use la1_smc::{SmcConfig, SmcOutcome, Strategy};
+
+fn main() {
+    let max_banks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let budget: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000_000);
+    for banks in 1..=max_banks {
+        let cfg = LaConfig::mc_small(banks);
+        let r = rulebase_read_mode(
+            &cfg,
+            SmcConfig {
+                strategy: Strategy::Monolithic,
+                node_budget: budget,
+                max_iterations: None,
+            },
+        )
+        .unwrap();
+        println!(
+            "banks={banks} proved={} peak_nodes={} time={:?} iters={}",
+            matches!(r.outcome, SmcOutcome::Proved),
+            r.stats.bdd_nodes,
+            r.stats.cpu_time,
+            r.stats.iterations
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 1: model checking with the AsmL-style explorer.
+//!
+//! "CPU time required to verify all the interface properties combined
+//! together"; nodes/transitions refer to the generated FSM (a bounded
+//! portion, per the AsmL configuration).
+
+use la1_bench::{secs, table1_row};
+
+fn main() {
+    let depth: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    println!("Table 1. Model Checking Using AsmL (exploration depth {depth} cycles).");
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>15} | {:>6}",
+        "Banks", "CPU (s)", "FSM Nodes", "Transitions", "Props"
+    );
+    println!("{}", "-".repeat(64));
+    for banks in 1..=4 {
+        let row = table1_row(banks, depth);
+        println!(
+            "{:>6} | {:>10} | {:>12} | {:>15} | {:>6}",
+            row.banks,
+            secs(row.cpu_time),
+            row.nodes,
+            row.transitions,
+            if row.all_pass { "pass" } else { "FAIL" }
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 2: RuleBase-style model checking of the read mode.
+//!
+//! The monolithic (tool-era) strategy proves 1-3 banks with sharply
+//! growing cost and hits state explosion at 4 banks.
+
+use la1_bench::{secs, table2_row, TABLE2_NODE_BUDGET};
+use la1_smc::Strategy;
+
+fn main() {
+    let budget: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(TABLE2_NODE_BUDGET);
+    println!("Table 2. Model Checking Using RuleBase: Read Mode (node budget {budget}).");
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>12} | Outcome",
+        "Banks", "CPU (s)", "Memory (MB)", "BDDs"
+    );
+    println!("{}", "-".repeat(70));
+    for banks in 1..=4 {
+        let row = table2_row(banks, Strategy::Monolithic, budget);
+        println!(
+            "{:>6} | {:>10} | {:>12.2} | {:>12} | {}",
+            row.banks,
+            secs(row.cpu_time),
+            row.memory_mb,
+            row.bdds,
+            row.outcome
+        );
+    }
+}

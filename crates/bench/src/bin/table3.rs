@@ -1,0 +1,34 @@
+//! Regenerates Table 3: average execution time per cycle of
+//! assertion-based verification — SystemC + compiled PSL monitors vs
+//! interpreted RTL + OVL monitor modules.
+
+use la1_bench::{micros, table3_row};
+
+fn main() {
+    let sc_cycles: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let rtl_cycles: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    // warm up the allocator and code paths so row 1 is not penalized
+    let _ = la1_bench::table3_row(1, sc_cycles / 4, rtl_cycles / 4);
+    println!("Table 3. Simulation Results (avg execution time per cycle).");
+    println!(
+        "{:>6} | {:>16} | {:>16} | {:>14}",
+        "Banks", "SystemC (us)", "OVL (us)", "Ratio OVL/SC"
+    );
+    println!("{}", "-".repeat(62));
+    for banks in 1..=8 {
+        let row = table3_row(banks, sc_cycles, rtl_cycles);
+        println!(
+            "{:>6} | {:>16} | {:>16} | {:>13.1}x",
+            row.banks,
+            micros(row.delta_sc),
+            micros(row.delta_ovl),
+            row.ratio
+        );
+    }
+}

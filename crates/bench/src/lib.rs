@@ -1,0 +1,173 @@
+//! # la1-bench — harnesses regenerating the paper's tables and figures
+//!
+//! Each binary prints one table/figure of *On the Design and
+//! Verification Methodology of the Look-Aside Interface* (DATE 2004) in
+//! the paper's row format:
+//!
+//! * `table1` — AsmL-style model checking: banks vs CPU time, FSM
+//!   nodes, transitions;
+//! * `table2` — RuleBase-style model checking of the read mode: banks
+//!   vs CPU time, memory, BDD count; state explosion at 4 banks;
+//! * `table3` — ABV simulation: SystemC + compiled monitors vs
+//!   interpreted RTL + OVL, time per cycle and the δ_OVL/δ_SC ratio;
+//! * `figure1` — the interface pin/bank structure;
+//! * `figure3` — the clock-annotated read-mode sequence diagram,
+//!   checked against an executed trace.
+//!
+//! The Criterion benches in `benches/` time the same code paths.
+
+use la1_asm::ExploreConfig;
+use la1_core::harness::{asm_model_check, rulebase_read_mode, run_rtl_ovl, run_systemc_abv};
+use la1_core::spec::LaConfig;
+use la1_core::workloads::RandomMix;
+use la1_smc::{SmcConfig, SmcOutcome, Strategy};
+use std::time::Duration;
+
+/// Default BDD node budget for the Table 2 reproduction, calibrated so
+/// the RuleBase-era monolithic strategy proves 1–3 banks (peaks of
+/// ~1.1M / ~4.6M / ~19.2M nodes on the reference host) and explodes at
+/// 4 banks (projected ~80M).
+pub const TABLE2_NODE_BUDGET: usize = 40_000_000;
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Bank count.
+    pub banks: u32,
+    /// Exploration CPU time.
+    pub cpu_time: Duration,
+    /// FSM nodes explored.
+    pub nodes: usize,
+    /// FSM transitions explored.
+    pub transitions: usize,
+    /// Whether all properties passed.
+    pub all_pass: bool,
+}
+
+/// Runs one Table 1 row: model checking of all interface properties
+/// combined, at the ASM level, with a bounded exploration (the AsmL
+/// tool's configuration limits).
+pub fn table1_row(banks: u32, max_depth: usize) -> Table1Row {
+    let cfg = table_config(banks);
+    let r = asm_model_check(
+        &cfg,
+        ExploreConfig {
+            max_depth: Some(max_depth),
+            max_states: 5_000_000,
+            max_transitions: 20_000_000,
+            stop_on_violation: true,
+        },
+    );
+    Table1Row {
+        banks,
+        cpu_time: r.stats.elapsed,
+        nodes: r.fsm.num_states(),
+        transitions: r.fsm.num_transitions(),
+        all_pass: r.all_pass(),
+    }
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Bank count.
+    pub banks: u32,
+    /// Checking CPU time.
+    pub cpu_time: Duration,
+    /// BDD memory in MB.
+    pub memory_mb: f64,
+    /// Peak BDD node count.
+    pub bdds: usize,
+    /// The verdict (`Proved` for 1–3 banks, `StateExplosion` at 4).
+    pub outcome: &'static str,
+}
+
+/// Runs one Table 2 row: the read-mode property on the N-bank RTL with
+/// the monolithic (RuleBase-era) strategy and a finite node budget.
+pub fn table2_row(banks: u32, strategy: Strategy, node_budget: usize) -> Table2Row {
+    let cfg = LaConfig::mc_small(banks);
+    let report = rulebase_read_mode(
+        &cfg,
+        SmcConfig {
+            strategy,
+            node_budget,
+            max_iterations: None,
+        },
+    )
+    .expect("read-mode property is in the safety subset");
+    Table2Row {
+        banks,
+        cpu_time: report.stats.cpu_time,
+        memory_mb: report.stats.memory_bytes as f64 / (1024.0 * 1024.0),
+        bdds: report.stats.bdd_nodes,
+        outcome: match report.outcome {
+            SmcOutcome::Proved => "proved",
+            SmcOutcome::Violated(_) => "VIOLATED",
+            SmcOutcome::StateExplosion => "state explosion",
+        },
+    }
+}
+
+/// One row of Table 3.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Bank count.
+    pub banks: u32,
+    /// SystemC + compiled monitors: average time per cycle.
+    pub delta_sc: Duration,
+    /// Interpreted RTL + OVL: average time per cycle.
+    pub delta_ovl: Duration,
+    /// δ_OVL / δ_SC.
+    pub ratio: f64,
+}
+
+/// Runs one Table 3 row with the same random read/write mix on both
+/// simulators.
+///
+/// Each side is measured three times and the fastest run is kept —
+/// per-cycle cost is a property of the simulator, so the minimum is the
+/// least load-contaminated estimate.
+pub fn table3_row(banks: u32, sc_cycles: u64, rtl_cycles: u64) -> Table3Row {
+    let cfg = LaConfig::new(banks);
+    let mut d_sc = Duration::MAX;
+    let mut d_ovl = Duration::MAX;
+    for _ in 0..3 {
+        let mut w_sc = RandomMix::new(&cfg, 42, 0.6, 0.4);
+        let sc = run_systemc_abv(&cfg, &mut w_sc, sc_cycles);
+        assert_eq!(sc.violations, 0, "healthy design must stay clean");
+        d_sc = d_sc.min(sc.time_per_cycle());
+        let mut w_rtl = RandomMix::new(&cfg, 42, 0.6, 0.4);
+        let ovl = run_rtl_ovl(&cfg, &mut w_rtl, rtl_cycles);
+        assert_eq!(ovl.violations, 0, "healthy design must stay clean");
+        d_ovl = d_ovl.min(ovl.time_per_cycle());
+    }
+    Table3Row {
+        banks,
+        delta_sc: d_sc,
+        delta_ovl: d_ovl,
+        ratio: d_ovl.as_secs_f64() / d_sc.as_secs_f64().max(1e-12),
+    }
+}
+
+/// The configuration the table harnesses use at the ASM level (small
+/// AsmL-style domains).
+pub fn table_config(banks: u32) -> LaConfig {
+    LaConfig {
+        banks,
+        words_per_bank: 4,
+        word_width: 16,
+        mc_addr_domain: vec![0, 1],
+        mc_data_domain: vec![0, 0x5A5A],
+        burst_len: 1,
+    }
+}
+
+/// Formats a `Duration` in seconds with 4 decimals (paper style).
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Formats a `Duration` in microseconds.
+pub fn micros(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}

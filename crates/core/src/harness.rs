@@ -1,0 +1,179 @@
+//! The measurement loops behind the paper's experiments.
+//!
+//! * [`run_systemc_abv`] — Table 3 left column: the SystemC model with
+//!   compiled PSL monitors attached;
+//! * [`run_rtl_ovl`] — Table 3 right column: the interpreted RTL with
+//!   OVL monitor modules loaded into the simulated design;
+//! * [`asm_model_check`] — Table 1 rows;
+//! * [`rulebase_read_mode`] — Table 2 rows.
+
+use crate::asm_model::LaAsmModel;
+use crate::properties::{cycle_properties_for, rtl_read_mode_property};
+use crate::rtl_model::{LaRtl, LaRtlDriver};
+use crate::sc_model::LaSystemC;
+use crate::spec::LaConfig;
+use crate::workloads::Workload;
+use la1_asm::{ExploreConfig, ExploreResult};
+use la1_ovl::{OvlBench, Severity};
+use la1_rtl::Expr;
+use la1_smc::{ModelChecker, SmcConfig, SmcReport};
+use std::time::{Duration, Instant};
+
+/// Result of a simulation-based ABV run.
+#[derive(Debug, Clone)]
+pub struct AbvRunStats {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Assertion violations observed (0 on a healthy design).
+    pub violations: usize,
+}
+
+impl AbvRunStats {
+    /// Average wall-clock time per simulated cycle.
+    pub fn time_per_cycle(&self) -> Duration {
+        if self.cycles == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.cycles as u32
+        }
+    }
+}
+
+/// Runs the SystemC-level model for `cycles` cycles of `workload` with
+/// the full cycle-level monitor suite attached (Table 3, δ_SC).
+pub fn run_systemc_abv<W: Workload>(
+    config: &LaConfig,
+    workload: &mut W,
+    cycles: u64,
+) -> AbvRunStats {
+    let mut la1 = LaSystemC::new(config);
+    la1.attach_monitors(&cycle_properties_for(config));
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let ops = workload.next_cycle();
+        la1.cycle(&ops);
+    }
+    AbvRunStats {
+        cycles,
+        elapsed: start.elapsed(),
+        violations: la1.violations().len(),
+    }
+}
+
+/// Attaches the OVL equivalents of the cycle-level property suite to an
+/// RTL bench: each instance is a module loaded into the simulated
+/// design, exactly the cost structure the paper measures.
+pub fn attach_la1_ovl(bench: &mut OvlBench, rtl: &LaRtl) {
+    let nets = rtl.nets();
+    let burst = rtl.config().is_burst();
+    for b in 0..rtl.config().banks as usize {
+        // read latency: rd_v1 -> dv two cycles later
+        bench.assert_next(
+            format!("ovl_read_latency_{b}"),
+            Severity::Error,
+            Expr::net(nets.rd_v1[b]),
+            Expr::net(nets.dv[b]),
+            2,
+        );
+        if burst {
+            // LA-1B: the second beat follows one cycle later
+            bench.assert_next(
+                format!("ovl_burst_beat_{b}"),
+                Severity::Error,
+                Expr::net(nets.rd_v1[b]),
+                Expr::net(nets.dv[b]),
+                3,
+            );
+        }
+        // no data valid without a read in the preceding window
+        let mut seq = vec![Expr::not(Expr::net(nets.rd_v1[b]))];
+        if burst {
+            seq.push(Expr::not(Expr::net(nets.rd_v1[b])));
+        }
+        seq.push(Expr::bit(true));
+        seq.push(Expr::not(Expr::net(nets.dv[b])));
+        bench.assert_cycle_sequence(
+            format!("ovl_no_spurious_dv_{b}"),
+            Severity::Error,
+            seq,
+        );
+        // parity never fires
+        bench.assert_never(
+            format!("ovl_parity_{b}"),
+            Severity::Error,
+            Expr::net(nets.perr[b]),
+        );
+        // write commit: wr_v0 (set at the falling edge of the accept
+        // cycle) and wdone (set at the next rising edge) are visible at
+        // the same rising-edge sample, so the OVL form is a same-cycle
+        // implication
+        bench.assert_implication(
+            format!("ovl_write_commit_{b}"),
+            Severity::Error,
+            Expr::net(nets.wr_v0[b]),
+            Expr::net(nets.wdone[b]),
+        );
+    }
+    if rtl.config().banks > 1 {
+        let dv_vec = Expr::Concat(nets.dv.iter().map(|&d| Expr::net(d)).collect());
+        bench.assert_zero_one_hot("ovl_dv_onehot", Severity::Error, dv_vec);
+    }
+    // end-to-end bus integrity: whenever any bank drives, the data plus
+    // its even byte parity must contain an even number of ones
+    let any_dv = nets
+        .dv
+        .iter()
+        .fold(Expr::bit(false), |acc, &d| Expr::or(acc, Expr::net(d)));
+    bench.assert_even_parity(
+        "ovl_bus_parity",
+        Severity::Error,
+        any_dv,
+        Expr::Concat(vec![Expr::net(nets.dq), Expr::net(nets.dq_par)]),
+    );
+}
+
+/// Runs the interpreted RTL with OVL monitors for `cycles` cycles of
+/// `workload` (Table 3, δ_OVL). Monitors are sampled at each rising
+/// edge of `K`.
+pub fn run_rtl_ovl<W: Workload>(config: &LaConfig, workload: &mut W, cycles: u64) -> AbvRunStats {
+    let rtl = LaRtl::build(config, None);
+    let mut driver = LaRtlDriver::new(&rtl);
+    let mut bench = OvlBench::new();
+    attach_la1_ovl(&mut bench, &rtl);
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let ops = workload.next_cycle();
+        driver.cycle_with(&ops, |sim| {
+            bench.on_cycle(sim);
+        });
+    }
+    AbvRunStats {
+        cycles,
+        elapsed: start.elapsed(),
+        violations: bench.violations().len(),
+    }
+}
+
+/// Runs the ASM-level model checking of the full property suite —
+/// one Table 1 row.
+pub fn asm_model_check(config: &LaConfig, explore: ExploreConfig) -> ExploreResult {
+    LaAsmModel::new(config).model_check(explore)
+}
+
+/// Runs the RuleBase-style symbolic model checking of the read-mode
+/// property — one Table 2 row.
+///
+/// # Errors
+///
+/// Propagates [`la1_smc::UnsupportedPropertyError`] (does not occur for
+/// the built-in read-mode property).
+pub fn rulebase_read_mode(
+    config: &LaConfig,
+    smc: SmcConfig,
+) -> Result<SmcReport, la1_smc::UnsupportedPropertyError> {
+    let rtl = LaRtl::build(config, None);
+    let ts = rtl.extract();
+    ModelChecker::new(&ts, smc).check(&rtl_read_mode_property())
+}

@@ -1,0 +1,698 @@
+//! The SystemC-level LA-1 model with attached compiled PSL monitors.
+//!
+//! The paper translates the verified ASM model to SystemC by syntactic
+//! mapping (classes → modules, preconditions → triggering conditions)
+//! and attaches the PSL properties as *external monitors compiled to
+//! C#*. Here the modules are processes over `la1-eventsim` signals and
+//! the monitors are `la1-psl` [`BoundMonitor`]s stepped once per clock
+//! cycle — compiled Rust playing the role of compiled C#/C++.
+//!
+//! Timing (matching the ASM model and Fig. 3):
+//!
+//! * rising `K` of cycle *n*: requests are sampled; the read pipeline
+//!   shifts; data for a read issued at *n − 2* is driven (low half);
+//!   a write accepted at *n − 1* reports `wdone`;
+//! * falling `K` of cycle *n*: the read data high half is driven; the
+//!   `wdone` write commits to the SRAM; the write data high half is
+//!   captured.
+
+use crate::properties::cycle_properties_for;
+use crate::spec::{byte_parity, BankOp, LaConfig};
+use crate::uml::{ClockRef, ObservedMessage};
+use la1_asm::{StepSystem, Value};
+use la1_eventsim::{Signal, Simulator};
+use la1_psl::{BoundMonitor, Directive, Monitor};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Signals of one bank's read and write ports.
+struct ScBank {
+    // host request side
+    rd_req: Signal<bool>,
+    rd_addr: Signal<u64>,
+    wr_req: Signal<bool>,
+    wr_addr: Signal<u64>,
+    wr_data_lo: Signal<u64>,
+    wr_data_hi: Signal<u64>,
+    wr_byte_en: Signal<u32>,
+    // read pipeline
+    rv1: Signal<bool>,
+    rv2: Signal<bool>,
+    dv: Signal<bool>,
+    out_lo: Signal<u64>,
+    out_hi: Signal<u64>,
+    out_par_lo: Signal<u64>,
+    out_par_hi: Signal<u64>,
+    perr: Signal<bool>,
+    // write pipeline
+    wv: Signal<bool>,
+    wdone: Signal<bool>,
+}
+
+/// A recorded monitor violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScViolation {
+    /// Directive name.
+    pub property: String,
+    /// Cycle index at which the monitor reported `P_status && !P_value`.
+    pub cycle: u64,
+}
+
+/// The LA-1 interface at the SystemC level.
+///
+/// See the crate-level quickstart for an example.
+pub struct LaSystemC {
+    sim: Simulator,
+    cfg: LaConfig,
+    k: Signal<bool>,
+    k_bar: Signal<bool>,
+    banks: Vec<ScBank>,
+    monitors: Vec<(String, BoundMonitor)>,
+    monitor_signal_order: Vec<String>,
+    violations: Vec<ScViolation>,
+    cycles: u64,
+    trace: Rc<RefCell<Vec<ObservedMessage>>>,
+    trace_enabled: Rc<RefCell<bool>>,
+    parity_fault: Rc<RefCell<Option<u32>>>,
+    /// cycle number visible to the tracing processes
+    cycle_counter: Option<Rc<RefCell<u64>>>,
+    /// reusable monitor-snapshot buffer (hot path of Table 3)
+    snapshot: Vec<bool>,
+    /// cycle of the most recent read request (burst protocol check)
+    last_read: Option<u64>,
+}
+
+impl std::fmt::Debug for LaSystemC {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaSystemC")
+            .field("banks", &self.banks.len())
+            .field("cycles", &self.cycles)
+            .field("monitors", &self.monitors.len())
+            .finish()
+    }
+}
+
+impl LaSystemC {
+    /// Elaborates the model for `config`.
+    pub fn new(config: &LaConfig) -> Self {
+        let mut sim = Simulator::new();
+        let k = sim.signal("K", false);
+        let k_bar = sim.signal("K#", true);
+        
+        let word_mask = config.mask_word(u64::MAX);
+        let trace: Rc<RefCell<Vec<ObservedMessage>>> = Rc::default();
+        let trace_enabled = Rc::new(RefCell::new(false));
+        let parity_fault: Rc<RefCell<Option<u32>>> = Rc::default();
+        let cycle_now = Rc::new(RefCell::new(0u64));
+
+        let mut banks = Vec::new();
+        for b in 0..config.banks {
+            let bank = ScBank {
+                rd_req: sim.signal(format!("rd_req_{b}"), false),
+                rd_addr: sim.signal(format!("rd_addr_{b}"), 0),
+                wr_req: sim.signal(format!("wr_req_{b}"), false),
+                wr_addr: sim.signal(format!("wr_addr_{b}"), 0),
+                wr_data_lo: sim.signal(format!("wr_data_lo_{b}"), 0),
+                wr_data_hi: sim.signal(format!("wr_data_hi_{b}"), 0),
+                wr_byte_en: sim.signal(format!("wr_byte_en_{b}"), 0),
+                rv1: sim.signal(format!("rv1_{b}"), false),
+                rv2: sim.signal(format!("rv2_{b}"), false),
+                dv: sim.signal(format!("dv_{b}"), false),
+                out_lo: sim.signal(format!("out_lo_{b}"), 0),
+                out_hi: sim.signal(format!("out_hi_{b}"), 0),
+                out_par_lo: sim.signal(format!("out_par_lo_{b}"), 0),
+                out_par_hi: sim.signal(format!("out_par_hi_{b}"), 0),
+                perr: sim.signal(format!("perr_{b}"), false),
+                wv: sim.signal(format!("wv_{b}"), false),
+                wdone: sim.signal(format!("wdone_{b}"), false),
+            };
+            let sram: Rc<RefCell<Vec<u64>>> =
+                Rc::new(RefCell::new(vec![0; config.words_per_bank as usize]));
+            // internal pipeline state shared by the two port processes
+            let ra1 = sim.signal(format!("ra1_{b}"), 0u64);
+            let ra2 = sim.signal(format!("ra2_{b}"), 0u64);
+            let word_hold = sim.signal(format!("word_hold_{b}"), 0u64);
+            let wa_c = sim.signal(format!("wa_c_{b}"), 0u64);
+            let wd_lo_c = sim.signal(format!("wd_lo_c_{b}"), 0u64);
+            let be_c = sim.signal(format!("be_c_{b}"), 0u32);
+            let hi_err_latch = sim.signal(format!("hi_err_{b}"), false);
+            // LA-1B burst extension: the second beat's pending flag and
+            // auto-incremented address
+            let beat2 = sim.signal(format!("beat2_{b}"), false);
+            let beat2_addr = sim.signal(format!("beat2_addr_{b}"), 0u64);
+
+            // --- ReadPort module ------------------------------------
+            {
+                let cfg = config.clone();
+                let (kq, bank_sigs) = (k.clone(), clone_read_side(&bank));
+                let (ra1c, ra2c, holdc) = (ra1.clone(), ra2.clone(), word_hold.clone());
+                let sramc = Rc::clone(&sram);
+                let tracec = Rc::clone(&trace);
+                let tracee = Rc::clone(&trace_enabled);
+                let pfault = Rc::clone(&parity_fault);
+                let cyc = Rc::clone(&cycle_now);
+                let hi_err = hi_err_latch.clone();
+                let sens = [k.event()];
+                let (beat2s, beat2a) = (beat2.clone(), beat2_addr.clone());
+                let burst = cfg.is_burst();
+                sim.process(format!("read_port_{b}"), &sens, move || {
+                    let (rd_req, rd_addr, rv1, rv2, dv, out_lo, out_hi, out_par_lo, out_par_hi, perr) =
+                        &bank_sigs;
+                    if kq.read() {
+                        // rising edge of K; in burst mode a pending
+                        // second beat also drives the bus this cycle
+                        let beat = burst && beat2s.read();
+                        let producing = rv2.read() || beat;
+                        dv.write(producing);
+                        // schedule the burst's second beat
+                        if burst {
+                            beat2s.write(rv2.read());
+                            beat2a.write((ra2c.read() + 1) % cfg.words_per_bank as u64);
+                        }
+                        if producing {
+                            let read_addr = if rv2.read() {
+                                ra2c.read()
+                            } else {
+                                beat2a.read()
+                            };
+                            let word = sramc.borrow()[read_addr as usize];
+                            holdc.write(word);
+                            let lo = cfg.low_half(word);
+                            out_lo.write(lo);
+                            let mut p = byte_parity(lo, cfg.half_width());
+                            if *pfault.borrow() == Some(b) {
+                                p ^= 1; // injected parity fault
+                            }
+                            out_par_lo.write(p);
+                            if *tracee.borrow() {
+                                tracec.borrow_mut().push(ObservedMessage {
+                                    from: "ReadPort".into(),
+                                    to: "NetworkProcessor".into(),
+                                    method: "OnReadRequest".into(),
+                                    cycle: *cyc.borrow() as u32,
+                                    clock: ClockRef::K,
+                                });
+                            }
+                        } else {
+                            out_lo.write(0);
+                            out_par_lo.write(0);
+                        }
+                        // parity check of the previous rising half plus
+                        // the latched falling-half verdict
+                        let lo_now = if producing {
+                            let read_addr = if rv2.read() {
+                                ra2c.read()
+                            } else {
+                                beat2a.read()
+                            };
+                            cfg.low_half(sramc.borrow()[read_addr as usize])
+                        } else {
+                            0
+                        };
+                        let mut expect = byte_parity(lo_now, cfg.half_width());
+                        if *pfault.borrow() == Some(b) && producing {
+                            // the checker recomputes the true parity
+                            expect = byte_parity(lo_now, cfg.half_width());
+                        }
+                        let drive = if *pfault.borrow() == Some(b) && producing {
+                            expect ^ 1
+                        } else {
+                            expect
+                        };
+                        perr.write((producing && drive != expect) || hi_err.read());
+                        // pipeline shift
+                        rv2.write(rv1.read());
+                        ra2c.write(ra1c.read());
+                        let accepted = rd_req.read();
+                        rv1.write(accepted);
+                        ra1c.write(rd_addr.read());
+                        if accepted
+                            && *tracee.borrow() {
+                                tracec.borrow_mut().push(ObservedMessage {
+                                    from: "NetworkProcessor".into(),
+                                    to: "ReadPort".into(),
+                                    method: "OnReadRequest".into(),
+                                    cycle: *cyc.borrow() as u32,
+                                    clock: ClockRef::K,
+                                });
+                            }
+                        if rv1.read() && *tracee.borrow() {
+                            // the stage-1 request accesses the SRAM now
+                            tracec.borrow_mut().push(ObservedMessage {
+                                from: "ReadPort".into(),
+                                to: "SramMemory".into(),
+                                method: "LA1_SRAM_OnReadRequest".into(),
+                                cycle: *cyc.borrow() as u32,
+                                clock: ClockRef::K,
+                            });
+                            tracec.borrow_mut().push(ObservedMessage {
+                                from: "ReadPort".into(),
+                                to: "ReadPort".into(),
+                                method: "FormatData".into(),
+                                cycle: *cyc.borrow() as u32,
+                                clock: ClockRef::K,
+                            });
+                        }
+                    } else {
+                        // falling edge: drive the high DDR half
+                        if dv.read() {
+                            let word = holdc.read();
+                            let hi = cfg.high_half(word);
+                            out_hi.write(hi);
+                            let mut p = byte_parity(hi, cfg.half_width());
+                            if *pfault.borrow() == Some(b) {
+                                p ^= 1;
+                            }
+                            out_par_hi.write(p);
+                            hi_err.write(p != byte_parity(hi, cfg.half_width()));
+                            if *tracee.borrow() {
+                                tracec.borrow_mut().push(ObservedMessage {
+                                    from: "ReadPort".into(),
+                                    to: "NetworkProcessor".into(),
+                                    method: "OnReadRequest".into(),
+                                    cycle: *cyc.borrow() as u32,
+                                    clock: ClockRef::KBar,
+                                });
+                            }
+                        } else {
+                            out_hi.write(0);
+                            out_par_hi.write(0);
+                            hi_err.write(false);
+                        }
+                    }
+                });
+            }
+
+            // --- WritePort module -----------------------------------
+            {
+                let cfg = config.clone();
+                let kq = k.clone();
+                let (wr_req, wr_addr, wr_data_lo, wr_data_hi, wr_byte_en) = (
+                    bank.wr_req.clone(),
+                    bank.wr_addr.clone(),
+                    bank.wr_data_lo.clone(),
+                    bank.wr_data_hi.clone(),
+                    bank.wr_byte_en.clone(),
+                );
+                let (wv, wdone) = (bank.wv.clone(), bank.wdone.clone());
+                let (wa_cc, wd_lo_cc, be_cc) = (wa_c.clone(), wd_lo_c.clone(), be_c.clone());
+                let sramc = Rc::clone(&sram);
+                let tracec = Rc::clone(&trace);
+                let tracee = Rc::clone(&trace_enabled);
+                let cyc = Rc::clone(&cycle_now);
+                let wd_hi_c = sim.signal(format!("wd_hi_c_{b}"), 0u64);
+                let sens = [k.event()];
+                let mask_word = word_mask;
+                sim.process(format!("write_port_{b}"), &sens, move || {
+                    if kq.read() {
+                        // rising edge: commit the write accepted last
+                        // cycle FIRST, using pre-update signal reads so
+                        // back-to-back writes do not clobber the capture
+                        // registers. (The read port of this bank runs
+                        // earlier in the delta, so a concurrent read
+                        // still observes the pre-commit memory — the
+                        // read-before-write ordering all levels share.)
+                        if wv.read() {
+                            let addr = wa_cc.read() as usize;
+                            let word = (wd_lo_cc.read()
+                                | (wd_hi_c.read() << cfg.half_width()))
+                                & mask_word;
+                            let bit_mask = cfg.bit_mask_of(be_cc.read());
+                            let mut mem = sramc.borrow_mut();
+                            mem[addr] = (mem[addr] & !bit_mask) | (word & bit_mask);
+                            drop(mem);
+                            if *tracee.borrow() {
+                                tracec.borrow_mut().push(ObservedMessage {
+                                    from: "WritePort".into(),
+                                    to: "SramMemory".into(),
+                                    method: "LA1_SRAM_OnWriteData".into(),
+                                    cycle: *cyc.borrow() as u32,
+                                    clock: ClockRef::K,
+                                });
+                            }
+                        }
+                        wdone.write(wv.read());
+                        // accept a new write; capture address + low half
+                        let accepted = wr_req.read();
+                        wv.write(accepted);
+                        if accepted {
+                            wa_cc.write(wr_addr.read());
+                            wd_lo_cc.write(wr_data_lo.read());
+                            be_cc.write(wr_byte_en.read());
+                            if *tracee.borrow() {
+                                tracec.borrow_mut().push(ObservedMessage {
+                                    from: "NetworkProcessor".into(),
+                                    to: "WritePort".into(),
+                                    method: "OnWriteRequest".into(),
+                                    cycle: *cyc.borrow() as u32,
+                                    clock: ClockRef::K,
+                                });
+                            }
+                        }
+                    } else {
+                        // falling edge: capture the high data half of a
+                        // newly accepted write (DDR input path)
+                        if wv.read() {
+                            wd_hi_c.write(wr_data_hi.read());
+                            if *tracee.borrow() {
+                                tracec.borrow_mut().push(ObservedMessage {
+                                    from: "NetworkProcessor".into(),
+                                    to: "WritePort".into(),
+                                    method: "OnReceiveData".into(),
+                                    cycle: *cyc.borrow() as u32,
+                                    clock: ClockRef::KBar,
+                                });
+                            }
+                        }
+                    }
+                });
+            }
+
+            banks.push(bank);
+        }
+
+        let mut la1 = LaSystemC {
+            sim,
+            cfg: config.clone(),
+            k,
+            k_bar,
+            banks,
+            monitors: Vec::new(),
+            monitor_signal_order: monitor_signal_names(config.banks),
+            violations: Vec::new(),
+            cycles: 0,
+            trace,
+            trace_enabled,
+            parity_fault,
+            cycle_counter: Some(cycle_now),
+            snapshot: Vec::new(),
+            last_read: None,
+        };
+        la1.sim.run_deltas(); // SystemC-style initialization run
+        la1
+    }
+
+    /// Attaches PSL directives as external monitors (the paper's
+    /// "assertion monitors in C#").
+    pub fn attach_monitors(&mut self, directives: &[Directive]) {
+        let names: Vec<&str> = self
+            .monitor_signal_order
+            .iter()
+            .map(String::as_str)
+            .collect();
+        for d in directives {
+            self.monitors
+                .push((d.name.clone(), Monitor::new(&d.property).bind(&names)));
+        }
+    }
+
+    /// Attaches the default cycle-level property suite (burst-aware).
+    pub fn attach_default_monitors(&mut self) {
+        let dirs = cycle_properties_for(&self.cfg);
+        self.attach_monitors(&dirs);
+    }
+
+    /// Advances one full clock cycle with the given operations applied
+    /// at the rising edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation targets a bank or address out of range.
+    pub fn cycle(&mut self, ops: &[BankOp]) {
+        if let Some(c) = &self.cycle_counter {
+            *c.borrow_mut() = self.cycles;
+        }
+        // present requests (setup before the rising edge)
+        for b in 0..self.banks.len() {
+            let bank = &self.banks[b];
+            bank.rd_req.write(false);
+            bank.wr_req.write(false);
+        }
+        for op in ops {
+            let bank = &self.banks[op.bank() as usize];
+            match *op {
+                BankOp::Read { addr, .. } => {
+                    assert!(addr < self.cfg.words_per_bank as u64, "read address range");
+                    if self.cfg.is_burst() {
+                        // LA-1B: the output bus is busy for burst_len
+                        // cycles, so reads must be spaced accordingly
+                        assert!(
+                            self.last_read.is_none_or(|c| {
+                                self.cycles - c >= self.cfg.burst_len as u64
+                            }),
+                            "burst protocol violation: reads must be {} cycles apart",
+                            self.cfg.burst_len
+                        );
+                    }
+                    self.last_read = Some(self.cycles);
+                    bank.rd_req.write(true);
+                    bank.rd_addr.write(addr);
+                }
+                BankOp::Write {
+                    addr,
+                    data,
+                    byte_en,
+                    ..
+                } => {
+                    assert!(addr < self.cfg.words_per_bank as u64, "write address range");
+                    bank.wr_req.write(true);
+                    bank.wr_addr.write(addr);
+                    let data = self.cfg.mask_word(data);
+                    bank.wr_data_lo.write(self.cfg.low_half(data));
+                    bank.wr_data_hi.write(self.cfg.high_half(data));
+                    bank.wr_byte_en.write(byte_en);
+                }
+            }
+        }
+        // rising edge of K / falling of K# (the request updates settle
+        // in the same instant, before the edge-sensitive processes run)
+        self.k.write(true);
+        self.k_bar.write(false);
+        self.sim.run_deltas();
+        // sample the monitors at the settled rising edge
+        self.sample_monitors();
+        // falling edge of K / rising of K#
+        self.k.write(false);
+        self.k_bar.write(true);
+        self.sim.run_deltas();
+        self.cycles += 1;
+    }
+
+    fn sample_monitors(&mut self) {
+        if self.monitors.is_empty() {
+            return;
+        }
+        self.snapshot.clear();
+        for bank in &self.banks {
+            self.snapshot.push(bank.rv1.read());
+            self.snapshot.push(bank.wv.read());
+            self.snapshot.push(bank.dv.read());
+            self.snapshot.push(bank.perr.read());
+            self.snapshot.push(bank.wdone.read());
+        }
+        let snapshot = &self.snapshot;
+        for (name, mon) in &mut self.monitors {
+            let st = mon.step(snapshot);
+            if st.is_violation() && !self.violations.iter().any(|v| v.property == *name) {
+                self.violations.push(ScViolation {
+                    property: name.clone(),
+                    cycle: self.cycles,
+                });
+            }
+        }
+    }
+
+    /// The word a bank is currently driving, if its data-valid flag is
+    /// set (both DDR halves merged).
+    pub fn bank_output(&self, bank: u32) -> Option<u64> {
+        let b = &self.banks[bank as usize];
+        if !b.dv.read() {
+            return None;
+        }
+        Some(b.out_lo.read() | (b.out_hi.read() << self.cfg.half_width()))
+    }
+
+    /// Whether a bank's parity checker currently flags an error.
+    pub fn parity_error(&self, bank: u32) -> bool {
+        self.banks[bank as usize].perr.read()
+    }
+
+    /// Recorded monitor violations.
+    pub fn violations(&self) -> &[ScViolation] {
+        &self.violations
+    }
+
+    /// Completed cycles.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total kernel process activations (simulator-load statistic).
+    pub fn activations(&self) -> u64 {
+        self.sim.activations()
+    }
+
+    /// Starts recording the message trace (Fig. 3 checking).
+    pub fn enable_trace(&mut self) {
+        *self.trace_enabled.borrow_mut() = true;
+    }
+
+    /// The recorded message trace.
+    pub fn trace(&self) -> Vec<ObservedMessage> {
+        self.trace.borrow().clone()
+    }
+
+    /// Injects a parity-generation fault on `bank` (for testing the
+    /// monitors and the OVL comparison).
+    pub fn inject_parity_fault(&mut self, bank: u32) {
+        *self.parity_fault.borrow_mut() = Some(bank);
+    }
+
+    /// Clears an injected parity fault.
+    pub fn clear_parity_fault(&mut self) {
+        *self.parity_fault.borrow_mut() = None;
+    }
+}
+
+/// The fixed monitor signal order: per bank `rd{b}`, `wr{b}`, `dv{b}`,
+/// `perr{b}`, `wdone{b}`.
+pub fn monitor_signal_names(banks: u32) -> Vec<String> {
+    let mut names = Vec::new();
+    for b in 0..banks {
+        names.push(format!("rd{b}"));
+        names.push(format!("wr{b}"));
+        names.push(format!("dv{b}"));
+        names.push(format!("perr{b}"));
+        names.push(format!("wdone{b}"));
+    }
+    names
+}
+
+type ReadSide = (
+    Signal<bool>,
+    Signal<u64>,
+    Signal<bool>,
+    Signal<bool>,
+    Signal<bool>,
+    Signal<u64>,
+    Signal<u64>,
+    Signal<u64>,
+    Signal<u64>,
+    Signal<bool>,
+);
+
+fn clone_read_side(bank: &ScBank) -> ReadSide {
+    (
+        bank.rd_req.clone(),
+        bank.rd_addr.clone(),
+        bank.rv1.clone(),
+        bank.rv2.clone(),
+        bank.dv.clone(),
+        bank.out_lo.clone(),
+        bank.out_hi.clone(),
+        bank.out_par_lo.clone(),
+        bank.out_par_hi.clone(),
+        bank.perr.clone(),
+    )
+}
+
+impl StepSystem for LaSystemC {
+    fn reset(&mut self) {
+        // rebuild from scratch: event-driven state is not otherwise
+        // rewindable
+        let monitors_attached = !self.monitors.is_empty();
+        *self = LaSystemC::new(&self.cfg.clone());
+        if monitors_attached {
+            self.attach_default_monitors();
+        }
+    }
+
+    fn enabled_actions(&self) -> Vec<String> {
+        vec![
+            "init".to_string(),
+            "tick".to_string(),
+            "read".to_string(),
+            "write".to_string(),
+        ]
+    }
+
+    fn apply(&mut self, action: &str) -> bool {
+        let parts: Vec<&str> = action.split_whitespace().collect();
+        let in_range = |b: usize, a: u64| {
+            b < self.banks.len() && a < self.banks_words()
+        };
+        match parts.as_slice() {
+            ["init"] => true, // elaboration already happened
+            ["tick"] => {
+                self.cycle(&[]);
+                true
+            }
+            ["read", b, a] => {
+                let (Ok(b), Ok(a)) = (b.parse::<usize>(), a.parse::<u64>()) else {
+                    return false;
+                };
+                if !in_range(b, a) {
+                    return false;
+                }
+                self.cycle(&[BankOp::read(b as u32, a)]);
+                true
+            }
+            ["write", b, a, d] => {
+                let (Ok(b), Ok(a), Ok(d)) =
+                    (b.parse::<usize>(), a.parse::<u64>(), d.parse::<u64>())
+                else {
+                    return false;
+                };
+                if !in_range(b, a) {
+                    return false;
+                }
+                let full = (1u32 << self.cfg.byte_enables()) - 1;
+                self.cycle(&[BankOp::write(b as u32, a, d, full)]);
+                true
+            }
+            ["rw", rb, ra, wb, wa, d] => {
+                let (Ok(rb), Ok(ra), Ok(wb), Ok(wa), Ok(d)) = (
+                    rb.parse::<usize>(),
+                    ra.parse::<u64>(),
+                    wb.parse::<usize>(),
+                    wa.parse::<u64>(),
+                    d.parse::<u64>(),
+                ) else {
+                    return false;
+                };
+                if !in_range(rb, ra) || !in_range(wb, wa) {
+                    return false;
+                }
+                let full = (1u32 << self.cfg.byte_enables()) - 1;
+                self.cycle(&[
+                    BankOp::read(rb as u32, ra),
+                    BankOp::write(wb as u32, wa, d, full),
+                ]);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn observe(&self) -> Vec<(String, Value)> {
+        let mut obs = Vec::new();
+        for (b, bank) in self.banks.iter().enumerate() {
+            let dv = bank.dv.read();
+            obs.push((format!("dv{b}"), Value::Bool(dv)));
+            let out = if dv {
+                (bank.out_lo.read() | (bank.out_hi.read() << self.cfg.half_width())) as i64
+            } else {
+                0
+            };
+            obs.push((format!("out{b}"), Value::Int(out)));
+            obs.push((format!("wdone{b}"), Value::Bool(bank.wdone.read())));
+        }
+        obs
+    }
+}
+
+impl LaSystemC {
+    fn banks_words(&self) -> u64 {
+        self.cfg.words_per_bank as u64
+    }
+}

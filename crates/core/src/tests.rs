@@ -1,0 +1,856 @@
+//! Unit and integration tests for the LA-1 core: every level must obey
+//! the same protocol, and the verification machinery must both pass on
+//! the healthy design and catch injected faults.
+
+use crate::asm_model::LaAsmModel;
+use crate::harness::{attach_la1_ovl, run_rtl_ovl, run_systemc_abv};
+use crate::properties::{cycle_properties, rtl_properties, rtl_read_mode_property};
+use crate::refine::{conformance_stimulus, run_flow};
+use crate::rtl_model::{LaRtl, LaRtlDriver};
+use crate::sc_model::LaSystemC;
+use crate::spec::*;
+use crate::uml::*;
+use crate::workloads::{PacketLookup, RandomMix, ReadBurst, Workload};
+use la1_asm::{conformance_check, CheckOutcome, ExploreConfig, StepSystem};
+use la1_ovl::OvlBench;
+use la1_smc::{ModelChecker, SmcConfig, SmcOutcome};
+use proptest::prelude::*;
+
+fn small_cfg(banks: u32) -> LaConfig {
+    LaConfig {
+        banks,
+        words_per_bank: 4,
+        word_width: 16,
+        mc_addr_domain: vec![0, 1],
+        mc_data_domain: vec![0, 0x5A5A],
+        burst_len: 1,
+    }
+}
+
+// ---- spec -------------------------------------------------------------------
+
+#[test]
+fn spec_halves_and_masks() {
+    let cfg = LaConfig::new(1);
+    assert_eq!(cfg.half_width(), 16);
+    assert_eq!(cfg.low_half(0xAAAA_BBBB), 0xBBBB);
+    assert_eq!(cfg.high_half(0xAAAA_BBBB), 0xAAAA);
+    assert_eq!(cfg.mask_word(0xFFFF_FFFF_FFFF), 0xFFFF_FFFF);
+    assert_eq!(cfg.byte_enables(), 4);
+    assert_eq!(cfg.bit_mask_of(0b0011), 0x0000_FFFF);
+    assert_eq!(cfg.bit_mask_of(0b1000), 0xFF00_0000);
+}
+
+#[test]
+fn spec_even_parity() {
+    assert!(!even_parity(0, 8));
+    assert!(even_parity(1, 8));
+    assert!(!even_parity(0b11, 8));
+    // per-byte parity of a 16-bit half: low byte 0x03 (2 ones -> 0),
+    // high byte 0x01 (1 one -> 1)
+    let p = byte_parity(0x0103, 16);
+    assert_eq!(p, 0b10);
+}
+
+#[test]
+fn spec_pin_inventory_matches_figure1() {
+    let cfg = LaConfig::new(4);
+    let pins = cfg.pins();
+    let names: Vec<&str> = pins.iter().map(|p| p.name.as_str()).collect();
+    assert!(names.contains(&"K"));
+    assert!(names.contains(&"K#"));
+    assert!(names.contains(&"SA"));
+    assert!(names.contains(&"R0#"));
+    assert!(names.contains(&"W3#"));
+    let d = pins.iter().find(|p| p.name == "D").unwrap();
+    assert_eq!(d.width, DATA_PINS); // the 18-pin DDR path
+    let q = pins.iter().find(|p| p.name == "Q").unwrap();
+    assert_eq!(q.width, 18);
+    assert_eq!(q.dir, PinDir::SlaveOut);
+}
+
+#[test]
+fn spec_bank_bits() {
+    assert_eq!(bank_bits(1), 0);
+    assert_eq!(bank_bits(2), 1);
+    assert_eq!(bank_bits(4), 2);
+    assert_eq!(bank_bits(8), 3);
+}
+
+// ---- uml --------------------------------------------------------------------
+
+#[test]
+fn uml_renders() {
+    let cd = la1_class_diagram();
+    let txt = cd.render();
+    for c in ["WritePort", "ReadPort", "SramMemory", "SimManager"] {
+        assert!(txt.contains(c), "{txt}");
+    }
+    let sd = read_mode_sequence();
+    let txt = sd.render();
+    assert!(txt.contains("OnReadRequest[0]()@K"));
+    assert!(txt.contains("OnReadRequest[2]()@K#"));
+}
+
+#[test]
+fn uml_sequence_check_detects_deviation() {
+    let sd = read_mode_sequence();
+    let mut trace: Vec<ObservedMessage> = sd
+        .messages
+        .iter()
+        .map(|m| ObservedMessage {
+            from: m.from.to_string(),
+            to: m.to.to_string(),
+            method: m.method.to_string(),
+            cycle: m.cycle,
+            clock: m.clock,
+        })
+        .collect();
+    assert!(sd.check(&trace).is_ok());
+    trace[1].cycle = 3; // SRAM access too late
+    let err = sd.check(&trace).unwrap_err();
+    assert_eq!(err.at, 1);
+}
+
+// ---- SystemC model ------------------------------------------------------------
+
+#[test]
+fn sc_read_returns_written_word() {
+    let cfg = LaConfig::new(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.cycle(&[BankOp::write(0, 5, 0xDEAD_BEEF, 0b1111)]);
+    la1.cycle(&[BankOp::read(0, 5)]);
+    la1.cycle(&[]);
+    la1.cycle(&[]);
+    assert_eq!(la1.bank_output(0), Some(0xDEAD_BEEF));
+    assert!(!la1.parity_error(0));
+}
+
+#[test]
+fn sc_read_latency_is_two_cycles() {
+    let cfg = LaConfig::new(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.cycle(&[BankOp::write(0, 1, 0x1234_5678, 0b1111)]);
+    la1.cycle(&[BankOp::read(0, 1)]); // issued cycle 1
+    assert_eq!(la1.bank_output(0), None);
+    la1.cycle(&[]); // cycle 2
+    assert_eq!(la1.bank_output(0), None);
+    la1.cycle(&[]); // cycle 3: dv for the read of cycle 1
+    assert_eq!(la1.bank_output(0), Some(0x1234_5678));
+    la1.cycle(&[]);
+    assert_eq!(la1.bank_output(0), None, "dv is a single-cycle pulse");
+}
+
+#[test]
+fn sc_byte_write_control() {
+    let cfg = LaConfig::new(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.cycle(&[BankOp::write(0, 2, 0xFFFF_FFFF, 0b1111)]);
+    la1.cycle(&[]); // allow the commit
+    la1.cycle(&[BankOp::write(0, 2, 0x0000_0000, 0b0001)]); // clear byte 0 only
+    la1.cycle(&[BankOp::read(0, 2)]);
+    la1.cycle(&[]);
+    la1.cycle(&[]);
+    assert_eq!(la1.bank_output(0), Some(0xFFFF_FF00));
+}
+
+#[test]
+fn sc_concurrent_read_write_same_bank() {
+    // a headline LA-1 feature: read and write in the same cycle
+    let cfg = LaConfig::new(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.cycle(&[BankOp::write(0, 0, 0xAAAA_AAAA, 0b1111)]);
+    la1.cycle(&[
+        BankOp::read(0, 0),
+        BankOp::write(0, 0, 0x5555_5555, 0b1111),
+    ]);
+    la1.cycle(&[BankOp::read(0, 0)]);
+    la1.cycle(&[]);
+    // the cycle-1 read observes the *concurrent* cycle-1 write: the
+    // single-cycle write commit lands before the two-cycle read pipeline
+    // samples the array (all three levels share this ordering)
+    assert_eq!(la1.bank_output(0), Some(0x5555_5555));
+    la1.cycle(&[]);
+    // the cycle-2 read also observes it
+    assert_eq!(la1.bank_output(0), Some(0x5555_5555));
+}
+
+#[test]
+fn sc_monitors_pass_on_healthy_design() {
+    let cfg = LaConfig::new(2);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.attach_monitors(&cycle_properties(2));
+    let mut w = RandomMix::new(&cfg, 11, 0.5, 0.4);
+    for _ in 0..300 {
+        la1.cycle(&w.next_cycle());
+    }
+    assert!(la1.violations().is_empty(), "{:?}", la1.violations());
+}
+
+#[test]
+fn sc_monitors_catch_parity_fault() {
+    let cfg = LaConfig::new(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.attach_monitors(&cycle_properties(1));
+    la1.inject_parity_fault(0);
+    la1.cycle(&[BankOp::write(0, 0, 0x0123_4567, 0b1111)]);
+    la1.cycle(&[BankOp::read(0, 0)]);
+    la1.cycle(&[]);
+    la1.cycle(&[]);
+    la1.cycle(&[]);
+    assert!(
+        la1.violations().iter().any(|v| v.property == "parity_0"),
+        "{:?}",
+        la1.violations()
+    );
+}
+
+#[test]
+fn sc_trace_matches_figure3() {
+    let cfg = LaConfig::new(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.enable_trace();
+    la1.cycle(&[BankOp::read(0, 0)]);
+    la1.cycle(&[]);
+    la1.cycle(&[]);
+    let seq = read_mode_sequence();
+    seq.check(&la1.trace()).expect("Fig. 3 trace");
+}
+
+// ---- ASM model -----------------------------------------------------------------
+
+#[test]
+fn asm_model_checks_clean_on_one_bank() {
+    let model = LaAsmModel::new(&small_cfg(1));
+    let r = model.model_check(ExploreConfig {
+        max_states: 30_000,
+        ..ExploreConfig::default()
+    });
+    assert!(r.all_pass(), "{:?}", r.reports);
+    // cover of concurrent read+write must be reachable
+    let cover = r
+        .reports
+        .iter()
+        .find(|p| p.name == "concurrent_rw_0")
+        .unwrap();
+    assert!(matches!(cover.outcome, CheckOutcome::Covered));
+}
+
+#[test]
+fn asm_step_system_read_latency() {
+    let mut m = LaAsmModel::new(&small_cfg(1));
+    assert!(m.apply("init"));
+    assert!(m.apply("write 0 1 90"));
+    assert!(m.apply("tick"));
+    assert!(m.apply("read 0 1"));
+    assert!(m.apply("tick"));
+    let obs = m.observe();
+    assert_eq!(
+        obs.iter().find(|(n, _)| n == "dv0").unwrap().1,
+        la1_asm::Value::Bool(false)
+    );
+    assert!(m.apply("tick"));
+    let obs = m.observe();
+    assert_eq!(
+        obs.iter().find(|(n, _)| n == "dv0").unwrap().1,
+        la1_asm::Value::Bool(true)
+    );
+    assert_eq!(
+        obs.iter().find(|(n, _)| n == "out0").unwrap().1,
+        la1_asm::Value::Int(90)
+    );
+}
+
+#[test]
+fn asm_rejects_out_of_range_actions() {
+    let mut m = LaAsmModel::new(&small_cfg(1));
+    assert!(m.apply("init"));
+    assert!(!m.apply("read 5 0"));
+    assert!(!m.apply("read 0 99"));
+    assert!(!m.apply("bogus"));
+    assert!(!m.apply("init"), "double init refused");
+}
+
+#[test]
+fn asm_violation_produces_counterexample() {
+    // claim data valid never rises: falsified by any read
+    let model = LaAsmModel::new(&small_cfg(1));
+    let bad = la1_psl::parse_directive("assert never_dv : always !dv0").unwrap();
+    let r = la1_asm::Explorer::new(model.machine(), ExploreConfig::default())
+        .with_directives(&[bad])
+        .run();
+    let cex = r.first_counterexample().expect("counterexample");
+    assert!(cex.path.len() >= 3, "read + 2 latency cycles");
+}
+
+// ---- conformance ASM <-> SystemC --------------------------------------------------
+
+#[test]
+fn asm_systemc_conformance_small() {
+    for banks in [1, 2] {
+        let cfg = small_cfg(banks);
+        let mut asm = LaAsmModel::new(&cfg);
+        let mut sc = LaSystemC::new(&cfg);
+        let stim = conformance_stimulus(&cfg, 99, 60);
+        conformance_check(&mut asm, &mut sc, &stim)
+            .unwrap_or_else(|e| panic!("{banks} banks: {e}"));
+    }
+}
+
+// ---- RTL model --------------------------------------------------------------------
+
+#[test]
+fn rtl_read_returns_written_word() {
+    let cfg = LaConfig::new(1);
+    let rtl = LaRtl::build(&cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    drv.cycle(&[BankOp::write(0, 5, 0xDEAD_BEEF, 0b1111)]);
+    drv.cycle(&[BankOp::read(0, 5)]);
+    drv.cycle(&[]);
+    drv.cycle(&[]);
+    assert_eq!(drv.bank_output(0), Some(0xDEAD_BEEF));
+    assert!(!drv.parity_error(0));
+}
+
+#[test]
+fn rtl_byte_write_control() {
+    let cfg = LaConfig::new(1);
+    let rtl = LaRtl::build(&cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    drv.cycle(&[BankOp::write(0, 2, 0xFFFF_FFFF, 0b1111)]);
+    drv.cycle(&[]);
+    drv.cycle(&[BankOp::write(0, 2, 0, 0b0001)]);
+    drv.cycle(&[BankOp::read(0, 2)]);
+    drv.cycle(&[]);
+    drv.cycle(&[]);
+    assert_eq!(drv.bank_output(0), Some(0xFFFF_FF00));
+}
+
+#[test]
+fn rtl_multibank_routing() {
+    let cfg = LaConfig::new(4);
+    let rtl = LaRtl::build(&cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    for b in 0..4 {
+        drv.cycle(&[BankOp::write(b, 1, 0x1000 + b as u64, 0b1111)]);
+    }
+    drv.cycle(&[]);
+    let mut seen = Vec::new();
+    for b in 0..4 {
+        drv.cycle(&[BankOp::read(b, 1)]);
+        drv.cycle(&[]);
+        drv.cycle(&[]);
+        seen.push(drv.bank_output(b));
+    }
+    assert_eq!(
+        seen,
+        vec![Some(0x1000), Some(0x1001), Some(0x1002), Some(0x1003)]
+    );
+}
+
+#[test]
+fn rtl_verilog_emission() {
+    let cfg = LaConfig::new(2);
+    let rtl = LaRtl::build(&cfg, None);
+    let v = rtl.to_verilog();
+    assert!(v.contains("module la1_2bank"));
+    assert!(v.contains("always @(negedge k)"), "write address on K#");
+    assert!(v.contains("'bz"), "tristate bank outputs");
+    assert!(v.contains("mem_"), "per-bank SRAM arrays");
+}
+
+#[test]
+fn rtl_smc_proves_read_mode_small() {
+    let cfg = LaConfig::mc_small(1);
+    let rtl = LaRtl::build(&cfg, None);
+    let ts = rtl.extract();
+    let r = ModelChecker::new(&ts, SmcConfig::default())
+        .check(&rtl_read_mode_property())
+        .unwrap();
+    assert!(matches!(r.outcome, SmcOutcome::Proved), "{:?}", r.outcome);
+}
+
+#[test]
+fn rtl_smc_proves_full_suite_small() {
+    let cfg = LaConfig::mc_small(1);
+    let rtl = LaRtl::build(&cfg, None);
+    let ts = rtl.extract();
+    let checker = ModelChecker::new(&ts, SmcConfig::default());
+    for d in rtl_properties(1) {
+        let r = checker.check(&d).unwrap();
+        assert!(
+            matches!(r.outcome, SmcOutcome::Proved),
+            "{}: {:?}",
+            d.name,
+            r.outcome
+        );
+    }
+}
+
+#[test]
+fn rtl_smc_catches_parity_fault() {
+    let cfg = LaConfig::mc_small(1);
+    let rtl = LaRtl::build(&cfg, Some(0));
+    let ts = rtl.extract();
+    let d = la1_psl::parse_directive("assert parity : always !perr_0").unwrap();
+    let r = ModelChecker::new(&ts, SmcConfig::default())
+        .check(&d)
+        .unwrap();
+    assert!(matches!(r.outcome, SmcOutcome::Violated(_)), "{:?}", r.outcome);
+}
+
+#[test]
+fn rtl_ovl_clean_and_faulty() {
+    let cfg = LaConfig::new(1);
+    // healthy
+    let mut w = RandomMix::new(&cfg, 3, 0.5, 0.4);
+    let stats = run_rtl_ovl(&cfg, &mut w, 150);
+    assert_eq!(stats.violations, 0);
+    // parity-faulted design must fire the OVL parity monitor
+    let rtl = LaRtl::build(&cfg, Some(0));
+    let mut drv = LaRtlDriver::new(&rtl);
+    let mut bench = OvlBench::new();
+    attach_la1_ovl(&mut bench, &rtl);
+    drv.cycle_with(&[BankOp::write(0, 0, 0x0101_0101, 0b1111)], |s| {
+        bench.on_cycle(s);
+    });
+    for _ in 0..4 {
+        drv.cycle_with(&[BankOp::read(0, 0)], |s| {
+            bench.on_cycle(s);
+        });
+    }
+    for _ in 0..3 {
+        drv.cycle_with(&[], |s| {
+            bench.on_cycle(s);
+        });
+    }
+    assert!(
+        bench
+            .violations()
+            .iter()
+            .any(|v| v.monitor.contains("parity")),
+        "{:?}",
+        bench.violations()
+    );
+}
+
+// ---- cross-level agreement ---------------------------------------------------------
+
+#[test]
+fn all_three_levels_agree_on_random_traffic() {
+    let cfg = small_cfg(2);
+    let mut asm = LaAsmModel::new(&cfg);
+    let mut sc = LaSystemC::new(&cfg);
+    let rtl = LaRtl::build(&cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    assert!(asm.apply("init"));
+
+    let mut w = RandomMix::new(&cfg, 77, 0.6, 0.5);
+    let full_be = (1u32 << cfg.byte_enables()) - 1;
+    for cycle in 0..120 {
+        let mut ops = w.next_cycle();
+        // ASM abstracts byte enables: force full-word writes
+        for op in &mut ops {
+            if let BankOp::Write { byte_en, .. } = op {
+                *byte_en = full_be;
+            }
+        }
+        // drive ASM via its action strings
+        let rd = ops.iter().copied().find(|o| o.is_read());
+        let wr = ops.iter().copied().find(|o| !o.is_read());
+        let action = match (rd, wr) {
+            (None, None) => "tick".to_string(),
+            (Some(BankOp::Read { bank, addr }), None) => format!("read {bank} {addr}"),
+            (None, Some(BankOp::Write { bank, addr, data, .. })) => {
+                format!("write {bank} {addr} {}", cfg.mask_word(data))
+            }
+            (
+                Some(BankOp::Read { bank: rb, addr: ra }),
+                Some(BankOp::Write {
+                    bank: wb,
+                    addr: wa,
+                    data,
+                    ..
+                }),
+            ) => format!("rw {rb} {ra} {wb} {wa} {}", cfg.mask_word(data)),
+            _ => unreachable!(),
+        };
+        assert!(asm.apply(&action), "cycle {cycle}: {action}");
+        sc.cycle(&ops);
+        drv.cycle(&ops);
+        // compare outputs
+        for b in 0..cfg.banks {
+            let sc_out = sc.bank_output(b);
+            let rtl_out = drv.bank_output(b);
+            assert_eq!(sc_out, rtl_out, "cycle {cycle} bank {b}: sc vs rtl");
+            let asm_obs = asm.observe();
+            let asm_dv = asm_obs
+                .iter()
+                .find(|(n, _)| *n == format!("dv{b}"))
+                .unwrap()
+                .1
+                .as_bool();
+            assert_eq!(asm_dv, sc_out.is_some(), "cycle {cycle} bank {b}: asm dv");
+            if let Some(out) = sc_out {
+                let asm_out = asm_obs
+                    .iter()
+                    .find(|(n, _)| *n == format!("out{b}"))
+                    .unwrap()
+                    .1
+                    .as_int() as u64;
+                assert_eq!(asm_out, out, "cycle {cycle} bank {b}: asm data");
+            }
+        }
+    }
+}
+
+// ---- flow + harness -----------------------------------------------------------------
+
+#[test]
+fn full_flow_passes_on_one_bank() {
+    let cfg = LaConfig::mc_small(1);
+    let report = run_flow(
+        &cfg,
+        ExploreConfig {
+            max_states: 20_000,
+            ..ExploreConfig::default()
+        },
+        SmcConfig::default(),
+    );
+    assert!(report.all_passed(), "{}", report.render());
+    assert!(report.verilog.contains("module la1_1bank"));
+}
+
+#[test]
+fn harness_systemc_abv_runs_clean() {
+    let cfg = LaConfig::new(2);
+    let mut w = PacketLookup::new(&cfg, 5, 0.7, 0.1, 16);
+    let stats = run_systemc_abv(&cfg, &mut w, 200);
+    assert_eq!(stats.cycles, 200);
+    assert_eq!(stats.violations, 0);
+    assert!(stats.time_per_cycle() > std::time::Duration::ZERO);
+}
+
+// ---- workloads ------------------------------------------------------------------------
+
+#[test]
+fn workloads_are_deterministic_per_seed() {
+    let cfg = LaConfig::new(4);
+    let collect = |seed| {
+        let mut w = RandomMix::new(&cfg, seed, 0.5, 0.5);
+        (0..50).flat_map(|_| w.next_cycle()).collect::<Vec<_>>()
+    };
+    assert_eq!(collect(1), collect(1));
+    assert_ne!(collect(1), collect(2));
+}
+
+#[test]
+fn workload_ops_within_bounds() {
+    let cfg = LaConfig::new(3);
+    let mut w = PacketLookup::new(&cfg, 9, 0.9, 0.4, 8);
+    for _ in 0..200 {
+        for op in w.next_cycle() {
+            assert!(op.bank() < cfg.banks);
+            match op {
+                BankOp::Read { addr, .. } | BankOp::Write { addr, .. } => {
+                    assert!(addr < cfg.words_per_bank as u64);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn read_burst_sweeps_all_addresses() {
+    let cfg = small_cfg(2);
+    let mut w = ReadBurst::new(&cfg);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..(2 * 4) {
+        for op in w.next_cycle() {
+            if let BankOp::Read { bank, addr } = op {
+                seen.insert((bank, addr));
+            }
+        }
+    }
+    assert_eq!(seen.len(), 8);
+}
+
+// ---- property tests ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sc_rtl_equivalent_on_random_programs(seed in 0u64..500) {
+        let cfg = small_cfg(1);
+        let mut sc = LaSystemC::new(&cfg);
+        let rtl = LaRtl::build(&cfg, None);
+        let mut drv = LaRtlDriver::new(&rtl);
+        let mut w = RandomMix::new(&cfg, seed, 0.7, 0.6);
+        for _ in 0..60 {
+            let ops = w.next_cycle();
+            sc.cycle(&ops);
+            drv.cycle(&ops);
+            prop_assert_eq!(sc.bank_output(0), drv.bank_output(0));
+        }
+    }
+
+    #[test]
+    fn parity_helper_matches_xor(half in any::<u16>()) {
+        let p = byte_parity(half as u64, 16);
+        let lo = (half & 0xFF).count_ones() % 2;
+        let hi = (half >> 8).count_ones() % 2;
+        prop_assert_eq!(p, (lo as u64) | ((hi as u64) << 1));
+    }
+}
+
+// ---- fault library ---------------------------------------------------------------
+
+#[test]
+fn fault_slow_read_caught_by_smc() {
+    use crate::rtl_model::RtlFault;
+    let cfg = LaConfig::mc_small(1);
+    let rtl = LaRtl::build_with_faults(&cfg, &[RtlFault::SlowRead(0)]);
+    let ts = rtl.extract();
+    let r = ModelChecker::new(&ts, SmcConfig::default())
+        .check(&rtl_read_mode_property())
+        .unwrap();
+    let SmcOutcome::Violated(trace) = &r.outcome else {
+        panic!("latency bug must violate the read-mode property: {:?}", r.outcome);
+    };
+    assert!(trace.steps.len() >= 5, "request + latency steps");
+}
+
+#[test]
+fn fault_dead_read_port_caught_by_ovl() {
+    use crate::rtl_model::RtlFault;
+    let cfg = LaConfig::new(1);
+    let rtl = LaRtl::build_with_faults(&cfg, &[RtlFault::DeadReadPort(0)]);
+    let mut drv = LaRtlDriver::new(&rtl);
+    let mut bench = OvlBench::new();
+    attach_la1_ovl(&mut bench, &rtl);
+    for _ in 0..6 {
+        drv.cycle_with(&[BankOp::read(0, 0)], |s| {
+            bench.on_cycle(s);
+        });
+    }
+    assert!(
+        bench
+            .violations()
+            .iter()
+            .any(|v| v.monitor.contains("read_latency")),
+        "{:?}",
+        bench.violations()
+    );
+}
+
+#[test]
+fn fault_slow_read_diverges_from_golden_model() {
+    use crate::rtl_model::RtlFault;
+    let cfg = LaConfig::new(1);
+    let rtl = LaRtl::build_with_faults(&cfg, &[RtlFault::SlowRead(0)]);
+    let mut drv = LaRtlDriver::new(&rtl);
+    let mut golden = LaSystemC::new(&cfg);
+    let mut diverged = false;
+    for cycle in 0..10 {
+        let ops = if cycle == 1 {
+            vec![BankOp::read(0, 0)]
+        } else {
+            vec![]
+        };
+        golden.cycle(&ops);
+        drv.cycle(&ops);
+        if golden.bank_output(0) != drv.bank_output(0) {
+            diverged = true;
+        }
+    }
+    assert!(diverged, "the scoreboard must expose the latency bug");
+}
+
+#[test]
+fn healthy_build_with_empty_fault_list_is_clean() {
+    use crate::rtl_model::RtlFault;
+    let cfg = LaConfig::new(1);
+    let a = LaRtl::build_with_faults(&cfg, &[]);
+    let b = LaRtl::build(&cfg, None);
+    assert_eq!(a.to_verilog(), b.to_verilog());
+    let _ = RtlFault::ParityBank(0); // the enum is part of the public API
+}
+
+// ---- LA-1B burst extension ---------------------------------------------------------
+
+#[test]
+fn burst_sc_returns_two_consecutive_words() {
+    let cfg = LaConfig::la1b(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.cycle(&[BankOp::write(0, 10, 0x1111_1111, 0b1111)]);
+    la1.cycle(&[BankOp::write(0, 11, 0x2222_2222, 0b1111)]);
+    la1.cycle(&[BankOp::read(0, 10)]);
+    la1.cycle(&[]);
+    la1.cycle(&[]);
+    assert_eq!(la1.bank_output(0), Some(0x1111_1111), "first beat");
+    la1.cycle(&[]);
+    assert_eq!(la1.bank_output(0), Some(0x2222_2222), "second beat");
+    la1.cycle(&[]);
+    assert_eq!(la1.bank_output(0), None, "burst over");
+}
+
+#[test]
+fn burst_rtl_matches_sc() {
+    let cfg = LaConfig::la1b(1);
+    let mut sc = LaSystemC::new(&cfg);
+    let rtl = LaRtl::build(&cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    let mut w = crate::workloads::BurstLookup::new(&cfg, 404);
+    // preload some data through both
+    for a in 0..8 {
+        let op = [BankOp::write(0, a, 0x100 + a, 0b1111)];
+        sc.cycle(&op);
+        drv.cycle(&op);
+    }
+    for cycle in 0..80 {
+        let ops = w.next_cycle();
+        sc.cycle(&ops);
+        drv.cycle(&ops);
+        assert_eq!(sc.bank_output(0), drv.bank_output(0), "cycle {cycle}");
+    }
+}
+
+#[test]
+fn burst_monitors_hold_and_catch_missing_beat() {
+    let cfg = LaConfig::la1b(2);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.attach_default_monitors();
+    let mut w = crate::workloads::BurstLookup::new(&cfg, 7);
+    for _ in 0..200 {
+        la1.cycle(&w.next_cycle());
+    }
+    assert!(la1.violations().is_empty(), "{:?}", la1.violations());
+
+    // a non-burst device checked against the burst property set must
+    // fail the second-beat property
+    let plain = LaConfig::new(1);
+    let mut wrong = LaSystemC::new(&plain);
+    wrong.attach_monitors(&crate::properties::cycle_properties_for(&LaConfig::la1b(1)));
+    wrong.cycle(&[BankOp::read(0, 0)]);
+    for _ in 0..4 {
+        wrong.cycle(&[]);
+    }
+    assert!(
+        wrong
+            .violations()
+            .iter()
+            .any(|v| v.property == "burst_second_beat_0"),
+        "{:?}",
+        wrong.violations()
+    );
+}
+
+#[test]
+fn burst_protocol_violation_panics() {
+    let cfg = LaConfig::la1b(1);
+    let mut la1 = LaSystemC::new(&cfg);
+    la1.cycle(&[BankOp::read(0, 0)]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        la1.cycle(&[BankOp::read(0, 2)]); // too soon: bus still busy
+    }));
+    assert!(result.is_err(), "back-to-back reads must be rejected");
+}
+
+#[test]
+fn burst_rtl_ovl_clean() {
+    let cfg = LaConfig::la1b(1);
+    let rtl = LaRtl::build(&cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    let mut bench = OvlBench::new();
+    attach_la1_ovl(&mut bench, &rtl);
+    let mut w = crate::workloads::BurstLookup::new(&cfg, 11);
+    for _ in 0..150 {
+        let ops = w.next_cycle();
+        drv.cycle_with(&ops, |s| {
+            bench.on_cycle(s);
+        });
+    }
+    assert!(bench.violations().is_empty(), "{:?}", bench.violations());
+}
+
+#[test]
+fn burst_asm_level_rejected() {
+    let result = std::panic::catch_unwind(|| LaAsmModel::new(&LaConfig::la1b(1)));
+    assert!(result.is_err(), "ASM level is base LA-1 only");
+}
+
+#[test]
+fn burst_throughput_beats_single_reads() {
+    // the point of LA-1B: more words per address-bus slot
+    let burst_cfg = LaConfig::la1b(1);
+    let plain_cfg = LaConfig::new(1);
+    let cycles = 300;
+
+    let mut burst = LaSystemC::new(&burst_cfg);
+    let mut wb = crate::workloads::BurstLookup::new(&burst_cfg, 5);
+    let mut burst_words = 0u64;
+    for _ in 0..cycles {
+        burst.cycle(&wb.next_cycle());
+        if burst.bank_output(0).is_some() {
+            burst_words += 1;
+        }
+    }
+
+    let mut plain = LaSystemC::new(&plain_cfg);
+    let mut wp = crate::workloads::BurstLookup::new(&plain_cfg, 5);
+    let mut plain_words = 0u64;
+    let mut plain_reads = 0u64;
+    let mut burst_reads = 0u64;
+    for _ in 0..cycles {
+        let ops = wp.next_cycle();
+        plain_reads += ops.iter().filter(|o| o.is_read()).count() as u64;
+        plain.cycle(&ops);
+        if plain.bank_output(0).is_some() {
+            plain_words += 1;
+        }
+    }
+    let mut wb2 = crate::workloads::BurstLookup::new(&burst_cfg, 5);
+    for _ in 0..cycles {
+        burst_reads += wb2.next_cycle().iter().filter(|o| o.is_read()).count() as u64;
+    }
+    // same or more words delivered from roughly half the address slots
+    assert!(burst_reads < plain_reads);
+    assert!(
+        burst_words as f64 >= plain_words as f64 * 0.95,
+        "burst {burst_words} vs plain {plain_words}"
+    );
+}
+
+// ---- waveform dump -----------------------------------------------------------------
+
+#[test]
+fn rtl_read_transaction_waveform() {
+    use la1_rtl::VcdWriter;
+    let cfg = LaConfig::new(1);
+    let rtl = LaRtl::build(&cfg, None);
+    let nets = rtl.nets().clone();
+    let mut drv = LaRtlDriver::new(&rtl);
+    // the driver owns the sim; sample through cycle_with
+    let mut vcd = VcdWriter::new(rtl.netlist(), &[nets.k, nets.rd_sel, nets.dv[0], nets.dq]);
+    drv.cycle_with(&[BankOp::write(0, 1, 0xABCD_1234, 0b1111)], |s| vcd.sample(s));
+    drv.cycle_with(&[BankOp::read(0, 1)], |s| vcd.sample(s));
+    drv.cycle_with(&[], |s| vcd.sample(s));
+    drv.cycle_with(&[], |s| vcd.sample(s));
+    let text = vcd.render();
+    assert!(text.contains("$scope module la1_1bank $end"));
+    assert!(text.contains("$var wire 16")); // the DDR dq bus
+    assert!(vcd.num_changes() >= 2, "clock + dv/dq activity recorded");
+    assert_eq!(drv.bank_output(0), Some(0xABCD_1234));
+}
+
+#[test]
+fn uml_use_cases_cover_both_deployment_modes() {
+    let cases = la1_use_cases();
+    // the paper's two deployment modes: stand-alone IP + verification unit
+    assert!(cases.iter().any(|c| c.name == "IntegrateAsIp"));
+    assert!(cases.iter().any(|c| c.name == "ValidateDevice"));
+    let txt = render_use_cases(&cases);
+    assert!(txt.contains("NetworkProcessor"));
+    assert!(txt.contains("verification unit"));
+}

@@ -1,0 +1,387 @@
+//! The UML level: class diagram and clock-annotated sequence diagrams.
+//!
+//! The paper starts its flow from an informal UML specification and
+//! proposes a *modified sequence diagram* notation carrying clocking
+//! information — `method[cycle]()@K` — so that "precise clocked
+//! properties" can be captured before any executable model exists
+//! (Fig. 3). This module holds those artefacts as data: the class
+//! diagram of the four principal classes and the reading-mode sequence
+//! diagram, plus a checker that validates an executed message trace
+//! against a diagram.
+
+use std::fmt;
+
+/// Which clock edge a message is annotated with (`@K` or `@K#`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockRef {
+    /// Rising edge of the master clock `K`.
+    K,
+    /// Rising edge of the complementary clock `K#` (the falling edge
+    /// of `K`).
+    KBar,
+}
+
+impl fmt::Display for ClockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockRef::K => f.write_str("K"),
+            ClockRef::KBar => f.write_str("K#"),
+        }
+    }
+}
+
+/// A class in the LA-1 class diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UmlClass {
+    /// Class name.
+    pub name: &'static str,
+    /// Attribute names.
+    pub attributes: Vec<&'static str>,
+    /// Operation names.
+    pub operations: Vec<&'static str>,
+}
+
+/// An association between two classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UmlAssociation {
+    /// Source class.
+    pub from: &'static str,
+    /// Target class.
+    pub to: &'static str,
+    /// Role label.
+    pub label: &'static str,
+}
+
+/// The LA-1 class diagram: the paper's "four principle classes: Write
+/// Port, Reading Port, SRAM Memory and a Light Simulator".
+#[derive(Debug, Clone)]
+pub struct ClassDiagram {
+    /// The classes.
+    pub classes: Vec<UmlClass>,
+    /// The associations.
+    pub associations: Vec<UmlAssociation>,
+}
+
+/// Builds the paper's LA-1 class diagram.
+pub fn la1_class_diagram() -> ClassDiagram {
+    ClassDiagram {
+        classes: vec![
+            UmlClass {
+                name: "WritePort",
+                attributes: vec!["m_e", "la1_wp_on_receive_data_depth"],
+                operations: vec!["OnWriteRequest", "OnReceiveData", "CommitWrite"],
+            },
+            UmlClass {
+                name: "ReadPort",
+                attributes: vec!["m_e", "la1_rp_on_read_data_depth"],
+                operations: vec!["OnReadRequest", "FormatData", "DriveData"],
+            },
+            UmlClass {
+                name: "SramMemory",
+                attributes: vec!["m_words", "la1_sram_on_write_data_depth"],
+                operations: vec!["ReadWord", "WriteWord"],
+            },
+            UmlClass {
+                name: "SimManager",
+                attributes: vec!["m_k", "m_ks", "m_e", "sim_status", "system_flag"],
+                operations: vec!["SimManager_Init", "SimManager_Restart", "Tick"],
+            },
+        ],
+        associations: vec![
+            UmlAssociation {
+                from: "ReadPort",
+                to: "SramMemory",
+                label: "reads",
+            },
+            UmlAssociation {
+                from: "WritePort",
+                to: "SramMemory",
+                label: "writes",
+            },
+            UmlAssociation {
+                from: "SimManager",
+                to: "ReadPort",
+                label: "clocks",
+            },
+            UmlAssociation {
+                from: "SimManager",
+                to: "WritePort",
+                label: "clocks",
+            },
+        ],
+    }
+}
+
+/// One message of a clock-annotated sequence diagram:
+/// `from -> to : method[cycle]() @ clock`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqMessage {
+    /// Sending lifeline.
+    pub from: &'static str,
+    /// Receiving lifeline.
+    pub to: &'static str,
+    /// Method name.
+    pub method: &'static str,
+    /// Activation cycle (the paper's `[n]` suffix).
+    pub cycle: u32,
+    /// Activation clock (the paper's `@K` / `@K#`).
+    pub clock: ClockRef,
+}
+
+/// A clock-annotated sequence diagram.
+#[derive(Debug, Clone)]
+pub struct SequenceDiagram {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Lifelines, left to right.
+    pub lifelines: Vec<&'static str>,
+    /// Messages in diagram order.
+    pub messages: Vec<SeqMessage>,
+}
+
+/// The reading-mode sequence diagram of the paper's Fig. 3: a read
+/// request at `@K` of cycle 0, the SRAM access at `@K` of cycle 1, and
+/// the data released in two steps at the next rising edges of `K` and
+/// `K#` (cycle 2).
+pub fn read_mode_sequence() -> SequenceDiagram {
+    SequenceDiagram {
+        name: "ReadMode",
+        lifelines: vec!["NetworkProcessor", "ReadPort", "SramMemory"],
+        messages: vec![
+            SeqMessage {
+                from: "NetworkProcessor",
+                to: "ReadPort",
+                method: "OnReadRequest",
+                cycle: 0,
+                clock: ClockRef::K,
+            },
+            SeqMessage {
+                from: "ReadPort",
+                to: "SramMemory",
+                method: "LA1_SRAM_OnReadRequest",
+                cycle: 1,
+                clock: ClockRef::K,
+            },
+            SeqMessage {
+                from: "ReadPort",
+                to: "ReadPort",
+                method: "FormatData",
+                cycle: 1,
+                clock: ClockRef::K,
+            },
+            SeqMessage {
+                from: "ReadPort",
+                to: "NetworkProcessor",
+                method: "OnReadRequest",
+                cycle: 2,
+                clock: ClockRef::K,
+            },
+            SeqMessage {
+                from: "ReadPort",
+                to: "NetworkProcessor",
+                method: "OnReadRequest",
+                cycle: 2,
+                clock: ClockRef::KBar,
+            },
+        ],
+    }
+}
+
+/// The writing-mode sequence diagram: `W#` at `@K` of cycle 0, the
+/// address at the following `@K#`, and the commit at `@K` of cycle 1.
+pub fn write_mode_sequence() -> SequenceDiagram {
+    SequenceDiagram {
+        name: "WriteMode",
+        lifelines: vec!["NetworkProcessor", "WritePort", "SramMemory"],
+        messages: vec![
+            SeqMessage {
+                from: "NetworkProcessor",
+                to: "WritePort",
+                method: "OnWriteRequest",
+                cycle: 0,
+                clock: ClockRef::K,
+            },
+            SeqMessage {
+                from: "NetworkProcessor",
+                to: "WritePort",
+                method: "OnReceiveData",
+                cycle: 0,
+                clock: ClockRef::KBar,
+            },
+            SeqMessage {
+                from: "WritePort",
+                to: "SramMemory",
+                method: "LA1_SRAM_OnWriteData",
+                cycle: 1,
+                clock: ClockRef::K,
+            },
+        ],
+    }
+}
+
+/// An executed message observation: who called what, when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedMessage {
+    /// Sending component.
+    pub from: String,
+    /// Receiving component.
+    pub to: String,
+    /// Method name.
+    pub method: String,
+    /// Cycle of the activation.
+    pub cycle: u32,
+    /// Clock edge of the activation.
+    pub clock: ClockRef,
+}
+
+/// Error returned when an executed trace deviates from a sequence
+/// diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceMismatchError {
+    /// Index of the first diverging message.
+    pub at: usize,
+    /// What the diagram expects there (rendered), if anything.
+    pub expected: Option<String>,
+    /// What the trace contains there (rendered), if anything.
+    pub found: Option<String>,
+}
+
+impl fmt::Display for SequenceMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sequence mismatch at message {}: expected {:?}, found {:?}",
+            self.at, self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for SequenceMismatchError {}
+
+impl SequenceDiagram {
+    /// Checks an executed trace against this diagram (exact order,
+    /// cycles relative to the trace's first message).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequenceMismatchError`] at the first divergence.
+    pub fn check(&self, trace: &[ObservedMessage]) -> Result<(), SequenceMismatchError> {
+        let base = trace.first().map(|m| m.cycle).unwrap_or(0);
+        for (i, expected) in self.messages.iter().enumerate() {
+            let found = trace.get(i);
+            let matches = found.is_some_and(|f| {
+                f.from == expected.from
+                    && f.to == expected.to
+                    && f.method == expected.method
+                    && f.cycle.saturating_sub(base) == expected.cycle
+                    && f.clock == expected.clock
+            });
+            if !matches {
+                return Err(SequenceMismatchError {
+                    at: i,
+                    expected: Some(format!(
+                        "{}->{} {}[{}]()@{}",
+                        expected.from, expected.to, expected.method, expected.cycle, expected.clock
+                    )),
+                    found: found.map(|f| {
+                        format!(
+                            "{}->{} {}[{}]()@{}",
+                            f.from,
+                            f.to,
+                            f.method,
+                            f.cycle.saturating_sub(base),
+                            f.clock
+                        )
+                    }),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the diagram in the paper's `method[cycle]()@clock`
+    /// notation.
+    pub fn render(&self) -> String {
+        let mut out = format!("sequence diagram: {}\n", self.name);
+        out.push_str(&format!("lifelines: {}\n", self.lifelines.join(" | ")));
+        for m in &self.messages {
+            out.push_str(&format!(
+                "  {} -> {} : {}[{}]()@{}\n",
+                m.from, m.to, m.method, m.cycle, m.clock
+            ));
+        }
+        out
+    }
+}
+
+impl ClassDiagram {
+    /// Renders the diagram as indented text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("class diagram: LA-1 Interface\n");
+        for c in &self.classes {
+            out.push_str(&format!("  class {}\n", c.name));
+            for a in &c.attributes {
+                out.push_str(&format!("    attr {a}\n"));
+            }
+            for o in &c.operations {
+                out.push_str(&format!("    op   {o}()\n"));
+            }
+        }
+        for a in &self.associations {
+            out.push_str(&format!("  {} --{}--> {}\n", a.from, a.label, a.to));
+        }
+        out
+    }
+}
+
+/// A use case of the LA-1 IP (Fig. 2's "Use Case" artefact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseCase {
+    /// Use-case name.
+    pub name: &'static str,
+    /// The initiating actor.
+    pub actor: &'static str,
+    /// One-line goal.
+    pub goal: &'static str,
+}
+
+/// The LA-1 use-case diagram: the two deployment modes the paper
+/// designs for, plus the protocol-level operations.
+pub fn la1_use_cases() -> Vec<UseCase> {
+    vec![
+        UseCase {
+            name: "LookupEntry",
+            actor: "NetworkProcessor",
+            goal: "read a table word with fixed two-cycle latency",
+        },
+        UseCase {
+            name: "UpdateEntry",
+            actor: "ControlPlane",
+            goal: "write a table word, optionally byte-masked",
+        },
+        UseCase {
+            name: "ConcurrentAccess",
+            actor: "NetworkProcessor",
+            goal: "issue a read and a write in the same clock cycle",
+        },
+        UseCase {
+            name: "IntegrateAsIp",
+            actor: "SocIntegrator",
+            goal: "instantiate the verified block inside a larger SoC",
+        },
+        UseCase {
+            name: "ValidateDevice",
+            actor: "VerificationEngineer",
+            goal: "use the block as a verification unit against an LA-1 compatible device",
+        },
+    ]
+}
+
+/// Renders the use cases as indented text.
+pub fn render_use_cases(cases: &[UseCase]) -> String {
+    let mut out = String::from("use cases: LA-1 Interface IP\n");
+    for c in cases {
+        out.push_str(&format!("  ({}) {} — {}\n", c.actor, c.name, c.goal));
+    }
+    out
+}

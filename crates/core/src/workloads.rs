@@ -1,0 +1,288 @@
+//! Workload generators: the traffic the paper's motivating applications
+//! put through a look-aside interface.
+//!
+//! The introduction motivates LA-1 with "packet forwarding, packet
+//! classification, admission control, and security" on IPv6 systems; we
+//! provide a generic random read/write mix plus a packet-classification
+//! generator that hashes synthetic flow 5-tuples into table lookups.
+
+use crate::spec::{BankOp, LaConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-cycle stimulus stream (at most one read and one write each
+/// cycle — the single address bus allows no more).
+pub trait Workload {
+    /// The operations for the next cycle.
+    fn next_cycle(&mut self) -> Vec<BankOp>;
+}
+
+/// A seeded random mix of reads, writes and idle cycles.
+///
+/// ```
+/// use la1_core::{spec::LaConfig, workloads::{RandomMix, Workload}};
+/// let mut w = RandomMix::new(&LaConfig::new(2), 42, 0.6, 0.3);
+/// let ops = w.next_cycle();
+/// assert!(ops.len() <= 2);
+/// ```
+#[derive(Debug)]
+pub struct RandomMix {
+    rng: StdRng,
+    banks: u32,
+    words: u64,
+    byte_enables: u32,
+    read_prob: f64,
+    write_prob: f64,
+}
+
+impl RandomMix {
+    /// Creates a generator issuing a read with probability `read_prob`
+    /// and (independently) a write with probability `write_prob` each
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn new(config: &LaConfig, seed: u64, read_prob: f64, write_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&read_prob));
+        assert!((0.0..=1.0).contains(&write_prob));
+        RandomMix {
+            rng: StdRng::seed_from_u64(seed),
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            byte_enables: config.byte_enables(),
+            read_prob,
+            write_prob,
+        }
+    }
+}
+
+impl Workload for RandomMix {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        let mut ops = Vec::new();
+        if self.rng.gen_bool(self.read_prob) {
+            let bank = self.rng.gen_range(0..self.banks);
+            let addr = self.rng.gen_range(0..self.words);
+            ops.push(BankOp::read(bank, addr));
+        }
+        if self.rng.gen_bool(self.write_prob) {
+            let bank = self.rng.gen_range(0..self.banks);
+            let addr = self.rng.gen_range(0..self.words);
+            let data = self.rng.gen::<u64>();
+            // mostly full-word writes, sometimes partial (byte control)
+            let byte_en = if self.rng.gen_bool(0.8) {
+                (1 << self.byte_enables) - 1
+            } else {
+                self.rng.gen_range(1..(1u32 << self.byte_enables))
+            };
+            ops.push(BankOp::write(bank, addr, data, byte_en));
+        }
+        ops
+    }
+}
+
+/// A synthetic IPv6 flow 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowTuple {
+    /// Source address (folded to 64 bits).
+    pub src: u64,
+    /// Destination address (folded to 64 bits).
+    pub dst: u64,
+    /// Source port.
+    pub sport: u16,
+    /// Destination port.
+    pub dport: u16,
+    /// Next-header / protocol.
+    pub proto: u8,
+}
+
+impl FlowTuple {
+    /// A deterministic hash of the tuple (FNV-1a over the fields).
+    pub fn hash(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.src);
+        mix(self.dst);
+        mix(self.sport as u64);
+        mix(self.dport as u64);
+        mix(self.proto as u64);
+        h
+    }
+}
+
+/// Packet-classification traffic: each arriving packet's flow tuple is
+/// hashed into a classification-table address; table updates (route
+/// changes / flow insertions) are interleaved at a configurable rate.
+///
+/// This exercises the same code path a real NPE would: mostly reads
+/// against the look-aside table with occasional control-plane writes.
+#[derive(Debug)]
+pub struct PacketLookup {
+    rng: StdRng,
+    banks: u32,
+    words: u64,
+    byte_enables: u32,
+    /// probability a cycle carries a packet (lookup)
+    packet_rate: f64,
+    /// probability a cycle carries a table update
+    update_rate: f64,
+    /// a small pool of hot flows (temporal locality)
+    flows: Vec<FlowTuple>,
+}
+
+impl PacketLookup {
+    /// Creates the generator with `flow_pool` distinct flows.
+    pub fn new(
+        config: &LaConfig,
+        seed: u64,
+        packet_rate: f64,
+        update_rate: f64,
+        flow_pool: usize,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = (0..flow_pool.max(1))
+            .map(|_| FlowTuple {
+                src: rng.gen(),
+                dst: rng.gen(),
+                sport: rng.gen(),
+                dport: rng.gen(),
+                proto: if rng.gen_bool(0.7) { 6 } else { 17 },
+            })
+            .collect();
+        PacketLookup {
+            rng,
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            byte_enables: config.byte_enables(),
+            packet_rate,
+            update_rate,
+            flows,
+        }
+    }
+
+    /// The table address a flow maps to: the hash is striped across
+    /// banks (bank = hash high bits, word = hash low bits).
+    pub fn table_address(&self, flow: &FlowTuple) -> (u32, u64) {
+        let h = flow.hash();
+        let bank = (h >> 56) as u32 % self.banks;
+        let word = h % self.words;
+        (bank, word)
+    }
+}
+
+impl Workload for PacketLookup {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        let mut ops = Vec::new();
+        if self.rng.gen_bool(self.packet_rate) {
+            let idx = self.rng.gen_range(0..self.flows.len());
+            let flow = self.flows[idx];
+            let (bank, word) = self.table_address(&flow);
+            ops.push(BankOp::read(bank, word));
+        }
+        if self.rng.gen_bool(self.update_rate) {
+            // control-plane update: insert/refresh a classification entry
+            let idx = self.rng.gen_range(0..self.flows.len());
+            let flow = self.flows[idx];
+            let (bank, word) = self.table_address(&flow);
+            let action = self.rng.gen::<u32>() as u64; // next-hop / class id
+            ops.push(BankOp::write(
+                bank,
+                word,
+                flow.hash() ^ action,
+                (1 << self.byte_enables) - 1,
+            ));
+        }
+        ops
+    }
+}
+
+/// A protocol-respecting lookup stream for burst configurations: reads
+/// are spaced `burst_len` cycles apart (the LA-1B output bus carries a
+/// burst for that long), with writes filling the idle cycles.
+#[derive(Debug)]
+pub struct BurstLookup {
+    rng: StdRng,
+    banks: u32,
+    words: u64,
+    byte_enables: u32,
+    burst_len: u64,
+    cycle: u64,
+    last_read: Option<u64>,
+}
+
+impl BurstLookup {
+    /// Creates the generator for `config` (works for burst length 1 as
+    /// well, where it degenerates to back-to-back reads).
+    pub fn new(config: &LaConfig, seed: u64) -> Self {
+        BurstLookup {
+            rng: StdRng::seed_from_u64(seed),
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            byte_enables: config.byte_enables(),
+            burst_len: config.burst_len as u64,
+            cycle: 0,
+            last_read: None,
+        }
+    }
+}
+
+impl Workload for BurstLookup {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        let mut ops = Vec::new();
+        let read_ok = self
+            .last_read
+            .is_none_or(|c| self.cycle - c >= self.burst_len);
+        if read_ok {
+            let bank = self.rng.gen_range(0..self.banks);
+            // keep the auto-incremented second beat in range
+            let addr = self.rng.gen_range(0..self.words.saturating_sub(1).max(1));
+            ops.push(BankOp::read(bank, addr));
+            self.last_read = Some(self.cycle);
+        } else if self.rng.gen_bool(0.5) {
+            let bank = self.rng.gen_range(0..self.banks);
+            let addr = self.rng.gen_range(0..self.words);
+            ops.push(BankOp::write(
+                bank,
+                addr,
+                self.rng.gen(),
+                (1 << self.byte_enables) - 1,
+            ));
+        }
+        self.cycle += 1;
+        ops
+    }
+}
+
+/// A deterministic back-to-back read burst sweeping all addresses of
+/// all banks — the worst case for output-bus occupancy.
+#[derive(Debug)]
+pub struct ReadBurst {
+    banks: u32,
+    words: u64,
+    next: u64,
+}
+
+impl ReadBurst {
+    /// Creates the sweep generator.
+    pub fn new(config: &LaConfig) -> Self {
+        ReadBurst {
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            next: 0,
+        }
+    }
+}
+
+impl Workload for ReadBurst {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        let total = self.banks as u64 * self.words;
+        let i = self.next % total;
+        self.next += 1;
+        vec![BankOp::read((i / self.words) as u32, i % self.words)]
+    }
+}

@@ -1,0 +1,90 @@
+//! Clock generators, including the LA-1 master clock pair.
+
+use crate::kernel::{Event, SimTime, Simulator};
+use crate::signal::Signal;
+
+/// A free-running clock driving a Boolean [`Signal`].
+///
+/// The clock toggles every `period / 2` time units, with the first edge
+/// at `offset`. Edge events are the underlying signal's value-changed
+/// event; use [`Clock::posedge_of`]-style filtering in the process body
+/// (SystemC method processes do the same).
+#[derive(Debug, Clone)]
+pub struct Clock {
+    signal: Signal<bool>,
+    period: SimTime,
+}
+
+impl Clock {
+    /// Creates a clock named `name` with the given period (in time
+    /// units), initial value, and time of the first toggle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or odd.
+    pub fn new(
+        sim: &mut Simulator,
+        name: impl Into<String>,
+        period: SimTime,
+        start_high: bool,
+        offset: SimTime,
+    ) -> Clock {
+        assert!(period >= 2 && period.is_multiple_of(2), "clock period must be even and nonzero");
+        let signal = sim.signal(name, start_high);
+        let tick = sim.event();
+        {
+            let signal = signal.clone();
+            let shared = std::rc::Rc::clone(&sim.shared);
+            let half = period / 2;
+            let mut first = true;
+            sim.process("clock_gen", &[tick], move || {
+                if first {
+                    // initialization run: schedule the first edge only
+                    first = false;
+                    shared.borrow_mut().notify_at(tick, offset);
+                    return;
+                }
+                signal.write(!signal.read());
+                shared.borrow_mut().notify_at(tick, half);
+            });
+        }
+        Clock { signal, period }
+    }
+
+    /// Creates the LA-1 master clock pair: `K` and `K#`, ideally 180°
+    /// out of phase (the second clock is the complement of the first).
+    ///
+    /// Both clocks have the given period; `K` starts low and rises at
+    /// `period / 2`, `K#` is its complement.
+    pub fn pair(
+        sim: &mut Simulator,
+        name_k: impl Into<String>,
+        name_kb: impl Into<String>,
+        period: SimTime,
+    ) -> (Clock, Clock) {
+        let half = period / 2;
+        let k = Clock::new(sim, name_k, period, false, half);
+        let kb = Clock::new(sim, name_kb, period, true, half);
+        (k, kb)
+    }
+
+    /// The Boolean signal carrying the clock waveform.
+    pub fn signal(&self) -> &Signal<bool> {
+        &self.signal
+    }
+
+    /// The clock's value-changed event (fires on both edges).
+    pub fn edge_event(&self) -> Event {
+        self.signal.event()
+    }
+
+    /// Current clock level.
+    pub fn is_high(&self) -> bool {
+        self.signal.read()
+    }
+
+    /// The configured period.
+    pub fn period(&self) -> SimTime {
+        self.period
+    }
+}

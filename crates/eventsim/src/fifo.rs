@@ -1,0 +1,105 @@
+//! A bounded FIFO primitive channel (the `sc_fifo` analogue).
+
+use crate::kernel::{Event, Simulator};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+struct FifoInner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+}
+
+/// A bounded FIFO channel with a non-blocking interface.
+///
+/// SystemC's blocking `read`/`write` require thread processes; like the
+/// paper's method-process models, users poll with [`Fifo::nb_read`] /
+/// [`Fifo::nb_write`] and wake on the [`Fifo::data_written_event`] /
+/// [`Fifo::data_read_event`].
+pub struct Fifo<T> {
+    inner: Rc<RefCell<FifoInner<T>>>,
+    written: Event,
+    read: Event,
+    shared: Rc<RefCell<crate::kernel::Shared>>,
+}
+
+impl<T> Clone for Fifo<T> {
+    fn clone(&self) -> Self {
+        Fifo {
+            inner: Rc::clone(&self.inner),
+            written: self.written,
+            read: self.read,
+            shared: Rc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: 'static> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(sim: &mut Simulator, capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        let written = sim.event();
+        let read = sim.event();
+        Fifo {
+            inner: Rc::new(RefCell::new(FifoInner {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+            })),
+            written,
+            read,
+            shared: Rc::clone(&sim.shared),
+        }
+    }
+
+    /// Attempts to enqueue; returns the value back when full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` if the FIFO is full.
+    pub fn nb_write(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue.len() >= inner.capacity {
+            return Err(item);
+        }
+        inner.queue.push_back(item);
+        self.shared.borrow_mut().notify_delta(self.written);
+        Ok(())
+    }
+
+    /// Attempts to dequeue; `None` when empty.
+    pub fn nb_read(&self) -> Option<T> {
+        let mut inner = self.inner.borrow_mut();
+        let item = inner.queue.pop_front()?;
+        self.shared.borrow_mut().notify_delta(self.read);
+        Some(item)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity given at construction.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().capacity
+    }
+
+    /// Event notified (next delta) after each successful write.
+    pub fn data_written_event(&self) -> Event {
+        self.written
+    }
+
+    /// Event notified (next delta) after each successful read.
+    pub fn data_read_event(&self) -> Event {
+        self.read
+    }
+}

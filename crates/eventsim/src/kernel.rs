@@ -1,0 +1,335 @@
+//! The simulation kernel: processes, events, delta cycles and time.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Simulation time in abstract time units (the LA-1 models use one unit
+/// per quarter clock period).
+pub type SimTime = u64;
+
+/// Identifier of a kernel event.
+///
+/// Events connect value changes (or explicit notifications) to the
+/// processes statically sensitive to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Event(pub(crate) u32);
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a registered process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+/// A signal (or other primitive channel) that requested an update at the
+/// end of the current evaluate phase.
+pub(crate) trait Updatable {
+    /// Applies the pending write; returns the event to fire if the value
+    /// changed.
+    fn apply_update(&self) -> Option<Event>;
+}
+
+/// Kernel state shared with signals/channels (kept separate from the
+/// process table so that processes may write signals while running).
+pub(crate) struct Shared {
+    pub(crate) time: SimTime,
+    next_event: u32,
+    /// processes sensitive to each event
+    sensitivity: Vec<Vec<ProcessId>>,
+    /// channels with pending writes (update phase of the delta cycle)
+    pub(crate) update_queue: Vec<Rc<dyn Updatable>>,
+    /// events notified for the next delta
+    delta_notified: Vec<Event>,
+    /// timed notifications: (time, seq for stable order, event)
+    timed: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    timed_seq: u64,
+    /// total evaluate-phase process activations (a load statistic)
+    pub(crate) activations: u64,
+    /// total delta cycles executed
+    pub(crate) deltas: u64,
+}
+
+impl Shared {
+    pub(crate) fn new_event(&mut self) -> Event {
+        let e = Event(self.next_event);
+        self.next_event += 1;
+        self.sensitivity.push(Vec::new());
+        e
+    }
+
+    pub(crate) fn notify_delta(&mut self, event: Event) {
+        self.delta_notified.push(event);
+    }
+
+    pub(crate) fn notify_at(&mut self, event: Event, delay: SimTime) {
+        self.timed_seq += 1;
+        self.timed
+            .push(Reverse((self.time + delay, self.timed_seq, event)));
+    }
+}
+
+type ProcessFn = Box<dyn FnMut()>;
+
+struct Process {
+    name: String,
+    f: ProcessFn,
+    /// whether the process is already in the runnable set (avoid dups)
+    queued: bool,
+}
+
+/// The SystemC-like simulator.
+///
+/// Create signals and processes, then advance time with
+/// [`Simulator::run_deltas`] (settle the current instant),
+/// [`Simulator::run_until`], or [`Simulator::run_for`].
+pub struct Simulator {
+    pub(crate) shared: Rc<RefCell<Shared>>,
+    processes: Vec<Process>,
+    runnable: Vec<ProcessId>,
+    /// processes never run yet (SystemC runs every method process once
+    /// at the start of simulation)
+    initialized: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("time", &self.time())
+            .field("processes", &self.processes.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time 0.
+    pub fn new() -> Self {
+        Simulator {
+            shared: Rc::new(RefCell::new(Shared {
+                time: 0,
+                next_event: 0,
+                sensitivity: Vec::new(),
+                update_queue: Vec::new(),
+                delta_notified: Vec::new(),
+                timed: BinaryHeap::new(),
+                timed_seq: 0,
+                activations: 0,
+                deltas: 0,
+            })),
+            processes: Vec::new(),
+            runnable: Vec::new(),
+            initialized: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.shared.borrow().time
+    }
+
+    /// Total process activations so far (a simulator-load statistic used
+    /// by the Table 3 harness).
+    pub fn activations(&self) -> u64 {
+        self.shared.borrow().activations
+    }
+
+    /// Total delta cycles executed so far.
+    pub fn delta_cycles(&self) -> u64 {
+        self.shared.borrow().deltas
+    }
+
+    /// Creates a fresh event.
+    pub fn event(&mut self) -> Event {
+        self.shared.borrow_mut().new_event()
+    }
+
+    /// Notifies `event` one delta cycle from now.
+    pub fn notify(&mut self, event: Event) {
+        self.shared.borrow_mut().notify_delta(event);
+    }
+
+    /// Notifies `event` after `delay` time units.
+    pub fn notify_after(&mut self, event: Event, delay: SimTime) {
+        self.shared.borrow_mut().notify_at(event, delay);
+    }
+
+    /// Registers a method process statically sensitive to `sensitivity`.
+    ///
+    /// Like a SystemC `SC_METHOD`, the process also runs once during
+    /// initialization (the first `run_*` call).
+    pub fn process<F: FnMut() + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        sensitivity: &[Event],
+        f: F,
+    ) -> ProcessId {
+        let id = ProcessId(self.processes.len() as u32);
+        self.processes.push(Process {
+            name: name.into(),
+            f: Box::new(f),
+            queued: false,
+        });
+        let mut shared = self.shared.borrow_mut();
+        for &e in sensitivity {
+            shared.sensitivity[e.0 as usize].push(id);
+        }
+        id
+    }
+
+    /// The name of a registered process.
+    pub fn process_name(&self, id: ProcessId) -> &str {
+        &self.processes[id.0 as usize].name
+    }
+
+    fn make_runnable(&mut self, id: ProcessId) {
+        let p = &mut self.processes[id.0 as usize];
+        if !p.queued {
+            p.queued = true;
+            self.runnable.push(id);
+        }
+    }
+
+    fn initialize(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for i in 0..self.processes.len() {
+            self.make_runnable(ProcessId(i as u32));
+        }
+    }
+
+    /// Runs one delta cycle: evaluate all runnable processes, apply
+    /// signal updates, then schedule processes woken by the resulting
+    /// (and explicitly delta-notified) events.
+    ///
+    /// Returns `true` if any process ran.
+    fn delta(&mut self) -> bool {
+        let has_work = !self.runnable.is_empty() || {
+            let shared = self.shared.borrow();
+            !shared.update_queue.is_empty() || !shared.delta_notified.is_empty()
+        };
+        if !has_work {
+            return false;
+        }
+        self.shared.borrow_mut().deltas += 1;
+        // evaluate phase
+        let run: Vec<ProcessId> = std::mem::take(&mut self.runnable);
+        for id in &run {
+            self.processes[id.0 as usize].queued = false;
+        }
+        for id in run {
+            self.shared.borrow_mut().activations += 1;
+            (self.processes[id.0 as usize].f)();
+        }
+        // update phase
+        let updates: Vec<Rc<dyn Updatable>> =
+            std::mem::take(&mut self.shared.borrow_mut().update_queue);
+        let mut fired: Vec<Event> = Vec::new();
+        for u in updates {
+            if let Some(e) = u.apply_update() {
+                fired.push(e);
+            }
+        }
+        fired.extend(std::mem::take(
+            &mut self.shared.borrow_mut().delta_notified,
+        ));
+        // notify phase
+        for e in fired {
+            let sensitive: Vec<ProcessId> =
+                self.shared.borrow().sensitivity[e.0 as usize].clone();
+            for id in sensitive {
+                self.make_runnable(id);
+            }
+        }
+        true
+    }
+
+    /// Settles the current simulation instant: runs delta cycles until no
+    /// process is runnable. Returns the number of delta cycles executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 10 000 delta cycles in one instant (a combinational
+    /// loop in the model).
+    pub fn run_deltas(&mut self) -> usize {
+        self.initialize();
+        let mut n = 0;
+        while self.delta() {
+            n += 1;
+            assert!(
+                n < 10_000,
+                "combinational loop: instant did not settle within 10000 deltas"
+            );
+        }
+        n
+    }
+
+    /// Advances to the next timed notification, if any, and settles that
+    /// instant. Returns the new time, or `None` when no timed events
+    /// remain.
+    pub fn step_time(&mut self) -> Option<SimTime> {
+        self.run_deltas();
+        let (t, events) = {
+            let mut shared = self.shared.borrow_mut();
+            let &Reverse((t, _, _)) = shared.timed.peek()?;
+            let mut events = Vec::new();
+            while let Some(&Reverse((t2, _, e))) = shared.timed.peek() {
+                if t2 != t {
+                    break;
+                }
+                shared.timed.pop();
+                events.push(e);
+            }
+            shared.time = t;
+            (t, events)
+        };
+        for e in events {
+            let sensitive: Vec<ProcessId> =
+                self.shared.borrow().sensitivity[e.0 as usize].clone();
+            for id in sensitive {
+                self.make_runnable(id);
+            }
+        }
+        self.run_deltas();
+        Some(t)
+    }
+
+    /// Runs until simulation time reaches `until` (inclusive of events at
+    /// `until`).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.run_deltas();
+        loop {
+            let next = {
+                let shared = self.shared.borrow();
+                shared.timed.peek().map(|&Reverse((t, _, _))| t)
+            };
+            match next {
+                Some(t) if t <= until => {
+                    self.step_time();
+                }
+                _ => break,
+            }
+        }
+        if self.time() < until {
+            self.shared.borrow_mut().time = until;
+        }
+    }
+
+    /// Runs for `duration` time units from the current time.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let until = self.time() + duration;
+        self.run_until(until);
+    }
+}

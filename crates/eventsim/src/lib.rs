@@ -1,0 +1,61 @@
+//! # la1-eventsim — a SystemC-like discrete-event simulation kernel
+//!
+//! This crate stands in for the OSCI SystemC 2.0 kernel used in
+//! *On the Design and Verification Methodology of the Look-Aside Interface*
+//! (DATE 2004). It provides the pieces of the SystemC core language the
+//! paper's LA-1 SystemC model needs:
+//!
+//! * an event-driven simulator with **delta cycles**
+//!   ([`Simulator`]): evaluate → update → notify, repeated until no
+//!   activity remains in the current instant, then time advances;
+//! * [`Signal`]s with SystemC `sc_signal` semantics — reads see the
+//!   value from the previous delta, writes take effect in the update
+//!   phase and fire a *value-changed* event;
+//! * method **processes** with static sensitivity lists
+//!   ([`Simulator::process`]), run once at elaboration like SystemC
+//!   method processes;
+//! * [`Event`]s with delta and timed notification;
+//! * [`Clock`]s, including the 180°-out-of-phase master-clock pair
+//!   (`K`/`K#`) the LA-1 interface requires ([`Clock::pair`]);
+//! * primitive channels: a bounded [`Fifo`], a counting [`Semaphore`]
+//!   and a [`Mutex`] (non-blocking interfaces with wake-up events, as
+//!   method processes cannot block);
+//! * a value [`Trace`] recorder for waveform-style inspection.
+//!
+//! The kernel is deliberately single-threaded and deterministic:
+//! verification results must be reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use la1_eventsim::Simulator;
+//!
+//! let mut sim = Simulator::new();
+//! let a = sim.signal("a", 0u32);
+//! let b = sim.signal("b", 0u32);
+//! {
+//!     let (a, b) = (a.clone(), b.clone());
+//!     let sens = [a.event()];
+//!     sim.process("double", &sens, move || b.write(a.read() * 2));
+//! }
+//! a.write(21);
+//! sim.run_deltas();
+//! assert_eq!(b.read(), 42);
+//! ```
+
+mod clock;
+mod fifo;
+mod kernel;
+mod signal;
+mod sync;
+mod trace;
+
+pub use clock::Clock;
+pub use fifo::Fifo;
+pub use kernel::{Event, ProcessId, SimTime, Simulator};
+pub use signal::Signal;
+pub use sync::{Mutex, Semaphore};
+pub use trace::Trace;
+
+#[cfg(test)]
+mod tests;

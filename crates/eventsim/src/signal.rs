@@ -1,0 +1,135 @@
+//! `sc_signal`-style signals with delta-cycle update semantics.
+
+use crate::kernel::{Event, Shared, Simulator, Updatable};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+struct SigInner<T> {
+    name: String,
+    current: T,
+    next: Option<T>,
+    update_queued: bool,
+}
+
+struct SigCore<T> {
+    inner: RefCell<SigInner<T>>,
+    event: Event,
+}
+
+impl<T: Clone + PartialEq + 'static> Updatable for SigCore<T> {
+    fn apply_update(&self) -> Option<Event> {
+        let mut inner = self.inner.borrow_mut();
+        inner.update_queued = false;
+        let next = inner.next.take()?;
+        if next != inner.current {
+            inner.current = next;
+            Some(self.event)
+        } else {
+            None
+        }
+    }
+}
+
+/// A signal carrying values of type `T` with SystemC semantics: reads
+/// observe the value as of the previous delta cycle; writes become
+/// visible in the update phase and fire the signal's value-changed
+/// [`Event`].
+///
+/// Signals are cheaply clonable handles; all clones refer to the same
+/// underlying channel.
+pub struct Signal<T> {
+    core: Rc<SigCore<T>>,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl<T> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        Signal {
+            core: Rc::clone(&self.core),
+            shared: Rc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.core.inner.borrow();
+        f.debug_struct("Signal")
+            .field("name", &inner.name)
+            .field("value", &inner.current)
+            .finish()
+    }
+}
+
+impl<T: Clone + PartialEq + 'static> Signal<T> {
+    /// The current (stable) value.
+    pub fn read(&self) -> T {
+        self.core.inner.borrow().current.clone()
+    }
+
+    /// Schedules a write; it takes effect in the coming update phase.
+    /// Writing the current value with no update pending is a no-op
+    /// (observably identical, since an equal write fires no event).
+    pub fn write(&self, value: T) {
+        let mut inner = self.core.inner.borrow_mut();
+        if inner.next.is_none() && !inner.update_queued && inner.current == value {
+            return;
+        }
+        inner.next = Some(value);
+        if !inner.update_queued {
+            inner.update_queued = true;
+            drop(inner);
+            self.shared
+                .borrow_mut()
+                .update_queue
+                .push(Rc::clone(&self.core) as Rc<dyn Updatable>);
+        }
+    }
+
+    /// The value-changed event, for process sensitivity lists.
+    pub fn event(&self) -> Event {
+        self.core.event
+    }
+
+    /// The signal's name.
+    pub fn name(&self) -> String {
+        self.core.inner.borrow().name.clone()
+    }
+
+    /// Sets the value immediately, without a delta cycle. Only for test
+    /// setup and reset sequences — not for use inside processes.
+    pub fn force(&self, value: T) {
+        self.core.inner.borrow_mut().current = value;
+    }
+}
+
+impl Simulator {
+    /// Creates a named signal with an initial value.
+    ///
+    /// ```
+    /// # use la1_eventsim::Simulator;
+    /// let mut sim = Simulator::new();
+    /// let s = sim.signal("ready", false);
+    /// assert!(!s.read());
+    /// ```
+    pub fn signal<T: Clone + PartialEq + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        init: T,
+    ) -> Signal<T> {
+        let event = self.event();
+        Signal {
+            core: Rc::new(SigCore {
+                inner: RefCell::new(SigInner {
+                    name: name.into(),
+                    current: init,
+                    next: None,
+                    update_queued: false,
+                }),
+                event,
+            }),
+            shared: Rc::clone(&self.shared),
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Semaphore and mutex primitive channels (`sc_semaphore` /
+//! `sc_mutex` analogues).
+//!
+//! Like the FIFO, these expose SystemC's *non-blocking* interfaces
+//! (`trywait` / `trylock`) plus wake-up events, since method processes
+//! cannot block.
+
+use crate::kernel::{Event, Simulator};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A counting semaphore channel.
+///
+/// ```
+/// use la1_eventsim::{Semaphore, Simulator};
+/// let mut sim = Simulator::new();
+/// let sem = Semaphore::new(&mut sim, 2);
+/// assert!(sem.trywait());
+/// assert!(sem.trywait());
+/// assert!(!sem.trywait());
+/// sem.post();
+/// assert_eq!(sem.value(), 1);
+/// ```
+pub struct Semaphore {
+    value: Rc<RefCell<i64>>,
+    posted: Event,
+    shared: Rc<RefCell<crate::kernel::Shared>>,
+}
+
+impl Clone for Semaphore {
+    fn clone(&self) -> Self {
+        Semaphore {
+            value: Rc::clone(&self.value),
+            posted: self.posted,
+            shared: Rc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("value", &*self.value.borrow())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// Creates a semaphore with the given initial count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is negative.
+    pub fn new(sim: &mut Simulator, initial: i64) -> Self {
+        assert!(initial >= 0, "semaphore count must be non-negative");
+        let posted = sim.event();
+        Semaphore {
+            value: Rc::new(RefCell::new(initial)),
+            posted,
+            shared: Rc::clone(&sim.shared),
+        }
+    }
+
+    /// Attempts to decrement; returns `false` when the count is zero.
+    pub fn trywait(&self) -> bool {
+        let mut v = self.value.borrow_mut();
+        if *v > 0 {
+            *v -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Increments the count and notifies waiters (next delta).
+    pub fn post(&self) {
+        *self.value.borrow_mut() += 1;
+        self.shared.borrow_mut().notify_delta(self.posted);
+    }
+
+    /// The current count.
+    pub fn value(&self) -> i64 {
+        *self.value.borrow()
+    }
+
+    /// Event notified after each [`Semaphore::post`].
+    pub fn posted_event(&self) -> Event {
+        self.posted
+    }
+}
+
+/// A mutex channel with owner tracking.
+///
+/// ```
+/// use la1_eventsim::{Mutex, Simulator};
+/// let mut sim = Simulator::new();
+/// let m = Mutex::new(&mut sim);
+/// assert!(m.trylock(1));
+/// assert!(!m.trylock(2), "held by process 1");
+/// assert!(m.unlock(1));
+/// assert!(m.trylock(2));
+/// ```
+pub struct Mutex {
+    owner: Rc<RefCell<Option<u64>>>,
+    released: Event,
+    shared: Rc<RefCell<crate::kernel::Shared>>,
+}
+
+impl Clone for Mutex {
+    fn clone(&self) -> Self {
+        Mutex {
+            owner: Rc::clone(&self.owner),
+            released: self.released,
+            shared: Rc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for Mutex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("owner", &*self.owner.borrow())
+            .finish()
+    }
+}
+
+impl Mutex {
+    /// Creates an unlocked mutex.
+    pub fn new(sim: &mut Simulator) -> Self {
+        let released = sim.event();
+        Mutex {
+            owner: Rc::new(RefCell::new(None)),
+            released,
+            shared: Rc::clone(&sim.shared),
+        }
+    }
+
+    /// Attempts to take the lock for `owner` (any caller-chosen id);
+    /// re-locking by the current owner succeeds (recursive style).
+    pub fn trylock(&self, owner: u64) -> bool {
+        let mut o = self.owner.borrow_mut();
+        match *o {
+            None => {
+                *o = Some(owner);
+                true
+            }
+            Some(cur) => cur == owner,
+        }
+    }
+
+    /// Releases the lock if `owner` holds it; notifies waiters.
+    pub fn unlock(&self, owner: u64) -> bool {
+        let mut o = self.owner.borrow_mut();
+        if *o == Some(owner) {
+            *o = None;
+            drop(o);
+            self.shared.borrow_mut().notify_delta(self.released);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current owner, if locked.
+    pub fn owner(&self) -> Option<u64> {
+        *self.owner.borrow()
+    }
+
+    /// Event notified after each successful [`Mutex::unlock`].
+    pub fn released_event(&self) -> Event {
+        self.released
+    }
+}
+
+#[cfg(test)]
+mod sync_tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn semaphore_counts() {
+        let mut sim = Simulator::new();
+        let s = Semaphore::new(&mut sim, 1);
+        assert!(s.trywait());
+        assert!(!s.trywait());
+        s.post();
+        s.post();
+        assert_eq!(s.value(), 2);
+        assert!(s.trywait());
+        assert!(s.trywait());
+        assert!(!s.trywait());
+    }
+
+    #[test]
+    fn semaphore_post_wakes_process() {
+        let mut sim = Simulator::new();
+        let s = Semaphore::new(&mut sim, 0);
+        let got = Rc::new(RefCell::new(0));
+        {
+            let got = Rc::clone(&got);
+            let s2 = s.clone();
+            let sens = [s.posted_event()];
+            sim.process("waiter", &sens, move || {
+                while s2.trywait() {
+                    *got.borrow_mut() += 1;
+                }
+            });
+        }
+        sim.run_deltas();
+        s.post();
+        s.post();
+        sim.run_deltas();
+        assert_eq!(*got.borrow(), 2);
+    }
+
+    #[test]
+    fn mutex_exclusive_ownership() {
+        let mut sim = Simulator::new();
+        let m = Mutex::new(&mut sim);
+        assert_eq!(m.owner(), None);
+        assert!(m.trylock(7));
+        assert!(m.trylock(7), "re-entrant for the same owner");
+        assert!(!m.trylock(8));
+        assert!(!m.unlock(8), "only the owner unlocks");
+        assert!(m.unlock(7));
+        assert_eq!(m.owner(), None);
+        assert!(m.trylock(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_semaphore_rejected() {
+        let mut sim = Simulator::new();
+        let _ = Semaphore::new(&mut sim, -1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Unit and property tests for the event-driven kernel.
+
+use crate::*;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn signal_read_write_delta_semantics() {
+    let mut sim = Simulator::new();
+    let s = sim.signal("s", 1u32);
+    s.write(2);
+    // not yet visible: update phase hasn't run
+    assert_eq!(s.read(), 1);
+    sim.run_deltas();
+    assert_eq!(s.read(), 2);
+}
+
+#[test]
+fn last_write_wins_within_a_delta() {
+    let mut sim = Simulator::new();
+    let s = sim.signal("s", 0u32);
+    s.write(5);
+    s.write(9);
+    sim.run_deltas();
+    assert_eq!(s.read(), 9);
+}
+
+#[test]
+fn write_of_same_value_fires_no_event() {
+    let mut sim = Simulator::new();
+    let s = sim.signal("s", 3u32);
+    let count = Rc::new(RefCell::new(0));
+    {
+        let count = Rc::clone(&count);
+        let sens = [s.event()];
+        sim.process("watch", &sens, move || *count.borrow_mut() += 1);
+    }
+    sim.run_deltas(); // initialization run counts once
+    assert_eq!(*count.borrow(), 1);
+    s.write(3); // unchanged: no event
+    sim.run_deltas();
+    assert_eq!(*count.borrow(), 1);
+    s.write(4);
+    sim.run_deltas();
+    assert_eq!(*count.borrow(), 2);
+}
+
+#[test]
+fn processes_chain_across_deltas() {
+    let mut sim = Simulator::new();
+    let a = sim.signal("a", 0u32);
+    let b = sim.signal("b", 0u32);
+    let c = sim.signal("c", 0u32);
+    {
+        let (a, b) = (a.clone(), b.clone());
+        let sens = [a.event()];
+        sim.process("p1", &sens, move || b.write(a.read() + 1));
+    }
+    {
+        let (b, c) = (b.clone(), c.clone());
+        let sens = [b.event()];
+        sim.process("p2", &sens, move || c.write(b.read() * 10));
+    }
+    a.write(4);
+    let deltas = sim.run_deltas();
+    assert_eq!(b.read(), 5);
+    assert_eq!(c.read(), 50);
+    assert!(deltas >= 2, "chained evaluation needs at least two deltas");
+}
+
+#[test]
+fn zero_time_feedback_is_detected() {
+    let mut sim = Simulator::new();
+    let s = sim.signal("osc", false);
+    {
+        let s2 = s.clone();
+        let sens = [s.event()];
+        sim.process("osc", &sens, move || s2.write(!s2.read()));
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run_deltas();
+    }));
+    assert!(result.is_err(), "combinational loop must be detected");
+}
+
+#[test]
+fn timed_notification_advances_time() {
+    let mut sim = Simulator::new();
+    let e = sim.event();
+    let hits = Rc::new(RefCell::new(Vec::new()));
+    {
+        let hits = Rc::clone(&hits);
+        let shared = Rc::clone(&sim.shared);
+        sim.process("timed", &[e], move || {
+            hits.borrow_mut().push(shared.borrow().time);
+        });
+    }
+    sim.notify_after(e, 10);
+    sim.notify_after(e, 25);
+    sim.run_until(30);
+    // the initialization run at t=0 plus the two timed hits
+    assert_eq!(*hits.borrow(), vec![0, 10, 25]);
+    assert_eq!(sim.time(), 30);
+}
+
+#[test]
+fn step_time_returns_each_instant() {
+    let mut sim = Simulator::new();
+    let e = sim.event();
+    sim.process("noop", &[e], || {});
+    sim.notify_after(e, 5);
+    sim.notify_after(e, 9);
+    assert_eq!(sim.step_time(), Some(5));
+    assert_eq!(sim.step_time(), Some(9));
+    assert_eq!(sim.step_time(), None);
+}
+
+#[test]
+fn clock_toggles_with_period() {
+    let mut sim = Simulator::new();
+    let clk = Clock::new(&mut sim, "clk", 10, false, 5);
+    let edges = Rc::new(RefCell::new(Vec::new()));
+    {
+        let edges = Rc::clone(&edges);
+        let c = clk.signal().clone();
+        let shared = Rc::clone(&sim.shared);
+        let sens = [clk.edge_event()];
+        sim.process("watch", &sens, move || {
+            edges.borrow_mut().push((shared.borrow().time, c.read()));
+        });
+    }
+    sim.run_until(30);
+    // first edge at 5 (rise), then every 5: 10 fall, 15 rise, ...
+    assert_eq!(
+        *edges.borrow(),
+        vec![
+            (0, false), // initialization observation
+            (5, true),
+            (10, false),
+            (15, true),
+            (20, false),
+            (25, true),
+            (30, false),
+        ]
+    );
+    assert_eq!(clk.period(), 10);
+}
+
+#[test]
+fn clock_pair_is_complementary() {
+    let mut sim = Simulator::new();
+    let (k, kb) = Clock::pair(&mut sim, "K", "K#", 8);
+    for _ in 0..20 {
+        if sim.step_time().is_none() {
+            break;
+        }
+        assert_ne!(k.is_high(), kb.is_high(), "K and K# must be complementary");
+        if sim.time() > 100 {
+            break;
+        }
+    }
+    assert!(sim.time() >= 40, "clocks keep running");
+}
+
+#[test]
+fn fifo_basics() {
+    let mut sim = Simulator::new();
+    let f: Fifo<u32> = Fifo::new(&mut sim, 2);
+    assert!(f.is_empty());
+    assert_eq!(f.capacity(), 2);
+    f.nb_write(1).unwrap();
+    f.nb_write(2).unwrap();
+    assert_eq!(f.nb_write(3), Err(3));
+    assert_eq!(f.len(), 2);
+    assert_eq!(f.nb_read(), Some(1));
+    assert_eq!(f.nb_read(), Some(2));
+    assert_eq!(f.nb_read(), None);
+}
+
+#[test]
+fn fifo_events_wake_consumers() {
+    let mut sim = Simulator::new();
+    let f: Fifo<u8> = Fifo::new(&mut sim, 4);
+    let got = Rc::new(RefCell::new(Vec::new()));
+    {
+        let got = Rc::clone(&got);
+        let f2 = f.clone();
+        let sens = [f.data_written_event()];
+        sim.process("consumer", &sens, move || {
+            while let Some(v) = f2.nb_read() {
+                got.borrow_mut().push(v);
+            }
+        });
+    }
+    sim.run_deltas();
+    f.nb_write(7).unwrap();
+    f.nb_write(8).unwrap();
+    sim.run_deltas();
+    assert_eq!(*got.borrow(), vec![7, 8]);
+}
+
+#[test]
+fn trace_records_changes() {
+    let mut sim = Simulator::new();
+    let s = sim.signal("sig", 0u8);
+    let t = Trace::new();
+    t.watch(&mut sim, &s);
+    s.write(1);
+    sim.run_deltas();
+    s.write(2);
+    sim.run_deltas();
+    let names: Vec<String> = t.samples().iter().map(|(_, n, _)| n.clone()).collect();
+    assert!(names.iter().all(|n| n == "sig"));
+    assert!(t.render().contains("sig=2"));
+}
+
+#[test]
+fn activations_counted() {
+    let mut sim = Simulator::new();
+    let s = sim.signal("s", 0u32);
+    {
+        let sens = [s.event()];
+        sim.process("p", &sens, move || {});
+    }
+    sim.run_deltas();
+    let a0 = sim.activations();
+    s.write(1);
+    sim.run_deltas();
+    assert_eq!(sim.activations(), a0 + 1);
+    assert!(sim.delta_cycles() >= 2);
+}
+
+proptest! {
+    #[test]
+    fn signal_holds_any_sequence(values in prop::collection::vec(any::<u16>(), 1..30)) {
+        let mut sim = Simulator::new();
+        let s = sim.signal("s", 0u16);
+        for &v in &values {
+            s.write(v);
+            sim.run_deltas();
+            prop_assert_eq!(s.read(), v);
+        }
+    }
+
+    #[test]
+    fn clock_edges_are_periodic(period in (1u64..20).prop_map(|p| p * 2)) {
+        let mut sim = Simulator::new();
+        let clk = Clock::new(&mut sim, "c", period, false, period / 2);
+        let edges = Rc::new(RefCell::new(Vec::new()));
+        {
+            let edges = Rc::clone(&edges);
+            let shared = Rc::clone(&sim.shared);
+            let sens = [clk.edge_event()];
+            sim.process("w", &sens, move || {
+                edges.borrow_mut().push(shared.borrow().time);
+            });
+        }
+        sim.run_until(period * 10);
+        let e = edges.borrow();
+        // drop the initialization observation at t=0
+        let real: Vec<u64> = e.iter().copied().filter(|&t| t > 0).collect();
+        prop_assert!(real.len() >= 2);
+        for w in real.windows(2) {
+            prop_assert_eq!(w[1] - w[0], period / 2);
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_order(items in prop::collection::vec(any::<u8>(), 1..20)) {
+        let mut sim = Simulator::new();
+        let f: Fifo<u8> = Fifo::new(&mut sim, items.len());
+        for &i in &items {
+            f.nb_write(i).unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some(v) = f.nb_read() {
+            out.push(v);
+        }
+        prop_assert_eq!(out, items);
+    }
+}

@@ -1,0 +1,65 @@
+//! Value tracing for waveform-style inspection.
+
+use crate::kernel::{SimTime, Simulator};
+use crate::signal::Signal;
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::rc::Rc;
+
+/// Records `(time, signal, value)` samples as signals change.
+///
+/// ```
+/// use la1_eventsim::{Simulator, Trace};
+/// let mut sim = Simulator::new();
+/// let s = sim.signal("s", 0u8);
+/// let trace = Trace::new();
+/// trace.watch(&mut sim, &s);
+/// s.write(7);
+/// sim.run_deltas();
+/// // the initialization run samples the initial value, then the change
+/// assert_eq!(trace.samples().last().unwrap().2, "7");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    samples: Rc<RefCell<Vec<(SimTime, String, String)>>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts recording changes of `signal`.
+    pub fn watch<T: Clone + PartialEq + Display + 'static>(
+        &self,
+        sim: &mut Simulator,
+        signal: &Signal<T>,
+    ) {
+        let samples = Rc::clone(&self.samples);
+        let sig = signal.clone();
+        let shared = Rc::clone(&sim.shared);
+        let sens = [signal.event()];
+        sim.process(format!("trace:{}", signal.name()), &sens, move || {
+            let t = shared.borrow().time;
+            samples
+                .borrow_mut()
+                .push((t, sig.name(), sig.read().to_string()));
+        });
+    }
+
+    /// The recorded samples, in order.
+    pub fn samples(&self) -> Vec<(SimTime, String, String)> {
+        self.samples.borrow().clone()
+    }
+
+    /// Renders the trace as one `time name=value` line per sample.
+    pub fn render(&self) -> String {
+        self.samples
+            .borrow()
+            .iter()
+            .map(|(t, n, v)| format!("{t:>6} {n}={v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

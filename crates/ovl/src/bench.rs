@@ -1,0 +1,449 @@
+//! The bench: monitor instances attached to a simulated design.
+
+use crate::monitors::{MonitorKind, MonitorState};
+use la1_rtl::{Expr, RtlSim};
+use std::fmt;
+
+/// OVL severity levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Minor problem.
+    Warning,
+    /// Major problem (OVL default).
+    #[default]
+    Error,
+    /// Simulation should stop.
+    Fatal,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+            Severity::Fatal => "fatal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A recorded assertion failure.
+#[derive(Debug, Clone)]
+pub struct OvlViolation {
+    /// Monitor instance name.
+    pub monitor: String,
+    /// Which OVL module fired.
+    pub kind: MonitorKind,
+    /// Sampled cycle index (bench-local).
+    pub cycle: u64,
+    /// Failure severity.
+    pub severity: Severity,
+    /// The message string (OVL's `msg` parameter plus detail).
+    pub message: String,
+}
+
+impl fmt::Display for OvlViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({}) at cycle {}: {}",
+            self.severity,
+            self.monitor,
+            self.kind.ovl_name(),
+            self.cycle,
+            self.message
+        )
+    }
+}
+
+struct Instance {
+    name: String,
+    severity: Severity,
+    state: MonitorState,
+    /// fired count (monitors keep reporting, like OVL's default)
+    failures: u64,
+}
+
+/// A set of OVL-style assertion monitors sampled once per call to
+/// [`OvlBench::on_cycle`].
+///
+/// The host drives the design clock itself and calls `on_cycle` at the
+/// sampling instant (the LA-1 harness samples on rising `K`). See the
+/// crate docs for an example.
+#[derive(Default)]
+pub struct OvlBench {
+    instances: Vec<Instance>,
+    violations: Vec<OvlViolation>,
+    cycles: u64,
+    /// stop requests from Fatal monitors
+    fatal: bool,
+}
+
+impl fmt::Debug for OvlBench {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OvlBench")
+            .field("monitors", &self.instances.len())
+            .field("violations", &self.violations.len())
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+impl OvlBench {
+    /// Creates an empty bench.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn attach(&mut self, name: impl Into<String>, severity: Severity, state: MonitorState) {
+        self.instances.push(Instance {
+            name: name.into(),
+            severity,
+            state,
+            failures: 0,
+        });
+    }
+
+    /// `assert_always`: `test` holds every sampled cycle.
+    pub fn assert_always(&mut self, name: impl Into<String>, severity: Severity, test: Expr) {
+        self.attach(
+            name,
+            severity,
+            MonitorState::Simple {
+                kind: MonitorKind::Always,
+                test,
+            },
+        );
+    }
+
+    /// `assert_never`: `test` never holds.
+    pub fn assert_never(&mut self, name: impl Into<String>, severity: Severity, test: Expr) {
+        self.attach(
+            name,
+            severity,
+            MonitorState::Simple {
+                kind: MonitorKind::Never,
+                test,
+            },
+        );
+    }
+
+    /// `assert_proposition`: like `assert_always` (sampled with the
+    /// others in this implementation).
+    pub fn assert_proposition(&mut self, name: impl Into<String>, severity: Severity, test: Expr) {
+        self.attach(
+            name,
+            severity,
+            MonitorState::Simple {
+                kind: MonitorKind::Proposition,
+                test,
+            },
+        );
+    }
+
+    /// `assert_implication`: `antecedent -> consequent`, same cycle.
+    pub fn assert_implication(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        antecedent: Expr,
+        consequent: Expr,
+    ) {
+        self.attach(
+            name,
+            severity,
+            MonitorState::Implication {
+                antecedent,
+                consequent,
+            },
+        );
+    }
+
+    /// `assert_next`: `num_cks` cycles after `start`, `test` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cks` is zero (use `assert_implication`).
+    pub fn assert_next(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+    ) {
+        assert!(num_cks > 0, "assert_next requires num_cks >= 1");
+        self.attach(
+            name,
+            severity,
+            MonitorState::Next {
+                start,
+                test,
+                num_cks,
+                pending: Vec::new(),
+            },
+        );
+    }
+
+    /// `assert_cycle_sequence`: whenever `events[..n-1]` hold on
+    /// consecutive cycles, `events[n-1]` must hold on the cycle after.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two events.
+    pub fn assert_cycle_sequence(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        events: Vec<Expr>,
+    ) {
+        assert!(events.len() >= 2, "assert_cycle_sequence needs >= 2 events");
+        self.attach(
+            name,
+            severity,
+            MonitorState::CycleSequence {
+                events,
+                active: Vec::new(),
+            },
+        );
+    }
+
+    /// `assert_frame`: after `start`, `test` must hold at some cycle in
+    /// `[min_cks, max_cks]` (and not before `min_cks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_cks > max_cks`.
+    pub fn assert_frame(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        start: Expr,
+        test: Expr,
+        min_cks: u32,
+        max_cks: u32,
+    ) {
+        assert!(min_cks <= max_cks, "assert_frame requires min <= max");
+        self.attach(
+            name,
+            severity,
+            MonitorState::Frame {
+                start,
+                test,
+                min_cks,
+                max_cks,
+                pending: Vec::new(),
+            },
+        );
+    }
+
+    /// `assert_change`: `test` changes value within `num_cks` of `start`.
+    pub fn assert_change(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+    ) {
+        assert!(num_cks > 0, "assert_change requires num_cks >= 1");
+        self.attach(
+            name,
+            severity,
+            MonitorState::ChangeLike {
+                kind: MonitorKind::Change,
+                start,
+                test,
+                num_cks,
+                pending: Vec::new(),
+            },
+        );
+    }
+
+    /// `assert_unchange`: `test` keeps its value for `num_cks` after
+    /// `start`.
+    pub fn assert_unchange(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+    ) {
+        assert!(num_cks > 0, "assert_unchange requires num_cks >= 1");
+        self.attach(
+            name,
+            severity,
+            MonitorState::ChangeLike {
+                kind: MonitorKind::Unchange,
+                start,
+                test,
+                num_cks,
+                pending: Vec::new(),
+            },
+        );
+    }
+
+    /// `assert_one_hot`: exactly one bit of `test` is set.
+    pub fn assert_one_hot(&mut self, name: impl Into<String>, severity: Severity, test: Expr) {
+        self.attach(
+            name,
+            severity,
+            MonitorState::VectorCheck {
+                kind: MonitorKind::OneHot,
+                test,
+            },
+        );
+    }
+
+    /// `assert_zero_one_hot`: at most one bit of `test` is set.
+    pub fn assert_zero_one_hot(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        test: Expr,
+    ) {
+        self.attach(
+            name,
+            severity,
+            MonitorState::VectorCheck {
+                kind: MonitorKind::ZeroOneHot,
+                test,
+            },
+        );
+    }
+
+    /// `assert_range`: the value of `test` lies in `[min, max]`.
+    pub fn assert_range(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        test: Expr,
+        min: u64,
+        max: u64,
+    ) {
+        self.attach(name, severity, MonitorState::Range { test, min, max });
+    }
+
+    /// `assert_time`: after `start`, `test` holds for `num_cks`
+    /// consecutive cycles.
+    pub fn assert_time(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+    ) {
+        assert!(num_cks > 0, "assert_time requires num_cks >= 1");
+        self.attach(
+            name,
+            severity,
+            MonitorState::Time {
+                start,
+                test,
+                num_cks,
+                pending: Vec::new(),
+            },
+        );
+    }
+
+    /// `assert_even_parity`: whenever `valid` holds, the vector `test`
+    /// (data bits plus parity bits) contains an even number of ones —
+    /// the LA-1 data-path integrity check.
+    pub fn assert_even_parity(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        valid: Expr,
+        test: Expr,
+    ) {
+        self.attach(name, severity, MonitorState::EvenParity { valid, test });
+    }
+
+    /// `assert_width`: every high pulse of `test` lasts between
+    /// `min_cks` and `max_cks` sampled cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_cks > max_cks` or `min_cks` is zero.
+    pub fn assert_width(
+        &mut self,
+        name: impl Into<String>,
+        severity: Severity,
+        test: Expr,
+        min_cks: u32,
+        max_cks: u32,
+    ) {
+        assert!(min_cks >= 1 && min_cks <= max_cks, "assert_width bounds");
+        self.attach(
+            name,
+            severity,
+            MonitorState::Width {
+                test,
+                min_cks,
+                max_cks,
+                high_for: None,
+            },
+        );
+    }
+
+    /// Number of attached monitor instances (each one is a module in
+    /// the simulated design, per the paper's observation).
+    pub fn num_monitors(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Samples every monitor once against the current simulator state.
+    ///
+    /// Returns the number of violations recorded this cycle.
+    pub fn on_cycle(&mut self, sim: &mut RtlSim) -> usize {
+        let cycle = self.cycles;
+        self.cycles += 1;
+        let mut fired = 0;
+        for inst in &mut self.instances {
+            if let Err(detail) = inst.state.sample(sim) {
+                inst.failures += 1;
+                fired += 1;
+                if inst.severity >= Severity::Fatal {
+                    self.fatal = true;
+                }
+                self.violations.push(OvlViolation {
+                    monitor: inst.name.clone(),
+                    kind: inst.state.kind(),
+                    cycle,
+                    severity: inst.severity,
+                    message: detail,
+                });
+            }
+        }
+        fired
+    }
+
+    /// Sampled cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// All recorded violations, in order.
+    pub fn violations(&self) -> &[OvlViolation] {
+        &self.violations
+    }
+
+    /// True once a [`Severity::Fatal`] monitor fired — the host should
+    /// stop the simulation.
+    pub fn fatal_fired(&self) -> bool {
+        self.fatal
+    }
+
+    /// A per-monitor failure-count report, in attach order.
+    pub fn report(&self) -> Vec<(String, MonitorKind, u64)> {
+        self.instances
+            .iter()
+            .map(|i| (i.name.clone(), i.state.kind(), i.failures))
+            .collect()
+    }
+}

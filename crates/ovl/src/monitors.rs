@@ -1,0 +1,399 @@
+//! The assertion-monitor state machines.
+
+use la1_rtl::{Expr, Logic, RtlSim};
+
+/// Which OVL monitor a bench instance implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonitorKind {
+    /// `assert_always` — the expression holds every sampled cycle.
+    Always,
+    /// `assert_never` — the expression never holds.
+    Never,
+    /// `assert_proposition` — like `assert_always` (OVL's unclocked
+    /// variant; the bench samples it with the others).
+    Proposition,
+    /// `assert_implication` — antecedent implies consequent, same cycle.
+    Implication,
+    /// `assert_next` — `num_cks` after `start`, `test` holds.
+    Next,
+    /// `assert_cycle_sequence` — consecutive events, last one mandatory.
+    CycleSequence,
+    /// `assert_frame` — after `start`, `test` holds within
+    /// `[min_cks, max_cks]`.
+    Frame,
+    /// `assert_change` — `test` changes within `num_cks` after `start`.
+    Change,
+    /// `assert_unchange` — `test` stays stable `num_cks` after `start`.
+    Unchange,
+    /// `assert_one_hot` — exactly one bit of the vector is set.
+    OneHot,
+    /// `assert_zero_one_hot` — at most one bit is set.
+    ZeroOneHot,
+    /// `assert_range` — the vector's value lies in `[min, max]`.
+    Range,
+    /// `assert_time` — after `start`, `test` holds for `num_cks` cycles.
+    Time,
+    /// `assert_even_parity` — the vector (data plus parity bits) has an
+    /// even number of ones whenever `valid` holds.
+    EvenParity,
+    /// `assert_width` — once `test` rises, it stays high between
+    /// `min_cks` and `max_cks` cycles.
+    Width,
+}
+
+impl MonitorKind {
+    /// The OVL module name.
+    pub fn ovl_name(self) -> &'static str {
+        match self {
+            MonitorKind::Always => "assert_always",
+            MonitorKind::Never => "assert_never",
+            MonitorKind::Proposition => "assert_proposition",
+            MonitorKind::Implication => "assert_implication",
+            MonitorKind::Next => "assert_next",
+            MonitorKind::CycleSequence => "assert_cycle_sequence",
+            MonitorKind::Frame => "assert_frame",
+            MonitorKind::Change => "assert_change",
+            MonitorKind::Unchange => "assert_unchange",
+            MonitorKind::OneHot => "assert_one_hot",
+            MonitorKind::ZeroOneHot => "assert_zero_one_hot",
+            MonitorKind::Range => "assert_range",
+            MonitorKind::Time => "assert_time",
+            MonitorKind::EvenParity => "assert_even_parity",
+            MonitorKind::Width => "assert_width",
+        }
+    }
+}
+
+/// Internal per-instance state.
+#[derive(Debug, Clone)]
+pub(crate) enum MonitorState {
+    Simple {
+        kind: MonitorKind,
+        test: Expr,
+    },
+    Implication {
+        antecedent: Expr,
+        consequent: Expr,
+    },
+    Next {
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+        /// countdowns of outstanding obligations
+        pending: Vec<u32>,
+    },
+    CycleSequence {
+        events: Vec<Expr>,
+        /// indices of the event each active thread expects next
+        active: Vec<usize>,
+    },
+    Frame {
+        start: Expr,
+        test: Expr,
+        min_cks: u32,
+        max_cks: u32,
+        /// cycles elapsed per outstanding window
+        pending: Vec<u32>,
+    },
+    ChangeLike {
+        kind: MonitorKind, // Change or Unchange
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+        /// (initial value, remaining cycles) per window
+        pending: Vec<(u64, u32)>,
+    },
+    VectorCheck {
+        kind: MonitorKind, // OneHot / ZeroOneHot
+        test: Expr,
+    },
+    Range {
+        test: Expr,
+        min: u64,
+        max: u64,
+    },
+    Time {
+        start: Expr,
+        test: Expr,
+        num_cks: u32,
+        /// remaining mandatory cycles per window
+        pending: Vec<u32>,
+    },
+    EvenParity {
+        valid: Expr,
+        test: Expr,
+    },
+    Width {
+        test: Expr,
+        min_cks: u32,
+        max_cks: u32,
+        /// length of the high pulse in progress, if any
+        high_for: Option<u32>,
+    },
+}
+
+impl MonitorState {
+    pub(crate) fn kind(&self) -> MonitorKind {
+        match self {
+            MonitorState::Simple { kind, .. } | MonitorState::VectorCheck { kind, .. } => *kind,
+            MonitorState::ChangeLike { kind, .. } => *kind,
+            MonitorState::Implication { .. } => MonitorKind::Implication,
+            MonitorState::Next { .. } => MonitorKind::Next,
+            MonitorState::CycleSequence { .. } => MonitorKind::CycleSequence,
+            MonitorState::Frame { .. } => MonitorKind::Frame,
+            MonitorState::Range { .. } => MonitorKind::Range,
+            MonitorState::Time { .. } => MonitorKind::Time,
+            MonitorState::EvenParity { .. } => MonitorKind::EvenParity,
+            MonitorState::Width { .. } => MonitorKind::Width,
+        }
+    }
+
+    /// Evaluates one sampled cycle. Returns `Err(detail)` on violation.
+    pub(crate) fn sample(&mut self, sim: &mut RtlSim) -> Result<(), String> {
+        fn truthy(sim: &mut RtlSim, e: &Expr) -> bool {
+            sim.probe(e).bit(0) == Logic::L1
+        }
+        match self {
+            MonitorState::Simple { kind, test } => {
+                let v = truthy(sim, test);
+                match kind {
+                    MonitorKind::Always | MonitorKind::Proposition if !v => {
+                        Err("expression is not true".to_string())
+                    }
+                    MonitorKind::Never if v => Err("expression fired".to_string()),
+                    _ => Ok(()),
+                }
+            }
+            MonitorState::Implication {
+                antecedent,
+                consequent,
+            } => {
+                if truthy(sim, antecedent) && !truthy(sim, consequent) {
+                    Err("antecedent without consequent".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            MonitorState::Next {
+                start,
+                test,
+                num_cks,
+                pending,
+            } => {
+                let mut due = false;
+                pending.iter_mut().for_each(|c| *c -= 1);
+                pending.retain(|&c| {
+                    if c == 0 {
+                        due = true;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                let mut result = Ok(());
+                if due && !truthy(sim, test) {
+                    result = Err("test not true num_cks cycles after start".to_string());
+                }
+                if truthy(sim, start) {
+                    pending.push(*num_cks);
+                }
+                result
+            }
+            MonitorState::CycleSequence { events, active } => {
+                // advance each thread; the last event is mandatory once
+                // all previous ones matched
+                let mut next_active = Vec::new();
+                let mut violation = None;
+                for &pos in active.iter() {
+                    if truthy(sim, &events[pos]) {
+                        if pos + 1 < events.len() {
+                            next_active.push(pos + 1);
+                        }
+                    } else if pos == events.len() - 1 {
+                        violation =
+                            Some("sequence prefix matched but final event missing".to_string());
+                    }
+                }
+                // a new attempt starts whenever the first event holds
+                if truthy(sim, &events[0]) && events.len() > 1 {
+                    next_active.push(1);
+                }
+                next_active.sort_unstable();
+                next_active.dedup();
+                *active = next_active;
+                match violation {
+                    Some(v) => Err(v),
+                    None => Ok(()),
+                }
+            }
+            MonitorState::Frame {
+                start,
+                test,
+                min_cks,
+                max_cks,
+                pending,
+            } => {
+                let t = truthy(sim, test);
+                let mut violation = None;
+                pending.iter_mut().for_each(|c| *c += 1);
+                pending.retain(|&elapsed| {
+                    if t && elapsed >= *min_cks && elapsed <= *max_cks {
+                        false // satisfied
+                    } else if t && elapsed < *min_cks {
+                        violation = Some("test asserted before min_cks".to_string());
+                        false
+                    } else if elapsed >= *max_cks {
+                        violation = Some("test never asserted within max_cks".to_string());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if truthy(sim, start) {
+                    pending.push(0);
+                }
+                match violation {
+                    Some(v) => Err(v),
+                    None => Ok(()),
+                }
+            }
+            MonitorState::ChangeLike {
+                kind,
+                start,
+                test,
+                num_cks,
+                pending,
+            } => {
+                let cur = sim.probe(test).to_u64();
+                let mut violation = None;
+                pending.iter_mut().for_each(|p| p.1 -= 1);
+                pending.retain(|&(initial, remaining)| {
+                    let changed = cur != Some(initial);
+                    match kind {
+                        MonitorKind::Change => {
+                            if changed {
+                                false // satisfied
+                            } else if remaining == 0 {
+                                violation =
+                                    Some("value did not change within num_cks".to_string());
+                                false
+                            } else {
+                                true
+                            }
+                        }
+                        MonitorKind::Unchange => {
+                            if changed {
+                                violation = Some("value changed within num_cks".to_string());
+                                false
+                            } else {
+                                remaining > 0
+                            }
+                        }
+                        _ => unreachable!("ChangeLike holds Change/Unchange only"),
+                    }
+                });
+                if truthy(sim, start) {
+                    if let Some(v) = sim.probe(test).to_u64() {
+                        pending.push((v, *num_cks));
+                    }
+                }
+                match violation {
+                    Some(v) => Err(v),
+                    None => Ok(()),
+                }
+            }
+            MonitorState::VectorCheck { kind, test } => {
+                let v = sim.probe(test);
+                let ones = v.iter().filter(|&b| b == Logic::L1).count();
+                let known = v.is_known();
+                match kind {
+                    MonitorKind::OneHot if !known || ones != 1 => {
+                        Err(format!("expected one-hot, found {v}"))
+                    }
+                    MonitorKind::ZeroOneHot if !known || ones > 1 => {
+                        Err(format!("expected zero-one-hot, found {v}"))
+                    }
+                    _ => Ok(()),
+                }
+            }
+            MonitorState::Range { test, min, max } => match sim.probe(test).to_u64() {
+                Some(v) if v >= *min && v <= *max => Ok(()),
+                Some(v) => Err(format!("value {v} outside [{min}, {max}]")),
+                None => Err("value is unknown".to_string()),
+            },
+            MonitorState::Time {
+                start,
+                test,
+                num_cks,
+                pending,
+            } => {
+                let t = truthy(sim, test);
+                let mut violation = None;
+                pending.retain_mut(|remaining| {
+                    if !t {
+                        violation = Some("test deasserted during the hold window".to_string());
+                        false
+                    } else {
+                        *remaining -= 1;
+                        *remaining > 0
+                    }
+                });
+                if truthy(sim, start) && *num_cks > 0 {
+                    pending.push(*num_cks);
+                }
+                match violation {
+                    Some(v) => Err(v),
+                    None => Ok(()),
+                }
+            }
+            MonitorState::EvenParity { valid, test } => {
+                if !truthy(sim, valid) {
+                    return Ok(());
+                }
+                let v = sim.probe(test);
+                if !v.is_known() {
+                    return Err(format!("parity vector has unknown bits: {v}"));
+                }
+                let ones = v.iter().filter(|&b| b == Logic::L1).count();
+                if ones % 2 == 0 {
+                    Ok(())
+                } else {
+                    Err(format!("odd number of ones in {v}"))
+                }
+            }
+            MonitorState::Width {
+                test,
+                min_cks,
+                max_cks,
+                high_for,
+            } => {
+                let t = truthy(sim, test);
+                match (t, high_for.as_mut()) {
+                    (true, Some(n)) => {
+                        *n += 1;
+                        if *n > *max_cks {
+                            *high_for = None; // report once per pulse
+                            Err("pulse longer than max_cks".to_string())
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    (true, None) => {
+                        *high_for = Some(1);
+                        Ok(())
+                    }
+                    (false, Some(n)) => {
+                        let len = *n;
+                        *high_for = None;
+                        if len < *min_cks {
+                            Err(format!("pulse of {len} cycles shorter than min_cks"))
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    (false, None) => Ok(()),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,660 @@
+//! Runtime property monitors — the "assertions compiled to C#" of the
+//! reproduced paper, here compiled to Rust obligation machines.
+//!
+//! A [`Monitor`] holds a set of live *obligations*. Each simulation cycle
+//! the host calls [`Monitor::step`] with the cycle's signal valuation;
+//! obligations advance, discharge, spawn sub-obligations (e.g. the
+//! consequent of a suffix implication) or fail. After the last cycle,
+//! [`Monitor::finalize`] resolves the remaining obligations using PSL's
+//! weak/strong distinction.
+
+use crate::ast::{BoolExpr, Property, Sere};
+use crate::nfa::{BitSet, Nfa};
+use crate::Valuation;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Overall verdict of a monitored property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Obligations are still open; no failure so far.
+    Pending,
+    /// The property holds (all obligations discharged, or finalized weak).
+    Holds,
+    /// The property failed.
+    Fails,
+}
+
+/// The paper's two-variable property encoding.
+///
+/// * *correct*: `status && value`
+/// * *incorrect*: `status && !value` — this is the explorer's stop filter
+/// * *under verification*: `!status`
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PslState {
+    /// `P_status` — `true` once the verdict is determined.
+    pub status: bool,
+    /// `P_value` — the verdict (meaningful when `status` is `true`;
+    /// `true` while still undetermined, i.e. "not yet violated").
+    pub value: bool,
+}
+
+impl PslState {
+    /// The stop-filter condition of the paper: determined *and* false.
+    pub fn is_violation(self) -> bool {
+        self.status && !self.value
+    }
+}
+
+impl From<Verdict> for PslState {
+    fn from(v: Verdict) -> Self {
+        match v {
+            Verdict::Pending => PslState {
+                status: false,
+                value: true,
+            },
+            Verdict::Holds => PslState {
+                status: true,
+                value: true,
+            },
+            Verdict::Fails => PslState {
+                status: true,
+                value: false,
+            },
+        }
+    }
+}
+
+/// A live obligation inside a monitor.
+#[derive(Debug, Clone)]
+enum Ob {
+    /// Spawns its body at every cycle, forever.
+    Always { body: Rc<Property> },
+    /// The SERE must never reach an accepting position.
+    Never { nfa: Rc<Nfa>, active: BitSet },
+    /// The SERE must accept at least once (strong).
+    Eventually { nfa: Rc<Nfa>, active: BitSet },
+    /// The SERE must match a prefix (seeded only at spawn).
+    SereStrong {
+        nfa: Rc<Nfa>,
+        active: BitSet,
+        fresh: bool,
+    },
+    /// Defers a property by `remaining + 1` cycles.
+    Defer {
+        remaining: u32,
+        strong: bool,
+        body: Rc<Property>,
+    },
+    /// `p until q`.
+    Until {
+        p: Rc<BoolExpr>,
+        q: Rc<BoolExpr>,
+        strong: bool,
+    },
+    /// `p before q`.
+    Before {
+        p: Rc<BoolExpr>,
+        q: Rc<BoolExpr>,
+        strong: bool,
+    },
+    /// `{pre} |->/|=> post`; `persistent` when hoisted out of `always`.
+    SuffixImpl {
+        nfa: Rc<Nfa>,
+        active: BitSet,
+        post: Rc<Property>,
+        overlap: bool,
+        persistent: bool,
+        fresh: bool,
+    },
+}
+
+impl Hash for Ob {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Ob::Always { body } => {
+                0u8.hash(state);
+                body.hash(state);
+            }
+            Ob::Never { active, .. } => {
+                1u8.hash(state);
+                active.hash(state);
+            }
+            Ob::Eventually { active, .. } => {
+                2u8.hash(state);
+                active.hash(state);
+            }
+            Ob::SereStrong { active, fresh, .. } => {
+                3u8.hash(state);
+                active.hash(state);
+                fresh.hash(state);
+            }
+            Ob::Defer {
+                remaining,
+                strong,
+                body,
+            } => {
+                4u8.hash(state);
+                remaining.hash(state);
+                strong.hash(state);
+                body.hash(state);
+            }
+            Ob::Until { p, q, strong } => {
+                5u8.hash(state);
+                p.hash(state);
+                q.hash(state);
+                strong.hash(state);
+            }
+            Ob::Before { p, q, strong } => {
+                6u8.hash(state);
+                p.hash(state);
+                q.hash(state);
+                strong.hash(state);
+            }
+            Ob::SuffixImpl {
+                active,
+                post,
+                overlap,
+                persistent,
+                fresh,
+                ..
+            } => {
+                7u8.hash(state);
+                active.hash(state);
+                post.hash(state);
+                overlap.hash(state);
+                persistent.hash(state);
+                fresh.hash(state);
+            }
+        }
+    }
+}
+
+/// What an obligation reports for one cycle.
+enum ObStep {
+    /// Keep the obligation for the next cycle.
+    Continue(Ob),
+    /// Discharged successfully.
+    Done,
+    /// Violated at this cycle.
+    Failed,
+}
+
+/// An executable monitor for one [`Property`].
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    active: Vec<Ob>,
+    /// recycled buffer for [`Monitor::step`]
+    scratch: Vec<Ob>,
+    cycle: usize,
+    failed_at: Option<usize>,
+    /// True when every obligation discharged (possible for non-`always`
+    /// properties).
+    determined_holds: bool,
+    /// True once the property has positively matched at least once —
+    /// used for `cover` reporting.
+    covered: bool,
+}
+
+impl Monitor {
+    /// Creates a monitor whose obligations start at the first
+    /// [`step`](Self::step) call.
+    pub fn new(property: &Property) -> Self {
+        let mut m = Monitor {
+            active: Vec::new(),
+            scratch: Vec::new(),
+            cycle: 0,
+            failed_at: None,
+            determined_holds: false,
+            covered: false,
+        };
+        let mut fresh = Vec::new();
+        instantiate(property, &mut fresh);
+        m.active = fresh;
+        m
+    }
+
+    /// Binds this monitor to a fixed signal ordering for slice-based
+    /// stepping (used by the SystemC-level ABV loop where signal lookup
+    /// by name every cycle would be unfair to Table 3).
+    pub fn bind(self, signals: &[&str]) -> BoundMonitor {
+        BoundMonitor {
+            index: signals
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.to_string(), i))
+                .collect(),
+            monitor: self,
+        }
+    }
+
+    /// Number of cycles consumed so far.
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// The cycle of the first violation, if any.
+    pub fn failed_at(&self) -> Option<usize> {
+        self.failed_at
+    }
+
+    /// Whether the property has positively matched at least once
+    /// (meaningful for `cover`-style usage).
+    pub fn covered(&self) -> bool {
+        self.covered
+    }
+
+    /// Advances the monitor by one cycle and returns the paper's
+    /// `P_status` / `P_value` pair after that cycle.
+    pub fn step<V: Valuation + ?Sized>(&mut self, env: &V) -> PslState {
+        let mut worklist: Vec<Ob> = std::mem::take(&mut self.active);
+        // reuse the scratch vector: stepping must not allocate on the
+        // steady-state path (it is the Table 3 hot loop)
+        let mut next: Vec<Ob> = std::mem::take(&mut self.scratch);
+        next.clear();
+        let mut failed = false;
+        let mut discharged_any = false;
+        while let Some(ob) = worklist.pop() {
+            match step_ob(ob, env, &mut worklist) {
+                ObStep::Continue(ob) => next.push(ob),
+                ObStep::Done => discharged_any = true,
+                ObStep::Failed => failed = true,
+            }
+        }
+        if failed && self.failed_at.is_none() {
+            self.failed_at = Some(self.cycle);
+        }
+        if discharged_any {
+            self.covered = true;
+        }
+        self.scratch = worklist;
+        self.active = next;
+        self.cycle += 1;
+        if self.failed_at.is_none() && self.active.is_empty() {
+            self.determined_holds = true;
+        }
+        self.state()
+    }
+
+    /// The current `P_status` / `P_value` pair without advancing.
+    pub fn state(&self) -> PslState {
+        PslState::from(self.verdict())
+    }
+
+    /// The current verdict: [`Verdict::Fails`] after any violation,
+    /// [`Verdict::Holds`] once all obligations discharged, otherwise
+    /// [`Verdict::Pending`].
+    pub fn verdict(&self) -> Verdict {
+        if self.failed_at.is_some() {
+            Verdict::Fails
+        } else if self.determined_holds {
+            Verdict::Holds
+        } else {
+            Verdict::Pending
+        }
+    }
+
+    /// A canonical 64-bit digest of the monitor's live obligation set.
+    ///
+    /// Two monitors for the same property with equal fingerprints behave
+    /// identically on all future inputs (up to hash collision). The
+    /// `la1-asm` explorer uses this to deduplicate model x monitor
+    /// product states, which is how the paper keeps the explored FSM
+    /// finite while properties are attached.
+    pub fn fingerprint(&self) -> u64 {
+        let mut digests: Vec<u64> = self
+            .active
+            .iter()
+            .map(|ob| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                ob.hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        digests.sort_unstable();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        digests.hash(&mut h);
+        self.failed_at.is_some().hash(&mut h);
+        self.determined_holds.hash(&mut h);
+        h.finish()
+    }
+
+    /// Ends the trace: strong pending obligations fail, weak ones hold.
+    pub fn finalize(&self) -> Verdict {
+        if self.failed_at.is_some() {
+            return Verdict::Fails;
+        }
+        for ob in &self.active {
+            let fails = match ob {
+                Ob::Always { .. } | Ob::Never { .. } | Ob::Until { strong: false, .. } => false,
+                Ob::Before { strong, .. } | Ob::Until { strong, .. } => *strong,
+                Ob::Eventually { .. } | Ob::SereStrong { .. } => true,
+                Ob::Defer { strong, .. } => *strong,
+                Ob::SuffixImpl { .. } => false, // weak: pending matches vacuous
+            };
+            if fails {
+                return Verdict::Fails;
+            }
+        }
+        Verdict::Holds
+    }
+}
+
+/// A monitor bound to a fixed signal ordering; the host supplies a plain
+/// `&[bool]` each cycle.
+///
+/// ```
+/// use la1_psl::{parse_property, Monitor, Verdict};
+/// let p = parse_property("always (req -> next ack)").unwrap();
+/// let mut m = Monitor::new(&p).bind(&["req", "ack"]);
+/// m.step(&[true, false]);
+/// m.step(&[false, true]);
+/// assert_eq!(m.finalize(), Verdict::Holds);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundMonitor {
+    monitor: Monitor,
+    index: HashMap<String, usize>,
+}
+
+struct SliceValuation<'a> {
+    index: &'a HashMap<String, usize>,
+    values: &'a [bool],
+}
+
+impl Valuation for SliceValuation<'_> {
+    fn value(&self, name: &str) -> bool {
+        self.index
+            .get(name)
+            .and_then(|&i| self.values.get(i))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+impl BoundMonitor {
+    /// Advances one cycle with values in the bound signal order.
+    pub fn step(&mut self, values: &[bool]) -> PslState {
+        let index = &self.index;
+        let env = SliceValuation { index, values };
+        self.monitor.step(&env)
+    }
+
+    /// See [`Monitor::finalize`].
+    pub fn finalize(&self) -> Verdict {
+        self.monitor.finalize()
+    }
+
+    /// See [`Monitor::verdict`].
+    pub fn verdict(&self) -> Verdict {
+        self.monitor.verdict()
+    }
+
+    /// See [`Monitor::failed_at`].
+    pub fn failed_at(&self) -> Option<usize> {
+        self.monitor.failed_at()
+    }
+
+    /// See [`Monitor::covered`].
+    pub fn covered(&self) -> bool {
+        self.monitor.covered()
+    }
+}
+
+/// Expands a property into the obligations live at its start cycle.
+fn instantiate(prop: &Property, out: &mut Vec<Ob>) {
+    match prop {
+        Property::Bool(_)
+        | Property::Implies(..)
+        | Property::Next { .. }
+        | Property::And(..) => {
+            // These are expanded lazily by `step_ob` via `spawn_now`;
+            // wrap them in a zero-delay defer so that they are evaluated
+            // in the cycle the instantiation becomes active.
+            out.push(Ob::Defer {
+                remaining: 0,
+                strong: false,
+                body: Rc::new(prop.clone()),
+            });
+        }
+        Property::Always(body) => match body.as_ref() {
+            // `always` over an automaton-backed body folds into a single
+            // persistent obligation whose NFA is re-seeded every cycle.
+            Property::Never(s) => out.push(never_ob(s)),
+            Property::SuffixImpl { pre, post, overlap } => out.push(Ob::SuffixImpl {
+                nfa: Rc::new(Nfa::from_sere(pre)),
+                active: Nfa::from_sere(pre).new_active(),
+                post: Rc::new(post.as_ref().clone()),
+                overlap: *overlap,
+                persistent: true,
+                fresh: true,
+            }),
+            _ => out.push(Ob::Always {
+                body: Rc::new(body.as_ref().clone()),
+            }),
+        },
+        Property::Never(s) => out.push(never_ob(s)),
+        Property::Eventually(s) => {
+            let nfa = Rc::new(Nfa::from_sere(s));
+            let active = nfa.new_active();
+            out.push(Ob::Eventually { nfa, active });
+        }
+        Property::SereStrong(s) => {
+            let nfa = Rc::new(Nfa::from_sere(s));
+            let active = nfa.new_active();
+            out.push(Ob::SereStrong {
+                nfa,
+                active,
+                fresh: true,
+            });
+        }
+        Property::Until { p, q, strong } => out.push(Ob::Until {
+            p: Rc::new(p.clone()),
+            q: Rc::new(q.clone()),
+            strong: *strong,
+        }),
+        Property::Before { p, q, strong } => out.push(Ob::Before {
+            p: Rc::new(p.clone()),
+            q: Rc::new(q.clone()),
+            strong: *strong,
+        }),
+        Property::SuffixImpl { pre, post, overlap } => {
+            let nfa = Rc::new(Nfa::from_sere(pre));
+            let active = nfa.new_active();
+            out.push(Ob::SuffixImpl {
+                nfa,
+                active,
+                post: Rc::new(post.as_ref().clone()),
+                overlap: *overlap,
+                persistent: false,
+                fresh: true,
+            });
+        }
+    }
+}
+
+fn never_ob(s: &Sere) -> Ob {
+    let nfa = Rc::new(Nfa::from_sere(s));
+    let active = nfa.new_active();
+    Ob::Never { nfa, active }
+}
+
+/// Expands a property *within* the current cycle (used for bodies whose
+/// evaluation starts now).
+fn spawn_now<V: Valuation + ?Sized>(
+    prop: &Property,
+    env: &V,
+    worklist: &mut Vec<Ob>,
+) -> Result<(), ()> {
+    match prop {
+        Property::Bool(b) => {
+            if b.eval(env) {
+                Ok(())
+            } else {
+                Err(())
+            }
+        }
+        Property::Implies(b, p) => {
+            if b.eval(env) {
+                spawn_now(p, env, worklist)
+            } else {
+                Ok(())
+            }
+        }
+        Property::Next { n, strong, body } => {
+            debug_assert!(*n >= 1, "parser guarantees next[n] with n >= 1");
+            worklist.push(Ob::Defer {
+                remaining: *n,
+                strong: *strong,
+                body: Rc::new(body.as_ref().clone()),
+            });
+            Ok(())
+        }
+        Property::And(a, b) => {
+            spawn_now(a, env, worklist)?;
+            spawn_now(b, env, worklist)
+        }
+        other => {
+            let mut fresh = Vec::new();
+            instantiate(other, &mut fresh);
+            // Automaton-backed obligations created "now" must consume the
+            // current cycle immediately; push them on the worklist.
+            worklist.extend(fresh);
+            Ok(())
+        }
+    }
+}
+
+fn step_ob<V: Valuation + ?Sized>(ob: Ob, env: &V, worklist: &mut Vec<Ob>) -> ObStep {
+    match ob {
+        Ob::Always { body } => {
+            if spawn_now(&body, env, worklist).is_err() {
+                return ObStep::Failed;
+            }
+            ObStep::Continue(Ob::Always { body })
+        }
+        Ob::Never { nfa, active } => {
+            let (next_active, accepted) = nfa.step(&active, true, env);
+            if accepted || nfa.nullable() {
+                ObStep::Failed
+            } else {
+                ObStep::Continue(Ob::Never {
+                    nfa,
+                    active: next_active,
+                })
+            }
+        }
+        Ob::Eventually { nfa, active } => {
+            let (next_active, accepted) = nfa.step(&active, true, env);
+            if accepted || nfa.nullable() {
+                ObStep::Done
+            } else {
+                ObStep::Continue(Ob::Eventually {
+                    nfa,
+                    active: next_active,
+                })
+            }
+        }
+        Ob::SereStrong { nfa, active, fresh } => {
+            if fresh && nfa.nullable() {
+                return ObStep::Done;
+            }
+            let (next_active, accepted) = nfa.step(&active, fresh, env);
+            if accepted {
+                ObStep::Done
+            } else if next_active.is_empty() {
+                ObStep::Failed
+            } else {
+                ObStep::Continue(Ob::SereStrong {
+                    nfa,
+                    active: next_active,
+                    fresh: false,
+                })
+            }
+        }
+        Ob::Defer {
+            remaining,
+            strong,
+            body,
+        } => {
+            if remaining == 0 {
+                if spawn_now(&body, env, worklist).is_err() {
+                    ObStep::Failed
+                } else {
+                    ObStep::Done
+                }
+            } else {
+                ObStep::Continue(Ob::Defer {
+                    remaining: remaining - 1,
+                    strong,
+                    body,
+                })
+            }
+        }
+        Ob::Until { p, q, strong } => {
+            if q.eval(env) {
+                ObStep::Done
+            } else if p.eval(env) {
+                ObStep::Continue(Ob::Until { p, q, strong })
+            } else {
+                ObStep::Failed
+            }
+        }
+        Ob::Before { p, q, strong } => {
+            let pv = p.eval(env);
+            let qv = q.eval(env);
+            if pv && !qv {
+                ObStep::Done
+            } else if qv {
+                ObStep::Failed
+            } else {
+                ObStep::Continue(Ob::Before { p, q, strong })
+            }
+        }
+        Ob::SuffixImpl {
+            nfa,
+            active,
+            post,
+            overlap,
+            persistent,
+            fresh,
+        } => {
+            let seed = persistent || fresh;
+            let (next_active, accepted) = nfa.step(&active, seed, env);
+            let matched_now = accepted || (seed && nfa.nullable() && overlap);
+            if matched_now {
+                if overlap {
+                    if spawn_now(&post, env, worklist).is_err() {
+                        return ObStep::Failed;
+                    }
+                } else {
+                    worklist.push(Ob::Defer {
+                        remaining: 1,
+                        strong: false,
+                        body: post.clone(),
+                    });
+                }
+            } else if seed && nfa.nullable() && !overlap {
+                worklist.push(Ob::Defer {
+                    remaining: 1,
+                    strong: false,
+                    body: post.clone(),
+                });
+            }
+            if !persistent && next_active.is_empty() {
+                return ObStep::Done; // no further match possible: vacuous
+            }
+            ObStep::Continue(Ob::SuffixImpl {
+                nfa,
+                active: next_active,
+                post,
+                overlap,
+                persistent,
+                fresh: false,
+            })
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Four-state logic values and vectors.
+
+use std::fmt;
+
+/// A single four-state logic value (IEEE 1364).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    #[default]
+    L0,
+    /// Logic high.
+    L1,
+    /// Unknown.
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// Converts a `bool`.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::L1
+        } else {
+            Logic::L0
+        }
+    }
+
+    /// The definite Boolean value, if any (`X`/`Z` yield `None`).
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::L0 => Some(false),
+            Logic::L1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// True for `0` or `1`.
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::L0 | Logic::L1)
+    }
+
+    /// Logical negation; `X`/`Z` stay unknown.
+    #[allow(clippy::should_implement_trait)] // deliberate: `Logic` is not Boolean
+    pub fn not(self) -> Logic {
+        match self {
+            Logic::L0 => Logic::L1,
+            Logic::L1 => Logic::L0,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical and; `0` is dominant.
+    pub fn and(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(false), _) | (_, Some(false)) => Logic::L0,
+            (Some(true), Some(true)) => Logic::L1,
+            _ => Logic::X,
+        }
+    }
+
+    /// Logical or; `1` is dominant.
+    pub fn or(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(true), _) | (_, Some(true)) => Logic::L1,
+            (Some(false), Some(false)) => Logic::L0,
+            _ => Logic::X,
+        }
+    }
+
+    /// Exclusive or; unknown if either side is unknown.
+    pub fn xor(self, other: Logic) -> Logic {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => Logic::from_bool(a ^ b),
+            _ => Logic::X,
+        }
+    }
+
+    /// Wired resolution of two drivers: `Z` yields to the other driver,
+    /// agreement keeps the value, conflict is `X`.
+    pub fn resolve(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Z, o) => o,
+            (s, Logic::Z) => s,
+            (a, b) if a == b => a,
+            _ => Logic::X,
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::L0 => '0',
+            Logic::L1 => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+/// A fixed-width vector of four-state values; bit 0 is the LSB.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicVec {
+    bits: Vec<Logic>,
+}
+
+impl LogicVec {
+    /// All-zero vector of the given width.
+    pub fn zeros(width: u32) -> Self {
+        LogicVec {
+            bits: vec![Logic::L0; width as usize],
+        }
+    }
+
+    /// All-`X` vector of the given width.
+    pub fn xs(width: u32) -> Self {
+        LogicVec {
+            bits: vec![Logic::X; width as usize],
+        }
+    }
+
+    /// All-`Z` vector of the given width.
+    pub fn zs(width: u32) -> Self {
+        LogicVec {
+            bits: vec![Logic::Z; width as usize],
+        }
+    }
+
+    /// Builds a vector from the low `width` bits of `value`.
+    pub fn from_u64(value: u64, width: u32) -> Self {
+        LogicVec {
+            bits: (0..width)
+                .map(|i| Logic::from_bool(value >> i & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Builds a vector from individual bits (LSB first).
+    pub fn from_bits(bits: Vec<Logic>) -> Self {
+        LogicVec { bits }
+    }
+
+    /// The numeric value, if every bit is known and width ≤ 64.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.bits.len() > 64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for (i, b) in self.bits.iter().enumerate() {
+            match b.to_bool() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// The bit at `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bit(&self, index: u32) -> Logic {
+        self.bits[index as usize]
+    }
+
+    /// Replaces the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_bit(&mut self, index: u32, value: Logic) {
+        self.bits[index as usize] = value;
+    }
+
+    /// The bits `lo..=hi` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, hi: u32, lo: u32) -> LogicVec {
+        assert!(hi >= lo && (hi as usize) < self.bits.len());
+        LogicVec {
+            bits: self.bits[lo as usize..=hi as usize].to_vec(),
+        }
+    }
+
+    /// Iterator over bits, LSB first.
+    pub fn iter(&self) -> impl Iterator<Item = Logic> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// True if every bit is `0` or `1`.
+    pub fn is_known(&self) -> bool {
+        self.bits.iter().all(|b| b.is_known())
+    }
+
+    /// Bitwise reduction XOR (the parity of the vector).
+    pub fn reduce_xor(&self) -> Logic {
+        self.bits
+            .iter()
+            .copied()
+            .fold(Logic::L0, |acc, b| acc.xor(b))
+    }
+
+    /// Bitwise reduction OR.
+    pub fn reduce_or(&self) -> Logic {
+        self.bits.iter().copied().fold(Logic::L0, |acc, b| acc.or(b))
+    }
+
+    /// Per-bit wired resolution of two equal-width vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn resolve(&self, other: &LogicVec) -> LogicVec {
+        assert_eq!(self.width(), other.width(), "resolution width mismatch");
+        LogicVec {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(&a, &b)| a.resolve(b))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for LogicVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.bits.iter().rev() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,437 @@
+//! Structural netlist: nets, expressions and synthesizable items.
+
+use crate::logic::LogicVec;
+use std::fmt;
+
+/// Index of a net in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// The storage class of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Driven by continuous assignments / tristates (Verilog `wire`).
+    Wire,
+    /// Holds state between clock edges (Verilog `reg` behind an
+    /// `always @(edge)` block).
+    Reg,
+    /// A primary input.
+    Input,
+}
+
+/// A combinational expression over nets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Const(LogicVec),
+    /// A whole net.
+    Net(NetId),
+    /// A single bit of a net (1-bit result).
+    Index(NetId, u32),
+    /// Bits `lo..=hi` of a net.
+    Slice(NetId, u32, u32),
+    /// Bitwise negation.
+    Not(Box<Expr>),
+    /// Bitwise and.
+    And(Box<Expr>, Box<Expr>),
+    /// Bitwise or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Bitwise xor.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Equality comparison (1-bit result; `X` if either side unknown).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Two-way multiplexer: `sel ? a : b` (`sel` must be 1 bit).
+    Mux {
+        /// 1-bit select.
+        sel: Box<Expr>,
+        /// Value when `sel` is 1.
+        a: Box<Expr>,
+        /// Value when `sel` is 0.
+        b: Box<Expr>,
+    },
+    /// Concatenation; the **first** element is the least significant
+    /// part (note: opposite of Verilog's `{}` display order).
+    Concat(Vec<Expr>),
+    /// Reduction xor (parity) of the operand — 1-bit result.
+    ReduceXor(Box<Expr>),
+    /// Reduction or of the operand — 1-bit result.
+    ReduceOr(Box<Expr>),
+}
+
+impl Expr {
+    /// A whole-net reference.
+    pub fn net(id: NetId) -> Expr {
+        Expr::Net(id)
+    }
+
+    /// A 1-bit constant.
+    pub fn bit(value: bool) -> Expr {
+        Expr::Const(LogicVec::from_u64(value as u64, 1))
+    }
+
+    /// A `width`-bit constant.
+    pub fn value(value: u64, width: u32) -> Expr {
+        Expr::Const(LogicVec::from_u64(value, width))
+    }
+
+    /// Bitwise not.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Bitwise and.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// Bitwise or.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Bitwise xor.
+    pub fn xor(a: Expr, b: Expr) -> Expr {
+        Expr::Xor(Box::new(a), Box::new(b))
+    }
+
+    /// Equality (1-bit).
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `sel ? a : b`.
+    pub fn mux(sel: Expr, a: Expr, b: Expr) -> Expr {
+        Expr::Mux {
+            sel: Box::new(sel),
+            a: Box::new(a),
+            b: Box::new(b),
+        }
+    }
+
+    /// Equality with a constant of the given width.
+    pub fn eq_const(a: Expr, value: u64, width: u32) -> Expr {
+        Expr::eq(a, Expr::value(value, width))
+    }
+}
+
+/// The clock edge a sequential element reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Rising edge.
+    Pos,
+    /// Falling edge.
+    Neg,
+}
+
+/// A synthesizable item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// `assign target = expr;`
+    Assign {
+        /// Target wire.
+        target: NetId,
+        /// Driving expression.
+        expr: Expr,
+    },
+    /// An edge-triggered register with optional clock enable.
+    Dff {
+        /// 1-bit clock net.
+        clock: NetId,
+        /// Triggering edge.
+        edge: Edge,
+        /// Optional 1-bit enable expression.
+        enable: Option<Expr>,
+        /// Next-value expression.
+        d: Expr,
+        /// Target register.
+        q: NetId,
+    },
+    /// A double-data-rate register: captures `d_rise` on rising and
+    /// `d_fall` on falling clock edges (the LA-1 18-pin DDR data paths).
+    DdrFf {
+        /// 1-bit clock net.
+        clock: NetId,
+        /// Captured on the rising edge.
+        d_rise: Expr,
+        /// Captured on the falling edge.
+        d_fall: Expr,
+        /// Target register.
+        q: NetId,
+    },
+    /// A RAM block with synchronous write (with per-bit mask) and
+    /// asynchronous read.
+    Ram {
+        /// 1-bit clock net (writes on the rising edge).
+        clock: NetId,
+        /// 1-bit write-enable expression.
+        we: Expr,
+        /// Write address expression.
+        waddr: Expr,
+        /// Write data expression.
+        wdata: Expr,
+        /// Per-bit write mask (all-ones when `None`) — byte write
+        /// control for the LA-1.
+        wmask: Option<Expr>,
+        /// Read address expression.
+        raddr: Expr,
+        /// Read data target wire (combinational).
+        rdata: NetId,
+        /// Number of words.
+        words: u32,
+        /// Word width in bits.
+        width: u32,
+    },
+    /// One tristate driver onto a shared wire. Multiple drivers of the
+    /// same target are resolved (`Z` yields, conflict is `X`).
+    Tristate {
+        /// Target wire.
+        target: NetId,
+        /// 1-bit output-enable expression.
+        enable: Expr,
+        /// Driven value when enabled.
+        value: Expr,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct NetDecl {
+    pub(crate) name: String,
+    pub(crate) width: u32,
+    pub(crate) kind: NetKind,
+    pub(crate) init: Option<LogicVec>,
+}
+
+/// A structural hardware design.
+///
+/// Build with the `input`/`wire`/`reg` constructors and the item
+/// methods, then simulate with [`crate::RtlSim`], extract a
+/// [`crate::TransitionSystem`] for model checking, or emit Verilog.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<NetDecl>,
+    pub(crate) items: Vec<Item>,
+    pub(crate) outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty design named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            items: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn add_net(&mut self, name: String, width: u32, kind: NetKind) -> NetId {
+        assert!(width > 0, "net {name} must have nonzero width");
+        assert!(
+            !self.nets.iter().any(|n| n.name == name),
+            "net {name} declared twice"
+        );
+        self.nets.push(NetDecl {
+            name,
+            width,
+            kind,
+            init: None,
+        });
+        NetId(self.nets.len() as u32 - 1)
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> NetId {
+        self.add_net(name.into(), width, NetKind::Input)
+    }
+
+    /// Declares a wire.
+    pub fn wire(&mut self, name: impl Into<String>, width: u32) -> NetId {
+        self.add_net(name.into(), width, NetKind::Wire)
+    }
+
+    /// Declares a register (initialized to zero).
+    pub fn reg(&mut self, name: impl Into<String>, width: u32) -> NetId {
+        self.add_net(name.into(), width, NetKind::Reg)
+    }
+
+    /// Declares a register with an explicit initial value.
+    pub fn reg_init(&mut self, name: impl Into<String>, width: u32, init: u64) -> NetId {
+        let id = self.add_net(name.into(), width, NetKind::Reg);
+        self.nets[id.0 as usize].init = Some(LogicVec::from_u64(init, width));
+        id
+    }
+
+    /// Marks a net as a module output (affects Verilog emission only).
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.outputs.contains(&net) {
+            self.outputs.push(net);
+        }
+    }
+
+    /// Adds `assign target = expr`.
+    pub fn assign(&mut self, target: NetId, expr: Expr) {
+        self.items.push(Item::Assign { target, expr });
+    }
+
+    /// Adds a rising-edge register.
+    pub fn dff_posedge(&mut self, clock: NetId, d: Expr, q: NetId) {
+        self.items.push(Item::Dff {
+            clock,
+            edge: Edge::Pos,
+            enable: None,
+            d,
+            q,
+        });
+    }
+
+    /// Adds a falling-edge register.
+    pub fn dff_negedge(&mut self, clock: NetId, d: Expr, q: NetId) {
+        self.items.push(Item::Dff {
+            clock,
+            edge: Edge::Neg,
+            enable: None,
+            d,
+            q,
+        });
+    }
+
+    /// Adds an edge-triggered register with a clock enable.
+    pub fn dff_en(&mut self, clock: NetId, edge: Edge, enable: Expr, d: Expr, q: NetId) {
+        self.items.push(Item::Dff {
+            clock,
+            edge,
+            enable: Some(enable),
+            d,
+            q,
+        });
+    }
+
+    /// Adds a DDR register (captures on both edges).
+    pub fn ddr(&mut self, clock: NetId, d_rise: Expr, d_fall: Expr, q: NetId) {
+        self.items.push(Item::DdrFf {
+            clock,
+            d_rise,
+            d_fall,
+            q,
+        });
+    }
+
+    /// Adds a RAM block; `rdata` must be a wire of width `width`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ram(
+        &mut self,
+        clock: NetId,
+        we: Expr,
+        waddr: Expr,
+        wdata: Expr,
+        wmask: Option<Expr>,
+        raddr: Expr,
+        rdata: NetId,
+        words: u32,
+        width: u32,
+    ) {
+        self.items.push(Item::Ram {
+            clock,
+            we,
+            waddr,
+            wdata,
+            wmask,
+            raddr,
+            rdata,
+            words,
+            width,
+        });
+    }
+
+    /// Adds a tristate driver of `target`.
+    pub fn tristate(&mut self, target: NetId, enable: Expr, value: Expr) {
+        self.items.push(Item::Tristate {
+            target,
+            enable,
+            value,
+        });
+    }
+
+    /// The width of a net.
+    pub fn width(&self, net: NetId) -> u32 {
+        self.nets[net.0 as usize].width
+    }
+
+    /// The name of a net.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.nets[net.0 as usize].name
+    }
+
+    /// Looks up a net by name.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Number of declared nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of synthesizable items (a size proxy for reports).
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// The items in declaration order.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Computes the result width of an expression in this design.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches between binary operands — the same
+    /// errors Verilog elaboration would reject.
+    pub fn expr_width(&self, e: &Expr) -> u32 {
+        match e {
+            Expr::Const(v) => v.width(),
+            Expr::Net(n) => self.width(*n),
+            Expr::Index(..) => 1,
+            Expr::Slice(_, hi, lo) => hi - lo + 1,
+            Expr::Not(a) => self.expr_width(a),
+            Expr::And(a, b) | Expr::Or(a, b) | Expr::Xor(a, b) => {
+                let (wa, wb) = (self.expr_width(a), self.expr_width(b));
+                assert_eq!(wa, wb, "width mismatch in binary expression");
+                wa
+            }
+            Expr::Eq(a, b) => {
+                assert_eq!(
+                    self.expr_width(a),
+                    self.expr_width(b),
+                    "width mismatch in comparison"
+                );
+                1
+            }
+            Expr::Mux { sel, a, b } => {
+                assert_eq!(self.expr_width(sel), 1, "mux select must be 1 bit");
+                let (wa, wb) = (self.expr_width(a), self.expr_width(b));
+                assert_eq!(wa, wb, "width mismatch in mux arms");
+                wa
+            }
+            Expr::Concat(parts) => parts.iter().map(|p| self.expr_width(p)).sum(),
+            Expr::ReduceXor(_) | Expr::ReduceOr(_) => 1,
+        }
+    }
+}

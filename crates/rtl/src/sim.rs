@@ -1,0 +1,383 @@
+//! The interpreted RTL simulator.
+//!
+//! Each [`RtlSim::step`] applies pending input changes, settles the
+//! combinational network, captures every clocked element whose clock saw
+//! an edge (with Verilog nonblocking-assignment semantics: all samples
+//! happen before any commit), commits, and settles again.
+
+use crate::logic::{Logic, LogicVec};
+use crate::netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
+
+/// Interpreted simulation state for one [`Netlist`].
+///
+/// The simulator is an *interpreter*: every cycle it re-evaluates
+/// expression trees over four-state vectors, which is exactly the cost
+/// profile of the event-driven HDL simulators the paper benchmarks
+/// against compiled SystemC in Table 3.
+#[derive(Debug, Clone)]
+pub struct RtlSim {
+    design: Netlist,
+    values: Vec<LogicVec>,
+    prev_values: Vec<LogicVec>,
+    rams: Vec<Vec<LogicVec>>,
+    /// pending input writes applied at the start of the next step
+    pending: Vec<(NetId, LogicVec)>,
+    steps: u64,
+    /// expression evaluations performed (a load statistic for Table 3)
+    evals: u64,
+}
+
+/// Evaluates `e` against `values`; `evals` counts expression-node visits.
+fn eval_expr(design: &Netlist, values: &[LogicVec], evals: &mut u64, e: &Expr) -> LogicVec {
+    *evals += 1;
+    match e {
+        Expr::Const(v) => v.clone(),
+        Expr::Net(n) => values[n.0 as usize].clone(),
+        Expr::Index(n, i) => LogicVec::from_bits(vec![values[n.0 as usize].bit(*i)]),
+        Expr::Slice(n, hi, lo) => values[n.0 as usize].slice(*hi, *lo),
+        Expr::Not(a) => {
+            let v = eval_expr(design, values, evals, a);
+            LogicVec::from_bits(v.iter().map(Logic::not).collect())
+        }
+        Expr::And(a, b) => binop(design, values, evals, a, b, Logic::and),
+        Expr::Or(a, b) => binop(design, values, evals, a, b, Logic::or),
+        Expr::Xor(a, b) => binop(design, values, evals, a, b, Logic::xor),
+        Expr::Eq(a, b) => {
+            let va = eval_expr(design, values, evals, a);
+            let vb = eval_expr(design, values, evals, b);
+            if !va.is_known() || !vb.is_known() {
+                return LogicVec::xs(1);
+            }
+            LogicVec::from_bits(vec![Logic::from_bool(va == vb)])
+        }
+        Expr::Mux { sel, a, b } => {
+            let s = eval_expr(design, values, evals, sel).bit(0);
+            match s {
+                Logic::L1 => eval_expr(design, values, evals, a),
+                Logic::L0 => eval_expr(design, values, evals, b),
+                _ => LogicVec::xs(design.expr_width(a)),
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut bits = Vec::new();
+            for p in parts {
+                bits.extend(eval_expr(design, values, evals, p).iter());
+            }
+            LogicVec::from_bits(bits)
+        }
+        Expr::ReduceXor(a) => {
+            let v = eval_expr(design, values, evals, a);
+            LogicVec::from_bits(vec![v.reduce_xor()])
+        }
+        Expr::ReduceOr(a) => {
+            let v = eval_expr(design, values, evals, a);
+            LogicVec::from_bits(vec![v.reduce_or()])
+        }
+    }
+}
+
+fn binop(
+    design: &Netlist,
+    values: &[LogicVec],
+    evals: &mut u64,
+    a: &Expr,
+    b: &Expr,
+    f: fn(Logic, Logic) -> Logic,
+) -> LogicVec {
+    let va = eval_expr(design, values, evals, a);
+    let vb = eval_expr(design, values, evals, b);
+    debug_assert_eq!(va.width(), vb.width(), "operand width mismatch");
+    LogicVec::from_bits(va.iter().zip(vb.iter()).map(|(x, y)| f(x, y)).collect())
+}
+
+impl RtlSim {
+    /// Creates a simulator; registers take their declared initial
+    /// values, wires start at `X`, inputs at `0`.
+    pub fn new(design: &Netlist) -> Self {
+        let values: Vec<LogicVec> = design
+            .nets
+            .iter()
+            .map(|n| match n.kind {
+                NetKind::Reg => n.init.clone().unwrap_or_else(|| LogicVec::zeros(n.width)),
+                NetKind::Input => LogicVec::zeros(n.width),
+                NetKind::Wire => LogicVec::xs(n.width),
+            })
+            .collect();
+        let rams = design
+            .items
+            .iter()
+            .map(|item| match item {
+                Item::Ram { words, width, .. } => {
+                    vec![LogicVec::zeros(*width); *words as usize]
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        let mut sim = RtlSim {
+            design: design.clone(),
+            prev_values: values.clone(),
+            values,
+            rams,
+            pending: Vec::new(),
+            steps: 0,
+            evals: 0,
+        };
+        sim.settle();
+        sim.prev_values = sim.values.clone();
+        sim
+    }
+
+    /// Schedules an input change for the next [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the width differs.
+    pub fn set(&mut self, net: NetId, value: LogicVec) {
+        let decl = &self.design.nets[net.0 as usize];
+        assert!(
+            decl.kind == NetKind::Input,
+            "net {} is not an input",
+            decl.name
+        );
+        assert_eq!(decl.width, value.width(), "width mismatch on {}", decl.name);
+        self.pending.push((net, value));
+    }
+
+    /// Schedules an input change given as an integer.
+    pub fn set_u64(&mut self, net: NetId, value: u64) {
+        let width = self.design.width(net);
+        self.set(net, LogicVec::from_u64(value, width));
+    }
+
+    /// The current value of any net.
+    pub fn get(&self, net: NetId) -> &LogicVec {
+        &self.values[net.0 as usize]
+    }
+
+    /// The current value of a net as an integer, if fully known.
+    pub fn get_u64(&self, net: NetId) -> Option<u64> {
+        self.get(net).to_u64()
+    }
+
+    /// A RAM word, for inspection (`item_index` is the position of the
+    /// RAM in the netlist's item list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the item is not a RAM or the address is out of range.
+    pub fn ram_word(&self, item_index: usize, addr: usize) -> &LogicVec {
+        assert!(matches!(self.design.items[item_index], Item::Ram { .. }));
+        &self.rams[item_index][addr]
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Expression evaluations performed so far (the interpreter-load
+    /// statistic used by the Table 3 harness).
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Evaluates an arbitrary expression against the current values
+    /// (used by assertion monitors observing internal nets).
+    pub fn probe(&mut self, e: &Expr) -> LogicVec {
+        eval_expr(&self.design, &self.values, &mut self.evals, e)
+    }
+
+    /// Applies pending inputs, settles, captures clock edges, commits
+    /// and settles again.
+    pub fn step(&mut self) {
+        self.steps += 1;
+        // 1. apply inputs
+        let pending = std::mem::take(&mut self.pending);
+        for (net, value) in pending {
+            self.values[net.0 as usize] = value;
+        }
+        // 2. settle so D inputs are coherent with the new primary inputs
+        //    (inputs have setup before the edge)
+        self.settle();
+        // 3. sample clocked elements on detected edges
+        let mut commits: Vec<(NetId, LogicVec)> = Vec::new();
+        let mut ram_writes: Vec<(usize, usize, LogicVec)> = Vec::new();
+        {
+            let design = &self.design;
+            let values = &self.values;
+            let prev = &self.prev_values;
+            let rams = &self.rams;
+            let evals = &mut self.evals;
+            let edge_on = |clock: NetId, edge: Edge| {
+                let p = prev[clock.0 as usize].bit(0);
+                let c = values[clock.0 as usize].bit(0);
+                match edge {
+                    Edge::Pos => p == Logic::L0 && c == Logic::L1,
+                    Edge::Neg => p == Logic::L1 && c == Logic::L0,
+                }
+            };
+            for (idx, item) in design.items.iter().enumerate() {
+                match item {
+                    Item::Dff {
+                        clock,
+                        edge,
+                        enable,
+                        d,
+                        q,
+                    } => {
+                        if edge_on(*clock, *edge) {
+                            let en = match enable {
+                                Some(e) => {
+                                    eval_expr(design, values, evals, e).bit(0) == Logic::L1
+                                }
+                                None => true,
+                            };
+                            if en {
+                                commits.push((*q, eval_expr(design, values, evals, d)));
+                            }
+                        }
+                    }
+                    Item::DdrFf {
+                        clock,
+                        d_rise,
+                        d_fall,
+                        q,
+                    } => {
+                        if edge_on(*clock, Edge::Pos) {
+                            commits.push((*q, eval_expr(design, values, evals, d_rise)));
+                        } else if edge_on(*clock, Edge::Neg) {
+                            commits.push((*q, eval_expr(design, values, evals, d_fall)));
+                        }
+                    }
+                    Item::Ram {
+                        clock,
+                        we,
+                        waddr,
+                        wdata,
+                        wmask,
+                        width,
+                        words,
+                        ..
+                    } => {
+                        if edge_on(*clock, Edge::Pos)
+                            && eval_expr(design, values, evals, we).bit(0) == Logic::L1
+                        {
+                            if let Some(addr) =
+                                eval_expr(design, values, evals, waddr).to_u64()
+                            {
+                                if (addr as u32) < *words {
+                                    let data = eval_expr(design, values, evals, wdata);
+                                    let mask = match wmask {
+                                        Some(m) => eval_expr(design, values, evals, m),
+                                        None => LogicVec::from_u64(u64::MAX, *width),
+                                    };
+                                    let mut word = rams[idx][addr as usize].clone();
+                                    for i in 0..*width {
+                                        if mask.bit(i) == Logic::L1 {
+                                            word.set_bit(i, data.bit(i));
+                                        }
+                                    }
+                                    ram_writes.push((idx, addr as usize, word));
+                                }
+                            }
+                        }
+                    }
+                    Item::Assign { .. } | Item::Tristate { .. } => {}
+                }
+            }
+        }
+        // 4. commit
+        for (q, v) in commits {
+            self.values[q.0 as usize] = v;
+        }
+        for (idx, addr, word) in ram_writes {
+            self.rams[idx][addr] = word;
+        }
+        // 5. settle combinational logic on the post-edge state
+        self.settle();
+        // remember values for the next step's edge detection
+        self.prev_values = self.values.clone();
+    }
+
+    /// Iterates combinational items to a fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not settle within 1000 passes
+    /// (combinational loop).
+    fn settle(&mut self) {
+        // precompute ram index per rdata net for the async read ports
+        for _pass in 0..1000 {
+            let mut changed = false;
+            let num_nets = self.design.nets.len();
+            let mut tristate_acc: Vec<Option<LogicVec>> = vec![None; num_nets];
+            let mut writes: Vec<(usize, LogicVec)> = Vec::new();
+            {
+                let design = &self.design;
+                let values = &self.values;
+                let rams = &self.rams;
+                let evals = &mut self.evals;
+                for (idx, item) in design.items.iter().enumerate() {
+                    match item {
+                        Item::Assign { target, expr } => {
+                            let v = eval_expr(design, values, evals, expr);
+                            if values[target.0 as usize] != v {
+                                writes.push((target.0 as usize, v));
+                            }
+                        }
+                        Item::Tristate {
+                            target,
+                            enable,
+                            value,
+                        } => {
+                            let en = eval_expr(design, values, evals, enable).bit(0);
+                            let w = design.width(*target);
+                            let contribution = match en {
+                                Logic::L1 => eval_expr(design, values, evals, value),
+                                Logic::L0 => LogicVec::zs(w),
+                                _ => LogicVec::xs(w),
+                            };
+                            let acc = &mut tristate_acc[target.0 as usize];
+                            *acc = Some(match acc.take() {
+                                Some(prev) => prev.resolve(&contribution),
+                                None => contribution,
+                            });
+                        }
+                        Item::Ram {
+                            raddr,
+                            rdata,
+                            words,
+                            width,
+                            ..
+                        } => {
+                            let v = match eval_expr(design, values, evals, raddr).to_u64() {
+                                Some(a) if (a as u32) < *words => rams[idx][a as usize].clone(),
+                                _ => LogicVec::xs(*width),
+                            };
+                            if values[rdata.0 as usize] != v {
+                                writes.push((rdata.0 as usize, v));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for (i, v) in writes {
+                self.values[i] = v;
+                changed = true;
+            }
+            for (i, acc) in tristate_acc.into_iter().enumerate() {
+                if let Some(v) = acc {
+                    if self.values[i] != v {
+                        self.values[i] = v;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+        panic!("combinational network did not settle within 1000 passes");
+    }
+}

@@ -1,0 +1,644 @@
+//! Synthesis of PSL safety properties into monitor circuits.
+//!
+//! A property becomes extra state bits (SERE position registers,
+//! obligation shift registers) plus a combinational `fail` function over
+//! the extended transition system. Proving the property is then
+//! `AG !fail` — the construction commercial formal tools apply to PSL's
+//! simple subset.
+
+use la1_psl::{BoolExpr, Property, Sere};
+use la1_rtl::{BitExpr, BitId, TransitionSystem};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error for properties outside the supported safety subset
+/// (strong/liveness operators need fairness machinery RuleBase-era
+/// safety flows did not use either).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedPropertyError {
+    /// Human-readable description of the unsupported construct.
+    pub construct: String,
+}
+
+impl fmt::Display for UnsupportedPropertyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property uses {} which is outside the supported safety subset",
+            self.construct
+        )
+    }
+}
+
+impl Error for UnsupportedPropertyError {}
+
+/// A transition system extended with monitor state; `fail` is the
+/// violation bit.
+pub(crate) struct SynthesizedMonitor {
+    pub(crate) ts: TransitionSystem,
+    pub(crate) fail: BitId,
+}
+
+/// Node builder over a transition system's DAG (mirrors the private
+/// builder in `la1-rtl` with light constant folding).
+struct TsBuilder {
+    ts: TransitionSystem,
+    dedup: HashMap<BitExpr, BitId>,
+}
+
+impl TsBuilder {
+    fn new(ts: &TransitionSystem) -> Self {
+        let ts = ts.clone();
+        let dedup = ts
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as BitId))
+            .collect();
+        TsBuilder { ts, dedup }
+    }
+
+    fn mk(&mut self, e: BitExpr) -> BitId {
+        if let Some(&id) = self.dedup.get(&e) {
+            return id;
+        }
+        let id = self.ts.nodes.len() as BitId;
+        self.ts.nodes.push(e);
+        self.dedup.insert(e, id);
+        id
+    }
+
+    fn konst(&mut self, b: bool) -> BitId {
+        self.mk(BitExpr::Const(b))
+    }
+
+    fn not(&mut self, a: BitId) -> BitId {
+        match self.ts.nodes[a as usize] {
+            BitExpr::Const(b) => self.konst(!b),
+            BitExpr::Not(x) => x,
+            _ => self.mk(BitExpr::Not(a)),
+        }
+    }
+
+    fn and(&mut self, a: BitId, b: BitId) -> BitId {
+        match (self.ts.nodes[a as usize], self.ts.nodes[b as usize]) {
+            (BitExpr::Const(false), _) | (_, BitExpr::Const(false)) => self.konst(false),
+            (BitExpr::Const(true), _) => b,
+            (_, BitExpr::Const(true)) => a,
+            _ if a == b => a,
+            _ => self.mk(BitExpr::And(a.min(b), a.max(b))),
+        }
+    }
+
+    fn or(&mut self, a: BitId, b: BitId) -> BitId {
+        match (self.ts.nodes[a as usize], self.ts.nodes[b as usize]) {
+            (BitExpr::Const(true), _) | (_, BitExpr::Const(true)) => self.konst(true),
+            (BitExpr::Const(false), _) => b,
+            (_, BitExpr::Const(false)) => a,
+            _ if a == b => a,
+            _ => self.mk(BitExpr::Or(a.min(b), a.max(b))),
+        }
+    }
+
+    fn xor(&mut self, a: BitId, b: BitId) -> BitId {
+        match (self.ts.nodes[a as usize], self.ts.nodes[b as usize]) {
+            (BitExpr::Const(false), _) => b,
+            (_, BitExpr::Const(false)) => a,
+            (BitExpr::Const(true), _) => self.not(b),
+            (_, BitExpr::Const(true)) => self.not(a),
+            _ if a == b => self.konst(false),
+            _ => self.mk(BitExpr::Xor(a.min(b), a.max(b))),
+        }
+    }
+
+    /// Adds a monitor register; its next-state function must be patched
+    /// via `set_next` once known. Returns the *state index* (the DAG
+    /// variable is offset by the input count, which appending state
+    /// bits never disturbs).
+    fn register(&mut self, name: String, init: bool) -> (u32, BitId) {
+        let state_index = self.ts.state_bits.len() as u32;
+        let var = self.ts.input_bits.len() as u32 + state_index;
+        self.ts.state_bits.push(name);
+        self.ts.init.push(init);
+        // placeholder next (hold); fixed up by set_next
+        let cur = self.mk(BitExpr::Var(var));
+        self.ts.next.push(cur);
+        (state_index, cur)
+    }
+
+    fn set_next(&mut self, var: u32, f: BitId) {
+        self.ts.next[var as usize] = f;
+    }
+
+    /// Resolves a PSL signal atom to a 1-bit function of the current
+    /// state/inputs.
+    fn atom(&mut self, name: &str) -> Result<BitId, UnsupportedPropertyError> {
+        if let Some(bits) = self.ts.probe(name) {
+            if bits.len() == 1 {
+                return Ok(bits[0]);
+            }
+            return Err(UnsupportedPropertyError {
+                construct: format!("multi-bit signal {name} as a Boolean atom"),
+            });
+        }
+        // indexed form name[i]
+        if let Some(open) = name.rfind('[') {
+            if let (base, Some(idx)) = (
+                &name[..open],
+                name[open + 1..].strip_suffix(']').and_then(|s| s.parse::<usize>().ok()),
+            ) {
+                if let Some(bits) = self.ts.probe(base) {
+                    if idx < bits.len() {
+                        return Ok(bits[idx]);
+                    }
+                }
+            }
+        }
+        Err(UnsupportedPropertyError {
+            construct: format!("unknown signal {name}"),
+        })
+    }
+
+    fn bool_expr(&mut self, e: &BoolExpr) -> Result<BitId, UnsupportedPropertyError> {
+        Ok(match e {
+            BoolExpr::Const(b) => self.konst(*b),
+            BoolExpr::Var(n) => self.atom(n)?,
+            BoolExpr::Not(a) => {
+                let x = self.bool_expr(a)?;
+                self.not(x)
+            }
+            BoolExpr::And(a, b) => {
+                let (x, y) = (self.bool_expr(a)?, self.bool_expr(b)?);
+                self.and(x, y)
+            }
+            BoolExpr::Or(a, b) => {
+                let (x, y) = (self.bool_expr(a)?, self.bool_expr(b)?);
+                self.or(x, y)
+            }
+            BoolExpr::Xor(a, b) => {
+                let (x, y) = (self.bool_expr(a)?, self.bool_expr(b)?);
+                self.xor(x, y)
+            }
+            BoolExpr::Implies(a, b) => {
+                let (x, y) = (self.bool_expr(a)?, self.bool_expr(b)?);
+                let nx = self.not(x);
+                self.or(nx, y)
+            }
+            BoolExpr::Iff(a, b) => {
+                let (x, y) = (self.bool_expr(a)?, self.bool_expr(b)?);
+                let d = self.xor(x, y);
+                self.not(d)
+            }
+        })
+    }
+
+    /// Builds the NFA position registers for a SERE.
+    ///
+    /// Returns `(accepted_now, any_active_now)`: `accepted_now` is true
+    /// in every step where a match ends; matches are seeded each step
+    /// that `seed_now` holds.
+    fn sere_monitor(
+        &mut self,
+        sere: &Sere,
+        seed_now: BitId,
+        tag: &str,
+    ) -> Result<(BitId, BitId), UnsupportedPropertyError> {
+        let nfa = NfaView::build(sere);
+        // one register per position: "entered at the previous step"
+        let regs: Vec<(u32, BitId)> = (0..nfa.guards.len())
+            .map(|i| self.register(format!("psl::{tag}::pos{i}"), false))
+            .collect();
+        let mut accepted = self.konst(false);
+        let mut any = self.konst(false);
+        let mut now_active: Vec<BitId> = Vec::with_capacity(regs.len());
+        for (i, guard) in nfa.guards.iter().enumerate() {
+            let g = self.bool_expr(guard)?;
+            // entered now if guard holds and (seeded-first or followed)
+            let mut entry = if nfa.first.contains(&i) {
+                seed_now
+            } else {
+                self.konst(false)
+            };
+            for (j, follows) in nfa.follow.iter().enumerate() {
+                if follows.contains(&i) {
+                    entry = self.or(entry, regs[j].1);
+                }
+            }
+            let act = self.and(g, entry);
+            now_active.push(act);
+            if nfa.last[i] {
+                accepted = self.or(accepted, act);
+            }
+            any = self.or(any, act);
+        }
+        for (i, &(var, _)) in regs.iter().enumerate() {
+            self.set_next(var, now_active[i]);
+        }
+        if nfa.nullable {
+            accepted = self.or(accepted, seed_now);
+        }
+        Ok((accepted, any))
+    }
+}
+
+/// Minimal re-derivation of the Glushkov construction over `la1-psl`
+/// SEREs (the `Nfa` type in `la1-psl` does not expose its internals;
+/// for circuits we need positions/guards explicitly).
+struct NfaView {
+    guards: Vec<BoolExpr>,
+    first: Vec<usize>,
+    follow: Vec<Vec<usize>>,
+    last: Vec<bool>,
+    nullable: bool,
+}
+
+struct NfaFrag {
+    first: Vec<usize>,
+    last: Vec<usize>,
+    nullable: bool,
+}
+
+impl NfaView {
+    fn build(sere: &Sere) -> NfaView {
+        let mut guards = Vec::new();
+        let mut follow: Vec<Vec<usize>> = Vec::new();
+        let frag = Self::rec(sere, &mut guards, &mut follow);
+        let mut last = vec![false; guards.len()];
+        for &l in &frag.last {
+            last[l] = true;
+        }
+        NfaView {
+            guards,
+            first: frag.first,
+            follow,
+            last,
+            nullable: frag.nullable,
+        }
+    }
+
+    fn rec(sere: &Sere, guards: &mut Vec<BoolExpr>, follow: &mut Vec<Vec<usize>>) -> NfaFrag {
+        let link = |follow: &mut Vec<Vec<usize>>, from: &[usize], to: &[usize]| {
+            for &f in from {
+                for &t in to {
+                    if !follow[f].contains(&t) {
+                        follow[f].push(t);
+                    }
+                }
+            }
+        };
+        match sere {
+            Sere::Bool(b) => {
+                guards.push(b.clone());
+                follow.push(Vec::new());
+                let p = guards.len() - 1;
+                NfaFrag {
+                    first: vec![p],
+                    last: vec![p],
+                    nullable: false,
+                }
+            }
+            Sere::Concat(a, b) => {
+                let fa = Self::rec(a, guards, follow);
+                let fb = Self::rec(b, guards, follow);
+                link(follow, &fa.last, &fb.first);
+                let mut first = fa.first;
+                if fa.nullable {
+                    first.extend_from_slice(&fb.first);
+                }
+                let mut last = fb.last;
+                if fb.nullable {
+                    last.extend_from_slice(&fa.last);
+                }
+                NfaFrag {
+                    first,
+                    last,
+                    nullable: fa.nullable && fb.nullable,
+                }
+            }
+            Sere::Or(a, b) => {
+                let fa = Self::rec(a, guards, follow);
+                let fb = Self::rec(b, guards, follow);
+                NfaFrag {
+                    first: [fa.first, fb.first].concat(),
+                    last: [fa.last, fb.last].concat(),
+                    nullable: fa.nullable || fb.nullable,
+                }
+            }
+            Sere::Fusion(a, b) => {
+                let fa = Self::rec(a, guards, follow);
+                let fb = Self::rec(b, guards, follow);
+                let mut bridge = Vec::new();
+                for &l in &fa.last {
+                    for &f in &fb.first {
+                        let g = BoolExpr::And(
+                            Box::new(guards[l].clone()),
+                            Box::new(guards[f].clone()),
+                        );
+                        guards.push(g);
+                        follow.push(follow[f].clone());
+                        bridge.push((l, f, guards.len() - 1));
+                    }
+                }
+                let snapshot = follow.clone();
+                for &(l, _, p) in &bridge {
+                    for (src, succs) in snapshot.iter().enumerate() {
+                        if succs.contains(&l) && !follow[src].contains(&p) {
+                            follow[src].push(p);
+                        }
+                    }
+                }
+                let mut first = fa.first.clone();
+                let mut last = fb.last.clone();
+                for &(l, f, p) in &bridge {
+                    if fa.first.contains(&l) {
+                        first.push(p);
+                    }
+                    if fb.last.contains(&f) {
+                        last.push(p);
+                    }
+                }
+                NfaFrag {
+                    first,
+                    last,
+                    nullable: false,
+                }
+            }
+            Sere::And(a, b) => {
+                let na = NfaView::build(a);
+                let nb = NfaView::build(b);
+                let base = guards.len();
+                let idx = |pa: usize, pb: usize| base + pa * nb.guards.len() + pb;
+                for ga in &na.guards {
+                    for gb in &nb.guards {
+                        guards.push(BoolExpr::And(Box::new(ga.clone()), Box::new(gb.clone())));
+                        follow.push(Vec::new());
+                    }
+                }
+                for pa in 0..na.guards.len() {
+                    for pb in 0..nb.guards.len() {
+                        for &qa in &na.follow[pa] {
+                            for &qb in &nb.follow[pb] {
+                                follow[idx(pa, pb)].push(idx(qa, qb));
+                            }
+                        }
+                    }
+                }
+                let mut first = Vec::new();
+                for &pa in &na.first {
+                    for &pb in &nb.first {
+                        first.push(idx(pa, pb));
+                    }
+                }
+                let mut last = Vec::new();
+                for pa in 0..na.guards.len() {
+                    for pb in 0..nb.guards.len() {
+                        if na.last[pa] && nb.last[pb] {
+                            last.push(idx(pa, pb));
+                        }
+                    }
+                }
+                NfaFrag {
+                    first,
+                    last,
+                    nullable: na.nullable && nb.nullable,
+                }
+            }
+            Sere::Repeat { sere, min, max } => {
+                if max == &Some(0) {
+                    return NfaFrag {
+                        first: Vec::new(),
+                        last: Vec::new(),
+                        nullable: true,
+                    };
+                }
+                let total = max.unwrap_or(min + 1).max(1);
+                let mut tails: Vec<usize> = Vec::new();
+                let mut first: Vec<usize> = Vec::new();
+                let mut last: Vec<usize> = Vec::new();
+                let mut prefix_nullable = true;
+                let mut inner_nullable = false;
+                for i in 0..total {
+                    let c = Self::rec(sere, guards, follow);
+                    inner_nullable = c.nullable;
+                    link(follow, &tails, &c.first);
+                    if prefix_nullable {
+                        first.extend_from_slice(&c.first);
+                    }
+                    if i + 1 >= *min {
+                        last.extend_from_slice(&c.last);
+                    }
+                    let copy_optional = i >= *min || c.nullable;
+                    if copy_optional {
+                        tails.extend_from_slice(&c.last);
+                    } else {
+                        tails = c.last.clone();
+                    }
+                    if max.is_none() && i + 1 == total {
+                        let lasts = c.last.clone();
+                        let firsts = c.first.clone();
+                        link(follow, &lasts, &firsts);
+                    }
+                    prefix_nullable = prefix_nullable && copy_optional;
+                }
+                NfaFrag {
+                    first,
+                    last,
+                    nullable: *min == 0 || inner_nullable,
+                }
+            }
+        }
+    }
+}
+
+/// Synthesizes an `always`-rooted (or `never`) safety property into a
+/// monitor circuit over a copy of `ts`.
+pub(crate) fn synthesize(
+    ts: &TransitionSystem,
+    property: &Property,
+    tag: &str,
+) -> Result<SynthesizedMonitor, UnsupportedPropertyError> {
+    let mut b = TsBuilder::new(ts);
+    let true_bit = b.konst(true);
+    // the root property is armed once, at step 0, unless wrapped in
+    // `always` (PSL: an un-quantified property applies to the first cycle)
+    let fail = synth_fail(&mut b, property, true_bit, tag, false)?;
+    Ok(SynthesizedMonitor { ts: b.ts, fail })
+}
+
+/// Returns a bit that is 1 in any step where the property (required to
+/// start in every step that `trigger` holds, when `persistent`; required
+/// to start at step 0 otherwise) is violated.
+fn synth_fail(
+    b: &mut TsBuilder,
+    prop: &Property,
+    trigger: BitId,
+    tag: &str,
+    top: bool,
+) -> Result<BitId, UnsupportedPropertyError> {
+    match prop {
+        Property::Always(body) => synth_fail(b, body, trigger, tag, true),
+        Property::Bool(e) => {
+            let v = b.bool_expr(e)?;
+            let nv = b.not(v);
+            let armed = arm(b, trigger, tag, top)?;
+            Ok(b.and(armed, nv))
+        }
+        Property::Implies(cond, body) => {
+            let c = b.bool_expr(cond)?;
+            let armed = arm(b, trigger, tag, top)?;
+            let t = b.and(armed, c);
+            synth_fail_consequent(b, body, t, tag)
+        }
+        Property::Never(s) => {
+            // `never` is inherently invariant: matches are forbidden
+            // starting anywhere, so seeding is unconditional
+            let (accepted, _) = b.sere_monitor(s, trigger, &format!("{tag}::never"))?;
+            Ok(accepted)
+        }
+        Property::SuffixImpl { pre, post, overlap } => {
+            let armed = arm(b, trigger, tag, top)?;
+            let (accepted, _) = b.sere_monitor(pre, armed, &format!("{tag}::pre"))?;
+            let t = if *overlap {
+                accepted
+            } else {
+                let (var, cur) = b.register(format!("psl::{tag}::nonovl"), false);
+                b.set_next(var, accepted);
+                cur
+            };
+            synth_fail_consequent(b, post, t, tag)
+        }
+        Property::Next { .. } | Property::Until { .. } | Property::Before { .. } => {
+            // handled as a consequent of an always-armed trigger
+            let armed = arm(b, trigger, tag, top)?;
+            synth_fail_consequent(b, prop, armed, tag)
+        }
+        Property::And(p, q) => {
+            let f1 = synth_fail(b, p, trigger, tag, top)?;
+            let f2 = synth_fail(b, q, trigger, tag, top)?;
+            Ok(b.or(f1, f2))
+        }
+        Property::Eventually(_) | Property::SereStrong(_) => Err(UnsupportedPropertyError {
+            construct: "a strong (liveness) operator".to_string(),
+        }),
+    }
+}
+
+/// When a property is not under `always`, it only applies from step 0;
+/// a `first-step` register gates the trigger.
+fn arm(
+    b: &mut TsBuilder,
+    trigger: BitId,
+    tag: &str,
+    persistent: bool,
+) -> Result<BitId, UnsupportedPropertyError> {
+    if persistent {
+        return Ok(trigger);
+    }
+    let (var, cur) = b.register(format!("psl::{tag}::first"), true);
+    let zero = b.konst(false);
+    b.set_next(var, zero);
+    Ok(b.and(trigger, cur))
+}
+
+/// Fails when `prop`, obligated to hold starting at every step where
+/// `trigger` holds, is violated.
+fn synth_fail_consequent(
+    b: &mut TsBuilder,
+    prop: &Property,
+    trigger: BitId,
+    tag: &str,
+) -> Result<BitId, UnsupportedPropertyError> {
+    match prop {
+        Property::Bool(e) => {
+            let v = b.bool_expr(e)?;
+            let nv = b.not(v);
+            Ok(b.and(trigger, nv))
+        }
+        Property::Implies(cond, body) => {
+            let c = b.bool_expr(cond)?;
+            let t = b.and(trigger, c);
+            synth_fail_consequent(b, body, t, tag)
+        }
+        Property::And(p, q) => {
+            let f1 = synth_fail_consequent(b, p, trigger, tag)?;
+            let f2 = synth_fail_consequent(b, q, trigger, tag)?;
+            Ok(b.or(f1, f2))
+        }
+        Property::Next { n, strong: _, body } => {
+            // shift the obligation n steps (weak and strong coincide on
+            // the infinite traces of a transition system)
+            let mut t = trigger;
+            for k in 0..*n {
+                let (var, cur) = b.register(format!("psl::{tag}::next{k}"), false);
+                b.set_next(var, t);
+                t = cur;
+            }
+            synth_fail_consequent(b, body, t, tag)
+        }
+        Property::Until { p, q, strong } => {
+            if *strong {
+                return Err(UnsupportedPropertyError {
+                    construct: "until! (strong until)".to_string(),
+                });
+            }
+            let pv = b.bool_expr(p)?;
+            let qv = b.bool_expr(q)?;
+            // active obligation: triggered now or pending from before,
+            // not yet released by q
+            let (var, pending) = b.register(format!("psl::{tag}::until"), false);
+            let active = b.or(trigger, pending);
+            let nq = b.not(qv);
+            let open = b.and(active, nq);
+            b.set_next(var, open);
+            let np = b.not(pv);
+            Ok(b.and(open, np))
+        }
+        Property::Before { p, q, strong } => {
+            if *strong {
+                return Err(UnsupportedPropertyError {
+                    construct: "before! (strong before)".to_string(),
+                });
+            }
+            let pv = b.bool_expr(p)?;
+            let qv = b.bool_expr(q)?;
+            // obligation open until p occurs (without q); fails when q
+            // occurs while p has not
+            let (var, pending) = b.register(format!("psl::{tag}::before"), false);
+            let active = b.or(trigger, pending);
+            let nq = b.not(qv);
+            let np = b.not(pv);
+            let still_open = b.and(active, np);
+            let keep = b.and(still_open, nq);
+            b.set_next(var, keep);
+            // matches the runtime monitor: q arriving while the
+            // obligation is open (even together with p) is a failure
+            Ok(b.and(active, qv))
+        }
+        Property::SuffixImpl { pre, post, overlap } => {
+            let (accepted, _) = b.sere_monitor(pre, trigger, &format!("{tag}::pre2"))?;
+            let t = if *overlap {
+                accepted
+            } else {
+                let (var, cur) = b.register(format!("psl::{tag}::nonovl2"), false);
+                b.set_next(var, accepted);
+                cur
+            };
+            synth_fail_consequent(b, post, t, tag)
+        }
+        Property::Never(s) => {
+            let (accepted, _) = b.sere_monitor(s, trigger, &format!("{tag}::never2"))?;
+            Ok(accepted)
+        }
+        Property::Always(body) => {
+            // `always` inside a consequent: once triggered, applies forever
+            let (var, latched) = b.register(format!("psl::{tag}::latch"), false);
+            let on = b.or(latched, trigger);
+            b.set_next(var, on);
+            synth_fail_consequent(b, body, on, tag)
+        }
+        Property::Eventually(_) | Property::SereStrong(_) => Err(UnsupportedPropertyError {
+            construct: "a strong (liveness) operator".to_string(),
+        }),
+    }
+}

@@ -1,0 +1,244 @@
+//! Unit and property tests for the symbolic model checker.
+
+use crate::*;
+use la1_psl::parse_directive;
+use la1_rtl::{Expr, Netlist};
+use proptest::prelude::*;
+
+/// A toggling bit: q alternates 0,1,0,1,... on rising clock edges.
+fn toggler() -> TransitionSystem {
+    let mut n = Netlist::new("t");
+    let clk = n.input("clk", 1);
+    let q = n.reg("q", 1);
+    n.dff_posedge(clk, Expr::not(Expr::net(q)), q);
+    n.extract(&[clk])
+}
+
+/// A 2-bit counter that wraps, with a `top` flag wire.
+fn counter2() -> TransitionSystem {
+    let mut n = Netlist::new("c2");
+    let clk = n.input("clk", 1);
+    let q = n.reg("q", 2);
+    let b0 = Expr::Index(q, 0);
+    let b1 = Expr::Index(q, 1);
+    let d = Expr::Concat(vec![
+        Expr::not(b0.clone()),
+        Expr::xor(b1.clone(), b0.clone()),
+    ]);
+    n.dff_posedge(clk, d, q);
+    let top = n.wire("top", 1);
+    n.assign(top, Expr::and(b0, b1));
+    n.extract(&[clk])
+}
+
+fn check(ts: &TransitionSystem, src: &str) -> SmcReport {
+    let d = parse_directive(src).unwrap();
+    ModelChecker::new(ts, SmcConfig::default())
+        .check(&d)
+        .unwrap()
+}
+
+fn check_with(ts: &TransitionSystem, src: &str, config: SmcConfig) -> SmcReport {
+    let d = parse_directive(src).unwrap();
+    ModelChecker::new(ts, config).check(&d).unwrap()
+}
+
+#[test]
+fn proves_simple_invariant() {
+    let ts = toggler();
+    // q and clk never... q toggles only on rising edges so q == "clk
+    // was high an even number of half-steps ago"; a tautology instead:
+    let r = check(&ts, "assert tauto : always (q || !q)");
+    assert!(r.proved());
+    assert!(r.stats.bdd_nodes > 0);
+    assert!(r.stats.iterations > 0);
+    assert!(r.stats.reachable_states >= 2.0);
+}
+
+#[test]
+fn finds_violation_with_trace() {
+    let ts = toggler();
+    // q does become 1: "always !q" must fail
+    let r = check(&ts, "assert never_q : always !q");
+    let SmcOutcome::Violated(trace) = &r.outcome else {
+        panic!("expected violation, got {:?}", r.outcome);
+    };
+    // final state has q=1
+    let qi = trace.state_bits.iter().position(|n| n == "q[0]").unwrap();
+    assert!(trace.steps.last().unwrap()[qi]);
+    // trace starts at the initial state (q=0, clk=0)
+    assert!(!trace.steps[0][qi]);
+    assert!(trace.render().contains("step 0:"));
+}
+
+#[test]
+fn never_sere_proved_and_violated() {
+    let ts = toggler();
+    // q never holds three consecutive steps (it holds exactly 2: the
+    // rising-edge step and the falling-edge step of each period)
+    let r = check(&ts, "assert no3 : never {q ; q ; q}");
+    assert!(r.proved(), "{:?}", r.outcome);
+    let r = check(&ts, "assert no2 : never {q ; q}");
+    assert!(matches!(r.outcome, SmcOutcome::Violated(_)));
+}
+
+#[test]
+fn suffix_implication_checked() {
+    let ts = counter2();
+    // after top (q=3), the counter wraps: next step has q=0 ... but the
+    // extracted system steps are half-periods; q changes only on rising
+    // edges, so after a `top` step comes either another top (falling
+    // half) or zero. "top |-> next[2] !top" holds.
+    let r = check(&ts, "assert wrap : always {top} |-> next[2] !top");
+    assert!(r.proved(), "{:?}", r.outcome);
+    // and "always {top} |-> next[2] top" must fail
+    let r = check(&ts, "assert stay : always {top} |-> next[2] top");
+    assert!(matches!(r.outcome, SmcOutcome::Violated(_)));
+}
+
+#[test]
+fn until_property() {
+    let ts = counter2();
+    // from reset, q stays below 3 until top (weak until on bits)
+    let r = check(&ts, "assert below : (!top) until top");
+    assert!(r.proved(), "{:?}", r.outcome);
+}
+
+#[test]
+fn before_property_violation() {
+    let ts = counter2();
+    // claim q[1] rises before q[0] — false: q[0] rises first
+    let r = check(&ts, "assert order : q[1] before q[0]");
+    assert!(matches!(r.outcome, SmcOutcome::Violated(_)), "{:?}", r.outcome);
+    // the true ordering is proved
+    let r = check(&ts, "assert order2 : q[0] before q[1]");
+    assert!(r.proved(), "{:?}", r.outcome);
+}
+
+#[test]
+fn state_explosion_on_tiny_budget() {
+    let ts = counter2();
+    let cfg = SmcConfig {
+        node_budget: 40,
+        ..SmcConfig::default()
+    };
+    let r = check_with(&ts, "assert tauto : always (top || !top)", cfg);
+    assert!(matches!(r.outcome, SmcOutcome::StateExplosion), "{:?}", r.outcome);
+}
+
+#[test]
+fn strategies_agree() {
+    let ts = counter2();
+    for src in [
+        "assert a : always (q[0] || !q[0])",
+        "assert b : never {top ; top ; top}",
+        "assert c : always {top} |-> next[2] !top",
+        "assert d : always !q[1]", // violated
+    ] {
+        let mono = check_with(
+            &ts,
+            src,
+            SmcConfig {
+                strategy: crate::Strategy::Monolithic,
+                ..SmcConfig::default()
+            },
+        );
+        let part = check_with(
+            &ts,
+            src,
+            SmcConfig {
+                strategy: crate::Strategy::Partitioned,
+                ..SmcConfig::default()
+            },
+        );
+        assert_eq!(
+            matches!(mono.outcome, SmcOutcome::Proved),
+            matches!(part.outcome, SmcOutcome::Proved),
+            "strategy disagreement on {src}"
+        );
+    }
+}
+
+#[test]
+fn liveness_rejected() {
+    let ts = toggler();
+    let d = parse_directive("assert live : eventually! {q}").unwrap();
+    let err = ModelChecker::new(&ts, SmcConfig::default())
+        .check(&d)
+        .unwrap_err();
+    assert!(err.to_string().contains("safety subset"));
+}
+
+#[test]
+fn non_assert_rejected() {
+    let ts = toggler();
+    let d = parse_directive("cover c : eventually! {q}").unwrap();
+    assert!(ModelChecker::new(&ts, SmcConfig::default()).check(&d).is_err());
+}
+
+#[test]
+fn unknown_signal_rejected() {
+    let ts = toggler();
+    let d = parse_directive("assert u : always ghost_signal").unwrap();
+    let err = ModelChecker::new(&ts, SmcConfig::default())
+        .check(&d)
+        .unwrap_err();
+    assert!(err.construct.contains("ghost_signal"));
+}
+
+#[test]
+fn trace_replays_through_transition_system() {
+    // every step of a counterexample must be a genuine transition
+    let ts = counter2();
+    let r = check(&ts, "assert never_top : always !top");
+    let SmcOutcome::Violated(trace) = &r.outcome else {
+        panic!("expected violation");
+    };
+    // the monitor-extended system has extra bits; replay only checks
+    // the original design bits via the next functions of the monitor ts
+    // — easiest is to re-synthesize and evaluate; here we check the
+    // design-bit prefix evolves per the original ts
+    let design_bits = ts.num_state_bits();
+    for w in trace.steps.windows(2) {
+        let (s0, s1) = (&w[0], &w[1]);
+        let inputs: Vec<bool> = vec![]; // counter2 has no free inputs
+        for bit in 0..design_bits {
+            let expect = ts.eval_node(ts.next[bit], &s0[..design_bits], &inputs);
+            assert_eq!(s1[bit], expect, "bit {bit} does not follow the design");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn bounded_never_matches_step_parity(len in 1u32..5) {
+        // in the toggler, q is high for exactly 2 consecutive steps;
+        // `never {q[*len]}` is proved iff len > 2
+        let ts = toggler();
+        let src = format!("assert n : never {{q[*{len}]}}");
+        let r = check(&ts, &src);
+        if len > 2 {
+            prop_assert!(r.proved(), "{:?}", r.outcome);
+        } else {
+            prop_assert!(matches!(r.outcome, SmcOutcome::Violated(_)));
+        }
+    }
+
+    #[test]
+    fn budget_monotone(budget in 100usize..4000) {
+        // a verdict obtained under a small budget never flips under a
+        // larger one (explosion may become a proof, not vice versa)
+        let ts = counter2();
+        let small = check_with(&ts, "assert t : always (top || !top)", SmcConfig {
+            node_budget: budget,
+            ..SmcConfig::default()
+        });
+        let big = check_with(&ts, "assert t : always (top || !top)", SmcConfig::default());
+        prop_assert!(big.proved());
+        if small.proved() {
+            prop_assert!(matches!(big.outcome, SmcOutcome::Proved));
+        }
+    }
+}
