@@ -45,6 +45,7 @@
 mod conformance;
 mod explore;
 mod machine;
+mod shard;
 mod value;
 
 pub use conformance::{conformance_check, ConformanceError, StepSystem};

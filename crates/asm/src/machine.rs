@@ -4,7 +4,7 @@ use crate::value::Value;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a declared state variable (an ASM *location*).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -90,8 +90,8 @@ impl fmt::Display for InconsistentUpdateError {
 
 impl Error for InconsistentUpdateError {}
 
-type GuardFn = dyn Fn(&AsmState) -> bool;
-type BodyFn = dyn Fn(&AsmState) -> Vec<UpdateSet>;
+type GuardFn = dyn Fn(&AsmState) -> bool + Send + Sync;
+type BodyFn = dyn Fn(&AsmState) -> Vec<UpdateSet> + Send + Sync;
 
 /// A guarded rule: the ASM analogue of an AsmL method with a `require`
 /// precondition.
@@ -101,8 +101,8 @@ type BodyFn = dyn Fn(&AsmState) -> Vec<UpdateSet>;
 #[derive(Clone)]
 pub struct Rule {
     pub(crate) name: String,
-    pub(crate) guard: Rc<GuardFn>,
-    pub(crate) body: Rc<BodyFn>,
+    pub(crate) guard: Arc<GuardFn>,
+    pub(crate) body: Arc<BodyFn>,
 }
 
 impl Rule {
@@ -125,7 +125,7 @@ pub struct Machine {
     pub(crate) var_names: Vec<String>,
     pub(crate) init: Vec<Value>,
     pub(crate) rules: Vec<Rule>,
-    pub(crate) predicates: Vec<(String, Rc<GuardFn>)>,
+    pub(crate) predicates: Vec<(String, Arc<GuardFn>)>,
     pub(crate) var_index: HashMap<String, VarId>,
 }
 
@@ -176,22 +176,42 @@ impl Machine {
     }
 
     /// Fires `rule` in `state` with choice index `choice`, checking update
-    /// consistency.
+    /// consistency. Allocating convenience wrapper around
+    /// [`Machine::apply_into`], used by the test suite; the explorer
+    /// calls `apply_into` directly.
     ///
     /// # Errors
     ///
     /// Returns [`InconsistentUpdateError`] if the update set assigns two
     /// different values to one location.
+    #[cfg(test)]
     pub(crate) fn apply(
         &self,
         state: &AsmState,
         rule: &Rule,
         updates: &UpdateSet,
     ) -> Result<AsmState, InconsistentUpdateError> {
-        let mut seen: HashMap<VarId, &Value> = HashMap::new();
-        for (var, value) in updates {
-            if let Some(prev) = seen.insert(*var, value) {
-                if prev != value {
+        let mut next = AsmState { values: Vec::new() };
+        self.apply_into(state, rule, updates, &mut next)?;
+        Ok(next)
+    }
+
+    /// Fires `rule` in `state`, writing the successor into `next` and
+    /// reusing `next`'s buffer. This is the explorer's hot path — a
+    /// successor is computed for every `(state, rule, choice)` triple.
+    pub(crate) fn apply_into(
+        &self,
+        state: &AsmState,
+        rule: &Rule,
+        updates: &UpdateSet,
+        next: &mut AsmState,
+    ) -> Result<(), InconsistentUpdateError> {
+        // Consistency check without a per-call hash map: update sets are
+        // small (one entry per written location), so a quadratic scan is
+        // cheaper than allocating.
+        for (i, (var, value)) in updates.iter().enumerate() {
+            for (prev_var, prev_value) in &updates[..i] {
+                if prev_var == var && prev_value != value {
                     return Err(InconsistentUpdateError {
                         rule: rule.name.clone(),
                         location: self.var_names[var.0 as usize].clone(),
@@ -199,11 +219,11 @@ impl Machine {
                 }
             }
         }
-        let mut next = state.clone();
+        next.values.clone_from(&state.values);
         for (var, value) in updates {
             next.values[var.0 as usize] = value.clone();
         }
-        Ok(next)
+        Ok(())
     }
 
     /// Evaluates a named predicate (or a Boolean variable of the same
@@ -229,7 +249,7 @@ pub struct MachineBuilder {
     var_names: Vec<String>,
     init: Vec<Value>,
     rules: Vec<Rule>,
-    predicates: Vec<(String, Rc<GuardFn>)>,
+    predicates: Vec<(String, Arc<GuardFn>)>,
 }
 
 impl MachineBuilder {
@@ -258,13 +278,13 @@ impl MachineBuilder {
     /// producing one update set per nondeterministic choice.
     pub fn rule<G, B>(&mut self, name: impl Into<String>, guard: G, body: B) -> &mut Self
     where
-        G: Fn(&AsmState) -> bool + 'static,
-        B: Fn(&AsmState) -> Vec<Vec<(VarId, Value)>> + 'static,
+        G: Fn(&AsmState) -> bool + Send + Sync + 'static,
+        B: Fn(&AsmState) -> Vec<Vec<(VarId, Value)>> + Send + Sync + 'static,
     {
         self.rules.push(Rule {
             name: name.into(),
-            guard: Rc::new(guard),
-            body: Rc::new(body),
+            guard: Arc::new(guard),
+            body: Arc::new(body),
         });
         self
     }
@@ -272,9 +292,9 @@ impl MachineBuilder {
     /// Declares a named Boolean predicate visible to PSL properties.
     pub fn predicate<P>(&mut self, name: impl Into<String>, pred: P) -> &mut Self
     where
-        P: Fn(&AsmState) -> bool + 'static,
+        P: Fn(&AsmState) -> bool + Send + Sync + 'static,
     {
-        self.predicates.push((name.into(), Rc::new(pred)));
+        self.predicates.push((name.into(), Arc::new(pred)));
         self
     }
 

@@ -2,7 +2,6 @@
 
 use crate::*;
 use la1_psl::{parse_directive, Directive};
-use proptest::prelude::*;
 
 /// Builds a modulo-`n` counter with a `flag` that is true when count == 0.
 fn counter(n: i64) -> Machine {
@@ -362,52 +361,6 @@ fn conformance_detects_acceptance_mismatch() {
 
 // ---- property tests ---------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn counter_fsm_size_equals_modulus(n in 2i64..40) {
-        let m = counter(n);
-        let r = Explorer::new(&m, ExploreConfig::default()).run();
-        prop_assert_eq!(r.fsm.num_states() as i64, n);
-        prop_assert_eq!(r.fsm.num_transitions() as i64, n);
-    }
-
-    #[test]
-    fn exploration_is_deterministic(n in 2i64..15) {
-        let m = counter(n);
-        let a = Explorer::new(&m, ExploreConfig::default()).run();
-        let b = Explorer::new(&m, ExploreConfig::default()).run();
-        prop_assert_eq!(a.fsm.num_states(), b.fsm.num_states());
-        prop_assert_eq!(a.fsm.num_transitions(), b.fsm.num_transitions());
-        let ta: Vec<_> = a.fsm.transitions().map(|(f, l, t)| (f, l.to_string(), t)).collect();
-        let tb: Vec<_> = b.fsm.transitions().map(|(f, l, t)| (f, l.to_string(), t)).collect();
-        prop_assert_eq!(ta, tb);
-    }
-
-    #[test]
-    fn counterexample_paths_replay(n in 3i64..12) {
-        // any counterexample the explorer returns must be a genuine path
-        let m = counter(n);
-        let dirs = assert_dirs(&["assert never_max : always !at_max"]);
-        let r = Explorer::new(&m, ExploreConfig::default()).with_directives(&dirs).run();
-        let cex = r.first_counterexample().expect("must violate");
-        // replay: apply each named rule from the initial state
-        let mut state = m.initial_state();
-        prop_assert_eq!(&cex.path[0].1, &state);
-        for (rule_name, expected) in &cex.path[1..] {
-            let rule_name = rule_name.as_ref().expect("non-initial steps have rules");
-            let rule = m.rules().iter().find(|r| r.name() == rule_name.as_str()).unwrap();
-            prop_assert!((rule.guard)(&state), "rule guard must hold along the path");
-            let choices = (rule.body)(&state);
-            let matched = choices.iter().any(|u| {
-                m.apply(&state, rule, u).map(|s| &s == expected).unwrap_or(false)
-            });
-            prop_assert!(matched, "some choice must produce the recorded state");
-            state = expected.clone();
-        }
-        prop_assert!(m.predicate("at_max", &state));
-    }
-}
-
 #[test]
 fn assume_directive_constrains_environment() {
     // a counter that can also be bumped by 2; an assume forbids the
@@ -431,7 +384,7 @@ fn assume_directive_constrains_environment() {
     // without the assume, state 2 is reachable directly from 0
     let cover = la1_psl::parse_directive("cover sees_two : eventually! {is_two}").unwrap();
     let r = Explorer::new(&m, ExploreConfig::default())
-        .with_directives(&[cover.clone()])
+        .with_directives(std::slice::from_ref(&cover))
         .run();
     assert!(matches!(r.reports[0].outcome, CheckOutcome::Covered));
 
@@ -462,4 +415,206 @@ fn fsm_dot_export_structure() {
     assert_eq!(dot.matches("->").count(), r.fsm.num_transitions());
     assert!(dot.contains("doublecircle"));
     assert!(dot.contains("wrap"));
+}
+
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+// ---- parallel engine -------------------------------------------------------
+
+/// A 4×4 grid machine: two independent counters, so BFS levels are wide
+/// and full of diamond reconvergence — a good workout for dedup and the
+/// level-synchronous engine.
+fn grid(n: i64) -> Machine {
+    let mut b = MachineBuilder::new();
+    let a = b.var("a", Value::Int(0));
+    let c = b.var("c", Value::Int(0));
+    b.rule("inc_a", move |s| s.int(a) < n, move |s| {
+        vec![vec![(a, Value::Int(s.int(a) + 1))]]
+    });
+    b.rule("inc_c", move |s| s.int(c) < n, move |s| {
+        vec![vec![(c, Value::Int(s.int(c) + 1))]]
+    });
+    b.predicate("in_range", move |s| s.int(a) <= n && s.int(c) <= n);
+    b.predicate("diag", move |s| s.int(a) == s.int(c));
+    b.predicate("corner", move |s| s.int(a) == n && s.int(c) == n);
+    b.build()
+}
+
+fn run_grid(workers: usize, dirs: &[Directive], stop_on_violation: bool) -> ExploreResult {
+    Explorer::new(
+        &grid(3),
+        ExploreConfig {
+            workers: Some(workers),
+            stop_on_violation,
+            ..ExploreConfig::default()
+        },
+    )
+    .with_directives(dirs)
+    .run()
+}
+
+#[test]
+fn diamond_dedup_hits_count_revisits() {
+    // a ⨯ c diamond: (0,0) → (1,0)/(0,1) → (1,1); the second arrival at
+    // (1,1) is the one dedup hit
+    let m = grid(1);
+    let r = Explorer::new(
+        &m,
+        ExploreConfig {
+            workers: Some(1),
+            ..ExploreConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(r.fsm.num_states(), 4);
+    assert_eq!(r.fsm.num_transitions(), 4);
+    assert_eq!(r.stats.dedup_hits, 1);
+    // every transition either discovers a node or is a dedup hit
+    assert_eq!(
+        r.stats.dedup_hits,
+        r.stats.transitions - (r.stats.states - 1)
+    );
+    assert_eq!(r.stats.interned_states, 4);
+    assert_eq!(r.stats.peak_frontier, 2);
+    assert_eq!(r.stats.workers, 1);
+    assert_eq!(r.stats.max_depth_reached, 2);
+}
+
+#[test]
+fn parallel_workers_match_sequential_exactly() {
+    let dirs = assert_dirs(&[
+        "assert bounded : always in_range",
+        "assert diag_ok : always (diag -> in_range)",
+    ]);
+    let base = run_grid(1, &dirs, true);
+    assert!(base.all_pass());
+    assert_eq!(base.fsm.num_states(), 16);
+    for workers in [2, 4] {
+        let r = run_grid(workers, &dirs, true);
+        assert_eq!(r.stats.workers, workers);
+        // byte-identical FSM: same states in the same order, same
+        // transition list, same verdicts
+        assert_eq!(r.fsm.states(), base.fsm.states(), "workers={workers}");
+        let t: Vec<_> = r.fsm.transitions().collect();
+        let tb: Vec<_> = base.fsm.transitions().collect();
+        assert_eq!(t, tb, "workers={workers}");
+        assert_eq!(r.stats.states, base.stats.states);
+        assert_eq!(r.stats.transitions, base.stats.transitions);
+        assert_eq!(r.stats.dedup_hits, base.stats.dedup_hits);
+        assert_eq!(r.stats.peak_frontier, base.stats.peak_frontier);
+        assert_eq!(r.stats.interned_states, base.stats.interned_states);
+        assert_eq!(r.stats.max_depth_reached, base.stats.max_depth_reached);
+        assert_eq!(r.stats.truncated, base.stats.truncated);
+        assert!(r.all_pass());
+    }
+}
+
+#[test]
+fn parallel_violation_same_counterexample_length() {
+    // `corner` is first reachable at depth 6, so every engine must
+    // report a 7-entry counterexample (initial state + 6 rules)
+    let dirs = assert_dirs(&["assert never_corner : always !corner"]);
+    let base = run_grid(1, &dirs, true);
+    let base_cex = base.first_counterexample().expect("violated").path.len();
+    assert_eq!(base_cex, 7);
+    for workers in [2, 4] {
+        let r = run_grid(workers, &dirs, true);
+        let cex = r.first_counterexample().expect("violated").path.len();
+        assert_eq!(cex, base_cex, "workers={workers}");
+        assert!(!r.all_pass());
+    }
+}
+
+#[test]
+fn parallel_without_stop_filter_matches_sequential() {
+    // with stop_on_violation=false the engines must agree even on
+    // violating runs: the full grid is explored either way
+    let dirs = assert_dirs(&["assert never_corner : always !corner"]);
+    let base = run_grid(1, &dirs, false);
+    assert_eq!(base.fsm.num_states(), 16);
+    for workers in [2, 4] {
+        let r = run_grid(workers, &dirs, false);
+        assert_eq!(r.fsm.states(), base.fsm.states(), "workers={workers}");
+        assert_eq!(r.stats.transitions, base.stats.transitions);
+        assert_eq!(r.stats.dedup_hits, base.stats.dedup_hits);
+        let (Some(c1), Some(c2)) = (base.first_counterexample(), r.first_counterexample())
+        else {
+            panic!("both runs must violate");
+        };
+        assert_eq!(c1.path.len(), c2.path.len());
+    }
+}
+
+#[test]
+fn parallel_respects_state_limit_deterministically() {
+    let cfg = |workers| ExploreConfig {
+        workers: Some(workers),
+        max_states: 7,
+        ..ExploreConfig::default()
+    };
+    let base = Explorer::new(&grid(3), cfg(1)).run();
+    assert!(base.stats.truncated);
+    assert_eq!(base.fsm.num_states(), 7);
+    for workers in [2, 4] {
+        let r = Explorer::new(&grid(3), cfg(workers)).run();
+        assert!(r.stats.truncated);
+        assert_eq!(r.fsm.states(), base.fsm.states(), "workers={workers}");
+        let t: Vec<_> = r.fsm.transitions().collect();
+        let tb: Vec<_> = base.fsm.transitions().collect();
+        assert_eq!(t, tb, "workers={workers}");
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn counter_fsm_size_equals_modulus(n in 2i64..40) {
+            let m = counter(n);
+            let r = Explorer::new(&m, ExploreConfig::default()).run();
+            prop_assert_eq!(r.fsm.num_states() as i64, n);
+            prop_assert_eq!(r.fsm.num_transitions() as i64, n);
+        }
+
+        #[test]
+        fn exploration_is_deterministic(n in 2i64..15) {
+            let m = counter(n);
+            let a = Explorer::new(&m, ExploreConfig::default()).run();
+            let b = Explorer::new(&m, ExploreConfig::default()).run();
+            prop_assert_eq!(a.fsm.num_states(), b.fsm.num_states());
+            prop_assert_eq!(a.fsm.num_transitions(), b.fsm.num_transitions());
+            let ta: Vec<_> = a.fsm.transitions().map(|(f, l, t)| (f, l.to_string(), t)).collect();
+            let tb: Vec<_> = b.fsm.transitions().map(|(f, l, t)| (f, l.to_string(), t)).collect();
+            prop_assert_eq!(ta, tb);
+        }
+
+        #[test]
+        fn counterexample_paths_replay(n in 3i64..12) {
+            // any counterexample the explorer returns must be a genuine path
+            let m = counter(n);
+            let dirs = assert_dirs(&["assert never_max : always !at_max"]);
+            let r = Explorer::new(&m, ExploreConfig::default()).with_directives(&dirs).run();
+            let cex = r.first_counterexample().expect("must violate");
+            // replay: apply each named rule from the initial state
+            let mut state = m.initial_state();
+            prop_assert_eq!(&cex.path[0].1, &state);
+            for (rule_name, expected) in &cex.path[1..] {
+                let rule_name = rule_name.as_ref().expect("non-initial steps have rules");
+                let rule = m.rules().iter().find(|r| r.name() == rule_name.as_str()).unwrap();
+                prop_assert!((rule.guard)(&state), "rule guard must hold along the path");
+                let choices = (rule.body)(&state);
+                let matched = choices.iter().any(|u| {
+                    m.apply(&state, rule, u).map(|s| &s == expected).unwrap_or(false)
+                });
+                prop_assert!(matched, "some choice must produce the recorded state");
+                state = expected.clone();
+            }
+            prop_assert!(m.predicate("at_max", &state));
+        }
+    }
 }

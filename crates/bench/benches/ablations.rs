@@ -104,11 +104,27 @@ fn burst_extension(c: &mut Criterion) {
     g.finish();
 }
 
+fn explore_workers(c: &mut Criterion) {
+    // parallel level-synchronous exploration: sequential reference path
+    // vs one worker per core (identical results, different wall clock —
+    // on a 1-core host both resolve to the same sequential path)
+    let mut g = c.benchmark_group("ablation_explore_workers");
+    g.sample_size(10);
+    let max = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for (label, workers) in [("workers_1", 1usize), ("workers_max", max)] {
+        g.bench_with_input(BenchmarkId::new(label, 3u32), &workers, |b, &workers| {
+            b.iter(|| la1_bench::table1_row_with(3, 3, Some(workers)));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     smc_strategies,
     monitor_overhead,
     monitor_stepping,
-    burst_extension
+    burst_extension,
+    explore_workers
 );
 criterion_main!(benches);

@@ -3,20 +3,49 @@
 //! "CPU time required to verify all the interface properties combined
 //! together"; nodes/transitions refer to the generated FSM (a bounded
 //! portion, per the AsmL configuration).
+//!
+//! Usage: `table1 [depth] [--json <path>]` — the optional JSON sidecar
+//! records one machine-readable row object per bank count.
 
-use la1_bench::{secs, table1_row};
+use la1_bench::{secs, table1_row, Table1Row};
+
+fn json_row(row: &Table1Row) -> String {
+    format!(
+        "{{\"banks\": {}, \"nodes\": {}, \"transitions\": {}, \"cpu_ms\": {:.3}, \"workers\": {}}}",
+        row.banks,
+        row.nodes,
+        row.transitions,
+        row.cpu_time.as_secs_f64() * 1e3,
+        row.workers
+    )
+}
 
 fn main() {
-    let depth: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut depth = 3usize;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            json_path = Some(
+                args.get(i + 1)
+                    .expect("--json requires a path argument")
+                    .clone(),
+            );
+            i += 2;
+        } else {
+            depth = args[i].parse().expect("depth must be an integer");
+            i += 1;
+        }
+    }
+
     println!("Table 1. Model Checking Using AsmL (exploration depth {depth} cycles).");
     println!(
         "{:>6} | {:>10} | {:>12} | {:>15} | {:>6}",
         "Banks", "CPU (s)", "FSM Nodes", "Transitions", "Props"
     );
     println!("{}", "-".repeat(64));
+    let mut rows = Vec::new();
     for banks in 1..=4 {
         let row = table1_row(banks, depth);
         println!(
@@ -27,5 +56,12 @@ fn main() {
             row.transitions,
             if row.all_pass { "pass" } else { "FAIL" }
         );
+        rows.push(row);
+    }
+    if let Some(path) = json_path {
+        let body = rows.iter().map(json_row).collect::<Vec<_>>().join(",\n  ");
+        let json = format!("[\n  {body}\n]\n");
+        std::fs::write(&path, json).expect("write JSON output");
+        eprintln!("wrote {path}");
     }
 }

@@ -42,12 +42,21 @@ pub struct Table1Row {
     pub transitions: usize,
     /// Whether all properties passed.
     pub all_pass: bool,
+    /// Worker threads the exploration ran with.
+    pub workers: usize,
 }
 
 /// Runs one Table 1 row: model checking of all interface properties
 /// combined, at the ASM level, with a bounded exploration (the AsmL
-/// tool's configuration limits).
+/// tool's configuration limits). Uses the explorer's default worker
+/// count (one per core).
 pub fn table1_row(banks: u32, max_depth: usize) -> Table1Row {
+    table1_row_with(banks, max_depth, None)
+}
+
+/// [`table1_row`] with an explicit worker count (`None` = one per core).
+/// Results are worker-count independent; only `cpu_time` varies.
+pub fn table1_row_with(banks: u32, max_depth: usize, workers: Option<usize>) -> Table1Row {
     let cfg = table_config(banks);
     let r = asm_model_check(
         &cfg,
@@ -56,6 +65,7 @@ pub fn table1_row(banks: u32, max_depth: usize) -> Table1Row {
             max_states: 5_000_000,
             max_transitions: 20_000_000,
             stop_on_violation: true,
+            workers,
         },
     );
     Table1Row {
@@ -64,6 +74,7 @@ pub fn table1_row(banks: u32, max_depth: usize) -> Table1Row {
         nodes: r.fsm.num_states(),
         transitions: r.fsm.num_transitions(),
         all_pass: r.all_pass(),
+        workers: r.stats.workers,
     }
 }
 

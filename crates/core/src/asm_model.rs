@@ -27,7 +27,7 @@ use la1_asm::{
     AsmState, ExploreConfig, ExploreResult, Explorer, Machine, MachineBuilder, StepSystem, Value,
     VarId,
 };
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Variable handles for one bank.
 #[derive(Debug, Clone, Copy)]
@@ -121,7 +121,7 @@ impl Params {
 /// ```
 pub struct LaAsmModel {
     machine: Machine,
-    params: Rc<Params>,
+    params: Arc<Params>,
     config: LaConfig,
     /// current state for the [`StepSystem`] interface
     state: AsmState,
@@ -192,7 +192,7 @@ impl LaAsmModel {
         } else {
             (1u64 << config.word_width) - 1
         };
-        let params = Rc::new(Params {
+        let params = Arc::new(Params {
             banks: banks.clone(),
             mem,
             sim_status,
@@ -203,12 +203,12 @@ impl LaAsmModel {
 
         // --- SimManager_Init (Fig. 4) ---------------------------------
         {
-            let p = Rc::clone(&params);
+            let p = Arc::clone(&params);
             b.rule(
                 "SimManager_Init",
                 move |s| s.sym(p.sim_status) == "INIT",
                 {
-                    let p = Rc::clone(&params);
+                    let p = Arc::clone(&params);
                     move |_s| {
                         // enumerate `any rec in {true,false}` per port
                         let nb = p.banks.len();
@@ -240,17 +240,17 @@ impl LaAsmModel {
 
         // --- tick rules ------------------------------------------------
         let running = {
-            let p = Rc::clone(&params);
+            let p = Arc::clone(&params);
             move |s: &AsmState| s.sym(p.sim_status) == "CHECKING_PROP"
         };
         {
-            let p = Rc::clone(&params);
+            let p = Arc::clone(&params);
             b.rule("tick_idle", running.clone(), move |s| {
                 vec![p.tick_updates(s, None, None)]
             });
         }
         {
-            let p = Rc::clone(&params);
+            let p = Arc::clone(&params);
             b.rule("tick_read", running.clone(), move |s| {
                 let mut sets = Vec::new();
                 for bank in 0..p.banks.len() {
@@ -262,7 +262,7 @@ impl LaAsmModel {
             });
         }
         {
-            let p = Rc::clone(&params);
+            let p = Arc::clone(&params);
             b.rule("tick_write", running.clone(), move |s| {
                 let mut sets = Vec::new();
                 for bank in 0..p.banks.len() {
@@ -276,7 +276,7 @@ impl LaAsmModel {
             });
         }
         {
-            let p = Rc::clone(&params);
+            let p = Arc::clone(&params);
             b.rule("tick_read_write", running, move |s| {
                 // concurrent read and write (same or different bank)
                 let mut sets = Vec::new();

@@ -14,7 +14,6 @@ use crate::workloads::{PacketLookup, RandomMix, ReadBurst, Workload};
 use la1_asm::{conformance_check, CheckOutcome, ExploreConfig, StepSystem};
 use la1_ovl::OvlBench;
 use la1_smc::{ModelChecker, SmcConfig, SmcOutcome};
-use proptest::prelude::*;
 
 fn small_cfg(banks: u32) -> LaConfig {
     LaConfig {
@@ -577,33 +576,6 @@ fn read_burst_sweeps_all_addresses() {
 
 // ---- property tests ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn sc_rtl_equivalent_on_random_programs(seed in 0u64..500) {
-        let cfg = small_cfg(1);
-        let mut sc = LaSystemC::new(&cfg);
-        let rtl = LaRtl::build(&cfg, None);
-        let mut drv = LaRtlDriver::new(&rtl);
-        let mut w = RandomMix::new(&cfg, seed, 0.7, 0.6);
-        for _ in 0..60 {
-            let ops = w.next_cycle();
-            sc.cycle(&ops);
-            drv.cycle(&ops);
-            prop_assert_eq!(sc.bank_output(0), drv.bank_output(0));
-        }
-    }
-
-    #[test]
-    fn parity_helper_matches_xor(half in any::<u16>()) {
-        let p = byte_parity(half as u64, 16);
-        let lo = (half & 0xFF).count_ones() % 2;
-        let hi = (half >> 8).count_ones() % 2;
-        prop_assert_eq!(p, (lo as u64) | ((hi as u64) << 1));
-    }
-}
-
 // ---- fault library ---------------------------------------------------------------
 
 #[test]
@@ -853,4 +825,41 @@ fn uml_use_cases_cover_both_deployment_modes() {
     let txt = render_use_cases(&cases);
     assert!(txt.contains("NetworkProcessor"));
     assert!(txt.contains("verification unit"));
+}
+
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn sc_rtl_equivalent_on_random_programs(seed in 0u64..500) {
+            let cfg = small_cfg(1);
+            let mut sc = LaSystemC::new(&cfg);
+            let rtl = LaRtl::build(&cfg, None);
+            let mut drv = LaRtlDriver::new(&rtl);
+            let mut w = RandomMix::new(&cfg, seed, 0.7, 0.6);
+            for _ in 0..60 {
+                let ops = w.next_cycle();
+                sc.cycle(&ops);
+                drv.cycle(&ops);
+                prop_assert_eq!(sc.bank_output(0), drv.bank_output(0));
+            }
+        }
+
+        #[test]
+        fn parity_helper_matches_xor(half in any::<u16>()) {
+            let p = byte_parity(half as u64, 16);
+            let lo = (half & 0xFF).count_ones() % 2;
+            let hi = (half >> 8).count_ones() % 2;
+            prop_assert_eq!(p, (lo as u64) | ((hi as u64) << 1));
+        }
+    }
 }

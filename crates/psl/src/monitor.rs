@@ -13,7 +13,7 @@ use crate::nfa::{BitSet, Nfa};
 use crate::Valuation;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Overall verdict of a monitored property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,14 +70,14 @@ impl From<Verdict> for PslState {
 #[derive(Debug, Clone)]
 enum Ob {
     /// Spawns its body at every cycle, forever.
-    Always { body: Rc<Property> },
+    Always { body: Arc<Property> },
     /// The SERE must never reach an accepting position.
-    Never { nfa: Rc<Nfa>, active: BitSet },
+    Never { nfa: Arc<Nfa>, active: BitSet },
     /// The SERE must accept at least once (strong).
-    Eventually { nfa: Rc<Nfa>, active: BitSet },
+    Eventually { nfa: Arc<Nfa>, active: BitSet },
     /// The SERE must match a prefix (seeded only at spawn).
     SereStrong {
-        nfa: Rc<Nfa>,
+        nfa: Arc<Nfa>,
         active: BitSet,
         fresh: bool,
     },
@@ -85,25 +85,25 @@ enum Ob {
     Defer {
         remaining: u32,
         strong: bool,
-        body: Rc<Property>,
+        body: Arc<Property>,
     },
     /// `p until q`.
     Until {
-        p: Rc<BoolExpr>,
-        q: Rc<BoolExpr>,
+        p: Arc<BoolExpr>,
+        q: Arc<BoolExpr>,
         strong: bool,
     },
     /// `p before q`.
     Before {
-        p: Rc<BoolExpr>,
-        q: Rc<BoolExpr>,
+        p: Arc<BoolExpr>,
+        q: Arc<BoolExpr>,
         strong: bool,
     },
     /// `{pre} |->/|=> post`; `persistent` when hoisted out of `always`.
     SuffixImpl {
-        nfa: Rc<Nfa>,
+        nfa: Arc<Nfa>,
         active: BitSet,
-        post: Rc<Property>,
+        post: Arc<Property>,
         overlap: bool,
         persistent: bool,
         fresh: bool,
@@ -184,7 +184,7 @@ enum ObStep {
 /// An executable monitor for one [`Property`].
 ///
 /// See the crate-level docs for an end-to-end example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Monitor {
     active: Vec<Ob>,
     /// recycled buffer for [`Monitor::step`]
@@ -197,6 +197,32 @@ pub struct Monitor {
     /// True once the property has positively matched at least once —
     /// used for `cover` reporting.
     covered: bool,
+}
+
+impl Clone for Monitor {
+    fn clone(&self) -> Self {
+        Monitor {
+            active: self.active.clone(),
+            scratch: Vec::new(),
+            cycle: self.cycle,
+            failed_at: self.failed_at,
+            determined_holds: self.determined_holds,
+            covered: self.covered,
+        }
+    }
+
+    /// Reuses the destination's obligation buffers. The ASM explorer
+    /// clones the parent's monitors into a scratch vector for every
+    /// successor; `Vec::clone_from` dispatches here element-wise, which
+    /// keeps the hot loop free of per-successor vector allocations.
+    fn clone_from(&mut self, source: &Self) {
+        self.active.clone_from(&source.active);
+        self.scratch.clear();
+        self.cycle = source.cycle;
+        self.failed_at = source.failed_at;
+        self.determined_holds = source.determined_holds;
+        self.covered = source.covered;
+    }
 }
 
 impl Monitor {
@@ -417,7 +443,7 @@ fn instantiate(prop: &Property, out: &mut Vec<Ob>) {
             out.push(Ob::Defer {
                 remaining: 0,
                 strong: false,
-                body: Rc::new(prop.clone()),
+                body: Arc::new(prop.clone()),
             });
         }
         Property::Always(body) => match body.as_ref() {
@@ -425,25 +451,25 @@ fn instantiate(prop: &Property, out: &mut Vec<Ob>) {
             // persistent obligation whose NFA is re-seeded every cycle.
             Property::Never(s) => out.push(never_ob(s)),
             Property::SuffixImpl { pre, post, overlap } => out.push(Ob::SuffixImpl {
-                nfa: Rc::new(Nfa::from_sere(pre)),
+                nfa: Arc::new(Nfa::from_sere(pre)),
                 active: Nfa::from_sere(pre).new_active(),
-                post: Rc::new(post.as_ref().clone()),
+                post: Arc::new(post.as_ref().clone()),
                 overlap: *overlap,
                 persistent: true,
                 fresh: true,
             }),
             _ => out.push(Ob::Always {
-                body: Rc::new(body.as_ref().clone()),
+                body: Arc::new(body.as_ref().clone()),
             }),
         },
         Property::Never(s) => out.push(never_ob(s)),
         Property::Eventually(s) => {
-            let nfa = Rc::new(Nfa::from_sere(s));
+            let nfa = Arc::new(Nfa::from_sere(s));
             let active = nfa.new_active();
             out.push(Ob::Eventually { nfa, active });
         }
         Property::SereStrong(s) => {
-            let nfa = Rc::new(Nfa::from_sere(s));
+            let nfa = Arc::new(Nfa::from_sere(s));
             let active = nfa.new_active();
             out.push(Ob::SereStrong {
                 nfa,
@@ -452,22 +478,22 @@ fn instantiate(prop: &Property, out: &mut Vec<Ob>) {
             });
         }
         Property::Until { p, q, strong } => out.push(Ob::Until {
-            p: Rc::new(p.clone()),
-            q: Rc::new(q.clone()),
+            p: Arc::new(p.clone()),
+            q: Arc::new(q.clone()),
             strong: *strong,
         }),
         Property::Before { p, q, strong } => out.push(Ob::Before {
-            p: Rc::new(p.clone()),
-            q: Rc::new(q.clone()),
+            p: Arc::new(p.clone()),
+            q: Arc::new(q.clone()),
             strong: *strong,
         }),
         Property::SuffixImpl { pre, post, overlap } => {
-            let nfa = Rc::new(Nfa::from_sere(pre));
+            let nfa = Arc::new(Nfa::from_sere(pre));
             let active = nfa.new_active();
             out.push(Ob::SuffixImpl {
                 nfa,
                 active,
-                post: Rc::new(post.as_ref().clone()),
+                post: Arc::new(post.as_ref().clone()),
                 overlap: *overlap,
                 persistent: false,
                 fresh: true,
@@ -477,7 +503,7 @@ fn instantiate(prop: &Property, out: &mut Vec<Ob>) {
 }
 
 fn never_ob(s: &Sere) -> Ob {
-    let nfa = Rc::new(Nfa::from_sere(s));
+    let nfa = Arc::new(Nfa::from_sere(s));
     let active = nfa.new_active();
     Ob::Never { nfa, active }
 }
@@ -509,7 +535,7 @@ fn spawn_now<V: Valuation + ?Sized>(
             worklist.push(Ob::Defer {
                 remaining: *n,
                 strong: *strong,
-                body: Rc::new(body.as_ref().clone()),
+                body: Arc::new(body.as_ref().clone()),
             });
             Ok(())
         }

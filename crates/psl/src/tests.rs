@@ -1,7 +1,6 @@
 //! Unit and property tests for the PSL crate.
 
 use crate::*;
-use proptest::prelude::*;
 
 type Cycle<'a> = Vec<(&'a str, bool)>;
 
@@ -142,7 +141,7 @@ fn nfa_star_and_plus() {
 fn nfa_bounded_repeat() {
     let nfa = Nfa::from_sere(&parse_sere("{a[*2:3]}").unwrap());
     let a = cy(&[("a", true)]);
-    assert!(!nfa.accepts(&[a.clone()]));
+    assert!(!nfa.accepts(std::slice::from_ref(&a)));
     assert!(nfa.accepts(&[a.clone(), a.clone()]));
     assert!(nfa.accepts(&[a.clone(), a.clone(), a.clone()]));
     assert!(!nfa.accepts(&[a.clone(), a.clone(), a.clone(), a]));
@@ -152,7 +151,7 @@ fn nfa_bounded_repeat() {
 fn nfa_exact_repeat() {
     let nfa = Nfa::from_sere(&parse_sere("{a[*2]}").unwrap());
     let a = cy(&[("a", true)]);
-    assert!(!nfa.accepts(&[a.clone()]));
+    assert!(!nfa.accepts(std::slice::from_ref(&a)));
     assert!(nfa.accepts(&[a.clone(), a.clone()]));
     assert!(!nfa.accepts(&[a.clone(), a.clone(), a]));
 }
@@ -421,64 +420,6 @@ fn signals_of_property() {
 
 // ---- property-based tests -----------------------------------------------------
 
-// `always sig` over a random trace fails iff some cycle has `sig` false.
-proptest! {
-    #[test]
-    fn always_matches_all_quantifier(values in prop::collection::vec(any::<bool>(), 1..40)) {
-        let t: Vec<Cycle> = values.iter().map(|&v| cy(if v { &[("s", true)] } else { &[("s", false)] })).collect();
-        let expect = if values.iter().all(|&v| v) { Verdict::Holds } else { Verdict::Fails };
-        prop_assert_eq!(run("always s", &t), expect);
-    }
-
-    #[test]
-    fn never_matches_no_occurrence(values in prop::collection::vec(any::<bool>(), 1..40)) {
-        let t: Vec<Cycle> = values.iter().map(|&v| cy(if v { &[("s", true)] } else { &[("s", false)] })).collect();
-        let expect = if values.iter().any(|&v| v) { Verdict::Fails } else { Verdict::Holds };
-        prop_assert_eq!(run("never {s}", &t), expect);
-    }
-
-    #[test]
-    fn req_ack_suffix_impl_is_shifted_implication(
-        reqs in prop::collection::vec(any::<bool>(), 1..30),
-        acks in prop::collection::vec(any::<bool>(), 1..30),
-    ) {
-        let n = reqs.len().min(acks.len());
-        let t: Vec<Cycle> = (0..n).map(|i| vec![("req", reqs[i]), ("ack", acks[i])]).collect();
-        // {req} |=> ack  ==  req_i -> ack_{i+1}; a req in the last cycle is
-        // a pending weak obligation (holds).
-        let violated = (0..n.saturating_sub(1)).any(|i| reqs[i] && !acks[i + 1]);
-        let expect = if violated { Verdict::Fails } else { Verdict::Holds };
-        prop_assert_eq!(run("always {req} |=> ack", &t), expect);
-    }
-
-    #[test]
-    fn until_matches_reference_semantics(
-        ps in prop::collection::vec(any::<bool>(), 1..25),
-        qs in prop::collection::vec(any::<bool>(), 1..25),
-    ) {
-        let n = ps.len().min(qs.len());
-        let t: Vec<Cycle> = (0..n).map(|i| vec![("p", ps[i]), ("q", qs[i])]).collect();
-        // reference: find first q; all cycles before it must have p;
-        // if no q, weak holds iff p holds to the end.
-        let first_q = (0..n).find(|&i| qs[i]);
-        let expect = match first_q {
-            Some(k) if (0..k).all(|i| ps[i]) => Verdict::Holds,
-            Some(_) => Verdict::Fails,
-            None if (0..n).all(|i| ps[i]) => Verdict::Holds,
-            None => Verdict::Fails,
-        };
-        prop_assert_eq!(run("p until q", &t), expect);
-    }
-
-    #[test]
-    fn nfa_repeat_counts_exactly(k in 0usize..6, reps in 1u32..4) {
-        let sere = parse_sere(&format!("{{a[*{reps}]}}")).unwrap();
-        let nfa = Nfa::from_sere(&sere);
-        let t: Vec<Cycle> = (0..k).map(|_| cy(&[("a", true)])).collect();
-        prop_assert_eq!(nfa.accepts(&t), k as u32 == reps);
-    }
-}
-
 // ---- additional SERE corner cases ---------------------------------------------
 
 #[test]
@@ -586,97 +527,165 @@ fn severity_ordering_and_display() {
 
 // ---- NFA vs. brute-force reference matcher -------------------------------------
 
-/// Reference semantics: does `sere` match exactly `trace[lo..hi]`?
-fn matches_ref(sere: &Sere, trace: &[Vec<(&str, bool)>], lo: usize, hi: usize) -> bool {
-    match sere {
-        Sere::Bool(b) => hi == lo + 1 && b.eval(trace[lo].as_slice()),
-        Sere::Concat(a, c) => (lo..=hi).any(|m| {
-            matches_ref(a, trace, lo, m) && matches_ref(c, trace, m, hi)
-        }),
-        Sere::Fusion(a, c) => {
-            // overlap on one cycle: a matches [lo, m), c matches [m-1, hi)
-            (lo + 1..=hi).any(|m| {
-                matches_ref(a, trace, lo, m) && matches_ref(c, trace, m - 1, hi)
-            })
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    // `always sig` over a random trace fails iff some cycle has `sig` false.
+    proptest! {
+        #[test]
+        fn always_matches_all_quantifier(values in prop::collection::vec(any::<bool>(), 1..40)) {
+            let t: Vec<Cycle> = values.iter().map(|&v| cy(if v { &[("s", true)] } else { &[("s", false)] })).collect();
+            let expect = if values.iter().all(|&v| v) { Verdict::Holds } else { Verdict::Fails };
+            prop_assert_eq!(run("always s", &t), expect);
         }
-        Sere::Or(a, c) => matches_ref(a, trace, lo, hi) || matches_ref(c, trace, lo, hi),
-        Sere::And(a, c) => matches_ref(a, trace, lo, hi) && matches_ref(c, trace, lo, hi),
-        Sere::Repeat { sere, min, max } => {
-            fn rep(
-                s: &Sere,
-                trace: &[Vec<(&str, bool)>],
-                lo: usize,
-                hi: usize,
-                count: u32,
-                min: u32,
-                max: Option<u32>,
-            ) -> bool {
-                if lo == hi {
-                    // the remaining copies may all match empty if the
-                    // inner SERE is nullable (min <= max always holds)
-                    return count >= min || matches_ref(s, trace, lo, lo);
-                }
-                if let Some(mx) = max {
-                    if count >= mx {
-                        return false;
-                    }
-                }
-                (lo + 1..=hi).any(|m| {
-                    matches_ref(s, trace, lo, m)
-                        && rep(s, trace, m, hi, count + 1, min, max)
-                })
-            }
-            rep(sere, trace, lo, hi, 0, *min, *max)
+
+        #[test]
+        fn never_matches_no_occurrence(values in prop::collection::vec(any::<bool>(), 1..40)) {
+            let t: Vec<Cycle> = values.iter().map(|&v| cy(if v { &[("s", true)] } else { &[("s", false)] })).collect();
+            let expect = if values.iter().any(|&v| v) { Verdict::Fails } else { Verdict::Holds };
+            prop_assert_eq!(run("never {s}", &t), expect);
+        }
+
+        #[test]
+        fn req_ack_suffix_impl_is_shifted_implication(
+            reqs in prop::collection::vec(any::<bool>(), 1..30),
+            acks in prop::collection::vec(any::<bool>(), 1..30),
+        ) {
+            let n = reqs.len().min(acks.len());
+            let t: Vec<Cycle> = (0..n).map(|i| vec![("req", reqs[i]), ("ack", acks[i])]).collect();
+            // {req} |=> ack  ==  req_i -> ack_{i+1}; a req in the last cycle is
+            // a pending weak obligation (holds).
+            let violated = (0..n.saturating_sub(1)).any(|i| reqs[i] && !acks[i + 1]);
+            let expect = if violated { Verdict::Fails } else { Verdict::Holds };
+            prop_assert_eq!(run("always {req} |=> ack", &t), expect);
+        }
+
+        #[test]
+        fn until_matches_reference_semantics(
+            ps in prop::collection::vec(any::<bool>(), 1..25),
+            qs in prop::collection::vec(any::<bool>(), 1..25),
+        ) {
+            let n = ps.len().min(qs.len());
+            let t: Vec<Cycle> = (0..n).map(|i| vec![("p", ps[i]), ("q", qs[i])]).collect();
+            // reference: find first q; all cycles before it must have p;
+            // if no q, weak holds iff p holds to the end.
+            let first_q = (0..n).find(|&i| qs[i]);
+            let expect = match first_q {
+                Some(k) if (0..k).all(|i| ps[i]) => Verdict::Holds,
+                Some(_) => Verdict::Fails,
+                None if (0..n).all(|i| ps[i]) => Verdict::Holds,
+                None => Verdict::Fails,
+            };
+            prop_assert_eq!(run("p until q", &t), expect);
+        }
+
+        #[test]
+        fn nfa_repeat_counts_exactly(k in 0usize..6, reps in 1u32..4) {
+            let sere = parse_sere(&format!("{{a[*{reps}]}}")).unwrap();
+            let nfa = Nfa::from_sere(&sere);
+            let t: Vec<Cycle> = (0..k).map(|_| cy(&[("a", true)])).collect();
+            prop_assert_eq!(nfa.accepts(&t), k as u32 == reps);
         }
     }
-}
 
-/// A small strategy over SEREs on signals {a, b}.
-fn arb_sere() -> impl Strategy<Value = Sere> {
-    let leaf = prop_oneof![
-        Just(Sere::signal("a")),
-        Just(Sere::signal("b")),
-        Just(Sere::Bool(BoolExpr::Not(Box::new(BoolExpr::var("a"))))),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Sere::Concat(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Sere::Or(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(x, y)| Sere::Fusion(Box::new(x), Box::new(y))),
-            (inner.clone(), 0u32..3, 0u32..3).prop_map(|(x, lo, extra)| Sere::Repeat {
-                sere: Box::new(x),
-                min: lo,
-                max: Some(lo + extra),
+    /// Reference semantics: does `sere` match exactly `trace[lo..hi]`?
+    fn matches_ref(sere: &Sere, trace: &[Vec<(&str, bool)>], lo: usize, hi: usize) -> bool {
+        match sere {
+            Sere::Bool(b) => hi == lo + 1 && b.eval(trace[lo].as_slice()),
+            Sere::Concat(a, c) => (lo..=hi).any(|m| {
+                matches_ref(a, trace, lo, m) && matches_ref(c, trace, m, hi)
             }),
-            inner.clone().prop_map(|x| Sere::Repeat {
-                sere: Box::new(x),
-                min: 1,
-                max: None,
-            }),
-        ]
-    })
-}
+            Sere::Fusion(a, c) => {
+                // overlap on one cycle: a matches [lo, m), c matches [m-1, hi)
+                (lo + 1..=hi).any(|m| {
+                    matches_ref(a, trace, lo, m) && matches_ref(c, trace, m - 1, hi)
+                })
+            }
+            Sere::Or(a, c) => matches_ref(a, trace, lo, hi) || matches_ref(c, trace, lo, hi),
+            Sere::And(a, c) => matches_ref(a, trace, lo, hi) && matches_ref(c, trace, lo, hi),
+            Sere::Repeat { sere, min, max } => {
+                fn rep(
+                    s: &Sere,
+                    trace: &[Vec<(&str, bool)>],
+                    lo: usize,
+                    hi: usize,
+                    count: u32,
+                    min: u32,
+                    max: Option<u32>,
+                ) -> bool {
+                    if lo == hi {
+                        // the remaining copies may all match empty if the
+                        // inner SERE is nullable (min <= max always holds)
+                        return count >= min || matches_ref(s, trace, lo, lo);
+                    }
+                    if let Some(mx) = max {
+                        if count >= mx {
+                            return false;
+                        }
+                    }
+                    (lo + 1..=hi).any(|m| {
+                        matches_ref(s, trace, lo, m)
+                            && rep(s, trace, m, hi, count + 1, min, max)
+                    })
+                }
+                rep(sere, trace, lo, hi, 0, *min, *max)
+            }
+        }
+    }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// A small strategy over SEREs on signals {a, b}.
+    fn arb_sere() -> impl Strategy<Value = Sere> {
+        let leaf = prop_oneof![
+            Just(Sere::signal("a")),
+            Just(Sere::signal("b")),
+            Just(Sere::Bool(BoolExpr::Not(Box::new(BoolExpr::var("a"))))),
+        ];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(x, y)| Sere::Concat(Box::new(x), Box::new(y))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(x, y)| Sere::Or(Box::new(x), Box::new(y))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(x, y)| Sere::Fusion(Box::new(x), Box::new(y))),
+                (inner.clone(), 0u32..3, 0u32..3).prop_map(|(x, lo, extra)| Sere::Repeat {
+                    sere: Box::new(x),
+                    min: lo,
+                    max: Some(lo + extra),
+                }),
+                inner.clone().prop_map(|x| Sere::Repeat {
+                    sere: Box::new(x),
+                    min: 1,
+                    max: None,
+                }),
+            ]
+        })
+    }
 
-    /// The Glushkov automaton and the brute-force reference matcher
-    /// agree on whole-trace matches for random SEREs and random traces.
-    #[test]
-    fn nfa_agrees_with_reference_matcher(
-        sere in arb_sere(),
-        bits in prop::collection::vec((any::<bool>(), any::<bool>()), 0..6),
-    ) {
-        let trace: Vec<Vec<(&str, bool)>> = bits
-            .iter()
-            .map(|&(a, b)| vec![("a", a), ("b", b)])
-            .collect();
-        let nfa = Nfa::from_sere(&sere);
-        let got = nfa.accepts(&trace);
-        let expect = matches_ref(&sere, &trace, 0, trace.len());
-        prop_assert_eq!(got, expect, "sere: {}", sere);
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The Glushkov automaton and the brute-force reference matcher
+        /// agree on whole-trace matches for random SEREs and random traces.
+        #[test]
+        fn nfa_agrees_with_reference_matcher(
+            sere in arb_sere(),
+            bits in prop::collection::vec((any::<bool>(), any::<bool>()), 0..6),
+        ) {
+            let trace: Vec<Vec<(&str, bool)>> = bits
+                .iter()
+                .map(|&(a, b)| vec![("a", a), ("b", b)])
+                .collect();
+            let nfa = Nfa::from_sere(&sere);
+            let got = nfa.accepts(&trace);
+            let expect = matches_ref(&sere, &trace, 0, trace.len());
+            prop_assert_eq!(got, expect, "sere: {}", sere);
+        }
     }
 }

@@ -1,7 +1,6 @@
 //! Unit and property tests for the RTL crate.
 
 use crate::*;
-use proptest::prelude::*;
 
 // ---- logic values -----------------------------------------------------------
 
@@ -391,62 +390,72 @@ fn extract_matches_simulator_on_counter() {
 
 // ---- property tests -----------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn logicvec_u64_round_trip(v in any::<u64>(), w in 1u32..=64) {
-        let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
-        let lv = LogicVec::from_u64(masked, w);
-        prop_assert_eq!(lv.to_u64(), Some(masked));
-    }
+// Property-based tests live behind the optional `proptest` feature
+// (`cargo test --workspace --features proptest`); the dependency is a
+// vendored offline shim (see vendor/proptest) that cannot be resolved
+// from the registry in the offline build environment.
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
 
-    #[test]
-    fn resolution_is_commutative(a in 0usize..4, b in 0usize..4) {
-        let all = [Logic::L0, Logic::L1, Logic::X, Logic::Z];
-        prop_assert_eq!(all[a].resolve(all[b]), all[b].resolve(all[a]));
-    }
-
-    #[test]
-    fn and_or_de_morgan_on_known(a in any::<bool>(), b in any::<bool>()) {
-        let (la, lb) = (Logic::from_bool(a), Logic::from_bool(b));
-        prop_assert_eq!(la.and(lb).not(), la.not().or(lb.not()));
-    }
-
-    #[test]
-    fn sim_parity_matches_count_ones(d in any::<u8>()) {
-        let mut n = Netlist::new("p");
-        let i = n.input("d", 8);
-        let p = n.wire("p", 1);
-        n.assign(p, Expr::ReduceXor(Box::new(Expr::net(i))));
-        let mut sim = RtlSim::new(&n);
-        sim.set_u64(i, d as u64);
-        sim.step();
-        prop_assert_eq!(sim.get_u64(p), Some((d.count_ones() % 2) as u64));
-    }
-
-    #[test]
-    fn dff_pipeline_delays_by_n(data in prop::collection::vec(any::<u8>(), 4..12)) {
-        // two-stage pipeline: q2 lags the input by 2 cycles
-        let mut n = Netlist::new("pipe");
-        let clk = n.input("clk", 1);
-        let d = n.input("d", 8);
-        let q1 = n.reg("q1", 8);
-        let q2 = n.reg("q2", 8);
-        n.dff_posedge(clk, Expr::net(d), q1);
-        n.dff_posedge(clk, Expr::net(q1), q2);
-        let mut sim = RtlSim::new(&n);
-        let mut seen = Vec::new();
-        for &v in &data {
-            sim.set_u64(d, v as u64);
-            sim.set_u64(clk, 1);
-            sim.step();
-            sim.set_u64(clk, 0);
-            sim.step();
-            seen.push(sim.get_u64(q2).unwrap() as u8);
+    proptest! {
+        #[test]
+        fn logicvec_u64_round_trip(v in any::<u64>(), w in 1u32..=64) {
+            let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            let lv = LogicVec::from_u64(masked, w);
+            prop_assert_eq!(lv.to_u64(), Some(masked));
         }
-        // both stages sample before committing, so after full cycle i
-        // q2 holds the input of cycle i-1
-        for i in 1..data.len() {
-            prop_assert_eq!(seen[i], data[i - 1]);
+
+        #[test]
+        fn resolution_is_commutative(a in 0usize..4, b in 0usize..4) {
+            let all = [Logic::L0, Logic::L1, Logic::X, Logic::Z];
+            prop_assert_eq!(all[a].resolve(all[b]), all[b].resolve(all[a]));
+        }
+
+        #[test]
+        fn and_or_de_morgan_on_known(a in any::<bool>(), b in any::<bool>()) {
+            let (la, lb) = (Logic::from_bool(a), Logic::from_bool(b));
+            prop_assert_eq!(la.and(lb).not(), la.not().or(lb.not()));
+        }
+
+        #[test]
+        fn sim_parity_matches_count_ones(d in any::<u8>()) {
+            let mut n = Netlist::new("p");
+            let i = n.input("d", 8);
+            let p = n.wire("p", 1);
+            n.assign(p, Expr::ReduceXor(Box::new(Expr::net(i))));
+            let mut sim = RtlSim::new(&n);
+            sim.set_u64(i, d as u64);
+            sim.step();
+            prop_assert_eq!(sim.get_u64(p), Some((d.count_ones() % 2) as u64));
+        }
+
+        #[test]
+        fn dff_pipeline_delays_by_n(data in prop::collection::vec(any::<u8>(), 4..12)) {
+            // two-stage pipeline: q2 lags the input by 2 cycles
+            let mut n = Netlist::new("pipe");
+            let clk = n.input("clk", 1);
+            let d = n.input("d", 8);
+            let q1 = n.reg("q1", 8);
+            let q2 = n.reg("q2", 8);
+            n.dff_posedge(clk, Expr::net(d), q1);
+            n.dff_posedge(clk, Expr::net(q1), q2);
+            let mut sim = RtlSim::new(&n);
+            let mut seen = Vec::new();
+            for &v in &data {
+                sim.set_u64(d, v as u64);
+                sim.set_u64(clk, 1);
+                sim.step();
+                sim.set_u64(clk, 0);
+                sim.step();
+                seen.push(sim.get_u64(q2).unwrap() as u8);
+            }
+            // both stages sample before committing, so after full cycle i
+            // q2 holds the input of cycle i-1
+            for i in 1..data.len() {
+                prop_assert_eq!(seen[i], data[i - 1]);
+            }
         }
     }
 }

@@ -1,0 +1,81 @@
+//! Worker-count determinism of the parallel exploration engine on the
+//! real LA-1 models: the level-synchronous engine commits successors in
+//! the sequential visit order at each level barrier, so every worker
+//! count must produce the identical FSM, statistics and verdicts.
+
+use la1_suite::asm::{ExploreConfig, Explorer};
+use la1_suite::core::asm_model::LaAsmModel;
+use la1_suite::core::spec::LaConfig;
+use la1_suite::psl::parse_directive;
+
+fn explore_cfg(workers: usize) -> ExploreConfig {
+    ExploreConfig {
+        workers: Some(workers),
+        max_depth: Some(3),
+        ..ExploreConfig::default()
+    }
+}
+
+/// Model-checks the full property suite on an n-bank LA-1 with the
+/// given worker count.
+fn check(banks: u32, workers: usize) -> la1_suite::asm::ExploreResult {
+    LaAsmModel::new(&LaConfig::mc_small(banks)).model_check(explore_cfg(workers))
+}
+
+#[test]
+fn la1_model_check_is_worker_count_invariant() {
+    for banks in [2, 3] {
+        let base = check(banks, 1);
+        assert!(base.all_pass(), "banks={banks}: {:?}", base.reports);
+        for workers in [2, 4] {
+            let r = check(banks, workers);
+            assert_eq!(r.stats.workers, workers);
+            assert_eq!(
+                r.fsm.num_states(),
+                base.fsm.num_states(),
+                "banks={banks} workers={workers}"
+            );
+            // transition lists (not just multisets) are byte-identical
+            let t: Vec<_> = r.fsm.transitions().collect();
+            let tb: Vec<_> = base.fsm.transitions().collect();
+            assert_eq!(t, tb, "banks={banks} workers={workers}");
+            assert_eq!(r.fsm.states(), base.fsm.states());
+            assert_eq!(r.stats.transitions, base.stats.transitions);
+            assert_eq!(r.stats.dedup_hits, base.stats.dedup_hits);
+            assert_eq!(r.stats.peak_frontier, base.stats.peak_frontier);
+            assert_eq!(r.stats.interned_states, base.stats.interned_states);
+            assert_eq!(r.stats.max_depth_reached, base.stats.max_depth_reached);
+            assert_eq!(r.stats.truncated, base.stats.truncated);
+            assert!(r.all_pass(), "banks={banks} workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn seeded_violation_same_counterexample_length_across_workers() {
+    // `always !rd0` is falsified as soon as any schedule issues a read
+    // on bank 0; all worker counts must find a counterexample of the
+    // same (minimal, since BFS) length.
+    let model = LaAsmModel::new(&LaConfig::mc_small(2));
+    let dir = parse_directive("assert no_reads_ever : always !rd0").unwrap();
+    let run = |workers: usize| {
+        Explorer::new(model.machine(), explore_cfg(workers))
+            .with_directives(std::slice::from_ref(&dir))
+            .run()
+    };
+    let base = run(1);
+    let base_len = base
+        .first_counterexample()
+        .expect("read must be reachable")
+        .path
+        .len();
+    for workers in [2, 4] {
+        let r = run(workers);
+        let len = r
+            .first_counterexample()
+            .expect("read must be reachable")
+            .path
+            .len();
+        assert_eq!(len, base_len, "workers={workers}");
+    }
+}
