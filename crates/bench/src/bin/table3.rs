@@ -1,18 +1,44 @@
 //! Regenerates Table 3: average execution time per cycle of
 //! assertion-based verification — SystemC + compiled PSL monitors vs
 //! interpreted RTL + OVL monitor modules.
+//!
+//! Usage: `table3 [sc_cycles] [rtl_cycles] [--json <path>]` — the
+//! optional JSON sidecar records one machine-readable row object per
+//! bank count.
 
-use la1_bench::{micros, table3_row};
+use la1_bench::{micros, table3_row, Table3Row};
+
+fn json_row(row: &Table3Row) -> String {
+    format!(
+        "{{\"banks\": {}, \"sc_ns_per_cycle\": {:.1}, \"rtl_ns_per_cycle\": {:.1}, \"ratio\": {:.3}}}",
+        row.banks,
+        row.delta_sc.as_secs_f64() * 1e9,
+        row.delta_ovl.as_secs_f64() * 1e9,
+        row.ratio
+    )
+}
 
 fn main() {
-    let sc_cycles: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4000);
-    let rtl_cycles: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<u64> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--json" {
+            json_path = Some(
+                args.get(i + 1)
+                    .expect("--json requires a path argument")
+                    .clone(),
+            );
+            i += 2;
+        } else {
+            positional.push(args[i].parse().expect("cycle counts must be integers"));
+            i += 1;
+        }
+    }
+    let sc_cycles = positional.first().copied().unwrap_or(4000);
+    let rtl_cycles = positional.get(1).copied().unwrap_or(400);
+
     // warm up the allocator and code paths so row 1 is not penalized
     let _ = la1_bench::table3_row(1, sc_cycles / 4, rtl_cycles / 4);
     println!("Table 3. Simulation Results (avg execution time per cycle).");
@@ -21,6 +47,7 @@ fn main() {
         "Banks", "SystemC (us)", "OVL (us)", "Ratio OVL/SC"
     );
     println!("{}", "-".repeat(62));
+    let mut rows = Vec::new();
     for banks in 1..=8 {
         let row = table3_row(banks, sc_cycles, rtl_cycles);
         println!(
@@ -30,5 +57,12 @@ fn main() {
             micros(row.delta_ovl),
             row.ratio
         );
+        rows.push(row);
+    }
+    if let Some(path) = json_path {
+        let body = rows.iter().map(json_row).collect::<Vec<_>>().join(",\n  ");
+        let json = format!("[\n  {body}\n]\n");
+        std::fs::write(&path, json).expect("write JSON output");
+        eprintln!("wrote {path}");
     }
 }

@@ -21,8 +21,9 @@
 //! * scaling from 1 bank to N banks is "just a matter of object
 //!   instantiation": [`LaAsmModel::new`] loops bank construction.
 
+use crate::cycle_model::CycleModel;
 use crate::properties::cycle_properties;
-use crate::spec::LaConfig;
+use crate::spec::{BankOp, LaConfig};
 use la1_asm::{
     AsmState, ExploreConfig, ExploreResult, Explorer, Machine, MachineBuilder, StepSystem, Value,
     VarId,
@@ -126,6 +127,8 @@ pub struct LaAsmModel {
     /// current state for the [`StepSystem`] interface
     state: AsmState,
     initialized: bool,
+    /// full-cycle ticks executed through the step interfaces
+    cycles: u64,
 }
 
 impl std::fmt::Debug for LaAsmModel {
@@ -318,6 +321,7 @@ impl LaAsmModel {
             config: config.clone(),
             state,
             initialized: false,
+            cycles: 0,
         }
     }
 
@@ -374,7 +378,78 @@ impl LaAsmModel {
         for (var, value) in updates {
             self.state.set(var, value);
         }
+        self.cycles += 1;
         true
+    }
+}
+
+impl CycleModel for LaAsmModel {
+    fn level(&self) -> &'static str {
+        "asm"
+    }
+
+    /// Drives one full-cycle tick of the light simulator.
+    ///
+    /// The ASM level abstracts byte control (the data path carries whole
+    /// words), so writes must use the full byte-enable mask.
+    fn cycle(&mut self, ops: &[BankOp]) {
+        if !self.initialized {
+            // deterministic init, as in the StepSystem co-execution
+            self.state
+                .set(self.params.sim_status, Value::Sym("CHECKING_PROP"));
+            self.initialized = true;
+        }
+        let full_be = (1u32 << self.config.byte_enables()) - 1;
+        let mut read = None;
+        let mut write = None;
+        for op in ops {
+            match *op {
+                BankOp::Read { bank, addr } => {
+                    assert!(read.is_none(), "single address bus: one read per cycle");
+                    read = Some((bank as usize, addr));
+                }
+                BankOp::Write {
+                    bank,
+                    addr,
+                    data,
+                    byte_en,
+                } => {
+                    assert!(write.is_none(), "single address bus: one write per cycle");
+                    assert_eq!(
+                        byte_en, full_be,
+                        "the ASM level models full-word writes only"
+                    );
+                    write = Some((bank as usize, addr, data));
+                }
+            }
+        }
+        assert!(
+            self.apply_tick(read, write),
+            "bank or address out of range for the ASM model"
+        );
+    }
+
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        let v = &self.params.banks[bank as usize];
+        if self.state.bool(v.dv) {
+            Some(self.state.int(v.out) as u64)
+        } else {
+            None
+        }
+    }
+
+    fn write_done(&self, bank: u32) -> bool {
+        self.state.bool(self.params.banks[bank as usize].wdone)
+    }
+
+    /// The light simulator carries no attached monitors; properties are
+    /// checked during exploration instead.
+    fn violation_count(&self) -> usize {
+        0
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
     }
 }
 
@@ -382,6 +457,7 @@ impl StepSystem for LaAsmModel {
     fn reset(&mut self) {
         self.state = self.machine.initial_state();
         self.initialized = false;
+        self.cycles = 0;
     }
 
     fn enabled_actions(&self) -> Vec<String> {

@@ -1,0 +1,246 @@
+//! One cycle-level execution interface across the executable levels.
+//!
+//! The paper runs the same stimulus through three executable artefacts —
+//! the ASM model's *light Verilog-like simulator* (Fig. 4), the SystemC
+//! model, and the interpreted RTL — and compares what each level's pins
+//! show. [`CycleModel`] captures that shared contract: drive one full
+//! protocol cycle, sample the bank outputs and write-done flags, and
+//! collect the attached monitors' verdicts. [`co_execute`] is the one
+//! co-execution loop the conformance and fault-injection checks run on
+//! top of it, replacing the hand-rolled per-pair loops.
+//!
+//! | implementor | level |
+//! |---|---|
+//! | [`LaAsmModel`](crate::asm_model::LaAsmModel) | ASM (full-word writes only) |
+//! | [`LaSystemC`] | SystemC + compiled PSL monitors |
+//! | [`LaRtlDriver`] | interpreted RTL, no monitors |
+//! | [`RtlWithOvl`] | interpreted RTL + OVL monitor modules |
+//!
+//! The OVL monitors attach through the netlist's net-id arena (each
+//! probe is an [`la1_rtl::Expr`] over [`la1_rtl::NetId`]s), so loading a
+//! monitor never clones design state — it reads the same value slots the
+//! compiled simulator evaluates into.
+
+use crate::harness::attach_la1_ovl;
+use crate::rtl_model::{LaRtl, LaRtlDriver};
+use crate::sc_model::LaSystemC;
+use crate::spec::BankOp;
+use crate::workloads::Workload;
+use la1_ovl::OvlBench;
+use std::fmt;
+
+/// A cycle-accurate executable model of the LA-1 interface.
+///
+/// All levels share the protocol: at most one read and one write per
+/// cycle (single address bus), read latency of
+/// [`crate::spec::READ_LATENCY`] cycles, single-cycle write commit.
+pub trait CycleModel {
+    /// Short name of the refinement level, for reports.
+    fn level(&self) -> &'static str;
+
+    /// Drives one full clock cycle with the given operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than one read or write is supplied, or an address
+    /// is out of range (every level enforces the bus protocol).
+    fn cycle(&mut self, ops: &[BankOp]);
+
+    /// The word a bank produced in the last completed cycle, if its
+    /// data-valid flag was set.
+    fn bank_output(&self, bank: u32) -> Option<u64>;
+
+    /// Whether the bank's write-done flag is set after the last cycle.
+    fn write_done(&self, bank: u32) -> bool;
+
+    /// Monitor violations recorded so far (0 for levels running without
+    /// attached monitors).
+    fn violation_count(&self) -> usize;
+
+    /// Completed cycles.
+    fn cycles(&self) -> u64;
+}
+
+impl CycleModel for LaSystemC {
+    fn level(&self) -> &'static str {
+        "systemc"
+    }
+    fn cycle(&mut self, ops: &[BankOp]) {
+        LaSystemC::cycle(self, ops);
+    }
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        LaSystemC::bank_output(self, bank)
+    }
+    fn write_done(&self, bank: u32) -> bool {
+        LaSystemC::write_done(self, bank)
+    }
+    fn violation_count(&self) -> usize {
+        self.violations().len()
+    }
+    fn cycles(&self) -> u64 {
+        LaSystemC::cycles(self)
+    }
+}
+
+impl CycleModel for LaRtlDriver {
+    fn level(&self) -> &'static str {
+        "rtl"
+    }
+    fn cycle(&mut self, ops: &[BankOp]) {
+        LaRtlDriver::cycle(self, ops);
+    }
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        LaRtlDriver::bank_output(self, bank)
+    }
+    fn write_done(&self, bank: u32) -> bool {
+        LaRtlDriver::write_done(self, bank)
+    }
+    fn violation_count(&self) -> usize {
+        0
+    }
+    fn cycles(&self) -> u64 {
+        LaRtlDriver::cycles(self)
+    }
+}
+
+/// The interpreted RTL with the full OVL monitor suite loaded into the
+/// simulated design — the Table 3 right column as one [`CycleModel`].
+#[derive(Debug)]
+pub struct RtlWithOvl {
+    driver: LaRtlDriver,
+    bench: OvlBench,
+}
+
+impl RtlWithOvl {
+    /// Builds the driver and attaches the LA-1 OVL suite
+    /// ([`attach_la1_ovl`]) to it.
+    pub fn new(design: &LaRtl) -> Self {
+        let mut bench = OvlBench::new();
+        attach_la1_ovl(&mut bench, design);
+        RtlWithOvl {
+            driver: LaRtlDriver::new(design),
+            bench,
+        }
+    }
+
+    /// The underlying OVL bench (violation details, per-monitor report).
+    pub fn bench(&self) -> &OvlBench {
+        &self.bench
+    }
+
+    /// The underlying RTL driver.
+    pub fn driver(&self) -> &LaRtlDriver {
+        &self.driver
+    }
+}
+
+impl CycleModel for RtlWithOvl {
+    fn level(&self) -> &'static str {
+        "rtl+ovl"
+    }
+    fn cycle(&mut self, ops: &[BankOp]) {
+        let bench = &mut self.bench;
+        self.driver.cycle_with(ops, |sim| {
+            bench.on_cycle(sim);
+        });
+    }
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        self.driver.bank_output(bank)
+    }
+    fn write_done(&self, bank: u32) -> bool {
+        self.driver.write_done(bank)
+    }
+    fn violation_count(&self) -> usize {
+        self.bench.violations().len()
+    }
+    fn cycles(&self) -> u64 {
+        self.driver.cycles()
+    }
+}
+
+/// A cross-level disagreement found by [`co_execute`].
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Cycle index at which the levels disagreed (0-based).
+    pub cycle: u64,
+    /// The bank whose pins disagreed.
+    pub bank: u32,
+    /// The reference level (first model).
+    pub reference: &'static str,
+    /// The disagreeing level.
+    pub level: &'static str,
+    /// What disagreed, rendered.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {} bank {}: {} disagrees with {}: {}",
+            self.cycle, self.bank, self.level, self.reference, self.detail
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Co-executes several levels on the same stimulus, comparing the
+/// sampled pins after every cycle; the first model is the reference.
+///
+/// Returns the first [`Divergence`], or `Ok(())` when all levels agree
+/// on every cycle — the generic form of the paper's conformance test
+/// (and, run against a deliberately faulted design, of the scoreboard
+/// that exposes injected bugs).
+///
+/// # Errors
+///
+/// Returns the first cross-level disagreement in bank output or
+/// write-done state.
+pub fn co_execute<W: Workload + ?Sized>(
+    banks: u32,
+    models: &mut [&mut dyn CycleModel],
+    workload: &mut W,
+    cycles: u64,
+) -> Result<(), Divergence> {
+    for cycle in 0..cycles {
+        let ops = workload.next_cycle();
+        for m in models.iter_mut() {
+            m.cycle(&ops);
+        }
+        let (reference, rest) = models.split_first().expect("at least one model");
+        for bank in 0..banks {
+            let want_out = reference.bank_output(bank);
+            let want_done = reference.write_done(bank);
+            for m in rest.iter() {
+                if m.bank_output(bank) != want_out {
+                    return Err(Divergence {
+                        cycle,
+                        bank,
+                        reference: reference.level(),
+                        level: m.level(),
+                        detail: format!(
+                            "output {:?} vs {:?}",
+                            m.bank_output(bank),
+                            want_out
+                        ),
+                    });
+                }
+                if m.write_done(bank) != want_done {
+                    return Err(Divergence {
+                        cycle,
+                        bank,
+                        reference: reference.level(),
+                        level: m.level(),
+                        detail: format!(
+                            "write_done {} vs {}",
+                            m.write_done(bank),
+                            want_done
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,5 +1,7 @@
 //! The measurement loops behind the paper's experiments.
 //!
+//! * [`run_abv`] — the one measurement loop over any
+//!   [`CycleModel`]: both Table 3 columns are thin wrappers around it;
 //! * [`run_systemc_abv`] — Table 3 left column: the SystemC model with
 //!   compiled PSL monitors attached;
 //! * [`run_rtl_ovl`] — Table 3 right column: the interpreted RTL with
@@ -8,8 +10,9 @@
 //! * [`rulebase_read_mode`] — Table 2 rows.
 
 use crate::asm_model::LaAsmModel;
+use crate::cycle_model::{CycleModel, RtlWithOvl};
 use crate::properties::{cycle_properties_for, rtl_read_mode_property};
-use crate::rtl_model::{LaRtl, LaRtlDriver};
+use crate::rtl_model::LaRtl;
 use crate::sc_model::LaSystemC;
 use crate::spec::LaConfig;
 use crate::workloads::Workload;
@@ -41,6 +44,25 @@ impl AbvRunStats {
     }
 }
 
+/// Runs any [`CycleModel`] for `cycles` cycles of `workload` under the
+/// wall clock — the one measurement loop behind both Table 3 columns.
+pub fn run_abv<M, W>(model: &mut M, workload: &mut W, cycles: u64) -> AbvRunStats
+where
+    M: CycleModel + ?Sized,
+    W: Workload + ?Sized,
+{
+    let start = Instant::now();
+    for _ in 0..cycles {
+        let ops = workload.next_cycle();
+        model.cycle(&ops);
+    }
+    AbvRunStats {
+        cycles,
+        elapsed: start.elapsed(),
+        violations: model.violation_count(),
+    }
+}
+
 /// Runs the SystemC-level model for `cycles` cycles of `workload` with
 /// the full cycle-level monitor suite attached (Table 3, δ_SC).
 pub fn run_systemc_abv<W: Workload>(
@@ -50,16 +72,7 @@ pub fn run_systemc_abv<W: Workload>(
 ) -> AbvRunStats {
     let mut la1 = LaSystemC::new(config);
     la1.attach_monitors(&cycle_properties_for(config));
-    let start = Instant::now();
-    for _ in 0..cycles {
-        let ops = workload.next_cycle();
-        la1.cycle(&ops);
-    }
-    AbvRunStats {
-        cycles,
-        elapsed: start.elapsed(),
-        violations: la1.violations().len(),
-    }
+    run_abv(&mut la1, workload, cycles)
 }
 
 /// Attaches the OVL equivalents of the cycle-level property suite to an
@@ -138,22 +151,8 @@ pub fn attach_la1_ovl(bench: &mut OvlBench, rtl: &LaRtl) {
 /// `workload` (Table 3, δ_OVL). Monitors are sampled at each rising
 /// edge of `K`.
 pub fn run_rtl_ovl<W: Workload>(config: &LaConfig, workload: &mut W, cycles: u64) -> AbvRunStats {
-    let rtl = LaRtl::build(config, None);
-    let mut driver = LaRtlDriver::new(&rtl);
-    let mut bench = OvlBench::new();
-    attach_la1_ovl(&mut bench, &rtl);
-    let start = Instant::now();
-    for _ in 0..cycles {
-        let ops = workload.next_cycle();
-        driver.cycle_with(&ops, |sim| {
-            bench.on_cycle(sim);
-        });
-    }
-    AbvRunStats {
-        cycles,
-        elapsed: start.elapsed(),
-        violations: bench.violations().len(),
-    }
+    let mut model = RtlWithOvl::new(&LaRtl::build(config, None));
+    run_abv(&mut model, workload, cycles)
 }
 
 /// Runs the ASM-level model checking of the full property suite —

@@ -21,6 +21,7 @@
 //! | [`asm_model`] | the ASM model incl. the light Verilog-like simulator (Fig. 4) |
 //! | [`sc_model`] | the SystemC model with attached compiled PSL monitors |
 //! | [`rtl_model`] | the synthesizable RTL: DDR paths, tristate banks, byte writes |
+//! | [`cycle_model`] | the one cycle-level interface all executable levels share |
 //! | [`refine`] | the Fig. 2 flow: conformance + property re-verification |
 //! | [`workloads`] | traffic generators (random mixes, packet lookups) |
 //! | [`harness`] | the ABV measurement loops behind the paper's Table 3 |
@@ -42,6 +43,7 @@
 //! ```
 
 pub mod asm_model;
+pub mod cycle_model;
 pub mod harness;
 pub mod properties;
 pub mod refine;

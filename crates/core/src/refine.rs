@@ -14,11 +14,13 @@
 //!    read-mode trace against the Fig. 3 sequence diagram.
 
 use crate::asm_model::LaAsmModel;
+use crate::harness::run_abv;
 use crate::properties::{cycle_properties_for, rtl_properties};
 use crate::rtl_model::LaRtl;
 use crate::sc_model::LaSystemC;
 use crate::spec::LaConfig;
 use crate::uml::{la1_class_diagram, read_mode_sequence, write_mode_sequence};
+use crate::workloads::RandomMix;
 use la1_asm::{conformance_check, ConformanceError, ExploreConfig};
 use la1_smc::{ModelChecker, SmcConfig, SmcOutcome};
 use rand::rngs::StdRng;
@@ -165,31 +167,15 @@ pub fn run_flow(config: &LaConfig, explore: ExploreConfig, smc: SmcConfig) -> Fl
         },
     ));
 
-    // 4. SystemC ABV
+    // 4. SystemC ABV — the generic measurement loop over the shared
+    // cycle-level interface
     let mut sc = LaSystemC::new(config);
     sc.attach_monitors(&cycle_properties_for(config));
-    let mut rng = StdRng::seed_from_u64(7);
-    for _ in 0..200 {
-        let mut ops = Vec::new();
-        if rng.gen_bool(0.5) {
-            ops.push(crate::spec::BankOp::read(
-                rng.gen_range(0..config.banks),
-                rng.gen_range(0..config.words_per_bank as u64),
-            ));
-        }
-        if rng.gen_bool(0.3) {
-            ops.push(crate::spec::BankOp::write(
-                rng.gen_range(0..config.banks),
-                rng.gen_range(0..config.words_per_bank as u64),
-                rng.gen(),
-                (1 << config.byte_enables()) - 1,
-            ));
-        }
-        sc.cycle(&ops);
-    }
+    let mut mix = RandomMix::new(config, 7, 0.5, 0.3);
+    let abv = run_abv(&mut sc, &mut mix, 200);
     stages.push((
         "systemc_abv".to_string(),
-        if sc.violations().is_empty() {
+        if abv.violations == 0 {
             StageResult::Passed(format!("200 cycles, {} monitors clean", config.banks * 5))
         } else {
             StageResult::Failed(format!("{:?}", sc.violations()))

@@ -156,7 +156,9 @@ impl LaRtl {
         }
         n.assign(wmask, Expr::Concat(mask_parts));
 
-        let read_bank_hit = |bank: u32| -> Expr {
+        // bank decode from the live address bus (valid at the edge that
+        // samples it: rising for reads, falling for write accepts)
+        let bus_bank_hit = |bank: u32| -> Expr {
             if bbits == 0 {
                 Expr::bit(true)
             } else {
@@ -167,7 +169,9 @@ impl LaRtl {
                 )
             }
         };
-        let write_bank_hit = |bank: u32| -> Expr {
+        // bank decode from the captured write address register (valid
+        // from the falling edge that loads `wa_g` until the next one)
+        let captured_bank_hit = |bank: u32| -> Expr {
             if bbits == 0 {
                 Expr::bit(true)
             } else {
@@ -188,7 +192,7 @@ impl LaRtl {
         for b in 0..cfg.banks {
             // ---- read pipeline ----------------------------------------
             let rd_v1 = n.reg(format!("rd_v1_{b}"), 1);
-            n.dff_posedge(k, Expr::and(Expr::net(rd_sel), read_bank_hit(b)), rd_v1);
+            n.dff_posedge(k, Expr::and(Expr::net(rd_sel), bus_bank_hit(b)), rd_v1);
             let rd_a1 = n.reg(format!("rd_a1_{b}"), word_bits);
             n.dff_posedge(
                 k,
@@ -219,7 +223,7 @@ impl LaRtl {
             // edge is not yet visible — read-before-write)
             let rdata = n.wire(format!("rdata_{b}"), cfg.word_width);
             let we = n.wire(format!("we_{b}"), 1);
-            n.assign(we, Expr::and(Expr::net(wv_g), write_bank_hit(b)));
+            n.assign(we, Expr::and(Expr::net(wv_g), captured_bank_hit(b)));
             let raddr = match burst_regs {
                 Some((rd_b2, rd_a2b)) => Expr::mux(
                     Expr::net(rd_v2),
@@ -241,9 +245,13 @@ impl LaRtl {
             );
 
             // write bookkeeping: per-bank accept (set at the falling edge
-            // once the address identifies the bank) and done flag
+            // once the address identifies the bank) and done flag. The
+            // bank is decoded from the live `addr` bus — `wa_g` is
+            // registered by this same falling edge, so a nonblocking
+            // sample of it would see the *previous* write's address and
+            // pulse done on the wrong bank.
             let wr_v0 = n.reg(format!("wr_v0_{b}"), 1);
-            n.dff_negedge(k, Expr::and(Expr::net(wv_g), write_bank_hit(b)), wr_v0);
+            n.dff_negedge(k, Expr::and(Expr::net(wv_g), bus_bank_hit(b)), wr_v0);
             let wdone = n.reg(format!("wdone_{b}"), 1);
             n.dff_posedge(k, Expr::net(wr_v0), wdone);
 
@@ -534,6 +542,13 @@ impl LaRtlDriver {
     /// Whether a bank's parity checker fired at the last rising edge.
     pub fn parity_error(&mut self, bank: u32) -> bool {
         let net = self.design.nets.perr[bank as usize];
+        self.sim.get_u64(net) == Some(1)
+    }
+
+    /// Whether the bank's write-done register is set after the last
+    /// completed cycle.
+    pub fn write_done(&self, bank: u32) -> bool {
+        let net = self.design.nets.wdone[bank as usize];
         self.sim.get_u64(net) == Some(1)
     }
 }

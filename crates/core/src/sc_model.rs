@@ -7,6 +7,12 @@
 //! the monitors are `la1-psl` [`BoundMonitor`]s stepped once per clock
 //! cycle — compiled Rust playing the role of compiled C#/C++.
 //!
+//! State shared between the port processes (the SRAM array, the message
+//! trace, the fault switches) lives in the kernel's channel arena and
+//! is reached through the `&mut SimState` each process receives; the
+//! model captures only `Copy` signal and channel handles, so the
+//! per-cycle hot path runs without `Rc`/`RefCell`.
+//!
 //! Timing (matching the ASM model and Fig. 3):
 //!
 //! * rising `K` of cycle *n*: requests are sampled; the read pipeline
@@ -22,10 +28,9 @@ use crate::uml::{ClockRef, ObservedMessage};
 use la1_asm::{StepSystem, Value};
 use la1_eventsim::{Signal, Simulator};
 use la1_psl::{BoundMonitor, Directive, Monitor};
-use std::cell::RefCell;
-use std::rc::Rc;
 
-/// Signals of one bank's read and write ports.
+/// Signals of one bank's read and write ports (all `Copy` handles).
+#[derive(Clone, Copy)]
 struct ScBank {
     // host request side
     rd_req: Signal<bool>,
@@ -71,11 +76,13 @@ pub struct LaSystemC {
     monitor_signal_order: Vec<String>,
     violations: Vec<ScViolation>,
     cycles: u64,
-    trace: Rc<RefCell<Vec<ObservedMessage>>>,
-    trace_enabled: Rc<RefCell<bool>>,
-    parity_fault: Rc<RefCell<Option<u32>>>,
+    /// channel handles into the kernel arena for state shared with the
+    /// port processes
+    trace_chan: u32,
+    trace_enabled_chan: u32,
+    parity_fault_chan: u32,
     /// cycle number visible to the tracing processes
-    cycle_counter: Option<Rc<RefCell<u64>>>,
+    cycle_chan: u32,
     /// reusable monitor-snapshot buffer (hot path of Table 3)
     snapshot: Vec<bool>,
     /// cycle of the most recent read request (burst protocol check)
@@ -98,12 +105,12 @@ impl LaSystemC {
         let mut sim = Simulator::new();
         let k = sim.signal("K", false);
         let k_bar = sim.signal("K#", true);
-        
+
         let word_mask = config.mask_word(u64::MAX);
-        let trace: Rc<RefCell<Vec<ObservedMessage>>> = Rc::default();
-        let trace_enabled = Rc::new(RefCell::new(false));
-        let parity_fault: Rc<RefCell<Option<u32>>> = Rc::default();
-        let cycle_now = Rc::new(RefCell::new(0u64));
+        let trace_chan = sim.add_channel(Vec::<ObservedMessage>::new());
+        let trace_enabled_chan = sim.add_channel(false);
+        let parity_fault_chan = sim.add_channel(None::<u32>);
+        let cycle_chan = sim.add_channel(0u64);
 
         let mut banks = Vec::new();
         for b in 0..config.banks {
@@ -126,8 +133,7 @@ impl LaSystemC {
                 wv: sim.signal(format!("wv_{b}"), false),
                 wdone: sim.signal(format!("wdone_{b}"), false),
             };
-            let sram: Rc<RefCell<Vec<u64>>> =
-                Rc::new(RefCell::new(vec![0; config.words_per_bank as usize]));
+            let sram = sim.add_channel(vec![0u64; config.words_per_bank as usize]);
             // internal pipeline state shared by the two port processes
             let ra1 = sim.signal(format!("ra1_{b}"), 0u64);
             let ra2 = sim.signal(format!("ra2_{b}"), 0u64);
@@ -144,140 +150,140 @@ impl LaSystemC {
             // --- ReadPort module ------------------------------------
             {
                 let cfg = config.clone();
-                let (kq, bank_sigs) = (k.clone(), clone_read_side(&bank));
-                let (ra1c, ra2c, holdc) = (ra1.clone(), ra2.clone(), word_hold.clone());
-                let sramc = Rc::clone(&sram);
-                let tracec = Rc::clone(&trace);
-                let tracee = Rc::clone(&trace_enabled);
-                let pfault = Rc::clone(&parity_fault);
-                let cyc = Rc::clone(&cycle_now);
-                let hi_err = hi_err_latch.clone();
+                let bk = bank;
+                let hi_err = hi_err_latch;
                 let sens = [k.event()];
-                let (beat2s, beat2a) = (beat2.clone(), beat2_addr.clone());
                 let burst = cfg.is_burst();
-                sim.process(format!("read_port_{b}"), &sens, move || {
-                    let (rd_req, rd_addr, rv1, rv2, dv, out_lo, out_hi, out_par_lo, out_par_hi, perr) =
-                        &bank_sigs;
-                    if kq.read() {
+                sim.process(format!("read_port_{b}"), &sens, move |st| {
+                    let trace_on = *st.channel::<bool>(trace_enabled_chan);
+                    let pfault = *st.channel::<Option<u32>>(parity_fault_chan);
+                    let cyc = *st.channel::<u64>(cycle_chan) as u32;
+                    if k.read(st) {
                         // rising edge of K; in burst mode a pending
                         // second beat also drives the bus this cycle
-                        let beat = burst && beat2s.read();
-                        let producing = rv2.read() || beat;
-                        dv.write(producing);
+                        let beat = burst && beat2.read(st);
+                        let producing = bk.rv2.read(st) || beat;
+                        bk.dv.write(st, producing);
                         // schedule the burst's second beat
                         if burst {
-                            beat2s.write(rv2.read());
-                            beat2a.write((ra2c.read() + 1) % cfg.words_per_bank as u64);
+                            beat2.write(st, bk.rv2.read(st));
+                            beat2_addr.write(st, (ra2.read(st) + 1) % cfg.words_per_bank as u64);
                         }
                         if producing {
-                            let read_addr = if rv2.read() {
-                                ra2c.read()
+                            let read_addr = if bk.rv2.read(st) {
+                                ra2.read(st)
                             } else {
-                                beat2a.read()
+                                beat2_addr.read(st)
                             };
-                            let word = sramc.borrow()[read_addr as usize];
-                            holdc.write(word);
+                            let word = st.channel::<Vec<u64>>(sram)[read_addr as usize];
+                            word_hold.write(st, word);
                             let lo = cfg.low_half(word);
-                            out_lo.write(lo);
+                            bk.out_lo.write(st, lo);
                             let mut p = byte_parity(lo, cfg.half_width());
-                            if *pfault.borrow() == Some(b) {
+                            if pfault == Some(b) {
                                 p ^= 1; // injected parity fault
                             }
-                            out_par_lo.write(p);
-                            if *tracee.borrow() {
-                                tracec.borrow_mut().push(ObservedMessage {
-                                    from: "ReadPort".into(),
-                                    to: "NetworkProcessor".into(),
-                                    method: "OnReadRequest".into(),
-                                    cycle: *cyc.borrow() as u32,
-                                    clock: ClockRef::K,
-                                });
+                            bk.out_par_lo.write(st, p);
+                            if trace_on {
+                                st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                    ObservedMessage {
+                                        from: "ReadPort".into(),
+                                        to: "NetworkProcessor".into(),
+                                        method: "OnReadRequest".into(),
+                                        cycle: cyc,
+                                        clock: ClockRef::K,
+                                    },
+                                );
                             }
                         } else {
-                            out_lo.write(0);
-                            out_par_lo.write(0);
+                            bk.out_lo.write(st, 0);
+                            bk.out_par_lo.write(st, 0);
                         }
                         // parity check of the previous rising half plus
                         // the latched falling-half verdict
                         let lo_now = if producing {
-                            let read_addr = if rv2.read() {
-                                ra2c.read()
+                            let read_addr = if bk.rv2.read(st) {
+                                ra2.read(st)
                             } else {
-                                beat2a.read()
+                                beat2_addr.read(st)
                             };
-                            cfg.low_half(sramc.borrow()[read_addr as usize])
+                            cfg.low_half(st.channel::<Vec<u64>>(sram)[read_addr as usize])
                         } else {
                             0
                         };
-                        let mut expect = byte_parity(lo_now, cfg.half_width());
-                        if *pfault.borrow() == Some(b) && producing {
-                            // the checker recomputes the true parity
-                            expect = byte_parity(lo_now, cfg.half_width());
-                        }
-                        let drive = if *pfault.borrow() == Some(b) && producing {
+                        let expect = byte_parity(lo_now, cfg.half_width());
+                        let drive = if pfault == Some(b) && producing {
                             expect ^ 1
                         } else {
                             expect
                         };
-                        perr.write((producing && drive != expect) || hi_err.read());
+                        bk.perr
+                            .write(st, (producing && drive != expect) || hi_err.read(st));
                         // pipeline shift
-                        rv2.write(rv1.read());
-                        ra2c.write(ra1c.read());
-                        let accepted = rd_req.read();
-                        rv1.write(accepted);
-                        ra1c.write(rd_addr.read());
-                        if accepted
-                            && *tracee.borrow() {
-                                tracec.borrow_mut().push(ObservedMessage {
+                        bk.rv2.write(st, bk.rv1.read(st));
+                        ra2.write(st, ra1.read(st));
+                        let accepted = bk.rd_req.read(st);
+                        bk.rv1.write(st, accepted);
+                        ra1.write(st, bk.rd_addr.read(st));
+                        if accepted && trace_on {
+                            st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                ObservedMessage {
                                     from: "NetworkProcessor".into(),
                                     to: "ReadPort".into(),
                                     method: "OnReadRequest".into(),
-                                    cycle: *cyc.borrow() as u32,
+                                    cycle: cyc,
                                     clock: ClockRef::K,
-                                });
-                            }
-                        if rv1.read() && *tracee.borrow() {
+                                },
+                            );
+                        }
+                        if bk.rv1.read(st) && trace_on {
                             // the stage-1 request accesses the SRAM now
-                            tracec.borrow_mut().push(ObservedMessage {
-                                from: "ReadPort".into(),
-                                to: "SramMemory".into(),
-                                method: "LA1_SRAM_OnReadRequest".into(),
-                                cycle: *cyc.borrow() as u32,
-                                clock: ClockRef::K,
-                            });
-                            tracec.borrow_mut().push(ObservedMessage {
-                                from: "ReadPort".into(),
-                                to: "ReadPort".into(),
-                                method: "FormatData".into(),
-                                cycle: *cyc.borrow() as u32,
-                                clock: ClockRef::K,
-                            });
+                            st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                ObservedMessage {
+                                    from: "ReadPort".into(),
+                                    to: "SramMemory".into(),
+                                    method: "LA1_SRAM_OnReadRequest".into(),
+                                    cycle: cyc,
+                                    clock: ClockRef::K,
+                                },
+                            );
+                            st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                ObservedMessage {
+                                    from: "ReadPort".into(),
+                                    to: "ReadPort".into(),
+                                    method: "FormatData".into(),
+                                    cycle: cyc,
+                                    clock: ClockRef::K,
+                                },
+                            );
                         }
                     } else {
                         // falling edge: drive the high DDR half
-                        if dv.read() {
-                            let word = holdc.read();
+                        if bk.dv.read(st) {
+                            let word = word_hold.read(st);
                             let hi = cfg.high_half(word);
-                            out_hi.write(hi);
+                            bk.out_hi.write(st, hi);
                             let mut p = byte_parity(hi, cfg.half_width());
-                            if *pfault.borrow() == Some(b) {
+                            if pfault == Some(b) {
                                 p ^= 1;
                             }
-                            out_par_hi.write(p);
-                            hi_err.write(p != byte_parity(hi, cfg.half_width()));
-                            if *tracee.borrow() {
-                                tracec.borrow_mut().push(ObservedMessage {
-                                    from: "ReadPort".into(),
-                                    to: "NetworkProcessor".into(),
-                                    method: "OnReadRequest".into(),
-                                    cycle: *cyc.borrow() as u32,
-                                    clock: ClockRef::KBar,
-                                });
+                            bk.out_par_hi.write(st, p);
+                            hi_err.write(st, p != byte_parity(hi, cfg.half_width()));
+                            if trace_on {
+                                st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                    ObservedMessage {
+                                        from: "ReadPort".into(),
+                                        to: "NetworkProcessor".into(),
+                                        method: "OnReadRequest".into(),
+                                        cycle: cyc,
+                                        clock: ClockRef::KBar,
+                                    },
+                                );
                             }
                         } else {
-                            out_hi.write(0);
-                            out_par_hi.write(0);
-                            hi_err.write(false);
+                            bk.out_hi.write(st, 0);
+                            bk.out_par_hi.write(st, 0);
+                            hi_err.write(st, false);
                         }
                     }
                 });
@@ -286,25 +292,14 @@ impl LaSystemC {
             // --- WritePort module -----------------------------------
             {
                 let cfg = config.clone();
-                let kq = k.clone();
-                let (wr_req, wr_addr, wr_data_lo, wr_data_hi, wr_byte_en) = (
-                    bank.wr_req.clone(),
-                    bank.wr_addr.clone(),
-                    bank.wr_data_lo.clone(),
-                    bank.wr_data_hi.clone(),
-                    bank.wr_byte_en.clone(),
-                );
-                let (wv, wdone) = (bank.wv.clone(), bank.wdone.clone());
-                let (wa_cc, wd_lo_cc, be_cc) = (wa_c.clone(), wd_lo_c.clone(), be_c.clone());
-                let sramc = Rc::clone(&sram);
-                let tracec = Rc::clone(&trace);
-                let tracee = Rc::clone(&trace_enabled);
-                let cyc = Rc::clone(&cycle_now);
+                let bk = bank;
                 let wd_hi_c = sim.signal(format!("wd_hi_c_{b}"), 0u64);
                 let sens = [k.event()];
                 let mask_word = word_mask;
-                sim.process(format!("write_port_{b}"), &sens, move || {
-                    if kq.read() {
+                sim.process(format!("write_port_{b}"), &sens, move |st| {
+                    let trace_on = *st.channel::<bool>(trace_enabled_chan);
+                    let cyc = *st.channel::<u64>(cycle_chan) as u32;
+                    if k.read(st) {
                         // rising edge: commit the write accepted last
                         // cycle FIRST, using pre-update signal reads so
                         // back-to-back writes do not clobber the capture
@@ -312,56 +307,60 @@ impl LaSystemC {
                         // earlier in the delta, so a concurrent read
                         // still observes the pre-commit memory — the
                         // read-before-write ordering all levels share.)
-                        if wv.read() {
-                            let addr = wa_cc.read() as usize;
-                            let word = (wd_lo_cc.read()
-                                | (wd_hi_c.read() << cfg.half_width()))
+                        if bk.wv.read(st) {
+                            let addr = wa_c.read(st) as usize;
+                            let word = (wd_lo_c.read(st) | (wd_hi_c.read(st) << cfg.half_width()))
                                 & mask_word;
-                            let bit_mask = cfg.bit_mask_of(be_cc.read());
-                            let mut mem = sramc.borrow_mut();
+                            let bit_mask = cfg.bit_mask_of(be_c.read(st));
+                            let mem: &mut Vec<u64> = st.channel_mut(sram);
                             mem[addr] = (mem[addr] & !bit_mask) | (word & bit_mask);
-                            drop(mem);
-                            if *tracee.borrow() {
-                                tracec.borrow_mut().push(ObservedMessage {
-                                    from: "WritePort".into(),
-                                    to: "SramMemory".into(),
-                                    method: "LA1_SRAM_OnWriteData".into(),
-                                    cycle: *cyc.borrow() as u32,
-                                    clock: ClockRef::K,
-                                });
+                            if trace_on {
+                                st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                    ObservedMessage {
+                                        from: "WritePort".into(),
+                                        to: "SramMemory".into(),
+                                        method: "LA1_SRAM_OnWriteData".into(),
+                                        cycle: cyc,
+                                        clock: ClockRef::K,
+                                    },
+                                );
                             }
                         }
-                        wdone.write(wv.read());
+                        bk.wdone.write(st, bk.wv.read(st));
                         // accept a new write; capture address + low half
-                        let accepted = wr_req.read();
-                        wv.write(accepted);
+                        let accepted = bk.wr_req.read(st);
+                        bk.wv.write(st, accepted);
                         if accepted {
-                            wa_cc.write(wr_addr.read());
-                            wd_lo_cc.write(wr_data_lo.read());
-                            be_cc.write(wr_byte_en.read());
-                            if *tracee.borrow() {
-                                tracec.borrow_mut().push(ObservedMessage {
-                                    from: "NetworkProcessor".into(),
-                                    to: "WritePort".into(),
-                                    method: "OnWriteRequest".into(),
-                                    cycle: *cyc.borrow() as u32,
-                                    clock: ClockRef::K,
-                                });
+                            wa_c.write(st, bk.wr_addr.read(st));
+                            wd_lo_c.write(st, bk.wr_data_lo.read(st));
+                            be_c.write(st, bk.wr_byte_en.read(st));
+                            if trace_on {
+                                st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                    ObservedMessage {
+                                        from: "NetworkProcessor".into(),
+                                        to: "WritePort".into(),
+                                        method: "OnWriteRequest".into(),
+                                        cycle: cyc,
+                                        clock: ClockRef::K,
+                                    },
+                                );
                             }
                         }
                     } else {
                         // falling edge: capture the high data half of a
                         // newly accepted write (DDR input path)
-                        if wv.read() {
-                            wd_hi_c.write(wr_data_hi.read());
-                            if *tracee.borrow() {
-                                tracec.borrow_mut().push(ObservedMessage {
-                                    from: "NetworkProcessor".into(),
-                                    to: "WritePort".into(),
-                                    method: "OnReceiveData".into(),
-                                    cycle: *cyc.borrow() as u32,
-                                    clock: ClockRef::KBar,
-                                });
+                        if bk.wv.read(st) {
+                            wd_hi_c.write(st, bk.wr_data_hi.read(st));
+                            if trace_on {
+                                st.channel_mut::<Vec<ObservedMessage>>(trace_chan).push(
+                                    ObservedMessage {
+                                        from: "NetworkProcessor".into(),
+                                        to: "WritePort".into(),
+                                        method: "OnReceiveData".into(),
+                                        cycle: cyc,
+                                        clock: ClockRef::KBar,
+                                    },
+                                );
                             }
                         }
                     }
@@ -381,10 +380,10 @@ impl LaSystemC {
             monitor_signal_order: monitor_signal_names(config.banks),
             violations: Vec::new(),
             cycles: 0,
-            trace,
-            trace_enabled,
-            parity_fault,
-            cycle_counter: Some(cycle_now),
+            trace_chan,
+            trace_enabled_chan,
+            parity_fault_chan,
+            cycle_chan,
             snapshot: Vec::new(),
             last_read: None,
         };
@@ -419,17 +418,14 @@ impl LaSystemC {
     ///
     /// Panics if an operation targets a bank or address out of range.
     pub fn cycle(&mut self, ops: &[BankOp]) {
-        if let Some(c) = &self.cycle_counter {
-            *c.borrow_mut() = self.cycles;
-        }
+        *self.sim.channel_mut::<u64>(self.cycle_chan) = self.cycles;
         // present requests (setup before the rising edge)
-        for b in 0..self.banks.len() {
-            let bank = &self.banks[b];
-            bank.rd_req.write(false);
-            bank.wr_req.write(false);
+        for bank in &self.banks {
+            bank.rd_req.write(&mut self.sim, false);
+            bank.wr_req.write(&mut self.sim, false);
         }
         for op in ops {
-            let bank = &self.banks[op.bank() as usize];
+            let bank = self.banks[op.bank() as usize];
             match *op {
                 BankOp::Read { addr, .. } => {
                     assert!(addr < self.cfg.words_per_bank as u64, "read address range");
@@ -437,16 +433,15 @@ impl LaSystemC {
                         // LA-1B: the output bus is busy for burst_len
                         // cycles, so reads must be spaced accordingly
                         assert!(
-                            self.last_read.is_none_or(|c| {
-                                self.cycles - c >= self.cfg.burst_len as u64
-                            }),
+                            self.last_read
+                                .is_none_or(|c| { self.cycles - c >= self.cfg.burst_len as u64 }),
                             "burst protocol violation: reads must be {} cycles apart",
                             self.cfg.burst_len
                         );
                     }
                     self.last_read = Some(self.cycles);
-                    bank.rd_req.write(true);
-                    bank.rd_addr.write(addr);
+                    bank.rd_req.write(&mut self.sim, true);
+                    bank.rd_addr.write(&mut self.sim, addr);
                 }
                 BankOp::Write {
                     addr,
@@ -455,25 +450,26 @@ impl LaSystemC {
                     ..
                 } => {
                     assert!(addr < self.cfg.words_per_bank as u64, "write address range");
-                    bank.wr_req.write(true);
-                    bank.wr_addr.write(addr);
+                    bank.wr_req.write(&mut self.sim, true);
+                    bank.wr_addr.write(&mut self.sim, addr);
                     let data = self.cfg.mask_word(data);
-                    bank.wr_data_lo.write(self.cfg.low_half(data));
-                    bank.wr_data_hi.write(self.cfg.high_half(data));
-                    bank.wr_byte_en.write(byte_en);
+                    bank.wr_data_lo.write(&mut self.sim, self.cfg.low_half(data));
+                    bank.wr_data_hi
+                        .write(&mut self.sim, self.cfg.high_half(data));
+                    bank.wr_byte_en.write(&mut self.sim, byte_en);
                 }
             }
         }
         // rising edge of K / falling of K# (the request updates settle
         // in the same instant, before the edge-sensitive processes run)
-        self.k.write(true);
-        self.k_bar.write(false);
+        self.k.write(&mut self.sim, true);
+        self.k_bar.write(&mut self.sim, false);
         self.sim.run_deltas();
         // sample the monitors at the settled rising edge
         self.sample_monitors();
         // falling edge of K / rising of K#
-        self.k.write(false);
-        self.k_bar.write(true);
+        self.k.write(&mut self.sim, false);
+        self.k_bar.write(&mut self.sim, true);
         self.sim.run_deltas();
         self.cycles += 1;
     }
@@ -484,11 +480,11 @@ impl LaSystemC {
         }
         self.snapshot.clear();
         for bank in &self.banks {
-            self.snapshot.push(bank.rv1.read());
-            self.snapshot.push(bank.wv.read());
-            self.snapshot.push(bank.dv.read());
-            self.snapshot.push(bank.perr.read());
-            self.snapshot.push(bank.wdone.read());
+            self.snapshot.push(bank.rv1.read(&self.sim));
+            self.snapshot.push(bank.wv.read(&self.sim));
+            self.snapshot.push(bank.dv.read(&self.sim));
+            self.snapshot.push(bank.perr.read(&self.sim));
+            self.snapshot.push(bank.wdone.read(&self.sim));
         }
         let snapshot = &self.snapshot;
         for (name, mon) in &mut self.monitors {
@@ -506,15 +502,20 @@ impl LaSystemC {
     /// set (both DDR halves merged).
     pub fn bank_output(&self, bank: u32) -> Option<u64> {
         let b = &self.banks[bank as usize];
-        if !b.dv.read() {
+        if !b.dv.read(&self.sim) {
             return None;
         }
-        Some(b.out_lo.read() | (b.out_hi.read() << self.cfg.half_width()))
+        Some(b.out_lo.read(&self.sim) | (b.out_hi.read(&self.sim) << self.cfg.half_width()))
     }
 
     /// Whether a bank's parity checker currently flags an error.
     pub fn parity_error(&self, bank: u32) -> bool {
-        self.banks[bank as usize].perr.read()
+        self.banks[bank as usize].perr.read(&self.sim)
+    }
+
+    /// Whether a bank reports a completed write this cycle.
+    pub fn write_done(&self, bank: u32) -> bool {
+        self.banks[bank as usize].wdone.read(&self.sim)
     }
 
     /// Recorded monitor violations.
@@ -534,23 +535,25 @@ impl LaSystemC {
 
     /// Starts recording the message trace (Fig. 3 checking).
     pub fn enable_trace(&mut self) {
-        *self.trace_enabled.borrow_mut() = true;
+        *self.sim.channel_mut::<bool>(self.trace_enabled_chan) = true;
     }
 
     /// The recorded message trace.
     pub fn trace(&self) -> Vec<ObservedMessage> {
-        self.trace.borrow().clone()
+        self.sim
+            .channel::<Vec<ObservedMessage>>(self.trace_chan)
+            .clone()
     }
 
     /// Injects a parity-generation fault on `bank` (for testing the
     /// monitors and the OVL comparison).
     pub fn inject_parity_fault(&mut self, bank: u32) {
-        *self.parity_fault.borrow_mut() = Some(bank);
+        *self.sim.channel_mut::<Option<u32>>(self.parity_fault_chan) = Some(bank);
     }
 
     /// Clears an injected parity fault.
     pub fn clear_parity_fault(&mut self) {
-        *self.parity_fault.borrow_mut() = None;
+        *self.sim.channel_mut::<Option<u32>>(self.parity_fault_chan) = None;
     }
 }
 
@@ -566,34 +569,6 @@ pub fn monitor_signal_names(banks: u32) -> Vec<String> {
         names.push(format!("wdone{b}"));
     }
     names
-}
-
-type ReadSide = (
-    Signal<bool>,
-    Signal<u64>,
-    Signal<bool>,
-    Signal<bool>,
-    Signal<bool>,
-    Signal<u64>,
-    Signal<u64>,
-    Signal<u64>,
-    Signal<u64>,
-    Signal<bool>,
-);
-
-fn clone_read_side(bank: &ScBank) -> ReadSide {
-    (
-        bank.rd_req.clone(),
-        bank.rd_addr.clone(),
-        bank.rv1.clone(),
-        bank.rv2.clone(),
-        bank.dv.clone(),
-        bank.out_lo.clone(),
-        bank.out_hi.clone(),
-        bank.out_par_lo.clone(),
-        bank.out_par_hi.clone(),
-        bank.perr.clone(),
-    )
 }
 
 impl StepSystem for LaSystemC {
@@ -618,9 +593,7 @@ impl StepSystem for LaSystemC {
 
     fn apply(&mut self, action: &str) -> bool {
         let parts: Vec<&str> = action.split_whitespace().collect();
-        let in_range = |b: usize, a: u64| {
-            b < self.banks.len() && a < self.banks_words()
-        };
+        let in_range = |b: usize, a: u64| b < self.banks.len() && a < self.banks_words();
         match parts.as_slice() {
             ["init"] => true, // elaboration already happened
             ["tick"] => {
@@ -638,8 +611,7 @@ impl StepSystem for LaSystemC {
                 true
             }
             ["write", b, a, d] => {
-                let (Ok(b), Ok(a), Ok(d)) =
-                    (b.parse::<usize>(), a.parse::<u64>(), d.parse::<u64>())
+                let (Ok(b), Ok(a), Ok(d)) = (b.parse::<usize>(), a.parse::<u64>(), d.parse::<u64>())
                 else {
                     return false;
                 };
@@ -677,15 +649,16 @@ impl StepSystem for LaSystemC {
     fn observe(&self) -> Vec<(String, Value)> {
         let mut obs = Vec::new();
         for (b, bank) in self.banks.iter().enumerate() {
-            let dv = bank.dv.read();
+            let dv = bank.dv.read(&self.sim);
             obs.push((format!("dv{b}"), Value::Bool(dv)));
             let out = if dv {
-                (bank.out_lo.read() | (bank.out_hi.read() << self.cfg.half_width())) as i64
+                (bank.out_lo.read(&self.sim) | (bank.out_hi.read(&self.sim) << self.cfg.half_width()))
+                    as i64
             } else {
                 0
             };
             obs.push((format!("out{b}"), Value::Int(out)));
-            obs.push((format!("wdone{b}"), Value::Bool(bank.wdone.read())));
+            obs.push((format!("wdone{b}"), Value::Bool(bank.wdone.read(&self.sim))));
         }
         obs
     }

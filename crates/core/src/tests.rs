@@ -3,6 +3,7 @@
 //! the healthy design and catch injected faults.
 
 use crate::asm_model::LaAsmModel;
+use crate::cycle_model::{co_execute, CycleModel, RtlWithOvl};
 use crate::harness::{attach_la1_ovl, run_rtl_ovl, run_systemc_abv};
 use crate::properties::{cycle_properties, rtl_properties, rtl_read_mode_property};
 use crate::refine::{conformance_stimulus, run_flow};
@@ -406,30 +407,23 @@ fn rtl_ovl_clean_and_faulty() {
     let stats = run_rtl_ovl(&cfg, &mut w, 150);
     assert_eq!(stats.violations, 0);
     // parity-faulted design must fire the OVL parity monitor
-    let rtl = LaRtl::build(&cfg, Some(0));
-    let mut drv = LaRtlDriver::new(&rtl);
-    let mut bench = OvlBench::new();
-    attach_la1_ovl(&mut bench, &rtl);
-    drv.cycle_with(&[BankOp::write(0, 0, 0x0101_0101, 0b1111)], |s| {
-        bench.on_cycle(s);
-    });
+    let mut faulty = RtlWithOvl::new(&LaRtl::build(&cfg, Some(0)));
+    faulty.cycle(&[BankOp::write(0, 0, 0x0101_0101, 0b1111)]);
     for _ in 0..4 {
-        drv.cycle_with(&[BankOp::read(0, 0)], |s| {
-            bench.on_cycle(s);
-        });
+        faulty.cycle(&[BankOp::read(0, 0)]);
     }
     for _ in 0..3 {
-        drv.cycle_with(&[], |s| {
-            bench.on_cycle(s);
-        });
+        faulty.cycle(&[]);
     }
+    assert!(faulty.violation_count() > 0);
     assert!(
-        bench
+        faulty
+            .bench()
             .violations()
             .iter()
             .any(|v| v.monitor.contains("parity")),
         "{:?}",
-        bench.violations()
+        faulty.bench().violations()
     );
 }
 
@@ -442,65 +436,29 @@ fn all_three_levels_agree_on_random_traffic() {
     let mut sc = LaSystemC::new(&cfg);
     let rtl = LaRtl::build(&cfg, None);
     let mut drv = LaRtlDriver::new(&rtl);
-    assert!(asm.apply("init"));
 
+    // ASM abstracts byte enables: force full-word writes
     let mut w = RandomMix::new(&cfg, 77, 0.6, 0.5);
     let full_be = (1u32 << cfg.byte_enables()) - 1;
-    for cycle in 0..120 {
+    let mut full_word_mix = move || {
         let mut ops = w.next_cycle();
-        // ASM abstracts byte enables: force full-word writes
         for op in &mut ops {
             if let BankOp::Write { byte_en, .. } = op {
                 *byte_en = full_be;
             }
         }
-        // drive ASM via its action strings
-        let rd = ops.iter().copied().find(|o| o.is_read());
-        let wr = ops.iter().copied().find(|o| !o.is_read());
-        let action = match (rd, wr) {
-            (None, None) => "tick".to_string(),
-            (Some(BankOp::Read { bank, addr }), None) => format!("read {bank} {addr}"),
-            (None, Some(BankOp::Write { bank, addr, data, .. })) => {
-                format!("write {bank} {addr} {}", cfg.mask_word(data))
-            }
-            (
-                Some(BankOp::Read { bank: rb, addr: ra }),
-                Some(BankOp::Write {
-                    bank: wb,
-                    addr: wa,
-                    data,
-                    ..
-                }),
-            ) => format!("rw {rb} {ra} {wb} {wa} {}", cfg.mask_word(data)),
-            _ => unreachable!(),
-        };
-        assert!(asm.apply(&action), "cycle {cycle}: {action}");
-        sc.cycle(&ops);
-        drv.cycle(&ops);
-        // compare outputs
-        for b in 0..cfg.banks {
-            let sc_out = sc.bank_output(b);
-            let rtl_out = drv.bank_output(b);
-            assert_eq!(sc_out, rtl_out, "cycle {cycle} bank {b}: sc vs rtl");
-            let asm_obs = asm.observe();
-            let asm_dv = asm_obs
-                .iter()
-                .find(|(n, _)| *n == format!("dv{b}"))
-                .unwrap()
-                .1
-                .as_bool();
-            assert_eq!(asm_dv, sc_out.is_some(), "cycle {cycle} bank {b}: asm dv");
-            if let Some(out) = sc_out {
-                let asm_out = asm_obs
-                    .iter()
-                    .find(|(n, _)| *n == format!("out{b}"))
-                    .unwrap()
-                    .1
-                    .as_int() as u64;
-                assert_eq!(asm_out, out, "cycle {cycle} bank {b}: asm data");
-            }
-        }
-    }
+        ops
+    };
+    co_execute(
+        cfg.banks,
+        &mut [&mut asm, &mut sc, &mut drv],
+        &mut full_word_mix,
+        120,
+    )
+    .expect("ASM, SystemC and RTL levels must agree");
+    assert_eq!(CycleModel::cycles(&asm), 120);
+    assert_eq!(CycleModel::cycles(&sc), 120);
+    assert_eq!(CycleModel::cycles(&drv), 120);
 }
 
 // ---- flow + harness -----------------------------------------------------------------
@@ -597,22 +555,20 @@ fn fault_slow_read_caught_by_smc() {
 fn fault_dead_read_port_caught_by_ovl() {
     use crate::rtl_model::RtlFault;
     let cfg = LaConfig::new(1);
-    let rtl = LaRtl::build_with_faults(&cfg, &[RtlFault::DeadReadPort(0)]);
-    let mut drv = LaRtlDriver::new(&rtl);
-    let mut bench = OvlBench::new();
-    attach_la1_ovl(&mut bench, &rtl);
+    let mut dead = RtlWithOvl::new(&LaRtl::build_with_faults(
+        &cfg,
+        &[RtlFault::DeadReadPort(0)],
+    ));
     for _ in 0..6 {
-        drv.cycle_with(&[BankOp::read(0, 0)], |s| {
-            bench.on_cycle(s);
-        });
+        dead.cycle(&[BankOp::read(0, 0)]);
     }
     assert!(
-        bench
+        dead.bench()
             .violations()
             .iter()
             .any(|v| v.monitor.contains("read_latency")),
         "{:?}",
-        bench.violations()
+        dead.bench().violations()
     );
 }
 
@@ -623,20 +579,18 @@ fn fault_slow_read_diverges_from_golden_model() {
     let rtl = LaRtl::build_with_faults(&cfg, &[RtlFault::SlowRead(0)]);
     let mut drv = LaRtlDriver::new(&rtl);
     let mut golden = LaSystemC::new(&cfg);
-    let mut diverged = false;
-    for cycle in 0..10 {
-        let ops = if cycle == 1 {
+    let mut cycle = 0u64;
+    let mut stimulus = move || {
+        cycle += 1;
+        if cycle == 2 {
             vec![BankOp::read(0, 0)]
         } else {
             vec![]
-        };
-        golden.cycle(&ops);
-        drv.cycle(&ops);
-        if golden.bank_output(0) != drv.bank_output(0) {
-            diverged = true;
         }
-    }
-    assert!(diverged, "the scoreboard must expose the latency bug");
+    };
+    let err = co_execute(1, &mut [&mut golden, &mut drv], &mut stimulus, 10)
+        .expect_err("the scoreboard must expose the latency bug");
+    assert_eq!(err.level, "rtl", "{err}");
 }
 
 #[test]
@@ -673,19 +627,19 @@ fn burst_rtl_matches_sc() {
     let mut sc = LaSystemC::new(&cfg);
     let rtl = LaRtl::build(&cfg, None);
     let mut drv = LaRtlDriver::new(&rtl);
+    // preload some data through both, then random burst traffic
+    let mut preload = 0u64;
     let mut w = crate::workloads::BurstLookup::new(&cfg, 404);
-    // preload some data through both
-    for a in 0..8 {
-        let op = [BankOp::write(0, a, 0x100 + a, 0b1111)];
-        sc.cycle(&op);
-        drv.cycle(&op);
-    }
-    for cycle in 0..80 {
-        let ops = w.next_cycle();
-        sc.cycle(&ops);
-        drv.cycle(&ops);
-        assert_eq!(sc.bank_output(0), drv.bank_output(0), "cycle {cycle}");
-    }
+    let mut stimulus = move || {
+        if preload < 8 {
+            preload += 1;
+            vec![BankOp::write(0, preload - 1, 0xFF + preload, 0b1111)]
+        } else {
+            w.next_cycle()
+        }
+    };
+    co_execute(1, &mut [&mut sc, &mut drv], &mut stimulus, 88)
+        .expect("burst SystemC and RTL must agree");
 }
 
 #[test]
@@ -732,18 +686,10 @@ fn burst_protocol_violation_panics() {
 #[test]
 fn burst_rtl_ovl_clean() {
     let cfg = LaConfig::la1b(1);
-    let rtl = LaRtl::build(&cfg, None);
-    let mut drv = LaRtlDriver::new(&rtl);
-    let mut bench = OvlBench::new();
-    attach_la1_ovl(&mut bench, &rtl);
     let mut w = crate::workloads::BurstLookup::new(&cfg, 11);
-    for _ in 0..150 {
-        let ops = w.next_cycle();
-        drv.cycle_with(&ops, |s| {
-            bench.on_cycle(s);
-        });
-    }
-    assert!(bench.violations().is_empty(), "{:?}", bench.violations());
+    let stats = run_rtl_ovl(&cfg, &mut w, 150);
+    assert_eq!(stats.violations, 0);
+    assert_eq!(stats.cycles, 150);
 }
 
 #[test]
@@ -792,6 +738,77 @@ fn burst_throughput_beats_single_reads() {
         burst_words as f64 >= plain_words as f64 * 0.95,
         "burst {burst_words} vs plain {plain_words}"
     );
+}
+
+// ---- compiled vs full settle: golden equivalence -----------------------------------
+
+/// The activity-driven compiled schedule and the full Jacobi fixpoint
+/// must produce bit-identical per-cycle pin traces and monitor verdicts
+/// on the same stimulus — across bank counts and both interface
+/// variants, including a faulted design so the monitors actually fire.
+#[test]
+fn golden_full_vs_activity_settle_equivalence() {
+    use la1_rtl::SettleMode;
+    for banks in [1u32, 2, 4] {
+        for cfg in [LaConfig::new(banks), LaConfig::la1b(banks)] {
+            // bank 0's parity generator is broken: every read of bank 0
+            // must fire the parity monitors identically under both modes
+            let rtl = LaRtl::build(&cfg, Some(0));
+            let nets = rtl.nets().clone();
+            let mut act = LaRtlDriver::new(&rtl);
+            let mut full = LaRtlDriver::new(&rtl);
+            assert_eq!(
+                act.sim_mut().settle_mode(),
+                SettleMode::ActivityDriven,
+                "activity-driven settling is the default"
+            );
+            full.sim_mut().set_settle_mode(SettleMode::Full);
+            let mut bench_act = OvlBench::new();
+            attach_la1_ovl(&mut bench_act, &rtl);
+            let mut bench_full = OvlBench::new();
+            attach_la1_ovl(&mut bench_full, &rtl);
+
+            let mut pins: Vec<_> = vec![nets.dq, nets.dq_par];
+            pins.extend(&nets.dv);
+            pins.extend(&nets.perr);
+            pins.extend(&nets.wdone);
+
+            let mut w = crate::workloads::BurstLookup::new(&cfg, 2004);
+            for cycle in 0..100 {
+                let ops = w.next_cycle();
+                act.cycle_with(&ops, |s| {
+                    bench_act.on_cycle(s);
+                });
+                full.cycle_with(&ops, |s| {
+                    bench_full.on_cycle(s);
+                });
+                for &net in &pins {
+                    let a = act.sim_mut().get(net).clone();
+                    assert_eq!(
+                        &a,
+                        full.sim_mut().get(net),
+                        "banks {banks} burst {} cycle {cycle}: pin trace diverged",
+                        cfg.burst_len
+                    );
+                }
+                for b in 0..banks {
+                    assert_eq!(act.bank_output(b), full.bank_output(b));
+                }
+            }
+            let verdicts = |bench: &OvlBench| -> Vec<(String, u64)> {
+                bench
+                    .violations()
+                    .iter()
+                    .map(|v| (v.monitor.clone(), v.cycle))
+                    .collect()
+            };
+            assert_eq!(verdicts(&bench_act), verdicts(&bench_full));
+            assert!(
+                !bench_act.violations().is_empty(),
+                "the injected parity fault must fire under both modes"
+            );
+        }
+    }
 }
 
 // ---- waveform dump -----------------------------------------------------------------

@@ -17,6 +17,15 @@ pub trait Workload {
     fn next_cycle(&mut self) -> Vec<BankOp>;
 }
 
+/// Any closure producing per-cycle operations is a workload — handy for
+/// ad-hoc stimulus (preloads, directed scenarios) fed to the generic
+/// co-execution and measurement loops.
+impl<F: FnMut() -> Vec<BankOp>> Workload for F {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        self()
+    }
+}
+
 /// A seeded random mix of reads, writes and idle cycles.
 ///
 /// ```

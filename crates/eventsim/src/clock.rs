@@ -1,6 +1,6 @@
 //! Clock generators, including the LA-1 master clock pair.
 
-use crate::kernel::{Event, SimTime, Simulator};
+use crate::kernel::{Event, SimState, SimTime, Simulator};
 use crate::signal::Signal;
 
 /// A free-running clock driving a Boolean [`Signal`].
@@ -9,7 +9,7 @@ use crate::signal::Signal;
 /// at `offset`. Edge events are the underlying signal's value-changed
 /// event; use [`Clock::posedge_of`]-style filtering in the process body
 /// (SystemC method processes do the same).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Clock {
     signal: Signal<bool>,
     period: SimTime,
@@ -29,25 +29,25 @@ impl Clock {
         start_high: bool,
         offset: SimTime,
     ) -> Clock {
-        assert!(period >= 2 && period.is_multiple_of(2), "clock period must be even and nonzero");
+        assert!(
+            period >= 2 && period.is_multiple_of(2),
+            "clock period must be even and nonzero"
+        );
         let signal = sim.signal(name, start_high);
         let tick = sim.event();
-        {
-            let signal = signal.clone();
-            let shared = std::rc::Rc::clone(&sim.shared);
-            let half = period / 2;
-            let mut first = true;
-            sim.process("clock_gen", &[tick], move || {
-                if first {
-                    // initialization run: schedule the first edge only
-                    first = false;
-                    shared.borrow_mut().notify_at(tick, offset);
-                    return;
-                }
-                signal.write(!signal.read());
-                shared.borrow_mut().notify_at(tick, half);
-            });
-        }
+        let half = period / 2;
+        let mut first = true;
+        sim.process("clock_gen", &[tick], move |st: &mut SimState| {
+            if first {
+                // initialization run: schedule the first edge only
+                first = false;
+                st.notify_after(tick, offset);
+                return;
+            }
+            let level = signal.read(st);
+            signal.write(st, !level);
+            st.notify_after(tick, half);
+        });
         Clock { signal, period }
     }
 
@@ -69,8 +69,8 @@ impl Clock {
     }
 
     /// The Boolean signal carrying the clock waveform.
-    pub fn signal(&self) -> &Signal<bool> {
-        &self.signal
+    pub fn signal(&self) -> Signal<bool> {
+        self.signal
     }
 
     /// The clock's value-changed event (fires on both edges).
@@ -79,8 +79,8 @@ impl Clock {
     }
 
     /// Current clock level.
-    pub fn is_high(&self) -> bool {
-        self.signal.read()
+    pub fn is_high(&self, st: &SimState) -> bool {
+        self.signal.read(st)
     }
 
     /// The configured period.

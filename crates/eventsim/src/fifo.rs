@@ -1,9 +1,8 @@
 //! A bounded FIFO primitive channel (the `sc_fifo` analogue).
 
-use crate::kernel::{Event, Simulator};
-use std::cell::RefCell;
+use crate::kernel::{Event, SimState};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::marker::PhantomData;
 
 struct FifoInner<T> {
     queue: VecDeque<T>,
@@ -16,23 +15,23 @@ struct FifoInner<T> {
 /// paper's method-process models, users poll with [`Fifo::nb_read`] /
 /// [`Fifo::nb_write`] and wake on the [`Fifo::data_written_event`] /
 /// [`Fifo::data_read_event`].
+///
+/// `Fifo` is a `Copy` handle into the kernel's channel arena; the
+/// storage lives in the [`SimState`] passed to each operation.
 pub struct Fifo<T> {
-    inner: Rc<RefCell<FifoInner<T>>>,
+    chan: u32,
     written: Event,
     read: Event,
-    shared: Rc<RefCell<crate::kernel::Shared>>,
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> Clone for Fifo<T> {
     fn clone(&self) -> Self {
-        Fifo {
-            inner: Rc::clone(&self.inner),
-            written: self.written,
-            read: self.read,
-            shared: Rc::clone(&self.shared),
-        }
+        *self
     }
 }
+
+impl<T> Copy for Fifo<T> {}
 
 impl<T: 'static> Fifo<T> {
     /// Creates a FIFO with the given capacity.
@@ -40,18 +39,19 @@ impl<T: 'static> Fifo<T> {
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
-    pub fn new(sim: &mut Simulator, capacity: usize) -> Self {
+    pub fn new(st: &mut SimState, capacity: usize) -> Self {
         assert!(capacity > 0, "fifo capacity must be nonzero");
-        let written = sim.event();
-        let read = sim.event();
+        let written = st.event();
+        let read = st.event();
+        let chan = st.add_channel(FifoInner::<T> {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+        });
         Fifo {
-            inner: Rc::new(RefCell::new(FifoInner {
-                queue: VecDeque::with_capacity(capacity),
-                capacity,
-            })),
+            chan,
             written,
             read,
-            shared: Rc::clone(&sim.shared),
+            _marker: PhantomData,
         }
     }
 
@@ -60,37 +60,39 @@ impl<T: 'static> Fifo<T> {
     /// # Errors
     ///
     /// Returns `Err(item)` if the FIFO is full.
-    pub fn nb_write(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.borrow_mut();
+    pub fn nb_write(&self, st: &mut SimState, item: T) -> Result<(), T> {
+        let inner: &mut FifoInner<T> = st.channel_mut(self.chan);
         if inner.queue.len() >= inner.capacity {
             return Err(item);
         }
         inner.queue.push_back(item);
-        self.shared.borrow_mut().notify_delta(self.written);
+        st.notify(self.written);
         Ok(())
     }
 
     /// Attempts to dequeue; `None` when empty.
-    pub fn nb_read(&self) -> Option<T> {
-        let mut inner = self.inner.borrow_mut();
+    pub fn nb_read(&self, st: &mut SimState) -> Option<T> {
+        let inner: &mut FifoInner<T> = st.channel_mut(self.chan);
         let item = inner.queue.pop_front()?;
-        self.shared.borrow_mut().notify_delta(self.read);
+        st.notify(self.read);
         Some(item)
     }
 
     /// Items currently queued.
-    pub fn len(&self) -> usize {
-        self.inner.borrow().queue.len()
+    pub fn len(&self, st: &SimState) -> usize {
+        let inner: &FifoInner<T> = st.channel(self.chan);
+        inner.queue.len()
     }
 
     /// True when no items are queued.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    pub fn is_empty(&self, st: &SimState) -> bool {
+        self.len(st) == 0
     }
 
     /// Capacity given at construction.
-    pub fn capacity(&self) -> usize {
-        self.inner.borrow().capacity
+    pub fn capacity(&self, st: &SimState) -> usize {
+        let inner: &FifoInner<T> = st.channel(self.chan);
+        inner.capacity
     }
 
     /// Event notified (next delta) after each successful write.

@@ -22,6 +22,13 @@
 //!   method processes cannot block);
 //! * a value [`Trace`] recorder for waveform-style inspection.
 //!
+//! The kernel is **arena-indexed**: signals, channels and processes are
+//! `u32` handles into dense vectors owned by [`SimState`]; processes
+//! are closures receiving `&mut SimState`. Static sensitivity is a flat
+//! CSR adjacency, the update queue is a deduplicated id vector, and
+//! process activation uses an epoch-stamped run queue — no `Rc`,
+//! `RefCell` or per-event allocation on the evaluate/update hot path.
+//!
 //! The kernel is deliberately single-threaded and deterministic:
 //! verification results must be reproducible.
 //!
@@ -33,14 +40,14 @@
 //! let mut sim = Simulator::new();
 //! let a = sim.signal("a", 0u32);
 //! let b = sim.signal("b", 0u32);
-//! {
-//!     let (a, b) = (a.clone(), b.clone());
-//!     let sens = [a.event()];
-//!     sim.process("double", &sens, move || b.write(a.read() * 2));
-//! }
-//! a.write(21);
+//! // signal handles are `Copy`: capture them by value
+//! sim.process("double", &[a.event()], move |st| {
+//!     let v = a.read(st);
+//!     b.write(st, v * 2);
+//! });
+//! a.write(&mut sim, 21);
 //! sim.run_deltas();
-//! assert_eq!(b.read(), 42);
+//! assert_eq!(b.read(&sim), 42);
 //! ```
 
 mod clock;
@@ -52,7 +59,7 @@ mod trace;
 
 pub use clock::Clock;
 pub use fifo::Fifo;
-pub use kernel::{Event, ProcessId, SimTime, Simulator};
+pub use kernel::{Event, ProcessId, SimState, SimTime, Simulator};
 pub use signal::Signal;
 pub use sync::{Mutex, Semaphore};
 pub use trace::Trace;

@@ -1,33 +1,38 @@
 //! `sc_signal`-style signals with delta-cycle update semantics.
 
-use crate::kernel::{Event, Shared, Simulator, Updatable};
-use std::cell::RefCell;
+use crate::kernel::{Event, SignalSlot, SimState, Simulator};
+use std::any::Any;
 use std::fmt;
-use std::rc::Rc;
+use std::marker::PhantomData;
 
-struct SigInner<T> {
+pub(crate) struct Slot<T> {
     name: String,
     current: T,
     next: Option<T>,
-    update_queued: bool,
-}
-
-struct SigCore<T> {
-    inner: RefCell<SigInner<T>>,
+    /// already in the kernel's update queue (dedup: a signal written
+    /// several times in one evaluate phase enqueues one update)
+    queued: bool,
     event: Event,
 }
 
-impl<T: Clone + PartialEq + 'static> Updatable for SigCore<T> {
-    fn apply_update(&self) -> Option<Event> {
-        let mut inner = self.inner.borrow_mut();
-        inner.update_queued = false;
-        let next = inner.next.take()?;
-        if next != inner.current {
-            inner.current = next;
+impl<T: Clone + PartialEq + 'static> SignalSlot for Slot<T> {
+    fn apply_update(&mut self) -> Option<Event> {
+        self.queued = false;
+        let next = self.next.take()?;
+        if next != self.current {
+            self.current = next;
             Some(self.event)
         } else {
             None
         }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -36,82 +41,100 @@ impl<T: Clone + PartialEq + 'static> Updatable for SigCore<T> {
 /// visible in the update phase and fire the signal's value-changed
 /// [`Event`].
 ///
-/// Signals are cheaply clonable handles; all clones refer to the same
-/// underlying channel.
+/// A `Signal` is a `Copy` handle (a slot id) into the kernel's signal
+/// arena; reads and writes take the [`SimState`] they operate on —
+/// the `&mut SimState` inside processes, or the simulator itself
+/// (which dereferences to its state) outside them.
 pub struct Signal<T> {
-    core: Rc<SigCore<T>>,
-    shared: Rc<RefCell<Shared>>,
+    pub(crate) id: u32,
+    event: Event,
+    _marker: PhantomData<fn() -> T>,
 }
 
 impl<T> Clone for Signal<T> {
     fn clone(&self) -> Self {
-        Signal {
-            core: Rc::clone(&self.core),
-            shared: Rc::clone(&self.shared),
-        }
+        *self
     }
 }
 
-impl<T: fmt::Debug> fmt::Debug for Signal<T> {
+impl<T> Copy for Signal<T> {}
+
+impl<T> fmt::Debug for Signal<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.core.inner.borrow();
         f.debug_struct("Signal")
-            .field("name", &inner.name)
-            .field("value", &inner.current)
+            .field("id", &self.id)
+            .field("event", &self.event)
             .finish()
     }
 }
 
 impl<T: Clone + PartialEq + 'static> Signal<T> {
+    fn slot<'a>(&self, st: &'a SimState) -> &'a Slot<T> {
+        st.slots[self.id as usize]
+            .as_any()
+            .downcast_ref()
+            .expect("signal handle used with a foreign SimState")
+    }
+
+    fn slot_mut<'a>(&self, st: &'a mut SimState) -> &'a mut Slot<T> {
+        st.slots[self.id as usize]
+            .as_any_mut()
+            .downcast_mut()
+            .expect("signal handle used with a foreign SimState")
+    }
+
     /// The current (stable) value.
-    pub fn read(&self) -> T {
-        self.core.inner.borrow().current.clone()
+    pub fn read(&self, st: &SimState) -> T {
+        self.slot(st).current.clone()
+    }
+
+    /// A reference to the current (stable) value — the allocation-free
+    /// read for non-`Copy` payloads.
+    pub fn get<'a>(&self, st: &'a SimState) -> &'a T {
+        &self.slot(st).current
     }
 
     /// Schedules a write; it takes effect in the coming update phase.
     /// Writing the current value with no update pending is a no-op
     /// (observably identical, since an equal write fires no event).
-    pub fn write(&self, value: T) {
-        let mut inner = self.core.inner.borrow_mut();
-        if inner.next.is_none() && !inner.update_queued && inner.current == value {
+    pub fn write(&self, st: &mut SimState, value: T) {
+        let id = self.id;
+        let slot = self.slot_mut(st);
+        if slot.next.is_none() && !slot.queued && slot.current == value {
             return;
         }
-        inner.next = Some(value);
-        if !inner.update_queued {
-            inner.update_queued = true;
-            drop(inner);
-            self.shared
-                .borrow_mut()
-                .update_queue
-                .push(Rc::clone(&self.core) as Rc<dyn Updatable>);
+        slot.next = Some(value);
+        if !slot.queued {
+            slot.queued = true;
+            st.update_queue.push(id);
         }
     }
 
     /// The value-changed event, for process sensitivity lists.
     pub fn event(&self) -> Event {
-        self.core.event
+        self.event
     }
 
     /// The signal's name.
-    pub fn name(&self) -> String {
-        self.core.inner.borrow().name.clone()
+    pub fn name<'a>(&self, st: &'a SimState) -> &'a str {
+        &self.slot(st).name
     }
 
     /// Sets the value immediately, without a delta cycle. Only for test
     /// setup and reset sequences — not for use inside processes.
-    pub fn force(&self, value: T) {
-        self.core.inner.borrow_mut().current = value;
+    pub fn force(&self, st: &mut SimState, value: T) {
+        self.slot_mut(st).current = value;
     }
 }
 
-impl Simulator {
+impl SimState {
     /// Creates a named signal with an initial value.
     ///
     /// ```
     /// # use la1_eventsim::Simulator;
     /// let mut sim = Simulator::new();
     /// let s = sim.signal("ready", false);
-    /// assert!(!s.read());
+    /// assert!(!s.read(&sim));
     /// ```
     pub fn signal<T: Clone + PartialEq + 'static>(
         &mut self,
@@ -119,17 +142,33 @@ impl Simulator {
         init: T,
     ) -> Signal<T> {
         let event = self.event();
+        let id = self.slots.len() as u32;
+        self.slots.push(Box::new(Slot {
+            name: name.into(),
+            current: init,
+            next: None,
+            queued: false,
+            event,
+        }));
         Signal {
-            core: Rc::new(SigCore {
-                inner: RefCell::new(SigInner {
-                    name: name.into(),
-                    current: init,
-                    next: None,
-                    update_queued: false,
-                }),
-                event,
-            }),
-            shared: Rc::clone(&self.shared),
+            id,
+            event,
+            _marker: PhantomData,
         }
+    }
+}
+
+// `Simulator` derefs to `SimState`, so `sim.signal(...)` resolves
+// through the impl above; this block exists only so rustdoc shows the
+// constructor on the simulator too.
+impl Simulator {
+    /// Creates a named signal with an initial value (see
+    /// [`SimState::signal`]).
+    pub fn new_signal<T: Clone + PartialEq + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        init: T,
+    ) -> Signal<T> {
+        self.state_mut().signal(name, init)
     }
 }

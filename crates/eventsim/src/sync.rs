@@ -3,11 +3,10 @@
 //!
 //! Like the FIFO, these expose SystemC's *non-blocking* interfaces
 //! (`trywait` / `trylock`) plus wake-up events, since method processes
-//! cannot block.
+//! cannot block. Both are `Copy` handles into the kernel's channel
+//! arena.
 
-use crate::kernel::{Event, Simulator};
-use std::cell::RefCell;
-use std::rc::Rc;
+use crate::kernel::{Event, SimState};
 
 /// A counting semaphore channel.
 ///
@@ -15,34 +14,16 @@ use std::rc::Rc;
 /// use la1_eventsim::{Semaphore, Simulator};
 /// let mut sim = Simulator::new();
 /// let sem = Semaphore::new(&mut sim, 2);
-/// assert!(sem.trywait());
-/// assert!(sem.trywait());
-/// assert!(!sem.trywait());
-/// sem.post();
-/// assert_eq!(sem.value(), 1);
+/// assert!(sem.trywait(&mut sim));
+/// assert!(sem.trywait(&mut sim));
+/// assert!(!sem.trywait(&mut sim));
+/// sem.post(&mut sim);
+/// assert_eq!(sem.value(&sim), 1);
 /// ```
+#[derive(Debug, Clone, Copy)]
 pub struct Semaphore {
-    value: Rc<RefCell<i64>>,
+    chan: u32,
     posted: Event,
-    shared: Rc<RefCell<crate::kernel::Shared>>,
-}
-
-impl Clone for Semaphore {
-    fn clone(&self) -> Self {
-        Semaphore {
-            value: Rc::clone(&self.value),
-            posted: self.posted,
-            shared: Rc::clone(&self.shared),
-        }
-    }
-}
-
-impl std::fmt::Debug for Semaphore {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Semaphore")
-            .field("value", &*self.value.borrow())
-            .finish()
-    }
 }
 
 impl Semaphore {
@@ -51,19 +32,16 @@ impl Semaphore {
     /// # Panics
     ///
     /// Panics if `initial` is negative.
-    pub fn new(sim: &mut Simulator, initial: i64) -> Self {
+    pub fn new(st: &mut SimState, initial: i64) -> Self {
         assert!(initial >= 0, "semaphore count must be non-negative");
-        let posted = sim.event();
-        Semaphore {
-            value: Rc::new(RefCell::new(initial)),
-            posted,
-            shared: Rc::clone(&sim.shared),
-        }
+        let posted = st.event();
+        let chan = st.add_channel(initial);
+        Semaphore { chan, posted }
     }
 
     /// Attempts to decrement; returns `false` when the count is zero.
-    pub fn trywait(&self) -> bool {
-        let mut v = self.value.borrow_mut();
+    pub fn trywait(&self, st: &mut SimState) -> bool {
+        let v: &mut i64 = st.channel_mut(self.chan);
         if *v > 0 {
             *v -= 1;
             true
@@ -73,14 +51,14 @@ impl Semaphore {
     }
 
     /// Increments the count and notifies waiters (next delta).
-    pub fn post(&self) {
-        *self.value.borrow_mut() += 1;
-        self.shared.borrow_mut().notify_delta(self.posted);
+    pub fn post(&self, st: &mut SimState) {
+        *st.channel_mut::<i64>(self.chan) += 1;
+        st.notify(self.posted);
     }
 
     /// The current count.
-    pub fn value(&self) -> i64 {
-        *self.value.borrow()
+    pub fn value(&self, st: &SimState) -> i64 {
+        *st.channel(self.chan)
     }
 
     /// Event notified after each [`Semaphore::post`].
@@ -95,50 +73,29 @@ impl Semaphore {
 /// use la1_eventsim::{Mutex, Simulator};
 /// let mut sim = Simulator::new();
 /// let m = Mutex::new(&mut sim);
-/// assert!(m.trylock(1));
-/// assert!(!m.trylock(2), "held by process 1");
-/// assert!(m.unlock(1));
-/// assert!(m.trylock(2));
+/// assert!(m.trylock(&mut sim, 1));
+/// assert!(!m.trylock(&mut sim, 2), "held by process 1");
+/// assert!(m.unlock(&mut sim, 1));
+/// assert!(m.trylock(&mut sim, 2));
 /// ```
+#[derive(Debug, Clone, Copy)]
 pub struct Mutex {
-    owner: Rc<RefCell<Option<u64>>>,
+    chan: u32,
     released: Event,
-    shared: Rc<RefCell<crate::kernel::Shared>>,
-}
-
-impl Clone for Mutex {
-    fn clone(&self) -> Self {
-        Mutex {
-            owner: Rc::clone(&self.owner),
-            released: self.released,
-            shared: Rc::clone(&self.shared),
-        }
-    }
-}
-
-impl std::fmt::Debug for Mutex {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mutex")
-            .field("owner", &*self.owner.borrow())
-            .finish()
-    }
 }
 
 impl Mutex {
     /// Creates an unlocked mutex.
-    pub fn new(sim: &mut Simulator) -> Self {
-        let released = sim.event();
-        Mutex {
-            owner: Rc::new(RefCell::new(None)),
-            released,
-            shared: Rc::clone(&sim.shared),
-        }
+    pub fn new(st: &mut SimState) -> Self {
+        let released = st.event();
+        let chan = st.add_channel(None::<u64>);
+        Mutex { chan, released }
     }
 
     /// Attempts to take the lock for `owner` (any caller-chosen id);
     /// re-locking by the current owner succeeds (recursive style).
-    pub fn trylock(&self, owner: u64) -> bool {
-        let mut o = self.owner.borrow_mut();
+    pub fn trylock(&self, st: &mut SimState, owner: u64) -> bool {
+        let o: &mut Option<u64> = st.channel_mut(self.chan);
         match *o {
             None => {
                 *o = Some(owner);
@@ -149,12 +106,11 @@ impl Mutex {
     }
 
     /// Releases the lock if `owner` holds it; notifies waiters.
-    pub fn unlock(&self, owner: u64) -> bool {
-        let mut o = self.owner.borrow_mut();
+    pub fn unlock(&self, st: &mut SimState, owner: u64) -> bool {
+        let o: &mut Option<u64> = st.channel_mut(self.chan);
         if *o == Some(owner) {
             *o = None;
-            drop(o);
-            self.shared.borrow_mut().notify_delta(self.released);
+            st.notify(self.released);
             true
         } else {
             false
@@ -162,8 +118,8 @@ impl Mutex {
     }
 
     /// The current owner, if locked.
-    pub fn owner(&self) -> Option<u64> {
-        *self.owner.borrow()
+    pub fn owner(&self, st: &SimState) -> Option<u64> {
+        *st.channel(self.chan)
     }
 
     /// Event notified after each successful [`Mutex::unlock`].
@@ -175,6 +131,7 @@ impl Mutex {
 #[cfg(test)]
 mod sync_tests {
     use super::*;
+    use crate::Simulator;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -182,14 +139,14 @@ mod sync_tests {
     fn semaphore_counts() {
         let mut sim = Simulator::new();
         let s = Semaphore::new(&mut sim, 1);
-        assert!(s.trywait());
-        assert!(!s.trywait());
-        s.post();
-        s.post();
-        assert_eq!(s.value(), 2);
-        assert!(s.trywait());
-        assert!(s.trywait());
-        assert!(!s.trywait());
+        assert!(s.trywait(&mut sim));
+        assert!(!s.trywait(&mut sim));
+        s.post(&mut sim);
+        s.post(&mut sim);
+        assert_eq!(s.value(&sim), 2);
+        assert!(s.trywait(&mut sim));
+        assert!(s.trywait(&mut sim));
+        assert!(!s.trywait(&mut sim));
     }
 
     #[test]
@@ -199,17 +156,16 @@ mod sync_tests {
         let got = Rc::new(RefCell::new(0));
         {
             let got = Rc::clone(&got);
-            let s2 = s.clone();
             let sens = [s.posted_event()];
-            sim.process("waiter", &sens, move || {
-                while s2.trywait() {
+            sim.process("waiter", &sens, move |st| {
+                while s.trywait(st) {
                     *got.borrow_mut() += 1;
                 }
             });
         }
         sim.run_deltas();
-        s.post();
-        s.post();
+        s.post(&mut sim);
+        s.post(&mut sim);
         sim.run_deltas();
         assert_eq!(*got.borrow(), 2);
     }
@@ -218,14 +174,14 @@ mod sync_tests {
     fn mutex_exclusive_ownership() {
         let mut sim = Simulator::new();
         let m = Mutex::new(&mut sim);
-        assert_eq!(m.owner(), None);
-        assert!(m.trylock(7));
-        assert!(m.trylock(7), "re-entrant for the same owner");
-        assert!(!m.trylock(8));
-        assert!(!m.unlock(8), "only the owner unlocks");
-        assert!(m.unlock(7));
-        assert_eq!(m.owner(), None);
-        assert!(m.trylock(8));
+        assert_eq!(m.owner(&sim), None);
+        assert!(m.trylock(&mut sim, 7));
+        assert!(m.trylock(&mut sim, 7), "re-entrant for the same owner");
+        assert!(!m.trylock(&mut sim, 8));
+        assert!(!m.unlock(&mut sim, 8), "only the owner unlocks");
+        assert!(m.unlock(&mut sim, 7));
+        assert_eq!(m.owner(&sim), None);
+        assert!(m.trylock(&mut sim, 8));
     }
 
     #[test]

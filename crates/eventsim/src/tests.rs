@@ -8,21 +8,46 @@ use std::rc::Rc;
 fn signal_read_write_delta_semantics() {
     let mut sim = Simulator::new();
     let s = sim.signal("s", 1u32);
-    s.write(2);
+    s.write(&mut sim, 2);
     // not yet visible: update phase hasn't run
-    assert_eq!(s.read(), 1);
+    assert_eq!(s.read(&sim), 1);
     sim.run_deltas();
-    assert_eq!(s.read(), 2);
+    assert_eq!(s.read(&sim), 2);
 }
 
 #[test]
 fn last_write_wins_within_a_delta() {
     let mut sim = Simulator::new();
     let s = sim.signal("s", 0u32);
-    s.write(5);
-    s.write(9);
+    s.write(&mut sim, 5);
+    s.write(&mut sim, 9);
     sim.run_deltas();
-    assert_eq!(s.read(), 9);
+    assert_eq!(s.read(&sim), 9);
+}
+
+#[test]
+fn duplicate_writes_enqueue_one_update() {
+    // regression: a signal written several times in one evaluate phase
+    // must enqueue exactly one update (last-write-wins, applied once)
+    let mut sim = Simulator::new();
+    let s = sim.signal("s", 0u32);
+    let t = sim.signal("t", 0u32);
+    s.write(&mut sim, 5);
+    s.write(&mut sim, 9);
+    t.write(&mut sim, 1);
+    assert_eq!(
+        sim.pending_updates(),
+        2,
+        "two signals written, two queue entries — dedup'd per slot"
+    );
+    let applied_before = sim.updates_applied();
+    sim.run_deltas();
+    assert_eq!(s.read(&sim), 9, "last write wins");
+    assert_eq!(
+        sim.updates_applied() - applied_before,
+        2,
+        "one update application per written signal, not per write"
+    );
 }
 
 #[test]
@@ -33,14 +58,14 @@ fn write_of_same_value_fires_no_event() {
     {
         let count = Rc::clone(&count);
         let sens = [s.event()];
-        sim.process("watch", &sens, move || *count.borrow_mut() += 1);
+        sim.process("watch", &sens, move |_| *count.borrow_mut() += 1);
     }
     sim.run_deltas(); // initialization run counts once
     assert_eq!(*count.borrow(), 1);
-    s.write(3); // unchanged: no event
+    s.write(&mut sim, 3); // unchanged: no event
     sim.run_deltas();
     assert_eq!(*count.borrow(), 1);
-    s.write(4);
+    s.write(&mut sim, 4);
     sim.run_deltas();
     assert_eq!(*count.borrow(), 2);
 }
@@ -51,20 +76,18 @@ fn processes_chain_across_deltas() {
     let a = sim.signal("a", 0u32);
     let b = sim.signal("b", 0u32);
     let c = sim.signal("c", 0u32);
-    {
-        let (a, b) = (a.clone(), b.clone());
-        let sens = [a.event()];
-        sim.process("p1", &sens, move || b.write(a.read() + 1));
-    }
-    {
-        let (b, c) = (b.clone(), c.clone());
-        let sens = [b.event()];
-        sim.process("p2", &sens, move || c.write(b.read() * 10));
-    }
-    a.write(4);
+    sim.process("p1", &[a.event()], move |st| {
+        let v = a.read(st);
+        b.write(st, v + 1);
+    });
+    sim.process("p2", &[b.event()], move |st| {
+        let v = b.read(st);
+        c.write(st, v * 10);
+    });
+    a.write(&mut sim, 4);
     let deltas = sim.run_deltas();
-    assert_eq!(b.read(), 5);
-    assert_eq!(c.read(), 50);
+    assert_eq!(b.read(&sim), 5);
+    assert_eq!(c.read(&sim), 50);
     assert!(deltas >= 2, "chained evaluation needs at least two deltas");
 }
 
@@ -72,11 +95,10 @@ fn processes_chain_across_deltas() {
 fn zero_time_feedback_is_detected() {
     let mut sim = Simulator::new();
     let s = sim.signal("osc", false);
-    {
-        let s2 = s.clone();
-        let sens = [s.event()];
-        sim.process("osc", &sens, move || s2.write(!s2.read()));
-    }
+    sim.process("osc", &[s.event()], move |st| {
+        let v = s.read(st);
+        s.write(st, !v);
+    });
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         sim.run_deltas();
     }));
@@ -90,9 +112,8 @@ fn timed_notification_advances_time() {
     let hits = Rc::new(RefCell::new(Vec::new()));
     {
         let hits = Rc::clone(&hits);
-        let shared = Rc::clone(&sim.shared);
-        sim.process("timed", &[e], move || {
-            hits.borrow_mut().push(shared.borrow().time);
+        sim.process("timed", &[e], move |st| {
+            hits.borrow_mut().push(st.time());
         });
     }
     sim.notify_after(e, 10);
@@ -107,7 +128,7 @@ fn timed_notification_advances_time() {
 fn step_time_returns_each_instant() {
     let mut sim = Simulator::new();
     let e = sim.event();
-    sim.process("noop", &[e], || {});
+    sim.process("noop", &[e], |_| {});
     sim.notify_after(e, 5);
     sim.notify_after(e, 9);
     assert_eq!(sim.step_time(), Some(5));
@@ -122,11 +143,10 @@ fn clock_toggles_with_period() {
     let edges = Rc::new(RefCell::new(Vec::new()));
     {
         let edges = Rc::clone(&edges);
-        let c = clk.signal().clone();
-        let shared = Rc::clone(&sim.shared);
+        let c = clk.signal();
         let sens = [clk.edge_event()];
-        sim.process("watch", &sens, move || {
-            edges.borrow_mut().push((shared.borrow().time, c.read()));
+        sim.process("watch", &sens, move |st| {
+            edges.borrow_mut().push((st.time(), c.read(st)));
         });
     }
     sim.run_until(30);
@@ -154,7 +174,11 @@ fn clock_pair_is_complementary() {
         if sim.step_time().is_none() {
             break;
         }
-        assert_ne!(k.is_high(), kb.is_high(), "K and K# must be complementary");
+        assert_ne!(
+            k.is_high(&sim),
+            kb.is_high(&sim),
+            "K and K# must be complementary"
+        );
         if sim.time() > 100 {
             break;
         }
@@ -166,15 +190,15 @@ fn clock_pair_is_complementary() {
 fn fifo_basics() {
     let mut sim = Simulator::new();
     let f: Fifo<u32> = Fifo::new(&mut sim, 2);
-    assert!(f.is_empty());
-    assert_eq!(f.capacity(), 2);
-    f.nb_write(1).unwrap();
-    f.nb_write(2).unwrap();
-    assert_eq!(f.nb_write(3), Err(3));
-    assert_eq!(f.len(), 2);
-    assert_eq!(f.nb_read(), Some(1));
-    assert_eq!(f.nb_read(), Some(2));
-    assert_eq!(f.nb_read(), None);
+    assert!(f.is_empty(&sim));
+    assert_eq!(f.capacity(&sim), 2);
+    f.nb_write(&mut sim, 1).unwrap();
+    f.nb_write(&mut sim, 2).unwrap();
+    assert_eq!(f.nb_write(&mut sim, 3), Err(3));
+    assert_eq!(f.len(&sim), 2);
+    assert_eq!(f.nb_read(&mut sim), Some(1));
+    assert_eq!(f.nb_read(&mut sim), Some(2));
+    assert_eq!(f.nb_read(&mut sim), None);
 }
 
 #[test]
@@ -184,17 +208,16 @@ fn fifo_events_wake_consumers() {
     let got = Rc::new(RefCell::new(Vec::new()));
     {
         let got = Rc::clone(&got);
-        let f2 = f.clone();
         let sens = [f.data_written_event()];
-        sim.process("consumer", &sens, move || {
-            while let Some(v) = f2.nb_read() {
+        sim.process("consumer", &sens, move |st| {
+            while let Some(v) = f.nb_read(st) {
                 got.borrow_mut().push(v);
             }
         });
     }
     sim.run_deltas();
-    f.nb_write(7).unwrap();
-    f.nb_write(8).unwrap();
+    f.nb_write(&mut sim, 7).unwrap();
+    f.nb_write(&mut sim, 8).unwrap();
     sim.run_deltas();
     assert_eq!(*got.borrow(), vec![7, 8]);
 }
@@ -205,9 +228,9 @@ fn trace_records_changes() {
     let s = sim.signal("sig", 0u8);
     let t = Trace::new();
     t.watch(&mut sim, &s);
-    s.write(1);
+    s.write(&mut sim, 1);
     sim.run_deltas();
-    s.write(2);
+    s.write(&mut sim, 2);
     sim.run_deltas();
     let names: Vec<String> = t.samples().iter().map(|(_, n, _)| n.clone()).collect();
     assert!(names.iter().all(|n| n == "sig"));
@@ -218,13 +241,10 @@ fn trace_records_changes() {
 fn activations_counted() {
     let mut sim = Simulator::new();
     let s = sim.signal("s", 0u32);
-    {
-        let sens = [s.event()];
-        sim.process("p", &sens, move || {});
-    }
+    sim.process("p", &[s.event()], move |_| {});
     sim.run_deltas();
     let a0 = sim.activations();
-    s.write(1);
+    s.write(&mut sim, 1);
     sim.run_deltas();
     assert_eq!(sim.activations(), a0 + 1);
     assert!(sim.delta_cycles() >= 2);
@@ -245,9 +265,9 @@ mod props {
             let mut sim = Simulator::new();
             let s = sim.signal("s", 0u16);
             for &v in &values {
-                s.write(v);
+                s.write(&mut sim, v);
                 sim.run_deltas();
-                prop_assert_eq!(s.read(), v);
+                prop_assert_eq!(s.read(&sim), v);
             }
         }
 
@@ -258,10 +278,9 @@ mod props {
             let edges = Rc::new(RefCell::new(Vec::new()));
             {
                 let edges = Rc::clone(&edges);
-                let shared = Rc::clone(&sim.shared);
                 let sens = [clk.edge_event()];
-                sim.process("w", &sens, move || {
-                    edges.borrow_mut().push(shared.borrow().time);
+                sim.process("w", &sens, move |st| {
+                    edges.borrow_mut().push(st.time());
                 });
             }
             sim.run_until(period * 10);
@@ -279,10 +298,10 @@ mod props {
             let mut sim = Simulator::new();
             let f: Fifo<u8> = Fifo::new(&mut sim, items.len());
             for &i in &items {
-                f.nb_write(i).unwrap();
+                f.nb_write(&mut sim, i).unwrap();
             }
             let mut out = Vec::new();
-            while let Some(v) = f.nb_read() {
+            while let Some(v) = f.nb_read(&mut sim) {
                 out.push(v);
             }
             prop_assert_eq!(out, items);

@@ -1,4 +1,9 @@
 //! Value tracing for waveform-style inspection.
+//!
+//! The trace recorder is opt-in instrumentation, not part of the
+//! evaluate/update hot path, so it keeps the shared-buffer (`Rc`)
+//! design: the watcher process and the test-side reader both hold the
+//! sample vector.
 
 use crate::kernel::{SimTime, Simulator};
 use crate::signal::Signal;
@@ -14,7 +19,7 @@ use std::rc::Rc;
 /// let s = sim.signal("s", 0u8);
 /// let trace = Trace::new();
 /// trace.watch(&mut sim, &s);
-/// s.write(7);
+/// s.write(&mut sim, 7);
 /// sim.run_deltas();
 /// // the initialization run samples the initial value, then the change
 /// assert_eq!(trace.samples().last().unwrap().2, "7");
@@ -37,14 +42,13 @@ impl Trace {
         signal: &Signal<T>,
     ) {
         let samples = Rc::clone(&self.samples);
-        let sig = signal.clone();
-        let shared = Rc::clone(&sim.shared);
+        let sig = *signal;
+        let name = signal.name(sim).to_string();
         let sens = [signal.event()];
-        sim.process(format!("trace:{}", signal.name()), &sens, move || {
-            let t = shared.borrow().time;
+        sim.process(format!("trace:{name}"), &sens, move |st| {
             samples
                 .borrow_mut()
-                .push((t, sig.name(), sig.read().to_string()));
+                .push((st.time(), name.clone(), sig.get(st).to_string()));
         });
     }
 

@@ -56,7 +56,7 @@ mod verilog;
 pub use extract::{BitExpr, BitId, TransitionSystem};
 pub use logic::{Logic, LogicVec};
 pub use netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
-pub use sim::RtlSim;
+pub use sim::{RtlSim, SettleMode};
 pub use vcd::VcdWriter;
 
 #[cfg(test)]

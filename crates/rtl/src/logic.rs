@@ -222,6 +222,25 @@ impl LogicVec {
         self.bits.iter().copied().fold(Logic::L0, |acc, b| acc.or(b))
     }
 
+    /// The bits as a slice (LSB first) — for the compiled simulator's
+    /// in-place evaluation.
+    pub(crate) fn bits_raw(&self) -> &[Logic] {
+        &self.bits
+    }
+
+    /// The bits as a mutable slice (LSB first).
+    pub(crate) fn bits_raw_mut(&mut self) -> &mut [Logic] {
+        &mut self.bits
+    }
+
+    /// Overwrites `self` with `other`'s bits, reusing the existing
+    /// allocation when the capacity suffices (the compiled simulator's
+    /// allocation-free copy).
+    pub(crate) fn assign_from(&mut self, other: &LogicVec) {
+        self.bits.clear();
+        self.bits.extend_from_slice(&other.bits);
+    }
+
     /// Per-bit wired resolution of two equal-width vectors.
     ///
     /// # Panics

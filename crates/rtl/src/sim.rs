@@ -1,33 +1,237 @@
-//! The interpreted RTL simulator.
+//! The compiled RTL simulator.
 //!
-//! Each [`RtlSim::step`] applies pending input changes, settles the
+//! [`RtlSim::new`] compiles the netlist **once** into a flat array of
+//! [`Op`]s over a preallocated value arena: slots `0..num_nets` hold the
+//! net values, the remaining slots hold constants and expression
+//! temporaries. Each combinational item becomes a *node* whose ops
+//! evaluate in place (no per-node `LogicVec` clones); settling is
+//! activity-driven — a CSR fanout (net → reading nodes) feeds a
+//! topologically-ranked dirty worklist, so an idle cycle touches only
+//! the cone of the nets that actually changed.
+//!
+//! Designs with cyclic combinational dependencies or multiply-driven
+//! (non-tristate) wires fall back to the full Jacobi fixpoint
+//! ([`SettleMode::Full`]), which replicates the original interpreter's
+//! pass-batched semantics exactly — including the 1000-pass
+//! combinational-loop panic. The full mode stays selectable via
+//! [`RtlSim::set_settle_mode`] so the two schedules can be checked
+//! against each other; for acyclic single-driver networks (every wire a
+//! unique function of registers and inputs) both settle to the same
+//! unique fixpoint, bit for bit.
+//!
+//! Each [`RtlSim::step`] applies staged input changes, settles the
 //! combinational network, captures every clocked element whose clock saw
 //! an edge (with Verilog nonblocking-assignment semantics: all samples
-//! happen before any commit), commits, and settles again.
+//! happen before any commit), commits, and settles again. Steady-state
+//! stepping performs no heap allocation: inputs stage into preallocated
+//! per-net buffers, ops reuse their temporaries, and commits copy within
+//! existing capacity.
 
 use crate::logic::{Logic, LogicVec};
 use crate::netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// Interpreted simulation state for one [`Netlist`].
+/// How [`RtlSim`] settles the combinational network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleMode {
+    /// Iterate every combinational item to a fixpoint each settle (the
+    /// interpreter's original algorithm).
+    Full,
+    /// Evaluate only the topological cone of changed nets (compiled
+    /// schedule). Falls back to [`SettleMode::Full`] semantics when the
+    /// design is combinationally cyclic or has multiply-driven wires.
+    #[default]
+    ActivityDriven,
+}
+
+/// A compiled operation over value-arena slots. `dst` is always a
+/// dedicated temporary, so evaluation mutates `dst` in place while
+/// reading its operand slots.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `dst = a` (dedicates a net/const root to its node).
+    Copy { a: u32, dst: u32 },
+    /// `dst = a[bit]`.
+    Index { a: u32, bit: u32, dst: u32 },
+    /// `dst = a[lo +: width(dst)]`.
+    Slice { a: u32, lo: u32, dst: u32 },
+    /// `dst = ~a`.
+    Not { a: u32, dst: u32 },
+    /// `dst = a & b`.
+    And { a: u32, b: u32, dst: u32 },
+    /// `dst = a | b`.
+    Or { a: u32, b: u32, dst: u32 },
+    /// `dst = a ^ b`.
+    Xor { a: u32, b: u32, dst: u32 },
+    /// `dst = (a == b)` — `X` if either side has unknown bits.
+    Eq { a: u32, b: u32, dst: u32 },
+    /// `dst = sel ? a : b` — all-`X` when `sel` is unknown.
+    Mux { sel: u32, a: u32, b: u32, dst: u32 },
+    /// `dst = {…parts…}` (first part is the LSB); `parts` indexes the
+    /// side table.
+    Concat { parts: (u32, u32), dst: u32 },
+    /// `dst = ^a`.
+    ReduceXor { a: u32, dst: u32 },
+    /// `dst = |a`.
+    ReduceOr { a: u32, dst: u32 },
+}
+
+impl Op {
+    fn dst(&self) -> u32 {
+        match *self {
+            Op::Copy { dst, .. }
+            | Op::Index { dst, .. }
+            | Op::Slice { dst, .. }
+            | Op::Not { dst, .. }
+            | Op::And { dst, .. }
+            | Op::Or { dst, .. }
+            | Op::Xor { dst, .. }
+            | Op::Eq { dst, .. }
+            | Op::Mux { dst, .. }
+            | Op::Concat { dst, .. }
+            | Op::ReduceXor { dst, .. }
+            | Op::ReduceOr { dst, .. } => dst,
+        }
+    }
+}
+
+/// `(start, end)` range into the op array.
+type OpsRange = (u32, u32);
+
+/// A compiled combinational driver.
+#[derive(Debug, Clone, Copy)]
+enum CombNode {
+    /// `assign target = …` — run `ops`, result lands in `src`.
+    Assign {
+        ops: OpsRange,
+        src: u32,
+        target: u32,
+    },
+    /// Asynchronous RAM read port: run `ops` (the read address lands in
+    /// `addr`), copy the addressed word — or all-`X` when the address is
+    /// unknown/out of range — into `out`.
+    RamRead {
+        ops: OpsRange,
+        addr: u32,
+        ram: u32,
+        words: u32,
+        target: u32,
+        out: u32,
+    },
+    /// All tristate drivers of one shared wire, resolved into `acc`.
+    Tri {
+        target: u32,
+        acc: u32,
+        drivers: (u32, u32),
+    },
+}
+
+impl CombNode {
+    fn target(&self) -> u32 {
+        match *self {
+            CombNode::Assign { target, .. }
+            | CombNode::RamRead { target, .. }
+            | CombNode::Tri { target, .. } => target,
+        }
+    }
+}
+
+/// One tristate driver within a [`CombNode::Tri`] group.
+#[derive(Debug, Clone, Copy)]
+struct TriDriver {
+    ops: OpsRange,
+    en: u32,
+    value: u32,
+}
+
+/// A compiled clocked element, sampled on clock edges during
+/// [`RtlSim::step`].
+#[derive(Debug, Clone, Copy)]
+enum SeqNode {
+    Dff {
+        clock: u32,
+        edge: Edge,
+        en: Option<(OpsRange, u32)>,
+        d: (OpsRange, u32),
+        q: u32,
+    },
+    Ddr {
+        clock: u32,
+        rise: (OpsRange, u32),
+        fall: (OpsRange, u32),
+        q: u32,
+    },
+    RamWrite {
+        clock: u32,
+        we: (OpsRange, u32),
+        waddr: (OpsRange, u32),
+        wdata: (OpsRange, u32),
+        wmask: Option<(OpsRange, u32)>,
+        ram: u32,
+        words: u32,
+        width: u32,
+        /// dedicated slot the read-modify-write word is built in
+        word: u32,
+    },
+}
+
+/// Compiled simulation state for one [`Netlist`].
 ///
-/// The simulator is an *interpreter*: every cycle it re-evaluates
-/// expression trees over four-state vectors, which is exactly the cost
-/// profile of the event-driven HDL simulators the paper benchmarks
-/// against compiled SystemC in Table 3.
+/// The netlist is compiled once at construction; per-cycle evaluation
+/// runs the flat op schedule in place over the value arena. See the
+/// module docs for the settling strategy.
 #[derive(Debug, Clone)]
 pub struct RtlSim {
     design: Netlist,
-    values: Vec<LogicVec>,
-    prev_values: Vec<LogicVec>,
+    mode: SettleMode,
+    // --- compiled schedule (immutable after construction) ---
+    ops: Vec<Op>,
+    parts: Vec<u32>,
+    comb: Vec<CombNode>,
+    tri: Vec<TriDriver>,
+    seq: Vec<SeqNode>,
+    /// topological rank per comb node (valid when `!fallback_full`)
+    rank: Vec<u32>,
+    /// CSR fanout: net id → comb nodes reading it
+    fanout_off: Vec<u32>,
+    fanout: Vec<u32>,
+    /// RAM item index → comb nodes reading that RAM
+    ram_readers: Vec<Vec<u32>>,
+    /// tri-group comb node ids sorted by target net (full-settle order)
+    tri_order: Vec<u32>,
+    /// nets used as clocks by any sequential node
+    clock_nets: Vec<u32>,
+    /// cyclic or multiply-driven: activity-driven settling is unsound,
+    /// always use the full fixpoint
+    fallback_full: bool,
+    // --- simulation state ---
+    /// value arena: `0..num_nets` are net values, then consts and temps
+    vals: Vec<LogicVec>,
     rams: Vec<Vec<LogicVec>>,
-    /// pending input writes applied at the start of the next step
-    pending: Vec<(NetId, LogicVec)>,
+    /// staged input writes applied at the start of the next step
+    input_stage: Vec<LogicVec>,
+    staged: Vec<bool>,
+    stage_list: Vec<u32>,
+    /// previous end-of-step clock-bit values for edge detection
+    prev_clk: Vec<Logic>,
+    // --- worklist (reused, never reallocated in steady state) ---
+    dirty: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// sampled seq nodes awaiting commit: (seq index, result slot)
+    fired: Vec<(u32, u32)>,
+    /// sampled RAM write address per seq node
+    ram_addr: Vec<u32>,
+    /// full-settle scratch: (target, result, differs-from-pass-start)
+    full_assign: Vec<(u32, u32, bool)>,
     steps: u64,
-    /// expression evaluations performed (a load statistic for Table 3)
+    /// expression/op evaluations performed (a load statistic for Table 3)
     evals: u64,
 }
 
-/// Evaluates `e` against `values`; `evals` counts expression-node visits.
+/// Evaluates `e` against `values` by tree walk (kept for [`RtlSim::probe`],
+/// which must handle arbitrary monitor expressions not in the compiled
+/// schedule); `evals` counts expression-node visits.
 fn eval_expr(design: &Netlist, values: &[LogicVec], evals: &mut u64, e: &Expr) -> LogicVec {
     *evals += 1;
     match e {
@@ -90,11 +294,417 @@ fn binop(
     LogicVec::from_bits(va.iter().zip(vb.iter()).map(|(x, y)| f(x, y)).collect())
 }
 
+/// Compiles expression trees into the flat op schedule.
+struct Compiler<'a> {
+    design: &'a Netlist,
+    ops: Vec<Op>,
+    parts: Vec<u32>,
+    /// width of every slot allocated so far
+    widths: Vec<u32>,
+    /// `(slot, value)` constants to preload into the arena
+    consts: Vec<(u32, LogicVec)>,
+    /// nets read by the expressions compiled since the last `take_reads`
+    reads: Vec<u32>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(design: &'a Netlist) -> Self {
+        let widths = design.nets.iter().map(|n| n.width).collect();
+        Compiler {
+            design,
+            ops: Vec::new(),
+            parts: Vec::new(),
+            widths,
+            consts: Vec::new(),
+            reads: Vec::new(),
+        }
+    }
+
+    fn num_nets(&self) -> u32 {
+        self.design.nets.len() as u32
+    }
+
+    fn slot(&mut self, width: u32) -> u32 {
+        self.widths.push(width);
+        self.widths.len() as u32 - 1
+    }
+
+    /// Compiles `e`, returning the slot its value lives in after the
+    /// emitted ops run. Net and const leaves return their own slot
+    /// without emitting an op.
+    fn compile(&mut self, e: &Expr) -> u32 {
+        match e {
+            Expr::Const(v) => {
+                let dst = self.slot(v.width());
+                self.consts.push((dst, v.clone()));
+                dst
+            }
+            Expr::Net(n) => {
+                self.reads.push(n.0);
+                n.0
+            }
+            Expr::Index(n, i) => {
+                self.reads.push(n.0);
+                let dst = self.slot(1);
+                self.ops.push(Op::Index {
+                    a: n.0,
+                    bit: *i,
+                    dst,
+                });
+                dst
+            }
+            Expr::Slice(n, hi, lo) => {
+                self.reads.push(n.0);
+                assert!(
+                    hi >= lo && *hi < self.widths[n.0 as usize],
+                    "slice out of range on {}",
+                    self.design.net_name(*n)
+                );
+                let dst = self.slot(hi - lo + 1);
+                self.ops.push(Op::Slice { a: n.0, lo: *lo, dst });
+                dst
+            }
+            Expr::Not(a) => {
+                let a = self.compile(a);
+                let dst = self.slot(self.widths[a as usize]);
+                self.ops.push(Op::Not { a, dst });
+                dst
+            }
+            Expr::And(a, b) => self.compile_binop(a, b, |a, b, dst| Op::And { a, b, dst }),
+            Expr::Or(a, b) => self.compile_binop(a, b, |a, b, dst| Op::Or { a, b, dst }),
+            Expr::Xor(a, b) => self.compile_binop(a, b, |a, b, dst| Op::Xor { a, b, dst }),
+            Expr::Eq(a, b) => {
+                let (a, b) = (self.compile(a), self.compile(b));
+                assert_eq!(
+                    self.widths[a as usize], self.widths[b as usize],
+                    "width mismatch in comparison"
+                );
+                let dst = self.slot(1);
+                self.ops.push(Op::Eq { a, b, dst });
+                dst
+            }
+            Expr::Mux { sel, a, b } => {
+                let sel = self.compile(sel);
+                assert_eq!(self.widths[sel as usize], 1, "mux select must be 1 bit");
+                let (a, b) = (self.compile(a), self.compile(b));
+                assert_eq!(
+                    self.widths[a as usize], self.widths[b as usize],
+                    "width mismatch in mux arms"
+                );
+                let dst = self.slot(self.widths[a as usize]);
+                self.ops.push(Op::Mux { sel, a, b, dst });
+                dst
+            }
+            Expr::Concat(ps) => {
+                let slots: Vec<u32> = ps.iter().map(|p| self.compile(p)).collect();
+                let width = slots.iter().map(|&s| self.widths[s as usize]).sum();
+                let p0 = self.parts.len() as u32;
+                self.parts.extend_from_slice(&slots);
+                let p1 = self.parts.len() as u32;
+                let dst = self.slot(width);
+                self.ops.push(Op::Concat {
+                    parts: (p0, p1),
+                    dst,
+                });
+                dst
+            }
+            Expr::ReduceXor(a) => {
+                let a = self.compile(a);
+                let dst = self.slot(1);
+                self.ops.push(Op::ReduceXor { a, dst });
+                dst
+            }
+            Expr::ReduceOr(a) => {
+                let a = self.compile(a);
+                let dst = self.slot(1);
+                self.ops.push(Op::ReduceOr { a, dst });
+                dst
+            }
+        }
+    }
+
+    fn compile_binop(&mut self, a: &Expr, b: &Expr, mk: fn(u32, u32, u32) -> Op) -> u32 {
+        let (a, b) = (self.compile(a), self.compile(b));
+        assert_eq!(
+            self.widths[a as usize], self.widths[b as usize],
+            "width mismatch in binary expression"
+        );
+        let dst = self.slot(self.widths[a as usize]);
+        self.ops.push(mk(a, b, dst));
+        dst
+    }
+
+    /// Compiles `e` as a node root: the returned `(ops, slot)` pair has a
+    /// slot that no other node writes and that is not a live net, so its
+    /// value survives until the commit phase.
+    fn compile_root(&mut self, e: &Expr) -> (OpsRange, u32) {
+        let start = self.ops.len() as u32;
+        let mut s = self.compile(e);
+        if s < self.num_nets() {
+            // a bare net reference: dedicate a temp so deferred commits
+            // read the value sampled now, not the net's later value
+            let dst = self.slot(self.widths[s as usize]);
+            self.ops.push(Op::Copy { a: s, dst });
+            s = dst;
+        }
+        (((start), self.ops.len() as u32), s)
+    }
+
+    /// Compiles `e` for an immediately-consumed control value (clock
+    /// enables, addresses): no dedication needed.
+    fn compile_ctrl(&mut self, e: &Expr) -> (OpsRange, u32) {
+        let start = self.ops.len() as u32;
+        let s = self.compile(e);
+        ((start, self.ops.len() as u32), s)
+    }
+
+    fn take_reads(&mut self) -> Vec<u32> {
+        let mut r = std::mem::take(&mut self.reads);
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+}
+
 impl RtlSim {
-    /// Creates a simulator; registers take their declared initial
-    /// values, wires start at `X`, inputs at `0`.
+    /// Compiles `design` and initializes the arena; registers take their
+    /// declared initial values, wires start at `X`, inputs at `0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on expression width mismatches (the same errors Verilog
+    /// elaboration would reject).
     pub fn new(design: &Netlist) -> Self {
-        let values: Vec<LogicVec> = design
+        let num_nets = design.nets.len();
+        let mut c = Compiler::new(design);
+        let mut comb: Vec<CombNode> = Vec::new();
+        let mut tri: Vec<TriDriver> = Vec::new();
+        let mut seq: Vec<SeqNode> = Vec::new();
+        let mut node_reads: Vec<Vec<u32>> = Vec::new();
+        let mut ram_readers: Vec<Vec<u32>> = vec![Vec::new(); design.items.len()];
+        // tristate groups: target net → (comb node index, driver list)
+        let mut tri_groups: Vec<(u32, Vec<TriDriver>, Vec<u32>)> = Vec::new();
+
+        for (idx, item) in design.items.iter().enumerate() {
+            match item {
+                Item::Assign { target, expr } => {
+                    let (ops, src) = c.compile_root(expr);
+                    comb.push(CombNode::Assign {
+                        ops,
+                        src,
+                        target: target.0,
+                    });
+                    node_reads.push(c.take_reads());
+                }
+                Item::Tristate {
+                    target,
+                    enable,
+                    value,
+                } => {
+                    let (e_ops, en) = c.compile_ctrl(enable);
+                    let (v_ops, value) = c.compile_ctrl(value);
+                    // one op range covering both (they are contiguous)
+                    let driver = TriDriver {
+                        ops: (e_ops.0, v_ops.1),
+                        en,
+                        value,
+                    };
+                    let reads = c.take_reads();
+                    match tri_groups.iter_mut().find(|(t, ..)| *t == target.0) {
+                        Some((_, drivers, group_reads)) => {
+                            drivers.push(driver);
+                            group_reads.extend(reads);
+                        }
+                        None => tri_groups.push((target.0, vec![driver], reads)),
+                    }
+                }
+                Item::Ram {
+                    raddr,
+                    rdata,
+                    words,
+                    width,
+                    clock,
+                    we,
+                    waddr,
+                    wdata,
+                    wmask,
+                    ..
+                } => {
+                    // asynchronous read port (combinational)
+                    let (ops, addr) = c.compile_ctrl(raddr);
+                    let out = c.slot(*width);
+                    ram_readers[idx].push(comb.len() as u32);
+                    comb.push(CombNode::RamRead {
+                        ops,
+                        addr,
+                        ram: idx as u32,
+                        words: *words,
+                        target: rdata.0,
+                        out,
+                    });
+                    node_reads.push(c.take_reads());
+                    // synchronous write port (sequential)
+                    let we = c.compile_ctrl(we);
+                    let waddr = c.compile_ctrl(waddr);
+                    let wdata = c.compile_ctrl(wdata);
+                    let wmask = wmask.as_ref().map(|m| c.compile_ctrl(m));
+                    c.reads.clear(); // seq inputs need no fanout edges
+                    let word = c.slot(*width);
+                    seq.push(SeqNode::RamWrite {
+                        clock: clock.0,
+                        we,
+                        waddr,
+                        wdata,
+                        wmask,
+                        ram: idx as u32,
+                        words: *words,
+                        width: *width,
+                        word,
+                    });
+                }
+                Item::Dff {
+                    clock,
+                    edge,
+                    enable,
+                    d,
+                    q,
+                } => {
+                    let en = enable.as_ref().map(|e| c.compile_ctrl(e));
+                    let d = c.compile_root(d);
+                    c.reads.clear();
+                    seq.push(SeqNode::Dff {
+                        clock: clock.0,
+                        edge: *edge,
+                        en,
+                        d,
+                        q: q.0,
+                    });
+                }
+                Item::DdrFf {
+                    clock,
+                    d_rise,
+                    d_fall,
+                    q,
+                } => {
+                    let rise = c.compile_root(d_rise);
+                    let fall = c.compile_root(d_fall);
+                    c.reads.clear();
+                    seq.push(SeqNode::Ddr {
+                        clock: clock.0,
+                        rise,
+                        fall,
+                        q: q.0,
+                    });
+                }
+            }
+        }
+        // append the tristate groups after the single-driver nodes (per
+        // settle pass all nodes read pass-start values, so eval order
+        // within a pass is immaterial)
+        for (target, drivers, mut reads) in tri_groups {
+            let acc = c.slot(design.nets[target as usize].width);
+            let d0 = tri.len() as u32;
+            tri.extend(drivers);
+            let d1 = tri.len() as u32;
+            comb.push(CombNode::Tri {
+                target,
+                acc,
+                drivers: (d0, d1),
+            });
+            reads.sort_unstable();
+            reads.dedup();
+            node_reads.push(reads);
+        }
+
+        // producer per net; multiply-driven wires force the full-settle
+        // fallback (activity-driven single-producer reasoning is unsound)
+        let mut producer: Vec<Option<u32>> = vec![None; num_nets];
+        let mut fallback_full = false;
+        for (ni, node) in comb.iter().enumerate() {
+            let t = node.target() as usize;
+            if producer[t].is_some() {
+                fallback_full = true;
+            }
+            producer[t] = Some(ni as u32);
+        }
+
+        // Kahn topological ranking over comb nodes (edges: producer of a
+        // read net → reader); a leftover node means a combinational cycle
+        let mut rank = vec![0u32; comb.len()];
+        if !fallback_full {
+            let mut indegree = vec![0u32; comb.len()];
+            // adjacency: producer node → reader nodes
+            let mut succ: Vec<Vec<u32>> = vec![Vec::new(); comb.len()];
+            for (ni, reads) in node_reads.iter().enumerate() {
+                for &n in reads {
+                    if let Some(p) = producer[n as usize] {
+                        succ[p as usize].push(ni as u32);
+                        indegree[ni] += 1;
+                    }
+                }
+            }
+            let mut queue: Vec<u32> = (0..comb.len() as u32)
+                .filter(|&n| indegree[n as usize] == 0)
+                .collect();
+            let mut next = 0usize;
+            let mut placed = 0u32;
+            while next < queue.len() {
+                let n = queue[next];
+                next += 1;
+                rank[n as usize] = placed;
+                placed += 1;
+                for &s in &succ[n as usize] {
+                    indegree[s as usize] -= 1;
+                    if indegree[s as usize] == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+            if (placed as usize) != comb.len() {
+                fallback_full = true; // combinational cycle
+            }
+        }
+
+        // CSR fanout: net → comb nodes reading it
+        let mut fanout_off = vec![0u32; num_nets + 1];
+        for reads in &node_reads {
+            for &n in reads {
+                fanout_off[n as usize + 1] += 1;
+            }
+        }
+        for i in 0..num_nets {
+            fanout_off[i + 1] += fanout_off[i];
+        }
+        let mut fanout = vec![0u32; fanout_off[num_nets] as usize];
+        let mut cursor = fanout_off.clone();
+        for (ni, reads) in node_reads.iter().enumerate() {
+            for &n in reads {
+                fanout[cursor[n as usize] as usize] = ni as u32;
+                cursor[n as usize] += 1;
+            }
+        }
+
+        let mut tri_order: Vec<u32> = comb
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, CombNode::Tri { .. }))
+            .map(|(i, _)| i as u32)
+            .collect();
+        tri_order.sort_unstable_by_key(|&i| comb[i as usize].target());
+
+        let mut clock_nets: Vec<u32> = seq
+            .iter()
+            .map(|s| match *s {
+                SeqNode::Dff { clock, .. }
+                | SeqNode::Ddr { clock, .. }
+                | SeqNode::RamWrite { clock, .. } => clock,
+            })
+            .collect();
+        clock_nets.sort_unstable();
+        clock_nets.dedup();
+
+        // --- the value arena ---
+        let mut vals: Vec<LogicVec> = design
             .nets
             .iter()
             .map(|n| match n.kind {
@@ -103,6 +713,12 @@ impl RtlSim {
                 NetKind::Wire => LogicVec::xs(n.width),
             })
             .collect();
+        for w in &c.widths[num_nets..] {
+            vals.push(LogicVec::xs(*w));
+        }
+        for (slot, v) in &c.consts {
+            vals[*slot as usize] = v.clone();
+        }
         let rams = design
             .items
             .iter()
@@ -113,18 +729,67 @@ impl RtlSim {
                 _ => Vec::new(),
             })
             .collect();
+        let input_stage = design
+            .nets
+            .iter()
+            .map(|n| match n.kind {
+                NetKind::Input => LogicVec::zeros(n.width),
+                _ => LogicVec::from_bits(Vec::new()),
+            })
+            .collect();
+
+        let seq_len = seq.len();
+        let comb_len = comb.len();
         let mut sim = RtlSim {
             design: design.clone(),
-            prev_values: values.clone(),
-            values,
+            mode: SettleMode::default(),
+            ops: c.ops,
+            parts: c.parts,
+            comb,
+            tri,
+            seq,
+            rank,
+            fanout_off,
+            fanout,
+            ram_readers,
+            tri_order,
+            clock_nets,
+            fallback_full,
+            vals,
             rams,
-            pending: Vec::new(),
+            input_stage,
+            staged: vec![false; num_nets],
+            stage_list: Vec::with_capacity(num_nets),
+            prev_clk: vec![Logic::L0; num_nets],
+            dirty: vec![false; comb_len],
+            heap: BinaryHeap::with_capacity(comb_len + 1),
+            fired: Vec::with_capacity(seq_len),
+            ram_addr: vec![0; seq_len],
+            full_assign: Vec::with_capacity(comb_len),
             steps: 0,
             evals: 0,
         };
+        for n in 0..comb_len as u32 {
+            sim.mark(n);
+        }
         sim.settle();
-        sim.prev_values = sim.values.clone();
+        for i in 0..sim.clock_nets.len() {
+            let cnet = sim.clock_nets[i] as usize;
+            sim.prev_clk[cnet] = sim.vals[cnet].bit(0);
+        }
         sim
+    }
+
+    /// The settle strategy in use.
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
+    }
+
+    /// Selects the settle strategy. Both modes produce bit-identical net
+    /// values for acyclic single-driver designs; switching is safe at any
+    /// step boundary.
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        self.mode = mode;
     }
 
     /// Schedules an input change for the next [`step`](Self::step).
@@ -140,18 +805,39 @@ impl RtlSim {
             decl.name
         );
         assert_eq!(decl.width, value.width(), "width mismatch on {}", decl.name);
-        self.pending.push((net, value));
+        self.input_stage[net.0 as usize].assign_from(&value);
+        if !self.staged[net.0 as usize] {
+            self.staged[net.0 as usize] = true;
+            self.stage_list.push(net.0);
+        }
     }
 
-    /// Schedules an input change given as an integer.
+    /// Schedules an input change given as an integer (allocation-free:
+    /// the value is staged into a preallocated per-net buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input.
     pub fn set_u64(&mut self, net: NetId, value: u64) {
-        let width = self.design.width(net);
-        self.set(net, LogicVec::from_u64(value, width));
+        let decl = &self.design.nets[net.0 as usize];
+        assert!(
+            decl.kind == NetKind::Input,
+            "net {} is not an input",
+            decl.name
+        );
+        let stage = &mut self.input_stage[net.0 as usize];
+        for i in 0..decl.width {
+            stage.set_bit(i, Logic::from_bool(value >> i & 1 == 1));
+        }
+        if !self.staged[net.0 as usize] {
+            self.staged[net.0 as usize] = true;
+            self.stage_list.push(net.0);
+        }
     }
 
     /// The current value of any net.
     pub fn get(&self, net: NetId) -> &LogicVec {
-        &self.values[net.0 as usize]
+        &self.vals[net.0 as usize]
     }
 
     /// The current value of a net as an integer, if fully known.
@@ -175,209 +861,436 @@ impl RtlSim {
         self.steps
     }
 
-    /// Expression evaluations performed so far (the interpreter-load
-    /// statistic used by the Table 3 harness).
+    /// Expression/op evaluations performed so far (the simulator-load
+    /// statistic used by the Table 3 harness). Activity-driven settling
+    /// legitimately performs far fewer evaluations than the full
+    /// fixpoint for the same stimulus.
     pub fn evals(&self) -> u64 {
         self.evals
     }
 
     /// Evaluates an arbitrary expression against the current values
-    /// (used by assertion monitors observing internal nets).
+    /// (used by assertion monitors observing internal nets). Monitor
+    /// expressions attach through the same net-id arena the compiled
+    /// schedule evaluates into.
     pub fn probe(&mut self, e: &Expr) -> LogicVec {
-        eval_expr(&self.design, &self.values, &mut self.evals, e)
+        eval_expr(&self.design, &self.vals, &mut self.evals, e)
     }
 
-    /// Applies pending inputs, settles, captures clock edges, commits
-    /// and settles again.
-    pub fn step(&mut self) {
-        self.steps += 1;
-        // 1. apply inputs
-        let pending = std::mem::take(&mut self.pending);
-        for (net, value) in pending {
-            self.values[net.0 as usize] = value;
+    /// Marks a comb node dirty and queues it by topological rank.
+    fn mark(&mut self, node: u32) {
+        if !self.dirty[node as usize] {
+            self.dirty[node as usize] = true;
+            self.heap.push(Reverse((self.rank[node as usize], node)));
         }
-        // 2. settle so D inputs are coherent with the new primary inputs
-        //    (inputs have setup before the edge)
-        self.settle();
-        // 3. sample clocked elements on detected edges
-        let mut commits: Vec<(NetId, LogicVec)> = Vec::new();
-        let mut ram_writes: Vec<(usize, usize, LogicVec)> = Vec::new();
-        {
-            let design = &self.design;
-            let values = &self.values;
-            let prev = &self.prev_values;
-            let rams = &self.rams;
-            let evals = &mut self.evals;
-            let edge_on = |clock: NetId, edge: Edge| {
-                let p = prev[clock.0 as usize].bit(0);
-                let c = values[clock.0 as usize].bit(0);
-                match edge {
-                    Edge::Pos => p == Logic::L0 && c == Logic::L1,
-                    Edge::Neg => p == Logic::L1 && c == Logic::L0,
-                }
-            };
-            for (idx, item) in design.items.iter().enumerate() {
-                match item {
-                    Item::Dff {
-                        clock,
-                        edge,
-                        enable,
-                        d,
-                        q,
+    }
+
+    /// Marks every comb node reading `net`.
+    fn mark_fanout(&mut self, net: u32) {
+        let lo = self.fanout_off[net as usize] as usize;
+        let hi = self.fanout_off[net as usize + 1] as usize;
+        for i in lo..hi {
+            let n = self.fanout[i];
+            self.mark(n);
+        }
+    }
+
+    /// Runs a compiled op range in place over the arena.
+    fn run_ops(&mut self, range: OpsRange) {
+        let RtlSim {
+            ops,
+            parts,
+            vals,
+            evals,
+            ..
+        } = self;
+        for op in &ops[range.0 as usize..range.1 as usize] {
+            *evals += 1;
+            let dst = op.dst() as usize;
+            let mut d = std::mem::replace(&mut vals[dst], LogicVec::from_bits(Vec::new()));
+            {
+                let db = d.bits_raw_mut();
+                match *op {
+                    Op::Copy { a, .. } => db.copy_from_slice(vals[a as usize].bits_raw()),
+                    Op::Index { a, bit, .. } => db[0] = vals[a as usize].bit(bit),
+                    Op::Slice { a, lo, .. } => {
+                        let lo = lo as usize;
+                        db.copy_from_slice(&vals[a as usize].bits_raw()[lo..lo + db.len()]);
+                    }
+                    Op::Not { a, .. } => {
+                        for (o, s) in db.iter_mut().zip(vals[a as usize].bits_raw()) {
+                            *o = s.not();
+                        }
+                    }
+                    Op::And { a, b, .. } => {
+                        let (va, vb) = (vals[a as usize].bits_raw(), vals[b as usize].bits_raw());
+                        for (i, o) in db.iter_mut().enumerate() {
+                            *o = va[i].and(vb[i]);
+                        }
+                    }
+                    Op::Or { a, b, .. } => {
+                        let (va, vb) = (vals[a as usize].bits_raw(), vals[b as usize].bits_raw());
+                        for (i, o) in db.iter_mut().enumerate() {
+                            *o = va[i].or(vb[i]);
+                        }
+                    }
+                    Op::Xor { a, b, .. } => {
+                        let (va, vb) = (vals[a as usize].bits_raw(), vals[b as usize].bits_raw());
+                        for (i, o) in db.iter_mut().enumerate() {
+                            *o = va[i].xor(vb[i]);
+                        }
+                    }
+                    Op::Eq { a, b, .. } => {
+                        let (va, vb) = (&vals[a as usize], &vals[b as usize]);
+                        db[0] = if !va.is_known() || !vb.is_known() {
+                            Logic::X
+                        } else {
+                            Logic::from_bool(va == vb)
+                        };
+                    }
+                    Op::Mux { sel, a, b, .. } => match vals[sel as usize].bit(0) {
+                        Logic::L1 => db.copy_from_slice(vals[a as usize].bits_raw()),
+                        Logic::L0 => db.copy_from_slice(vals[b as usize].bits_raw()),
+                        _ => db.fill(Logic::X),
+                    },
+                    Op::Concat {
+                        parts: (p0, p1), ..
                     } => {
-                        if edge_on(*clock, *edge) {
-                            let en = match enable {
-                                Some(e) => {
-                                    eval_expr(design, values, evals, e).bit(0) == Logic::L1
-                                }
-                                None => true,
-                            };
-                            if en {
-                                commits.push((*q, eval_expr(design, values, evals, d)));
+                        let mut j = 0;
+                        for &p in &parts[p0 as usize..p1 as usize] {
+                            for &bit in vals[p as usize].bits_raw() {
+                                db[j] = bit;
+                                j += 1;
                             }
                         }
                     }
-                    Item::DdrFf {
-                        clock,
-                        d_rise,
-                        d_fall,
-                        q,
-                    } => {
-                        if edge_on(*clock, Edge::Pos) {
-                            commits.push((*q, eval_expr(design, values, evals, d_rise)));
-                        } else if edge_on(*clock, Edge::Neg) {
-                            commits.push((*q, eval_expr(design, values, evals, d_fall)));
-                        }
-                    }
-                    Item::Ram {
-                        clock,
-                        we,
-                        waddr,
-                        wdata,
-                        wmask,
-                        width,
-                        words,
-                        ..
-                    } => {
-                        if edge_on(*clock, Edge::Pos)
-                            && eval_expr(design, values, evals, we).bit(0) == Logic::L1
-                        {
-                            if let Some(addr) =
-                                eval_expr(design, values, evals, waddr).to_u64()
-                            {
-                                if (addr as u32) < *words {
-                                    let data = eval_expr(design, values, evals, wdata);
-                                    let mask = match wmask {
-                                        Some(m) => eval_expr(design, values, evals, m),
-                                        None => LogicVec::from_u64(u64::MAX, *width),
-                                    };
-                                    let mut word = rams[idx][addr as usize].clone();
-                                    for i in 0..*width {
-                                        if mask.bit(i) == Logic::L1 {
-                                            word.set_bit(i, data.bit(i));
-                                        }
-                                    }
-                                    ram_writes.push((idx, addr as usize, word));
-                                }
-                            }
-                        }
-                    }
-                    Item::Assign { .. } | Item::Tristate { .. } => {}
+                    Op::ReduceXor { a, .. } => db[0] = vals[a as usize].reduce_xor(),
+                    Op::ReduceOr { a, .. } => db[0] = vals[a as usize].reduce_or(),
                 }
             }
+            vals[dst] = d;
         }
-        // 4. commit
-        for (q, v) in commits {
-            self.values[q.0 as usize] = v;
-        }
-        for (idx, addr, word) in ram_writes {
-            self.rams[idx][addr] = word;
-        }
-        // 5. settle combinational logic on the post-edge state
-        self.settle();
-        // remember values for the next step's edge detection
-        self.prev_values = self.values.clone();
     }
 
-    /// Iterates combinational items to a fixpoint.
+    /// Evaluates one comb node; returns `(target net, result slot)`
+    /// without committing.
+    fn eval_node(&mut self, id: u32) -> (u32, u32) {
+        let node = self.comb[id as usize];
+        match node {
+            CombNode::Assign { ops, src, target } => {
+                self.run_ops(ops);
+                (target, src)
+            }
+            CombNode::RamRead {
+                ops,
+                addr,
+                ram,
+                words,
+                target,
+                out,
+            } => {
+                self.run_ops(ops);
+                let a = self.vals[addr as usize].to_u64();
+                let mut o =
+                    std::mem::replace(&mut self.vals[out as usize], LogicVec::from_bits(Vec::new()));
+                match a {
+                    Some(a) if (a as u32) < words => {
+                        o.assign_from(&self.rams[ram as usize][a as usize])
+                    }
+                    _ => o.bits_raw_mut().fill(Logic::X),
+                }
+                self.vals[out as usize] = o;
+                (target, out)
+            }
+            CombNode::Tri {
+                target,
+                acc,
+                drivers,
+            } => {
+                for di in drivers.0..drivers.1 {
+                    let dops = self.tri[di as usize].ops;
+                    self.run_ops(dops);
+                }
+                let mut a =
+                    std::mem::replace(&mut self.vals[acc as usize], LogicVec::from_bits(Vec::new()));
+                {
+                    let ab = a.bits_raw_mut();
+                    ab.fill(Logic::Z);
+                    for di in drivers.0..drivers.1 {
+                        let TriDriver { en, value, .. } = self.tri[di as usize];
+                        let en = self.vals[en as usize].bit(0);
+                        let vb = self.vals[value as usize].bits_raw();
+                        for (i, o) in ab.iter_mut().enumerate() {
+                            let contribution = match en {
+                                Logic::L1 => vb[i],
+                                Logic::L0 => Logic::Z,
+                                _ => Logic::X,
+                            };
+                            *o = o.resolve(contribution);
+                        }
+                    }
+                }
+                self.vals[acc as usize] = a;
+                (target, acc)
+            }
+        }
+    }
+
+    /// Copies `result` into `target` if they differ; returns whether the
+    /// target changed. Allocation-free: the copy reuses capacity.
+    fn commit_pair(&mut self, target: u32, result: u32) -> bool {
+        if self.vals[target as usize] == self.vals[result as usize] {
+            return false;
+        }
+        let mut t =
+            std::mem::replace(&mut self.vals[target as usize], LogicVec::from_bits(Vec::new()));
+        t.assign_from(&self.vals[result as usize]);
+        self.vals[target as usize] = t;
+        true
+    }
+
+    /// Settles the combinational network (mode- and topology-dependent).
+    fn settle(&mut self) {
+        if self.heap.is_empty() {
+            return; // nothing marked since the last settle
+        }
+        if self.mode == SettleMode::Full || self.fallback_full {
+            self.settle_full();
+        } else {
+            self.settle_activity();
+        }
+    }
+
+    /// Activity-driven settle: drain the dirty worklist in topological
+    /// rank order; each node evaluates at most once, and an unchanged
+    /// target stops propagation.
+    fn settle_activity(&mut self) {
+        while let Some(Reverse((_, n))) = self.heap.pop() {
+            if !self.dirty[n as usize] {
+                continue; // stale duplicate entry
+            }
+            self.dirty[n as usize] = false;
+            let (target, result) = self.eval_node(n);
+            if self.commit_pair(target, result) {
+                self.mark_fanout(target);
+            }
+        }
+    }
+
+    /// Full Jacobi fixpoint replicating the interpreter's pass-batched
+    /// semantics: every pass evaluates all nodes against pass-start net
+    /// values, then commits the changed single-driver targets in item
+    /// order, then the resolved tristate targets in net order.
     ///
     /// # Panics
     ///
     /// Panics if the network does not settle within 1000 passes
     /// (combinational loop).
-    fn settle(&mut self) {
-        // precompute ram index per rdata net for the async read ports
+    fn settle_full(&mut self) {
         for _pass in 0..1000 {
             let mut changed = false;
-            let num_nets = self.design.nets.len();
-            let mut tristate_acc: Vec<Option<LogicVec>> = vec![None; num_nets];
-            let mut writes: Vec<(usize, LogicVec)> = Vec::new();
-            {
-                let design = &self.design;
-                let values = &self.values;
-                let rams = &self.rams;
-                let evals = &mut self.evals;
-                for (idx, item) in design.items.iter().enumerate() {
-                    match item {
-                        Item::Assign { target, expr } => {
-                            let v = eval_expr(design, values, evals, expr);
-                            if values[target.0 as usize] != v {
-                                writes.push((target.0 as usize, v));
-                            }
-                        }
-                        Item::Tristate {
-                            target,
-                            enable,
-                            value,
-                        } => {
-                            let en = eval_expr(design, values, evals, enable).bit(0);
-                            let w = design.width(*target);
-                            let contribution = match en {
-                                Logic::L1 => eval_expr(design, values, evals, value),
-                                Logic::L0 => LogicVec::zs(w),
-                                _ => LogicVec::xs(w),
-                            };
-                            let acc = &mut tristate_acc[target.0 as usize];
-                            *acc = Some(match acc.take() {
-                                Some(prev) => prev.resolve(&contribution),
-                                None => contribution,
-                            });
-                        }
-                        Item::Ram {
-                            raddr,
-                            rdata,
-                            words,
-                            width,
-                            ..
-                        } => {
-                            let v = match eval_expr(design, values, evals, raddr).to_u64() {
-                                Some(a) if (a as u32) < *words => rams[idx][a as usize].clone(),
-                                _ => LogicVec::xs(*width),
-                            };
-                            if values[rdata.0 as usize] != v {
-                                writes.push((rdata.0 as usize, v));
-                            }
-                        }
-                        _ => {}
-                    }
+            let mut fa = std::mem::take(&mut self.full_assign);
+            fa.clear();
+            for id in 0..self.comb.len() as u32 {
+                if matches!(self.comb[id as usize], CombNode::Tri { .. }) {
+                    continue; // evaluated below, committed last
+                }
+                let (target, result) = self.eval_node(id);
+                fa.push((target, result, false));
+            }
+            for ti in 0..self.tri_order.len() {
+                let id = self.tri_order[ti];
+                self.eval_node(id); // result stays in the group's acc slot
+            }
+            // compare every single-driver result against the pass-start
+            // value, then apply the changed ones in item order
+            for e in fa.iter_mut() {
+                e.2 = self.vals[e.0 as usize] != self.vals[e.1 as usize];
+                changed |= e.2;
+            }
+            for &(target, result, differs) in fa.iter() {
+                if differs {
+                    self.commit_pair(target, result);
                 }
             }
-            for (i, v) in writes {
-                self.values[i] = v;
-                changed = true;
+            // tristate targets: compare against the post-assign values
+            for ti in 0..self.tri_order.len() {
+                let id = self.tri_order[ti];
+                let (target, acc) = match self.comb[id as usize] {
+                    CombNode::Tri { target, acc, .. } => (target, acc),
+                    _ => unreachable!(),
+                };
+                changed |= self.commit_pair(target, acc);
             }
-            for (i, acc) in tristate_acc.into_iter().enumerate() {
-                if let Some(v) = acc {
-                    if self.values[i] != v {
-                        self.values[i] = v;
-                        changed = true;
-                    }
-                }
-            }
+            fa.clear();
+            self.full_assign = fa;
             if !changed {
+                self.heap.clear();
+                self.dirty.fill(false);
                 return;
             }
         }
         panic!("combinational network did not settle within 1000 passes");
+    }
+
+    /// Applies staged inputs, settles, captures clock edges, commits
+    /// and settles again.
+    pub fn step(&mut self) {
+        self.steps += 1;
+        // 1. apply staged inputs (changed nets wake their fanout)
+        for i in 0..self.stage_list.len() {
+            let net = self.stage_list[i] as usize;
+            self.staged[net] = false;
+            if self.vals[net] != self.input_stage[net] {
+                let mut t =
+                    std::mem::replace(&mut self.vals[net], LogicVec::from_bits(Vec::new()));
+                t.assign_from(&self.input_stage[net]);
+                self.vals[net] = t;
+                self.mark_fanout(net as u32);
+            }
+        }
+        self.stage_list.clear();
+        // 2. settle so D inputs are coherent with the new primary inputs
+        //    (inputs have setup before the edge)
+        self.settle();
+        // 3. sample clocked elements on detected edges (all samples
+        //    before any commit — nonblocking-assignment semantics)
+        self.fired.clear();
+        for s in 0..self.seq.len() {
+            let node = self.seq[s];
+            match node {
+                SeqNode::Dff {
+                    clock,
+                    edge,
+                    en,
+                    d,
+                    q,
+                } => {
+                    if self.edge_on(clock, edge) {
+                        let enabled = match en {
+                            Some((ops, slot)) => {
+                                self.run_ops(ops);
+                                self.vals[slot as usize].bit(0) == Logic::L1
+                            }
+                            None => true,
+                        };
+                        if enabled {
+                            self.run_ops(d.0);
+                            self.fired.push((s as u32, d.1));
+                            let _ = q;
+                        }
+                    }
+                }
+                SeqNode::Ddr {
+                    clock, rise, fall, ..
+                } => {
+                    if self.edge_on(clock, Edge::Pos) {
+                        self.run_ops(rise.0);
+                        self.fired.push((s as u32, rise.1));
+                    } else if self.edge_on(clock, Edge::Neg) {
+                        self.run_ops(fall.0);
+                        self.fired.push((s as u32, fall.1));
+                    }
+                }
+                SeqNode::RamWrite {
+                    clock,
+                    we,
+                    waddr,
+                    wdata,
+                    wmask,
+                    ram,
+                    words,
+                    width,
+                    word,
+                } => {
+                    if !self.edge_on(clock, Edge::Pos) {
+                        continue;
+                    }
+                    self.run_ops(we.0);
+                    if self.vals[we.1 as usize].bit(0) != Logic::L1 {
+                        continue;
+                    }
+                    self.run_ops(waddr.0);
+                    let Some(addr) = self.vals[waddr.1 as usize].to_u64() else {
+                        continue;
+                    };
+                    if (addr as u32) >= words {
+                        continue;
+                    }
+                    self.run_ops(wdata.0);
+                    if let Some((mops, _)) = wmask {
+                        self.run_ops(mops);
+                    }
+                    // read-modify-write the addressed word into the
+                    // node's dedicated slot
+                    let mut w = std::mem::replace(
+                        &mut self.vals[word as usize],
+                        LogicVec::from_bits(Vec::new()),
+                    );
+                    w.assign_from(&self.rams[ram as usize][addr as usize]);
+                    {
+                        let wb = w.bits_raw_mut();
+                        let data = self.vals[wdata.1 as usize].bits_raw();
+                        match wmask {
+                            Some((_, mslot)) => {
+                                let mask = self.vals[mslot as usize].bits_raw();
+                                for i in 0..width as usize {
+                                    if mask[i] == Logic::L1 {
+                                        wb[i] = data[i];
+                                    }
+                                }
+                            }
+                            None => wb.copy_from_slice(data),
+                        }
+                    }
+                    self.vals[word as usize] = w;
+                    self.ram_addr[s] = addr as u32;
+                    self.fired.push((s as u32, word));
+                }
+            }
+        }
+        // 4. commit
+        for i in 0..self.fired.len() {
+            let (s, slot) = self.fired[i];
+            match self.seq[s as usize] {
+                SeqNode::Dff { q, .. } | SeqNode::Ddr { q, .. } => {
+                    if self.commit_pair(q, slot) {
+                        self.mark_fanout(q);
+                    }
+                }
+                SeqNode::RamWrite { ram, .. } => {
+                    let addr = self.ram_addr[s as usize] as usize;
+                    let ram = ram as usize;
+                    if self.rams[ram][addr] != self.vals[slot as usize] {
+                        let mut w = std::mem::replace(
+                            &mut self.rams[ram][addr],
+                            LogicVec::from_bits(Vec::new()),
+                        );
+                        w.assign_from(&self.vals[slot as usize]);
+                        self.rams[ram][addr] = w;
+                        for ri in 0..self.ram_readers[ram].len() {
+                            let reader = self.ram_readers[ram][ri];
+                            self.mark(reader);
+                        }
+                    }
+                }
+            }
+        }
+        // 5. settle combinational logic on the post-edge state
+        self.settle();
+        // remember the clock levels for the next step's edge detection
+        for i in 0..self.clock_nets.len() {
+            let cnet = self.clock_nets[i] as usize;
+            self.prev_clk[cnet] = self.vals[cnet].bit(0);
+        }
+    }
+
+    fn edge_on(&self, clock: u32, edge: Edge) -> bool {
+        let p = self.prev_clk[clock as usize];
+        let c = self.vals[clock as usize].bit(0);
+        match edge {
+            Edge::Pos => p == Logic::L0 && c == Logic::L1,
+            Edge::Neg => p == Logic::L1 && c == Logic::L0,
+        }
     }
 }

@@ -399,7 +399,69 @@ mod props {
     use super::*;
     use proptest::prelude::*;
 
+    /// Any of the four states, uniformly.
+    fn any_logic() -> impl Strategy<Value = Logic> {
+        (0usize..4).prop_map(|i| [Logic::L0, Logic::L1, Logic::X, Logic::Z][i])
+    }
+
+    /// A four-state vector of 1..=24 bits.
+    fn any_logic_vec() -> impl Strategy<Value = LogicVec> {
+        prop::collection::vec(any_logic(), 1..=24).prop_map(LogicVec::from_bits)
+    }
+
+    /// `refined` must agree with `pessimistic` wherever the pessimistic
+    /// answer is known: concretizing an X/Z input may only *add*
+    /// information, never contradict it.
+    fn refines(pessimistic: Logic, refined: Logic) -> bool {
+        !pessimistic.is_known() || pessimistic == refined
+    }
+
     proptest! {
+        #[test]
+        fn de_morgan_holds_on_all_four_states(a in any_logic(), b in any_logic()) {
+            prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+            prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        }
+
+        #[test]
+        fn x_pessimism_is_monotone(a in any_logic(), u in 0usize..2, c in any::<bool>()) {
+            // replacing an unknown operand with a concrete bit can only
+            // refine the result (IEEE 1364 gates are X-pessimistic)
+            let unknown = [Logic::X, Logic::Z][u];
+            let concrete = Logic::from_bool(c);
+            prop_assert!(refines(a.and(unknown), a.and(concrete)));
+            prop_assert!(refines(a.or(unknown), a.or(concrete)));
+            prop_assert!(refines(a.xor(unknown), a.xor(concrete)));
+            prop_assert!(refines(unknown.not(), concrete.not()));
+        }
+
+        #[test]
+        fn slice_and_index_round_trip(v in any_logic_vec(), lo_pick in 0u32..1000, hi_pick in 0u32..1000) {
+            let w = v.width();
+            let lo = lo_pick % w;
+            let hi = lo.max(hi_pick % w);
+            let s = v.slice(hi, lo);
+            prop_assert_eq!(s.width(), hi - lo + 1);
+            for i in 0..s.width() {
+                prop_assert_eq!(s.bit(i), v.bit(lo + i));
+            }
+            // reassembling every bit reproduces the vector
+            let rebuilt = LogicVec::from_bits(v.iter().collect());
+            prop_assert_eq!(&rebuilt, &v);
+        }
+
+        #[test]
+        fn set_bit_round_trips_and_is_local(v in any_logic_vec(), idx_pick in 0u32..1000, l in any_logic()) {
+            let idx = idx_pick % v.width();
+            let mut w = v.clone();
+            w.set_bit(idx, l);
+            prop_assert_eq!(w.bit(idx), l);
+            for i in 0..v.width() {
+                if i != idx {
+                    prop_assert_eq!(w.bit(i), v.bit(i));
+                }
+            }
+        }
         #[test]
         fn logicvec_u64_round_trip(v in any::<u64>(), w in 1u32..=64) {
             let masked = if w == 64 { v } else { v & ((1u64 << w) - 1) };

@@ -6,4 +6,17 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Table 3 direction gate: the SystemC-level flow must stay at least as
+# fast per cycle as the RTL+OVL flow at every bank count (the paper's
+# surviving qualitative claim; see EXPERIMENTS.md).
+table3_json="$(mktemp)"
+trap 'rm -f "$table3_json"' EXIT
+./target/release/table3 1000 200 --json "$table3_json" > /dev/null
+grep -o '"ratio": [0-9.]*' "$table3_json" | while read -r _ ratio; do
+    if ! awk -v r="$ratio" 'BEGIN { exit !(r >= 1.0) }'; then
+        echo "check.sh: table3 ratio $ratio < 1.0 — RTL+OVL outpaced SystemC" >&2
+        exit 1
+    fi
+done
 echo "check.sh: all gates passed"
