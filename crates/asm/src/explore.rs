@@ -40,6 +40,14 @@ pub struct ExploreConfig {
     /// `Some(1)` takes the sequential fast path. Results are identical
     /// for every worker count.
     pub workers: Option<usize>,
+    /// Optional wall-clock budget. When exceeded the run stops at the
+    /// next check point and reports [`ExploreVerdict::Partial`] with
+    /// [`BudgetReason::WallClock`]. Unlike the structural limits above,
+    /// a wall-clock cut-off is inherently timing-dependent: how much was
+    /// explored before the deadline varies run to run, so reproducible
+    /// campaigns should prefer state/transition budgets. `None` (the
+    /// default) means unbounded.
+    pub wall_clock: Option<Duration>,
 }
 
 impl Default for ExploreConfig {
@@ -50,7 +58,58 @@ impl Default for ExploreConfig {
             max_depth: None,
             stop_on_violation: true,
             workers: None,
+            wall_clock: None,
         }
+    }
+}
+
+/// Which budget cut an exploration or model-checking run short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// The wall-clock budget elapsed.
+    WallClock,
+    /// The state-count budget (`max_states`) was reached.
+    MaxStates,
+    /// The transition budget (`max_transitions`) was reached.
+    MaxTransitions,
+    /// The depth bound (`max_depth`) pruned at least one frontier node.
+    MaxDepth,
+}
+
+impl std::fmt::Display for BudgetReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetReason::WallClock => write!(f, "wall-clock budget"),
+            BudgetReason::MaxStates => write!(f, "state budget"),
+            BudgetReason::MaxTransitions => write!(f, "transition budget"),
+            BudgetReason::MaxDepth => write!(f, "depth bound"),
+        }
+    }
+}
+
+/// Completeness verdict of an exploration run: did the engine see the
+/// whole reachable product graph, or did a budget stop it early?
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ExploreVerdict {
+    /// The reachable product graph was exhausted within all budgets;
+    /// `Holds` verdicts are proofs over the full model.
+    #[default]
+    Complete,
+    /// A budget cut the run short: `Holds` verdicts only cover the
+    /// `explored` states actually visited (the paper's
+    /// under-approximation caveat, made explicit).
+    Partial {
+        /// Product states explored before the cut-off.
+        explored: usize,
+        /// Which budget fired first.
+        reason: BudgetReason,
+    },
+}
+
+impl ExploreVerdict {
+    /// True for [`ExploreVerdict::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ExploreVerdict::Complete)
     }
 }
 
@@ -137,8 +196,11 @@ pub struct ExploreStats {
     pub transitions: usize,
     /// Wall-clock exploration time.
     pub elapsed: Duration,
-    /// True when a configured limit truncated the exploration.
+    /// True when a configured limit truncated the exploration
+    /// (equivalent to `!verdict.is_complete()`).
     pub truncated: bool,
+    /// Whether the run was exhaustive or budget-limited, and why.
+    pub verdict: ExploreVerdict,
     /// Deepest BFS level reached.
     pub max_depth_reached: usize,
     /// Successors that resolved to an already-visited product state
@@ -407,12 +469,26 @@ struct Engine<'e> {
     /// `verdicts[i]`: `None` = still checking, `Some` = settled.
     verdicts: Vec<Option<CheckOutcome>>,
     covered: Vec<bool>,
-    truncated: bool,
+    /// First budget that fired, if any (`None` = still exhaustive).
+    truncated: Option<BudgetReason>,
+    /// Wall-clock cut-off, precomputed from `config.wall_clock`.
+    deadline: Option<Instant>,
     max_depth_reached: usize,
     dedup_hits: usize,
 }
 
 impl Engine<'_> {
+    /// Records a budget hit; the first reason wins so the verdict names
+    /// the budget that actually stopped the run.
+    fn truncate(&mut self, reason: BudgetReason) {
+        self.truncated.get_or_insert(reason);
+    }
+
+    /// True once the wall-clock budget has elapsed.
+    fn past_deadline(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     /// Exact lookup in the visited table: fingerprint probe, then
     /// collision verification against the state arena and the interned
     /// monitor fingerprints.
@@ -496,7 +572,7 @@ impl Engine<'_> {
             }
             None => {
                 if self.nodes.len() >= self.config.max_states {
-                    self.truncated = true;
+                    self.truncate(BudgetReason::MaxStates);
                     return ControlFlow::Break(());
                 }
                 let idx = self.nodes.len() as u32;
@@ -539,11 +615,17 @@ impl Engine<'_> {
         'bfs: while frontier < self.nodes.len() {
             let node_idx = frontier as u32;
             frontier += 1;
+            // sample the clock every 64 node expansions — cheap enough
+            // to keep out of the per-successor hot path
+            if frontier & 63 == 0 && self.past_deadline() {
+                self.truncate(BudgetReason::WallClock);
+                break 'bfs;
+            }
             let node = self.nodes[node_idx as usize];
             self.max_depth_reached = self.max_depth_reached.max(node.depth as usize);
             if let Some(max) = self.config.max_depth {
                 if node.depth as usize >= max {
-                    self.truncated = true;
+                    self.truncate(BudgetReason::MaxDepth);
                     continue;
                 }
             }
@@ -554,7 +636,7 @@ impl Engine<'_> {
                 let choices = (rule.body)(self.arena.get(node.state));
                 for updates in &choices {
                     if self.transitions.len() >= self.config.max_transitions {
-                        self.truncated = true;
+                        self.truncate(BudgetReason::MaxTransitions);
                         break 'bfs;
                     }
                     machine
@@ -724,12 +806,20 @@ impl Engine<'_> {
 
         let mut level_start = 0usize;
         while level_start < self.nodes.len() {
+            // the wall clock is sampled only at level barriers: workers
+            // stay free of shared cut-off state beyond the existing
+            // early-exit flag, at the cost of finishing the level in
+            // flight when the deadline lands mid-level
+            if self.past_deadline() {
+                self.truncate(BudgetReason::WallClock);
+                break;
+            }
             let level_end = self.nodes.len();
             let depth = self.nodes[level_start].depth;
             self.max_depth_reached = self.max_depth_reached.max(depth as usize);
             if let Some(max) = self.config.max_depth {
                 if depth as usize >= max {
-                    self.truncated = true;
+                    self.truncate(BudgetReason::MaxDepth);
                     break;
                 }
             }
@@ -765,7 +855,7 @@ impl Engine<'_> {
             let mut halt = false;
             'merge: for rec in buffers.into_iter().flatten() {
                 if self.transitions.len() >= self.config.max_transitions {
-                    self.truncated = true;
+                    self.truncate(BudgetReason::MaxTransitions);
                     halt = true;
                     break 'merge;
                 }
@@ -905,7 +995,8 @@ impl<'a> Explorer<'a> {
             transitions: Vec::new(),
             verdicts: vec![None; directives.len()],
             covered: vec![false; directives.len()],
-            truncated: false,
+            truncated: None,
+            deadline: self.config.wall_clock.map(|budget| start + budget),
             max_depth_reached: 0,
             dedup_hits: 0,
         };
@@ -1002,11 +1093,19 @@ impl<'a> Explorer<'a> {
             rule_labels: machine.rules().iter().map(|r| r.name().to_string()).collect(),
             initial: 0,
         };
+        let verdict = match engine.truncated {
+            None => ExploreVerdict::Complete,
+            Some(reason) => ExploreVerdict::Partial {
+                explored: fsm.num_states(),
+                reason,
+            },
+        };
         let stats = ExploreStats {
             states: fsm.num_states(),
             transitions: fsm.num_transitions(),
             elapsed: start.elapsed(),
-            truncated: engine.truncated,
+            truncated: !verdict.is_complete(),
+            verdict,
             max_depth_reached: engine.max_depth_reached,
             dedup_hits: engine.dedup_hits,
             peak_frontier,

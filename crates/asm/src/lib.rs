@@ -50,8 +50,8 @@ mod value;
 
 pub use conformance::{conformance_check, ConformanceError, StepSystem};
 pub use explore::{
-    int_domain, CheckOutcome, Counterexample, ExploreConfig, ExploreResult, ExploreStats,
-    Explorer, Fsm, PropertyReport,
+    int_domain, BudgetReason, CheckOutcome, Counterexample, ExploreConfig, ExploreResult,
+    ExploreStats, ExploreVerdict, Explorer, Fsm, PropertyReport,
 };
 pub use machine::{AsmState, InconsistentUpdateError, Machine, MachineBuilder, Rule, VarId};
 pub use value::Value;

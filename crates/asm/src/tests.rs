@@ -99,6 +99,95 @@ fn exploration_respects_depth_limit() {
 }
 
 #[test]
+fn budget_verdicts_name_the_limit_that_fired() {
+    let m = counter(100);
+    // exhaustive run: Complete
+    let r = Explorer::new(&m, ExploreConfig::default()).run();
+    assert_eq!(r.stats.verdict, ExploreVerdict::Complete);
+    assert!(r.stats.verdict.is_complete());
+    // state budget
+    let r = Explorer::new(
+        &m,
+        ExploreConfig {
+            max_states: 10,
+            ..ExploreConfig::default()
+        },
+    )
+    .run();
+    assert_eq!(
+        r.stats.verdict,
+        ExploreVerdict::Partial {
+            explored: r.fsm.num_states(),
+            reason: BudgetReason::MaxStates
+        }
+    );
+    // depth bound
+    let r = Explorer::new(
+        &m,
+        ExploreConfig {
+            max_depth: Some(3),
+            ..ExploreConfig::default()
+        },
+    )
+    .run();
+    assert!(matches!(
+        r.stats.verdict,
+        ExploreVerdict::Partial {
+            reason: BudgetReason::MaxDepth,
+            ..
+        }
+    ));
+    // transition budget
+    let r = Explorer::new(
+        &m,
+        ExploreConfig {
+            max_transitions: 5,
+            ..ExploreConfig::default()
+        },
+    )
+    .run();
+    assert!(matches!(
+        r.stats.verdict,
+        ExploreVerdict::Partial {
+            reason: BudgetReason::MaxTransitions,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn wall_clock_budget_returns_partial() {
+    // an effectively infinite state space with a zero budget stops at
+    // the first deadline check instead of exploring 200k states, for
+    // both the sequential and the parallel engine
+    let m = counter(i64::MAX);
+    for workers in [1, 4] {
+        let cfg = ExploreConfig {
+            wall_clock: Some(std::time::Duration::ZERO),
+            workers: Some(workers),
+            ..ExploreConfig::default()
+        };
+        let r = Explorer::new(&m, cfg).run();
+        assert!(
+            matches!(
+                r.stats.verdict,
+                ExploreVerdict::Partial {
+                    reason: BudgetReason::WallClock,
+                    ..
+                }
+            ),
+            "workers={workers}: {:?}",
+            r.stats.verdict
+        );
+        assert!(r.stats.truncated);
+        assert!(
+            r.fsm.num_states() < 200_000,
+            "workers={workers}: deadline ignored"
+        );
+    }
+}
+
+#[test]
 fn nondeterministic_choice_branches() {
     // `any b in {true, false}` — one rule, two update sets
     let mut b = MachineBuilder::new();

@@ -23,7 +23,7 @@ fn main() {
             SmcConfig {
                 strategy: Strategy::Monolithic,
                 node_budget: budget,
-                max_iterations: None,
+                ..SmcConfig::default()
             },
         )
         .unwrap();

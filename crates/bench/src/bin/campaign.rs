@@ -1,0 +1,118 @@
+//! Runs the deterministic fault-injection campaign and prints the
+//! cross-level detection matrix (crate `la1-fault`).
+//!
+//! Usage: `campaign [banks...] [--seed N] [--runs N] [--json <path>]
+//! [--smoke]`
+//!
+//! * `banks...` — bank counts to campaign over (default `1 2 4`);
+//! * `--seed` — campaign seed (default 42); same seed + config gives
+//!   byte-identical output;
+//! * `--runs` — seeded runs per (fault, level) cell (default 3);
+//! * `--json` — write the machine-readable matrices (one JSON object
+//!   per bank count, in a JSON array) to a file;
+//! * `--smoke` — gate mode for `scripts/check.sh`: exits non-zero
+//!   unless every fault model is detected by at least one channel at
+//!   the RTL+OVL level and the healthy design never hangs.
+
+use la1_fault::{run_campaign, CampaignConfig, FaultModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut banks_list: Vec<u32> = Vec::new();
+    let mut seed = 42u64;
+    let mut runs = 3u32;
+    let mut json_path: Option<String> = None;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("seed must be an integer");
+                i += 2;
+            }
+            "--runs" => {
+                runs = args
+                    .get(i + 1)
+                    .expect("--runs requires a value")
+                    .parse()
+                    .expect("runs must be an integer");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(
+                    args.get(i + 1)
+                        .expect("--json requires a path argument")
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => {
+                banks_list.push(other.parse().expect("bank counts must be integers"));
+                i += 1;
+            }
+        }
+    }
+    if banks_list.is_empty() {
+        banks_list = vec![1, 2, 4];
+    }
+
+    let mut jsons = Vec::new();
+    let mut failures = Vec::new();
+    for &banks in &banks_list {
+        let mut config = CampaignConfig::new(banks, seed);
+        config.runs_per_fault = runs;
+        let matrix = run_campaign(&config);
+        println!("{}", matrix.render());
+        jsons.push(matrix.to_json());
+        if smoke {
+            for fault in FaultModel::ALL {
+                if !matrix.detected_at(fault, la1_fault::Level::RtlOvl) {
+                    failures.push(format!(
+                        "{} banks: {} escaped every channel at rtl+ovl",
+                        banks,
+                        fault.name()
+                    ));
+                }
+            }
+            for (level, ok) in &matrix.healthy {
+                if !ok {
+                    failures.push(format!("{banks} banks: healthy design hung at {level}"));
+                }
+            }
+        }
+    }
+    if let Some(path) = json_path {
+        let body = jsons
+            .iter()
+            .map(|j| {
+                // indent each matrix object two spaces into the array
+                j.trim_end()
+                    .lines()
+                    .map(|l| format!("  {l}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+    if smoke {
+        if failures.is_empty() {
+            println!("campaign smoke gate: ok");
+        } else {
+            for f in &failures {
+                eprintln!("campaign smoke gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

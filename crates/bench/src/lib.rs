@@ -66,6 +66,7 @@ pub fn table1_row_with(banks: u32, max_depth: usize, workers: Option<usize>) -> 
             max_transitions: 20_000_000,
             stop_on_violation: true,
             workers,
+            ..ExploreConfig::default()
         },
     );
     Table1Row {
@@ -102,7 +103,7 @@ pub fn table2_row(banks: u32, strategy: Strategy, node_budget: usize) -> Table2R
         SmcConfig {
             strategy,
             node_budget,
-            max_iterations: None,
+            ..SmcConfig::default()
         },
     )
     .expect("read-mode property is in the safety subset");
@@ -115,6 +116,7 @@ pub fn table2_row(banks: u32, strategy: Strategy, node_budget: usize) -> Table2R
             SmcOutcome::Proved => "proved",
             SmcOutcome::Violated(_) => "VIOLATED",
             SmcOutcome::StateExplosion => "state explosion",
+            SmcOutcome::Partial { .. } => "partial",
         },
     }
 }

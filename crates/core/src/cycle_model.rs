@@ -59,6 +59,13 @@ pub trait CycleModel {
 
     /// Completed cycles.
     fn cycles(&self) -> u64;
+
+    /// The recorded violations as `(monitor name, cycle)` pairs —
+    /// the per-monitor detail behind [`CycleModel::violation_count`].
+    /// Levels without attached monitors report none.
+    fn violation_details(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 impl CycleModel for LaSystemC {
@@ -79,6 +86,12 @@ impl CycleModel for LaSystemC {
     }
     fn cycles(&self) -> u64 {
         LaSystemC::cycles(self)
+    }
+    fn violation_details(&self) -> Vec<(String, u64)> {
+        self.violations()
+            .iter()
+            .map(|v| (v.property.clone(), v.cycle))
+            .collect()
     }
 }
 
@@ -132,6 +145,12 @@ impl RtlWithOvl {
     pub fn driver(&self) -> &LaRtlDriver {
         &self.driver
     }
+
+    /// Mutable access to the underlying RTL driver (fault-injection
+    /// hooks such as [`LaRtlDriver::inject_x`]).
+    pub fn driver_mut(&mut self) -> &mut LaRtlDriver {
+        &mut self.driver
+    }
 }
 
 impl CycleModel for RtlWithOvl {
@@ -155,6 +174,13 @@ impl CycleModel for RtlWithOvl {
     }
     fn cycles(&self) -> u64 {
         self.driver.cycles()
+    }
+    fn violation_details(&self) -> Vec<(String, u64)> {
+        self.bench
+            .violations()
+            .iter()
+            .map(|v| (v.monitor.clone(), v.cycle))
+            .collect()
     }
 }
 

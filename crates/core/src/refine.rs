@@ -205,6 +205,14 @@ pub fn run_flow(config: &LaConfig, explore: ExploreConfig, smc: SmcConfig) -> Fl
                     // simulation at that size)
                     detail.push_str(&format!("{} state explosion; ", d.name));
                 }
+                SmcOutcome::Partial { explored, reason } => {
+                    // budget-limited, not a verdict either way; like
+                    // explosion, simulation re-checks the property
+                    detail.push_str(&format!(
+                        "{} partial ({explored} iterations, {reason}); ",
+                        d.name
+                    ));
+                }
             },
             Err(e) => {
                 rtl_ok = false;

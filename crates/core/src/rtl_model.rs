@@ -22,7 +22,7 @@
 //! protocol cycles.
 
 use crate::spec::{bank_bits, BankOp, LaConfig};
-use la1_rtl::{Edge, Expr, NetId, Netlist, RtlSim, TransitionSystem};
+use la1_rtl::{Edge, Expr, LogicVec, NetId, Netlist, RtlSim, TransitionSystem};
 
 /// Net handles of the built design.
 #[derive(Debug, Clone)]
@@ -389,6 +389,21 @@ impl LaRtl {
     }
 }
 
+/// An input pin of the LA-1 design that [`LaRtlDriver::inject_x`] can
+/// drive with four-state X for one full protocol cycle — the RTL-only
+/// fault class the two-valued upper levels cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XPin {
+    /// The read-select input `rd_sel`.
+    ReadSel,
+    /// The write-select input `wr_sel`.
+    WriteSel,
+    /// The time-multiplexed address bus `addr`.
+    Addr,
+    /// The DDR write-data input `wdata` (both halves of the cycle).
+    WData,
+}
+
 /// Clocks the interpreted RTL simulator through full protocol cycles.
 #[derive(Debug)]
 pub struct LaRtlDriver {
@@ -399,6 +414,8 @@ pub struct LaRtlDriver {
     captured_lo: Option<u64>,
     /// merged output word per bank, refreshed each cycle
     outputs: Vec<Option<u64>>,
+    /// pin to drive with X during the next cycle, consumed by `cycle_with`
+    pending_x: Option<XPin>,
 }
 
 impl LaRtlDriver {
@@ -412,7 +429,17 @@ impl LaRtlDriver {
             cycles: 0,
             captured_lo: None,
             outputs: vec![None; banks],
+            pending_x: None,
         }
+    }
+
+    /// Arms a four-state X injection: during the next [`Self::cycle`]
+    /// the chosen input pin is driven with all-X on both clock edges,
+    /// overriding whatever the operations would drive. Whatever the
+    /// design samples from that pin (a write word, an address, a select)
+    /// becomes X and propagates through the state like a real unknown.
+    pub fn inject_x(&mut self, pin: XPin) {
+        self.pending_x = Some(pin);
     }
 
     /// Mutable access to the underlying simulator (OVL benches probe
@@ -450,6 +477,16 @@ impl LaRtlDriver {
     /// Like [`Self::cycle`], invoking `at_rising` once the rising edge
     /// has settled (the OVL sampling point).
     pub fn cycle_with<F: FnOnce(&mut RtlSim)>(&mut self, ops: &[BankOp], at_rising: F) {
+        let x_target: Option<(NetId, u32)> = self.pending_x.take().map(|pin| {
+            let cfg = &self.design.cfg;
+            let nets = &self.design.nets;
+            match pin {
+                XPin::ReadSel => (nets.rd_sel, 1),
+                XPin::WriteSel => (nets.wr_sel, 1),
+                XPin::Addr => (nets.addr, cfg.addr_bits() + bank_bits(cfg.banks)),
+                XPin::WData => (nets.wdata, cfg.half_width()),
+            }
+        });
         let cfg = &self.design.cfg;
         let nets = &self.design.nets;
         let word_bits = cfg.addr_bits();
@@ -495,6 +532,9 @@ impl LaRtlDriver {
             .set_u64(nets.addr, raddr | (rbank << word_bits));
         self.sim.set_u64(nets.wdata, wdata_lo);
         self.sim.set_u64(nets.bw, bw_lo);
+        if let Some((net, width)) = x_target {
+            self.sim.set(net, LogicVec::xs(width));
+        }
         self.sim.set_u64(nets.k, 1);
         self.sim.step();
         // capture the low output half (driven while K is high)
@@ -514,6 +554,9 @@ impl LaRtlDriver {
         self.sim.set_u64(nets.addr, waddr_bus);
         self.sim.set_u64(nets.wdata, wdata_hi);
         self.sim.set_u64(nets.bw, bw_hi);
+        if let Some((net, width)) = x_target {
+            self.sim.set(net, LogicVec::xs(width));
+        }
         self.sim.set_u64(nets.k, 0);
         self.sim.step();
 

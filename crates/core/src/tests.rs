@@ -4,7 +4,7 @@
 
 use crate::asm_model::LaAsmModel;
 use crate::cycle_model::{co_execute, CycleModel, RtlWithOvl};
-use crate::harness::{attach_la1_ovl, run_rtl_ovl, run_systemc_abv};
+use crate::harness::{attach_la1_ovl, run_rtl_ovl, run_systemc_abv, AbvRunStats};
 use crate::properties::{cycle_properties, rtl_properties, rtl_read_mode_property};
 use crate::refine::{conformance_stimulus, run_flow};
 use crate::rtl_model::{LaRtl, LaRtlDriver};
@@ -427,6 +427,25 @@ fn rtl_ovl_clean_and_faulty() {
     );
 }
 
+#[test]
+fn time_per_cycle_handles_zero_cycles() {
+    use std::time::Duration;
+    // a run that simulated nothing has no meaningful per-cycle time;
+    // dividing would panic
+    let idle = AbvRunStats {
+        cycles: 0,
+        elapsed: Duration::from_millis(5),
+        violations: 0,
+    };
+    assert_eq!(idle.time_per_cycle(), Duration::ZERO);
+    let real = AbvRunStats {
+        cycles: 4,
+        elapsed: Duration::from_millis(8),
+        violations: 0,
+    };
+    assert_eq!(real.time_per_cycle(), Duration::from_millis(2));
+}
+
 // ---- cross-level agreement ---------------------------------------------------------
 
 #[test]
@@ -459,6 +478,99 @@ fn all_three_levels_agree_on_random_traffic() {
     assert_eq!(CycleModel::cycles(&asm), 120);
     assert_eq!(CycleModel::cycles(&sc), 120);
     assert_eq!(CycleModel::cycles(&drv), 120);
+}
+
+/// Wraps a model and lies about one bank's sampled pins for exactly one
+/// cycle — the minimal injected mismatch for divergence-report tests.
+struct Corrupt {
+    inner: Box<dyn CycleModel>,
+    at_cycle: u64,
+    bank: u32,
+    flip_write_done: bool,
+}
+
+impl Corrupt {
+    /// co_execute samples after stepping: while checking cycle `c` the
+    /// inner model has completed `c + 1` cycles.
+    fn active(&self) -> bool {
+        self.inner.cycles() == self.at_cycle + 1
+    }
+}
+
+impl CycleModel for Corrupt {
+    fn level(&self) -> &'static str {
+        self.inner.level()
+    }
+    fn cycle(&mut self, ops: &[BankOp]) {
+        self.inner.cycle(ops);
+    }
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        let out = self.inner.bank_output(bank);
+        if !self.flip_write_done && self.active() && bank == self.bank {
+            return Some(out.unwrap_or(0) ^ 1);
+        }
+        out
+    }
+    fn write_done(&self, bank: u32) -> bool {
+        let done = self.inner.write_done(bank);
+        if self.flip_write_done && self.active() && bank == self.bank {
+            return !done;
+        }
+        done
+    }
+    fn violation_count(&self) -> usize {
+        self.inner.violation_count()
+    }
+    fn cycles(&self) -> u64 {
+        self.inner.cycles()
+    }
+}
+
+fn make_model(cfg: &LaConfig, which: usize) -> Box<dyn CycleModel> {
+    match which {
+        0 => Box::new(LaAsmModel::new(cfg)),
+        1 => Box::new(LaSystemC::new(cfg)),
+        2 => Box::new(LaRtlDriver::new(&LaRtl::build(cfg, None))),
+        _ => Box::new(RtlWithOvl::new(&LaRtl::build(cfg, None))),
+    }
+}
+
+#[test]
+fn co_execute_reports_cycle_bank_and_signal_for_every_model_pair() {
+    let cfg = small_cfg(2);
+    const AT: u64 = 7;
+    const BANK: u32 = 1;
+    let names = ["asm", "systemc", "rtl", "rtl+ovl"];
+    for reference in 0..names.len() {
+        for diverging in 0..names.len() {
+            if reference == diverging {
+                continue;
+            }
+            for flip_write_done in [false, true] {
+                let mut golden = make_model(&cfg, reference);
+                let mut corrupt = Corrupt {
+                    inner: make_model(&cfg, diverging),
+                    at_cycle: AT,
+                    bank: BANK,
+                    flip_write_done,
+                };
+                let mut idle = || Vec::<BankOp>::new();
+                let err = co_execute(
+                    cfg.banks,
+                    &mut [golden.as_mut(), &mut corrupt],
+                    &mut idle,
+                    20,
+                )
+                .expect_err("the injected mismatch must be reported");
+                assert_eq!(err.cycle, AT, "{err}");
+                assert_eq!(err.bank, BANK, "{err}");
+                assert_eq!(err.reference, names[reference], "{err}");
+                assert_eq!(err.level, names[diverging], "{err}");
+                let signal = if flip_write_done { "write_done" } else { "output" };
+                assert!(err.detail.contains(signal), "{err}");
+            }
+        }
+    }
 }
 
 // ---- flow + harness -----------------------------------------------------------------

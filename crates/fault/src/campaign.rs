@@ -1,0 +1,733 @@
+//! The deterministic fault-injection campaign runner and its
+//! detection matrix.
+//!
+//! A campaign takes a [`CampaignConfig`] — interface configuration,
+//! seed, fault list, level list, runs per fault — and produces a
+//! [`DetectionMatrix`]: for every `(fault model, level)` pair, which
+//! detection channel caught the fault in how many of the seeded runs,
+//! and with what mean latency in cycles. The channels are:
+//!
+//! * `scoreboard` — a healthy same-level golden model driven with the
+//!   *intended* operations, compared pin-by-pin against the faulted
+//!   run every cycle (data-valid word and write-done flag per bank);
+//! * the attached monitors — PSL properties at the SystemC level
+//!   (`parity_0`, `read_latency_0`, …), OVL modules at the RTL+OVL
+//!   level (`ovl_parity_0`, …), reported under their own names;
+//! * `guard` — a panic guard around every DUT cycle: the levels
+//!   enforce the bus protocol by assertion, so a hostile stimulus
+//!   (two reads on the one address bus) trips it;
+//! * `watchdog` — closed-loop runs issue a read whenever none is
+//!   outstanding and declare the run [hung](CellStats::hung) after
+//!   `watchdog_cycles` without a data-valid response.
+//!
+//! Everything is deterministic: per-run RNGs are seeded from
+//! `(campaign seed, fault index, level index, run index)`, the matrix
+//! is held in ordered maps, and neither wall-clock time nor iteration
+//! order of unordered containers enters the result — the same seed and
+//! config produce a byte-identical [`DetectionMatrix::to_json`].
+
+use crate::models::{FaultModel, FaultPlan, Injector};
+use la1_core::asm_model::LaAsmModel;
+use la1_core::cycle_model::{CycleModel, RtlWithOvl};
+use la1_core::rtl_model::{LaRtl, LaRtlDriver, XPin};
+use la1_core::sc_model::LaSystemC;
+use la1_core::spec::{BankOp, LaConfig, READ_LATENCY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// The executable refinement levels a campaign can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// The ASM-level model (full-word writes, no monitors).
+    Asm,
+    /// The SystemC model with compiled PSL monitors.
+    SystemC,
+    /// The interpreted RTL without monitors.
+    Rtl,
+    /// The interpreted RTL with the OVL monitor suite.
+    RtlOvl,
+}
+
+impl Level {
+    /// All levels, in refinement order.
+    pub const ALL: [Level; 4] = [Level::Asm, Level::SystemC, Level::Rtl, Level::RtlOvl];
+
+    /// The level's report name (matches [`CycleModel::level`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Asm => "asm",
+            Level::SystemC => "systemc",
+            Level::Rtl => "rtl",
+            Level::RtlOvl => "rtl+ovl",
+        }
+    }
+}
+
+/// Whether `fault` can be expressed at `level`.
+///
+/// X injection needs the four-state RTL simulator; the parity path
+/// does not exist in the ASM model (which abstracts data transport).
+pub fn supports(fault: FaultModel, level: Level) -> bool {
+    match fault {
+        FaultModel::XInjectWData => matches!(level, Level::Rtl | Level::RtlOvl),
+        FaultModel::ParityFault => !matches!(level, Level::Asm),
+        _ => true,
+    }
+}
+
+/// One campaign's shape: which faults, which levels, how many seeded
+/// runs of each, and the closed-loop watchdog parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Interface configuration the models are built from.
+    pub la1: LaConfig,
+    /// Campaign seed; all per-run seeds derive from it.
+    pub seed: u64,
+    /// Seeded runs per `(fault, level)` cell.
+    pub runs_per_fault: u32,
+    /// Closed-loop runs report `hung` after this many cycles without a
+    /// data-valid response.
+    pub watchdog_cycles: u64,
+    /// Closed-loop runs complete after this many successful reads.
+    pub target_reads: u32,
+    /// Levels to drive.
+    pub levels: Vec<Level>,
+    /// Fault models to inject.
+    pub faults: Vec<FaultModel>,
+}
+
+impl CampaignConfig {
+    /// The default campaign at `banks` banks: all faults, all levels,
+    /// 3 runs per cell, a simulation-sized 8-words-per-bank interface.
+    pub fn new(banks: u32, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            la1: LaConfig {
+                banks,
+                words_per_bank: 8,
+                word_width: 16,
+                mc_addr_domain: vec![0, 1],
+                mc_data_domain: vec![0, 0x5A5A],
+                burst_len: 1,
+            },
+            seed,
+            runs_per_fault: 3,
+            watchdog_cycles: 24,
+            target_reads: 6,
+            levels: Level::ALL.to_vec(),
+            faults: FaultModel::ALL.to_vec(),
+        }
+    }
+}
+
+/// Per-channel detection tally within one `(fault, level)` cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorStat {
+    /// Runs in which this channel detected the fault.
+    pub detected: u32,
+    /// Sum over detecting runs of (detection cycle − activation
+    /// cycle); divide by `detected` for the mean latency.
+    pub latency_sum: u64,
+}
+
+/// One `(fault, level)` cell of the detection matrix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Seeded runs executed for this cell.
+    pub runs: u32,
+    /// Runs that ended hung (no forward progress within the watchdog
+    /// budget, or a guard-tripping panic mid-run in closed loop).
+    pub hung: u32,
+    /// Detection tally per channel name (ordered).
+    pub monitors: BTreeMap<String, MonitorStat>,
+}
+
+impl CellStats {
+    /// Whether any channel detected the fault in any run.
+    pub fn detected(&self) -> bool {
+        self.monitors.values().any(|m| m.detected > 0)
+    }
+
+    /// Whether an attached monitor (PSL/OVL — not the scoreboard,
+    /// guard or watchdog harness channels) detected the fault.
+    pub fn monitor_detected(&self) -> bool {
+        self.monitors
+            .iter()
+            .any(|(name, m)| !is_harness_channel(name) && m.detected > 0)
+    }
+}
+
+fn is_harness_channel(name: &str) -> bool {
+    matches!(name, "scoreboard" | "guard" | "watchdog")
+}
+
+/// The campaign result: detection statistics per fault model, level
+/// and channel, plus the healthy-design control runs and the
+/// cross-level agreement report. Ordered maps keep rendering and JSON
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionMatrix {
+    /// Bank count of the campaign's interface.
+    pub banks: u32,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Seeded runs per cell.
+    pub runs_per_fault: u32,
+    /// `fault name → level name → cell`.
+    pub cells: BTreeMap<String, BTreeMap<String, CellStats>>,
+    /// Healthy-design closed-loop control per level: `true` when the
+    /// run completed its target reads without tripping the watchdog.
+    pub healthy: BTreeMap<String, bool>,
+    /// Cross-level monitor disagreements: faults one level's attached
+    /// monitors catch and another's miss.
+    pub disagreements: Vec<String>,
+}
+
+impl DetectionMatrix {
+    /// The cell for `(fault, level)`, if that pair was run.
+    pub fn cell(&self, fault: FaultModel, level: Level) -> Option<&CellStats> {
+        self.cells.get(fault.name())?.get(level.name())
+    }
+
+    /// Whether `fault` was detected by at least one channel at `level`.
+    pub fn detected_at(&self, fault: FaultModel, level: Level) -> bool {
+        self.cell(fault, level).is_some_and(CellStats::detected)
+    }
+
+    /// Whether `fault` was detected on at least one of the levels run.
+    pub fn detected_somewhere(&self, fault: FaultModel) -> bool {
+        self.cells
+            .get(fault.name())
+            .is_some_and(|levels| levels.values().any(CellStats::detected))
+    }
+
+    /// Renders the matrix as the human-readable campaign report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fault-injection campaign: {} bank(s), seed {}, {} run(s) per cell\n",
+            self.banks, self.seed, self.runs_per_fault
+        ));
+        out.push_str(&format!(
+            "{:<24} {:<9} {:<6} {}\n",
+            "fault", "level", "hung", "detected by (channel@mean-latency)"
+        ));
+        for (fault, levels) in &self.cells {
+            for (level, cell) in levels {
+                let channels = if cell.monitors.is_empty() {
+                    "MISSED".to_string()
+                } else {
+                    cell.monitors
+                        .iter()
+                        .map(|(name, m)| {
+                            format!(
+                                "{name}@{:.1} ({}/{})",
+                                m.latency_sum as f64 / m.detected.max(1) as f64,
+                                m.detected,
+                                cell.runs
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                out.push_str(&format!(
+                    "{:<24} {:<9} {:<6} {}\n",
+                    fault,
+                    level,
+                    format!("{}/{}", cell.hung, cell.runs),
+                    channels
+                ));
+            }
+        }
+        out.push_str("healthy-design control (closed loop): ");
+        let healthy = self
+            .healthy
+            .iter()
+            .map(|(level, ok)| format!("{level}={}", if *ok { "ok" } else { "HUNG" }))
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&healthy);
+        out.push('\n');
+        if self.disagreements.is_empty() {
+            out.push_str("cross-level monitor agreement: all levels agree\n");
+        } else {
+            for d in &self.disagreements {
+                out.push_str(&format!("cross-level disagreement: {d}\n"));
+            }
+        }
+        out
+    }
+
+    /// Serializes the matrix as deterministic JSON (ordered keys, no
+    /// timing data): the same seed and config give byte-identical
+    /// output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"banks\": {},\n", self.banks));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"runs_per_fault\": {},\n", self.runs_per_fault));
+        out.push_str("  \"matrix\": [\n");
+        let mut rows = Vec::new();
+        for (fault, levels) in &self.cells {
+            for (level, cell) in levels {
+                let monitors = cell
+                    .monitors
+                    .iter()
+                    .map(|(name, m)| {
+                        format!(
+                            "{{\"monitor\": \"{name}\", \"detected\": {}, \"mean_latency\": {:.1}}}",
+                            m.detected,
+                            m.latency_sum as f64 / m.detected.max(1) as f64
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                rows.push(format!(
+                    "    {{\"fault\": \"{fault}\", \"level\": \"{level}\", \"runs\": {}, \"hung\": {}, \"monitors\": [{monitors}]}}",
+                    cell.runs, cell.hung
+                ));
+            }
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  ],\n");
+        out.push_str("  \"healthy\": [");
+        let healthy = self
+            .healthy
+            .iter()
+            .map(|(level, ok)| format!("{{\"level\": \"{level}\", \"ok\": {ok}}}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&healthy);
+        out.push_str("],\n");
+        out.push_str("  \"disagreements\": [");
+        let dis = self
+            .disagreements
+            .iter()
+            .map(|d| format!("\"{d}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&dis);
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// One model at one level, owning everything it simulates.
+enum AnyModel {
+    Asm(LaAsmModel),
+    Sc(LaSystemC),
+    Rtl(LaRtlDriver),
+    RtlOvl(RtlWithOvl),
+}
+
+impl AnyModel {
+    fn as_model(&mut self) -> &mut dyn CycleModel {
+        match self {
+            AnyModel::Asm(m) => m,
+            AnyModel::Sc(m) => m,
+            AnyModel::Rtl(m) => m,
+            AnyModel::RtlOvl(m) => m,
+        }
+    }
+
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        match self {
+            AnyModel::Asm(m) => m.bank_output(bank),
+            AnyModel::Sc(m) => m.bank_output(bank),
+            AnyModel::Rtl(m) => m.bank_output(bank),
+            AnyModel::RtlOvl(m) => CycleModel::bank_output(m, bank),
+        }
+    }
+
+    fn write_done(&self, bank: u32) -> bool {
+        match self {
+            AnyModel::Asm(m) => m.write_done(bank),
+            AnyModel::Sc(m) => m.write_done(bank),
+            AnyModel::Rtl(m) => m.write_done(bank),
+            AnyModel::RtlOvl(m) => CycleModel::write_done(m, bank),
+        }
+    }
+
+    fn violation_details(&self) -> Vec<(String, u64)> {
+        match self {
+            AnyModel::Asm(m) => m.violation_details(),
+            AnyModel::Sc(m) => CycleModel::violation_details(m),
+            AnyModel::Rtl(m) => m.violation_details(),
+            AnyModel::RtlOvl(m) => m.violation_details(),
+        }
+    }
+
+    /// Arms the four-state X injection on the write-data pins (RTL
+    /// levels only; a no-op elsewhere).
+    fn inject_x(&mut self) {
+        match self {
+            AnyModel::Rtl(m) => m.inject_x(XPin::WData),
+            AnyModel::RtlOvl(m) => m.driver_mut().inject_x(XPin::WData),
+            AnyModel::Asm(_) | AnyModel::Sc(_) => {}
+        }
+    }
+}
+
+/// Builds the faulted device under test for one run.
+fn build_dut(level: Level, cfg: &LaConfig, plan: Option<&FaultPlan>) -> AnyModel {
+    let parity_bank = plan
+        .filter(|p| p.model == FaultModel::ParityFault)
+        .map(|p| p.bank);
+    match level {
+        Level::Asm => AnyModel::Asm(LaAsmModel::new(cfg)),
+        Level::SystemC => {
+            let mut sc = LaSystemC::new(cfg);
+            sc.attach_default_monitors();
+            if let Some(bank) = parity_bank {
+                sc.inject_parity_fault(bank);
+            }
+            AnyModel::Sc(sc)
+        }
+        Level::Rtl => AnyModel::Rtl(LaRtlDriver::new(&LaRtl::build(cfg, parity_bank))),
+        Level::RtlOvl => AnyModel::RtlOvl(RtlWithOvl::new(&LaRtl::build(cfg, parity_bank))),
+    }
+}
+
+/// Builds the healthy golden model the scoreboard compares against —
+/// same level, no fault, no monitors (the RTL+OVL golden is the bare
+/// driver: the scoreboard only reads pins).
+fn build_golden(level: Level, cfg: &LaConfig) -> AnyModel {
+    match level {
+        Level::Asm => AnyModel::Asm(LaAsmModel::new(cfg)),
+        Level::SystemC => AnyModel::Sc(LaSystemC::new(cfg)),
+        Level::Rtl | Level::RtlOvl => {
+            AnyModel::Rtl(LaRtlDriver::new(&LaRtl::build(cfg, None)))
+        }
+    }
+}
+
+thread_local! {
+    /// Set while a guarded DUT cycle runs, so the process panic hook
+    /// stays silent for expected protocol-assert trips.
+    static GUARDING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics caught by the campaign's cycle guard and defers to the
+/// previous hook for everything else.
+fn install_guard_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !GUARDING.with(|g| g.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Drives one DUT cycle under the panic guard; `true` means a protocol
+/// assertion tripped.
+fn guarded_cycle(dut: &mut AnyModel, ops: &[BankOp]) -> bool {
+    GUARDING.with(|g| g.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| dut.as_model().cycle(ops)));
+    GUARDING.with(|g| g.set(false));
+    result.is_err()
+}
+
+/// The outcome of one seeded run.
+struct RunResult {
+    /// channel name → detection latency in cycles (first detection).
+    detections: BTreeMap<String, u64>,
+    /// Closed-loop run made no progress within the watchdog budget.
+    hung: bool,
+}
+
+/// The open-loop stimulus: a priming phase writing a distinct word to
+/// every `(bank, addr)` slot, a mixed phase with one random read and
+/// one round-robin write per cycle (the round-robin write order means
+/// no slot is overwritten before the sweep, so a single corrupted
+/// write always reaches a read), a full read sweep, and a drain tail
+/// long enough to flush deferred strobes and in-flight reads.
+fn open_loop_script(cfg: &LaConfig, rng: &mut StdRng) -> Vec<Vec<BankOp>> {
+    let words = cfg.words_per_bank;
+    let slots = cfg.banks * words;
+    let full_be = (1u32 << cfg.byte_enables()) - 1;
+    let mut script = Vec::new();
+    for slot in 0..slots {
+        script.push(vec![BankOp::write(
+            slot / words,
+            (slot % words) as u64,
+            0x0100 + slot as u64,
+            full_be,
+        )]);
+    }
+    for i in 0..slots {
+        let read = BankOp::read(
+            rng.gen_range(0..cfg.banks),
+            rng.gen_range(0..words) as u64,
+        );
+        let write = BankOp::write(i / words, (i % words) as u64, 0x1000 + i as u64, full_be);
+        script.push(vec![read, write]);
+    }
+    for slot in 0..slots {
+        script.push(vec![BankOp::read(slot / words, (slot % words) as u64)]);
+    }
+    for _ in 0..READ_LATENCY as u64 + 4 {
+        script.push(Vec::new());
+    }
+    script
+}
+
+/// The activation-cycle sampling window: the mixed phase of the
+/// open-loop script, where every cycle carries both a read and a write
+/// (so every one-shot fault is guaranteed to arm).
+fn activation_window(cfg: &LaConfig) -> (u64, u64) {
+    let slots = (cfg.banks * cfg.words_per_bank) as u64;
+    (slots, 2 * slots)
+}
+
+/// One open-loop run: faulted DUT vs healthy golden on the same
+/// intended stimulus, monitors collected afterwards.
+fn open_loop_run(level: Level, cfg: &LaConfig, plan: FaultPlan, rng: &mut StdRng) -> RunResult {
+    let script = open_loop_script(cfg, rng);
+    let mut golden = build_golden(level, cfg);
+    let mut dut = build_dut(level, cfg, Some(&plan));
+    let mut injector = Injector::new(plan.clone());
+    let mut detections: BTreeMap<String, u64> = BTreeMap::new();
+    let activation = plan.activation;
+    for (i, intended) in script.iter().enumerate() {
+        let cycle = i as u64;
+        let mut injected = intended.clone();
+        injector.apply(cycle, cfg, &mut injected);
+        if injector.x_due(cycle, &injected) {
+            dut.inject_x();
+        }
+        golden.as_model().cycle(intended);
+        if guarded_cycle(&mut dut, &injected) {
+            detections.insert("guard".to_string(), cycle.saturating_sub(activation));
+            break;
+        }
+        if !detections.contains_key("scoreboard") {
+            for bank in 0..cfg.banks {
+                if dut.bank_output(bank) != golden.bank_output(bank)
+                    || dut.write_done(bank) != golden.write_done(bank)
+                {
+                    detections
+                        .insert("scoreboard".to_string(), cycle.saturating_sub(activation));
+                    break;
+                }
+            }
+        }
+    }
+    for (name, cycle) in dut.violation_details() {
+        let latency = cycle.saturating_sub(activation);
+        detections
+            .entry(name)
+            .and_modify(|l| *l = (*l).min(latency))
+            .or_insert(latency);
+    }
+    RunResult {
+        detections,
+        hung: false,
+    }
+}
+
+/// One closed-loop run: the master issues a read whenever none is
+/// outstanding and counts data-valid responses; `watchdog_cycles`
+/// without progress declares the run hung. `plan == None` is the
+/// healthy-design control.
+fn closed_loop_run(
+    level: Level,
+    cfg: &LaConfig,
+    plan: Option<FaultPlan>,
+    watchdog_cycles: u64,
+    target_reads: u32,
+) -> RunResult {
+    let words = cfg.words_per_bank;
+    let slots = cfg.banks * words;
+    let full_be = (1u32 << cfg.byte_enables()) - 1;
+    let mut dut = build_dut(level, cfg, plan.as_ref());
+    let mut injector = plan.clone().map(Injector::new);
+    let activation = plan.as_ref().map_or(0, |p| p.activation);
+    let mut detections: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hung = false;
+
+    // prime every slot so reads return real data
+    for slot in 0..slots {
+        let ops = vec![BankOp::write(
+            slot / words,
+            (slot % words) as u64,
+            0x0100 + slot as u64,
+            full_be,
+        )];
+        if guarded_cycle(&mut dut, &ops) {
+            detections.insert("guard".to_string(), 0);
+            return RunResult {
+                detections,
+                hung: true,
+            };
+        }
+    }
+
+    let prime_len = slots as u64;
+    let window = activation_window(cfg);
+    // never declare success before the activation window has passed
+    // and the fault had a chance to swallow a post-activation read —
+    // otherwise a late-activating fault is never exercised at all
+    let min_cycles = window.1.max(activation + READ_LATENCY as u64 + 4);
+    let hard_cap = prime_len
+        + (window.1 - window.0)
+        + (target_reads as u64 + 4) * (READ_LATENCY as u64 + 2)
+        + 2 * watchdog_cycles
+        + 16;
+    let mut completed = 0u32;
+    let mut last_progress = prime_len;
+    let mut outstanding = false;
+    let mut counter: u32 = 0;
+    for cycle in prime_len..hard_cap {
+        let mut ops = Vec::new();
+        if !outstanding {
+            let slot = counter % slots;
+            counter += 1;
+            ops.push(BankOp::read(slot / words, (slot % words) as u64));
+            outstanding = true;
+        }
+        if let Some(injector) = &mut injector {
+            injector.apply(cycle, cfg, &mut ops);
+        }
+        if guarded_cycle(&mut dut, &ops) {
+            detections.insert("guard".to_string(), cycle.saturating_sub(activation));
+            hung = true;
+            break;
+        }
+        if (0..cfg.banks).any(|b| dut.bank_output(b).is_some()) {
+            completed += 1;
+            outstanding = false;
+            last_progress = cycle;
+            if completed >= target_reads && cycle >= min_cycles {
+                break;
+            }
+        }
+        if cycle - last_progress >= watchdog_cycles {
+            detections.insert("watchdog".to_string(), cycle.saturating_sub(activation));
+            hung = true;
+            break;
+        }
+    }
+    if completed < target_reads && !hung {
+        // the hard cap ran out without the watchdog firing: still no
+        // forward progress to the target — report it as hung
+        detections.insert("watchdog".to_string(), hard_cap.saturating_sub(activation));
+        hung = true;
+    }
+    for (name, cycle) in dut.violation_details() {
+        let latency = cycle.saturating_sub(activation);
+        detections
+            .entry(name)
+            .and_modify(|l| *l = (*l).min(latency))
+            .or_insert(latency);
+    }
+    RunResult { detections, hung }
+}
+
+/// Derives the per-run seed from the campaign seed and the run's
+/// coordinates (splitmix-style finalizer keeps neighboring runs
+/// decorrelated).
+fn run_seed(base: u64, fault_idx: usize, level_idx: usize, run: u32) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + fault_idx as u64))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + level_idx as u64))
+        .wrapping_add(0x94D0_49BB_1331_11EBu64.wrapping_mul(1 + run as u64));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z
+}
+
+/// Runs the full campaign: every configured fault on every supporting
+/// level, `runs_per_fault` seeded runs each, plus one healthy-design
+/// closed-loop control per level, and the cross-level monitor
+/// agreement check.
+pub fn run_campaign(config: &CampaignConfig) -> DetectionMatrix {
+    install_guard_hook();
+    let cfg = &config.la1;
+    let mut matrix = DetectionMatrix {
+        banks: cfg.banks,
+        seed: config.seed,
+        runs_per_fault: config.runs_per_fault,
+        cells: BTreeMap::new(),
+        healthy: BTreeMap::new(),
+        disagreements: Vec::new(),
+    };
+    for (fault_idx, &fault) in config.faults.iter().enumerate() {
+        for (level_idx, &level) in config.levels.iter().enumerate() {
+            if !supports(fault, level) {
+                continue;
+            }
+            let cell = matrix
+                .cells
+                .entry(fault.name().to_string())
+                .or_default()
+                .entry(level.name().to_string())
+                .or_default();
+            for run in 0..config.runs_per_fault {
+                let seed = run_seed(config.seed, fault_idx, level_idx, run);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let plan = FaultPlan::sample(fault, cfg, activation_window(cfg), &mut rng);
+                let result = if fault.closed_loop() {
+                    closed_loop_run(
+                        level,
+                        cfg,
+                        Some(plan),
+                        config.watchdog_cycles,
+                        config.target_reads,
+                    )
+                } else {
+                    open_loop_run(level, cfg, plan, &mut rng)
+                };
+                cell.runs += 1;
+                cell.hung += u32::from(result.hung);
+                for (channel, latency) in result.detections {
+                    let stat = cell.monitors.entry(channel).or_default();
+                    stat.detected += 1;
+                    stat.latency_sum += latency;
+                }
+            }
+        }
+    }
+    for &level in &config.levels {
+        let result = closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
+        matrix.healthy.insert(level.name().to_string(), !result.hung);
+    }
+    // cross-level monitor agreement: the monitored levels (PSL at
+    // SystemC, OVL at RTL) should catch the same faults
+    for (fault, levels) in &matrix.cells {
+        let monitored: Vec<(&String, bool)> = levels
+            .iter()
+            .filter(|(name, _)| name.as_str() == "systemc" || name.as_str() == "rtl+ovl")
+            .map(|(name, cell)| (name, cell.monitor_detected()))
+            .collect();
+        if monitored.len() < 2 {
+            continue;
+        }
+        let caught: Vec<&str> = monitored
+            .iter()
+            .filter(|(_, d)| *d)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        if !caught.is_empty() && caught.len() < monitored.len() {
+            let missed: Vec<&str> = monitored
+                .iter()
+                .filter(|(_, d)| !*d)
+                .map(|(n, _)| n.as_str())
+                .collect();
+            matrix.disagreements.push(format!(
+                "{fault}: monitors caught it at [{}] but missed it at [{}]",
+                caught.join(", "),
+                missed.join(", ")
+            ));
+        }
+    }
+    matrix
+}

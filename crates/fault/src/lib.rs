@@ -1,0 +1,39 @@
+//! # la1-fault — deterministic fault-injection campaigns for the LA-1
+//!
+//! The paper's methodology argument is that the monitors written once
+//! at the SystemC level and carried down to the RTL catch real bugs.
+//! This crate closes the loop experimentally: it injects a library of
+//! parameterized fault models ([`FaultModel`]) into any of the
+//! executable refinement levels and measures which detection channel —
+//! scoreboard, PSL monitor, OVL monitor, protocol-assert guard or
+//! progress watchdog — catches each fault, how often, and how many
+//! cycles after activation.
+//!
+//! Campaigns are **deterministic by construction**: a campaign is a
+//! pure function of `(seed, config)`. Every run's fault plan (bank,
+//! bit, activation cycle) and stimulus are drawn from a per-run RNG
+//! seeded from the campaign seed and the run's coordinates, results
+//! live in ordered maps, and no wall-clock time enters the matrix, so
+//! [`DetectionMatrix::to_json`] is byte-identical across repeats.
+//!
+//! ```
+//! use la1_fault::{run_campaign, CampaignConfig, FaultModel, Level};
+//!
+//! let mut config = CampaignConfig::new(1, 7);
+//! config.faults = vec![FaultModel::DropReadStrobe];
+//! config.levels = vec![Level::SystemC];
+//! let matrix = run_campaign(&config);
+//! assert_eq!(matrix.to_json(), run_campaign(&config).to_json());
+//! assert!(matrix.detected_at(FaultModel::DropReadStrobe, Level::SystemC));
+//! ```
+
+mod campaign;
+mod models;
+
+pub use campaign::{
+    run_campaign, supports, CampaignConfig, CellStats, DetectionMatrix, Level, MonitorStat,
+};
+pub use models::{FaultModel, FaultPlan, Injector};
+
+#[cfg(test)]
+mod tests;

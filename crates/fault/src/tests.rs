@@ -1,0 +1,261 @@
+//! Tests for the fault models, the injector and the campaign engine.
+
+use crate::campaign::{run_campaign, supports, CampaignConfig, Level};
+use crate::models::{FaultModel, FaultPlan, Injector};
+use la1_core::spec::{BankOp, LaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cfg() -> LaConfig {
+    CampaignConfig::new(2, 0).la1
+}
+
+fn plan(model: FaultModel, activation: u64, bank: u32, bit: u32) -> FaultPlan {
+    FaultPlan {
+        model,
+        activation,
+        bank,
+        bit,
+    }
+}
+
+#[test]
+fn plans_are_deterministic_per_seed() {
+    let cfg = cfg();
+    for model in FaultModel::ALL {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        assert_eq!(
+            FaultPlan::sample(model, &cfg, (10, 20), &mut a),
+            FaultPlan::sample(model, &cfg, (10, 20), &mut b),
+        );
+    }
+    // the parity fault is a power-on defect, active from cycle 0
+    let mut rng = StdRng::seed_from_u64(1);
+    let p = FaultPlan::sample(FaultModel::ParityFault, &cfg, (10, 20), &mut rng);
+    assert_eq!(p.activation, 0);
+    // everything else activates inside the window
+    let mut rng = StdRng::seed_from_u64(1);
+    let p = FaultPlan::sample(FaultModel::DataBitFlip, &cfg, (10, 20), &mut rng);
+    assert!((10..20).contains(&p.activation));
+    assert!(p.bit < cfg.word_width);
+}
+
+#[test]
+fn injector_drops_and_duplicates_strobes() {
+    let cfg = cfg();
+    // dropped read: the first read at/after activation disappears
+    let mut inj = Injector::new(plan(FaultModel::DropReadStrobe, 5, 0, 0));
+    let mut ops = vec![BankOp::read(0, 1)];
+    assert!(!inj.apply(4, &cfg, &mut ops));
+    assert_eq!(ops.len(), 1);
+    assert!(inj.apply(5, &cfg, &mut ops));
+    assert!(ops.is_empty());
+    // one-shot: the next read passes
+    let mut ops = vec![BankOp::read(0, 2)];
+    assert!(!inj.apply(6, &cfg, &mut ops));
+    assert_eq!(ops.len(), 1);
+
+    // duplicated read: armed on a busy cycle, replayed on the next
+    // cycle with a free read slot
+    let mut inj = Injector::new(plan(FaultModel::DuplicateReadStrobe, 5, 0, 0));
+    let mut ops = vec![BankOp::read(1, 3)];
+    inj.apply(5, &cfg, &mut ops);
+    assert_eq!(ops.len(), 1, "armed cycle is unchanged");
+    let mut busy = vec![BankOp::read(0, 0)];
+    assert!(!inj.apply(6, &cfg, &mut busy));
+    assert_eq!(busy.len(), 1, "no free slot while a read is present");
+    let mut idle = Vec::new();
+    assert!(inj.apply(7, &cfg, &mut idle));
+    assert_eq!(idle, vec![BankOp::read(1, 3)], "replayed verbatim");
+}
+
+#[test]
+fn injector_stuck_and_flip_faults() {
+    let cfg = cfg();
+    // stuck-at-0 read select kills every read from activation on
+    let mut inj = Injector::new(plan(FaultModel::StuckAt0ReadSel, 3, 0, 0));
+    let mut ops = vec![BankOp::read(0, 1), BankOp::write(1, 0, 9, 3)];
+    assert!(inj.apply(3, &cfg, &mut ops));
+    assert_eq!(ops, vec![BankOp::write(1, 0, 9, 3)]);
+    let mut ops = vec![BankOp::read(0, 2)];
+    assert!(inj.apply(9, &cfg, &mut ops));
+    assert!(ops.is_empty(), "persistent, not one-shot");
+
+    // address flip stays inside the bank's address range
+    let mut inj = Injector::new(plan(FaultModel::AddrBitFlip, 0, 0, 2));
+    let mut ops = vec![BankOp::read(0, 1)];
+    assert!(inj.apply(0, &cfg, &mut ops));
+    let BankOp::Read { addr, .. } = ops[0] else {
+        panic!("read expected");
+    };
+    assert_eq!(addr, 1 ^ 4);
+    assert!(addr < cfg.words_per_bank as u64);
+
+    // data flip touches exactly the planned bit
+    let mut inj = Injector::new(plan(FaultModel::DataBitFlip, 0, 0, 7));
+    let mut ops = vec![BankOp::write(0, 0, 0x55, 3)];
+    assert!(inj.apply(0, &cfg, &mut ops));
+    let BankOp::Write { data, .. } = ops[0] else {
+        panic!("write expected");
+    };
+    assert_eq!(data, 0x55 ^ 0x80);
+
+    // the hostile master issues two reads in one cycle
+    let mut inj = Injector::new(plan(FaultModel::HostileMaster, 2, 1, 0));
+    let mut ops = vec![BankOp::read(0, 0)];
+    assert!(inj.apply(2, &cfg, &mut ops));
+    let reads = ops
+        .iter()
+        .filter(|op| matches!(op, BankOp::Read { .. }))
+        .count();
+    assert!(reads >= 2, "two read strobes on the single address bus");
+}
+
+#[test]
+fn x_injection_arms_on_first_write_after_activation() {
+    let cfg = cfg();
+    let mut inj = Injector::new(plan(FaultModel::XInjectWData, 4, 0, 0));
+    assert!(!inj.x_due(3, &[BankOp::write(0, 0, 1, 3)]), "before activation");
+    assert!(!inj.x_due(5, &[BankOp::read(0, 0)]), "no write present");
+    assert!(inj.x_due(5, &[BankOp::write(0, 0, 1, 3)]));
+    assert!(!inj.x_due(6, &[BankOp::write(0, 1, 2, 3)]), "one-shot");
+    // x injection never rewrites the op stream
+    let mut ops = vec![BankOp::write(0, 0, 1, 3)];
+    assert!(!Injector::new(plan(FaultModel::XInjectWData, 0, 0, 0)).apply(0, &cfg, &mut ops));
+    assert_eq!(ops.len(), 1);
+}
+
+#[test]
+fn campaign_is_byte_reproducible() {
+    // same seed + config => byte-identical matrix; a different seed
+    // must change at least the recorded plans' latencies (JSON header
+    // differs trivially, so compare full output)
+    let mut config = CampaignConfig::new(1, 42);
+    config.runs_per_fault = 2;
+    let first = run_campaign(&config);
+    let second = run_campaign(&config);
+    assert_eq!(first.to_json(), second.to_json());
+    assert_eq!(first.render(), second.render());
+}
+
+#[test]
+fn every_fault_model_is_detected_somewhere() {
+    let config = CampaignConfig::new(2, 7);
+    let matrix = run_campaign(&config);
+    for fault in FaultModel::ALL {
+        assert!(
+            matrix.detected_somewhere(fault),
+            "{} escaped every detection channel on every level:\n{}",
+            fault.name(),
+            matrix.render()
+        );
+    }
+    // the full-observability level catches everything single-handedly
+    for fault in FaultModel::ALL {
+        assert!(
+            matrix.detected_at(fault, Level::RtlOvl),
+            "{} escaped at rtl+ovl:\n{}",
+            fault.name(),
+            matrix.render()
+        );
+    }
+}
+
+#[test]
+fn healthy_design_never_hangs_and_monitored_levels_agree() {
+    let matrix = run_campaign(&CampaignConfig::new(1, 3));
+    for (level, ok) in &matrix.healthy {
+        assert!(ok, "healthy design hung at {level}:\n{}", matrix.render());
+    }
+    // faulted cells: only the read-select stuck-at-0 (starvation) runs
+    // may hang; open-loop runs always complete
+    for (fault, levels) in &matrix.cells {
+        for (level, cell) in levels {
+            if fault != FaultModel::StuckAt0ReadSel.name() {
+                assert_eq!(cell.hung, 0, "{fault} at {level} reported hung runs");
+            }
+        }
+    }
+    // PSL (SystemC) and OVL (RTL) monitors agree on the parity fault —
+    // the paper's carried-down-monitors claim
+    assert!(
+        matrix
+            .cell(FaultModel::ParityFault, Level::SystemC)
+            .is_some_and(|c| c.monitor_detected()),
+        "PSL parity monitor missed the parity fault:\n{}",
+        matrix.render()
+    );
+    assert!(
+        matrix
+            .cell(FaultModel::ParityFault, Level::RtlOvl)
+            .is_some_and(|c| c.monitor_detected()),
+        "OVL parity monitor missed the parity fault:\n{}",
+        matrix.render()
+    );
+    assert!(
+        !matrix
+            .disagreements
+            .iter()
+            .any(|d| d.starts_with("parity_fault:")),
+        "parity fault flagged as a cross-level disagreement:\n{}",
+        matrix.render()
+    );
+}
+
+#[test]
+fn watchdog_flags_read_starvation_as_hung() {
+    // 4 banks is the regression case: its activation window reaches
+    // past the point where target_reads alone would end the run, so a
+    // run that stops early never exercises the fault at all
+    for banks in [1, 4] {
+        let mut config = CampaignConfig::new(banks, 11);
+        config.faults = vec![FaultModel::StuckAt0ReadSel];
+        let matrix = run_campaign(&config);
+        for level in Level::ALL {
+            let cell = matrix.cell(FaultModel::StuckAt0ReadSel, level).unwrap();
+            assert_eq!(
+                cell.hung, cell.runs,
+                "read starvation must hang every closed-loop run at {} ({banks} banks)",
+                level.name()
+            );
+            assert!(
+                cell.monitors.contains_key("watchdog"),
+                "hang must be attributed to the watchdog channel at {} ({banks} banks)",
+                level.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn support_matrix_gates_level_specific_faults() {
+    assert!(!supports(FaultModel::XInjectWData, Level::Asm));
+    assert!(!supports(FaultModel::XInjectWData, Level::SystemC));
+    assert!(supports(FaultModel::XInjectWData, Level::Rtl));
+    assert!(!supports(FaultModel::ParityFault, Level::Asm));
+    assert!(supports(FaultModel::ParityFault, Level::SystemC));
+    for fault in FaultModel::ALL {
+        assert!(supports(fault, Level::RtlOvl), "rtl+ovl runs everything");
+    }
+    // unsupported pairs never appear in the matrix
+    let matrix = run_campaign(&CampaignConfig::new(1, 5));
+    assert!(matrix
+        .cells
+        .get(FaultModel::XInjectWData.name())
+        .is_some_and(|levels| !levels.contains_key("asm") && !levels.contains_key("systemc")));
+}
+
+#[test]
+fn json_shape_is_stable() {
+    let mut config = CampaignConfig::new(1, 1);
+    config.faults = vec![FaultModel::DropWriteStrobe];
+    config.levels = vec![Level::Asm];
+    config.runs_per_fault = 1;
+    let json = run_campaign(&config).to_json();
+    assert!(json.contains("\"banks\": 1"));
+    assert!(json.contains("\"fault\": \"drop_write_strobe\""));
+    assert!(json.contains("\"level\": \"asm\""));
+    assert!(json.contains("\"monitor\": \"scoreboard\""));
+    assert!(json.contains("\"healthy\""));
+}

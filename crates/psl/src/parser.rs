@@ -95,24 +95,26 @@ impl<'a> Lexer<'a> {
             return Ok(None);
         }
         let at = self.pos;
-        let rest = &self.src[self.pos..];
-        let two = &rest[..rest.len().min(3)];
-        let tok = if two.starts_with("|->") {
+        // match multi-byte operators on the raw bytes: slicing the &str
+        // at a fixed width could split a multi-byte UTF-8 character and
+        // panic, and the parser must never panic on malformed input
+        let rest = &bytes[self.pos..];
+        let tok = if rest.starts_with(b"|->") {
             self.pos += 3;
             Tok::PipeArrow
-        } else if two.starts_with("|=>") {
+        } else if rest.starts_with(b"|=>") {
             self.pos += 3;
             Tok::PipeDblArrow
-        } else if rest.starts_with("->") {
+        } else if rest.starts_with(b"->") {
             self.pos += 2;
             Tok::Arrow
-        } else if rest.starts_with("&&") {
+        } else if rest.starts_with(b"&&") {
             self.pos += 2;
             Tok::AndAnd
-        } else if rest.starts_with("||") {
+        } else if rest.starts_with(b"||") {
             self.pos += 2;
             Tok::OrOr
-        } else if rest.starts_with("==") {
+        } else if rest.starts_with(b"==") {
             self.pos += 2;
             Tok::EqEq
         } else {
@@ -204,13 +206,35 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Nesting bound for the recursive-descent productions. Without it,
+/// pathological inputs such as ten thousand `(`s or `!`s would overflow
+/// the stack — an abort, not a catchable error — so every recursive
+/// entry point descends through [`Parser::descend`].
+const MAX_DEPTH: usize = 128;
+
 struct Parser {
     toks: Vec<(Tok, usize)>,
     pos: usize,
     len: usize,
+    depth: usize,
 }
 
 impl Parser {
+    /// Runs `f` one nesting level deeper, failing cleanly when the
+    /// input nests beyond [`MAX_DEPTH`].
+    fn descend<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, ParsePslError>,
+    ) -> Result<T, ParsePslError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
+    }
+
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
@@ -263,6 +287,10 @@ impl Parser {
     // ---- properties -----------------------------------------------------
 
     fn property(&mut self) -> Result<Property, ParsePslError> {
+        self.descend(Self::property_inner)
+    }
+
+    fn property_inner(&mut self) -> Result<Property, ParsePslError> {
         if self.keyword("always") {
             return Ok(Property::Always(Box::new(self.property()?)));
         }
@@ -395,10 +423,12 @@ impl Parser {
     // ---- SEREs -----------------------------------------------------------
 
     fn sere_block(&mut self) -> Result<Sere, ParsePslError> {
-        self.expect(&Tok::LBrace, "`{`")?;
-        let s = self.sere()?;
-        self.expect(&Tok::RBrace, "`}`")?;
-        Ok(s)
+        self.descend(|p| {
+            p.expect(&Tok::LBrace, "`{`")?;
+            let s = p.sere()?;
+            p.expect(&Tok::RBrace, "`}`")?;
+            Ok(s)
+        })
     }
 
     fn sere(&mut self) -> Result<Sere, ParsePslError> {
@@ -522,12 +552,15 @@ impl Parser {
 
     fn bool_unary(&mut self) -> Result<BoolExpr, ParsePslError> {
         if self.eat(&Tok::Bang) {
-            return Ok(BoolExpr::Not(Box::new(self.bool_unary()?)));
+            return self
+                .descend(|p| Ok(BoolExpr::Not(Box::new(p.bool_unary()?))));
         }
         if self.eat(&Tok::LParen) {
-            let e = self.bool_or()?;
-            self.expect(&Tok::RParen, "`)`")?;
-            return Ok(e);
+            return self.descend(|p| {
+                let e = p.bool_or()?;
+                p.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            });
         }
         match self.bump() {
             Some(Tok::Ident(s)) if s == "true" => Ok(BoolExpr::Const(true)),
@@ -554,6 +587,7 @@ fn make_parser(src: &str) -> Result<Parser, ParsePslError> {
         toks: Lexer::tokens(src)?,
         pos: 0,
         len: src.len(),
+        depth: 0,
     })
 }
 

@@ -525,6 +525,38 @@ fn severity_ordering_and_display() {
     assert_eq!(Severity::default(), Severity::Error);
 }
 
+// ---- Parser robustness -----------------------------------------------------
+
+#[test]
+fn parser_rejects_multibyte_input_without_panicking() {
+    // The operator lexer matches on raw bytes; a fixed-width &str slice
+    // here used to split the two-byte `é` and panic.
+    let err = parse_property("aaé").unwrap_err();
+    assert_eq!(err.offset, 2, "error should point at the first bad byte");
+    let err = parse_bool_expr("a && é|->").unwrap_err();
+    assert!(err.offset <= "a && é|->".len());
+    // multi-byte text inside otherwise-valid structure
+    assert!(parse_directive("assert x : always {réq}").is_err());
+}
+
+#[test]
+fn parser_bounds_nesting_depth() {
+    // Unbounded recursive descent would overflow the stack (an abort,
+    // not an Err) on pathological inputs.
+    let deep_parens = format!("{}a{}", "(".repeat(10_000), ")".repeat(10_000));
+    let err = parse_bool_expr(&deep_parens).unwrap_err();
+    assert!(err.message.contains("nesting"), "got: {}", err.message);
+    let deep_bangs = format!("{}a", "!".repeat(10_000));
+    assert!(parse_bool_expr(&deep_bangs).is_err());
+    let deep_props = format!("{}a", "always ".repeat(10_000));
+    assert!(parse_property(&deep_props).is_err());
+    let deep_sere = format!("{}a{}", "{".repeat(10_000), "}".repeat(10_000));
+    assert!(parse_sere(&deep_sere).is_err());
+    // moderate nesting still parses fine
+    let ok = format!("{}a{}", "(".repeat(64), ")".repeat(64));
+    assert!(parse_bool_expr(&ok).is_ok());
+}
+
 // ---- NFA vs. brute-force reference matcher -------------------------------------
 
 // Property-based tests live behind the optional `proptest` feature
@@ -583,6 +615,33 @@ mod props {
                 None => Verdict::Fails,
             };
             prop_assert_eq!(run("p until q", &t), expect);
+        }
+
+        /// The parser is total: arbitrary byte soup — including invalid
+        /// UTF-8 (lossily decoded) and unbalanced operators — returns
+        /// `Err`, never panics.
+        #[test]
+        fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            let src = String::from_utf8_lossy(&bytes);
+            let _ = parse_directive(&src);
+            let _ = parse_property(&src);
+            let _ = parse_sere(&src);
+            let _ = parse_bool_expr(&src);
+        }
+
+        /// Same totality guarantee over strings biased toward PSL tokens,
+        /// which reach much deeper into the grammar than raw byte soup.
+        #[test]
+        fn parser_never_panics_on_token_soup(picks in prop::collection::vec(0usize..16, 0..48)) {
+            const TOKS: [&str; 16] = [
+                "always", "never", "eventually!", "next", "until", "abort",
+                "|->", "|=>", "{", "}", "(", ")", "[*2]", "&&", "!", "sig",
+            ];
+            let src = picks.iter().map(|&i| TOKS[i]).collect::<Vec<_>>().join(" ");
+            let _ = parse_directive(&src);
+            let _ = parse_property(&src);
+            let _ = parse_sere(&src);
+            let _ = parse_bool_expr(&src);
         }
 
         #[test]

@@ -48,7 +48,9 @@
 mod reach;
 mod synth;
 
-pub use reach::{ModelChecker, SmcConfig, SmcOutcome, SmcReport, SmcStats, SmcTrace, Strategy};
+pub use reach::{
+    ModelChecker, SmcBudgetReason, SmcConfig, SmcOutcome, SmcReport, SmcStats, SmcTrace, Strategy,
+};
 pub use synth::UnsupportedPropertyError;
 
 pub use la1_rtl::TransitionSystem;

@@ -27,8 +27,16 @@ pub struct SmcConfig {
     /// BDD node budget; exhaustion reports
     /// [`SmcOutcome::StateExplosion`].
     pub node_budget: usize,
-    /// Bound on fixpoint iterations (`None` = until convergence).
+    /// Bound on fixpoint iterations (`None` = until convergence). When
+    /// the bound cuts the fixpoint short with no violation found, the
+    /// outcome is [`SmcOutcome::Partial`], not a proof.
     pub max_iterations: Option<usize>,
+    /// Optional wall-clock budget, checked once per fixpoint iteration;
+    /// when it elapses the run reports [`SmcOutcome::Partial`] instead
+    /// of iterating indefinitely. How many iterations fit in the budget
+    /// is timing-dependent, so reproducible campaigns should prefer
+    /// `max_iterations`/`node_budget`. `None` (default) = unbounded.
+    pub wall_clock: Option<Duration>,
 }
 
 impl Default for SmcConfig {
@@ -37,6 +45,25 @@ impl Default for SmcConfig {
             strategy: Strategy::Monolithic,
             node_budget: Bdd::DEFAULT_BUDGET,
             max_iterations: None,
+            wall_clock: None,
+        }
+    }
+}
+
+/// Which budget stopped a fixpoint before convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmcBudgetReason {
+    /// The wall-clock budget elapsed.
+    WallClock,
+    /// The `max_iterations` bound was reached.
+    MaxIterations,
+}
+
+impl std::fmt::Display for SmcBudgetReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmcBudgetReason::WallClock => write!(f, "wall-clock budget"),
+            SmcBudgetReason::MaxIterations => write!(f, "iteration bound"),
         }
     }
 }
@@ -93,6 +120,16 @@ pub enum SmcOutcome {
     /// The BDD node budget was exhausted — the paper's Table 2 verdict
     /// for the 4-bank configuration.
     StateExplosion,
+    /// A budget stopped the fixpoint before convergence with no
+    /// violation among the states reached so far: neither a proof nor a
+    /// counterexample, only a bounded exploration of `explored`
+    /// breadth-first rings.
+    Partial {
+        /// Fixpoint iterations completed before the cut-off.
+        explored: usize,
+        /// Which budget fired.
+        reason: SmcBudgetReason,
+    },
 }
 
 /// The result of checking one directive.
@@ -302,12 +339,22 @@ impl<'a> Run<'a> {
             .map(|(&n, &c)| (n, c))
             .collect();
 
+        let deadline = self.config.wall_clock.map(|budget| Instant::now() + budget);
         let mut frontier = init;
         loop {
             if let Some(max) = self.config.max_iterations {
                 if self.iterations >= max {
-                    return Ok(SmcOutcome::Proved); // bounded proof: no violation found
+                    return Ok(SmcOutcome::Partial {
+                        explored: self.iterations,
+                        reason: SmcBudgetReason::MaxIterations,
+                    });
                 }
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Ok(SmcOutcome::Partial {
+                    explored: self.iterations,
+                    reason: SmcBudgetReason::WallClock,
+                });
             }
             self.iterations += 1;
             // image of the frontier

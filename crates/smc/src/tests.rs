@@ -115,6 +115,63 @@ fn before_property_violation() {
 }
 
 #[test]
+fn bounded_run_returns_partial_not_proved() {
+    let ts = counter2();
+    // the 2-bit counter needs 4 iterations to converge; one iteration
+    // is a bounded exploration, not a proof
+    let r = check_with(
+        &ts,
+        "assert t : always (top || !top)",
+        SmcConfig {
+            max_iterations: Some(1),
+            ..SmcConfig::default()
+        },
+    );
+    assert!(
+        matches!(
+            r.outcome,
+            SmcOutcome::Partial {
+                explored: 1,
+                reason: SmcBudgetReason::MaxIterations
+            }
+        ),
+        "{:?}",
+        r.outcome
+    );
+    assert!(!r.proved());
+    // a zero wall-clock budget stops before the first iteration
+    let r = check_with(
+        &ts,
+        "assert t : always (top || !top)",
+        SmcConfig {
+            wall_clock: Some(std::time::Duration::ZERO),
+            ..SmcConfig::default()
+        },
+    );
+    assert!(
+        matches!(
+            r.outcome,
+            SmcOutcome::Partial {
+                reason: SmcBudgetReason::WallClock,
+                ..
+            }
+        ),
+        "{:?}",
+        r.outcome
+    );
+    // a violation inside the bound is still reported as a violation
+    let r = check_with(
+        &ts,
+        "assert v : always !q[0]",
+        SmcConfig {
+            max_iterations: Some(4),
+            ..SmcConfig::default()
+        },
+    );
+    assert!(matches!(r.outcome, SmcOutcome::Violated(_)), "{:?}", r.outcome);
+}
+
+#[test]
 fn state_explosion_on_tiny_budget() {
     let ts = counter2();
     let cfg = SmcConfig {

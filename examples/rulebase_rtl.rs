@@ -34,7 +34,7 @@ fn main() {
                 SmcConfig {
                     strategy,
                     node_budget: budget,
-                    max_iterations: None,
+                    ..SmcConfig::default()
                 },
             )
             .check(&rtl_read_mode_property())
@@ -43,6 +43,9 @@ fn main() {
                 SmcOutcome::Proved => "proved".to_string(),
                 SmcOutcome::Violated(_) => "VIOLATED".to_string(),
                 SmcOutcome::StateExplosion => "STATE EXPLOSION".to_string(),
+                SmcOutcome::Partial { explored, reason } => {
+                    format!("partial ({explored} iterations, {reason})")
+                }
             };
             println!(
                 "  {banks} bank(s): {:<16} {:>9.3}s  {:>9} BDD nodes  {:>7.1} MB",

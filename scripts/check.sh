@@ -19,4 +19,11 @@ grep -o '"ratio": [0-9.]*' "$table3_json" | while read -r _ ratio; do
         exit 1
     fi
 done
+# Fault-injection smoke gate (DESIGN.md §8): every built-in fault model
+# must be caught by at least one detection channel at the RTL+OVL level,
+# and the healthy design must never trip the closed-loop watchdog. Runs
+# the debug build so the protocol asserts behind the guard channel are
+# exercised exactly as the test suite sees them.
+cargo run -q -p la1-bench --bin campaign -- 1 2 --smoke > /dev/null
+
 echo "check.sh: all gates passed"
