@@ -1,0 +1,171 @@
+//! Runs the coverage-closure campaign: coverage-guided vs pure-random
+//! constrained-random stimulus against the SystemC-level model (crate
+//! `la1-cover`).
+//!
+//! Usage: `closure [banks...] [--seed N] [--budget N] [--epoch N]
+//! [--la1b] [--json <path>] [--smoke]`
+//!
+//! * `banks...` — bank counts to close coverage on (default `1 2 4`);
+//! * `--seed` — generator seed (default 1); same seed + config gives
+//!   byte-identical output;
+//! * `--budget` — cycle budget per run (default 400000);
+//! * `--epoch` — cycles between guidance updates (default 500);
+//! * `--la1b` — use the burst (LA-1B) configuration, adding the tier-2
+//!   burst bins;
+//! * `--json` — write the machine-readable reports (one guided/random
+//!   object pair per bank count, in a JSON array) to a file;
+//! * `--smoke` — gate mode for `scripts/check.sh`: banks default to
+//!   `1 2`, budget to 40000, and the binary exits non-zero unless the
+//!   guided run closes 100% of tier-1 bins within the budget.
+
+use la1_cover::{run_closure, ClosureConfig, ClosureReport};
+use la1_core::spec::LaConfig;
+
+fn row(report: &ClosureReport) -> String {
+    let ctc = match report.cycles_to_closure {
+        Some(c) => c.to_string(),
+        None => format!(">{}", report.budget),
+    };
+    format!(
+        "{:>6} | {:>7} | {:>10} | {:>5}/{:<5} | {:>10}",
+        report.banks,
+        if report.guided { "guided" } else { "random" },
+        report.cycles_run,
+        report.bins_hit,
+        report.bins_total,
+        ctc
+    )
+}
+
+fn indent(json: &str) -> String {
+    json.trim_end()
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut banks_list: Vec<u32> = Vec::new();
+    let mut seed = 1u64;
+    let mut budget: Option<u64> = None;
+    let mut epoch: Option<u64> = None;
+    let mut la1b = false;
+    let mut json_path: Option<String> = None;
+    let mut smoke = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("seed must be an integer");
+                i += 2;
+            }
+            "--budget" => {
+                budget = Some(
+                    args.get(i + 1)
+                        .expect("--budget requires a value")
+                        .parse()
+                        .expect("budget must be an integer"),
+                );
+                i += 2;
+            }
+            "--epoch" => {
+                epoch = Some(
+                    args.get(i + 1)
+                        .expect("--epoch requires a value")
+                        .parse()
+                        .expect("epoch must be an integer"),
+                );
+                i += 2;
+            }
+            "--la1b" => {
+                la1b = true;
+                i += 1;
+            }
+            "--json" => {
+                json_path = Some(
+                    args.get(i + 1)
+                        .expect("--json requires a path argument")
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            other => {
+                banks_list.push(other.parse().expect("bank counts must be integers"));
+                i += 1;
+            }
+        }
+    }
+    if banks_list.is_empty() {
+        banks_list = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
+    }
+    let budget = budget.unwrap_or(if smoke { 40_000 } else { 400_000 });
+
+    println!("Coverage closure: guided vs random constrained-random stimulus.");
+    println!(
+        "{:>6} | {:>7} | {:>10} | {:>11} | {:>10}",
+        "Banks", "Mode", "Cycles", "Bins hit", "To close"
+    );
+    println!("{}", "-".repeat(58));
+    let mut jsons = Vec::new();
+    let mut failures = Vec::new();
+    for &banks in &banks_list {
+        let la_config = if la1b {
+            LaConfig::la1b(banks)
+        } else {
+            LaConfig::new(banks)
+        };
+        let mut cfg = ClosureConfig::new(la_config, seed);
+        cfg.budget = budget;
+        if let Some(e) = epoch {
+            cfg.epoch = e;
+        }
+        let guided = run_closure(&cfg, true);
+        println!("{}", row(&guided));
+        if smoke {
+            if !guided.closed || guided.tier1_hit != guided.tier1_total {
+                failures.push(format!(
+                    "{} banks: guided closure left {}/{} tier-1 bins unhit within {} cycles: {:?}",
+                    banks,
+                    guided.tier1_total - guided.tier1_hit,
+                    guided.tier1_total,
+                    budget,
+                    guided.unhit
+                ));
+            }
+            jsons.push(format!("{{\n  \"guided\": \n{}\n}}", indent(&guided.to_json())));
+            continue;
+        }
+        let random = run_closure(&cfg, false);
+        println!("{}", row(&random));
+        jsons.push(format!(
+            "{{\n  \"guided\": \n{},\n  \"random\": \n{}\n}}",
+            indent(&guided.to_json()),
+            indent(&random.to_json())
+        ));
+    }
+    if let Some(path) = json_path {
+        let body = jsons.iter().map(|j| indent(j)).collect::<Vec<_>>().join(",\n");
+        std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+    if smoke {
+        if failures.is_empty() {
+            println!("closure smoke gate: ok");
+        } else {
+            for f in &failures {
+                eprintln!("closure smoke gate FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,9 +2,12 @@
 //! assertion-based verification — SystemC + compiled PSL monitors vs
 //! interpreted RTL + OVL monitor modules.
 //!
-//! Usage: `table3 [sc_cycles] [rtl_cycles] [--json <path>]` — the
-//! optional JSON sidecar records one machine-readable row object per
-//! bank count.
+//! Usage: `table3 [sc_cycles] [rtl_cycles] [--json <path>]
+//! [--assert-ratio <min>]` — the optional JSON sidecar records one
+//! machine-readable row object per bank count; `--assert-ratio` exits
+//! non-zero unless every row's OVL/SystemC ratio is at least `min`
+//! (the CI gate `scripts/check.sh` checks by exit code instead of
+//! parsing JSON).
 
 use la1_bench::{micros, table3_row, Table3Row};
 
@@ -22,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<u64> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut assert_ratio: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--json" {
@@ -29,6 +33,14 @@ fn main() {
                 args.get(i + 1)
                     .expect("--json requires a path argument")
                     .clone(),
+            );
+            i += 2;
+        } else if args[i] == "--assert-ratio" {
+            assert_ratio = Some(
+                args.get(i + 1)
+                    .expect("--assert-ratio requires a value")
+                    .parse()
+                    .expect("ratio must be a number"),
             );
             i += 2;
         } else {
@@ -64,5 +76,18 @@ fn main() {
         let json = format!("[\n  {body}\n]\n");
         std::fs::write(&path, json).expect("write JSON output");
         eprintln!("wrote {path}");
+    }
+    if let Some(min) = assert_ratio {
+        let bad: Vec<&Table3Row> = rows.iter().filter(|r| r.ratio < min).collect();
+        if !bad.is_empty() {
+            for r in &bad {
+                eprintln!(
+                    "table3 ratio gate FAILED: {} banks: OVL/SystemC ratio {:.3} < {min}",
+                    r.banks, r.ratio
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("table3 ratio gate: ok (all rows >= {min})");
     }
 }

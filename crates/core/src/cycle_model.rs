@@ -66,6 +66,30 @@ pub trait CycleModel {
     fn violation_details(&self) -> Vec<(String, u64)> {
         Vec::new()
     }
+
+    /// Whether the bank's parity checker flags an error after the last
+    /// cycle. Levels abstracting the parity path away (the ASM model)
+    /// report `false`. Takes `&mut self` because the interpreted RTL
+    /// samples the net lazily through its simulator.
+    fn parity_error(&mut self, _bank: u32) -> bool {
+        false
+    }
+}
+
+/// A passive per-cycle observer attached to a [`CycleModel`] run:
+/// called after every completed cycle with the operations that were
+/// driven and the model whose pins to sample. Observation-only — an
+/// observer reads pins (`bank_output`, `write_done`, `parity_error`)
+/// and must not drive the model.
+///
+/// The unit type `()` is the no-op observer the plain loops use.
+pub trait CycleObserver {
+    /// Called once per completed cycle, after the model stepped.
+    fn observe(&mut self, ops: &[BankOp], model: &mut dyn CycleModel);
+}
+
+impl CycleObserver for () {
+    fn observe(&mut self, _ops: &[BankOp], _model: &mut dyn CycleModel) {}
 }
 
 impl CycleModel for LaSystemC {
@@ -93,6 +117,9 @@ impl CycleModel for LaSystemC {
             .map(|v| (v.property.clone(), v.cycle))
             .collect()
     }
+    fn parity_error(&mut self, bank: u32) -> bool {
+        LaSystemC::parity_error(self, bank)
+    }
 }
 
 impl CycleModel for LaRtlDriver {
@@ -113,6 +140,9 @@ impl CycleModel for LaRtlDriver {
     }
     fn cycles(&self) -> u64 {
         LaRtlDriver::cycles(self)
+    }
+    fn parity_error(&mut self, bank: u32) -> bool {
+        LaRtlDriver::parity_error(self, bank)
     }
 }
 
@@ -182,6 +212,9 @@ impl CycleModel for RtlWithOvl {
             .map(|v| (v.monitor.clone(), v.cycle))
             .collect()
     }
+    fn parity_error(&mut self, bank: u32) -> bool {
+        self.driver.parity_error(bank)
+    }
 }
 
 /// A cross-level disagreement found by [`co_execute`].
@@ -229,10 +262,33 @@ pub fn co_execute<W: Workload + ?Sized>(
     workload: &mut W,
     cycles: u64,
 ) -> Result<(), Divergence> {
+    co_execute_observed(banks, models, workload, cycles, &mut [])
+}
+
+/// [`co_execute`] with passive per-model observers attached: after each
+/// cycle, `observers[i]` (when present) samples `models[i]`, then the
+/// levels are compared as usual. Pass fewer observers than models (or
+/// none) to observe a prefix only — coverage collection typically
+/// attaches one observer per level to score them all on one stimulus.
+///
+/// # Errors
+///
+/// Returns the first cross-level disagreement in bank output or
+/// write-done state.
+pub fn co_execute_observed<W: Workload + ?Sized>(
+    banks: u32,
+    models: &mut [&mut dyn CycleModel],
+    workload: &mut W,
+    cycles: u64,
+    observers: &mut [&mut dyn CycleObserver],
+) -> Result<(), Divergence> {
     for cycle in 0..cycles {
         let ops = workload.next_cycle();
         for m in models.iter_mut() {
             m.cycle(&ops);
+        }
+        for (obs, m) in observers.iter_mut().zip(models.iter_mut()) {
+            obs.observe(&ops, &mut **m);
         }
         let (reference, rest) = models.split_first().expect("at least one model");
         for bank in 0..banks {

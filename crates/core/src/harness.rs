@@ -10,7 +10,7 @@
 //! * [`rulebase_read_mode`] — Table 2 rows.
 
 use crate::asm_model::LaAsmModel;
-use crate::cycle_model::{CycleModel, RtlWithOvl};
+use crate::cycle_model::{CycleModel, CycleObserver, RtlWithOvl};
 use crate::properties::{cycle_properties_for, rtl_read_mode_property};
 use crate::rtl_model::LaRtl;
 use crate::sc_model::LaSystemC;
@@ -48,13 +48,29 @@ impl AbvRunStats {
 /// wall clock — the one measurement loop behind both Table 3 columns.
 pub fn run_abv<M, W>(model: &mut M, workload: &mut W, cycles: u64) -> AbvRunStats
 where
-    M: CycleModel + ?Sized,
+    M: CycleModel,
+    W: Workload + ?Sized,
+{
+    run_abv_observed(model, workload, cycles, &mut ())
+}
+
+/// [`run_abv`] with a passive [`CycleObserver`] sampling the model
+/// after every cycle — the hook coverage collection attaches through.
+/// `&mut ()` is the no-op observer.
+pub fn run_abv_observed<W>(
+    model: &mut dyn CycleModel,
+    workload: &mut W,
+    cycles: u64,
+    observer: &mut dyn CycleObserver,
+) -> AbvRunStats
+where
     W: Workload + ?Sized,
 {
     let start = Instant::now();
     for _ in 0..cycles {
         let ops = workload.next_cycle();
         model.cycle(&ops);
+        observer.observe(&ops, model);
     }
     AbvRunStats {
         cycles,

@@ -42,12 +42,13 @@ pub struct RandomMix {
     byte_enables: u32,
     read_prob: f64,
     write_prob: f64,
+    full_word_prob: f64,
 }
 
 impl RandomMix {
     /// Creates a generator issuing a read with probability `read_prob`
     /// and (independently) a write with probability `write_prob` each
-    /// cycle.
+    /// cycle. One write in five uses byte control (partial write).
     ///
     /// # Panics
     ///
@@ -62,6 +63,17 @@ impl RandomMix {
             byte_enables: config.byte_enables(),
             read_prob,
             write_prob,
+            full_word_prob: 0.8,
+        }
+    }
+
+    /// Like [`RandomMix::new`], but every write is a full-word write —
+    /// the subset of traffic the ASM level models, so a stream from
+    /// this constructor can drive all four refinement levels at once.
+    pub fn full_word(config: &LaConfig, seed: u64, read_prob: f64, write_prob: f64) -> Self {
+        RandomMix {
+            full_word_prob: 1.0,
+            ..RandomMix::new(config, seed, read_prob, write_prob)
         }
     }
 }
@@ -79,7 +91,7 @@ impl Workload for RandomMix {
             let addr = self.rng.gen_range(0..self.words);
             let data = self.rng.gen::<u64>();
             // mostly full-word writes, sometimes partial (byte control)
-            let byte_en = if self.rng.gen_bool(0.8) {
+            let byte_en = if self.rng.gen_bool(self.full_word_prob) {
                 (1 << self.byte_enables) - 1
             } else {
                 self.rng.gen_range(1..(1u32 << self.byte_enables))

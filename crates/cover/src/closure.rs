@@ -1,0 +1,196 @@
+//! The coverage-closure loop: run seeded stimulus against the
+//! SystemC-level model until every coverage bin is hit (or a cycle
+//! budget runs out), guided or pure-random.
+//!
+//! [`run_closure`] is a campaign-style pure function of
+//! ([`ClosureConfig`], guided flag): the same inputs produce a
+//! byte-identical [`ClosureReport::to_json`]. The guided run retargets
+//! its [`GuidedMix`] at every epoch boundary from the collector's
+//! unhit-bin list; the baseline runs the same budget with no feedback
+//! ([`RandomMix`] for plain LA-1, an unguided [`GuidedMix`] under
+//! LA-1B, where blind traffic would violate the burst spacing rule).
+
+use crate::collect::CoverageCollector;
+use crate::guided::GuidedMix;
+use crate::model::CoverageModel;
+use la1_core::harness::run_abv_observed;
+use la1_core::sc_model::LaSystemC;
+use la1_core::spec::{BankOp, LaConfig};
+use la1_core::workloads::{RandomMix, Workload};
+
+/// Parameters of one closure run.
+#[derive(Debug, Clone)]
+pub struct ClosureConfig {
+    /// Interface configuration under stimulus.
+    pub config: LaConfig,
+    /// Generator seed.
+    pub seed: u64,
+    /// Maximum cycles to run.
+    pub budget: u64,
+    /// Cycles between guidance updates (epoch length).
+    pub epoch: u64,
+    /// Per-cycle read probability of the random fill.
+    pub read_prob: f64,
+    /// Per-cycle write probability of the random fill.
+    pub write_prob: f64,
+}
+
+impl ClosureConfig {
+    /// The default closure setup for a configuration: seed 1, a
+    /// 400 000-cycle budget, 500-cycle epochs, balanced traffic.
+    pub fn new(config: LaConfig, seed: u64) -> Self {
+        ClosureConfig {
+            config,
+            seed,
+            budget: 400_000,
+            epoch: 500,
+            read_prob: 0.45,
+            write_prob: 0.45,
+        }
+    }
+}
+
+/// Outcome of one closure run.
+#[derive(Debug, Clone)]
+pub struct ClosureReport {
+    /// Bank count of the configuration.
+    pub banks: u32,
+    /// Whether the configuration was an LA-1B (burst) one.
+    pub burst: bool,
+    /// Whether guidance was on.
+    pub guided: bool,
+    /// Generator seed.
+    pub seed: u64,
+    /// Cycle budget.
+    pub budget: u64,
+    /// Cycles actually simulated.
+    pub cycles_run: u64,
+    /// Bins defined by the coverage model.
+    pub bins_total: usize,
+    /// Bins hit at least once.
+    pub bins_hit: usize,
+    /// Tier-1 bins defined.
+    pub tier1_total: usize,
+    /// Tier-1 bins hit at least once.
+    pub tier1_hit: usize,
+    /// Whether every bin closed within the budget.
+    pub closed: bool,
+    /// Cycles after which coverage was complete (one past the latest
+    /// first hit); `None` when the budget ran out first.
+    pub cycles_to_closure: Option<u64>,
+    /// Names of the bins still unhit, in model order.
+    pub unhit: Vec<String>,
+}
+
+impl ClosureReport {
+    /// Fraction of bins hit.
+    pub fn coverage(&self) -> f64 {
+        if self.bins_total == 0 {
+            1.0
+        } else {
+            self.bins_hit as f64 / self.bins_total as f64
+        }
+    }
+
+    /// Renders the deterministic JSON report.
+    pub fn to_json(&self) -> String {
+        let ctc = match self.cycles_to_closure {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
+        let unhit = self
+            .unhit
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"banks\": {},\n  \"burst\": {},\n  \"guided\": {},\n  \"seed\": {},\n  \
+             \"budget\": {},\n  \"cycles_run\": {},\n  \"bins_total\": {},\n  \
+             \"bins_hit\": {},\n  \"tier1_total\": {},\n  \"tier1_hit\": {},\n  \
+             \"closed\": {},\n  \"cycles_to_closure\": {},\n  \"unhit\": [{}]\n}}\n",
+            self.banks,
+            self.burst,
+            self.guided,
+            self.seed,
+            self.budget,
+            self.cycles_run,
+            self.bins_total,
+            self.bins_hit,
+            self.tier1_total,
+            self.tier1_hit,
+            self.closed,
+            ctc,
+            unhit
+        )
+    }
+}
+
+/// The two generator flavours a closure run drives.
+enum Generator {
+    Guided(GuidedMix),
+    Random(RandomMix),
+}
+
+impl Workload for Generator {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        match self {
+            Generator::Guided(g) => g.next_cycle(),
+            Generator::Random(r) => r.next_cycle(),
+        }
+    }
+}
+
+/// Runs one closure campaign on the SystemC-level model (the fastest
+/// full-protocol level) and returns its report. Deterministic: a pure
+/// function of `(cfg, guided)`.
+pub fn run_closure(cfg: &ClosureConfig, guided: bool) -> ClosureReport {
+    let model = CoverageModel::la1(&cfg.config);
+    let mut collector = CoverageCollector::new(model);
+    let mut sc = LaSystemC::new(&cfg.config);
+
+    let mut generator = if guided || cfg.config.is_burst() {
+        Generator::Guided(GuidedMix::new(
+            &cfg.config,
+            cfg.seed,
+            cfg.read_prob,
+            cfg.write_prob,
+        ))
+    } else {
+        Generator::Random(RandomMix::new(
+            &cfg.config,
+            cfg.seed,
+            cfg.read_prob,
+            cfg.write_prob,
+        ))
+    };
+
+    let mut run = 0u64;
+    while run < cfg.budget && !collector.is_full() {
+        if guided {
+            if let Generator::Guided(g) = &mut generator {
+                g.retarget(&collector.unhit());
+            }
+        }
+        let step = cfg.epoch.min(cfg.budget - run);
+        run_abv_observed(&mut sc, &mut generator, step, &mut collector);
+        run += step;
+    }
+
+    let closed = collector.is_full();
+    ClosureReport {
+        banks: cfg.config.banks,
+        burst: cfg.config.is_burst(),
+        guided,
+        seed: cfg.seed,
+        budget: cfg.budget,
+        cycles_run: run,
+        bins_total: collector.model().len(),
+        bins_hit: collector.covered(),
+        tier1_total: collector.model().tier1_len(),
+        tier1_hit: collector.covered_tier1(),
+        closed,
+        cycles_to_closure: collector.cycles_to_full(),
+        unhit: collector.unhit().iter().map(|b| b.name()).collect(),
+    }
+}

@@ -1,0 +1,378 @@
+use crate::closure::{run_closure, ClosureConfig};
+use crate::collect::CoverageCollector;
+use crate::guided::GuidedMix;
+use crate::model::{BinKind, CoverageModel};
+use la1_core::asm_model::LaAsmModel;
+use la1_core::cycle_model::{co_execute_observed, CycleObserver, RtlWithOvl};
+use la1_core::harness::run_abv_observed;
+use la1_core::rtl_model::{LaRtl, LaRtlDriver};
+use la1_core::sc_model::LaSystemC;
+use la1_core::spec::{BankOp, LaConfig};
+use la1_core::workloads::{RandomMix, Workload};
+
+/// A small, fast configuration: full protocol, few words.
+fn small_cfg(banks: u32) -> LaConfig {
+    LaConfig {
+        words_per_bank: 8,
+        ..LaConfig::new(banks)
+    }
+}
+
+fn small_burst_cfg(banks: u32) -> LaConfig {
+    LaConfig {
+        words_per_bank: 8,
+        ..LaConfig::la1b(banks)
+    }
+}
+
+fn small_closure(config: LaConfig, seed: u64) -> ClosureConfig {
+    ClosureConfig {
+        budget: 60_000,
+        epoch: 200,
+        ..ClosureConfig::new(config, seed)
+    }
+}
+
+// ---- coverage model ---------------------------------------------------------
+
+#[test]
+fn bin_counts_scale_with_banks() {
+    // per bank: 19 base bins (+1 rw-cross when banks > 1), plus one
+    // bank-boundary bin per adjacent pair and one global idle bin
+    assert_eq!(CoverageModel::la1(&small_cfg(1)).len(), 20);
+    assert_eq!(CoverageModel::la1(&small_cfg(2)).len(), 2 * 20 + 1 + 1);
+    assert_eq!(CoverageModel::la1(&small_cfg(4)).len(), 4 * 20 + 3 + 1);
+}
+
+#[test]
+fn burst_config_adds_tier2_bins() {
+    let base = CoverageModel::la1(&small_cfg(2));
+    let burst = CoverageModel::la1(&small_burst_cfg(2));
+    assert_eq!(base.len(), base.tier1_len(), "base config is all tier 1");
+    // two burst monitor bins per bank plus the global spacing bin
+    assert_eq!(burst.len(), base.len() + 2 * 2 + 1);
+    assert_eq!(burst.tier1_len(), base.len());
+    assert!(burst
+        .bins()
+        .iter()
+        .any(|b| matches!(b.kind, BinKind::BurstMinSpacing)));
+}
+
+#[test]
+fn bin_names_are_unique() {
+    for cfg in [small_cfg(1), small_cfg(4), small_burst_cfg(2)] {
+        let model = CoverageModel::la1(&cfg);
+        let mut names: Vec<String> = model.bins().iter().map(|b| b.name()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate bin names");
+    }
+}
+
+// ---- collector --------------------------------------------------------------
+
+/// Runs a scripted list of cycles through the SystemC level with a
+/// collector attached and returns the hit bin names.
+fn collect_script(cfg: &LaConfig, script: Vec<Vec<BankOp>>) -> Vec<String> {
+    let mut collector = CoverageCollector::new(CoverageModel::la1(cfg));
+    let mut sc = LaSystemC::new(cfg);
+    let cycles = script.len() as u64;
+    let mut iter = script.into_iter();
+    let mut workload = move || iter.next().unwrap_or_default();
+    run_abv_observed(&mut sc, &mut workload, cycles, &mut collector);
+    collector.hit_names()
+}
+
+#[test]
+fn directed_stimulus_hits_the_expected_bins() {
+    let cfg = small_cfg(1);
+    let full = (1u32 << cfg.byte_enables()) - 1;
+    // write 5, read-after-write 5, drain the read, then idle
+    let script = vec![
+        vec![BankOp::write(0, 5, 0xAB, full)],
+        vec![BankOp::read(0, 5)],
+        vec![],
+        vec![],
+        vec![],
+    ];
+    let hit = collect_script(&cfg, script);
+    for expected in [
+        "op_read_0",
+        "op_write_0",
+        "seq_raw_0",
+        "idle_cycle",
+        "mon_write_commit_0_armed",
+        "mon_write_commit_0_held",
+        "mon_read_latency_0_armed",
+        "mon_read_latency_0_held",
+        "mon_parity_0_armed",
+        "mon_parity_0_held",
+    ] {
+        assert!(hit.iter().any(|n| n == expected), "missing bin {expected}");
+    }
+    for absent in [
+        "op_write_partial_0",
+        "op_rw_same_0",
+        "addr_read_lo_0",
+        "seq_b2b_read_0",
+        "seq_b2b_write_0",
+    ] {
+        assert!(!hit.iter().any(|n| n == absent), "unexpected bin {absent}");
+    }
+}
+
+#[test]
+fn address_corner_bins_fire_only_on_corners() {
+    let cfg = small_cfg(1);
+    let hi = cfg.words_per_bank as u64 - 1;
+    let hit = collect_script(
+        &cfg,
+        vec![
+            vec![BankOp::read(0, 0)],
+            vec![BankOp::read(0, hi)],
+            vec![BankOp::read(0, 3)],
+        ],
+    );
+    assert!(hit.iter().any(|n| n == "addr_read_lo_0"));
+    assert!(hit.iter().any(|n| n == "addr_read_hi_0"));
+    assert!(hit.iter().any(|n| n == "seq_b2b_read_0"));
+    assert!(!hit.iter().any(|n| n == "addr_write_lo_0"));
+}
+
+#[test]
+fn bank_cross_bin_needs_the_boundary_sequence() {
+    let cfg = small_cfg(2);
+    let full = (1u32 << cfg.byte_enables()) - 1;
+    let hi = cfg.words_per_bank as u64 - 1;
+    let hit = collect_script(
+        &cfg,
+        vec![
+            vec![BankOp::write(0, hi, 1, full)],
+            vec![BankOp::write(1, 0, 2, full)],
+        ],
+    );
+    assert!(hit.iter().any(|n| n == "bank_cross_0_1"));
+    // the boundary the stimulus never crossed stays unhit
+    let other = collect_script(
+        &cfg,
+        vec![
+            vec![BankOp::write(0, hi, 1, full)],
+            vec![BankOp::write(1, 1, 2, full)],
+        ],
+    );
+    assert!(!other.iter().any(|n| n == "bank_cross_0_1"));
+}
+
+#[test]
+fn collector_json_is_deterministic_and_complete() {
+    let cfg = small_cfg(1);
+    let run = || {
+        let mut collector = CoverageCollector::new(CoverageModel::la1(&cfg));
+        let mut sc = LaSystemC::new(&cfg);
+        let mut mix = RandomMix::new(&cfg, 9, 0.5, 0.5);
+        run_abv_observed(&mut sc, &mut mix, 300, &mut collector);
+        collector.to_json()
+    };
+    let a = run();
+    assert_eq!(a, run(), "coverage JSON must be byte-reproducible");
+    assert!(a.contains("\"bins_total\": 20"));
+}
+
+// ---- cross-level coverage equivalence ---------------------------------------
+
+/// The satellite equivalence check: the same workload must hit the
+/// identical bin set at every refinement level; any difference is
+/// reported with the offending bins.
+fn assert_equivalent_coverage(cfg: &LaConfig, seed: u64, cycles: u64) {
+    let mut asm = LaAsmModel::new(cfg);
+    let mut sc = LaSystemC::new(cfg);
+    let rtl = LaRtl::build(cfg, None);
+    let mut drv = LaRtlDriver::new(&rtl);
+    let mut ovl = RtlWithOvl::new(&rtl);
+
+    let model = CoverageModel::la1(cfg);
+    let mut collectors: Vec<CoverageCollector> = (0..4)
+        .map(|_| CoverageCollector::new(model.clone()))
+        .collect();
+    let mut observers: Vec<&mut dyn CycleObserver> = collectors
+        .iter_mut()
+        .map(|c| c as &mut dyn CycleObserver)
+        .collect();
+
+    // the ASM level models full-word writes only
+    let mut mix = RandomMix::full_word(cfg, seed, 0.5, 0.5);
+    co_execute_observed(
+        cfg.banks,
+        &mut [&mut asm, &mut sc, &mut drv, &mut ovl],
+        &mut mix,
+        cycles,
+        &mut observers,
+    )
+    .expect("levels must agree on pins before coverage is comparable");
+
+    let names = ["asm", "systemc", "rtl", "rtl+ovl"];
+    let reference = collectors[0].hit_names();
+    for (i, c) in collectors.iter().enumerate().skip(1) {
+        let other = c.hit_names();
+        let missing: Vec<&String> = reference.iter().filter(|n| !other.contains(n)).collect();
+        let extra: Vec<&String> = other.iter().filter(|n| !reference.contains(n)).collect();
+        assert!(
+            missing.is_empty() && extra.is_empty(),
+            "coverage diverges between {} and {}: {} lacks {:?}, has extra {:?}",
+            names[0],
+            names[i],
+            names[i],
+            missing,
+            extra,
+        );
+    }
+}
+
+#[test]
+fn coverage_is_level_equivalent_one_bank() {
+    assert_equivalent_coverage(&small_cfg(1), 21, 400);
+}
+
+#[test]
+fn coverage_is_level_equivalent_two_banks() {
+    assert_equivalent_coverage(&small_cfg(2), 22, 400);
+}
+
+#[test]
+fn coverage_is_level_equivalent_four_banks() {
+    assert_equivalent_coverage(&small_cfg(4), 23, 400);
+}
+
+// ---- guided generation and closure ------------------------------------------
+
+#[test]
+fn guided_stream_is_deterministic() {
+    let cfg = small_cfg(2);
+    let stream = |seed: u64| {
+        let mut g = GuidedMix::new(&cfg, seed, 0.4, 0.4);
+        let model = CoverageModel::la1(&cfg);
+        g.retarget(model.bins());
+        (0..300).map(|_| g.next_cycle()).collect::<Vec<_>>()
+    };
+    assert_eq!(stream(7), stream(7), "same seed, same stream");
+    assert_ne!(stream(7), stream(8), "different seeds diverge");
+}
+
+#[test]
+fn closure_report_is_byte_reproducible() {
+    let cfg = small_closure(small_cfg(2), 3);
+    let a = run_closure(&cfg, true).to_json();
+    let b = run_closure(&cfg, true).to_json();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn guided_closure_reaches_full_coverage() {
+    for banks in [1, 2] {
+        let report = run_closure(&small_closure(small_cfg(banks), 1), true);
+        assert!(
+            report.closed,
+            "guided closure must reach 100% at {banks} bank(s); unhit: {:?}",
+            report.unhit
+        );
+        assert_eq!(report.bins_hit, report.bins_total);
+    }
+}
+
+#[test]
+fn guided_closes_faster_than_random() {
+    let cfg = small_closure(small_cfg(2), 1);
+    let guided = run_closure(&cfg, true);
+    let random = run_closure(&cfg, false);
+    assert!(guided.closed);
+    let guided_cycles = guided.cycles_to_closure.expect("closed");
+    // a random run that never closed is censored at the budget
+    let random_cycles = random.cycles_to_closure.unwrap_or(cfg.budget);
+    assert!(
+        guided_cycles < random_cycles,
+        "guided {guided_cycles} vs random {random_cycles}"
+    );
+}
+
+#[test]
+fn guided_closure_covers_burst_bins() {
+    let report = run_closure(&small_closure(small_burst_cfg(1), 1), true);
+    assert!(
+        report.closed,
+        "burst closure must cover tier-2 bins; unhit: {:?}",
+        report.unhit
+    );
+    assert!(report.burst);
+    assert!(report.bins_total > report.tier1_total);
+}
+
+#[test]
+fn guided_respects_burst_spacing() {
+    let cfg = small_burst_cfg(2);
+    let mut g = GuidedMix::new(&cfg, 11, 0.7, 0.5);
+    let model = CoverageModel::la1(&cfg);
+    g.retarget(model.bins());
+    let mut last_read: Option<u64> = None;
+    for cycle in 0..2_000u64 {
+        let ops = g.next_cycle();
+        assert!(ops.iter().filter(|o| o.is_read()).count() <= 1);
+        assert!(ops.iter().filter(|o| !o.is_read()).count() <= 1);
+        if ops.iter().any(BankOp::is_read) {
+            if let Some(prev) = last_read {
+                assert!(
+                    cycle - prev >= cfg.burst_len as u64,
+                    "read at {cycle} violates burst spacing (previous at {prev})"
+                );
+            }
+            last_read = Some(cycle);
+        }
+    }
+}
+
+// ---- property-based checks (vendored proptest) -------------------------------
+
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Same seed ⇒ byte-identical guided op streams.
+        #[test]
+        fn guided_streams_replay(seed in 0u64..1_000, banks in 1u32..4) {
+            let cfg = small_cfg(banks);
+            let emit = |s: u64| {
+                let mut g = GuidedMix::new(&cfg, s, 0.5, 0.5);
+                let model = CoverageModel::la1(&cfg);
+                g.retarget(model.bins());
+                (0..200).map(|_| g.next_cycle()).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(emit(seed), emit(seed));
+        }
+
+        /// Every guided cycle respects the single address bus: at most
+        /// one read and one write, addresses in range.
+        #[test]
+        fn guided_respects_single_address_bus(seed in 0u64..1_000, banks in 1u32..5) {
+            let cfg = small_cfg(banks);
+            let mut g = GuidedMix::new(&cfg, seed, 0.6, 0.6);
+            let model = CoverageModel::la1(&cfg);
+            g.retarget(model.bins());
+            for _ in 0..400 {
+                let ops = g.next_cycle();
+                prop_assert!(ops.iter().filter(|o| o.is_read()).count() <= 1);
+                prop_assert!(ops.iter().filter(|o| !o.is_read()).count() <= 1);
+                for op in &ops {
+                    prop_assert!(op.bank() < cfg.banks);
+                    let addr = match *op {
+                        BankOp::Read { addr, .. } | BankOp::Write { addr, .. } => addr,
+                    };
+                    prop_assert!(addr < cfg.words_per_bank as u64);
+                }
+            }
+        }
+    }
+}

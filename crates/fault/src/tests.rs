@@ -247,6 +247,26 @@ fn support_matrix_gates_level_specific_faults() {
 }
 
 #[test]
+fn detection_matrix_matches_committed_golden() {
+    let json = run_campaign(&CampaignConfig::new(1, 1)).to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/golden/campaign_1bank_seed1.json"
+        );
+        std::fs::write(path, &json).expect("update golden file");
+        return;
+    }
+    let golden = include_str!("../golden/campaign_1bank_seed1.json");
+    assert_eq!(
+        json, golden,
+        "DetectionMatrix JSON drifted from the committed golden \
+         (crates/fault/golden/campaign_1bank_seed1.json); if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 cargo test -p la1-fault"
+    );
+}
+
+#[test]
 fn json_shape_is_stable() {
     let mut config = CampaignConfig::new(1, 1);
     config.faults = vec![FaultModel::DropWriteStrobe];

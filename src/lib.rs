@@ -13,6 +13,8 @@
 //! | [`smc`](la1_smc) | RuleBase-style BDD model checker |
 //! | [`ovl`](la1_ovl) | OVL-style assertion monitor modules |
 //! | [`bdd`](la1_bdd) | the ROBDD package under `smc` |
+//! | [`fault`](la1_fault) | deterministic fault-injection campaigns |
+//! | [`cover`](la1_cover) | functional coverage + coverage-guided closure |
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! table/figure harnesses.
@@ -20,7 +22,9 @@
 pub use la1_asm as asm;
 pub use la1_bdd as bdd;
 pub use la1_core as core;
+pub use la1_cover as cover;
 pub use la1_eventsim as eventsim;
+pub use la1_fault as fault;
 pub use la1_ovl as ovl;
 pub use la1_psl as psl;
 pub use la1_rtl as rtl;

@@ -1,0 +1,46 @@
+//! Integration test of the coverage flow through the `la1-suite`
+//! facade: collector attachment via the generic observed loops, guided
+//! closure, and the determinism contract the bench `closure` binary
+//! relies on.
+
+use la1_suite::core::harness::run_abv_observed;
+use la1_suite::core::sc_model::LaSystemC;
+use la1_suite::core::spec::LaConfig;
+use la1_suite::core::workloads::RandomMix;
+use la1_suite::cover::{run_closure, ClosureConfig, CoverageCollector, CoverageModel};
+
+fn small_cfg(banks: u32) -> LaConfig {
+    LaConfig {
+        words_per_bank: 8,
+        ..LaConfig::new(banks)
+    }
+}
+
+#[test]
+fn collector_scores_random_traffic_through_the_facade() {
+    let cfg = small_cfg(2);
+    let mut collector = CoverageCollector::new(CoverageModel::la1(&cfg));
+    let mut sc = LaSystemC::new(&cfg);
+    let mut mix = RandomMix::new(&cfg, 5, 0.5, 0.5);
+    let stats = run_abv_observed(&mut sc, &mut mix, 500, &mut collector);
+    assert_eq!(stats.cycles, 500);
+    assert_eq!(stats.violations, 0);
+    assert!(collector.covered() > 0, "random traffic hits some bins");
+    assert_eq!(collector.cycles(), 500);
+}
+
+#[test]
+fn guided_closure_closes_and_beats_random_end_to_end() {
+    let cfg = ClosureConfig {
+        budget: 60_000,
+        epoch: 200,
+        ..ClosureConfig::new(small_cfg(2), 1)
+    };
+    let guided = run_closure(&cfg, true);
+    let random = run_closure(&cfg, false);
+    assert!(guided.closed, "unhit: {:?}", guided.unhit);
+    assert_eq!(guided.to_json(), run_closure(&cfg, true).to_json());
+    let guided_cycles = guided.cycles_to_closure.expect("closed");
+    let random_cycles = random.cycles_to_closure.unwrap_or(cfg.budget);
+    assert!(guided_cycles < random_cycles);
+}
