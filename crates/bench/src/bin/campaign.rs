@@ -1,26 +1,69 @@
 //! Runs the deterministic fault-injection campaign and prints the
 //! cross-level detection matrix (crate `la1-fault`).
 //!
-//! Usage: `campaign [banks...] [--seed N] [--runs N] [--json <path>]
-//! [--smoke]`
+//! Usage: `campaign [banks...] [--seed N] [--runs N] [--levels l1,l2]
+//! [--batched] [--assert-speedup X] [--json <path>] [--smoke]`
 //!
 //! * `banks...` — bank counts to campaign over (default `1 2 4`);
 //! * `--seed` — campaign seed (default 42); same seed + config gives
 //!   byte-identical output;
 //! * `--runs` — seeded runs per (fault, level) cell (default 3);
+//! * `--levels` — comma-separated level filter (`asm`, `systemc`,
+//!   `rtl`, `rtl+ovl`); default all four. `--levels rtl,rtl+ovl`
+//!   isolates the bit-parallel levels for throughput measurement;
+//! * `--batched` — run the RTL levels through the 64-lane parallel
+//!   fault engine ([`la1_fault::run_campaign_batched`]) with fault
+//!   dropping; verdicts are byte-identical to the scalar engine;
+//! * `--assert-speedup X` — time the scalar engine too, assert the
+//!   matrices match byte for byte and that batched is at least `X`×
+//!   faster (implies `--batched`);
 //! * `--json` — write the machine-readable matrices (one JSON object
-//!   per bank count, in a JSON array) to a file;
+//!   per bank count, in a JSON array) to a file. Batched runs carry a
+//!   `"perf"` object with `patterns_per_second` and (under
+//!   `--assert-speedup`) `speedup_vs_scalar`;
 //! * `--smoke` — gate mode for `scripts/check.sh`: exits non-zero
 //!   unless every fault model is detected by at least one channel at
-//!   the RTL+OVL level and the healthy design never hangs.
+//!   the RTL+OVL level and the healthy design never hangs. Combined
+//!   with `--batched`, additionally asserts batched == scalar.
 
-use la1_fault::{run_campaign, CampaignConfig, FaultModel};
+use la1_fault::{run_campaign, run_campaign_batched, CampaignConfig, FaultModel, Level};
+use std::time::Instant;
+
+/// Seeded runs the campaign executes: per level, one per supported
+/// (fault, run) pair plus the healthy control. Level-independent work
+/// counted identically for the scalar and batched engines.
+fn pattern_count(config: &CampaignConfig) -> u64 {
+    let mut n = 0u64;
+    for &level in &config.levels {
+        for &fault in &config.faults {
+            if la1_fault::supports(fault, level) {
+                n += config.runs_per_fault as u64;
+            }
+        }
+        n += 1; // healthy control
+    }
+    n
+}
+
+fn parse_levels(spec: &str) -> Vec<Level> {
+    spec.split(',')
+        .map(|s| {
+            Level::ALL
+                .into_iter()
+                .find(|l| l.name() == s.trim())
+                .unwrap_or_else(|| panic!("unknown level '{s}' (asm, systemc, rtl, rtl+ovl)"))
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut banks_list: Vec<u32> = Vec::new();
     let mut seed = 42u64;
     let mut runs = 3u32;
+    let mut levels: Option<Vec<Level>> = None;
+    let mut batched = false;
+    let mut assert_speedup: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut smoke = false;
     let mut i = 0;
@@ -40,6 +83,26 @@ fn main() {
                     .expect("--runs requires a value")
                     .parse()
                     .expect("runs must be an integer");
+                i += 2;
+            }
+            "--levels" => {
+                levels = Some(parse_levels(
+                    args.get(i + 1).expect("--levels requires a value"),
+                ));
+                i += 2;
+            }
+            "--batched" => {
+                batched = true;
+                i += 1;
+            }
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    args.get(i + 1)
+                        .expect("--assert-speedup requires a value")
+                        .parse()
+                        .expect("speedup floor must be a number"),
+                );
+                batched = true;
                 i += 2;
             }
             "--json" => {
@@ -69,12 +132,75 @@ fn main() {
     for &banks in &banks_list {
         let mut config = CampaignConfig::new(banks, seed);
         config.runs_per_fault = runs;
-        let matrix = run_campaign(&config);
+        if let Some(levels) = &levels {
+            config.levels = levels.clone();
+        }
+        let patterns = pattern_count(&config);
+
+        // The scalar engine runs when it is the requested mode, or as
+        // the timed/verdict reference for --assert-speedup / batched
+        // smoke runs.
+        let need_scalar = !batched || assert_speedup.is_some() || smoke;
+        let scalar = need_scalar.then(|| {
+            let t0 = Instant::now();
+            let matrix = run_campaign(&config);
+            (matrix, t0.elapsed().as_secs_f64())
+        });
+
+        let (matrix, perf) = if batched {
+            let t0 = Instant::now();
+            let (matrix, stats) = run_campaign_batched(&config);
+            let elapsed = t0.elapsed().as_secs_f64();
+            println!("{}", stats.render());
+            let speedup = scalar.as_ref().map(|(reference, scalar_elapsed)| {
+                assert_eq!(
+                    reference.to_json(),
+                    matrix.to_json(),
+                    "batched campaign diverged from scalar at {banks} bank(s)"
+                );
+                scalar_elapsed / elapsed.max(1e-9)
+            });
+            let pps = patterns as f64 / elapsed.max(1e-9);
+            println!(
+                "throughput: {patterns} patterns in {elapsed:.3}s = {pps:.1} patterns/s{}",
+                speedup
+                    .map(|s| format!(" ({s:.2}x vs scalar)"))
+                    .unwrap_or_default()
+            );
+            if let (Some(floor), Some(s)) = (assert_speedup, speedup) {
+                if s < floor {
+                    failures.push(format!(
+                        "{banks} banks: batched speedup {s:.2}x below the {floor}x floor"
+                    ));
+                }
+            }
+            let speedup_json = speedup
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "null".to_string());
+            let perf = format!(
+                "{{\"mode\": \"batched\", \"elapsed_seconds\": {elapsed:.4}, \
+                 \"patterns\": {patterns}, \"patterns_per_second\": {pps:.1}, \
+                 \"speedup_vs_scalar\": {speedup_json}, \"batch\": {}}}",
+                stats.to_json()
+            );
+            (matrix, Some(perf))
+        } else {
+            let (matrix, elapsed) = scalar.expect("scalar mode always runs the scalar engine");
+            let pps = patterns as f64 / elapsed.max(1e-9);
+            let perf = format!(
+                "{{\"mode\": \"scalar\", \"elapsed_seconds\": {elapsed:.4}, \
+                 \"patterns\": {patterns}, \"patterns_per_second\": {pps:.1}, \
+                 \"speedup_vs_scalar\": null}}"
+            );
+            (matrix, Some(perf))
+        };
+
         println!("{}", matrix.render());
-        jsons.push(matrix.to_json());
+        jsons.push(matrix.to_json_with_perf(perf.as_deref()));
         if smoke {
+            let gate_rtl_ovl = config.levels.contains(&Level::RtlOvl);
             for fault in FaultModel::ALL {
-                if !matrix.detected_at(fault, la1_fault::Level::RtlOvl) {
+                if gate_rtl_ovl && !matrix.detected_at(fault, Level::RtlOvl) {
                     failures.push(format!(
                         "{} banks: {} escaped every channel at rtl+ovl",
                         banks,
@@ -105,12 +231,12 @@ fn main() {
         std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
         eprintln!("wrote {path}");
     }
-    if smoke {
+    if smoke || assert_speedup.is_some() {
         if failures.is_empty() {
-            println!("campaign smoke gate: ok");
+            println!("campaign gate: ok");
         } else {
             for f in &failures {
-                eprintln!("campaign smoke gate FAILED: {f}");
+                eprintln!("campaign gate FAILED: {f}");
             }
             std::process::exit(1);
         }

@@ -1,9 +1,9 @@
 //! Runs the coverage-closure campaign: coverage-guided vs pure-random
-//! constrained-random stimulus against the SystemC-level model (crate
-//! `la1-cover`).
+//! constrained-random stimulus (crate `la1-cover`).
 //!
 //! Usage: `closure [banks...] [--seed N] [--budget N] [--epoch N]
-//! [--la1b] [--json <path>] [--smoke]`
+//! [--la1b] [--batched] [--streams N] [--assert-speedup X]
+//! [--json <path>] [--smoke]`
 //!
 //! * `banks...` — bank counts to close coverage on (default `1 2 4`);
 //! * `--seed` — generator seed (default 1); same seed + config gives
@@ -12,14 +12,28 @@
 //! * `--epoch` — cycles between guidance updates (default 500);
 //! * `--la1b` — use the burst (LA-1B) configuration, adding the tier-2
 //!   burst bins;
-//! * `--json` — write the machine-readable reports (one guided/random
-//!   object pair per bank count, in a JSON array) to a file;
+//! * `--batched` — run multi-stream closure on the interpreted RTL
+//!   through the 64-lane bit-parallel engine
+//!   ([`la1_cover::run_closure_rtl_batched`]) instead of the
+//!   single-stream SystemC loop;
+//! * `--streams N` — independent stimulus streams per run in batched
+//!   mode (default 64, the lane width);
+//! * `--assert-speedup X` — time the sequential multi-stream reference
+//!   too, assert its report is byte-identical and that the batched
+//!   engine is at least `X`× faster (implies `--batched`);
+//! * `--json` — write the machine-readable reports to a file. Batched
+//!   runs carry a `"perf"` object with `patterns_per_second` (lane
+//!   cycles per second) and `speedup_vs_scalar`;
 //! * `--smoke` — gate mode for `scripts/check.sh`: banks default to
 //!   `1 2`, budget to 40000, and the binary exits non-zero unless the
 //!   guided run closes 100% of tier-1 bins within the budget.
 
-use la1_cover::{run_closure, ClosureConfig, ClosureReport};
+use la1_cover::{
+    run_closure, run_closure_rtl, run_closure_rtl_batched, ClosureConfig, ClosureReport,
+    MultiClosureReport,
+};
 use la1_core::spec::LaConfig;
+use std::time::Instant;
 
 fn row(report: &ClosureReport) -> String {
     let ctc = match report.cycles_to_closure {
@@ -30,6 +44,26 @@ fn row(report: &ClosureReport) -> String {
         "{:>6} | {:>7} | {:>10} | {:>5}/{:<5} | {:>10}",
         report.banks,
         if report.guided { "guided" } else { "random" },
+        report.cycles_run,
+        report.bins_hit,
+        report.bins_total,
+        ctc
+    )
+}
+
+fn multi_row(report: &MultiClosureReport) -> String {
+    let ctc = match report.cycles_to_closure {
+        Some(c) => c.to_string(),
+        None => format!(">{}", report.budget),
+    };
+    format!(
+        "{:>6} | {:>7} | {:>10} | {:>5}/{:<5} | {:>10}",
+        report.banks,
+        format!(
+            "{} x{}",
+            if report.guided { "gui" } else { "rnd" },
+            report.streams
+        ),
         report.cycles_run,
         report.bins_hit,
         report.bins_total,
@@ -52,6 +86,9 @@ fn main() {
     let mut budget: Option<u64> = None;
     let mut epoch: Option<u64> = None;
     let mut la1b = false;
+    let mut batched = false;
+    let mut streams = 64u32;
+    let mut assert_speedup: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut smoke = false;
     let mut i = 0;
@@ -87,6 +124,28 @@ fn main() {
                 la1b = true;
                 i += 1;
             }
+            "--batched" => {
+                batched = true;
+                i += 1;
+            }
+            "--streams" => {
+                streams = args
+                    .get(i + 1)
+                    .expect("--streams requires a value")
+                    .parse()
+                    .expect("streams must be an integer");
+                i += 2;
+            }
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    args.get(i + 1)
+                        .expect("--assert-speedup requires a value")
+                        .parse()
+                        .expect("speedup floor must be a number"),
+                );
+                batched = true;
+                i += 2;
+            }
             "--json" => {
                 json_path = Some(
                     args.get(i + 1)
@@ -110,11 +169,19 @@ fn main() {
     }
     let budget = budget.unwrap_or(if smoke { 40_000 } else { 400_000 });
 
-    println!("Coverage closure: guided vs random constrained-random stimulus.");
-    println!(
-        "{:>6} | {:>7} | {:>10} | {:>11} | {:>10}",
-        "Banks", "Mode", "Cycles", "Bins hit", "To close"
-    );
+    if batched {
+        println!("Multi-stream RTL coverage closure (bit-parallel, {streams} streams).");
+        println!(
+            "{:>6} | {:>7} | {:>10} | {:>11} | {:>10}",
+            "Banks", "Mode", "Cycles", "Bins hit", "To close"
+        );
+    } else {
+        println!("Coverage closure: guided vs random constrained-random stimulus.");
+        println!(
+            "{:>6} | {:>7} | {:>10} | {:>11} | {:>10}",
+            "Banks", "Mode", "Cycles", "Bins hit", "To close"
+        );
+    }
     println!("{}", "-".repeat(58));
     let mut jsons = Vec::new();
     let mut failures = Vec::new();
@@ -129,6 +196,66 @@ fn main() {
         if let Some(e) = epoch {
             cfg.epoch = e;
         }
+
+        if batched {
+            let scalar = assert_speedup.is_some().then(|| {
+                let t0 = Instant::now();
+                let report = run_closure_rtl(&cfg, true, streams);
+                (report, t0.elapsed().as_secs_f64())
+            });
+            let t0 = Instant::now();
+            let guided = run_closure_rtl_batched(&cfg, true, streams);
+            let elapsed = t0.elapsed().as_secs_f64();
+            println!("{}", multi_row(&guided));
+            let speedup = scalar.as_ref().map(|(reference, scalar_elapsed)| {
+                assert_eq!(
+                    reference.to_json(),
+                    guided.to_json(),
+                    "batched closure diverged from the sequential reference at {banks} bank(s)"
+                );
+                scalar_elapsed / elapsed.max(1e-9)
+            });
+            let pps = guided.lane_cycles as f64 / elapsed.max(1e-9);
+            println!(
+                "throughput: {} lane-cycles in {elapsed:.3}s = {pps:.0} patterns/s{}",
+                guided.lane_cycles,
+                speedup
+                    .map(|s| format!(" ({s:.2}x vs scalar)"))
+                    .unwrap_or_default()
+            );
+            if let (Some(floor), Some(s)) = (assert_speedup, speedup) {
+                if s < floor {
+                    failures.push(format!(
+                        "{banks} banks: batched closure speedup {s:.2}x below the {floor}x floor"
+                    ));
+                }
+            }
+            if smoke && (!guided.closed || guided.tier1_hit != guided.tier1_total) {
+                failures.push(format!(
+                    "{} banks: batched closure left {}/{} tier-1 bins unhit within {} cycles: {:?}",
+                    banks,
+                    guided.tier1_total - guided.tier1_hit,
+                    guided.tier1_total,
+                    budget,
+                    guided.unhit
+                ));
+            }
+            let speedup_json = speedup
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "null".to_string());
+            let perf = format!(
+                "{{\"mode\": \"batched\", \"elapsed_seconds\": {elapsed:.4}, \
+                 \"patterns\": {}, \"patterns_per_second\": {pps:.0}, \
+                 \"speedup_vs_scalar\": {speedup_json}}}",
+                guided.lane_cycles
+            );
+            jsons.push(format!(
+                "{{\n  \"guided\": \n{},\n  \"perf\": {perf}\n}}",
+                indent(&guided.to_json())
+            ));
+            continue;
+        }
+
         let guided = run_closure(&cfg, true);
         println!("{}", row(&guided));
         if smoke {
@@ -158,12 +285,12 @@ fn main() {
         std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
         eprintln!("wrote {path}");
     }
-    if smoke {
+    if smoke || assert_speedup.is_some() {
         if failures.is_empty() {
-            println!("closure smoke gate: ok");
+            println!("closure gate: ok");
         } else {
             for f in &failures {
-                eprintln!("closure smoke gate FAILED: {f}");
+                eprintln!("closure gate FAILED: {f}");
             }
             std::process::exit(1);
         }

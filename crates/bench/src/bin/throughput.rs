@@ -1,0 +1,196 @@
+//! Raw simulation-kernel throughput: interpreted four-state RTL, one
+//! pattern per run ([`LaRtlDriver`]) vs 64 patterns per pass through
+//! the bit-parallel two-plane engine ([`LaRtlBatchDriver`]).
+//!
+//! Unlike `campaign --batched` and `closure --batched`, nothing
+//! per-lane rides along here — no scoreboard, no OVL sampling, no
+//! coverage observer — so the ratio isolates what PPSFP packing buys
+//! on the compiled netlist evaluation itself. Both engines replay the
+//! same pre-generated 64-lane stimulus and fold every visible output
+//! (per-bank data, write-done) into a per-lane checksum; the checksums
+//! must match lane-for-lane or the binary exits non-zero.
+//!
+//! Usage: `throughput [banks...] [--cycles N] [--seed N]
+//! [--json <path>] [--assert-speedup X]`
+//!
+//! * `banks...` — bank counts to measure (default `1 2 4`);
+//! * `--cycles` — cycles per lane (default 2000; the scalar side runs
+//!   64 sequential passes of this length);
+//! * `--assert-speedup X` — exit non-zero unless every row's batched
+//!   engine is at least `X`× faster than the scalar engine.
+
+use la1_core::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
+use la1_core::spec::{BankOp, LaConfig};
+use la1_core::workloads::{RandomMix, Workload};
+use std::time::Instant;
+
+const LANES: usize = 64;
+
+/// Per-lane generator seed: splitmix64 of the base seed and lane
+/// index, matching the stream-seed recipe used by `la1-cover`.
+fn lane_seed(base: u64, lane: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one cycle's visible outputs for one lane into a checksum.
+fn fold(h: u64, banks: u32, output: impl Fn(u32) -> Option<u64>, done: impl Fn(u32) -> bool) -> u64 {
+    let mut h = h;
+    for b in 0..banks {
+        let v = output(b).map_or(0xA5A5_A5A5_A5A5_A5A5, |v| v ^ 1);
+        h = h.rotate_left(7) ^ v ^ u64::from(done(b));
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut banks_list: Vec<u32> = Vec::new();
+    let mut cycles = 2000u64;
+    let mut seed = 1u64;
+    let mut json_path: Option<String> = None;
+    let mut assert_speedup: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cycles" => {
+                cycles = args
+                    .get(i + 1)
+                    .expect("--cycles requires a value")
+                    .parse()
+                    .expect("cycles must be an integer");
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .expect("--seed requires a value")
+                    .parse()
+                    .expect("seed must be an integer");
+                i += 2;
+            }
+            "--json" => {
+                json_path = Some(
+                    args.get(i + 1)
+                        .expect("--json requires a path argument")
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--assert-speedup" => {
+                assert_speedup = Some(
+                    args.get(i + 1)
+                        .expect("--assert-speedup requires a value")
+                        .parse()
+                        .expect("speedup floor must be a number"),
+                );
+                i += 2;
+            }
+            other => {
+                banks_list.push(other.parse().expect("bank counts must be integers"));
+                i += 1;
+            }
+        }
+    }
+    if banks_list.is_empty() {
+        banks_list = vec![1, 2, 4];
+    }
+
+    println!("Raw RTL kernel throughput: scalar vs 64-lane bit-parallel.");
+    println!(
+        "{:>6} | {:>14} | {:>14} | {:>8}",
+        "Banks", "Scalar (ns/cy)", "Batched (ns/cy)", "Speedup"
+    );
+    println!("{}", "-".repeat(54));
+    let mut jsons = Vec::new();
+    let mut failures = Vec::new();
+    for &banks in &banks_list {
+        let config = LaConfig::new(banks);
+        let design = LaRtl::build(&config, None);
+
+        // Pre-generate the 64-lane stimulus so neither timed loop pays
+        // for constrained-random generation.
+        let stimulus: Vec<Vec<Vec<BankOp>>> = (0..cycles)
+            .scan(
+                (0..LANES)
+                    .map(|l| RandomMix::new(&config, lane_seed(seed, l as u64), 0.7, 0.5))
+                    .collect::<Vec<_>>(),
+                |gens, _| Some(gens.iter_mut().map(|g| g.next_cycle()).collect()),
+            )
+            .collect();
+
+        let mut scalar_sums = [0u64; LANES];
+        let t0 = Instant::now();
+        for (lane, sum) in scalar_sums.iter_mut().enumerate() {
+            let mut driver = LaRtlDriver::new(&design);
+            for row in &stimulus {
+                driver.cycle(&row[lane]);
+                *sum = fold(*sum, banks, |b| driver.bank_output(b), |b| driver.write_done(b));
+            }
+        }
+        let scalar_elapsed = t0.elapsed().as_secs_f64();
+
+        let mut batched_sums = [0u64; LANES];
+        let t0 = Instant::now();
+        let mut driver = LaRtlBatchDriver::new(&design);
+        for row in &stimulus {
+            let refs: Vec<&[BankOp]> = row.iter().map(Vec::as_slice).collect();
+            driver.cycle(&refs);
+            for (lane, sum) in batched_sums.iter_mut().enumerate() {
+                *sum = fold(
+                    *sum,
+                    banks,
+                    |b| driver.bank_output(lane, b),
+                    |b| driver.write_done(lane, b),
+                );
+            }
+        }
+        let batched_elapsed = t0.elapsed().as_secs_f64();
+
+        if scalar_sums != batched_sums {
+            failures.push(format!(
+                "{banks} banks: batched output checksums diverged from scalar"
+            ));
+        }
+        let lane_cycles = (cycles as f64) * (LANES as f64);
+        let scalar_ns = scalar_elapsed * 1e9 / lane_cycles;
+        let batched_ns = batched_elapsed * 1e9 / lane_cycles;
+        let speedup = scalar_elapsed / batched_elapsed.max(1e-9);
+        println!("{banks:>6} | {scalar_ns:>14.1} | {batched_ns:>15.1} | {speedup:>7.2}x");
+        if let Some(floor) = assert_speedup {
+            if speedup < floor {
+                failures.push(format!(
+                    "{banks} banks: kernel speedup {speedup:.2}x below the {floor}x floor"
+                ));
+            }
+        }
+        jsons.push(format!(
+            "{{\"banks\": {banks}, \"cycles\": {cycles}, \
+             \"scalar_ns_per_lane_cycle\": {scalar_ns:.1}, \
+             \"batched_ns_per_lane_cycle\": {batched_ns:.1}, \
+             \"patterns_per_second\": {:.0}, \"speedup\": {speedup:.2}}}",
+            lane_cycles / batched_elapsed.max(1e-9)
+        ));
+    }
+    if let Some(path) = json_path {
+        let body = jsons
+            .iter()
+            .map(|j| format!("  {j}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+    if failures.is_empty() {
+        if assert_speedup.is_some() {
+            println!("throughput gate: ok");
+        }
+    } else {
+        for f in &failures {
+            eprintln!("throughput gate FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

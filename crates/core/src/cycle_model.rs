@@ -22,7 +22,7 @@
 //! compiled simulator evaluates into.
 
 use crate::harness::attach_la1_ovl;
-use crate::rtl_model::{LaRtl, LaRtlDriver};
+use crate::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
 use crate::sc_model::LaSystemC;
 use crate::spec::BankOp;
 use crate::workloads::Workload;
@@ -214,6 +214,50 @@ impl CycleModel for RtlWithOvl {
     }
     fn parity_error(&mut self, bank: u32) -> bool {
         self.driver.parity_error(bank)
+    }
+}
+
+/// An observation-only [`CycleModel`] view of one lane of a
+/// [`LaRtlBatchDriver`] — lets per-model observers (coverage
+/// collectors, scoreboards) sample a batched lane through the same
+/// interface they use on the scalar levels.
+///
+/// The batched driver steps all 64 lanes together, so this view cannot
+/// drive cycles itself: [`CycleModel::cycle`] panics. Use it only after
+/// [`LaRtlBatchDriver::cycle`] for pin sampling.
+pub struct BatchLaneModel<'a> {
+    driver: &'a mut LaRtlBatchDriver,
+    lane: usize,
+}
+
+impl<'a> BatchLaneModel<'a> {
+    /// Borrows one lane of the batched driver as a passive model view.
+    pub fn new(driver: &'a mut LaRtlBatchDriver, lane: usize) -> Self {
+        BatchLaneModel { driver, lane }
+    }
+}
+
+impl CycleModel for BatchLaneModel<'_> {
+    fn level(&self) -> &'static str {
+        "rtl"
+    }
+    fn cycle(&mut self, _ops: &[BankOp]) {
+        unreachable!("BatchLaneModel is observation-only; drive LaRtlBatchDriver::cycle instead")
+    }
+    fn bank_output(&self, bank: u32) -> Option<u64> {
+        self.driver.bank_output(self.lane, bank)
+    }
+    fn write_done(&self, bank: u32) -> bool {
+        self.driver.write_done(self.lane, bank)
+    }
+    fn violation_count(&self) -> usize {
+        0
+    }
+    fn cycles(&self) -> u64 {
+        self.driver.cycles()
+    }
+    fn parity_error(&mut self, bank: u32) -> bool {
+        self.driver.parity_error(self.lane, bank)
     }
 }
 

@@ -22,7 +22,9 @@
 //! protocol cycles.
 
 use crate::spec::{bank_bits, BankOp, LaConfig};
-use la1_rtl::{Edge, Expr, LogicVec, NetId, Netlist, RtlSim, TransitionSystem};
+use la1_rtl::{
+    BatchedRtlSim, Edge, Expr, LogicVec, NetId, Netlist, RtlSim, TransitionSystem, LANES,
+};
 
 /// Net handles of the built design.
 #[derive(Debug, Clone)]
@@ -593,6 +595,237 @@ impl LaRtlDriver {
     pub fn write_done(&self, bank: u32) -> bool {
         let net = self.design.nets.wdone[bank as usize];
         self.sim.get_u64(net) == Some(1)
+    }
+}
+
+/// Clocks the 64-lane batched (PPSFP) RTL simulator through full
+/// protocol cycles — one independent LA-1 stimulus stream per lane over
+/// a single shared netlist evaluation.
+///
+/// Per-lane semantics are bit-identical to running [`LaRtlDriver`] 64
+/// times: the same input encoding, the same sampling points, the same
+/// DDR half merge. The clock `K` is lane-uniform (every lane sees the
+/// same edges), which is exactly the PPSFP restriction.
+#[derive(Debug)]
+pub struct LaRtlBatchDriver {
+    design: LaRtl,
+    sim: BatchedRtlSim,
+    cycles: u64,
+    /// dq low half captured during the high phase, per lane
+    captured_lo: Vec<Option<u64>>,
+    /// merged output word per lane per bank, refreshed each cycle
+    outputs: Vec<Vec<Option<u64>>>,
+    /// pin to drive with X during the next cycle, per lane
+    pending_x: Vec<Option<XPin>>,
+}
+
+impl LaRtlBatchDriver {
+    /// Creates a batched driver (the design starts with `K` low in every
+    /// lane).
+    pub fn new(design: &LaRtl) -> Self {
+        let sim = BatchedRtlSim::new(design.netlist());
+        let banks = design.cfg.banks as usize;
+        LaRtlBatchDriver {
+            design: design.clone(),
+            sim,
+            cycles: 0,
+            captured_lo: vec![None; LANES],
+            outputs: vec![vec![None; banks]; LANES],
+            pending_x: vec![None; LANES],
+        }
+    }
+
+    /// Arms a four-state X injection on one lane for the next cycle
+    /// (the batched analogue of [`LaRtlDriver::inject_x`]).
+    pub fn inject_x(&mut self, lane: usize, pin: XPin) {
+        self.pending_x[lane] = Some(pin);
+    }
+
+    /// Mutable access to the underlying batched simulator (monitor
+    /// benches probe single lanes through
+    /// [`BatchedRtlSim::lane_probe`]).
+    pub fn sim_mut(&mut self) -> &mut BatchedRtlSim {
+        &mut self.sim
+    }
+
+    /// Completed protocol cycles (lane-uniform by construction).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Compiled-op evaluations performed so far; each one advances all
+    /// 64 lanes.
+    pub fn evals(&self) -> u64 {
+        self.sim.evals()
+    }
+
+    /// Runs one full clock cycle with an independent operation list per
+    /// lane. `ops[lane]` follows the [`LaRtlDriver::cycle`] contract (at
+    /// most one read and one write); lanes beyond `ops.len()` idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LaRtlDriver::cycle`], or if
+    /// more than [`LANES`] operation lists are supplied.
+    pub fn cycle(&mut self, ops: &[&[BankOp]]) {
+        self.cycle_with(ops, |_| {});
+    }
+
+    /// Like [`Self::cycle`], invoking `at_rising` once the rising edge
+    /// has settled (the OVL sampling point; probe individual lanes with
+    /// [`BatchedRtlSim::lane_probe`]).
+    pub fn cycle_with<F: FnOnce(&mut BatchedRtlSim)>(&mut self, ops: &[&[BankOp]], at_rising: F) {
+        assert!(ops.len() <= LANES, "at most {LANES} lanes");
+        let cfg = self.design.cfg.clone();
+        let nets = self.design.nets.clone();
+        let word_bits = cfg.addr_bits();
+        let half = cfg.half_width();
+
+        // decode each lane's operations once, with the scalar driver's
+        // exact validation
+        let mut reads = [None; LANES];
+        let mut writes = [None; LANES];
+        for (lane, lane_ops) in ops.iter().enumerate() {
+            for op in lane_ops.iter() {
+                match *op {
+                    BankOp::Read { bank, addr } => {
+                        assert!(
+                            reads[lane].is_none(),
+                            "single address bus: one read per cycle"
+                        );
+                        assert!(addr < cfg.words_per_bank as u64);
+                        reads[lane] = Some((bank, addr));
+                    }
+                    BankOp::Write {
+                        bank,
+                        addr,
+                        data,
+                        byte_en,
+                    } => {
+                        assert!(
+                            writes[lane].is_none(),
+                            "single address bus: one write per cycle"
+                        );
+                        assert!(addr < cfg.words_per_bank as u64);
+                        writes[lane] = Some((bank, addr, cfg.mask_word(data), byte_en));
+                    }
+                }
+            }
+        }
+        let x_target = |pin: XPin| -> NetId {
+            match pin {
+                XPin::ReadSel => nets.rd_sel,
+                XPin::WriteSel => nets.wr_sel,
+                XPin::Addr => nets.addr,
+                XPin::WData => nets.wdata,
+            }
+        };
+
+        // rising edge: read select + read address + write select +
+        // write data low half + low byte enables. All lanes of each
+        // input are staged through one transposed bulk drive
+        // (semantically 64 per-lane sets; see PackedVec::set_lanes_u64),
+        // then the rare pending X injections overwrite their lane.
+        let mut rd_v = [0u64; LANES];
+        let mut wr_v = [0u64; LANES];
+        let mut addr_v = [0u64; LANES];
+        let mut data_v = [0u64; LANES];
+        let mut bw_v = [0u64; LANES];
+        for lane in 0..LANES {
+            if let Some((b, a)) = reads[lane] {
+                rd_v[lane] = 1;
+                addr_v[lane] = a | ((b as u64) << word_bits);
+            }
+            if let Some((_, _, d, be)) = writes[lane] {
+                wr_v[lane] = 1;
+                data_v[lane] = cfg.low_half(d);
+                bw_v[lane] = (be & ((1 << (cfg.byte_enables() / 2)) - 1)) as u64;
+            }
+        }
+        self.sim.set_lanes_u64(nets.rd_sel, &rd_v);
+        self.sim.set_lanes_u64(nets.wr_sel, &wr_v);
+        self.sim.set_lanes_u64(nets.addr, &addr_v);
+        self.sim.set_lanes_u64(nets.wdata, &data_v);
+        self.sim.set_lanes_u64(nets.bw, &bw_v);
+        for lane in 0..LANES {
+            if let Some(pin) = self.pending_x[lane] {
+                self.sim.set_lane_xs(x_target(pin), lane);
+            }
+        }
+        self.sim.set_u64_all(nets.k, 1);
+        self.sim.step();
+        // capture the low output halves (driven while K is high)
+        let mut dq = [0u64; LANES];
+        let known = self.sim.lanes_u64(nets.dq, &mut dq);
+        for (lane, &q) in dq.iter().enumerate() {
+            self.captured_lo[lane] = (known >> lane & 1 == 1).then_some(q);
+        }
+        at_rising(&mut self.sim);
+
+        // falling edge: write address + write data high half + high
+        // byte enables
+        for lane in 0..LANES {
+            let (waddr_bus, wdata_hi, bw_hi) = match writes[lane] {
+                Some((b, a, d, be)) => (
+                    a | ((b as u64) << word_bits),
+                    cfg.high_half(d),
+                    (be >> (cfg.byte_enables() / 2)) as u64,
+                ),
+                None => (0, 0, 0),
+            };
+            addr_v[lane] = waddr_bus;
+            data_v[lane] = wdata_hi;
+            bw_v[lane] = bw_hi;
+        }
+        self.sim.set_lanes_u64(nets.addr, &addr_v);
+        self.sim.set_lanes_u64(nets.wdata, &data_v);
+        self.sim.set_lanes_u64(nets.bw, &bw_v);
+        for lane in 0..LANES {
+            if let Some(pin) = self.pending_x[lane].take() {
+                self.sim.set_lane_xs(x_target(pin), lane);
+            }
+        }
+        self.sim.set_u64_all(nets.k, 0);
+        self.sim.step();
+
+        // merge the DDR halves per lane per bank (high halves bulk-read
+        // once, per-bank data-valid flags read plane-wise)
+        let known_hi = self.sim.lanes_u64(nets.dq, &mut dq);
+        for b in 0..cfg.banks as usize {
+            let dv_ones = self.sim.get(nets.dv[b]).lanes_bit_is_one(0);
+            for (lane, &q) in dq.iter().enumerate() {
+                self.outputs[lane][b] = if dv_ones >> lane & 1 == 1 {
+                    let hi = (known_hi >> lane & 1 == 1).then_some(q);
+                    match (self.captured_lo[lane], hi) {
+                        (Some(lo), Some(hi)) => Some(lo | (hi << half)),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// The word a bank produced for one lane in the last completed
+    /// cycle, if its data-valid flag was set in that lane.
+    pub fn bank_output(&self, lane: usize, bank: u32) -> Option<u64> {
+        self.outputs[lane][bank as usize]
+    }
+
+    /// Whether a bank's parity checker fired in one lane at the last
+    /// rising edge.
+    pub fn parity_error(&self, lane: usize, bank: u32) -> bool {
+        let net = self.design.nets.perr[bank as usize];
+        self.sim.lane_u64(net, lane) == Some(1)
+    }
+
+    /// Whether the bank's write-done register is set in one lane after
+    /// the last completed cycle.
+    pub fn write_done(&self, lane: usize, bank: u32) -> bool {
+        let net = self.design.nets.wdone[bank as usize];
+        self.sim.lane_u64(net, lane) == Some(1)
     }
 }
 

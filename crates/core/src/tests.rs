@@ -945,6 +945,100 @@ fn rtl_read_transaction_waveform() {
     assert_eq!(drv.bank_output(0), Some(0xABCD_1234));
 }
 
+// ---- batched (PPSFP) driver equivalence -------------------------------------
+
+/// Every lane of the batched RTL driver must match an independent
+/// scalar driver run bit-for-bit: merged DDR outputs, write-done and
+/// parity-error pins, and the OVL verdict stream sampled at rising `K`
+/// — at 1/2/4 banks, LA-1 and LA-1B, healthy and parity-faulted, with
+/// four-state X injection on a subset of lanes.
+#[test]
+fn batched_driver_matches_scalar_lanes() {
+    use crate::cycle_model::BatchLaneModel;
+    use crate::rtl_model::{LaRtlBatchDriver, RtlFault, XPin};
+    use la1_rtl::LANES;
+
+    let la1b_cfg = LaConfig {
+        burst_len: 2,
+        ..small_cfg(2)
+    };
+    let scenarios: Vec<(LaConfig, Vec<RtlFault>)> = vec![
+        (small_cfg(1), vec![]),
+        (small_cfg(2), vec![RtlFault::ParityBank(0)]),
+        (small_cfg(4), vec![]),
+        (la1b_cfg, vec![RtlFault::ParityBank(1)]),
+    ];
+    for (cfg, faults) in scenarios {
+        let design = LaRtl::build_with_faults(&cfg, &faults);
+        let mut batch = LaRtlBatchDriver::new(&design);
+        let mut scalars: Vec<LaRtlDriver> =
+            (0..LANES).map(|_| LaRtlDriver::new(&design)).collect();
+        let attach = || {
+            let mut b = OvlBench::new();
+            attach_la1_ovl(&mut b, &design);
+            b
+        };
+        let mut bench_b: Vec<OvlBench> = (0..LANES).map(|_| attach()).collect();
+        let mut bench_s: Vec<OvlBench> = (0..LANES).map(|_| attach()).collect();
+        let mut mixes: Vec<RandomMix> = (0..LANES)
+            .map(|l| RandomMix::new(&cfg, 0xBEEF + l as u64, 0.6, 0.6))
+            .collect();
+        let x_pins = [XPin::WData, XPin::Addr, XPin::ReadSel, XPin::WriteSel];
+
+        for cycle in 0..24u64 {
+            let ops: Vec<Vec<BankOp>> = mixes.iter_mut().map(|m| m.next_cycle()).collect();
+            if cycle == 9 {
+                // X-inject a different pin on every fifth lane
+                for lane in (0..LANES).step_by(5) {
+                    let pin = x_pins[(lane / 5) % x_pins.len()];
+                    batch.inject_x(lane, pin);
+                    scalars[lane].inject_x(pin);
+                }
+            }
+            let slices: Vec<&[BankOp]> = ops.iter().map(|v| v.as_slice()).collect();
+            batch.cycle_with(&slices, |sim| {
+                for (lane, bench) in bench_b.iter_mut().enumerate() {
+                    bench.on_cycle(&mut sim.lane_probe(lane));
+                }
+            });
+            for (lane, sc) in scalars.iter_mut().enumerate() {
+                let bench = &mut bench_s[lane];
+                sc.cycle_with(&ops[lane], |sim| {
+                    bench.on_cycle(sim);
+                });
+            }
+            for (lane, sc) in scalars.iter_mut().enumerate() {
+                for b in 0..cfg.banks {
+                    assert_eq!(
+                        batch.bank_output(lane, b),
+                        sc.bank_output(b),
+                        "bank_output lane {lane} bank {b} cycle {cycle} ({}b)",
+                        cfg.banks
+                    );
+                    assert_eq!(batch.write_done(lane, b), sc.write_done(b));
+                    assert_eq!(batch.parity_error(lane, b), sc.parity_error(b));
+                    let view = BatchLaneModel::new(&mut batch, lane);
+                    assert_eq!(view.bank_output(b), sc.bank_output(b));
+                }
+            }
+        }
+        for lane in 0..LANES {
+            let render = |b: &OvlBench| -> Vec<(String, u64, String)> {
+                b.violations()
+                    .iter()
+                    .map(|v| (v.monitor.clone(), v.cycle, v.message.clone()))
+                    .collect()
+            };
+            assert_eq!(
+                render(&bench_b[lane]),
+                render(&bench_s[lane]),
+                "OVL verdicts diverged on lane {lane} ({} banks)",
+                cfg.banks
+            );
+        }
+    }
+}
+
 #[test]
 fn uml_use_cases_cover_both_deployment_modes() {
     let cases = la1_use_cases();

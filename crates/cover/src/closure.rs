@@ -127,9 +127,32 @@ impl ClosureReport {
 }
 
 /// The two generator flavours a closure run drives.
-enum Generator {
+pub(crate) enum Generator {
     Guided(GuidedMix),
     Random(RandomMix),
+}
+
+impl Generator {
+    /// The generator one closure stream uses: guided runs (and any
+    /// burst run, where blind traffic would violate the spacing rule)
+    /// get a [`GuidedMix`]; the unguided baseline gets a [`RandomMix`].
+    pub(crate) fn for_stream(cfg: &ClosureConfig, guided: bool, seed: u64) -> Generator {
+        if guided || cfg.config.is_burst() {
+            Generator::Guided(GuidedMix::new(
+                &cfg.config,
+                seed,
+                cfg.read_prob,
+                cfg.write_prob,
+            ))
+        } else {
+            Generator::Random(RandomMix::new(
+                &cfg.config,
+                seed,
+                cfg.read_prob,
+                cfg.write_prob,
+            ))
+        }
+    }
 }
 
 impl Workload for Generator {
@@ -149,21 +172,7 @@ pub fn run_closure(cfg: &ClosureConfig, guided: bool) -> ClosureReport {
     let mut collector = CoverageCollector::new(model);
     let mut sc = LaSystemC::new(&cfg.config);
 
-    let mut generator = if guided || cfg.config.is_burst() {
-        Generator::Guided(GuidedMix::new(
-            &cfg.config,
-            cfg.seed,
-            cfg.read_prob,
-            cfg.write_prob,
-        ))
-    } else {
-        Generator::Random(RandomMix::new(
-            &cfg.config,
-            cfg.seed,
-            cfg.read_prob,
-            cfg.write_prob,
-        ))
-    };
+    let mut generator = Generator::for_stream(cfg, guided, cfg.seed);
 
     let mut run = 0u64;
     while run < cfg.budget && !collector.is_full() {

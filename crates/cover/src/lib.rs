@@ -28,7 +28,13 @@
 //! * [`run_closure`] — the closure loop: guided or pure-random stimulus
 //!   run to 100 % bin coverage (or a cycle budget), reporting
 //!   cycles-to-closure. A pure function of `(seed, config)` — the same
-//!   inputs give byte-identical [`ClosureReport::to_json`] output.
+//!   inputs give byte-identical [`ClosureReport::to_json`] output;
+//! * [`run_closure_rtl`] / [`run_closure_rtl_batched`] — multi-stream
+//!   closure on the interpreted RTL: up to 64 independent seeded
+//!   streams merged into one bin set, run one lane per stream through
+//!   the bit-parallel [`LaRtlBatchDriver`](la1_core::rtl_model::LaRtlBatchDriver)
+//!   (PPSFP) or sequentially through scalar drivers — the two produce
+//!   byte-identical [`MultiClosureReport::to_json`] output.
 //!
 //! Monitors catch violations; coverage proves the monitors were ever
 //! provoked. The `closure` binary in `la1-bench` regenerates the
@@ -38,11 +44,13 @@ pub mod closure;
 pub mod collect;
 pub mod guided;
 pub mod model;
+pub mod multi;
 
 pub use closure::{run_closure, ClosureConfig, ClosureReport};
 pub use collect::CoverageCollector;
 pub use guided::GuidedMix;
 pub use model::{BinKind, CoverBin, CoverageModel};
+pub use multi::{run_closure_rtl, run_closure_rtl_batched, MultiClosureReport};
 
 #[cfg(test)]
 mod tests;

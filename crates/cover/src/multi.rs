@@ -1,0 +1,303 @@
+//! Multi-stream RTL coverage closure — scalar and bit-parallel.
+//!
+//! Where [`run_closure`](crate::run_closure) drives one stimulus
+//! stream against the SystemC model, the multi-stream runners drive
+//! `streams` independent seeded streams against the interpreted RTL
+//! and *merge* their coverage: a bin is closed as soon as any stream
+//! hits it.
+//!
+//! Two runners produce the identical [`MultiClosureReport`]:
+//!
+//! * [`run_closure_rtl`] — the scalar reference: one [`LaRtlDriver`]
+//!   per stream, streams executed one after another within each epoch;
+//! * [`run_closure_rtl_batched`] — all streams as lanes of one
+//!   [`LaRtlBatchDriver`], every compiled-netlist operation advancing
+//!   all of them at once (PPSFP). Per-lane pins are bit-identical to
+//!   the scalar driver, so the merged bin sets, first-hit cycles and
+//!   JSON reports are equal byte for byte — the equivalence the test
+//!   suite pins at 1/2 banks and under LA-1B.
+//!
+//! Both runners are epoch-lockstep: guidance retargets **all** guided
+//! streams from the *merged* unhit-bin list at every epoch boundary
+//! (cooperative closure), and the budget-or-full stopping rule is
+//! evaluated per epoch. Within an epoch streams share nothing, which is
+//! what makes the sequential and bit-parallel schedules coincide.
+
+use crate::closure::{ClosureConfig, Generator};
+use crate::collect::CoverageCollector;
+use crate::model::{CoverBin, CoverageModel};
+use la1_core::cycle_model::BatchLaneModel;
+use la1_core::cycle_model::CycleObserver;
+use la1_core::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
+use la1_core::spec::BankOp;
+use la1_core::workloads::Workload;
+use la1_rtl::LANES;
+
+/// Outcome of one multi-stream closure run; all coverage figures are
+/// over the merged (any-stream) bin sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiClosureReport {
+    /// Bank count of the configuration.
+    pub banks: u32,
+    /// Whether the configuration was an LA-1B (burst) one.
+    pub burst: bool,
+    /// Whether guidance was on.
+    pub guided: bool,
+    /// Base seed the per-stream seeds derive from.
+    pub seed: u64,
+    /// Independent stimulus streams run.
+    pub streams: u32,
+    /// Per-stream cycle budget.
+    pub budget: u64,
+    /// Cycles each stream actually ran (lockstep, so lane-uniform).
+    pub cycles_run: u64,
+    /// Total stimulus volume: `streams * cycles_run`.
+    pub lane_cycles: u64,
+    /// Bins defined by the coverage model.
+    pub bins_total: usize,
+    /// Bins hit by at least one stream.
+    pub bins_hit: usize,
+    /// Tier-1 bins defined.
+    pub tier1_total: usize,
+    /// Tier-1 bins hit by at least one stream.
+    pub tier1_hit: usize,
+    /// Whether every bin closed within the budget.
+    pub closed: bool,
+    /// Per-stream cycles after which merged coverage was complete (one
+    /// past the latest earliest-stream first hit); `None` when the
+    /// budget ran out first.
+    pub cycles_to_closure: Option<u64>,
+    /// Names of the bins no stream hit, in model order.
+    pub unhit: Vec<String>,
+}
+
+impl MultiClosureReport {
+    /// Fraction of bins hit by at least one stream.
+    pub fn coverage(&self) -> f64 {
+        if self.bins_total == 0 {
+            1.0
+        } else {
+            self.bins_hit as f64 / self.bins_total as f64
+        }
+    }
+
+    /// Renders the deterministic JSON report.
+    pub fn to_json(&self) -> String {
+        let ctc = match self.cycles_to_closure {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
+        let unhit = self
+            .unhit
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"banks\": {},\n  \"burst\": {},\n  \"guided\": {},\n  \"seed\": {},\n  \
+             \"streams\": {},\n  \"budget\": {},\n  \"cycles_run\": {},\n  \
+             \"lane_cycles\": {},\n  \"bins_total\": {},\n  \"bins_hit\": {},\n  \
+             \"tier1_total\": {},\n  \"tier1_hit\": {},\n  \"closed\": {},\n  \
+             \"cycles_to_closure\": {},\n  \"unhit\": [{}]\n}}\n",
+            self.banks,
+            self.burst,
+            self.guided,
+            self.seed,
+            self.streams,
+            self.budget,
+            self.cycles_run,
+            self.lane_cycles,
+            self.bins_total,
+            self.bins_hit,
+            self.tier1_total,
+            self.tier1_hit,
+            self.closed,
+            ctc,
+            unhit
+        )
+    }
+}
+
+/// Derives stream `i`'s generator seed from the base seed
+/// (splitmix-style finalizer, like the campaign's per-run seeds).
+fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// One stream's generator and its private coverage collector.
+struct Stream {
+    generator: Generator,
+    collector: CoverageCollector,
+}
+
+fn make_streams(cfg: &ClosureConfig, guided: bool, streams: u32) -> Vec<Stream> {
+    (0..streams)
+        .map(|i| Stream {
+            generator: Generator::for_stream(cfg, guided, stream_seed(cfg.seed, i as u64)),
+            collector: CoverageCollector::new(CoverageModel::la1(&cfg.config)),
+        })
+        .collect()
+}
+
+/// Whether every bin is hit in the merged (any-stream) view.
+fn merged_full(streams: &[Stream]) -> bool {
+    let n = streams[0].collector.model().len();
+    (0..n).all(|i| streams.iter().any(|s| s.collector.hits()[i] > 0))
+}
+
+/// The merged unhit-bin list all guided streams retarget from.
+fn merged_unhit(streams: &[Stream]) -> Vec<CoverBin> {
+    let model = streams[0].collector.model();
+    model
+        .bins()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| streams.iter().all(|s| s.collector.hits()[*i] == 0))
+        .map(|(_, b)| *b)
+        .collect()
+}
+
+fn retarget_all(streams: &mut [Stream]) {
+    let unhit = merged_unhit(streams);
+    for s in streams.iter_mut() {
+        if let Generator::Guided(g) = &mut s.generator {
+            g.retarget(&unhit);
+        }
+    }
+}
+
+/// Assembles the merged report once the loop has stopped.
+fn merged_report(
+    cfg: &ClosureConfig,
+    guided: bool,
+    streams: Vec<Stream>,
+    cycles_run: u64,
+) -> MultiClosureReport {
+    let model = streams[0].collector.model().clone();
+    let n = model.len();
+    let merged_hit: Vec<bool> = (0..n)
+        .map(|i| streams.iter().any(|s| s.collector.hits()[i] > 0))
+        .collect();
+    let merged_first: Vec<Option<u64>> = (0..n)
+        .map(|i| {
+            streams
+                .iter()
+                .filter_map(|s| s.collector.first_hits()[i])
+                .min()
+        })
+        .collect();
+    let closed = merged_hit.iter().all(|&h| h);
+    let cycles_to_closure = if closed {
+        merged_first.iter().map(|f| f.unwrap() + 1).max()
+    } else {
+        None
+    };
+    let bins_hit = merged_hit.iter().filter(|&&h| h).count();
+    let tier1_hit = model
+        .bins()
+        .iter()
+        .zip(&merged_hit)
+        .filter(|(b, &h)| b.tier() == 1 && h)
+        .count();
+    let unhit = model
+        .bins()
+        .iter()
+        .zip(&merged_hit)
+        .filter(|(_, &h)| !h)
+        .map(|(b, _)| b.name())
+        .collect();
+    MultiClosureReport {
+        banks: cfg.config.banks,
+        burst: cfg.config.is_burst(),
+        guided,
+        seed: cfg.seed,
+        streams: streams.len() as u32,
+        budget: cfg.budget,
+        cycles_run,
+        lane_cycles: streams.len() as u64 * cycles_run,
+        bins_total: n,
+        bins_hit,
+        tier1_total: model.tier1_len(),
+        tier1_hit,
+        closed,
+        cycles_to_closure,
+        unhit,
+    }
+}
+
+/// The scalar multi-stream reference: one [`LaRtlDriver`] per stream,
+/// streams executed sequentially within each epoch. A pure function of
+/// `(cfg, guided, streams)`.
+///
+/// # Panics
+///
+/// Panics if `streams` is zero.
+pub fn run_closure_rtl(cfg: &ClosureConfig, guided: bool, streams: u32) -> MultiClosureReport {
+    assert!(streams > 0, "at least one stream");
+    let design = LaRtl::build(&cfg.config, None);
+    let mut drivers: Vec<LaRtlDriver> =
+        (0..streams).map(|_| LaRtlDriver::new(&design)).collect();
+    let mut state = make_streams(cfg, guided, streams);
+    let mut run = 0u64;
+    while run < cfg.budget && !merged_full(&state) {
+        if guided {
+            retarget_all(&mut state);
+        }
+        let step = cfg.epoch.min(cfg.budget - run);
+        for (s, driver) in state.iter_mut().zip(&mut drivers) {
+            for _ in 0..step {
+                let ops = s.generator.next_cycle();
+                driver.cycle(&ops);
+                s.collector.observe(&ops, driver);
+            }
+        }
+        run += step;
+    }
+    merged_report(cfg, guided, state, run)
+}
+
+/// The bit-parallel multi-stream runner: all streams as lanes of one
+/// [`LaRtlBatchDriver`]. Produces a report byte-identical to
+/// [`run_closure_rtl`] with the same arguments.
+///
+/// # Panics
+///
+/// Panics if `streams` is zero or exceeds [`LANES`].
+pub fn run_closure_rtl_batched(
+    cfg: &ClosureConfig,
+    guided: bool,
+    streams: u32,
+) -> MultiClosureReport {
+    assert!(streams > 0, "at least one stream");
+    assert!(streams as usize <= LANES, "at most {LANES} streams");
+    let design = LaRtl::build(&cfg.config, None);
+    let mut driver = LaRtlBatchDriver::new(&design);
+    let mut state = make_streams(cfg, guided, streams);
+    let mut run = 0u64;
+    let mut ops: Vec<Vec<BankOp>> = vec![Vec::new(); streams as usize];
+    while run < cfg.budget && !merged_full(&state) {
+        if guided {
+            retarget_all(&mut state);
+        }
+        let step = cfg.epoch.min(cfg.budget - run);
+        for _ in 0..step {
+            for (buf, s) in ops.iter_mut().zip(state.iter_mut()) {
+                *buf = s.generator.next_cycle();
+            }
+            let refs: Vec<&[BankOp]> = ops.iter().map(Vec::as_slice).collect();
+            driver.cycle(&refs);
+            for (lane, s) in state.iter_mut().enumerate() {
+                let mut view = BatchLaneModel::new(&mut driver, lane);
+                s.collector.observe(&ops[lane], &mut view);
+            }
+        }
+        run += step;
+    }
+    merged_report(cfg, guided, state, run)
+}

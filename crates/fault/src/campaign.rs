@@ -265,6 +265,14 @@ impl DetectionMatrix {
     /// timing data): the same seed and config give byte-identical
     /// output.
     pub fn to_json(&self) -> String {
+        self.to_json_with_perf(None)
+    }
+
+    /// [`Self::to_json`] with an optional `"perf"` object appended —
+    /// throughput figures are wall-clock measurements, so they live
+    /// outside the deterministic core (passing `None` reproduces
+    /// [`Self::to_json`] byte-for-byte, golden files included).
+    pub fn to_json_with_perf(&self, perf: Option<&str>) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"banks\": {},\n", self.banks));
@@ -311,13 +319,19 @@ impl DetectionMatrix {
             .collect::<Vec<_>>()
             .join(", ");
         out.push_str(&dis);
-        out.push_str("]\n}\n");
+        match perf {
+            Some(perf) => {
+                out.push_str("],\n");
+                out.push_str(&format!("  \"perf\": {perf}\n}}\n"));
+            }
+            None => out.push_str("]\n}\n"),
+        }
         out
     }
 }
 
 /// One model at one level, owning everything it simulates.
-enum AnyModel {
+pub(crate) enum AnyModel {
     Asm(LaAsmModel),
     Sc(LaSystemC),
     Rtl(LaRtlDriver),
@@ -373,7 +387,7 @@ impl AnyModel {
 }
 
 /// Builds the faulted device under test for one run.
-fn build_dut(level: Level, cfg: &LaConfig, plan: Option<&FaultPlan>) -> AnyModel {
+pub(crate) fn build_dut(level: Level, cfg: &LaConfig, plan: Option<&FaultPlan>) -> AnyModel {
     let parity_bank = plan
         .filter(|p| p.model == FaultModel::ParityFault)
         .map(|p| p.bank);
@@ -395,7 +409,7 @@ fn build_dut(level: Level, cfg: &LaConfig, plan: Option<&FaultPlan>) -> AnyModel
 /// Builds the healthy golden model the scoreboard compares against —
 /// same level, no fault, no monitors (the RTL+OVL golden is the bare
 /// driver: the scoreboard only reads pins).
-fn build_golden(level: Level, cfg: &LaConfig) -> AnyModel {
+pub(crate) fn build_golden(level: Level, cfg: &LaConfig) -> AnyModel {
     match level {
         Level::Asm => AnyModel::Asm(LaAsmModel::new(cfg)),
         Level::SystemC => AnyModel::Sc(LaSystemC::new(cfg)),
@@ -414,7 +428,7 @@ thread_local! {
 /// Installs (once per process) a panic hook that suppresses output for
 /// panics caught by the campaign's cycle guard and defers to the
 /// previous hook for everything else.
-fn install_guard_hook() {
+pub(crate) fn install_guard_hook() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
@@ -428,7 +442,7 @@ fn install_guard_hook() {
 
 /// Drives one DUT cycle under the panic guard; `true` means a protocol
 /// assertion tripped.
-fn guarded_cycle(dut: &mut AnyModel, ops: &[BankOp]) -> bool {
+pub(crate) fn guarded_cycle(dut: &mut AnyModel, ops: &[BankOp]) -> bool {
     GUARDING.with(|g| g.set(true));
     let result = catch_unwind(AssertUnwindSafe(|| dut.as_model().cycle(ops)));
     GUARDING.with(|g| g.set(false));
@@ -436,11 +450,11 @@ fn guarded_cycle(dut: &mut AnyModel, ops: &[BankOp]) -> bool {
 }
 
 /// The outcome of one seeded run.
-struct RunResult {
+pub(crate) struct RunResult {
     /// channel name → detection latency in cycles (first detection).
-    detections: BTreeMap<String, u64>,
+    pub(crate) detections: BTreeMap<String, u64>,
     /// Closed-loop run made no progress within the watchdog budget.
-    hung: bool,
+    pub(crate) hung: bool,
 }
 
 /// The open-loop stimulus: a priming phase writing a distinct word to
@@ -449,7 +463,7 @@ struct RunResult {
 /// no slot is overwritten before the sweep, so a single corrupted
 /// write always reaches a read), a full read sweep, and a drain tail
 /// long enough to flush deferred strobes and in-flight reads.
-fn open_loop_script(cfg: &LaConfig, rng: &mut StdRng) -> Vec<Vec<BankOp>> {
+pub(crate) fn open_loop_script(cfg: &LaConfig, rng: &mut StdRng) -> Vec<Vec<BankOp>> {
     let words = cfg.words_per_bank;
     let slots = cfg.banks * words;
     let full_be = (1u32 << cfg.byte_enables()) - 1;
@@ -482,14 +496,14 @@ fn open_loop_script(cfg: &LaConfig, rng: &mut StdRng) -> Vec<Vec<BankOp>> {
 /// The activation-cycle sampling window: the mixed phase of the
 /// open-loop script, where every cycle carries both a read and a write
 /// (so every one-shot fault is guaranteed to arm).
-fn activation_window(cfg: &LaConfig) -> (u64, u64) {
+pub(crate) fn activation_window(cfg: &LaConfig) -> (u64, u64) {
     let slots = (cfg.banks * cfg.words_per_bank) as u64;
     (slots, 2 * slots)
 }
 
 /// One open-loop run: faulted DUT vs healthy golden on the same
 /// intended stimulus, monitors collected afterwards.
-fn open_loop_run(level: Level, cfg: &LaConfig, plan: FaultPlan, rng: &mut StdRng) -> RunResult {
+pub(crate) fn open_loop_run(level: Level, cfg: &LaConfig, plan: FaultPlan, rng: &mut StdRng) -> RunResult {
     let script = open_loop_script(cfg, rng);
     let mut golden = build_golden(level, cfg);
     let mut dut = build_dut(level, cfg, Some(&plan));
@@ -537,7 +551,7 @@ fn open_loop_run(level: Level, cfg: &LaConfig, plan: FaultPlan, rng: &mut StdRng
 /// outstanding and counts data-valid responses; `watchdog_cycles`
 /// without progress declares the run hung. `plan == None` is the
 /// healthy-design control.
-fn closed_loop_run(
+pub(crate) fn closed_loop_run(
     level: Level,
     cfg: &LaConfig,
     plan: Option<FaultPlan>,
@@ -634,7 +648,7 @@ fn closed_loop_run(
 /// Derives the per-run seed from the campaign seed and the run's
 /// coordinates (splitmix-style finalizer keeps neighboring runs
 /// decorrelated).
-fn run_seed(base: u64, fault_idx: usize, level_idx: usize, run: u32) -> u64 {
+pub(crate) fn run_seed(base: u64, fault_idx: usize, level_idx: usize, run: u32) -> u64 {
     let mut z = base
         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + fault_idx as u64))
         .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + level_idx as u64))
@@ -700,9 +714,17 @@ pub fn run_campaign(config: &CampaignConfig) -> DetectionMatrix {
         let result = closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
         matrix.healthy.insert(level.name().to_string(), !result.hung);
     }
-    // cross-level monitor agreement: the monitored levels (PSL at
-    // SystemC, OVL at RTL) should catch the same faults
-    for (fault, levels) in &matrix.cells {
+    matrix.disagreements = compute_disagreements(&matrix.cells);
+    matrix
+}
+
+/// Cross-level monitor agreement: the monitored levels (PSL at
+/// SystemC, OVL at RTL) should catch the same faults.
+pub(crate) fn compute_disagreements(
+    cells: &BTreeMap<String, BTreeMap<String, CellStats>>,
+) -> Vec<String> {
+    let mut disagreements = Vec::new();
+    for (fault, levels) in cells {
         let monitored: Vec<(&String, bool)> = levels
             .iter()
             .filter(|(name, _)| name.as_str() == "systemc" || name.as_str() == "rtl+ovl")
@@ -722,12 +744,12 @@ pub fn run_campaign(config: &CampaignConfig) -> DetectionMatrix {
                 .filter(|(_, d)| !*d)
                 .map(|(n, _)| n.as_str())
                 .collect();
-            matrix.disagreements.push(format!(
+            disagreements.push(format!(
                 "{fault}: monitors caught it at [{}] but missed it at [{}]",
                 caught.join(", "),
                 missed.join(", ")
             ));
         }
     }
-    matrix
+    disagreements
 }

@@ -28,11 +28,13 @@
 //! ```
 
 mod campaign;
+mod campaign_batched;
 mod models;
 
 pub use campaign::{
     run_campaign, supports, CampaignConfig, CellStats, DetectionMatrix, Level, MonitorStat,
 };
+pub use campaign_batched::{run_campaign_batched, BatchStats};
 pub use models::{FaultModel, FaultPlan, Injector};
 
 #[cfg(test)]

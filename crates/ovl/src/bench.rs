@@ -1,7 +1,7 @@
 //! The bench: monitor instances attached to a simulated design.
 
 use crate::monitors::{MonitorKind, MonitorState};
-use la1_rtl::{Expr, RtlSim};
+use la1_rtl::{Expr, RtlProbe};
 use std::fmt;
 
 /// OVL severity levels.
@@ -397,10 +397,12 @@ impl OvlBench {
         self.instances.len()
     }
 
-    /// Samples every monitor once against the current simulator state.
+    /// Samples every monitor once against the current simulator state —
+    /// any [`RtlProbe`] view works (the scalar simulator, or one lane of
+    /// the batched PPSFP simulator via `BatchedRtlSim::lane_probe`).
     ///
     /// Returns the number of violations recorded this cycle.
-    pub fn on_cycle(&mut self, sim: &mut RtlSim) -> usize {
+    pub fn on_cycle<P: RtlProbe>(&mut self, sim: &mut P) -> usize {
         let cycle = self.cycles;
         self.cycles += 1;
         let mut fired = 0;

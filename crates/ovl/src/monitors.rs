@@ -1,6 +1,6 @@
 //! The assertion-monitor state machines.
 
-use la1_rtl::{Expr, Logic, RtlSim};
+use la1_rtl::{Expr, Logic, RtlProbe};
 
 /// Which OVL monitor a bench instance implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,9 +148,11 @@ impl MonitorState {
         }
     }
 
-    /// Evaluates one sampled cycle. Returns `Err(detail)` on violation.
-    pub(crate) fn sample(&mut self, sim: &mut RtlSim) -> Result<(), String> {
-        fn truthy(sim: &mut RtlSim, e: &Expr) -> bool {
+    /// Evaluates one sampled cycle against any probe-able simulator view
+    /// (the scalar simulator or one lane of the batched one). Returns
+    /// `Err(detail)` on violation.
+    pub(crate) fn sample<P: RtlProbe>(&mut self, sim: &mut P) -> Result<(), String> {
+        fn truthy<P: RtlProbe>(sim: &mut P, e: &Expr) -> bool {
             sim.probe(e).bit(0) == Logic::L1
         }
         match self {

@@ -1,0 +1,809 @@
+//! The bit-parallel batched RTL simulator (PPSFP executor).
+//!
+//! [`BatchedRtlSim`] runs the **same compiled schedule** as the scalar
+//! [`RtlSim`](crate::RtlSim) — same slot numbering, same op order, same
+//! activity-driven settle — but its value arena holds a [`PackedVec`]
+//! per slot instead of a `LogicVec`: 64 independent stimulus lanes
+//! advance through every `Op` with word-wide boolean operations. Each
+//! lane is, by construction, bit-identical to a scalar simulation fed
+//! the same per-lane inputs:
+//!
+//! * every op kernel is the word-parallel transcription of the scalar
+//!   four-state operator (see [`packed`](crate::packed));
+//! * activity-driven dirty propagation unions lanes — a node re-settles
+//!   when *any* lane changed. Re-evaluating a node whose inputs are
+//!   unchanged in some lane reproduces that lane's value (node kernels
+//!   are lane-wise pure), so the union is conservative and exact;
+//! * clocks must be **lane-uniform** (drive them with
+//!   [`set_u64_all`](BatchedRtlSim::set_u64_all)): all lanes share one
+//!   edge schedule, which is what lets sequential sampling stay
+//!   word-parallel. Per-lane divergence lives in the data path, the
+//!   enables (committed with per-lane masks) and the RAM write
+//!   addresses (committed with per-word lane masks);
+//! * per-lane verdict demux goes through [`lane_u64`](Self::lane_u64) /
+//!   [`get_lane`](Self::get_lane) / [`LaneProbe`] — the latter gives
+//!   assertion monitors the same [`RtlProbe`] view they have of the
+//!   scalar simulator.
+//!
+//! Steady-state stepping performs no heap allocation, exactly like the
+//! scalar executor: inputs stage into preallocated packed buffers, ops
+//! reuse their packed temporaries, RAM writes sample into dedicated
+//! scratch, commits merge in place.
+
+use crate::logic::{Logic, LogicVec};
+use crate::netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
+use crate::packed::{PackedVec, LANES};
+use crate::schedule::{CombNode, Op, OpsRange, Schedule, SeqNode, TriDriver};
+use crate::sim::{RtlProbe, SettleMode};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Compiled batched simulation state for one [`Netlist`]: 64 lanes per
+/// pass over the shared flat schedule.
+#[derive(Debug, Clone)]
+pub struct BatchedRtlSim {
+    design: Netlist,
+    mode: SettleMode,
+    sched: Schedule,
+    // --- simulation state ---
+    /// packed value arena: `0..num_nets` are net values, then consts/temps
+    vals: Vec<PackedVec>,
+    rams: Vec<Vec<PackedVec>>,
+    /// staged input writes applied at the start of the next step
+    input_stage: Vec<PackedVec>,
+    staged: Vec<bool>,
+    stage_list: Vec<u32>,
+    /// previous end-of-step clock-bit values (lane-uniform by contract)
+    prev_clk: Vec<Logic>,
+    // --- worklist (reused, never reallocated in steady state) ---
+    dirty: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// sampled seq nodes awaiting commit
+    fired: Vec<u32>,
+    /// per seq node: lane mask to commit (DFF enable lanes)
+    commit_mask: Vec<u64>,
+    /// per RAM-write seq node: per-word lane select masks
+    wsel: Vec<Vec<u64>>,
+    /// per RAM-write seq node: write data sampled at the edge
+    wdata_scratch: Vec<PackedVec>,
+    /// per RAM-write seq node: write mask sampled at the edge
+    wmask_scratch: Vec<PackedVec>,
+    /// full-settle scratch: (target, result, differs-from-pass-start)
+    full_assign: Vec<(u32, u32, bool)>,
+    steps: u64,
+    evals: u64,
+}
+
+/// A single-lane [`RtlProbe`] view of a [`BatchedRtlSim`], for monitors
+/// that evaluate arbitrary expressions against one pattern's state.
+pub struct LaneProbe<'a> {
+    sim: &'a mut BatchedRtlSim,
+    lane: usize,
+}
+
+impl RtlProbe for LaneProbe<'_> {
+    fn probe(&mut self, e: &Expr) -> LogicVec {
+        self.sim.probe_lane(self.lane, e)
+    }
+}
+
+/// Lane-wise tree-walk evaluation (the batched counterpart of the
+/// scalar `eval_expr`, used for monitor probes only — the compiled
+/// schedule never calls it).
+fn eval_expr_lane(
+    design: &Netlist,
+    values: &[PackedVec],
+    lane: usize,
+    evals: &mut u64,
+    e: &Expr,
+) -> LogicVec {
+    *evals += 1;
+    match e {
+        Expr::Const(v) => v.clone(),
+        Expr::Net(n) => values[n.0 as usize].get_lane(lane),
+        Expr::Index(n, i) => LogicVec::from_bits(vec![values[n.0 as usize].lane_bit(lane, *i)]),
+        Expr::Slice(n, hi, lo) => LogicVec::from_bits(
+            (*lo..=*hi)
+                .map(|i| values[n.0 as usize].lane_bit(lane, i))
+                .collect(),
+        ),
+        Expr::Not(a) => {
+            let v = eval_expr_lane(design, values, lane, evals, a);
+            LogicVec::from_bits(v.iter().map(Logic::not).collect())
+        }
+        Expr::And(a, b) => binop_lane(design, values, lane, evals, a, b, Logic::and),
+        Expr::Or(a, b) => binop_lane(design, values, lane, evals, a, b, Logic::or),
+        Expr::Xor(a, b) => binop_lane(design, values, lane, evals, a, b, Logic::xor),
+        Expr::Eq(a, b) => {
+            let va = eval_expr_lane(design, values, lane, evals, a);
+            let vb = eval_expr_lane(design, values, lane, evals, b);
+            if !va.is_known() || !vb.is_known() {
+                return LogicVec::xs(1);
+            }
+            LogicVec::from_bits(vec![Logic::from_bool(va == vb)])
+        }
+        Expr::Mux { sel, a, b } => {
+            let s = eval_expr_lane(design, values, lane, evals, sel).bit(0);
+            match s {
+                Logic::L1 => eval_expr_lane(design, values, lane, evals, a),
+                Logic::L0 => eval_expr_lane(design, values, lane, evals, b),
+                _ => LogicVec::xs(design.expr_width(a)),
+            }
+        }
+        Expr::Concat(parts) => {
+            let mut bits = Vec::new();
+            for p in parts {
+                bits.extend(eval_expr_lane(design, values, lane, evals, p).iter());
+            }
+            LogicVec::from_bits(bits)
+        }
+        Expr::ReduceXor(a) => {
+            let v = eval_expr_lane(design, values, lane, evals, a);
+            LogicVec::from_bits(vec![v.reduce_xor()])
+        }
+        Expr::ReduceOr(a) => {
+            let v = eval_expr_lane(design, values, lane, evals, a);
+            LogicVec::from_bits(vec![v.reduce_or()])
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn binop_lane(
+    design: &Netlist,
+    values: &[PackedVec],
+    lane: usize,
+    evals: &mut u64,
+    a: &Expr,
+    b: &Expr,
+    f: fn(Logic, Logic) -> Logic,
+) -> LogicVec {
+    let va = eval_expr_lane(design, values, lane, evals, a);
+    let vb = eval_expr_lane(design, values, lane, evals, b);
+    debug_assert_eq!(va.width(), vb.width(), "operand width mismatch");
+    LogicVec::from_bits(va.iter().zip(vb.iter()).map(|(x, y)| f(x, y)).collect())
+}
+
+impl BatchedRtlSim {
+    /// Compiles `design` and initializes the packed arena; every lane
+    /// starts in the scalar simulator's initial state (registers at
+    /// their declared init, wires at `X`, inputs at `0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on expression width mismatches (the same errors Verilog
+    /// elaboration would reject).
+    pub fn new(design: &Netlist) -> Self {
+        let num_nets = design.nets.len();
+        let sched = Schedule::compile(design);
+
+        let mut vals: Vec<PackedVec> = design
+            .nets
+            .iter()
+            .map(|n| match n.kind {
+                NetKind::Reg => n
+                    .init
+                    .as_ref()
+                    .map(PackedVec::splat)
+                    .unwrap_or_else(|| PackedVec::zeros(n.width)),
+                NetKind::Input => PackedVec::zeros(n.width),
+                NetKind::Wire => PackedVec::xs(n.width),
+            })
+            .collect();
+        for w in &sched.widths[num_nets..] {
+            vals.push(PackedVec::xs(*w));
+        }
+        for (slot, v) in &sched.consts {
+            vals[*slot as usize] = PackedVec::splat(v);
+        }
+        let rams: Vec<Vec<PackedVec>> = design
+            .items
+            .iter()
+            .map(|item| match item {
+                Item::Ram { words, width, .. } => {
+                    vec![PackedVec::zeros(*width); *words as usize]
+                }
+                _ => Vec::new(),
+            })
+            .collect();
+        let input_stage = design
+            .nets
+            .iter()
+            .map(|n| match n.kind {
+                NetKind::Input => PackedVec::zeros(n.width),
+                _ => PackedVec::zeros(0),
+            })
+            .collect();
+
+        let seq_len = sched.seq.len();
+        let comb_len = sched.comb.len();
+        let mut wsel = vec![Vec::new(); seq_len];
+        let mut wdata_scratch = vec![PackedVec::zeros(0); seq_len];
+        let mut wmask_scratch = vec![PackedVec::zeros(0); seq_len];
+        for (s, node) in sched.seq.iter().enumerate() {
+            if let SeqNode::RamWrite {
+                words,
+                width,
+                wmask,
+                ..
+            } = node
+            {
+                wsel[s] = vec![0u64; *words as usize];
+                wdata_scratch[s] = PackedVec::zeros(*width);
+                if wmask.is_some() {
+                    wmask_scratch[s] = PackedVec::zeros(*width);
+                }
+            }
+        }
+
+        let mut sim = BatchedRtlSim {
+            design: design.clone(),
+            mode: SettleMode::default(),
+            sched,
+            vals,
+            rams,
+            input_stage,
+            staged: vec![false; num_nets],
+            stage_list: Vec::with_capacity(num_nets),
+            prev_clk: vec![Logic::L0; num_nets],
+            dirty: vec![false; comb_len],
+            heap: BinaryHeap::with_capacity(comb_len + 1),
+            fired: Vec::with_capacity(seq_len),
+            commit_mask: vec![0; seq_len],
+            wsel,
+            wdata_scratch,
+            wmask_scratch,
+            full_assign: Vec::with_capacity(comb_len),
+            steps: 0,
+            evals: 0,
+        };
+        for n in 0..comb_len as u32 {
+            sim.mark(n);
+        }
+        sim.settle();
+        for i in 0..sim.sched.clock_nets.len() {
+            let cnet = sim.sched.clock_nets[i] as usize;
+            debug_assert!(
+                sim.vals[cnet].bit_uniform(0),
+                "clock net must be lane-uniform"
+            );
+            sim.prev_clk[cnet] = sim.vals[cnet].lane_bit(0, 0);
+        }
+        sim
+    }
+
+    /// The settle strategy in use.
+    pub fn settle_mode(&self) -> SettleMode {
+        self.mode
+    }
+
+    /// Selects the settle strategy (same semantics as the scalar
+    /// simulator; both produce bit-identical lane values for acyclic
+    /// single-driver designs).
+    pub fn set_settle_mode(&mut self, mode: SettleMode) {
+        self.mode = mode;
+    }
+
+    fn stage_entry(&mut self, net: NetId) -> &mut PackedVec {
+        let decl = &self.design.nets[net.0 as usize];
+        assert!(
+            decl.kind == NetKind::Input,
+            "net {} is not an input",
+            decl.name
+        );
+        if !self.staged[net.0 as usize] {
+            self.staged[net.0 as usize] = true;
+            self.stage_list.push(net.0);
+            // carry the currently-applied value so lanes not re-set this
+            // cycle keep their inputs (allocation-free split borrow)
+            let BatchedRtlSim {
+                vals, input_stage, ..
+            } = self;
+            input_stage[net.0 as usize].assign_from(&vals[net.0 as usize]);
+        }
+        &mut self.input_stage[net.0 as usize]
+    }
+
+    /// Stages the same value into **every** lane of an input (clocks and
+    /// broadcast control).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or the width differs.
+    pub fn set_all(&mut self, net: NetId, value: &LogicVec) {
+        self.stage_entry(net).set_all_lanes(value);
+    }
+
+    /// Stages the same integer into every lane of an input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input.
+    pub fn set_u64_all(&mut self, net: NetId, value: u64) {
+        self.stage_entry(net).set_all_lanes_u64(value);
+    }
+
+    /// Stages one lane of an input from a scalar vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input, the width differs, or
+    /// `lane >= LANES`.
+    pub fn set_lane(&mut self, net: NetId, lane: usize, value: &LogicVec) {
+        self.stage_entry(net).set_lane(lane, value);
+    }
+
+    /// Stages one lane of an input from an integer (allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or `lane >= LANES`.
+    pub fn set_lane_u64(&mut self, net: NetId, lane: usize, value: u64) {
+        self.stage_entry(net).set_lane_u64(lane, value);
+    }
+
+    /// Stages **every** lane of an input from per-lane integers in one
+    /// bit-matrix transpose — the bulk-drive fast path (equivalent to 64
+    /// [`Self::set_lane_u64`] calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or wider than 64 bits.
+    pub fn set_lanes_u64(&mut self, net: NetId, vals: &[u64; LANES]) {
+        self.stage_entry(net).set_lanes_u64(vals);
+    }
+
+    /// Stages all-`X` into one lane of an input (X-injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not an input or `lane >= LANES`.
+    pub fn set_lane_xs(&mut self, net: NetId, lane: usize) {
+        self.stage_entry(net).set_lane_xs(lane);
+    }
+
+    /// The current packed value of any net.
+    pub fn get(&self, net: NetId) -> &PackedVec {
+        &self.vals[net.0 as usize]
+    }
+
+    /// One lane of a net as a scalar vector (allocates).
+    pub fn get_lane(&self, net: NetId, lane: usize) -> LogicVec {
+        self.vals[net.0 as usize].get_lane(lane)
+    }
+
+    /// One lane of a net as an integer, if fully known (allocation-free).
+    pub fn lane_u64(&self, net: NetId, lane: usize) -> Option<u64> {
+        self.vals[net.0 as usize].lane_to_u64(lane)
+    }
+
+    /// Reads **every** lane of a net as integers in one bit-matrix
+    /// transpose; returns the fully-known lane mask (see
+    /// [`PackedVec::lanes_u64`]) — the bulk-sample fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net is wider than 64 bits.
+    pub fn lanes_u64(&self, net: NetId, out: &mut [u64; LANES]) -> u64 {
+        self.vals[net.0 as usize].lanes_u64(out)
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Compiled-op evaluations performed so far. Each op here advances
+    /// all 64 lanes, so comparing against the scalar simulator's
+    /// [`evals`](crate::RtlSim::evals) for the same stimulus measures
+    /// the PPSFP win directly.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Evaluates an arbitrary expression against one lane's current
+    /// values (monitor probes).
+    pub fn probe_lane(&mut self, lane: usize, e: &Expr) -> LogicVec {
+        eval_expr_lane(&self.design, &self.vals, lane, &mut self.evals, e)
+    }
+
+    /// A borrowing [`RtlProbe`] view of one lane.
+    pub fn lane_probe(&mut self, lane: usize) -> LaneProbe<'_> {
+        LaneProbe { sim: self, lane }
+    }
+
+    /// Marks a comb node dirty and queues it by topological rank.
+    fn mark(&mut self, node: u32) {
+        if !self.dirty[node as usize] {
+            self.dirty[node as usize] = true;
+            self.heap
+                .push(Reverse((self.sched.rank[node as usize], node)));
+        }
+    }
+
+    /// Marks every comb node reading `net`.
+    fn mark_fanout(&mut self, net: u32) {
+        let lo = self.sched.fanout_off[net as usize] as usize;
+        let hi = self.sched.fanout_off[net as usize + 1] as usize;
+        for i in lo..hi {
+            let n = self.sched.fanout[i];
+            self.mark(n);
+        }
+    }
+
+    /// Runs a compiled op range in place over the packed arena: one
+    /// kernel call per op, 64 lanes per call.
+    fn run_ops(&mut self, range: OpsRange) {
+        let BatchedRtlSim {
+            sched, vals, evals, ..
+        } = self;
+        let (ops, parts, widths) = (&sched.ops, &sched.parts, &sched.widths);
+        for op in &ops[range.0 as usize..range.1 as usize] {
+            *evals += 1;
+            let dst = op.dst() as usize;
+            let mut d = std::mem::replace(&mut vals[dst], PackedVec::zeros(0));
+            match *op {
+                Op::Copy { a, .. } => d.copy_from(&vals[a as usize]),
+                Op::Index { a, bit, .. } => d.index_from(&vals[a as usize], bit),
+                Op::Slice { a, lo, .. } => d.slice_from(&vals[a as usize], lo),
+                Op::Not { a, .. } => d.not_from(&vals[a as usize]),
+                Op::And { a, b, .. } => d.and_from(&vals[a as usize], &vals[b as usize]),
+                Op::Or { a, b, .. } => d.or_from(&vals[a as usize], &vals[b as usize]),
+                Op::Xor { a, b, .. } => d.xor_from(&vals[a as usize], &vals[b as usize]),
+                Op::Eq { a, b, .. } => d.eq_from(&vals[a as usize], &vals[b as usize]),
+                Op::Mux { sel, a, b, .. } => d.mux_from(
+                    &vals[sel as usize],
+                    &vals[a as usize],
+                    &vals[b as usize],
+                ),
+                Op::Concat {
+                    parts: (p0, p1), ..
+                } => {
+                    let mut off = 0u32;
+                    for &p in &parts[p0 as usize..p1 as usize] {
+                        d.place_from(off, &vals[p as usize]);
+                        off += widths[p as usize];
+                    }
+                }
+                Op::ReduceXor { a, .. } => d.reduce_xor_from(&vals[a as usize]),
+                Op::ReduceOr { a, .. } => d.reduce_or_from(&vals[a as usize]),
+            }
+            vals[dst] = d;
+        }
+    }
+
+    /// Evaluates one comb node; returns `(target net, result slot)`
+    /// without committing.
+    fn eval_node(&mut self, id: u32) -> (u32, u32) {
+        let node = self.sched.comb[id as usize];
+        match node {
+            CombNode::Assign { ops, src, target } => {
+                self.run_ops(ops);
+                (target, src)
+            }
+            CombNode::RamRead {
+                ops,
+                addr,
+                ram,
+                words,
+                target,
+                out,
+            } => {
+                self.run_ops(ops);
+                let mut o = std::mem::replace(&mut self.vals[out as usize], PackedVec::zeros(0));
+                // gather: lanes whose (known) address selects word `a`
+                // copy it; unknown or out-of-range lanes stay all-X
+                o.fill_x();
+                let addrv = &self.vals[addr as usize];
+                if addrv.width() <= 64 {
+                    for a in 0..words {
+                        let m = addrv.lanes_eq_u64(a as u64);
+                        if m != 0 {
+                            o.merge_masked(&self.rams[ram as usize][a as usize], m);
+                        }
+                    }
+                }
+                self.vals[out as usize] = o;
+                (target, out)
+            }
+            CombNode::Tri {
+                target,
+                acc,
+                drivers,
+            } => {
+                for di in drivers.0..drivers.1 {
+                    let dops = self.sched.tri[di as usize].ops;
+                    self.run_ops(dops);
+                }
+                let mut a = std::mem::replace(&mut self.vals[acc as usize], PackedVec::zeros(0));
+                a.fill_z();
+                for di in drivers.0..drivers.1 {
+                    let TriDriver { en, value, .. } = self.sched.tri[di as usize];
+                    a.tri_accumulate(&self.vals[en as usize], &self.vals[value as usize]);
+                }
+                self.vals[acc as usize] = a;
+                (target, acc)
+            }
+        }
+    }
+
+    /// Copies `result` into `target` if any lane differs; returns
+    /// whether the target changed.
+    fn commit_pair(&mut self, target: u32, result: u32) -> bool {
+        if self.vals[target as usize] == self.vals[result as usize] {
+            return false;
+        }
+        let mut t = std::mem::replace(&mut self.vals[target as usize], PackedVec::zeros(0));
+        t.assign_from(&self.vals[result as usize]);
+        self.vals[target as usize] = t;
+        true
+    }
+
+    /// Settles the combinational network (mode- and topology-dependent).
+    fn settle(&mut self) {
+        if self.heap.is_empty() {
+            return;
+        }
+        if self.mode == SettleMode::Full || self.sched.fallback_full {
+            self.settle_full();
+        } else {
+            self.settle_activity();
+        }
+    }
+
+    /// Activity-driven settle over the lane union: a node re-evaluates
+    /// when any lane's input changed. Kernels are lane-wise pure, so
+    /// lanes with unchanged inputs recompute their previous value.
+    fn settle_activity(&mut self) {
+        while let Some(Reverse((_, n))) = self.heap.pop() {
+            if !self.dirty[n as usize] {
+                continue;
+            }
+            self.dirty[n as usize] = false;
+            let (target, result) = self.eval_node(n);
+            if self.commit_pair(target, result) {
+                self.mark_fanout(target);
+            }
+        }
+    }
+
+    /// Full Jacobi fixpoint (pass-batched semantics, all lanes at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network does not settle within 1000 passes.
+    fn settle_full(&mut self) {
+        for _pass in 0..1000 {
+            let mut changed = false;
+            let mut fa = std::mem::take(&mut self.full_assign);
+            fa.clear();
+            for id in 0..self.sched.comb.len() as u32 {
+                if matches!(self.sched.comb[id as usize], CombNode::Tri { .. }) {
+                    continue;
+                }
+                let (target, result) = self.eval_node(id);
+                fa.push((target, result, false));
+            }
+            for ti in 0..self.sched.tri_order.len() {
+                let id = self.sched.tri_order[ti];
+                self.eval_node(id);
+            }
+            for e in fa.iter_mut() {
+                e.2 = self.vals[e.0 as usize] != self.vals[e.1 as usize];
+                changed |= e.2;
+            }
+            for &(target, result, differs) in fa.iter() {
+                if differs {
+                    self.commit_pair(target, result);
+                }
+            }
+            for ti in 0..self.sched.tri_order.len() {
+                let id = self.sched.tri_order[ti];
+                let (target, acc) = match self.sched.comb[id as usize] {
+                    CombNode::Tri { target, acc, .. } => (target, acc),
+                    _ => unreachable!(),
+                };
+                changed |= self.commit_pair(target, acc);
+            }
+            fa.clear();
+            self.full_assign = fa;
+            if !changed {
+                self.heap.clear();
+                self.dirty.fill(false);
+                return;
+            }
+        }
+        panic!("combinational network did not settle within 1000 passes");
+    }
+
+    /// Applies staged inputs, settles, captures clock edges (all lanes
+    /// in lockstep — clocks are lane-uniform), commits with per-lane
+    /// masks, settles again.
+    pub fn step(&mut self) {
+        self.steps += 1;
+        // 1. apply staged inputs
+        for i in 0..self.stage_list.len() {
+            let net = self.stage_list[i] as usize;
+            self.staged[net] = false;
+            if self.vals[net] != self.input_stage[net] {
+                let mut t = std::mem::replace(&mut self.vals[net], PackedVec::zeros(0));
+                t.assign_from(&self.input_stage[net]);
+                self.vals[net] = t;
+                self.mark_fanout(net as u32);
+            }
+        }
+        self.stage_list.clear();
+        // 2. settle
+        self.settle();
+        // 3. sample clocked elements (nonblocking semantics: all samples
+        //    before any commit)
+        self.fired.clear();
+        for s in 0..self.sched.seq.len() {
+            let node = self.sched.seq[s];
+            match node {
+                SeqNode::Dff {
+                    clock, edge, en, d, ..
+                } => {
+                    if self.edge_on(clock, edge) {
+                        let mask = match en {
+                            Some((ops, slot)) => {
+                                self.run_ops(ops);
+                                self.vals[slot as usize].lanes_bit_is_one(0)
+                            }
+                            None => !0,
+                        };
+                        if mask != 0 {
+                            self.run_ops(d.0);
+                            self.commit_mask[s] = mask;
+                            self.fired.push(s as u32);
+                        }
+                    }
+                }
+                SeqNode::Ddr { clock, rise, fall, .. } => {
+                    let src = if self.edge_on(clock, Edge::Pos) {
+                        Some(rise)
+                    } else if self.edge_on(clock, Edge::Neg) {
+                        Some(fall)
+                    } else {
+                        None
+                    };
+                    if let Some(src) = src {
+                        self.run_ops(src.0);
+                        self.commit_mask[s] = !0;
+                        self.fired.push(s as u32);
+                    }
+                }
+                SeqNode::RamWrite {
+                    clock,
+                    we,
+                    waddr,
+                    wdata,
+                    wmask,
+                    words,
+                    ..
+                } => {
+                    if !self.edge_on(clock, Edge::Pos) {
+                        continue;
+                    }
+                    self.run_ops(we.0);
+                    let we1 = self.vals[we.1 as usize].lanes_bit_is_one(0);
+                    if we1 == 0 {
+                        continue;
+                    }
+                    self.run_ops(waddr.0);
+                    self.run_ops(wdata.0);
+                    if let Some((mops, _)) = wmask {
+                        self.run_ops(mops);
+                    }
+                    // per-word lane select: enabled lanes whose address
+                    // is fully known and equals the word index (unknown
+                    // or out-of-range addresses drop the lane, exactly
+                    // like the scalar skip)
+                    let addrv = &self.vals[waddr.1 as usize];
+                    let mut any = 0u64;
+                    if addrv.width() <= 64 {
+                        for a in 0..words as usize {
+                            let m = we1 & addrv.lanes_eq_u64(a as u64);
+                            self.wsel[s][a] = m;
+                            any |= m;
+                        }
+                    } else {
+                        self.wsel[s].fill(0);
+                    }
+                    if any == 0 {
+                        continue;
+                    }
+                    // sample write data/mask now — their source nets may
+                    // be regs that other seq nodes commit before phase 4
+                    let BatchedRtlSim {
+                        vals,
+                        wdata_scratch,
+                        wmask_scratch,
+                        ..
+                    } = self;
+                    wdata_scratch[s].assign_from(&vals[wdata.1 as usize]);
+                    if let Some((_, mslot)) = wmask {
+                        wmask_scratch[s].assign_from(&vals[mslot as usize]);
+                    }
+                    self.fired.push(s as u32);
+                }
+            }
+        }
+        // 4. commit
+        for i in 0..self.fired.len() {
+            let s = self.fired[i] as usize;
+            match self.sched.seq[s] {
+                SeqNode::Dff { q, d, .. } => {
+                    if self.commit_merge(q, d.1, self.commit_mask[s]) {
+                        self.mark_fanout(q);
+                    }
+                }
+                SeqNode::Ddr { q, rise, fall, clock, .. } => {
+                    let slot = if self.edge_on(clock, Edge::Pos) {
+                        rise.1
+                    } else {
+                        fall.1
+                    };
+                    if self.commit_merge(q, slot, !0) {
+                        self.mark_fanout(q);
+                    }
+                }
+                SeqNode::RamWrite {
+                    ram, words, wmask, ..
+                } => {
+                    let ram = ram as usize;
+                    let mut any_changed = false;
+                    for a in 0..words as usize {
+                        let m = self.wsel[s][a];
+                        if m == 0 {
+                            continue;
+                        }
+                        let BatchedRtlSim {
+                            rams,
+                            wdata_scratch,
+                            wmask_scratch,
+                            ..
+                        } = self;
+                        let wm = wmask.map(|_| &wmask_scratch[s]);
+                        any_changed |=
+                            rams[ram][a].ram_write_masked(&wdata_scratch[s], m, wm);
+                    }
+                    if any_changed {
+                        for ri in 0..self.sched.ram_readers[ram].len() {
+                            let reader = self.sched.ram_readers[ram][ri];
+                            self.mark(reader);
+                        }
+                    }
+                }
+            }
+        }
+        // 5. settle on the post-edge state
+        self.settle();
+        // remember clock levels for the next step's edge detection
+        for i in 0..self.sched.clock_nets.len() {
+            let cnet = self.sched.clock_nets[i] as usize;
+            debug_assert!(
+                self.vals[cnet].bit_uniform(0),
+                "clock net must be lane-uniform"
+            );
+            self.prev_clk[cnet] = self.vals[cnet].lane_bit(0, 0);
+        }
+    }
+
+    /// Lane-masked sequential commit of `slot` into `q`.
+    fn commit_merge(&mut self, q: u32, slot: u32, mask: u64) -> bool {
+        let mut t = std::mem::replace(&mut self.vals[q as usize], PackedVec::zeros(0));
+        let changed = t.merge_masked_changed(&self.vals[slot as usize], mask);
+        self.vals[q as usize] = t;
+        changed
+    }
+
+    fn edge_on(&self, clock: u32, edge: Edge) -> bool {
+        let p = self.prev_clk[clock as usize];
+        let c = self.vals[clock as usize].lane_bit(0, 0);
+        match edge {
+            Edge::Pos => p == Logic::L0 && c == Logic::L1,
+            Edge::Neg => p == Logic::L1 && c == Logic::L0,
+        }
+    }
+}

@@ -46,17 +46,22 @@
 //! assert_eq!(sim.get(q).to_u64(), Some(1));
 //! ```
 
+mod batched;
 mod extract;
 mod logic;
 mod netlist;
+mod packed;
+mod schedule;
 mod sim;
 mod vcd;
 mod verilog;
 
+pub use batched::{BatchedRtlSim, LaneProbe};
 pub use extract::{BitExpr, BitId, TransitionSystem};
 pub use logic::{Logic, LogicVec};
 pub use netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
-pub use sim::{RtlSim, SettleMode};
+pub use packed::{PackedVec, LANES};
+pub use sim::{RtlProbe, RtlSim, SettleMode};
 pub use vcd::VcdWriter;
 
 #[cfg(test)]

@@ -1,13 +1,14 @@
-//! The compiled RTL simulator.
+//! The compiled RTL simulator (scalar executor).
 //!
-//! [`RtlSim::new`] compiles the netlist **once** into a flat array of
-//! [`Op`]s over a preallocated value arena: slots `0..num_nets` hold the
-//! net values, the remaining slots hold constants and expression
-//! temporaries. Each combinational item becomes a *node* whose ops
-//! evaluate in place (no per-node `LogicVec` clones); settling is
-//! activity-driven — a CSR fanout (net → reading nodes) feeds a
-//! topologically-ranked dirty worklist, so an idle cycle touches only
-//! the cone of the nets that actually changed.
+//! [`RtlSim::new`] compiles the netlist **once** (via the shared
+//! [`Schedule`](crate::schedule::Schedule)) into a flat array of ops over
+//! a preallocated value arena: slots `0..num_nets` hold the net values,
+//! the remaining slots hold constants and expression temporaries. Each
+//! combinational item becomes a *node* whose ops evaluate in place (no
+//! per-node `LogicVec` clones); settling is activity-driven — a CSR
+//! fanout (net → reading nodes) feeds a topologically-ranked dirty
+//! worklist, so an idle cycle touches only the cone of the nets that
+//! actually changed.
 //!
 //! Designs with cyclic combinational dependencies or multiply-driven
 //! (non-tristate) wires fall back to the full Jacobi fixpoint
@@ -29,6 +30,7 @@
 
 use crate::logic::{Logic, LogicVec};
 use crate::netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
+use crate::schedule::{CombNode, Op, OpsRange, Schedule, SeqNode, TriDriver};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -45,135 +47,17 @@ pub enum SettleMode {
     ActivityDriven,
 }
 
-/// A compiled operation over value-arena slots. `dst` is always a
-/// dedicated temporary, so evaluation mutates `dst` in place while
-/// reading its operand slots.
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    /// `dst = a` (dedicates a net/const root to its node).
-    Copy { a: u32, dst: u32 },
-    /// `dst = a[bit]`.
-    Index { a: u32, bit: u32, dst: u32 },
-    /// `dst = a[lo +: width(dst)]`.
-    Slice { a: u32, lo: u32, dst: u32 },
-    /// `dst = ~a`.
-    Not { a: u32, dst: u32 },
-    /// `dst = a & b`.
-    And { a: u32, b: u32, dst: u32 },
-    /// `dst = a | b`.
-    Or { a: u32, b: u32, dst: u32 },
-    /// `dst = a ^ b`.
-    Xor { a: u32, b: u32, dst: u32 },
-    /// `dst = (a == b)` — `X` if either side has unknown bits.
-    Eq { a: u32, b: u32, dst: u32 },
-    /// `dst = sel ? a : b` — all-`X` when `sel` is unknown.
-    Mux { sel: u32, a: u32, b: u32, dst: u32 },
-    /// `dst = {…parts…}` (first part is the LSB); `parts` indexes the
-    /// side table.
-    Concat { parts: (u32, u32), dst: u32 },
-    /// `dst = ^a`.
-    ReduceXor { a: u32, dst: u32 },
-    /// `dst = |a`.
-    ReduceOr { a: u32, dst: u32 },
-}
-
-impl Op {
-    fn dst(&self) -> u32 {
-        match *self {
-            Op::Copy { dst, .. }
-            | Op::Index { dst, .. }
-            | Op::Slice { dst, .. }
-            | Op::Not { dst, .. }
-            | Op::And { dst, .. }
-            | Op::Or { dst, .. }
-            | Op::Xor { dst, .. }
-            | Op::Eq { dst, .. }
-            | Op::Mux { dst, .. }
-            | Op::Concat { dst, .. }
-            | Op::ReduceXor { dst, .. }
-            | Op::ReduceOr { dst, .. } => dst,
-        }
-    }
-}
-
-/// `(start, end)` range into the op array.
-type OpsRange = (u32, u32);
-
-/// A compiled combinational driver.
-#[derive(Debug, Clone, Copy)]
-enum CombNode {
-    /// `assign target = …` — run `ops`, result lands in `src`.
-    Assign {
-        ops: OpsRange,
-        src: u32,
-        target: u32,
-    },
-    /// Asynchronous RAM read port: run `ops` (the read address lands in
-    /// `addr`), copy the addressed word — or all-`X` when the address is
-    /// unknown/out of range — into `out`.
-    RamRead {
-        ops: OpsRange,
-        addr: u32,
-        ram: u32,
-        words: u32,
-        target: u32,
-        out: u32,
-    },
-    /// All tristate drivers of one shared wire, resolved into `acc`.
-    Tri {
-        target: u32,
-        acc: u32,
-        drivers: (u32, u32),
-    },
-}
-
-impl CombNode {
-    fn target(&self) -> u32 {
-        match *self {
-            CombNode::Assign { target, .. }
-            | CombNode::RamRead { target, .. }
-            | CombNode::Tri { target, .. } => target,
-        }
-    }
-}
-
-/// One tristate driver within a [`CombNode::Tri`] group.
-#[derive(Debug, Clone, Copy)]
-struct TriDriver {
-    ops: OpsRange,
-    en: u32,
-    value: u32,
-}
-
-/// A compiled clocked element, sampled on clock edges during
-/// [`RtlSim::step`].
-#[derive(Debug, Clone, Copy)]
-enum SeqNode {
-    Dff {
-        clock: u32,
-        edge: Edge,
-        en: Option<(OpsRange, u32)>,
-        d: (OpsRange, u32),
-        q: u32,
-    },
-    Ddr {
-        clock: u32,
-        rise: (OpsRange, u32),
-        fall: (OpsRange, u32),
-        q: u32,
-    },
-    RamWrite {
-        clock: u32,
-        we: (OpsRange, u32),
-        waddr: (OpsRange, u32),
-        wdata: (OpsRange, u32),
-        wmask: Option<(OpsRange, u32)>,
-        ram: u32,
-        words: u32,
-        width: u32,
-        /// dedicated slot the read-modify-write word is built in
-        word: u32,
-    },
+/// Read-only expression evaluation against a simulator's current state.
+///
+/// Assertion monitors observe internal nets through arbitrary [`Expr`]s
+/// not present in the compiled schedule. Both the scalar [`RtlSim`] and
+/// a single lane of the batched simulator
+/// ([`LaneProbe`](crate::LaneProbe)) expose that tree-walk evaluation
+/// through this trait, so monitor code written once runs unchanged
+/// against either executor.
+pub trait RtlProbe {
+    /// Evaluates `e` against the current settled values.
+    fn probe(&mut self, e: &Expr) -> LogicVec;
 }
 
 /// Compiled simulation state for one [`Netlist`].
@@ -185,26 +69,8 @@ enum SeqNode {
 pub struct RtlSim {
     design: Netlist,
     mode: SettleMode,
-    // --- compiled schedule (immutable after construction) ---
-    ops: Vec<Op>,
-    parts: Vec<u32>,
-    comb: Vec<CombNode>,
-    tri: Vec<TriDriver>,
-    seq: Vec<SeqNode>,
-    /// topological rank per comb node (valid when `!fallback_full`)
-    rank: Vec<u32>,
-    /// CSR fanout: net id → comb nodes reading it
-    fanout_off: Vec<u32>,
-    fanout: Vec<u32>,
-    /// RAM item index → comb nodes reading that RAM
-    ram_readers: Vec<Vec<u32>>,
-    /// tri-group comb node ids sorted by target net (full-settle order)
-    tri_order: Vec<u32>,
-    /// nets used as clocks by any sequential node
-    clock_nets: Vec<u32>,
-    /// cyclic or multiply-driven: activity-driven settling is unsound,
-    /// always use the full fixpoint
-    fallback_full: bool,
+    /// compiled schedule (immutable after construction)
+    sched: Schedule,
     // --- simulation state ---
     /// value arena: `0..num_nets` are net values, then consts and temps
     vals: Vec<LogicVec>,
@@ -294,178 +160,6 @@ fn binop(
     LogicVec::from_bits(va.iter().zip(vb.iter()).map(|(x, y)| f(x, y)).collect())
 }
 
-/// Compiles expression trees into the flat op schedule.
-struct Compiler<'a> {
-    design: &'a Netlist,
-    ops: Vec<Op>,
-    parts: Vec<u32>,
-    /// width of every slot allocated so far
-    widths: Vec<u32>,
-    /// `(slot, value)` constants to preload into the arena
-    consts: Vec<(u32, LogicVec)>,
-    /// nets read by the expressions compiled since the last `take_reads`
-    reads: Vec<u32>,
-}
-
-impl<'a> Compiler<'a> {
-    fn new(design: &'a Netlist) -> Self {
-        let widths = design.nets.iter().map(|n| n.width).collect();
-        Compiler {
-            design,
-            ops: Vec::new(),
-            parts: Vec::new(),
-            widths,
-            consts: Vec::new(),
-            reads: Vec::new(),
-        }
-    }
-
-    fn num_nets(&self) -> u32 {
-        self.design.nets.len() as u32
-    }
-
-    fn slot(&mut self, width: u32) -> u32 {
-        self.widths.push(width);
-        self.widths.len() as u32 - 1
-    }
-
-    /// Compiles `e`, returning the slot its value lives in after the
-    /// emitted ops run. Net and const leaves return their own slot
-    /// without emitting an op.
-    fn compile(&mut self, e: &Expr) -> u32 {
-        match e {
-            Expr::Const(v) => {
-                let dst = self.slot(v.width());
-                self.consts.push((dst, v.clone()));
-                dst
-            }
-            Expr::Net(n) => {
-                self.reads.push(n.0);
-                n.0
-            }
-            Expr::Index(n, i) => {
-                self.reads.push(n.0);
-                let dst = self.slot(1);
-                self.ops.push(Op::Index {
-                    a: n.0,
-                    bit: *i,
-                    dst,
-                });
-                dst
-            }
-            Expr::Slice(n, hi, lo) => {
-                self.reads.push(n.0);
-                assert!(
-                    hi >= lo && *hi < self.widths[n.0 as usize],
-                    "slice out of range on {}",
-                    self.design.net_name(*n)
-                );
-                let dst = self.slot(hi - lo + 1);
-                self.ops.push(Op::Slice { a: n.0, lo: *lo, dst });
-                dst
-            }
-            Expr::Not(a) => {
-                let a = self.compile(a);
-                let dst = self.slot(self.widths[a as usize]);
-                self.ops.push(Op::Not { a, dst });
-                dst
-            }
-            Expr::And(a, b) => self.compile_binop(a, b, |a, b, dst| Op::And { a, b, dst }),
-            Expr::Or(a, b) => self.compile_binop(a, b, |a, b, dst| Op::Or { a, b, dst }),
-            Expr::Xor(a, b) => self.compile_binop(a, b, |a, b, dst| Op::Xor { a, b, dst }),
-            Expr::Eq(a, b) => {
-                let (a, b) = (self.compile(a), self.compile(b));
-                assert_eq!(
-                    self.widths[a as usize], self.widths[b as usize],
-                    "width mismatch in comparison"
-                );
-                let dst = self.slot(1);
-                self.ops.push(Op::Eq { a, b, dst });
-                dst
-            }
-            Expr::Mux { sel, a, b } => {
-                let sel = self.compile(sel);
-                assert_eq!(self.widths[sel as usize], 1, "mux select must be 1 bit");
-                let (a, b) = (self.compile(a), self.compile(b));
-                assert_eq!(
-                    self.widths[a as usize], self.widths[b as usize],
-                    "width mismatch in mux arms"
-                );
-                let dst = self.slot(self.widths[a as usize]);
-                self.ops.push(Op::Mux { sel, a, b, dst });
-                dst
-            }
-            Expr::Concat(ps) => {
-                let slots: Vec<u32> = ps.iter().map(|p| self.compile(p)).collect();
-                let width = slots.iter().map(|&s| self.widths[s as usize]).sum();
-                let p0 = self.parts.len() as u32;
-                self.parts.extend_from_slice(&slots);
-                let p1 = self.parts.len() as u32;
-                let dst = self.slot(width);
-                self.ops.push(Op::Concat {
-                    parts: (p0, p1),
-                    dst,
-                });
-                dst
-            }
-            Expr::ReduceXor(a) => {
-                let a = self.compile(a);
-                let dst = self.slot(1);
-                self.ops.push(Op::ReduceXor { a, dst });
-                dst
-            }
-            Expr::ReduceOr(a) => {
-                let a = self.compile(a);
-                let dst = self.slot(1);
-                self.ops.push(Op::ReduceOr { a, dst });
-                dst
-            }
-        }
-    }
-
-    fn compile_binop(&mut self, a: &Expr, b: &Expr, mk: fn(u32, u32, u32) -> Op) -> u32 {
-        let (a, b) = (self.compile(a), self.compile(b));
-        assert_eq!(
-            self.widths[a as usize], self.widths[b as usize],
-            "width mismatch in binary expression"
-        );
-        let dst = self.slot(self.widths[a as usize]);
-        self.ops.push(mk(a, b, dst));
-        dst
-    }
-
-    /// Compiles `e` as a node root: the returned `(ops, slot)` pair has a
-    /// slot that no other node writes and that is not a live net, so its
-    /// value survives until the commit phase.
-    fn compile_root(&mut self, e: &Expr) -> (OpsRange, u32) {
-        let start = self.ops.len() as u32;
-        let mut s = self.compile(e);
-        if s < self.num_nets() {
-            // a bare net reference: dedicate a temp so deferred commits
-            // read the value sampled now, not the net's later value
-            let dst = self.slot(self.widths[s as usize]);
-            self.ops.push(Op::Copy { a: s, dst });
-            s = dst;
-        }
-        (((start), self.ops.len() as u32), s)
-    }
-
-    /// Compiles `e` for an immediately-consumed control value (clock
-    /// enables, addresses): no dedication needed.
-    fn compile_ctrl(&mut self, e: &Expr) -> (OpsRange, u32) {
-        let start = self.ops.len() as u32;
-        let s = self.compile(e);
-        ((start, self.ops.len() as u32), s)
-    }
-
-    fn take_reads(&mut self) -> Vec<u32> {
-        let mut r = std::mem::take(&mut self.reads);
-        r.sort_unstable();
-        r.dedup();
-        r
-    }
-}
-
 impl RtlSim {
     /// Compiles `design` and initializes the arena; registers take their
     /// declared initial values, wires start at `X`, inputs at `0`.
@@ -476,232 +170,7 @@ impl RtlSim {
     /// elaboration would reject).
     pub fn new(design: &Netlist) -> Self {
         let num_nets = design.nets.len();
-        let mut c = Compiler::new(design);
-        let mut comb: Vec<CombNode> = Vec::new();
-        let mut tri: Vec<TriDriver> = Vec::new();
-        let mut seq: Vec<SeqNode> = Vec::new();
-        let mut node_reads: Vec<Vec<u32>> = Vec::new();
-        let mut ram_readers: Vec<Vec<u32>> = vec![Vec::new(); design.items.len()];
-        // tristate groups: target net → (comb node index, driver list)
-        let mut tri_groups: Vec<(u32, Vec<TriDriver>, Vec<u32>)> = Vec::new();
-
-        for (idx, item) in design.items.iter().enumerate() {
-            match item {
-                Item::Assign { target, expr } => {
-                    let (ops, src) = c.compile_root(expr);
-                    comb.push(CombNode::Assign {
-                        ops,
-                        src,
-                        target: target.0,
-                    });
-                    node_reads.push(c.take_reads());
-                }
-                Item::Tristate {
-                    target,
-                    enable,
-                    value,
-                } => {
-                    let (e_ops, en) = c.compile_ctrl(enable);
-                    let (v_ops, value) = c.compile_ctrl(value);
-                    // one op range covering both (they are contiguous)
-                    let driver = TriDriver {
-                        ops: (e_ops.0, v_ops.1),
-                        en,
-                        value,
-                    };
-                    let reads = c.take_reads();
-                    match tri_groups.iter_mut().find(|(t, ..)| *t == target.0) {
-                        Some((_, drivers, group_reads)) => {
-                            drivers.push(driver);
-                            group_reads.extend(reads);
-                        }
-                        None => tri_groups.push((target.0, vec![driver], reads)),
-                    }
-                }
-                Item::Ram {
-                    raddr,
-                    rdata,
-                    words,
-                    width,
-                    clock,
-                    we,
-                    waddr,
-                    wdata,
-                    wmask,
-                    ..
-                } => {
-                    // asynchronous read port (combinational)
-                    let (ops, addr) = c.compile_ctrl(raddr);
-                    let out = c.slot(*width);
-                    ram_readers[idx].push(comb.len() as u32);
-                    comb.push(CombNode::RamRead {
-                        ops,
-                        addr,
-                        ram: idx as u32,
-                        words: *words,
-                        target: rdata.0,
-                        out,
-                    });
-                    node_reads.push(c.take_reads());
-                    // synchronous write port (sequential)
-                    let we = c.compile_ctrl(we);
-                    let waddr = c.compile_ctrl(waddr);
-                    let wdata = c.compile_ctrl(wdata);
-                    let wmask = wmask.as_ref().map(|m| c.compile_ctrl(m));
-                    c.reads.clear(); // seq inputs need no fanout edges
-                    let word = c.slot(*width);
-                    seq.push(SeqNode::RamWrite {
-                        clock: clock.0,
-                        we,
-                        waddr,
-                        wdata,
-                        wmask,
-                        ram: idx as u32,
-                        words: *words,
-                        width: *width,
-                        word,
-                    });
-                }
-                Item::Dff {
-                    clock,
-                    edge,
-                    enable,
-                    d,
-                    q,
-                } => {
-                    let en = enable.as_ref().map(|e| c.compile_ctrl(e));
-                    let d = c.compile_root(d);
-                    c.reads.clear();
-                    seq.push(SeqNode::Dff {
-                        clock: clock.0,
-                        edge: *edge,
-                        en,
-                        d,
-                        q: q.0,
-                    });
-                }
-                Item::DdrFf {
-                    clock,
-                    d_rise,
-                    d_fall,
-                    q,
-                } => {
-                    let rise = c.compile_root(d_rise);
-                    let fall = c.compile_root(d_fall);
-                    c.reads.clear();
-                    seq.push(SeqNode::Ddr {
-                        clock: clock.0,
-                        rise,
-                        fall,
-                        q: q.0,
-                    });
-                }
-            }
-        }
-        // append the tristate groups after the single-driver nodes (per
-        // settle pass all nodes read pass-start values, so eval order
-        // within a pass is immaterial)
-        for (target, drivers, mut reads) in tri_groups {
-            let acc = c.slot(design.nets[target as usize].width);
-            let d0 = tri.len() as u32;
-            tri.extend(drivers);
-            let d1 = tri.len() as u32;
-            comb.push(CombNode::Tri {
-                target,
-                acc,
-                drivers: (d0, d1),
-            });
-            reads.sort_unstable();
-            reads.dedup();
-            node_reads.push(reads);
-        }
-
-        // producer per net; multiply-driven wires force the full-settle
-        // fallback (activity-driven single-producer reasoning is unsound)
-        let mut producer: Vec<Option<u32>> = vec![None; num_nets];
-        let mut fallback_full = false;
-        for (ni, node) in comb.iter().enumerate() {
-            let t = node.target() as usize;
-            if producer[t].is_some() {
-                fallback_full = true;
-            }
-            producer[t] = Some(ni as u32);
-        }
-
-        // Kahn topological ranking over comb nodes (edges: producer of a
-        // read net → reader); a leftover node means a combinational cycle
-        let mut rank = vec![0u32; comb.len()];
-        if !fallback_full {
-            let mut indegree = vec![0u32; comb.len()];
-            // adjacency: producer node → reader nodes
-            let mut succ: Vec<Vec<u32>> = vec![Vec::new(); comb.len()];
-            for (ni, reads) in node_reads.iter().enumerate() {
-                for &n in reads {
-                    if let Some(p) = producer[n as usize] {
-                        succ[p as usize].push(ni as u32);
-                        indegree[ni] += 1;
-                    }
-                }
-            }
-            let mut queue: Vec<u32> = (0..comb.len() as u32)
-                .filter(|&n| indegree[n as usize] == 0)
-                .collect();
-            let mut next = 0usize;
-            let mut placed = 0u32;
-            while next < queue.len() {
-                let n = queue[next];
-                next += 1;
-                rank[n as usize] = placed;
-                placed += 1;
-                for &s in &succ[n as usize] {
-                    indegree[s as usize] -= 1;
-                    if indegree[s as usize] == 0 {
-                        queue.push(s);
-                    }
-                }
-            }
-            if (placed as usize) != comb.len() {
-                fallback_full = true; // combinational cycle
-            }
-        }
-
-        // CSR fanout: net → comb nodes reading it
-        let mut fanout_off = vec![0u32; num_nets + 1];
-        for reads in &node_reads {
-            for &n in reads {
-                fanout_off[n as usize + 1] += 1;
-            }
-        }
-        for i in 0..num_nets {
-            fanout_off[i + 1] += fanout_off[i];
-        }
-        let mut fanout = vec![0u32; fanout_off[num_nets] as usize];
-        let mut cursor = fanout_off.clone();
-        for (ni, reads) in node_reads.iter().enumerate() {
-            for &n in reads {
-                fanout[cursor[n as usize] as usize] = ni as u32;
-                cursor[n as usize] += 1;
-            }
-        }
-
-        let mut tri_order: Vec<u32> = comb
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| matches!(n, CombNode::Tri { .. }))
-            .map(|(i, _)| i as u32)
-            .collect();
-        tri_order.sort_unstable_by_key(|&i| comb[i as usize].target());
-
-        let mut clock_nets: Vec<u32> = seq
-            .iter()
-            .map(|s| match *s {
-                SeqNode::Dff { clock, .. }
-                | SeqNode::Ddr { clock, .. }
-                | SeqNode::RamWrite { clock, .. } => clock,
-            })
-            .collect();
-        clock_nets.sort_unstable();
-        clock_nets.dedup();
+        let sched = Schedule::compile(design);
 
         // --- the value arena ---
         let mut vals: Vec<LogicVec> = design
@@ -713,10 +182,10 @@ impl RtlSim {
                 NetKind::Wire => LogicVec::xs(n.width),
             })
             .collect();
-        for w in &c.widths[num_nets..] {
+        for w in &sched.widths[num_nets..] {
             vals.push(LogicVec::xs(*w));
         }
-        for (slot, v) in &c.consts {
+        for (slot, v) in &sched.consts {
             vals[*slot as usize] = v.clone();
         }
         let rams = design
@@ -738,23 +207,12 @@ impl RtlSim {
             })
             .collect();
 
-        let seq_len = seq.len();
-        let comb_len = comb.len();
+        let seq_len = sched.seq.len();
+        let comb_len = sched.comb.len();
         let mut sim = RtlSim {
             design: design.clone(),
             mode: SettleMode::default(),
-            ops: c.ops,
-            parts: c.parts,
-            comb,
-            tri,
-            seq,
-            rank,
-            fanout_off,
-            fanout,
-            ram_readers,
-            tri_order,
-            clock_nets,
-            fallback_full,
+            sched,
             vals,
             rams,
             input_stage,
@@ -773,8 +231,8 @@ impl RtlSim {
             sim.mark(n);
         }
         sim.settle();
-        for i in 0..sim.clock_nets.len() {
-            let cnet = sim.clock_nets[i] as usize;
+        for i in 0..sim.sched.clock_nets.len() {
+            let cnet = sim.sched.clock_nets[i] as usize;
             sim.prev_clk[cnet] = sim.vals[cnet].bit(0);
         }
         sim
@@ -881,16 +339,17 @@ impl RtlSim {
     fn mark(&mut self, node: u32) {
         if !self.dirty[node as usize] {
             self.dirty[node as usize] = true;
-            self.heap.push(Reverse((self.rank[node as usize], node)));
+            self.heap
+                .push(Reverse((self.sched.rank[node as usize], node)));
         }
     }
 
     /// Marks every comb node reading `net`.
     fn mark_fanout(&mut self, net: u32) {
-        let lo = self.fanout_off[net as usize] as usize;
-        let hi = self.fanout_off[net as usize + 1] as usize;
+        let lo = self.sched.fanout_off[net as usize] as usize;
+        let hi = self.sched.fanout_off[net as usize + 1] as usize;
         for i in lo..hi {
-            let n = self.fanout[i];
+            let n = self.sched.fanout[i];
             self.mark(n);
         }
     }
@@ -898,12 +357,9 @@ impl RtlSim {
     /// Runs a compiled op range in place over the arena.
     fn run_ops(&mut self, range: OpsRange) {
         let RtlSim {
-            ops,
-            parts,
-            vals,
-            evals,
-            ..
+            sched, vals, evals, ..
         } = self;
+        let (ops, parts) = (&sched.ops, &sched.parts);
         for op in &ops[range.0 as usize..range.1 as usize] {
             *evals += 1;
             let dst = op.dst() as usize;
@@ -975,7 +431,7 @@ impl RtlSim {
     /// Evaluates one comb node; returns `(target net, result slot)`
     /// without committing.
     fn eval_node(&mut self, id: u32) -> (u32, u32) {
-        let node = self.comb[id as usize];
+        let node = self.sched.comb[id as usize];
         match node {
             CombNode::Assign { ops, src, target } => {
                 self.run_ops(ops);
@@ -991,8 +447,10 @@ impl RtlSim {
             } => {
                 self.run_ops(ops);
                 let a = self.vals[addr as usize].to_u64();
-                let mut o =
-                    std::mem::replace(&mut self.vals[out as usize], LogicVec::from_bits(Vec::new()));
+                let mut o = std::mem::replace(
+                    &mut self.vals[out as usize],
+                    LogicVec::from_bits(Vec::new()),
+                );
                 match a {
                     Some(a) if (a as u32) < words => {
                         o.assign_from(&self.rams[ram as usize][a as usize])
@@ -1008,16 +466,18 @@ impl RtlSim {
                 drivers,
             } => {
                 for di in drivers.0..drivers.1 {
-                    let dops = self.tri[di as usize].ops;
+                    let dops = self.sched.tri[di as usize].ops;
                     self.run_ops(dops);
                 }
-                let mut a =
-                    std::mem::replace(&mut self.vals[acc as usize], LogicVec::from_bits(Vec::new()));
+                let mut a = std::mem::replace(
+                    &mut self.vals[acc as usize],
+                    LogicVec::from_bits(Vec::new()),
+                );
                 {
                     let ab = a.bits_raw_mut();
                     ab.fill(Logic::Z);
                     for di in drivers.0..drivers.1 {
-                        let TriDriver { en, value, .. } = self.tri[di as usize];
+                        let TriDriver { en, value, .. } = self.sched.tri[di as usize];
                         let en = self.vals[en as usize].bit(0);
                         let vb = self.vals[value as usize].bits_raw();
                         for (i, o) in ab.iter_mut().enumerate() {
@@ -1054,7 +514,7 @@ impl RtlSim {
         if self.heap.is_empty() {
             return; // nothing marked since the last settle
         }
-        if self.mode == SettleMode::Full || self.fallback_full {
+        if self.mode == SettleMode::Full || self.sched.fallback_full {
             self.settle_full();
         } else {
             self.settle_activity();
@@ -1091,15 +551,15 @@ impl RtlSim {
             let mut changed = false;
             let mut fa = std::mem::take(&mut self.full_assign);
             fa.clear();
-            for id in 0..self.comb.len() as u32 {
-                if matches!(self.comb[id as usize], CombNode::Tri { .. }) {
+            for id in 0..self.sched.comb.len() as u32 {
+                if matches!(self.sched.comb[id as usize], CombNode::Tri { .. }) {
                     continue; // evaluated below, committed last
                 }
                 let (target, result) = self.eval_node(id);
                 fa.push((target, result, false));
             }
-            for ti in 0..self.tri_order.len() {
-                let id = self.tri_order[ti];
+            for ti in 0..self.sched.tri_order.len() {
+                let id = self.sched.tri_order[ti];
                 self.eval_node(id); // result stays in the group's acc slot
             }
             // compare every single-driver result against the pass-start
@@ -1114,9 +574,9 @@ impl RtlSim {
                 }
             }
             // tristate targets: compare against the post-assign values
-            for ti in 0..self.tri_order.len() {
-                let id = self.tri_order[ti];
-                let (target, acc) = match self.comb[id as usize] {
+            for ti in 0..self.sched.tri_order.len() {
+                let id = self.sched.tri_order[ti];
+                let (target, acc) = match self.sched.comb[id as usize] {
                     CombNode::Tri { target, acc, .. } => (target, acc),
                     _ => unreachable!(),
                 };
@@ -1156,8 +616,8 @@ impl RtlSim {
         // 3. sample clocked elements on detected edges (all samples
         //    before any commit — nonblocking-assignment semantics)
         self.fired.clear();
-        for s in 0..self.seq.len() {
-            let node = self.seq[s];
+        for s in 0..self.sched.seq.len() {
+            let node = self.sched.seq[s];
             match node {
                 SeqNode::Dff {
                     clock,
@@ -1252,7 +712,7 @@ impl RtlSim {
         // 4. commit
         for i in 0..self.fired.len() {
             let (s, slot) = self.fired[i];
-            match self.seq[s as usize] {
+            match self.sched.seq[s as usize] {
                 SeqNode::Dff { q, .. } | SeqNode::Ddr { q, .. } => {
                     if self.commit_pair(q, slot) {
                         self.mark_fanout(q);
@@ -1268,8 +728,8 @@ impl RtlSim {
                         );
                         w.assign_from(&self.vals[slot as usize]);
                         self.rams[ram][addr] = w;
-                        for ri in 0..self.ram_readers[ram].len() {
-                            let reader = self.ram_readers[ram][ri];
+                        for ri in 0..self.sched.ram_readers[ram].len() {
+                            let reader = self.sched.ram_readers[ram][ri];
                             self.mark(reader);
                         }
                     }
@@ -1279,8 +739,8 @@ impl RtlSim {
         // 5. settle combinational logic on the post-edge state
         self.settle();
         // remember the clock levels for the next step's edge detection
-        for i in 0..self.clock_nets.len() {
-            let cnet = self.clock_nets[i] as usize;
+        for i in 0..self.sched.clock_nets.len() {
+            let cnet = self.sched.clock_nets[i] as usize;
             self.prev_clk[cnet] = self.vals[cnet].bit(0);
         }
     }
@@ -1292,5 +752,11 @@ impl RtlSim {
             Edge::Pos => p == Logic::L0 && c == Logic::L1,
             Edge::Neg => p == Logic::L1 && c == Logic::L0,
         }
+    }
+}
+
+impl RtlProbe for RtlSim {
+    fn probe(&mut self, e: &Expr) -> LogicVec {
+        RtlSim::probe(self, e)
     }
 }

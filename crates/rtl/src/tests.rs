@@ -520,4 +520,390 @@ mod props {
             }
         }
     }
+
+    // ---- packed two-plane algebra vs scalar Logic, lane by lane ----
+
+    /// 64 lanes of four-state vectors of one width, as (packed, lanes).
+    fn any_packed(width: u32) -> impl Strategy<Value = (PackedVec, Vec<LogicVec>)> {
+        prop::collection::vec(
+            prop::collection::vec(any_logic(), width as usize..=width as usize)
+                .prop_map(LogicVec::from_bits),
+            LANES..=LANES,
+        )
+        .prop_map(move |lanes| {
+            let mut p = PackedVec::zeros(width);
+            for (l, v) in lanes.iter().enumerate() {
+                p.set_lane(l, v);
+            }
+            (p, lanes)
+        })
+    }
+
+    /// Scalar whole-vector equality with the compiled `Op::Eq` semantics.
+    fn scalar_eq(a: &LogicVec, b: &LogicVec) -> Logic {
+        if !a.is_known() || !b.is_known() {
+            Logic::X
+        } else {
+            Logic::from_bool(a == b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn packed_lane_round_trip((p, lanes) in any_packed(7)) {
+            for (l, v) in lanes.iter().enumerate() {
+                prop_assert_eq!(&p.get_lane(l), v);
+                for i in 0..v.width() {
+                    prop_assert_eq!(p.lane_bit(l, i), v.bit(i));
+                }
+                prop_assert_eq!(p.lane_to_u64(l), v.to_u64());
+            }
+        }
+
+        /// The transposed bulk drive/sample paths agree with the
+        /// per-lane scalar paths: `set_lanes_u64` equals 64
+        /// `set_lane_u64` calls, and `lanes_u64` demuxes exactly what
+        /// `lane_to_u64` reports per lane.
+        #[test]
+        fn packed_transposed_bulk_paths_match_per_lane(
+            vals in prop::collection::vec(any::<u64>(), LANES..=LANES),
+            (px, _) in any_packed(9),
+        ) {
+            let mut all = [0u64; LANES];
+            all.copy_from_slice(&vals);
+            let mut bulk = PackedVec::zeros(9);
+            let mut scalar = PackedVec::zeros(9);
+            bulk.set_lanes_u64(&all);
+            for (l, v) in all.iter().enumerate() {
+                scalar.set_lane_u64(l, *v);
+            }
+            prop_assert_eq!(&bulk, &scalar);
+
+            let mut out = [0u64; LANES];
+            let known = bulk.lanes_u64(&mut out);
+            for (l, &o) in out.iter().enumerate() {
+                prop_assert_eq!(known >> l & 1, 1);
+                prop_assert_eq!(Some(o), bulk.lane_to_u64(l));
+            }
+
+            // a packed vector with X/Z lanes: the known mask must match
+            // lane_to_u64's Some/None split, and known lanes' words the
+            // per-lane value
+            let kx = px.lanes_u64(&mut out);
+            for (l, &o) in out.iter().enumerate() {
+                match px.lane_to_u64(l) {
+                    Some(v) => {
+                        prop_assert_eq!(kx >> l & 1, 1);
+                        prop_assert_eq!(o, v);
+                    }
+                    None => prop_assert_eq!(kx >> l & 1, 0),
+                }
+            }
+        }
+
+        #[test]
+        fn packed_bitwise_ops_match_scalar_per_lane(
+            (pa, la) in any_packed(6),
+            (pb, lb) in any_packed(6),
+        ) {
+            let mut not = PackedVec::zeros(6);
+            let mut and = PackedVec::zeros(6);
+            let mut or = PackedVec::zeros(6);
+            let mut xor = PackedVec::zeros(6);
+            let mut res = PackedVec::zeros(6);
+            not.not_from(&pa);
+            and.and_from(&pa, &pb);
+            or.or_from(&pa, &pb);
+            xor.xor_from(&pa, &pb);
+            res.resolve_from(&pa, &pb);
+            for l in 0..LANES {
+                for i in 0..6 {
+                    let (a, b) = (la[l].bit(i), lb[l].bit(i));
+                    prop_assert_eq!(not.lane_bit(l, i), a.not(), "not lane {} bit {}", l, i);
+                    prop_assert_eq!(and.lane_bit(l, i), a.and(b), "and lane {} bit {}", l, i);
+                    prop_assert_eq!(or.lane_bit(l, i), a.or(b), "or lane {} bit {}", l, i);
+                    prop_assert_eq!(xor.lane_bit(l, i), a.xor(b), "xor lane {} bit {}", l, i);
+                    prop_assert_eq!(res.lane_bit(l, i), a.resolve(b), "resolve lane {} bit {}", l, i);
+                }
+            }
+        }
+
+        #[test]
+        fn packed_vector_ops_match_scalar_per_lane(
+            (pa, la) in any_packed(5),
+            (pb, lb) in any_packed(5),
+            (psel, lsel) in any_packed(1),
+        ) {
+            let mut eq = PackedVec::zeros(1);
+            let mut rxor = PackedVec::zeros(1);
+            let mut ror = PackedVec::zeros(1);
+            let mut mux = PackedVec::zeros(5);
+            eq.eq_from(&pa, &pb);
+            rxor.reduce_xor_from(&pa);
+            ror.reduce_or_from(&pa);
+            mux.mux_from(&psel, &pa, &pb);
+            for l in 0..LANES {
+                prop_assert_eq!(eq.lane_bit(l, 0), scalar_eq(&la[l], &lb[l]));
+                prop_assert_eq!(rxor.lane_bit(l, 0), la[l].reduce_xor());
+                prop_assert_eq!(ror.lane_bit(l, 0), la[l].reduce_or());
+                let want = match lsel[l].bit(0) {
+                    Logic::L1 => la[l].clone(),
+                    Logic::L0 => lb[l].clone(),
+                    _ => LogicVec::xs(5),
+                };
+                prop_assert_eq!(mux.get_lane(l), want, "mux lane {}", l);
+            }
+        }
+
+        #[test]
+        fn packed_tristate_fold_matches_scalar_per_lane(
+            (pe0, le0) in any_packed(1),
+            (pv0, lv0) in any_packed(4),
+            (pe1, le1) in any_packed(1),
+            (pv1, lv1) in any_packed(4),
+        ) {
+            let mut acc = PackedVec::zeros(4);
+            acc.fill_z();
+            acc.tri_accumulate(&pe0, &pv0);
+            acc.tri_accumulate(&pe1, &pv1);
+            for l in 0..LANES {
+                for i in 0..4 {
+                    let mut want = Logic::Z;
+                    for (en, val) in [(le0[l].bit(0), lv0[l].bit(i)), (le1[l].bit(0), lv1[l].bit(i))] {
+                        let contribution = match en {
+                            Logic::L1 => val,
+                            Logic::L0 => Logic::Z,
+                            _ => Logic::X,
+                        };
+                        want = want.resolve(contribution);
+                    }
+                    prop_assert_eq!(acc.lane_bit(l, i), want, "tri lane {} bit {}", l, i);
+                }
+            }
+        }
+
+        #[test]
+        fn packed_de_morgan_and_x_monotone_per_lane(
+            (pa, _la) in any_packed(3),
+            (pb, lb) in any_packed(3),
+        ) {
+            // De Morgan: ~(a & b) == ~a | ~b, lane by lane
+            let mut and = PackedVec::zeros(3);
+            let mut lhs = PackedVec::zeros(3);
+            and.and_from(&pa, &pb);
+            lhs.not_from(&and);
+            let mut na = PackedVec::zeros(3);
+            let mut nb = PackedVec::zeros(3);
+            let mut rhs = PackedVec::zeros(3);
+            na.not_from(&pa);
+            nb.not_from(&pb);
+            rhs.or_from(&na, &nb);
+            prop_assert_eq!(&lhs, &rhs);
+            // X-monotonicity: concretizing b's unknown bits to 0 can only
+            // refine a & b per lane (never contradict a known result)
+            let mut b0 = pb.clone();
+            for (l, vb) in lb.iter().enumerate() {
+                let mut v = vb.clone();
+                for i in 0..3 {
+                    if !v.bit(i).is_known() {
+                        v.set_bit(i, Logic::L0);
+                    }
+                }
+                b0.set_lane(l, &v);
+            }
+            let mut refined = PackedVec::zeros(3);
+            refined.and_from(&pa, &b0);
+            for l in 0..LANES {
+                for i in 0..3 {
+                    let p = and.lane_bit(l, i);
+                    let r = refined.lane_bit(l, i);
+                    prop_assert!(refines(p, r), "lane {} bit {}: {} -> {}", l, i, p, r);
+                }
+            }
+        }
+    }
+}
+
+// ---- batched (PPSFP) simulator ---------------------------------------------
+
+/// A design exercising every node kind at once: DFF pipeline, enabled
+/// DFF, DDR capture, masked RAM, mux/eq/concat/reduction logic and a
+/// two-driver tristate bus.
+fn batched_probe_design() -> (Netlist, Vec<NetId>) {
+    let mut n = Netlist::new("batched_probe");
+    let clk = n.input("clk", 1);
+    let we = n.input("we", 1);
+    let addr = n.input("addr", 3);
+    let wdata = n.input("wdata", 16);
+    let en0 = n.input("en0", 1);
+    let en1 = n.input("en1", 1);
+
+    let a1 = n.reg("a1", 3);
+    n.dff_posedge(clk, Expr::net(addr), a1);
+    let a2 = n.reg("a2", 3);
+    n.dff_en(clk, Edge::Pos, Expr::net(en0), Expr::net(a1), a2);
+
+    let rdata = n.wire("rdata", 16);
+    n.ram(
+        clk,
+        Expr::net(we),
+        Expr::net(addr),
+        Expr::net(wdata),
+        Some(Expr::value(0x0FF0, 16)),
+        Expr::net(a2),
+        rdata,
+        8,
+        16,
+    );
+
+    let ddr_q = n.reg("ddr_q", 8);
+    n.ddr(
+        clk,
+        Expr::Slice(wdata, 7, 0),
+        Expr::Slice(wdata, 15, 8),
+        ddr_q,
+    );
+
+    let parity = n.wire("parity", 1);
+    n.assign(parity, Expr::ReduceXor(Box::new(Expr::net(rdata))));
+    let any = n.wire("any", 1);
+    n.assign(any, Expr::ReduceOr(Box::new(Expr::net(ddr_q))));
+    let same = n.wire("same", 1);
+    n.assign(same, Expr::eq(Expr::net(a1), Expr::net(a2)));
+    let mix = n.wire("mix", 16);
+    n.assign(
+        mix,
+        Expr::mux(
+            Expr::net(same),
+            Expr::net(rdata),
+            Expr::Concat(vec![Expr::net(ddr_q), Expr::Slice(rdata, 15, 8)]),
+        ),
+    );
+
+    let bus = n.wire("bus", 16);
+    n.tristate(bus, Expr::net(en0), Expr::net(mix));
+    n.tristate(bus, Expr::net(en1), Expr::not(Expr::net(rdata)));
+    n.mark_output(bus);
+
+    (n, vec![clk, we, addr, wdata, en0, en1])
+}
+
+/// Per-lane stimulus: a cheap deterministic hash of (lane, cycle).
+fn lane_stim(lane: u64, cycle: u64) -> u64 {
+    let mut z = lane
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cycle.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z ^= z >> 29;
+    z.wrapping_mul(0x94D0_49BB_1331_11EB)
+}
+
+/// 64 lanes of the batched simulator against 64 independently-driven
+/// scalar simulators: every net identical every cycle, including lanes
+/// carrying X injections on the write-data bus.
+#[test]
+fn batched_lanes_match_scalar_simulators() {
+    let (n, ins) = batched_probe_design();
+    let [clk, we, addr, wdata, en0, en1] = ins[..] else {
+        unreachable!()
+    };
+    for mode in [SettleMode::ActivityDriven, SettleMode::Full] {
+        let mut batched = BatchedRtlSim::new(&n);
+        batched.set_settle_mode(mode);
+        let mut scalars: Vec<RtlSim> = (0..LANES)
+            .map(|_| {
+                let mut s = RtlSim::new(&n);
+                s.set_settle_mode(mode);
+                s
+            })
+            .collect();
+        for cycle in 0..48u64 {
+            for (lane, sc) in scalars.iter_mut().enumerate() {
+                let s = lane_stim(lane as u64, cycle);
+                let xlane = s.is_multiple_of(7); // some lanes inject X wdata
+                batched.set_lane_u64(we, lane, s & 1);
+                batched.set_lane_u64(addr, lane, s >> 1 & 7);
+                if xlane {
+                    batched.set_lane_xs(wdata, lane);
+                } else {
+                    batched.set_lane_u64(wdata, lane, s >> 4 & 0xFFFF);
+                }
+                batched.set_lane_u64(en0, lane, s >> 20 & 1);
+                batched.set_lane_u64(en1, lane, s >> 21 & 1);
+                sc.set_u64(we, s & 1);
+                sc.set_u64(addr, s >> 1 & 7);
+                if xlane {
+                    sc.set(wdata, LogicVec::xs(16));
+                } else {
+                    sc.set_u64(wdata, s >> 4 & 0xFFFF);
+                }
+                sc.set_u64(en0, s >> 20 & 1);
+                sc.set_u64(en1, s >> 21 & 1);
+            }
+            for phase in [1u64, 0] {
+                batched.set_u64_all(clk, phase);
+                batched.step();
+                for (lane, sc) in scalars.iter_mut().enumerate() {
+                    sc.set_u64(clk, phase);
+                    sc.step();
+                    for net in 0..n.num_nets() as u32 {
+                        assert_eq!(
+                            &batched.get_lane(NetId(net), lane),
+                            sc.get(NetId(net)),
+                            "{mode:?} lane {lane} cycle {cycle} phase {phase} net {}",
+                            n.net_name(NetId(net))
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The lane probe must agree with the scalar probe on arbitrary
+/// expressions (the monitor path).
+#[test]
+fn lane_probe_matches_scalar_probe() {
+    let (n, ins) = batched_probe_design();
+    let [clk, we, addr, wdata, en0, en1] = ins[..] else {
+        unreachable!()
+    };
+    let rdata = n.find("rdata").unwrap();
+    let bus = n.find("bus").unwrap();
+    let probe_expr = Expr::mux(
+        Expr::eq(Expr::net(addr), Expr::value(3, 3)),
+        Expr::and(Expr::net(rdata), Expr::net(bus)),
+        Expr::xor(Expr::net(rdata), Expr::net(bus)),
+    );
+    let mut batched = BatchedRtlSim::new(&n);
+    let mut scalars: Vec<RtlSim> = (0..LANES).map(|_| RtlSim::new(&n)).collect();
+    for cycle in 0..16u64 {
+        for (lane, sc) in scalars.iter_mut().enumerate() {
+            let s = lane_stim(lane as u64, cycle);
+            for (net, val) in [
+                (we, s & 1),
+                (addr, s >> 1 & 7),
+                (wdata, s >> 4 & 0xFFFF),
+                (en0, s >> 20 & 1),
+                (en1, s >> 21 & 1),
+            ] {
+                batched.set_lane_u64(net, lane, val);
+                sc.set_u64(net, val);
+            }
+        }
+        for phase in [1u64, 0] {
+            batched.set_u64_all(clk, phase);
+            batched.step();
+            for sc in scalars.iter_mut() {
+                sc.set_u64(clk, phase);
+                sc.step();
+            }
+        }
+        for (lane, sc) in scalars.iter_mut().enumerate() {
+            assert_eq!(
+                batched.lane_probe(lane).probe(&probe_expr),
+                RtlProbe::probe(sc, &probe_expr),
+                "probe lane {lane} cycle {cycle}"
+            );
+        }
+    }
 }

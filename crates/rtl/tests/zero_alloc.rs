@@ -3,17 +3,28 @@
 //! staging) is preallocated at construction, and per-step work reuses
 //! it. A counting global allocator proves it.
 
-use la1_rtl::{Expr, Netlist, RtlSim, SettleMode};
+use la1_rtl::{BatchedRtlSim, Expr, Netlist, RtlSim, SettleMode, LANES};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+// Per-thread counter: the libtest harness allocates on its own threads
+// (progress printing, panic plumbing) concurrently with a measurement
+// window, so a process-global counter flakes. `Cell<usize>` has no
+// destructor, so the const-initialized TLS access never allocates or
+// recurses into the allocator; `try_with` covers thread teardown.
+thread_local! {
+    static ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn allocs_on_this_thread() -> usize {
+    ALLOCS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
@@ -22,7 +33,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -88,6 +99,29 @@ fn drive_cycles(sim: &mut RtlSim, ins: &[la1_rtl::NetId], cycles: u64) {
     }
 }
 
+/// Same stimulus for the 64-lane batched simulator: clocks and write
+/// enables are lane-uniform, data/address/bus enables vary per lane so
+/// every lane exercises a distinct trajectory.
+fn drive_cycles_batched(sim: &mut BatchedRtlSim, ins: &[la1_rtl::NetId], cycles: u64) {
+    let [clk, we, addr, wdata, en0, en1] = ins else {
+        unreachable!()
+    };
+    for c in 0..cycles {
+        sim.set_u64_all(*we, c & 1);
+        for lane in 0..LANES {
+            let s = c.wrapping_add(lane as u64);
+            sim.set_lane_u64(*addr, lane, s % 8);
+            sim.set_lane_u64(*wdata, lane, s.wrapping_mul(0x9E37) & 0xFFFF);
+            sim.set_lane_u64(*en0, lane, (s >> 1) & 1);
+            sim.set_lane_u64(*en1, lane, (s >> 1) & 1 ^ 1);
+        }
+        sim.set_u64_all(*clk, 1);
+        sim.step();
+        sim.set_u64_all(*clk, 0);
+        sim.step();
+    }
+}
+
 #[test]
 fn steady_state_stepping_does_not_allocate() {
     for mode in [SettleMode::ActivityDriven, SettleMode::Full] {
@@ -98,13 +132,33 @@ fn steady_state_stepping_does_not_allocate() {
         // worklist) reach its steady-state capacity
         drive_cycles(&mut sim, &ins, 64);
 
-        let before = ALLOCS.load(Ordering::Relaxed);
+        let before = allocs_on_this_thread();
         drive_cycles(&mut sim, &ins, 256);
-        let after = ALLOCS.load(Ordering::Relaxed);
+        let after = allocs_on_this_thread();
         assert_eq!(
             after - before,
             0,
             "{mode:?} stepping allocated {} times",
+            after - before
+        );
+    }
+}
+
+#[test]
+fn batched_steady_state_stepping_does_not_allocate() {
+    for mode in [SettleMode::ActivityDriven, SettleMode::Full] {
+        let (n, ins) = representative_design();
+        let mut sim = BatchedRtlSim::new(&n);
+        sim.set_settle_mode(mode);
+        drive_cycles_batched(&mut sim, &ins, 64);
+
+        let before = allocs_on_this_thread();
+        drive_cycles_batched(&mut sim, &ins, 256);
+        let after = allocs_on_this_thread();
+        assert_eq!(
+            after - before,
+            0,
+            "batched {mode:?} stepping allocated {} times",
             after - before
         );
     }

@@ -17,12 +17,23 @@ cargo clippy --all-targets -- -D warnings
 # must be caught by at least one detection channel at the RTL+OVL level,
 # and the healthy design must never trip the closed-loop watchdog. Runs
 # the debug build so the protocol asserts behind the guard channel are
-# exercised exactly as the test suite sees them.
-cargo run -q -p la1-bench --bin campaign -- 1 2 --smoke > /dev/null
+# exercised exactly as the test suite sees them. `--batched` runs the
+# campaign through the 64-lane engine with the scalar engine as a
+# byte-identity reference (DESIGN.md §10), so one line gates both.
+cargo run -q -p la1-bench --bin campaign -- 1 2 --smoke --batched > /dev/null
 # Coverage-closure smoke gate (DESIGN.md §9): the coverage-guided
 # generator must close 100% of tier-1 bins deterministically at 1 and 2
 # banks within the fixed smoke budget; the binary exits non-zero with
 # the unhit bins otherwise.
 ./target/release/closure --smoke > /dev/null
+# Bit-parallel throughput gates (DESIGN.md §10). Floors sit below the
+# measured release numbers on a 1-core host (see EXPERIMENTS.md, "Bit-parallel throughput") so
+# timing noise does not flake the gate: the raw kernel measures
+# 11-14x (floor 8), the rtl-level campaign 5.4-7.8x (floor 4), and the
+# 64-stream closure 5.4-6x (floor 3). Each line also re-asserts
+# batched == scalar byte identity before timing is even consulted.
+./target/release/throughput 4 --cycles 2000 --assert-speedup 8 > /dev/null
+./target/release/campaign 4 --batched --levels rtl --assert-speedup 4 > /dev/null
+./target/release/closure --smoke --assert-speedup 3 > /dev/null
 
 echo "check.sh: all gates passed"
