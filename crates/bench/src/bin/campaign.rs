@@ -26,6 +26,7 @@
 //!   the RTL+OVL level and the healthy design never hangs. Combined
 //!   with `--batched`, additionally asserts batched == scalar.
 
+use la1_bench::{write_json_array, BenchArgs, Gate};
 use la1_fault::{run_campaign, run_campaign_batched, CampaignConfig, FaultModel, Level};
 use std::time::Instant;
 
@@ -57,78 +58,18 @@ fn parse_levels(spec: &str) -> Vec<Level> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut banks_list: Vec<u32> = Vec::new();
-    let mut seed = 42u64;
-    let mut runs = 3u32;
-    let mut levels: Option<Vec<Level>> = None;
-    let mut batched = false;
-    let mut assert_speedup: Option<f64> = None;
-    let mut json_path: Option<String> = None;
-    let mut smoke = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .expect("--seed requires a value")
-                    .parse()
-                    .expect("seed must be an integer");
-                i += 2;
-            }
-            "--runs" => {
-                runs = args
-                    .get(i + 1)
-                    .expect("--runs requires a value")
-                    .parse()
-                    .expect("runs must be an integer");
-                i += 2;
-            }
-            "--levels" => {
-                levels = Some(parse_levels(
-                    args.get(i + 1).expect("--levels requires a value"),
-                ));
-                i += 2;
-            }
-            "--batched" => {
-                batched = true;
-                i += 1;
-            }
-            "--assert-speedup" => {
-                assert_speedup = Some(
-                    args.get(i + 1)
-                        .expect("--assert-speedup requires a value")
-                        .parse()
-                        .expect("speedup floor must be a number"),
-                );
-                batched = true;
-                i += 2;
-            }
-            "--json" => {
-                json_path = Some(
-                    args.get(i + 1)
-                        .expect("--json requires a path argument")
-                        .clone(),
-                );
-                i += 2;
-            }
-            "--smoke" => {
-                smoke = true;
-                i += 1;
-            }
-            other => {
-                banks_list.push(other.parse().expect("bank counts must be integers"));
-                i += 1;
-            }
-        }
-    }
-    if banks_list.is_empty() {
-        banks_list = vec![1, 2, 4];
-    }
+    let mut args = BenchArgs::parse();
+    let seed: u64 = args.value("--seed", 42);
+    let runs: u32 = args.value("--runs", 3);
+    let levels: Option<Vec<Level>> = args.opt::<String>("--levels").map(|s| parse_levels(&s));
+    let assert_speedup: Option<f64> = args.opt("--assert-speedup");
+    let batched = args.flag("--batched") || assert_speedup.is_some();
+    let json_path: Option<String> = args.opt("--json");
+    let smoke = args.flag("--smoke");
+    let banks_list = args.banks(&[1, 2, 4]);
 
     let mut jsons = Vec::new();
-    let mut failures = Vec::new();
+    let mut gate = Gate::new("campaign");
     for &banks in &banks_list {
         let mut config = CampaignConfig::new(banks, seed);
         config.runs_per_fault = runs;
@@ -169,7 +110,7 @@ fn main() {
             );
             if let (Some(floor), Some(s)) = (assert_speedup, speedup) {
                 if s < floor {
-                    failures.push(format!(
+                    gate.fail(format!(
                         "{banks} banks: batched speedup {s:.2}x below the {floor}x floor"
                     ));
                 }
@@ -201,7 +142,7 @@ fn main() {
             let gate_rtl_ovl = config.levels.contains(&Level::RtlOvl);
             for fault in FaultModel::ALL {
                 if gate_rtl_ovl && !matrix.detected_at(fault, Level::RtlOvl) {
-                    failures.push(format!(
+                    gate.fail(format!(
                         "{} banks: {} escaped every channel at rtl+ovl",
                         banks,
                         fault.name()
@@ -210,35 +151,13 @@ fn main() {
             }
             for (level, ok) in &matrix.healthy {
                 if !ok {
-                    failures.push(format!("{banks} banks: healthy design hung at {level}"));
+                    gate.fail(format!("{banks} banks: healthy design hung at {level}"));
                 }
             }
         }
     }
     if let Some(path) = json_path {
-        let body = jsons
-            .iter()
-            .map(|j| {
-                // indent each matrix object two spaces into the array
-                j.trim_end()
-                    .lines()
-                    .map(|l| format!("  {l}"))
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            })
-            .collect::<Vec<_>>()
-            .join(",\n");
-        std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
-        eprintln!("wrote {path}");
+        write_json_array(&path, &jsons);
     }
-    if smoke || assert_speedup.is_some() {
-        if failures.is_empty() {
-            println!("campaign gate: ok");
-        } else {
-            for f in &failures {
-                eprintln!("campaign gate FAILED: {f}");
-            }
-            std::process::exit(1);
-        }
-    }
+    gate.finish(smoke || assert_speedup.is_some());
 }

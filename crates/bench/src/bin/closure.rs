@@ -28,6 +28,7 @@
 //!   `1 2`, budget to 40000, and the binary exits non-zero unless the
 //!   guided run closes 100% of tier-1 bins within the budget.
 
+use la1_bench::{indent_json, write_json_array, BenchArgs, Gate};
 use la1_cover::{
     run_closure, run_closure_rtl, run_closure_rtl_batched, ClosureConfig, ClosureReport,
     MultiClosureReport,
@@ -71,102 +72,18 @@ fn multi_row(report: &MultiClosureReport) -> String {
     )
 }
 
-fn indent(json: &str) -> String {
-    json.trim_end()
-        .lines()
-        .map(|l| format!("  {l}"))
-        .collect::<Vec<_>>()
-        .join("\n")
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut banks_list: Vec<u32> = Vec::new();
-    let mut seed = 1u64;
-    let mut budget: Option<u64> = None;
-    let mut epoch: Option<u64> = None;
-    let mut la1b = false;
-    let mut batched = false;
-    let mut streams = 64u32;
-    let mut assert_speedup: Option<f64> = None;
-    let mut json_path: Option<String> = None;
-    let mut smoke = false;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .expect("--seed requires a value")
-                    .parse()
-                    .expect("seed must be an integer");
-                i += 2;
-            }
-            "--budget" => {
-                budget = Some(
-                    args.get(i + 1)
-                        .expect("--budget requires a value")
-                        .parse()
-                        .expect("budget must be an integer"),
-                );
-                i += 2;
-            }
-            "--epoch" => {
-                epoch = Some(
-                    args.get(i + 1)
-                        .expect("--epoch requires a value")
-                        .parse()
-                        .expect("epoch must be an integer"),
-                );
-                i += 2;
-            }
-            "--la1b" => {
-                la1b = true;
-                i += 1;
-            }
-            "--batched" => {
-                batched = true;
-                i += 1;
-            }
-            "--streams" => {
-                streams = args
-                    .get(i + 1)
-                    .expect("--streams requires a value")
-                    .parse()
-                    .expect("streams must be an integer");
-                i += 2;
-            }
-            "--assert-speedup" => {
-                assert_speedup = Some(
-                    args.get(i + 1)
-                        .expect("--assert-speedup requires a value")
-                        .parse()
-                        .expect("speedup floor must be a number"),
-                );
-                batched = true;
-                i += 2;
-            }
-            "--json" => {
-                json_path = Some(
-                    args.get(i + 1)
-                        .expect("--json requires a path argument")
-                        .clone(),
-                );
-                i += 2;
-            }
-            "--smoke" => {
-                smoke = true;
-                i += 1;
-            }
-            other => {
-                banks_list.push(other.parse().expect("bank counts must be integers"));
-                i += 1;
-            }
-        }
-    }
-    if banks_list.is_empty() {
-        banks_list = if smoke { vec![1, 2] } else { vec![1, 2, 4] };
-    }
+    let mut args = BenchArgs::parse();
+    let seed: u64 = args.value("--seed", 1);
+    let budget: Option<u64> = args.opt("--budget");
+    let epoch: Option<u64> = args.opt("--epoch");
+    let la1b = args.flag("--la1b");
+    let streams: u32 = args.value("--streams", 64);
+    let assert_speedup: Option<f64> = args.opt("--assert-speedup");
+    let batched = args.flag("--batched") || assert_speedup.is_some();
+    let json_path: Option<String> = args.opt("--json");
+    let smoke = args.flag("--smoke");
+    let banks_list = args.banks(if smoke { &[1, 2] } else { &[1, 2, 4] });
     let budget = budget.unwrap_or(if smoke { 40_000 } else { 400_000 });
 
     if batched {
@@ -184,7 +101,7 @@ fn main() {
     }
     println!("{}", "-".repeat(58));
     let mut jsons = Vec::new();
-    let mut failures = Vec::new();
+    let mut gate = Gate::new("closure");
     for &banks in &banks_list {
         let la_config = if la1b {
             LaConfig::la1b(banks)
@@ -225,13 +142,13 @@ fn main() {
             );
             if let (Some(floor), Some(s)) = (assert_speedup, speedup) {
                 if s < floor {
-                    failures.push(format!(
+                    gate.fail(format!(
                         "{banks} banks: batched closure speedup {s:.2}x below the {floor}x floor"
                     ));
                 }
             }
             if smoke && (!guided.closed || guided.tier1_hit != guided.tier1_total) {
-                failures.push(format!(
+                gate.fail(format!(
                     "{} banks: batched closure left {}/{} tier-1 bins unhit within {} cycles: {:?}",
                     banks,
                     guided.tier1_total - guided.tier1_hit,
@@ -251,7 +168,7 @@ fn main() {
             );
             jsons.push(format!(
                 "{{\n  \"guided\": \n{},\n  \"perf\": {perf}\n}}",
-                indent(&guided.to_json())
+                indent_json(&guided.to_json())
             ));
             continue;
         }
@@ -260,7 +177,7 @@ fn main() {
         println!("{}", row(&guided));
         if smoke {
             if !guided.closed || guided.tier1_hit != guided.tier1_total {
-                failures.push(format!(
+                gate.fail(format!(
                     "{} banks: guided closure left {}/{} tier-1 bins unhit within {} cycles: {:?}",
                     banks,
                     guided.tier1_total - guided.tier1_hit,
@@ -269,30 +186,22 @@ fn main() {
                     guided.unhit
                 ));
             }
-            jsons.push(format!("{{\n  \"guided\": \n{}\n}}", indent(&guided.to_json())));
+            jsons.push(format!(
+                "{{\n  \"guided\": \n{}\n}}",
+                indent_json(&guided.to_json())
+            ));
             continue;
         }
         let random = run_closure(&cfg, false);
         println!("{}", row(&random));
         jsons.push(format!(
             "{{\n  \"guided\": \n{},\n  \"random\": \n{}\n}}",
-            indent(&guided.to_json()),
-            indent(&random.to_json())
+            indent_json(&guided.to_json()),
+            indent_json(&random.to_json())
         ));
     }
     if let Some(path) = json_path {
-        let body = jsons.iter().map(|j| indent(j)).collect::<Vec<_>>().join(",\n");
-        std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
-        eprintln!("wrote {path}");
+        write_json_array(&path, &jsons);
     }
-    if smoke || assert_speedup.is_some() {
-        if failures.is_empty() {
-            println!("closure gate: ok");
-        } else {
-            for f in &failures {
-                eprintln!("closure gate FAILED: {f}");
-            }
-            std::process::exit(1);
-        }
-    }
+    gate.finish(smoke || assert_speedup.is_some());
 }

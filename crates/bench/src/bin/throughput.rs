@@ -19,21 +19,14 @@
 //! * `--assert-speedup X` — exit non-zero unless every row's batched
 //!   engine is at least `X`× faster than the scalar engine.
 
+use la1_bench::{write_json_array, BenchArgs, Gate};
 use la1_core::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
 use la1_core::spec::{BankOp, LaConfig};
+use la1_core::stimulus::stream_seed;
 use la1_core::workloads::{RandomMix, Workload};
 use std::time::Instant;
 
 const LANES: usize = 64;
-
-/// Per-lane generator seed: splitmix64 of the base seed and lane
-/// index, matching the stream-seed recipe used by `la1-cover`.
-fn lane_seed(base: u64, lane: u64) -> u64 {
-    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane + 1));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Folds one cycle's visible outputs for one lane into a checksum.
 fn fold(h: u64, banks: u32, output: impl Fn(u32) -> Option<u64>, done: impl Fn(u32) -> bool) -> u64 {
@@ -46,57 +39,12 @@ fn fold(h: u64, banks: u32, output: impl Fn(u32) -> Option<u64>, done: impl Fn(u
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut banks_list: Vec<u32> = Vec::new();
-    let mut cycles = 2000u64;
-    let mut seed = 1u64;
-    let mut json_path: Option<String> = None;
-    let mut assert_speedup: Option<f64> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--cycles" => {
-                cycles = args
-                    .get(i + 1)
-                    .expect("--cycles requires a value")
-                    .parse()
-                    .expect("cycles must be an integer");
-                i += 2;
-            }
-            "--seed" => {
-                seed = args
-                    .get(i + 1)
-                    .expect("--seed requires a value")
-                    .parse()
-                    .expect("seed must be an integer");
-                i += 2;
-            }
-            "--json" => {
-                json_path = Some(
-                    args.get(i + 1)
-                        .expect("--json requires a path argument")
-                        .clone(),
-                );
-                i += 2;
-            }
-            "--assert-speedup" => {
-                assert_speedup = Some(
-                    args.get(i + 1)
-                        .expect("--assert-speedup requires a value")
-                        .parse()
-                        .expect("speedup floor must be a number"),
-                );
-                i += 2;
-            }
-            other => {
-                banks_list.push(other.parse().expect("bank counts must be integers"));
-                i += 1;
-            }
-        }
-    }
-    if banks_list.is_empty() {
-        banks_list = vec![1, 2, 4];
-    }
+    let mut args = BenchArgs::parse();
+    let cycles: u64 = args.value("--cycles", 2000);
+    let seed: u64 = args.value("--seed", 1);
+    let json_path: Option<String> = args.opt("--json");
+    let assert_speedup: Option<f64> = args.opt("--assert-speedup");
+    let banks_list = args.banks(&[1, 2, 4]);
 
     println!("Raw RTL kernel throughput: scalar vs 64-lane bit-parallel.");
     println!(
@@ -105,7 +53,7 @@ fn main() {
     );
     println!("{}", "-".repeat(54));
     let mut jsons = Vec::new();
-    let mut failures = Vec::new();
+    let mut gate = Gate::new("throughput");
     for &banks in &banks_list {
         let config = LaConfig::new(banks);
         let design = LaRtl::build(&config, None);
@@ -115,7 +63,7 @@ fn main() {
         let stimulus: Vec<Vec<Vec<BankOp>>> = (0..cycles)
             .scan(
                 (0..LANES)
-                    .map(|l| RandomMix::new(&config, lane_seed(seed, l as u64), 0.7, 0.5))
+                    .map(|l| RandomMix::new(&config, stream_seed(seed, l as u64), 0.7, 0.5))
                     .collect::<Vec<_>>(),
                 |gens, _| Some(gens.iter_mut().map(|g| g.next_cycle()).collect()),
             )
@@ -150,7 +98,7 @@ fn main() {
         let batched_elapsed = t0.elapsed().as_secs_f64();
 
         if scalar_sums != batched_sums {
-            failures.push(format!(
+            gate.fail(format!(
                 "{banks} banks: batched output checksums diverged from scalar"
             ));
         }
@@ -161,7 +109,7 @@ fn main() {
         println!("{banks:>6} | {scalar_ns:>14.1} | {batched_ns:>15.1} | {speedup:>7.2}x");
         if let Some(floor) = assert_speedup {
             if speedup < floor {
-                failures.push(format!(
+                gate.fail(format!(
                     "{banks} banks: kernel speedup {speedup:.2}x below the {floor}x floor"
                 ));
             }
@@ -175,22 +123,7 @@ fn main() {
         ));
     }
     if let Some(path) = json_path {
-        let body = jsons
-            .iter()
-            .map(|j| format!("  {j}"))
-            .collect::<Vec<_>>()
-            .join(",\n");
-        std::fs::write(&path, format!("[\n{body}\n]\n")).expect("write JSON output");
-        eprintln!("wrote {path}");
+        write_json_array(&path, &jsons);
     }
-    if failures.is_empty() {
-        if assert_speedup.is_some() {
-            println!("throughput gate: ok");
-        }
-    } else {
-        for f in &failures {
-            eprintln!("throughput gate FAILED: {f}");
-        }
-        std::process::exit(1);
-    }
+    gate.finish(assert_speedup.is_some());
 }

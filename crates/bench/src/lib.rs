@@ -184,3 +184,163 @@ pub fn secs(d: Duration) -> String {
 pub fn micros(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e6)
 }
+
+/// The bench binaries' shared command-line conventions: positional
+/// bank counts plus `--flag` / `--flag value` options. Recognized
+/// options are consumed one by one; whatever remains must be bank
+/// counts.
+///
+/// ```
+/// let mut args = la1_bench::BenchArgs::from_tokens(
+///     ["2", "--seed", "7", "--smoke"].map(String::from).to_vec(),
+/// );
+/// assert_eq!(args.opt::<u64>("--seed"), Some(7));
+/// assert!(args.flag("--smoke"));
+/// assert!(!args.flag("--batched"));
+/// assert_eq!(args.banks(&[1, 2, 4]), vec![2]);
+/// ```
+#[derive(Debug)]
+pub struct BenchArgs {
+    tokens: Vec<String>,
+}
+
+impl BenchArgs {
+    /// The process's arguments (program name skipped).
+    pub fn parse() -> BenchArgs {
+        BenchArgs {
+            tokens: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// An explicit token list (tests, composition).
+    pub fn from_tokens(tokens: Vec<String>) -> BenchArgs {
+        BenchArgs { tokens }
+    }
+
+    /// Consumes the boolean flag `name`; `true` when present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        match self.tokens.iter().position(|t| t == name) {
+            Some(i) => {
+                self.tokens.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes `name value`, parsing the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is missing or fails to parse — these are
+    /// operator errors the binaries report by aborting.
+    pub fn opt<T: std::str::FromStr>(&mut self, name: &str) -> Option<T> {
+        let i = self.tokens.iter().position(|t| t == name)?;
+        if i + 1 >= self.tokens.len() {
+            panic!("{name} requires a value");
+        }
+        let raw = self.tokens.remove(i + 1);
+        self.tokens.remove(i);
+        match raw.parse() {
+            Ok(v) => Some(v),
+            Err(_) => panic!("invalid value '{raw}' for {name}"),
+        }
+    }
+
+    /// Consumes `name value` with a fallback default.
+    pub fn value<T: std::str::FromStr>(&mut self, name: &str, default: T) -> T {
+        self.opt(name).unwrap_or(default)
+    }
+
+    /// Consumes the remaining positional tokens as bank counts,
+    /// falling back to `default` when none were given.
+    ///
+    /// # Panics
+    ///
+    /// Panics on leftover unrecognized flags or non-integer tokens.
+    pub fn banks(self, default: &[u32]) -> Vec<u32> {
+        let banks: Vec<u32> = self
+            .tokens
+            .iter()
+            .map(|t| {
+                t.parse().unwrap_or_else(|_| {
+                    panic!("unexpected argument '{t}' (bank counts must be integers)")
+                })
+            })
+            .collect();
+        if banks.is_empty() {
+            default.to_vec()
+        } else {
+            banks
+        }
+    }
+}
+
+/// Indents every line of a rendered JSON value by two spaces — the
+/// bench binaries' convention for nesting one report inside another.
+pub fn indent_json(json: &str) -> String {
+    json.trim_end()
+        .lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Writes `items` as a JSON array to `path`, one indented item per
+/// array slot, and logs the path to stderr — the `--json` output
+/// convention shared by every bench binary (byte-stable for a given
+/// item list).
+pub fn write_json_array(path: &str, items: &[String]) {
+    let body = items
+        .iter()
+        .map(|j| indent_json(j))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    std::fs::write(path, format!("[\n{body}\n]\n")).expect("write JSON output");
+    eprintln!("wrote {path}");
+}
+
+/// The bench binaries' pass/fail gate: failures accumulate during the
+/// run; [`Gate::finish`] prints them and exits non-zero, or prints
+/// `<name> gate: ok` when the gate was armed and nothing failed.
+#[derive(Debug)]
+pub struct Gate {
+    name: &'static str,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    /// A fresh gate for the binary `name`.
+    pub fn new(name: &'static str) -> Gate {
+        Gate {
+            name,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Records one failure.
+    pub fn fail(&mut self, message: String) {
+        self.failures.push(message);
+    }
+
+    /// Whether any failure was recorded.
+    pub fn failed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Reports the verdict: recorded failures always exit the process
+    /// non-zero; a clean result prints the ok line only when `armed`
+    /// (gate mode was requested).
+    pub fn finish(self, armed: bool) {
+        if self.failures.is_empty() {
+            if armed {
+                println!("{} gate: ok", self.name);
+            }
+            return;
+        }
+        for f in &self.failures {
+            eprintln!("{} gate FAILED: {f}", self.name);
+        }
+        std::process::exit(1);
+    }
+}

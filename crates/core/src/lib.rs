@@ -24,6 +24,7 @@
 //! | [`cycle_model`] | the one cycle-level interface all executable levels share |
 //! | [`refine`] | the Fig. 2 flow: conformance + property re-verification |
 //! | [`workloads`] | traffic generators (random mixes, packet lookups) |
+//! | [`stimulus`] | UVM-style transaction stack: sequencers, driver, monitor |
 //! | [`harness`] | the ABV measurement loops behind the paper's Table 3 |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub mod refine;
 pub mod rtl_model;
 pub mod sc_model;
 pub mod spec;
+pub mod stimulus;
 pub mod uml;
 pub mod workloads;
 

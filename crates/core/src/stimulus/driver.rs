@@ -1,0 +1,430 @@
+//! The sequencer interface and the pin-level driver.
+
+use super::item::SequenceItem;
+use crate::spec::{BankOp, LaConfig};
+use crate::workloads::Workload;
+use std::collections::VecDeque;
+
+/// What the driver tells a sequencer about the cycle it is filling.
+///
+/// `read_legal` is the LA-1B burst-spacing predicate evaluated at the
+/// start of the cycle — sequencers that *drop* rather than delay an
+/// inopportune read (the legacy `GuidedMix` random fill) consult it,
+/// and open-loop streaming sequencers use it to fill bus-busy cycles
+/// with writes.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqContext {
+    /// Cycle index the driver is assembling (0-based).
+    pub cycle: u64,
+    /// Whether the output bus can accept a read this cycle under the
+    /// burst-spacing rule.
+    pub read_legal: bool,
+    /// Bank count of the configuration.
+    pub banks: u32,
+    /// Words per bank.
+    pub words: u64,
+}
+
+/// A transaction-level stimulus source: yields one
+/// [`SequenceItem`] at a time; [`SequenceItem::Idle`] closes the
+/// master's cycle. Sequencers are infinite — a finished scenario keeps
+/// yielding `Idle`.
+pub trait Sequencer {
+    /// The next item for the cycle described by `ctx`.
+    fn next_item(&mut self, ctx: &SeqContext) -> SequenceItem;
+}
+
+/// Driver bookkeeping: how the item stream was mapped onto cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Read strobes driven.
+    pub reads_issued: u64,
+    /// Write strobes driven.
+    pub writes_issued: u64,
+    /// Cycles driven with no operation.
+    pub idle_cycles: u64,
+    /// Items the bus could not take in their cycle and the driver held
+    /// for a later one (delayed, never dropped).
+    pub items_delayed: u64,
+    /// Cycles that carried raw (legality-bypassing) operations.
+    pub raw_cycles: u64,
+}
+
+/// Maps [`SequenceItem`]s onto per-cycle pin wiggles, owning the
+/// protocol legality rules (see the [module docs](super)).
+///
+/// One driver serves one or more masters ([`Driver::with_masters`]);
+/// each cycle it pulls items from every master in round-robin priority
+/// order until the master yields [`SequenceItem::Idle`] or an item the
+/// bus cannot take — such an item is parked in the master's pending
+/// slot and replayed first on the following cycles (delayed, not
+/// dropped). Within a cycle the assembled operations are always
+/// ordered read-then-write (then raw), matching the legacy generators
+/// byte for byte.
+#[derive(Debug)]
+pub struct Driver {
+    banks: u32,
+    words: u64,
+    burst_len: u64,
+    cycle: u64,
+    last_read: Option<u64>,
+    /// Per-master parked item (the one the bus couldn't take yet).
+    pending: Vec<Option<SequenceItem>>,
+    /// Round-robin arbitration pointer: which master has priority.
+    rr_next: usize,
+    inject_x: bool,
+    stats: DriverStats,
+}
+
+/// Outcome of trying to place one item into the cycle being built.
+enum Placed {
+    /// Item taken; keep pulling from this master.
+    Taken,
+    /// Item taken and the master's cycle is over (raw ops, burst
+    /// continuation queued).
+    TakenEndsCycle,
+    /// The bus cannot take the item this cycle; park it.
+    Blocked(SequenceItem),
+}
+
+/// The cycle being assembled: one read slot, one write slot, raw tail.
+#[derive(Default)]
+struct CycleSlots {
+    read: Option<BankOp>,
+    write: Option<BankOp>,
+    raw: Vec<BankOp>,
+}
+
+impl Driver {
+    /// A single-master driver for `config`.
+    pub fn new(config: &LaConfig) -> Driver {
+        Driver::with_masters(config, 1)
+    }
+
+    /// A driver arbitrating `masters` sequencers (round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` is zero.
+    pub fn with_masters(config: &LaConfig, masters: usize) -> Driver {
+        assert!(masters > 0, "at least one master");
+        Driver {
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            burst_len: config.burst_len as u64,
+            cycle: 0,
+            last_read: None,
+            pending: vec![None; masters],
+            rr_next: 0,
+            inject_x: false,
+            stats: DriverStats::default(),
+        }
+    }
+
+    /// Cycles driven so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Mapping statistics so far.
+    pub fn stats(&self) -> &DriverStats {
+        &self.stats
+    }
+
+    /// Whether the output bus can accept a read this cycle (LA-1B
+    /// burst spacing; always true under plain LA-1). The same formula
+    /// the legacy `GuidedMix` applied.
+    pub fn read_legal(&self) -> bool {
+        self.burst_len < 2
+            || self
+                .last_read
+                .is_none_or(|c| self.cycle - c >= self.burst_len)
+    }
+
+    /// Drops (and returns) the item parked in `master`'s pending slot.
+    ///
+    /// Coverage-guided retargeting replaces a sequencer's whole plan;
+    /// a read delayed out of the *old* plan must be dropped with it —
+    /// exactly what the legacy generator did by clearing its plan
+    /// front.
+    pub fn cancel_pending(&mut self, master: usize) -> Option<SequenceItem> {
+        self.pending[master].take()
+    }
+
+    /// Takes (and clears) a pending [`SequenceItem::InjectX`] request.
+    /// The caller owns the model, so the caller arms the X drive —
+    /// typically `LaRtlDriver::inject_x(XPin::WData)` — before the
+    /// cycle runs.
+    pub fn take_inject_x(&mut self) -> bool {
+        std::mem::take(&mut self.inject_x)
+    }
+
+    /// Assembles one cycle from a single master.
+    pub fn cycle_from(&mut self, seq: &mut dyn Sequencer) -> Vec<BankOp> {
+        let mut masters: [&mut dyn Sequencer; 1] = [seq];
+        self.cycle_multi(&mut masters)
+    }
+
+    /// Assembles one cycle from several masters under round-robin
+    /// arbitration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` does not match the construction-time count.
+    pub fn cycle_multi(&mut self, masters: &mut [&mut dyn Sequencer]) -> Vec<BankOp> {
+        assert_eq!(
+            masters.len(),
+            self.pending.len(),
+            "master count fixed at construction"
+        );
+        let ctx = SeqContext {
+            cycle: self.cycle,
+            read_legal: self.read_legal(),
+            banks: self.banks,
+            words: self.words,
+        };
+        let mut slots = CycleSlots::default();
+        let n = masters.len();
+        for k in 0..n {
+            let m = (self.rr_next + k) % n;
+            // the item held back from an earlier cycle goes first; if
+            // the bus still cannot take it, the master stays stalled
+            if let Some(item) = self.pending[m].take() {
+                match self.place(m, item, &ctx, &mut slots) {
+                    Placed::Taken => {}
+                    Placed::TakenEndsCycle => continue,
+                    Placed::Blocked(item) => {
+                        self.pending[m] = Some(item);
+                        continue;
+                    }
+                }
+            }
+            loop {
+                match masters[m].next_item(&ctx) {
+                    SequenceItem::Idle => break,
+                    item => match self.place(m, item, &ctx, &mut slots) {
+                        Placed::Taken => {}
+                        Placed::TakenEndsCycle => break,
+                        Placed::Blocked(item) => {
+                            self.stats.items_delayed += 1;
+                            self.pending[m] = Some(item);
+                            break;
+                        }
+                    },
+                }
+            }
+        }
+        if n > 1 {
+            self.rr_next = (self.rr_next + 1) % n;
+        }
+        let mut ops = Vec::new();
+        ops.extend(slots.read);
+        ops.extend(slots.write);
+        ops.append(&mut slots.raw);
+        self.stats.reads_issued += ops.iter().filter(|o| o.is_read()).count() as u64;
+        self.stats.writes_issued += ops.iter().filter(|o| !o.is_read()).count() as u64;
+        if ops.is_empty() {
+            self.stats.idle_cycles += 1;
+        }
+        if ops.iter().any(BankOp::is_read) {
+            self.last_read = Some(self.cycle);
+        }
+        self.cycle += 1;
+        ops
+    }
+
+    /// Tries to take `item` into the cycle being built.
+    fn place(
+        &mut self,
+        master: usize,
+        item: SequenceItem,
+        ctx: &SeqContext,
+        slots: &mut CycleSlots,
+    ) -> Placed {
+        match item {
+            SequenceItem::Read { bank, addr } => {
+                if slots.read.is_none() && ctx.read_legal {
+                    slots.read = Some(BankOp::read(bank, addr));
+                    Placed::Taken
+                } else {
+                    Placed::Blocked(SequenceItem::Read { bank, addr })
+                }
+            }
+            SequenceItem::Write {
+                bank,
+                addr,
+                data,
+                byte_en,
+            } => {
+                if slots.write.is_none() {
+                    slots.write = Some(BankOp::write(bank, addr, data, byte_en));
+                    Placed::Taken
+                } else {
+                    Placed::Blocked(SequenceItem::Write {
+                        bank,
+                        addr,
+                        data,
+                        byte_en,
+                    })
+                }
+            }
+            SequenceItem::Burst { bank, addr } => {
+                if slots.read.is_some() || !ctx.read_legal {
+                    return Placed::Blocked(SequenceItem::Burst { bank, addr });
+                }
+                slots.read = Some(BankOp::read(bank, addr));
+                if self.burst_len >= 2 {
+                    // one strobe; the device streams the beats
+                    Placed::Taken
+                } else {
+                    // plain LA-1: emulate the burst with a queued
+                    // second single-beat read
+                    self.pending[master] = Some(SequenceItem::Read {
+                        bank,
+                        addr: addr + 1,
+                    });
+                    Placed::TakenEndsCycle
+                }
+            }
+            SequenceItem::InjectX => {
+                self.inject_x = true;
+                Placed::Taken
+            }
+            SequenceItem::Raw(mut ops) => {
+                self.stats.raw_cycles += 1;
+                slots.raw.append(&mut ops);
+                Placed::TakenEndsCycle
+            }
+            SequenceItem::Idle => unreachable!("Idle is handled by the pull loop"),
+        }
+    }
+}
+
+/// A single-sequencer agent: [`Driver`] plus its [`Sequencer`],
+/// packaged as a [`Workload`] so the whole transaction stack plugs
+/// into every existing measurement/co-execution/coverage loop.
+#[derive(Debug)]
+pub struct Agent<S: Sequencer> {
+    driver: Driver,
+    seq: S,
+}
+
+impl<S: Sequencer> Agent<S> {
+    /// Packages `seq` behind a fresh single-master driver.
+    pub fn new(config: &LaConfig, seq: S) -> Agent<S> {
+        Agent {
+            driver: Driver::new(config),
+            seq,
+        }
+    }
+
+    /// The sequencer (e.g. to retarget a coverage-guided one).
+    pub fn seq_mut(&mut self) -> &mut S {
+        &mut self.seq
+    }
+
+    /// The driver.
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// The driver, mutably (pending-slot cancellation on retarget).
+    pub fn driver_mut(&mut self) -> &mut Driver {
+        &mut self.driver
+    }
+}
+
+impl<S: Sequencer> Workload for Agent<S> {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        self.driver.cycle_from(&mut self.seq)
+    }
+}
+
+/// A multi-master agent: several boxed sequencers behind one
+/// arbitrating driver — the contention workload's engine.
+pub struct MultiAgent {
+    driver: Driver,
+    masters: Vec<Box<dyn Sequencer>>,
+}
+
+impl MultiAgent {
+    /// Packages `masters` behind one round-robin-arbitrating driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `masters` is empty.
+    pub fn new(config: &LaConfig, masters: Vec<Box<dyn Sequencer>>) -> MultiAgent {
+        MultiAgent {
+            driver: Driver::with_masters(config, masters.len()),
+            masters,
+        }
+    }
+
+    /// Number of masters sharing the bus.
+    pub fn masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// The driver.
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+}
+
+impl Workload for MultiAgent {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        let mut refs: Vec<&mut dyn Sequencer> = Vec::with_capacity(self.masters.len());
+        for m in &mut self.masters {
+            refs.push(&mut **m);
+        }
+        self.driver.cycle_multi(&mut refs)
+    }
+}
+
+/// Replays a pre-computed cycle script through the transaction layer:
+/// each scripted cycle becomes its items plus an [`SequenceItem::Idle`]
+/// terminator; an exhausted script idles forever.
+#[derive(Debug)]
+pub struct ScriptSequence {
+    cycles: std::vec::IntoIter<Vec<BankOp>>,
+    queue: VecDeque<SequenceItem>,
+}
+
+impl ScriptSequence {
+    /// A sequencer replaying `script`.
+    pub fn new(script: Vec<Vec<BankOp>>) -> ScriptSequence {
+        ScriptSequence {
+            cycles: script.into_iter(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl Sequencer for ScriptSequence {
+    fn next_item(&mut self, _ctx: &SeqContext) -> SequenceItem {
+        if self.queue.is_empty() {
+            match self.cycles.next() {
+                Some(ops) => {
+                    self.queue.extend(ops.iter().map(SequenceItem::from_op));
+                    self.queue.push_back(SequenceItem::Idle);
+                }
+                None => return SequenceItem::Idle,
+            }
+        }
+        self.queue.pop_front().expect("queue refilled above")
+    }
+}
+
+/// Derives stream `i`'s seed from a base seed (splitmix-style
+/// finalizer) — the one recipe the multi-stream closure, the
+/// throughput bench and the traffic workloads all share, so lane `i`
+/// of a batched run replays scalar stream `i` exactly.
+pub fn stream_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}

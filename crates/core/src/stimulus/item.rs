@@ -1,0 +1,73 @@
+//! The transaction vocabulary of the LA-1 stimulus stack.
+
+use crate::spec::BankOp;
+
+/// One transaction-level stimulus item, as yielded by a
+/// [`Sequencer`](super::Sequencer) and mapped onto pins by the
+/// [`Driver`](super::Driver).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequenceItem {
+    /// A single-word read of `(bank, addr)`.
+    Read {
+        /// Target bank.
+        bank: u32,
+        /// Word address within the bank.
+        addr: u64,
+    },
+    /// A write of `data` to `(bank, addr)` under the byte-enable mask.
+    Write {
+        /// Target bank.
+        bank: u32,
+        /// Word address within the bank.
+        addr: u64,
+        /// Data word.
+        data: u64,
+        /// Byte-enable mask (all ones = full-word write).
+        byte_en: u32,
+    },
+    /// A burst read starting at `(bank, addr)`. Under an LA-1B
+    /// configuration this is one read strobe (the device streams
+    /// `burst_len` beats); under plain LA-1 the driver expands it into
+    /// back-to-back single reads of `addr` and `addr + 1`, so one
+    /// burst-stream sequence runs unchanged on both configurations.
+    /// The caller keeps `addr + burst_len - 1` in range.
+    Burst {
+        /// Target bank.
+        bank: u32,
+        /// First-beat word address.
+        addr: u64,
+    },
+    /// End of this master's cycle: the driver closes the cycle (an
+    /// empty cycle when nothing was placed).
+    Idle,
+    /// Arm a one-cycle X drive on the write-data pins (four-state RTL
+    /// levels; the driver only latches the request — see
+    /// [`Driver::take_inject_x`](super::Driver::take_inject_x)).
+    InjectX,
+    /// Raw pin-level operations emitted verbatim, bypassing the
+    /// driver's legality rules and slot accounting — the escape hatch
+    /// hostile/fault sequences use to put *illegal* stimulus on the
+    /// bus on purpose. Ends the master's cycle.
+    Raw(Vec<BankOp>),
+}
+
+impl SequenceItem {
+    /// The item driving exactly `op` (used when replaying pre-computed
+    /// cycle scripts through the transaction layer).
+    pub fn from_op(op: &BankOp) -> SequenceItem {
+        match *op {
+            BankOp::Read { bank, addr } => SequenceItem::Read { bank, addr },
+            BankOp::Write {
+                bank,
+                addr,
+                data,
+                byte_en,
+            } => SequenceItem::Write {
+                bank,
+                addr,
+                data,
+                byte_en,
+            },
+        }
+    }
+}

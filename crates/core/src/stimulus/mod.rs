@@ -1,0 +1,50 @@
+//! The transaction-level stimulus stack (UVM-style).
+//!
+//! The paper's verification flow drives every refinement level with
+//! per-cycle pin wiggles (`&[BankOp]`). This module layers the
+//! canonical UVM decomposition on top of that cycle layer, so
+//! scenarios are written once, in terms of *transactions*, and reused
+//! unchanged against ASM, SystemC, interpreted RTL and RTL+OVL:
+//!
+//! ```text
+//!   Sequencer ──items──► Driver ──ops/cycle──► CycleModel (any level)
+//!      ▲                   │                        │ pins
+//!      └── SeqContext ─────┘                        ▼
+//!          (cycle, read_legal)             TransactionMonitor
+//!                                          (reconstructed reads/writes,
+//!                                           shadow-memory scoreboard)
+//! ```
+//!
+//! * [`SequenceItem`] — one LA-1/LA-1B transaction: read, write, burst
+//!   read, idle, X injection, or a raw pin-level escape hatch for
+//!   hostile/fault stimulus;
+//! * [`Sequencer`] — yields items; ports of the legacy generators
+//!   ([`RandomMix`](crate::workloads::RandomMix), `GuidedMix` in
+//!   `la1-cover`) and the new traffic models in [`traffic`] all
+//!   implement it;
+//! * [`Driver`] — maps items onto per-cycle pin wiggles and **owns the
+//!   protocol legality rules** that used to be buried inside the
+//!   generators: at most one read and one write per cycle (single
+//!   address bus), LA-1B burst spacing, and delayed-not-dropped reads
+//!   (an item the bus cannot take yet is held, never discarded). With
+//!   several masters it arbitrates round-robin, which is what makes
+//!   multi-master contention expressible at all;
+//! * [`TransactionMonitor`] — reconstructs transactions back out of
+//!   the pins every [`CycleModel`](crate::cycle_model::CycleModel)
+//!   exposes, keeps a shadow memory, and scoreboards read data —
+//!   the transaction-level detection channel the `traffic` bench
+//!   scores fault injection with.
+//!
+//! Determinism is preserved wholesale: a [`Driver`]+[`Sequencer`] pair
+//! is a pure function of `(seed, config)`, and the ports of the legacy
+//! generators reproduce their exact historical cycle streams (golden
+//! files under `crates/cover/golden/`).
+
+mod driver;
+mod item;
+mod monitor;
+pub mod traffic;
+
+pub use driver::{stream_seed, Agent, Driver, DriverStats, MultiAgent, ScriptSequence, SeqContext, Sequencer};
+pub use item::SequenceItem;
+pub use monitor::{Transaction, TransactionMonitor};

@@ -1,0 +1,333 @@
+//! Transaction reconstruction from pins, with a shadow-memory
+//! scoreboard.
+
+use crate::cycle_model::{CycleModel, CycleObserver};
+use crate::spec::{BankOp, LaConfig, READ_LATENCY};
+
+/// One reconstructed transaction, as logged by
+/// [`TransactionMonitor::with_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transaction {
+    /// A completed (or abandoned) read lookup.
+    Read {
+        /// Bank the read targeted.
+        bank: u32,
+        /// First-beat word address.
+        addr: u64,
+        /// Cycle the read strobe was driven.
+        issued: u64,
+        /// Cycle the final beat appeared, if the lookup completed.
+        completed: Option<u64>,
+        /// The data beats the device produced.
+        data: Vec<u64>,
+    },
+    /// A write whose strobe was driven at `issued`.
+    Write {
+        /// Bank the write targeted.
+        bank: u32,
+        /// Word address.
+        addr: u64,
+        /// Data word (as masked onto the shadow memory).
+        data: u64,
+        /// Byte-enable mask.
+        byte_en: u32,
+        /// Cycle the write strobe was driven.
+        issued: u64,
+        /// Whether the write-done flag came back the next cycle.
+        committed: bool,
+    },
+}
+
+/// Counters accumulated by the [`TransactionMonitor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Read strobes seen on the pins.
+    pub reads_issued: u64,
+    /// Write strobes seen on the pins.
+    pub writes_issued: u64,
+    /// Reads whose every beat arrived on time — completed lookups.
+    pub lookups_completed: u64,
+    /// Writes acknowledged by `write_done` the following cycle.
+    pub writes_committed: u64,
+    /// Beats whose data disagreed with the shadow memory.
+    pub data_mismatches: u64,
+    /// Beats that were due but never produced (dropped strobes,
+    /// over-subscribed hostile reads).
+    pub missing_dv: u64,
+    /// Data-valid assertions with no read due — phantom outputs.
+    pub spurious_dv: u64,
+    /// Writes whose `write_done` never came back.
+    pub missing_wdone: u64,
+    /// Cycles on which a bank flagged a parity error.
+    pub parity_errors: u64,
+    /// Sum of issue-to-last-beat latencies over completed lookups
+    /// (divide by `lookups_completed` for the mean).
+    pub total_read_latency: u64,
+}
+
+impl MonitorStats {
+    /// Whether any scoreboard/protocol check fired.
+    pub fn clean(&self) -> bool {
+        self.data_mismatches == 0
+            && self.missing_dv == 0
+            && self.spurious_dv == 0
+            && self.missing_wdone == 0
+            && self.parity_errors == 0
+    }
+}
+
+/// One expected data beat of an in-flight read.
+#[derive(Debug, Clone)]
+struct Beat {
+    addr: u64,
+    /// Cycle the beat's data is due on the pins.
+    due: u64,
+    /// Shadow snapshot the beat must match (filled at `issued + k`,
+    /// matching the refinement models' commit visibility: the first
+    /// beat sees writes up to the issue cycle, the second burst beat
+    /// additionally sees the next cycle's write).
+    expected: Option<u64>,
+    seen: Option<u64>,
+}
+
+/// One read transaction in flight between strobe and final beat.
+#[derive(Debug, Clone)]
+struct InFlight {
+    bank: u32,
+    addr: u64,
+    issued: u64,
+    beats: Vec<Beat>,
+}
+
+/// Reconstructs transactions from the pins of any
+/// [`CycleModel`] level and scoreboards them against a shadow memory —
+/// the UVM monitor of the stimulus stack. Attach it as a
+/// [`CycleObserver`] (e.g. through
+/// [`run_abv_observed`](crate::harness::run_abv_observed)), or call
+/// [`TransactionMonitor::observe`] by hand with the *intended*
+/// operations while driving the model with injected ones to score
+/// fault campaigns at transaction level.
+#[derive(Debug)]
+pub struct TransactionMonitor {
+    cfg: LaConfig,
+    /// Data beats per read strobe (burst length under LA-1B, 1 under
+    /// plain LA-1).
+    beats_per_read: u64,
+    cycle: u64,
+    shadow: Vec<Vec<u64>>,
+    in_flight: Vec<InFlight>,
+    /// Banks written last cycle (their `write_done` is due now),
+    /// with the log slot to mark committed.
+    wdone_due: Vec<(u32, Option<usize>)>,
+    stats: MonitorStats,
+    log: Option<(Vec<Transaction>, usize)>,
+}
+
+impl TransactionMonitor {
+    /// A monitor for `config` with no transaction log.
+    pub fn new(config: &LaConfig) -> TransactionMonitor {
+        let beats = if config.is_burst() {
+            config.burst_len as u64
+        } else {
+            1
+        };
+        TransactionMonitor {
+            cfg: config.clone(),
+            beats_per_read: beats,
+            cycle: 0,
+            shadow: vec![vec![0; config.words_per_bank as usize]; config.banks as usize],
+            in_flight: Vec::new(),
+            wdone_due: Vec::new(),
+            stats: MonitorStats::default(),
+            log: None,
+        }
+    }
+
+    /// A monitor that additionally keeps the most recent `cap`
+    /// reconstructed transactions.
+    pub fn with_log(config: &LaConfig, cap: usize) -> TransactionMonitor {
+        let mut m = TransactionMonitor::new(config);
+        m.log = Some((Vec::new(), cap));
+        m
+    }
+
+    /// The accumulated counters.
+    pub fn stats(&self) -> &MonitorStats {
+        &self.stats
+    }
+
+    /// The transaction log (empty unless built with
+    /// [`TransactionMonitor::with_log`]).
+    pub fn transactions(&self) -> &[Transaction] {
+        self.log.as_ref().map_or(&[], |(l, _)| l.as_slice())
+    }
+
+    /// The word the scoreboard believes `(bank, addr)` holds.
+    pub fn shadow_word(&self, bank: u32, addr: u64) -> u64 {
+        self.shadow[bank as usize][addr as usize]
+    }
+
+    /// Cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    fn push_log(&mut self, t: Transaction) -> Option<usize> {
+        match &mut self.log {
+            Some((log, cap)) if log.len() < *cap => {
+                log.push(t);
+                Some(log.len() - 1)
+            }
+            _ => None,
+        }
+    }
+
+    /// Step 1: match this cycle's data-valid pins against due beats.
+    fn check_outputs(&mut self, model: &mut dyn CycleModel) {
+        let now = self.cycle;
+        for bank in 0..self.cfg.banks {
+            let produced = model.bank_output(bank);
+            let mut consumed = false;
+            for fl in self.in_flight.iter_mut().filter(|f| f.bank == bank) {
+                for beat in fl.beats.iter_mut().filter(|b| b.due == now) {
+                    match produced {
+                        Some(word) if !consumed => {
+                            consumed = true;
+                            beat.seen = Some(word);
+                            if beat.expected.is_some_and(|e| e != word) {
+                                self.stats.data_mismatches += 1;
+                            }
+                        }
+                        // a second due beat on the same bank (hostile
+                        // double read) or no output at all: the beat
+                        // is lost, never delivered late
+                        _ => {
+                            beat.seen = None;
+                            self.stats.missing_dv += 1;
+                        }
+                    }
+                }
+            }
+            if produced.is_some() && !consumed {
+                self.stats.spurious_dv += 1;
+            }
+        }
+        // retire transactions whose final beat was due this cycle
+        let mut retired = Vec::new();
+        self.in_flight.retain(|fl| {
+            if fl.beats.last().is_some_and(|b| b.due <= now) {
+                retired.push(fl.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for fl in retired {
+            let complete = fl.beats.iter().all(|b| b.seen.is_some());
+            let last = fl.beats.last().map_or(fl.issued, |b| b.due);
+            if complete {
+                self.stats.lookups_completed += 1;
+                self.stats.total_read_latency += last - fl.issued;
+            }
+            self.push_log(Transaction::Read {
+                bank: fl.bank,
+                addr: fl.addr,
+                issued: fl.issued,
+                completed: complete.then_some(last),
+                data: fl.beats.iter().filter_map(|b| b.seen).collect(),
+            });
+        }
+    }
+
+    /// Step 2: writes strobed last cycle must report `write_done` now.
+    fn check_wdone(&mut self, model: &mut dyn CycleModel) {
+        for (bank, slot) in std::mem::take(&mut self.wdone_due) {
+            if model.write_done(bank) {
+                self.stats.writes_committed += 1;
+                if let (Some(idx), Some((log, _))) = (slot, &mut self.log) {
+                    if let Transaction::Write { committed, .. } = &mut log[idx] {
+                        *committed = true;
+                    }
+                }
+            } else {
+                self.stats.missing_wdone += 1;
+            }
+        }
+    }
+
+    /// Steps 4–5: fold this cycle's operations into the shadow memory,
+    /// open in-flight reads, and snapshot expected beat data.
+    fn track_ops(&mut self, ops: &[BankOp]) {
+        let now = self.cycle;
+        // writes commit to the shadow first: the models make a write
+        // visible to a read strobed in the very same cycle
+        for op in ops {
+            if let BankOp::Write {
+                bank,
+                addr,
+                data,
+                byte_en,
+            } = *op
+            {
+                self.stats.writes_issued += 1;
+                let mask = self.cfg.bit_mask_of(byte_en);
+                let word = &mut self.shadow[bank as usize][addr as usize];
+                *word = (*word & !mask) | (self.cfg.mask_word(data) & mask);
+                let slot = self.push_log(Transaction::Write {
+                    bank,
+                    addr,
+                    data: self.cfg.mask_word(data),
+                    byte_en,
+                    issued: now,
+                    committed: false,
+                });
+                self.wdone_due.push((bank, slot));
+            }
+        }
+        for op in ops {
+            if let BankOp::Read { bank, addr } = *op {
+                self.stats.reads_issued += 1;
+                let words = self.cfg.words_per_bank as u64;
+                let beats = (0..self.beats_per_read)
+                    .map(|k| Beat {
+                        addr: (addr + k) % words,
+                        due: now + READ_LATENCY as u64 + k,
+                        expected: None,
+                        seen: None,
+                    })
+                    .collect();
+                self.in_flight.push(InFlight {
+                    bank,
+                    addr,
+                    issued: now,
+                    beats,
+                });
+            }
+        }
+        // snapshot expected data for every beat whose visibility
+        // horizon is this cycle (beat k of a read issued at n sees
+        // writes up to cycle n + k)
+        for fl in &mut self.in_flight {
+            let bank = fl.bank as usize;
+            for (k, beat) in fl.beats.iter_mut().enumerate() {
+                if fl.issued + k as u64 == now {
+                    beat.expected = Some(self.shadow[bank][beat.addr as usize]);
+                }
+            }
+        }
+    }
+}
+
+impl CycleObserver for TransactionMonitor {
+    fn observe(&mut self, ops: &[BankOp], model: &mut dyn CycleModel) {
+        self.check_outputs(model);
+        self.check_wdone(model);
+        for bank in 0..self.cfg.banks {
+            if model.parity_error(bank) {
+                self.stats.parity_errors += 1;
+            }
+        }
+        self.track_ops(ops);
+        self.cycle += 1;
+    }
+}

@@ -1,0 +1,288 @@
+//! Realistic NPU traffic sequencers — the workloads only expressible
+//! at transaction level.
+//!
+//! Three scenarios, all pure functions of `(seed, config)`:
+//!
+//! * [`contention`] — several independent masters behind one
+//!   round-robin-arbitrated [`Driver`](super::Driver), modelling a
+//!   multi-engine NPU sharing a single look-aside channel;
+//! * [`QdrStream`] — a QDR-style sustained burst-read sweep that keeps
+//!   the output bus at full occupancy, filling LA-1B burst gaps with
+//!   table writes;
+//! * [`PacketStream`] — seeded packet-lookup traffic: Zipf-distributed
+//!   flow popularity (a few elephant flows dominate), bursty arrivals
+//!   (two-state Markov on/off process), occasional control-plane
+//!   updates. Lookups are emitted regardless of bus availability — the
+//!   driver's delayed-not-dropped rule plays the input FIFO.
+
+use super::driver::{stream_seed, MultiAgent, SeqContext, Sequencer};
+use super::item::SequenceItem;
+use crate::spec::LaConfig;
+use crate::workloads::{FlowTuple, RandomMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A precomputed Zipf(s) distribution over `n` keys: key `k` is drawn
+/// with probability proportional to `1 / (k + 1)^s`. Sampling is a
+/// binary search over the CDF driven by one `u64` draw, so a seeded
+/// generator replays exactly.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// The distribution over `n` keys with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative.
+    pub fn new(n: usize, s: f64) -> ZipfKeys {
+        assert!(n > 0, "at least one key");
+        assert!(s >= 0.0, "non-negative exponent");
+        let mut cdf: Vec<f64> = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfKeys { cdf }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over zero keys (never — see
+    /// [`ZipfKeys::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one key index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        // 53 uniform mantissa bits → [0, 1)
+        let u = (rng.gen::<u64>() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// The classification-table address a flow hashes to (the same
+/// high-bits/low-bits striping as
+/// [`PacketLookup`](crate::workloads::PacketLookup)).
+fn table_address(flow: &FlowTuple, banks: u32, words: u64) -> (u32, u64) {
+    let h = flow.hash();
+    ((h >> 56) as u32 % banks, h % words)
+}
+
+/// Seeded packet-lookup traffic: bursty arrivals of Zipf-popular flows
+/// hashed into table reads, with occasional control-plane writes. See
+/// the [module docs](self).
+#[derive(Debug)]
+pub struct PacketStream {
+    rng: StdRng,
+    banks: u32,
+    words: u64,
+    byte_enables: u32,
+    flows: Vec<FlowTuple>,
+    zipf: ZipfKeys,
+    /// Markov arrival state: inside a packet burst?
+    in_burst: bool,
+    start_prob: f64,
+    stop_prob: f64,
+    update_rate: f64,
+    last_cycle: Option<u64>,
+    queue: VecDeque<SequenceItem>,
+}
+
+impl PacketStream {
+    /// A stream over `flow_pool` synthetic flows with Zipf exponent
+    /// `s`. Default arrival process: bursts start with probability 0.3
+    /// per idle cycle and end with probability 0.2 per burst cycle
+    /// (mean burst length 5); 5 % of cycles carry a table update.
+    pub fn new(config: &LaConfig, seed: u64, flow_pool: usize, s: f64) -> PacketStream {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows = (0..flow_pool.max(1))
+            .map(|_| FlowTuple {
+                src: rng.gen(),
+                dst: rng.gen(),
+                sport: rng.gen(),
+                dport: rng.gen(),
+                proto: if rng.gen_bool(0.7) { 6 } else { 17 },
+            })
+            .collect();
+        PacketStream {
+            rng,
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            byte_enables: config.byte_enables(),
+            flows,
+            zipf: ZipfKeys::new(flow_pool.max(1), s),
+            in_burst: false,
+            start_prob: 0.3,
+            stop_prob: 0.2,
+            update_rate: 0.05,
+            last_cycle: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Overrides the arrival-process rates.
+    pub fn with_rates(mut self, start: f64, stop: f64, update: f64) -> PacketStream {
+        self.start_prob = start;
+        self.stop_prob = stop;
+        self.update_rate = update;
+        self
+    }
+
+    /// One cycle's worth of traffic.
+    fn fill(&mut self) {
+        let lookup = if self.in_burst {
+            self.in_burst = !self.rng.gen_bool(self.stop_prob);
+            true
+        } else {
+            self.in_burst = self.rng.gen_bool(self.start_prob);
+            // a burst starting this cycle carries its first packet
+            self.in_burst
+        };
+        if lookup {
+            let flow = self.flows[self.zipf.sample(&mut self.rng)];
+            let (bank, addr) = table_address(&flow, self.banks, self.words);
+            self.queue.push_back(SequenceItem::Read { bank, addr });
+        }
+        if self.rng.gen_bool(self.update_rate) {
+            let flow = self.flows[self.zipf.sample(&mut self.rng)];
+            let (bank, addr) = table_address(&flow, self.banks, self.words);
+            let action = self.rng.gen::<u32>() as u64;
+            self.queue.push_back(SequenceItem::Write {
+                bank,
+                addr,
+                data: flow.hash() ^ action,
+                byte_en: (1 << self.byte_enables) - 1,
+            });
+        }
+    }
+}
+
+impl Sequencer for PacketStream {
+    fn next_item(&mut self, ctx: &SeqContext) -> SequenceItem {
+        if self.last_cycle != Some(ctx.cycle) {
+            self.last_cycle = Some(ctx.cycle);
+            // carry unconsumed work into the new cycle, drop the stale
+            // cycle terminator
+            self.queue.retain(|i| *i != SequenceItem::Idle);
+            self.fill();
+            self.queue.push_back(SequenceItem::Idle);
+        }
+        self.queue.pop_front().unwrap_or(SequenceItem::Idle)
+    }
+}
+
+/// A QDR-style sustained burst-read stream: sequential
+/// [`SequenceItem::Burst`] strobes sweeping every bank at maximum
+/// legal rate, with seeded full-word writes filling a fraction of the
+/// LA-1B burst-gap cycles. Under plain LA-1 the driver expands each
+/// burst into back-to-back reads, so one sequence definition sustains
+/// full bus occupancy on both configurations.
+#[derive(Debug)]
+pub struct QdrStream {
+    rng: StdRng,
+    banks: u32,
+    words: u64,
+    byte_enables: u32,
+    burst_len: u64,
+    bank: u32,
+    addr: u64,
+    /// probability a burst-gap cycle carries a write
+    write_prob: f64,
+    last_cycle: Option<u64>,
+    queue: VecDeque<SequenceItem>,
+}
+
+impl QdrStream {
+    /// The stream for `config`, writing in a gap cycle with
+    /// probability `write_prob`.
+    pub fn new(config: &LaConfig, seed: u64, write_prob: f64) -> QdrStream {
+        QdrStream {
+            rng: StdRng::seed_from_u64(seed),
+            banks: config.banks,
+            words: config.words_per_bank as u64,
+            byte_enables: config.byte_enables(),
+            burst_len: (config.burst_len as u64).max(2),
+            bank: 0,
+            addr: 0,
+            write_prob,
+            last_cycle: None,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn fill(&mut self, ctx: &SeqContext) {
+        if ctx.read_legal {
+            self.queue.push_back(SequenceItem::Burst {
+                bank: self.bank,
+                addr: self.addr,
+            });
+            // keep the whole burst (addr .. addr + burst_len - 1) in
+            // range; wrap to the next bank at the end of the sweep
+            self.addr += self.burst_len;
+            if self.addr + self.burst_len > self.words {
+                self.addr = 0;
+                self.bank = (self.bank + 1) % self.banks;
+            }
+        } else if self.rng.gen_bool(self.write_prob) {
+            let bank = self.rng.gen_range(0..self.banks);
+            let addr = self.rng.gen_range(0..self.words);
+            self.queue.push_back(SequenceItem::Write {
+                bank,
+                addr,
+                data: self.rng.gen(),
+                byte_en: (1 << self.byte_enables) - 1,
+            });
+        }
+    }
+}
+
+impl Sequencer for QdrStream {
+    fn next_item(&mut self, ctx: &SeqContext) -> SequenceItem {
+        if self.last_cycle != Some(ctx.cycle) {
+            self.last_cycle = Some(ctx.cycle);
+            self.queue.retain(|i| *i != SequenceItem::Idle);
+            self.fill(ctx);
+            self.queue.push_back(SequenceItem::Idle);
+        }
+        self.queue.pop_front().unwrap_or(SequenceItem::Idle)
+    }
+}
+
+/// A multi-master contention workload: `masters` independent full-word
+/// [`RandomMix`] sequencers (per-master seeds derived with
+/// [`stream_seed`]) arbitrated round-robin by one driver. Reads that
+/// lose arbitration are delayed to the next cycle, never dropped —
+/// the scenario the single-sequencer legacy generators could not
+/// express.
+///
+/// # Panics
+///
+/// Panics if `masters` is zero.
+pub fn contention(config: &LaConfig, seed: u64, masters: usize) -> MultiAgent {
+    assert!(masters > 0, "at least one master");
+    let seqs: Vec<Box<dyn Sequencer>> = (0..masters)
+        .map(|i| {
+            Box::new(RandomMix::full_word(
+                config,
+                stream_seed(seed, i as u64),
+                0.5,
+                0.3,
+            )) as Box<dyn Sequencer>
+        })
+        .collect();
+    MultiAgent::new(config, seqs)
+}

@@ -7,8 +7,10 @@
 //! generator that hashes synthetic flow 5-tuples into table lookups.
 
 use crate::spec::{BankOp, LaConfig};
+use crate::stimulus::{SeqContext, SequenceItem, Sequencer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// A per-cycle stimulus stream (at most one read and one write each
 /// cycle — the single address bus allows no more).
@@ -43,6 +45,8 @@ pub struct RandomMix {
     read_prob: f64,
     write_prob: f64,
     full_word_prob: f64,
+    /// queued items when driven as a [`Sequencer`]
+    items: VecDeque<SequenceItem>,
 }
 
 impl RandomMix {
@@ -64,6 +68,7 @@ impl RandomMix {
             read_prob,
             write_prob,
             full_word_prob: 0.8,
+            items: VecDeque::new(),
         }
     }
 
@@ -76,10 +81,9 @@ impl RandomMix {
             ..RandomMix::new(config, seed, read_prob, write_prob)
         }
     }
-}
 
-impl Workload for RandomMix {
-    fn next_cycle(&mut self) -> Vec<BankOp> {
+    /// Draws one cycle's worth of operations from the seeded stream.
+    fn draw(&mut self) -> Vec<BankOp> {
         let mut ops = Vec::new();
         if self.rng.gen_bool(self.read_prob) {
             let bank = self.rng.gen_range(0..self.banks);
@@ -99,6 +103,27 @@ impl Workload for RandomMix {
             ops.push(BankOp::write(bank, addr, data, byte_en));
         }
         ops
+    }
+}
+
+impl Workload for RandomMix {
+    fn next_cycle(&mut self) -> Vec<BankOp> {
+        self.draw()
+    }
+}
+
+/// The transaction-level port: the same seeded stream, one cycle's
+/// draw expanded into items plus an `Idle` terminator, so a
+/// [`Driver`](crate::stimulus::Driver)-run `RandomMix` replays the
+/// legacy pin stream byte for byte (golden-pinned in `la1-cover`).
+impl Sequencer for RandomMix {
+    fn next_item(&mut self, _ctx: &SeqContext) -> SequenceItem {
+        if self.items.is_empty() {
+            let ops = self.draw();
+            self.items.extend(ops.iter().map(SequenceItem::from_op));
+            self.items.push_back(SequenceItem::Idle);
+        }
+        self.items.pop_front().expect("queue refilled above")
     }
 }
 

@@ -12,10 +12,11 @@
 
 use crate::collect::CoverageCollector;
 use crate::guided::GuidedMix;
-use crate::model::CoverageModel;
+use crate::model::{CoverBin, CoverageModel};
 use la1_core::harness::run_abv_observed;
 use la1_core::sc_model::LaSystemC;
 use la1_core::spec::{BankOp, LaConfig};
+use la1_core::stimulus::Driver;
 use la1_core::workloads::{RandomMix, Workload};
 
 /// Parameters of one closure run.
@@ -126,10 +127,19 @@ impl ClosureReport {
     }
 }
 
-/// The two generator flavours a closure run drives.
-pub(crate) enum Generator {
+/// The two sequencer flavours a closure stream drives, each behind
+/// its own single-master [`Driver`] (the transaction-level agent of
+/// one stream).
+pub(crate) enum GenSeq {
     Guided(GuidedMix),
     Random(RandomMix),
+}
+
+/// One closure stream's stimulus agent: the chosen sequencer plus the
+/// [`Driver`] that maps its items onto protocol-legal cycles.
+pub(crate) struct Generator {
+    driver: Driver,
+    seq: GenSeq,
 }
 
 impl Generator {
@@ -137,29 +147,44 @@ impl Generator {
     /// burst run, where blind traffic would violate the spacing rule)
     /// get a [`GuidedMix`]; the unguided baseline gets a [`RandomMix`].
     pub(crate) fn for_stream(cfg: &ClosureConfig, guided: bool, seed: u64) -> Generator {
-        if guided || cfg.config.is_burst() {
-            Generator::Guided(GuidedMix::new(
+        let seq = if guided || cfg.config.is_burst() {
+            GenSeq::Guided(GuidedMix::new(
                 &cfg.config,
                 seed,
                 cfg.read_prob,
                 cfg.write_prob,
             ))
         } else {
-            Generator::Random(RandomMix::new(
+            GenSeq::Random(RandomMix::new(
                 &cfg.config,
                 seed,
                 cfg.read_prob,
                 cfg.write_prob,
             ))
+        };
+        Generator {
+            driver: Driver::new(&cfg.config),
+            seq,
+        }
+    }
+
+    /// Retargets a guided stream's directed plan at `unhit` (no-op for
+    /// the random baseline). The retarget replaces the whole plan, so
+    /// an item delayed out of the *old* plan is dropped with it — the
+    /// driver's pending slot is cancelled alongside.
+    pub(crate) fn retarget(&mut self, unhit: &[CoverBin]) {
+        self.driver.cancel_pending(0);
+        if let GenSeq::Guided(g) = &mut self.seq {
+            g.retarget(unhit);
         }
     }
 }
 
 impl Workload for Generator {
     fn next_cycle(&mut self) -> Vec<BankOp> {
-        match self {
-            Generator::Guided(g) => g.next_cycle(),
-            Generator::Random(r) => r.next_cycle(),
+        match &mut self.seq {
+            GenSeq::Guided(g) => self.driver.cycle_from(g),
+            GenSeq::Random(r) => self.driver.cycle_from(r),
         }
     }
 }
@@ -177,9 +202,7 @@ pub fn run_closure(cfg: &ClosureConfig, guided: bool) -> ClosureReport {
     let mut run = 0u64;
     while run < cfg.budget && !collector.is_full() {
         if guided {
-            if let Generator::Guided(g) = &mut generator {
-                g.retarget(&collector.unhit());
-            }
+            generator.retarget(&collector.unhit());
         }
         let step = cfg.epoch.min(cfg.budget - run);
         run_abv_observed(&mut sc, &mut generator, step, &mut collector);

@@ -283,6 +283,33 @@ impl CoverageCollector {
                             && (1..burst as usize)
                                 .all(|k| self.back(k).is_some_and(|p| !p.any_read()))
                     }
+                    BinKind::XPipeFull => {
+                        cur.any_read()
+                            && cur.any_write()
+                            && self
+                                .back(1)
+                                .is_some_and(|p| p.any_read() && p.any_write())
+                    }
+                    BinKind::XReadStream => {
+                        cur.banks[b].read.is_some()
+                            && self
+                                .back(burst as usize)
+                                .is_some_and(|p| p.banks[b].read.is_some())
+                            && self
+                                .back(2 * burst as usize)
+                                .is_some_and(|p| p.banks[b].read.is_some())
+                    }
+                    BinKind::XWriteStream => {
+                        cur.banks[b].write.is_some()
+                            && (1..=2).all(|k| {
+                                self.back(k)
+                                    .is_some_and(|p| p.banks[b].write.is_some())
+                            })
+                    }
+                    BinKind::XRwTurnaround => {
+                        cur.banks[b].read.is_some()
+                            && self.back(1).is_some_and(|p| p.banks[b].write.is_some())
+                    }
                 };
                 if ok {
                     fired.push(i);

@@ -8,18 +8,23 @@
 //! address bins, idle windows for the never-style monitor bins).
 //! Directed cycles drain first; random traffic fills the rest.
 //!
-//! Every emitted cycle is protocol-legal by construction: at most one
-//! read and one write (single address bus), and under an LA-1B
-//! configuration reads are spaced `burst_len` cycles apart — a planned
-//! read is *delayed* (idle filler emitted) until the output bus is
-//! free, never dropped.
+//! Since the transaction-level refactor, `GuidedMix` is a
+//! [`Sequencer`]: it yields [`SequenceItem`]s and the
+//! [`Driver`](la1_core::stimulus::Driver) owns the protocol legality
+//! rules (single address bus, LA-1B burst spacing). The generator
+//! consults [`SeqContext::read_legal`] so its rng draw order — and
+//! therefore the emitted cycle stream — is byte-identical to the
+//! pre-refactor `Workload` implementation (pinned by the golden-stream
+//! tests): a planned read is *delayed* (idle cycle emitted) until the
+//! output bus is free, never dropped, and the random fill's read draw
+//! is consumed even on cycles where a read would be illegal.
 //!
 //! The stream is a pure function of `(seed, config, retarget calls)`:
 //! the generator draws only from its own seeded [`StdRng`].
 
 use crate::model::{BinKind, CoverBin};
 use la1_core::spec::{BankOp, LaConfig};
-use la1_core::workloads::Workload;
+use la1_core::stimulus::{SeqContext, SequenceItem, Sequencer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -37,9 +42,8 @@ pub struct GuidedMix {
     write_prob: f64,
     /// Directed cycles awaiting emission, front first.
     plan: VecDeque<Vec<BankOp>>,
-    /// Cycle index of the most recent emitted read (burst spacing).
-    last_read: Option<u64>,
-    cycle: u64,
+    /// Items of the cycle currently being handed to the driver.
+    items: VecDeque<SequenceItem>,
 }
 
 impl GuidedMix {
@@ -62,8 +66,7 @@ impl GuidedMix {
             read_prob,
             write_prob,
             plan: VecDeque::new(),
-            last_read: None,
-            cycle: 0,
+            items: VecDeque::new(),
         }
     }
 
@@ -77,6 +80,7 @@ impl GuidedMix {
     /// list clears the plan (back to pure random fill).
     pub fn retarget(&mut self, unhit: &[CoverBin]) {
         self.plan.clear();
+        self.items.clear();
         for bin in unhit {
             let scenario = self.scenario_for(bin);
             self.plan.extend(scenario);
@@ -196,6 +200,41 @@ impl GuidedMix {
                 v.push(vec![BankOp::read(b, a2)]);
                 v
             }
+            BinKind::XPipeFull => {
+                // two consecutive full cycles (only planned on LA-1,
+                // where back-to-back reads are legal)
+                let mut v = Vec::new();
+                for _ in 0..2 {
+                    let ra = self.addr();
+                    let wa = self.addr();
+                    let wr = self.write(b, wa);
+                    v.push(vec![BankOp::read(b, ra), wr]);
+                }
+                v
+            }
+            BinKind::XReadStream => {
+                let mut v = Vec::new();
+                for i in 0..3 {
+                    let a = self.addr();
+                    v.push(vec![BankOp::read(b, a)]);
+                    if i < 2 {
+                        v.extend((0..gap).map(|_| Vec::new()));
+                    }
+                }
+                v
+            }
+            BinKind::XWriteStream => (0..3)
+                .map(|_| {
+                    let a = self.addr();
+                    vec![self.write(b, a)]
+                })
+                .collect(),
+            BinKind::XRwTurnaround => {
+                let wa = self.addr();
+                let ra = self.addr();
+                let wr = self.write(b, wa);
+                vec![vec![wr], vec![BankOp::read(b, ra)]]
+            }
         };
         // one idle separator so the next scenario's history window
         // starts from this scenario's tail, not inside it
@@ -203,23 +242,14 @@ impl GuidedMix {
         s
     }
 
-    /// Whether a read may be issued this cycle under the burst-spacing
-    /// rule.
-    fn read_legal(&self) -> bool {
-        self.burst_len < 2
-            || self
-                .last_read
-                .is_none_or(|c| self.cycle - c >= self.burst_len)
-    }
-
     /// Pure constrained-random fill (used when no directed cycles are
-    /// queued).
-    fn random_cycle(&mut self) -> Vec<BankOp> {
-        let mut ops = Vec::new();
-        if self.rng.gen_bool(self.read_prob) && self.read_legal() {
+    /// queued). The read-probability draw is consumed even when the
+    /// bus is busy (`!read_legal`), matching the pre-refactor stream.
+    fn fill_random(&mut self, read_legal: bool) {
+        if self.rng.gen_bool(self.read_prob) && read_legal {
             let bank = self.rng.gen_range(0..self.banks);
             let addr = self.addr();
-            ops.push(BankOp::read(bank, addr));
+            self.items.push_back(SequenceItem::Read { bank, addr });
         }
         if self.rng.gen_bool(self.write_prob) {
             let bank = self.rng.gen_range(0..self.banks);
@@ -232,30 +262,32 @@ impl GuidedMix {
             } else {
                 self.rng.gen_range(1..self.full_byte_en)
             };
-            ops.push(BankOp::write(bank, addr, data, byte_en));
+            self.items.push_back(SequenceItem::Write {
+                bank,
+                addr,
+                data,
+                byte_en,
+            });
         }
-        ops
     }
 }
 
-impl Workload for GuidedMix {
-    fn next_cycle(&mut self) -> Vec<BankOp> {
-        let ops = match self.plan.front() {
-            Some(planned) => {
-                if planned.iter().any(BankOp::is_read) && !self.read_legal() {
+impl Sequencer for GuidedMix {
+    fn next_item(&mut self, ctx: &SeqContext) -> SequenceItem {
+        if self.items.is_empty() {
+            match self.plan.front() {
+                Some(planned) if planned.iter().any(BankOp::is_read) && !ctx.read_legal => {
                     // output bus still busy with the previous burst:
                     // delay the planned read, emit an idle filler
-                    Vec::new()
-                } else {
-                    self.plan.pop_front().expect("front checked")
                 }
+                Some(_) => {
+                    let ops = self.plan.pop_front().expect("front checked");
+                    self.items.extend(ops.iter().map(SequenceItem::from_op));
+                }
+                None => self.fill_random(ctx.read_legal),
             }
-            None => self.random_cycle(),
-        };
-        if ops.iter().any(BankOp::is_read) {
-            self.last_read = Some(self.cycle);
+            self.items.push_back(SequenceItem::Idle);
         }
-        self.cycle += 1;
-        ops
+        self.items.pop_front().expect("queue refilled above")
     }
 }

@@ -10,7 +10,12 @@
 //!
 //! Tiers: tier 1 is the base-LA-1 bin set, closable by any
 //! protocol-legal stimulus; tier 2 is the LA-1B burst extension's bins,
-//! which only exist when the configuration is a burst one.
+//! which only exist when the configuration is a burst one; tier 3 is
+//! the traffic cross-bin extension ([`CoverageModel::la1_traffic`])
+//! observing shapes only multi-master contention and sustained
+//! burst-stream workloads produce — the default
+//! [`CoverageModel::la1`] model excludes them so existing closure and
+//! campaign reports stay byte-identical.
 
 use la1_core::spec::{LaConfig, READ_LATENCY};
 
@@ -81,13 +86,32 @@ pub enum BinKind {
     /// Two reads (any banks) spaced at exactly the minimum legal
     /// LA-1B distance of `burst_len` cycles (tier 2).
     BurstMinSpacing,
+    /// Full pipeline two cycles running: a read *and* a write in each
+    /// of two consecutive cycles, anywhere on the interface — the
+    /// signature of multi-master contention keeping both bus slots
+    /// busy (tier 3, global, non-burst configurations only).
+    XPipeFull,
+    /// Three reads on this bank at the minimum legal spacing — a
+    /// sustained lookup stream (tier 3).
+    XReadStream,
+    /// Writes on this bank in three consecutive cycles — a sustained
+    /// update stream (tier 3).
+    XWriteStream,
+    /// A write on this bank immediately followed by a read on it (any
+    /// addresses) — the bus turnaround mixed traffic produces, where
+    /// [`BinKind::SeqRaw`] only observes the same-address case
+    /// (tier 3).
+    XRwTurnaround,
 }
 
 impl BinKind {
     /// Whether this kind is instantiated once per bank (as opposed to
     /// once per model).
     fn per_bank(self) -> bool {
-        !matches!(self, BinKind::IdleCycle | BinKind::BurstMinSpacing)
+        !matches!(
+            self,
+            BinKind::IdleCycle | BinKind::BurstMinSpacing | BinKind::XPipeFull
+        )
     }
 }
 
@@ -132,16 +156,24 @@ impl CoverBin {
             BinKind::MonBurstBeatArmed => format!("mon_burst_beat_{b}_armed"),
             BinKind::MonBurstBeatHeld => format!("mon_burst_beat_{b}_held"),
             BinKind::BurstMinSpacing => "burst_min_spacing".to_string(),
+            BinKind::XPipeFull => "traffic_pipe_full".to_string(),
+            BinKind::XReadStream => format!("traffic_read_stream_{b}"),
+            BinKind::XWriteStream => format!("traffic_write_stream_{b}"),
+            BinKind::XRwTurnaround => format!("traffic_rw_turnaround_{b}"),
         }
     }
 
     /// Coverage tier: 1 for the base LA-1 bin set, 2 for the LA-1B
-    /// burst extension's bins.
+    /// burst extension's bins, 3 for the traffic cross-bin extension.
     pub fn tier(&self) -> u32 {
         match self.kind {
             BinKind::MonBurstBeatArmed
             | BinKind::MonBurstBeatHeld
             | BinKind::BurstMinSpacing => 2,
+            BinKind::XPipeFull
+            | BinKind::XReadStream
+            | BinKind::XWriteStream
+            | BinKind::XRwTurnaround => 3,
             _ => 1,
         }
     }
@@ -225,6 +257,34 @@ impl CoverageModel {
         }
     }
 
+    /// Builds the traffic-extended coverage model: every
+    /// [`CoverageModel::la1`] bin plus the tier-3 cross bins observing
+    /// multi-master and sustained-stream shapes. A separate
+    /// constructor — not the default — so the pre-existing closure and
+    /// campaign bin counts (and their byte-pinned JSON reports) are
+    /// untouched.
+    pub fn la1_traffic(config: &LaConfig) -> Self {
+        let mut model = CoverageModel::la1(config);
+        for b in 0..config.banks {
+            for kind in [
+                BinKind::XReadStream,
+                BinKind::XWriteStream,
+                BinKind::XRwTurnaround,
+            ] {
+                model.bins.push(CoverBin { kind, bank: b });
+            }
+        }
+        if !config.is_burst() {
+            // consecutive-cycle reads are illegal under LA-1B, so the
+            // full-pipeline cross bin only exists for plain LA-1
+            model.bins.push(CoverBin {
+                kind: BinKind::XPipeFull,
+                bank: 0,
+            });
+        }
+        model
+    }
+
     /// The defined bins, in report order.
     pub fn bins(&self) -> &[CoverBin] {
         &self.bins
@@ -250,6 +310,16 @@ impl CoverageModel {
     /// bin predicates look back: the longest antecedent window.
     pub fn lookback(&self) -> usize {
         // burst second beat: read READ_LATENCY + 1 cycles ago
-        READ_LATENCY as usize + 1
+        let base = READ_LATENCY as usize + 1;
+        if self
+            .bins
+            .iter()
+            .any(|b| b.kind == BinKind::XReadStream)
+        {
+            // read-stream cross bin: reads 2 * burst_len cycles apart
+            base.max(2 * self.burst_len as usize)
+        } else {
+            base
+        }
     }
 }

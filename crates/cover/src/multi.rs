@@ -30,6 +30,7 @@ use la1_core::cycle_model::BatchLaneModel;
 use la1_core::cycle_model::CycleObserver;
 use la1_core::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
 use la1_core::spec::BankOp;
+use la1_core::stimulus::stream_seed;
 use la1_core::workloads::Workload;
 use la1_rtl::LANES;
 
@@ -118,18 +119,6 @@ impl MultiClosureReport {
     }
 }
 
-/// Derives stream `i`'s generator seed from the base seed
-/// (splitmix-style finalizer, like the campaign's per-run seeds).
-fn stream_seed(base: u64, stream: u64) -> u64 {
-    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream + 1));
-    z ^= z >> 30;
-    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z ^= z >> 27;
-    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    z
-}
-
 /// One stream's generator and its private coverage collector.
 struct Stream {
     generator: Generator,
@@ -166,9 +155,7 @@ fn merged_unhit(streams: &[Stream]) -> Vec<CoverBin> {
 fn retarget_all(streams: &mut [Stream]) {
     let unhit = merged_unhit(streams);
     for s in streams.iter_mut() {
-        if let Generator::Guided(g) = &mut s.generator {
-            g.retarget(&unhit);
-        }
+        s.generator.retarget(&unhit);
     }
 }
 

@@ -4,11 +4,13 @@ use crate::guided::GuidedMix;
 use crate::model::{BinKind, CoverageModel};
 use crate::multi::{run_closure_rtl, run_closure_rtl_batched};
 use la1_core::asm_model::LaAsmModel;
-use la1_core::cycle_model::{co_execute_observed, CycleObserver, RtlWithOvl};
+use la1_core::cycle_model::{co_execute_observed, CycleModel, CycleObserver, RtlWithOvl};
 use la1_core::harness::run_abv_observed;
 use la1_core::rtl_model::{LaRtl, LaRtlDriver};
 use la1_core::sc_model::LaSystemC;
 use la1_core::spec::{BankOp, LaConfig};
+use la1_core::stimulus::traffic::{contention, QdrStream};
+use la1_core::stimulus::Agent;
 use la1_core::workloads::{RandomMix, Workload};
 
 /// A small, fast configuration: full protocol, few words.
@@ -185,15 +187,35 @@ fn collector_json_is_deterministic_and_complete() {
 /// The satellite equivalence check: the same workload must hit the
 /// identical bin set at every refinement level; any difference is
 /// reported with the offending bins.
-fn assert_equivalent_coverage(cfg: &LaConfig, seed: u64, cycles: u64) {
-    let mut asm = LaAsmModel::new(cfg);
+fn assert_equivalent_coverage_with(
+    cfg: &LaConfig,
+    model: CoverageModel,
+    workload: &mut dyn Workload,
+    cycles: u64,
+) -> Vec<String> {
+    let mut asm = LaAsmModel::new(&LaConfig {
+        burst_len: 1,
+        ..cfg.clone()
+    });
     let mut sc = LaSystemC::new(cfg);
     let rtl = LaRtl::build(cfg, None);
     let mut drv = LaRtlDriver::new(&rtl);
     let mut ovl = RtlWithOvl::new(&rtl);
 
-    let model = CoverageModel::la1(cfg);
-    let mut collectors: Vec<CoverageCollector> = (0..4)
+    // the ASM level models base LA-1 only; on burst configurations the
+    // comparable levels are SystemC, RTL and RTL+OVL
+    let mut levels: Vec<&mut dyn CycleModel> = Vec::new();
+    let mut names = Vec::new();
+    if !cfg.is_burst() {
+        levels.push(&mut asm);
+        names.push("asm");
+    }
+    levels.push(&mut sc);
+    levels.push(&mut drv);
+    levels.push(&mut ovl);
+    names.extend(["systemc", "rtl", "rtl+ovl"]);
+
+    let mut collectors: Vec<CoverageCollector> = (0..levels.len())
         .map(|_| CoverageCollector::new(model.clone()))
         .collect();
     let mut observers: Vec<&mut dyn CycleObserver> = collectors
@@ -201,18 +223,9 @@ fn assert_equivalent_coverage(cfg: &LaConfig, seed: u64, cycles: u64) {
         .map(|c| c as &mut dyn CycleObserver)
         .collect();
 
-    // the ASM level models full-word writes only
-    let mut mix = RandomMix::full_word(cfg, seed, 0.5, 0.5);
-    co_execute_observed(
-        cfg.banks,
-        &mut [&mut asm, &mut sc, &mut drv, &mut ovl],
-        &mut mix,
-        cycles,
-        &mut observers,
-    )
-    .expect("levels must agree on pins before coverage is comparable");
+    co_execute_observed(cfg.banks, &mut levels, workload, cycles, &mut observers)
+        .expect("levels must agree on pins before coverage is comparable");
 
-    let names = ["asm", "systemc", "rtl", "rtl+ovl"];
     let reference = collectors[0].hit_names();
     for (i, c) in collectors.iter().enumerate().skip(1) {
         let other = c.hit_names();
@@ -228,6 +241,13 @@ fn assert_equivalent_coverage(cfg: &LaConfig, seed: u64, cycles: u64) {
             extra,
         );
     }
+    reference
+}
+
+fn assert_equivalent_coverage(cfg: &LaConfig, seed: u64, cycles: u64) {
+    // the ASM level models full-word writes only
+    let mut mix = RandomMix::full_word(cfg, seed, 0.5, 0.5);
+    assert_equivalent_coverage_with(cfg, CoverageModel::la1(cfg), &mut mix, cycles);
 }
 
 #[test]
@@ -245,6 +265,76 @@ fn coverage_is_level_equivalent_four_banks() {
     assert_equivalent_coverage(&small_cfg(4), 23, 400);
 }
 
+// ---- traffic cross bins (tier 3) --------------------------------------------
+
+#[test]
+fn traffic_model_bin_counts_are_pinned() {
+    // three per-bank cross bins, plus the global pipe-full bin on
+    // non-burst configurations (consecutive reads are illegal on LA-1B)
+    assert_eq!(CoverageModel::la1_traffic(&small_cfg(1)).len(), 20 + 3 + 1);
+    assert_eq!(CoverageModel::la1_traffic(&small_cfg(2)).len(), 42 + 6 + 1);
+    assert_eq!(CoverageModel::la1_traffic(&small_cfg(4)).len(), 84 + 12 + 1);
+    for banks in [1, 2, 4] {
+        let base = CoverageModel::la1(&small_burst_cfg(banks));
+        let traffic = CoverageModel::la1_traffic(&small_burst_cfg(banks));
+        assert_eq!(traffic.len(), base.len() + 3 * banks as usize);
+        assert_eq!(
+            traffic.bins().iter().filter(|b| b.tier() == 3).count(),
+            3 * banks as usize
+        );
+        // the read-stream window (2 * burst_len) outgrows the burst
+        // second-beat window the base model needs
+        assert_eq!(traffic.lookback(), 4);
+        assert_eq!(base.lookback(), 3);
+    }
+    // the default model must not grow: closure and campaign reports
+    // are byte-pinned against it
+    assert!(CoverageModel::la1(&small_cfg(2))
+        .bins()
+        .iter()
+        .all(|b| b.tier() < 3));
+}
+
+#[test]
+fn traffic_bins_level_equivalent_under_contention() {
+    let cfg = small_cfg(2);
+    let mut workload = contention(&cfg, 0x007A_FF1C, 3);
+    let hit = assert_equivalent_coverage_with(
+        &cfg,
+        CoverageModel::la1_traffic(&cfg),
+        &mut workload,
+        800,
+    );
+    // contention is what the tier-3 bins exist for: all of them close
+    for name in [
+        "traffic_pipe_full",
+        "traffic_read_stream_0",
+        "traffic_read_stream_1",
+        "traffic_write_stream_0",
+        "traffic_write_stream_1",
+        "traffic_rw_turnaround_0",
+        "traffic_rw_turnaround_1",
+    ] {
+        assert!(hit.iter().any(|h| h == name), "contention must hit {name}");
+    }
+}
+
+#[test]
+fn traffic_bins_level_equivalent_under_burst_stream() {
+    let cfg = small_burst_cfg(2);
+    let mut agent = Agent::new(&cfg, QdrStream::new(&cfg, 0x007A_FF1D, 0.7));
+    let hit = assert_equivalent_coverage_with(
+        &cfg,
+        CoverageModel::la1_traffic(&cfg),
+        &mut agent,
+        600,
+    );
+    // a QDR sweep is a sustained min-spaced lookup stream per bank
+    for name in ["traffic_read_stream_0", "traffic_read_stream_1"] {
+        assert!(hit.iter().any(|h| h == name), "qdr must hit {name}");
+    }
+}
+
 // ---- guided generation and closure ------------------------------------------
 
 #[test]
@@ -254,7 +344,8 @@ fn guided_stream_is_deterministic() {
         let mut g = GuidedMix::new(&cfg, seed, 0.4, 0.4);
         let model = CoverageModel::la1(&cfg);
         g.retarget(model.bins());
-        (0..300).map(|_| g.next_cycle()).collect::<Vec<_>>()
+        let mut agent = Agent::new(&cfg, g);
+        (0..300).map(|_| agent.next_cycle()).collect::<Vec<_>>()
     };
     assert_eq!(stream(7), stream(7), "same seed, same stream");
     assert_ne!(stream(7), stream(8), "different seeds diverge");
@@ -314,9 +405,10 @@ fn guided_respects_burst_spacing() {
     let mut g = GuidedMix::new(&cfg, 11, 0.7, 0.5);
     let model = CoverageModel::la1(&cfg);
     g.retarget(model.bins());
+    let mut agent = Agent::new(&cfg, g);
     let mut last_read: Option<u64> = None;
     for cycle in 0..2_000u64 {
-        let ops = g.next_cycle();
+        let ops = agent.next_cycle();
         assert!(ops.iter().filter(|o| o.is_read()).count() <= 1);
         assert!(ops.iter().filter(|o| !o.is_read()).count() <= 1);
         if ops.iter().any(BankOp::is_read) {
@@ -461,7 +553,8 @@ mod props {
                 let mut g = GuidedMix::new(&cfg, s, 0.5, 0.5);
                 let model = CoverageModel::la1(&cfg);
                 g.retarget(model.bins());
-                (0..200).map(|_| g.next_cycle()).collect::<Vec<_>>()
+                let mut agent = Agent::new(&cfg, g);
+                (0..200).map(|_| agent.next_cycle()).collect::<Vec<_>>()
             };
             prop_assert_eq!(emit(seed), emit(seed));
         }
@@ -474,8 +567,9 @@ mod props {
             let mut g = GuidedMix::new(&cfg, seed, 0.6, 0.6);
             let model = CoverageModel::la1(&cfg);
             g.retarget(model.bins());
+            let mut agent = Agent::new(&cfg, g);
             for _ in 0..400 {
-                let ops = g.next_cycle();
+                let ops = agent.next_cycle();
                 prop_assert!(ops.iter().filter(|o| o.is_read()).count() <= 1);
                 prop_assert!(ops.iter().filter(|o| !o.is_read()).count() <= 1);
                 for op in &ops {
@@ -488,4 +582,133 @@ mod props {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Golden stimulus streams (transaction-layer equivalence anchors)
+// ---------------------------------------------------------------------------
+
+/// Renders one stimulus cycle for the golden stream files.
+fn render_cycle(ops: &[BankOp]) -> String {
+    if ops.is_empty() {
+        return "-".to_string();
+    }
+    ops.iter()
+        .map(|op| match *op {
+            BankOp::Read { bank, addr } => format!("R{bank}:{addr}"),
+            BankOp::Write {
+                bank,
+                addr,
+                data,
+                byte_en,
+            } => format!("W{bank}:{addr}:{data:016x}:{byte_en:x}"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Compares `produced` against the committed golden file (or rewrites
+/// it under `UPDATE_GOLDEN=1`).
+fn check_golden(file: &str, produced: &str) {
+    let path = format!("{}/golden/{}", env!("CARGO_MANIFEST_DIR"), file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, produced).expect("update golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("read committed golden file");
+    assert_eq!(
+        produced, golden,
+        "stimulus stream drifted from the committed golden \
+         (crates/cover/golden/{file}); if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test -p la1-cover"
+    );
+}
+
+/// The pinned guided-stream schedule: random warm-up, a full-model
+/// retarget (directed plan, including delayed reads under LA-1B), a
+/// mid-plan retarget back to empty (the plan — and any delayed read —
+/// must be dropped), and a random tail.
+fn guided_stream(cfg: &LaConfig, seed: u64) -> Vec<Vec<BankOp>> {
+    let model = CoverageModel::la1(cfg);
+    let mut agent = Agent::new(cfg, GuidedMix::new(cfg, seed, 0.45, 0.45));
+    let mut out = Vec::new();
+    for _ in 0..40 {
+        out.push(agent.next_cycle());
+    }
+    // a retarget replaces the plan wholesale: any item delayed out of
+    // the old plan is dropped with it (pending slot cancelled)
+    agent.driver_mut().cancel_pending(0);
+    agent.seq_mut().retarget(model.bins());
+    for _ in 0..130 {
+        out.push(agent.next_cycle());
+    }
+    agent.driver_mut().cancel_pending(0);
+    agent.seq_mut().retarget(&[]);
+    for _ in 0..30 {
+        out.push(agent.next_cycle());
+    }
+    out
+}
+
+fn random_stream(cfg: &LaConfig, seed: u64, full_word: bool) -> Vec<Vec<BankOp>> {
+    let mut w = if full_word {
+        RandomMix::full_word(cfg, seed, 0.6, 0.45)
+    } else {
+        RandomMix::new(cfg, seed, 0.6, 0.45)
+    };
+    (0..150).map(|_| w.next_cycle()).collect()
+}
+
+#[test]
+fn golden_guided_streams_byte_identical() {
+    let mut out = String::new();
+    for (label, cfg) in [
+        ("la1_banks1", LaConfig::new(1)),
+        ("la1_banks2", LaConfig::new(2)),
+        ("la1_banks4", LaConfig::new(4)),
+        ("la1b_banks1", LaConfig::la1b(1)),
+        ("la1b_banks2", LaConfig::la1b(2)),
+    ] {
+        out.push_str(&format!("# {label} seed={}\n", 0xC0FF + cfg.banks as u64));
+        for ops in guided_stream(&cfg, 0xC0FF + cfg.banks as u64) {
+            out.push_str(&render_cycle(&ops));
+            out.push('\n');
+        }
+    }
+    check_golden("guided_streams.txt", &out);
+}
+
+#[test]
+fn golden_randommix_streams_byte_identical() {
+    let mut out = String::new();
+    for (label, cfg, full) in [
+        ("la1_banks1", LaConfig::new(1), false),
+        ("la1_banks2", LaConfig::new(2), false),
+        ("la1_banks4", LaConfig::new(4), false),
+        ("la1_banks2_full_word", LaConfig::new(2), true),
+    ] {
+        out.push_str(&format!("# {label} seed={}\n", 0xAB + cfg.banks as u64));
+        for ops in random_stream(&cfg, 0xAB + cfg.banks as u64, full) {
+            out.push_str(&render_cycle(&ops));
+            out.push('\n');
+        }
+    }
+    check_golden("random_streams.txt", &out);
+}
+
+#[test]
+fn golden_closure_reports_byte_identical() {
+    let mut out = String::new();
+    for (cfg, budget) in [(LaConfig::new(1), 4_000), (LaConfig::la1b(2), 6_000)] {
+        let mut c = ClosureConfig::new(cfg, 7);
+        c.budget = budget;
+        c.epoch = 200;
+        out.push_str(&run_closure(&c, true).to_json());
+        out.push_str(&run_closure(&c, false).to_json());
+    }
+    let mut c = ClosureConfig::new(LaConfig::new(2), 7);
+    c.budget = 1_200;
+    c.epoch = 300;
+    out.push_str(&run_closure_rtl_batched(&c, true, 8).to_json());
+    check_golden("closure_reports.json", &out);
 }

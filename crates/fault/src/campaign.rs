@@ -26,12 +26,13 @@
 //! order of unordered containers enters the result — the same seed and
 //! config produce a byte-identical [`DetectionMatrix::to_json`].
 
-use crate::models::{FaultModel, FaultPlan, Injector};
+use crate::models::{FaultModel, FaultPlan, HostileMasterSeq, Injector};
 use la1_core::asm_model::LaAsmModel;
 use la1_core::cycle_model::{CycleModel, RtlWithOvl};
 use la1_core::rtl_model::{LaRtl, LaRtlDriver, XPin};
 use la1_core::sc_model::LaSystemC;
 use la1_core::spec::{BankOp, LaConfig, READ_LATENCY};
+use la1_core::stimulus::{Driver, ScriptSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::Cell;
@@ -493,6 +494,66 @@ pub(crate) fn open_loop_script(cfg: &LaConfig, rng: &mut StdRng) -> Vec<Vec<Bank
     script
 }
 
+/// Replays a campaign script through the transaction layer: a
+/// [`ScriptSequence`] behind a [`Driver`]. The driver is built on the
+/// base-LA-1 view of the configuration (burst length 1): campaign
+/// scripts are *directed* stimulus whose exact cycle shape — including
+/// deliberate LA-1B spacing violations on the RTL levels — is the
+/// point, so only the structural one-read-one-write bus mapping
+/// applies, and a legal script comes back verbatim.
+pub(crate) fn replay_script(cfg: &LaConfig, script: Vec<Vec<BankOp>>) -> Vec<Vec<BankOp>> {
+    let base = LaConfig {
+        burst_len: 1,
+        ..cfg.clone()
+    };
+    let total = script.len();
+    let mut driver = Driver::new(&base);
+    let mut seq = ScriptSequence::new(script);
+    (0..total).map(|_| driver.cycle_from(&mut seq)).collect()
+}
+
+/// Derives the faulted stimulus of one open-loop run from the intended
+/// cycles. Most faults are [`Injector`] transforms of the op stream;
+/// the hostile double-read master is a transaction-level sequence
+/// ([`HostileMasterSeq`]) riding the intended script behind its own
+/// driver. Returns the injected cycles plus the cycle (if any) whose
+/// write arms the one-shot X injection.
+pub(crate) fn inject_stream(
+    cfg: &LaConfig,
+    plan: &FaultPlan,
+    intended: &[Vec<BankOp>],
+) -> (Vec<Vec<BankOp>>, Option<u64>) {
+    if plan.model == FaultModel::HostileMaster {
+        let base = LaConfig {
+            burst_len: 1,
+            ..cfg.clone()
+        };
+        let mut driver = Driver::new(&base);
+        let mut seq = HostileMasterSeq::new(
+            ScriptSequence::new(intended.to_vec()),
+            plan.bank,
+            plan.activation,
+        );
+        let injected = (0..intended.len())
+            .map(|_| driver.cycle_from(&mut seq))
+            .collect();
+        return (injected, None);
+    }
+    let mut injector = Injector::new(plan.clone());
+    let mut injected = Vec::with_capacity(intended.len());
+    let mut x_cycle = None;
+    for (i, ops) in intended.iter().enumerate() {
+        let cycle = i as u64;
+        let mut inj = ops.clone();
+        injector.apply(cycle, cfg, &mut inj);
+        if injector.x_due(cycle, &inj) {
+            x_cycle = Some(cycle);
+        }
+        injected.push(inj);
+    }
+    (injected, x_cycle)
+}
+
 /// The activation-cycle sampling window: the mixed phase of the
 /// open-loop script, where every cycle carries both a read and a write
 /// (so every one-shot fault is guaranteed to arm).
@@ -502,23 +563,24 @@ pub(crate) fn activation_window(cfg: &LaConfig) -> (u64, u64) {
 }
 
 /// One open-loop run: faulted DUT vs healthy golden on the same
-/// intended stimulus, monitors collected afterwards.
+/// intended stimulus, monitors collected afterwards. The intended
+/// cycles come off the transaction layer ([`replay_script`]) and the
+/// faulted stimulus off [`inject_stream`].
 pub(crate) fn open_loop_run(level: Level, cfg: &LaConfig, plan: FaultPlan, rng: &mut StdRng) -> RunResult {
-    let script = open_loop_script(cfg, rng);
+    let script = replay_script(cfg, open_loop_script(cfg, rng));
+    let (injected_script, x_cycle) = inject_stream(cfg, &plan, &script);
     let mut golden = build_golden(level, cfg);
     let mut dut = build_dut(level, cfg, Some(&plan));
-    let mut injector = Injector::new(plan.clone());
     let mut detections: BTreeMap<String, u64> = BTreeMap::new();
     let activation = plan.activation;
     for (i, intended) in script.iter().enumerate() {
         let cycle = i as u64;
-        let mut injected = intended.clone();
-        injector.apply(cycle, cfg, &mut injected);
-        if injector.x_due(cycle, &injected) {
+        let injected = &injected_script[i];
+        if x_cycle == Some(cycle) {
             dut.inject_x();
         }
         golden.as_model().cycle(intended);
-        if guarded_cycle(&mut dut, &injected) {
+        if guarded_cycle(&mut dut, injected) {
             detections.insert("guard".to_string(), cycle.saturating_sub(activation));
             break;
         }

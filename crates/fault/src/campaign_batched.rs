@@ -40,8 +40,9 @@
 //! path unchanged.
 
 use crate::campaign::{
-    activation_window, closed_loop_run, compute_disagreements, install_guard_hook, open_loop_run,
-    open_loop_script, run_seed, supports, CampaignConfig, DetectionMatrix, Level, RunResult,
+    activation_window, closed_loop_run, compute_disagreements, inject_stream, install_guard_hook,
+    open_loop_run, open_loop_script, replay_script, run_seed, supports, CampaignConfig,
+    DetectionMatrix, Level, RunResult,
 };
 use crate::models::{FaultModel, FaultPlan, Injector};
 use la1_core::harness::attach_la1_ovl;
@@ -256,23 +257,12 @@ fn run_rtl_level_batched(
                 });
                 continue;
             }
-            let intended = open_loop_script(cfg, &mut rng);
-            let mut injector = Injector::new(plan.clone());
-            let mut injected = Vec::with_capacity(intended.len());
-            let mut x_cycle = None;
-            let mut guard_cycle = None;
-            for (i, ops) in intended.iter().enumerate() {
-                let cycle = i as u64;
-                let mut inj = ops.clone();
-                injector.apply(cycle, cfg, &mut inj);
-                if injector.x_due(cycle, &inj) {
-                    x_cycle = Some(cycle);
-                }
-                if guard_cycle.is_none() && !ops_legal(cfg, &inj) {
-                    guard_cycle = Some(cycle);
-                }
-                injected.push(inj);
-            }
+            let intended = replay_script(cfg, open_loop_script(cfg, &mut rng));
+            let (injected, x_cycle) = inject_stream(cfg, &plan, &intended);
+            let guard_cycle = injected
+                .iter()
+                .position(|ops| !ops_legal(cfg, ops))
+                .map(|i| i as u64);
             let parity = (fault == FaultModel::ParityFault).then_some(plan.bank);
             let dut = alloc_lane(&mut groups, cfg, GroupKind::Open(parity), with_bench);
             let gold = alloc_lane(&mut groups, cfg, GroupKind::Open(None), false);

@@ -35,7 +35,7 @@ pub use campaign::{
     run_campaign, supports, CampaignConfig, CellStats, DetectionMatrix, Level, MonitorStat,
 };
 pub use campaign_batched::{run_campaign_batched, BatchStats};
-pub use models::{FaultModel, FaultPlan, Injector};
+pub use models::{FaultModel, FaultPlan, HostileMasterSeq, Injector};
 
 #[cfg(test)]
 mod tests;

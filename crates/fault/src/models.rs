@@ -11,6 +11,7 @@
 //! campaign runner.
 
 use la1_core::spec::{BankOp, LaConfig};
+use la1_core::stimulus::{SeqContext, SequenceItem, Sequencer};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -290,26 +291,12 @@ impl Injector {
                 }
                 false
             }
-            FaultModel::HostileMaster => {
-                if active && !self.fired {
-                    // two read strobes in one cycle: illegal on the
-                    // single time-multiplexed address bus
-                    ops.push(BankOp::read(self.plan.bank, 0));
-                    if ops
-                        .iter()
-                        .filter(|op| matches!(op, BankOp::Read { .. }))
-                        .count()
-                        < 2
-                    {
-                        ops.push(BankOp::read(self.plan.bank, 1));
-                    }
-                    self.fired = true;
-                    return true;
-                }
-                false
-            }
-            // device faults do not transform the op stream
-            FaultModel::ParityFault | FaultModel::XInjectWData => false,
+            // device faults do not transform the op stream; the
+            // hostile master lives at transaction level now — see
+            // [`HostileMasterSeq`]
+            FaultModel::HostileMaster
+            | FaultModel::ParityFault
+            | FaultModel::XInjectWData => false,
         }
     }
 
@@ -326,5 +313,62 @@ impl Injector {
             return true;
         }
         false
+    }
+}
+
+/// The [`FaultModel::HostileMaster`] fault expressed at transaction
+/// level: a sequencer wrapper riding an inner sequence that, at the
+/// activation cycle, bypasses the driver's legality gate with a
+/// [`SequenceItem::Raw`] double read — two read strobes on the single
+/// time-multiplexed address bus, the protocol violation every level
+/// rejects by assertion.
+#[derive(Debug)]
+pub struct HostileMasterSeq<S: Sequencer> {
+    inner: S,
+    bank: u32,
+    activation: u64,
+    fired: bool,
+    /// reads the inner sequence emitted since the current cycle began
+    reads_this_cycle: u32,
+}
+
+impl<S: Sequencer> HostileMasterSeq<S> {
+    /// Wraps `inner`, attacking `bank` at cycle `activation`.
+    pub fn new(inner: S, bank: u32, activation: u64) -> HostileMasterSeq<S> {
+        HostileMasterSeq {
+            inner,
+            bank,
+            activation,
+            fired: false,
+            reads_this_cycle: 0,
+        }
+    }
+}
+
+impl<S: Sequencer> Sequencer for HostileMasterSeq<S> {
+    fn next_item(&mut self, ctx: &SeqContext) -> SequenceItem {
+        let item = self.inner.next_item(ctx);
+        match item {
+            SequenceItem::Idle if !self.fired && ctx.cycle >= self.activation => {
+                // end of the inner master's cycle: append the hostile
+                // strobes so the cycle carries at least two reads
+                self.fired = true;
+                let mut ops = vec![BankOp::read(self.bank, 0)];
+                if self.reads_this_cycle + 1 < 2 {
+                    ops.push(BankOp::read(self.bank, 1));
+                }
+                self.reads_this_cycle = 0;
+                SequenceItem::Raw(ops)
+            }
+            SequenceItem::Idle => {
+                self.reads_this_cycle = 0;
+                item
+            }
+            SequenceItem::Read { .. } | SequenceItem::Burst { .. } => {
+                self.reads_this_cycle += 1;
+                item
+            }
+            other => other,
+        }
     }
 }

@@ -2,8 +2,9 @@
 
 use crate::campaign::{run_campaign, supports, CampaignConfig, Level};
 use crate::campaign_batched::run_campaign_batched;
-use crate::models::{FaultModel, FaultPlan, Injector};
+use crate::models::{FaultModel, FaultPlan, HostileMasterSeq, Injector};
 use la1_core::spec::{BankOp, LaConfig};
+use la1_core::stimulus::{Driver, ScriptSequence};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -102,15 +103,44 @@ fn injector_stuck_and_flip_faults() {
     };
     assert_eq!(data, 0x55 ^ 0x80);
 
-    // the hostile master issues two reads in one cycle
+    // the hostile master lives at transaction level: the injector
+    // leaves the op stream alone, the sequence wrapper attacks it
     let mut inj = Injector::new(plan(FaultModel::HostileMaster, 2, 1, 0));
     let mut ops = vec![BankOp::read(0, 0)];
-    assert!(inj.apply(2, &cfg, &mut ops));
-    let reads = ops
-        .iter()
-        .filter(|op| matches!(op, BankOp::Read { .. }))
-        .count();
-    assert!(reads >= 2, "two read strobes on the single address bus");
+    assert!(!inj.apply(2, &cfg, &mut ops));
+    assert_eq!(ops.len(), 1);
+}
+
+#[test]
+fn hostile_master_sequence_double_reads_at_activation() {
+    let cfg = cfg();
+    let script = vec![vec![BankOp::read(0, 0)], Vec::new(), vec![BankOp::read(0, 1)]];
+    let mut driver = Driver::new(&cfg);
+    let mut seq = HostileMasterSeq::new(ScriptSequence::new(script), 1, 2);
+    let cycles: Vec<Vec<BankOp>> = (0..3).map(|_| driver.cycle_from(&mut seq)).collect();
+    // before activation the inner stream passes through untouched
+    assert_eq!(cycles[0], vec![BankOp::read(0, 0)]);
+    assert_eq!(cycles[1], Vec::new());
+    // at activation the raw double read bypasses the legality gate:
+    // the intended read plus the hostile strobe share one cycle
+    assert_eq!(
+        cycles[2],
+        vec![BankOp::read(0, 1), BankOp::read(1, 0)],
+        "hostile cycle must carry two read strobes"
+    );
+    assert_eq!(driver.stats().raw_cycles, 1);
+}
+
+#[test]
+fn hostile_master_sequence_forges_both_reads_on_idle_cycles() {
+    let cfg = cfg();
+    let mut driver = Driver::new(&cfg);
+    let mut seq = HostileMasterSeq::new(ScriptSequence::new(vec![Vec::new()]), 0, 0);
+    assert_eq!(
+        driver.cycle_from(&mut seq),
+        vec![BankOp::read(0, 0), BankOp::read(0, 1)],
+        "an idle intended cycle still becomes a double read"
+    );
 }
 
 #[test]

@@ -26,6 +26,14 @@ cargo run -q -p la1-bench --bin campaign -- 1 2 --smoke --batched > /dev/null
 # banks within the fixed smoke budget; the binary exits non-zero with
 # the unhit bins otherwise.
 ./target/release/closure --smoke > /dev/null
+# Transaction-level traffic gate (DESIGN.md §11): the three NPU
+# workloads (multi-master contention, QDR burst sweep, Zipf packet
+# lookup) must reproduce identical transaction counters at every model
+# level, scoreboard clean on all 64 batched lanes, close the tier-3
+# traffic coverage bins, and stay visible on the monitor's three fault
+# channels. All counters are deterministic; only the lookups/s perf
+# figures vary run to run.
+./target/release/traffic --smoke > /dev/null
 # Bit-parallel throughput gates (DESIGN.md §10). Floors sit below the
 # measured release numbers on a 1-core host (see EXPERIMENTS.md, "Bit-parallel throughput") so
 # timing noise does not flake the gate: the raw kernel measures
