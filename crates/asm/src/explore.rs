@@ -63,6 +63,24 @@ impl Default for ExploreConfig {
     }
 }
 
+impl ExploreConfig {
+    /// The worker count a run with this configuration actually uses:
+    /// `workers` clamped to at least 1, or — when unset — one worker
+    /// per available core. This is the exact resolution
+    /// [`Explorer::run`] applies (and reports in
+    /// [`ExploreStats::workers`]); farm-style schedulers that already
+    /// occupy the cores should pin `workers: Some(1)` to keep nested
+    /// parallelism out of their jobs.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            Some(w) => w.max(1),
+            None => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// Which budget cut an exploration or model-checking run short.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BudgetReason {
@@ -977,12 +995,7 @@ impl<'a> Explorer<'a> {
             directives.len() <= 128,
             "Explorer supports at most 128 attached directives"
         );
-        let workers = match self.config.workers {
-            Some(w) => w.max(1),
-            None => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        };
+        let workers = self.config.effective_workers();
 
         let mut engine = Engine {
             machine,

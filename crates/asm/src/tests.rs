@@ -601,6 +601,34 @@ fn parallel_workers_match_sequential_exactly() {
 }
 
 #[test]
+fn effective_workers_pins_the_default_resolution() {
+    // explicit counts pass through (clamped to at least 1)...
+    for w in [1usize, 3, 8] {
+        let cfg = ExploreConfig {
+            workers: Some(w),
+            ..ExploreConfig::default()
+        };
+        assert_eq!(cfg.effective_workers(), w);
+    }
+    let clamped = ExploreConfig {
+        workers: Some(0),
+        ..ExploreConfig::default()
+    };
+    assert_eq!(clamped.effective_workers(), 1);
+    // ...and the default is one worker per available core — the
+    // parallel path is on unless a caller opts back into `Some(1)`
+    let default = ExploreConfig::default();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    assert_eq!(default.effective_workers(), cores);
+    // the resolution is exactly what a run reports
+    let m = grid(1);
+    let r = Explorer::new(&m, ExploreConfig::default()).run();
+    assert_eq!(r.stats.workers, cores);
+}
+
+#[test]
 fn parallel_violation_same_counterexample_length() {
     // `corner` is first reachable at depth 6, so every engine must
     // report a 7-entry counterexample (initial state + 6 rules)

@@ -26,7 +26,7 @@
 //!   the RTL+OVL level and the healthy design never hangs. Combined
 //!   with `--batched`, additionally asserts batched == scalar.
 
-use la1_bench::{write_json_array, BenchArgs, Gate};
+use la1_bench::{opt_speedup, write_json_array, BenchArgs, Gate};
 use la1_fault::{run_campaign, run_campaign_batched, CampaignConfig, FaultModel, Level};
 use std::time::Instant;
 
@@ -49,9 +49,7 @@ fn pattern_count(config: &CampaignConfig) -> u64 {
 fn parse_levels(spec: &str) -> Vec<Level> {
     spec.split(',')
         .map(|s| {
-            Level::ALL
-                .into_iter()
-                .find(|l| l.name() == s.trim())
+            Level::from_name(s.trim())
                 .unwrap_or_else(|| panic!("unknown level '{s}' (asm, systemc, rtl, rtl+ovl)"))
         })
         .collect()
@@ -115,9 +113,7 @@ fn main() {
                     ));
                 }
             }
-            let speedup_json = speedup
-                .map(|s| format!("{s:.2}"))
-                .unwrap_or_else(|| "null".to_string());
+            let speedup_json = opt_speedup(speedup);
             let perf = format!(
                 "{{\"mode\": \"batched\", \"elapsed_seconds\": {elapsed:.4}, \
                  \"patterns\": {patterns}, \"patterns_per_second\": {pps:.1}, \

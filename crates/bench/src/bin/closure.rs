@@ -28,7 +28,7 @@
 //!   `1 2`, budget to 40000, and the binary exits non-zero unless the
 //!   guided run closes 100% of tier-1 bins within the budget.
 
-use la1_bench::{indent_json, write_json_array, BenchArgs, Gate};
+use la1_bench::{indent_json, opt_speedup, write_json_array, BenchArgs, Gate};
 use la1_cover::{
     run_closure, run_closure_rtl, run_closure_rtl_batched, ClosureConfig, ClosureReport,
     MultiClosureReport,
@@ -157,9 +157,7 @@ fn main() {
                     guided.unhit
                 ));
             }
-            let speedup_json = speedup
-                .map(|s| format!("{s:.2}"))
-                .unwrap_or_else(|| "null".to_string());
+            let speedup_json = opt_speedup(speedup);
             let perf = format!(
                 "{{\"mode\": \"batched\", \"elapsed_seconds\": {elapsed:.4}, \
                  \"patterns\": {}, \"patterns_per_second\": {pps:.0}, \

@@ -1,0 +1,366 @@
+//! Drives the verification farm (crate `la1-farm`): sharded fault
+//! campaigns, closure stream groups and exploration sweeps across a
+//! worker pool, reporting jobs/s and patterns/s per worker count.
+//!
+//! Usage: `farm [banks...] [--workers 1,2,4,8] [--mode campaign,closure,explore]
+//! [--seed N] [--runs N] [--jobs N] [--streams N] [--budget N] [--epoch N]
+//! [--depth N] [--levels l1,l2] [--scalar] [--serve] [--assert-scaling X]
+//! [--json <path>] [--smoke]`
+//!
+//! * `banks...` — bank counts to farm over (default `2`; `1 2` under
+//!   `--smoke`);
+//! * `--workers` — comma-separated worker counts to run every plan at
+//!   (default `1,2,4,8`; `1,4` under `--smoke`). The first count is
+//!   the reference: every later run's merged JSON is asserted
+//!   byte-identical to it — the farm's determinism contract;
+//! * `--mode` — comma-separated plan kinds (default
+//!   `campaign,closure`; all three under `--smoke`);
+//! * `--jobs` — campaign shards / closure stream groups per plan
+//!   (default 8; the decomposition is fixed, workers only change who
+//!   runs which job);
+//! * `--streams` — streams per closure job (default 8, lanes of one
+//!   batched driver);
+//! * `--budget` / `--epoch` — per-stream closure cycle budget and
+//!   guidance epoch;
+//! * `--levels` — campaign level filter (as in the `campaign` binary);
+//! * `--scalar` — run the scalar engines inside jobs instead of the
+//!   64-lane batched ones;
+//! * `--serve` — stream each job's result as one JSON line on stdout
+//!   (job-id order, deterministic) during the *first* worker-count
+//!   pass — the dashboard feed;
+//! * `--assert-scaling X` — gate: the last worker count must be at
+//!   least `X`× faster than the first on every campaign/closure plan.
+//!   On hosts with fewer cores than workers the floor degrades to
+//!   `max(0.5, X * cores / workers)` (with a stderr note), so the gate
+//!   checks threading overhead instead of impossible parallelism;
+//! * `--json` — write per-plan reports (perf + merged result) to a
+//!   file, the `BENCH_farm.json` artifact of `scripts/bench.sh`;
+//! * `--smoke` — gate mode for `scripts/check.sh`: fixed small
+//!   configs, 1-vs-4-worker byte identity on merged JSON *and* the
+//!   serve stream, campaign merge == unsharded engine, tier-1 closure
+//!   and explore verdicts.
+
+use la1_bench::{indent_json, opt_speedup, write_json_array, BenchArgs, Gate};
+use la1_core::spec::LaConfig;
+use la1_cover::ClosureConfig;
+use la1_farm::{FarmPlan, FarmReport};
+use la1_fault::{run_campaign_batched, CampaignConfig, Level};
+use std::time::Instant;
+
+fn parse_levels(spec: &str) -> Vec<Level> {
+    spec.split(',')
+        .map(|s| {
+            Level::from_name(s.trim())
+                .unwrap_or_else(|| panic!("unknown level '{s}' (asm, systemc, rtl, rtl+ovl)"))
+        })
+        .collect()
+}
+
+fn parse_workers(spec: &str) -> Vec<usize> {
+    let list: Vec<usize> = spec
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid worker count '{t}'"))
+        })
+        .collect();
+    assert!(!list.is_empty(), "--workers needs at least one count");
+    list
+}
+
+/// One plan's timed passes over the worker-count list.
+struct PlanResult {
+    label: String,
+    banks: u32,
+    jobs: usize,
+    /// Elapsed seconds per worker count.
+    elapsed: Vec<f64>,
+    /// Work units accounted by the jobs (pattern runs / lane-cycles /
+    /// transitions — identical across passes).
+    patterns: u64,
+    /// The merged deterministic report (identical across passes).
+    report: FarmReport,
+}
+
+fn main() {
+    let mut args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+    let serve = args.flag("--serve");
+    let scalar = args.flag("--scalar");
+    let json_path: Option<String> = args.opt("--json");
+    let assert_scaling: Option<f64> = args.opt("--assert-scaling");
+    let workers_spec: String =
+        args.value("--workers", String::from(if smoke { "1,4" } else { "1,2,4,8" }));
+    let mode: String = args.value(
+        "--mode",
+        String::from(if smoke {
+            "campaign,closure,explore"
+        } else {
+            "campaign,closure"
+        }),
+    );
+    let seed: u64 = args.value("--seed", 42);
+    let runs: u32 = args.value("--runs", if smoke { 1 } else { 3 });
+    let jobs: usize = args.value("--jobs", if smoke { 4 } else { 8 });
+    let streams: u32 = args.value("--streams", 8);
+    let budget: u64 = args.value("--budget", if smoke { 4_000 } else { 24_000 });
+    let epoch: u64 = args.value("--epoch", if smoke { 200 } else { 500 });
+    let depth: usize = args.value("--depth", if smoke { 4 } else { 6 });
+    let levels: Option<Vec<Level>> = args.opt::<String>("--levels").map(|s| parse_levels(&s));
+    let banks_list = args.banks(if smoke { &[1, 2] } else { &[2] });
+
+    let workers_list = parse_workers(&workers_spec);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let batched = !scalar;
+
+    // The fixed plan list: the decomposition is part of the plan, so
+    // every worker-count pass runs the identical job set.
+    let mut plans: Vec<(String, FarmPlan)> = Vec::new();
+    for kind in mode.split(',').map(str::trim) {
+        match kind {
+            "campaign" => {
+                for &banks in &banks_list {
+                    let mut config = CampaignConfig::new(banks, seed);
+                    config.runs_per_fault = runs;
+                    if let Some(levels) = &levels {
+                        config.levels = levels.clone();
+                    }
+                    plans.push((
+                        format!("campaign/{banks}b"),
+                        FarmPlan::Campaign {
+                            config,
+                            jobs,
+                            batched,
+                        },
+                    ));
+                }
+            }
+            "closure" => {
+                for &banks in &banks_list {
+                    let mut cfg = ClosureConfig::new(LaConfig::new(banks), seed);
+                    cfg.budget = budget;
+                    cfg.epoch = epoch;
+                    plans.push((
+                        format!("closure/{banks}b"),
+                        FarmPlan::Closure {
+                            cfg,
+                            jobs: jobs as u32,
+                            streams_per_job: streams,
+                            guided: true,
+                            batched,
+                        },
+                    ));
+                }
+            }
+            "explore" => {
+                // one bounded model-checking job per bank count, small
+                // AsmL-style domains (the Table 1 configuration)
+                let configs = banks_list.iter().map(|&b| la1_bench::table_config(b)).collect();
+                plans.push((
+                    "explore".to_string(),
+                    FarmPlan::Explore {
+                        configs,
+                        explore: la1_asm::ExploreConfig {
+                            max_depth: Some(depth),
+                            ..la1_asm::ExploreConfig::default()
+                        },
+                    },
+                ));
+            }
+            other => panic!("unknown mode '{other}' (campaign, closure, explore)"),
+        }
+    }
+
+    println!(
+        "verification farm: {} plan(s), workers {:?}, {} core(s), {} engines",
+        plans.len(),
+        workers_list,
+        cores,
+        if batched { "batched" } else { "scalar" }
+    );
+    let mut gate = Gate::new("farm");
+    let mut results: Vec<PlanResult> = Vec::new();
+    for (label, plan) in &plans {
+        let njobs = plan.jobs().len();
+        let mut elapsed = Vec::new();
+        let mut reference: Option<(FarmReport, Vec<String>)> = None;
+        let mut patterns = 0u64;
+        for (pass, &w) in workers_list.iter().enumerate() {
+            let mut records: Vec<String> = Vec::with_capacity(njobs);
+            let stream_live = serve && pass == 0;
+            let mut pass_patterns = 0u64;
+            let t0 = Instant::now();
+            let report = plan.run_streaming(w, |i, r| {
+                pass_patterns += r.patterns();
+                let rec = r.record(i);
+                if stream_live {
+                    println!("{rec}");
+                }
+                records.push(rec);
+            });
+            let dt = t0.elapsed().as_secs_f64();
+            elapsed.push(dt);
+            println!(
+                "{label:<14} workers={w}: {njobs} jobs in {dt:.3}s = {:.1} jobs/s, {:.0} patterns/s",
+                njobs as f64 / dt.max(1e-9),
+                pass_patterns as f64 / dt.max(1e-9)
+            );
+            match &reference {
+                None => {
+                    patterns = pass_patterns;
+                    reference = Some((report, records));
+                }
+                Some((ref_report, ref_records)) => {
+                    // the determinism contract, asserted on every run
+                    assert_eq!(
+                        ref_report.to_json(),
+                        report.to_json(),
+                        "{label}: merged report at {w} workers diverged from \
+                         {} workers",
+                        workers_list[0]
+                    );
+                    assert_eq!(
+                        ref_records, &records,
+                        "{label}: serve stream at {w} workers diverged from {} workers",
+                        workers_list[0]
+                    );
+                }
+            }
+        }
+        let (report, _) = reference.expect("at least one worker-count pass");
+        results.push(PlanResult {
+            label: label.clone(),
+            banks: match plan {
+                FarmPlan::Campaign { config, .. } => config.la1.banks,
+                FarmPlan::Closure { cfg, .. } => cfg.config.banks,
+                FarmPlan::Explore { .. } => 0,
+            },
+            jobs: njobs,
+            elapsed,
+            patterns,
+            report,
+        });
+    }
+
+    // scaling gate: last worker count vs first, floor degraded on
+    // hosts with fewer cores than workers
+    if let Some(x) = assert_scaling {
+        let w_ref = workers_list[0];
+        let w_top = *workers_list.last().expect("non-empty worker list");
+        let floor = if cores >= w_top {
+            x
+        } else {
+            let degraded = (x * cores as f64 / w_top as f64).max(0.5);
+            eprintln!(
+                "farm: only {cores} core(s) for {w_top} workers — scaling floor degraded \
+                 from {x}x to {degraded:.2}x (threading-overhead check)"
+            );
+            degraded
+        };
+        for r in &results {
+            if r.label.starts_with("explore") {
+                continue; // explore plans have one job per bank; too few jobs to gate
+            }
+            let speedup = r.elapsed[0] / r.elapsed.last().expect("non-empty").max(1e-9);
+            println!(
+                "{}: speedup {w_ref}->{w_top} workers = {speedup:.2}x (floor {floor:.2}x)",
+                r.label
+            );
+            if speedup < floor {
+                gate.fail(format!(
+                    "{}: {speedup:.2}x at {w_top} workers below the {floor:.2}x floor",
+                    r.label
+                ));
+            }
+        }
+    }
+
+    // smoke gates beyond byte identity (already asserted above):
+    // campaign merge == unsharded engine, tier-1 closure, explore pass
+    if smoke {
+        for (r, (_, plan)) in results.iter().zip(&plans) {
+            match &r.report {
+                FarmReport::Campaign(matrix) => {
+                    let FarmPlan::Campaign { config, .. } = plan else {
+                        unreachable!()
+                    };
+                    let unsharded = if batched {
+                        run_campaign_batched(config).0
+                    } else {
+                        la1_fault::run_campaign(config)
+                    };
+                    if matrix.to_json() != unsharded.to_json() {
+                        gate.fail(format!(
+                            "{}: farm merge diverged from the unsharded campaign",
+                            r.label
+                        ));
+                    }
+                    for (level, ok) in &matrix.healthy {
+                        if !ok {
+                            gate.fail(format!(
+                                "{}: healthy design hung at {level}",
+                                r.label
+                            ));
+                        }
+                    }
+                }
+                FarmReport::Closure(c) => {
+                    if c.tier1_hit != c.tier1_total {
+                        gate.fail(format!(
+                            "{}: {}/{} tier-1 bins unhit within {} cycles/stream: {:?}",
+                            r.label,
+                            c.tier1_total - c.tier1_hit,
+                            c.tier1_total,
+                            budget,
+                            c.unhit
+                        ));
+                    }
+                }
+                FarmReport::Explore(e) => {
+                    if !e.all_pass() {
+                        gate.fail(format!("{}: a directive failed under exploration", r.label));
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let jsons: Vec<String> = results
+            .iter()
+            .map(|r| {
+                let fmt_list =
+                    |f: &dyn Fn(usize) -> String| -> String {
+                        (0..r.elapsed.len())
+                            .map(f)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    };
+                let elapsed = fmt_list(&|i| format!("{:.4}", r.elapsed[i]));
+                let jps = fmt_list(&|i| format!("{:.2}", r.jobs as f64 / r.elapsed[i].max(1e-9)));
+                let pps =
+                    fmt_list(&|i| format!("{:.0}", r.patterns as f64 / r.elapsed[i].max(1e-9)));
+                let speedup =
+                    fmt_list(&|i| opt_speedup(Some(r.elapsed[0] / r.elapsed[i].max(1e-9))));
+                let workers = fmt_list(&|i| workers_list[i].to_string());
+                format!(
+                    "{{\n  \"plan\": \"{}\",\n  \"banks\": {},\n  \"jobs\": {},\n  \
+                     \"cores\": {cores},\n  \"workers\": [{workers}],\n  \
+                     \"elapsed_seconds\": [{elapsed}],\n  \"jobs_per_second\": [{jps}],\n  \
+                     \"patterns\": {},\n  \"patterns_per_second\": [{pps}],\n  \
+                     \"speedup_vs_first\": [{speedup}],\n  \"merged\": \n{}\n}}",
+                    r.label,
+                    r.banks,
+                    r.jobs,
+                    r.patterns,
+                    indent_json(&r.report.to_json())
+                )
+            })
+            .collect();
+        write_json_array(&path, &jsons);
+    }
+    gate.finish(smoke || assert_scaling.is_some());
+}

@@ -276,6 +276,15 @@ impl BenchArgs {
     }
 }
 
+/// Renders an optional speedup figure as a JSON number with two
+/// decimals, or `null` when no reference was timed — the bench
+/// binaries' shared `"speedup_vs_scalar"` / `"speedup_vs_first"`
+/// convention.
+pub fn opt_speedup(v: Option<f64>) -> String {
+    v.map(|s| format!("{s:.2}"))
+        .unwrap_or_else(|| "null".to_string())
+}
+
 /// Indents every line of a rendered JSON value by two spaces — the
 /// bench binaries' convention for nesting one report inside another.
 pub fn indent_json(json: &str) -> String {

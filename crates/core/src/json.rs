@@ -1,0 +1,50 @@
+//! Tiny hand-rolled JSON rendering helpers shared by every report
+//! type in the workspace.
+//!
+//! The verification reports (detection matrices, closure reports, farm
+//! results) are rendered as *deterministic* JSON — ordered keys, no
+//! floats derived from timing — so byte-equality doubles as a result
+//! check. Before this module each crate carried its own copy of the
+//! quoted-string-array and nullable-integer renderings; the farm's
+//! merged reports would have added a third. They all call here now.
+
+/// Renders strings as a JSON array body: `"a", "b", "c"` (empty string
+/// for an empty list). The caller provides the surrounding brackets,
+/// matching the existing report layouts.
+pub fn str_array_body<S: AsRef<str>>(items: &[S]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{}\"", s.as_ref()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders an optional integer as JSON: the number, or `null`.
+pub fn opt_u64(value: Option<u64>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn str_array_body_quotes_and_joins() {
+        assert_eq!(str_array_body::<&str>(&[]), "");
+        assert_eq!(str_array_body(&["a"]), "\"a\"");
+        assert_eq!(str_array_body(&["a", "b"]), "\"a\", \"b\"");
+        assert_eq!(
+            str_array_body(&[String::from("x_0")]),
+            "\"x_0\""
+        );
+    }
+
+    #[test]
+    fn opt_u64_renders_null() {
+        assert_eq!(opt_u64(None), "null");
+        assert_eq!(opt_u64(Some(7)), "7");
+    }
+}

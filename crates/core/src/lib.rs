@@ -46,6 +46,7 @@
 pub mod asm_model;
 pub mod cycle_model;
 pub mod harness;
+pub mod json;
 pub mod properties;
 pub mod refine;
 pub mod rtl_model;

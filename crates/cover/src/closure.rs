@@ -95,16 +95,8 @@ impl ClosureReport {
 
     /// Renders the deterministic JSON report.
     pub fn to_json(&self) -> String {
-        let ctc = match self.cycles_to_closure {
-            Some(c) => c.to_string(),
-            None => "null".to_string(),
-        };
-        let unhit = self
-            .unhit
-            .iter()
-            .map(|n| format!("\"{n}\""))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let ctc = la1_core::json::opt_u64(self.cycles_to_closure);
+        let unhit = la1_core::json::str_array_body(&self.unhit);
         format!(
             "{{\n  \"banks\": {},\n  \"burst\": {},\n  \"guided\": {},\n  \"seed\": {},\n  \
              \"budget\": {},\n  \"cycles_run\": {},\n  \"bins_total\": {},\n  \

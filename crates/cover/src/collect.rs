@@ -10,7 +10,7 @@
 //! design hits the identical bin set at every refinement level — the
 //! cross-level coverage-equivalence property the test suite pins.
 
-use crate::model::{BinKind, CoverBin, CoverageModel};
+use crate::model::{BinKind, BinStat, BinStats, CoverBin, CoverageModel};
 use la1_core::cycle_model::{CycleModel, CycleObserver};
 use la1_core::spec::{BankOp, READ_LATENCY};
 
@@ -151,6 +151,27 @@ impl CoverageCollector {
             .zip(&self.hits)
             .filter(|(_, &h)| h > 0)
             .map(|(b, _)| b.name())
+            .collect()
+    }
+
+    /// Snapshots the per-bin statistics in mergeable form — the
+    /// coverage result one farm shard hands back
+    /// ([`CoverageModel::merge_bins`] folds them).
+    pub fn bin_stats(&self) -> BinStats {
+        self.model
+            .bins()
+            .iter()
+            .enumerate()
+            .map(|(i, bin)| {
+                (
+                    bin.name(),
+                    BinStat {
+                        tier: bin.tier(),
+                        hits: self.hits[i],
+                        first_hit: self.first_hit[i],
+                    },
+                )
+            })
             .collect()
     }
 
@@ -341,16 +362,12 @@ impl CoverageCollector {
         out.push_str("  \"bins\": [\n");
         let n = self.model.len();
         for (i, bin) in self.model.bins().iter().enumerate() {
-            let first = match self.first_hit[i] {
-                Some(c) => c.to_string(),
-                None => "null".to_string(),
-            };
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"tier\": {}, \"hits\": {}, \"first_hit\": {}}}{}\n",
                 bin.name(),
                 bin.tier(),
                 self.hits[i],
-                first,
+                la1_core::json::opt_u64(self.first_hit[i]),
                 if i + 1 < n { "," } else { "" }
             ));
         }

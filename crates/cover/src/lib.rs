@@ -49,7 +49,7 @@ pub mod multi;
 pub use closure::{run_closure, ClosureConfig, ClosureReport};
 pub use collect::CoverageCollector;
 pub use guided::GuidedMix;
-pub use model::{BinKind, CoverBin, CoverageModel};
+pub use model::{BinKind, BinStat, BinStats, CoverBin, CoverageModel};
 pub use multi::{run_closure_rtl, run_closure_rtl_batched, MultiClosureReport};
 
 #[cfg(test)]

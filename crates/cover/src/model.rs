@@ -18,6 +18,7 @@
 //! campaign reports stay byte-identical.
 
 use la1_core::spec::{LaConfig, READ_LATENCY};
+use std::collections::BTreeMap;
 
 /// The kind of one coverage bin (the `bank` field of [`CoverBin`]
 /// selects the instance).
@@ -179,6 +180,23 @@ impl CoverBin {
     }
 }
 
+/// Aggregated statistics for one bin across any number of streams or
+/// farm shards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BinStat {
+    /// The bin's coverage tier (identical on every shard of one model).
+    pub tier: u32,
+    /// Total hits across the merged streams.
+    pub hits: u64,
+    /// Earliest per-stream first-hit cycle across the merged streams.
+    pub first_hit: Option<u64>,
+}
+
+/// Mergeable per-bin statistics, keyed by bin name (ordered). The
+/// farm's unit of coverage result: every closure shard produces one,
+/// and [`CoverageModel::merge_bins`] folds them.
+pub type BinStats = BTreeMap<String, BinStat>;
+
 /// The coverage model for one interface configuration: a fixed,
 /// deterministically ordered bin list plus the protocol parameters the
 /// bin predicates need.
@@ -304,6 +322,35 @@ impl CoverageModel {
     /// Number of tier-1 bins (the CI closure gate's denominator).
     pub fn tier1_len(&self) -> usize {
         self.bins.iter().filter(|b| b.tier() == 1).count()
+    }
+
+    /// Unions another shard's per-bin statistics into `into`.
+    ///
+    /// The *bin set* is unioned (a bin is covered when any shard hit
+    /// it), per-bin hit counts sum, and first-hit cycles take the
+    /// minimum. On the covered/uncovered view — the coverage verdict —
+    /// the merge is associative, commutative and idempotent, so merged
+    /// closure results are order- and worker-count-insensitive. Hit
+    /// *counts* are additive volume counters: merging the same shard
+    /// twice doubles them (deliberately — they measure stimulus
+    /// volume), which is why the farm delivers each shard exactly once.
+    pub fn merge_bins(into: &mut BinStats, other: &BinStats) {
+        for (name, stat) in other {
+            match into.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(stat.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let s = e.get_mut();
+                    debug_assert_eq!(s.tier, stat.tier, "bin {name} changed tier across shards");
+                    s.hits += stat.hits;
+                    s.first_hit = match (s.first_hit, stat.first_hit) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+            }
+        }
     }
 
     /// The history depth (in cycles, excluding the current one) the

@@ -25,7 +25,7 @@
 
 use crate::closure::{ClosureConfig, Generator};
 use crate::collect::CoverageCollector;
-use crate::model::{CoverBin, CoverageModel};
+use crate::model::{BinStats, CoverBin, CoverageModel};
 use la1_core::cycle_model::BatchLaneModel;
 use la1_core::cycle_model::CycleObserver;
 use la1_core::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
@@ -70,6 +70,10 @@ pub struct MultiClosureReport {
     pub cycles_to_closure: Option<u64>,
     /// Names of the bins no stream hit, in model order.
     pub unhit: Vec<String>,
+    /// Merged per-bin statistics in mergeable form — what the farm
+    /// unions across closure shards ([`CoverageModel::merge_bins`]).
+    /// Not part of [`Self::to_json`], which stays byte-pinned.
+    pub bins: BinStats,
 }
 
 impl MultiClosureReport {
@@ -84,16 +88,8 @@ impl MultiClosureReport {
 
     /// Renders the deterministic JSON report.
     pub fn to_json(&self) -> String {
-        let ctc = match self.cycles_to_closure {
-            Some(c) => c.to_string(),
-            None => "null".to_string(),
-        };
-        let unhit = self
-            .unhit
-            .iter()
-            .map(|n| format!("\"{n}\""))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let ctc = la1_core::json::opt_u64(self.cycles_to_closure);
+        let unhit = la1_core::json::str_array_body(&self.unhit);
         format!(
             "{{\n  \"banks\": {},\n  \"burst\": {},\n  \"guided\": {},\n  \"seed\": {},\n  \
              \"streams\": {},\n  \"budget\": {},\n  \"cycles_run\": {},\n  \
@@ -159,7 +155,10 @@ fn retarget_all(streams: &mut [Stream]) {
     }
 }
 
-/// Assembles the merged report once the loop has stopped.
+/// Assembles the merged report once the loop has stopped: every
+/// stream's per-bin statistics union via [`CoverageModel::merge_bins`]
+/// (the same fold the farm applies across closure shards), and the
+/// report figures derive from the merged map in model order.
 fn merged_report(
     cfg: &ClosureConfig,
     guided: bool,
@@ -167,37 +166,32 @@ fn merged_report(
     cycles_run: u64,
 ) -> MultiClosureReport {
     let model = streams[0].collector.model().clone();
-    let n = model.len();
-    let merged_hit: Vec<bool> = (0..n)
-        .map(|i| streams.iter().any(|s| s.collector.hits()[i] > 0))
-        .collect();
-    let merged_first: Vec<Option<u64>> = (0..n)
-        .map(|i| {
-            streams
-                .iter()
-                .filter_map(|s| s.collector.first_hits()[i])
-                .min()
-        })
-        .collect();
-    let closed = merged_hit.iter().all(|&h| h);
+    let mut bins = BinStats::new();
+    for s in &streams {
+        CoverageModel::merge_bins(&mut bins, &s.collector.bin_stats());
+    }
+    let stat = |b: &CoverBin| &bins[&b.name()];
+    let closed = model.bins().iter().all(|b| stat(b).hits > 0);
     let cycles_to_closure = if closed {
-        merged_first.iter().map(|f| f.unwrap() + 1).max()
+        model
+            .bins()
+            .iter()
+            .map(|b| stat(b).first_hit.expect("closed bin has a first hit") + 1)
+            .max()
     } else {
         None
     };
-    let bins_hit = merged_hit.iter().filter(|&&h| h).count();
+    let bins_hit = model.bins().iter().filter(|b| stat(b).hits > 0).count();
     let tier1_hit = model
         .bins()
         .iter()
-        .zip(&merged_hit)
-        .filter(|(b, &h)| b.tier() == 1 && h)
+        .filter(|b| b.tier() == 1 && stat(b).hits > 0)
         .count();
     let unhit = model
         .bins()
         .iter()
-        .zip(&merged_hit)
-        .filter(|(_, &h)| !h)
-        .map(|(b, _)| b.name())
+        .filter(|b| stat(b).hits == 0)
+        .map(|b| b.name())
         .collect();
     MultiClosureReport {
         banks: cfg.config.banks,
@@ -208,13 +202,14 @@ fn merged_report(
         budget: cfg.budget,
         cycles_run,
         lane_cycles: streams.len() as u64 * cycles_run,
-        bins_total: n,
+        bins_total: model.len(),
         bins_hit,
         tier1_total: model.tier1_len(),
         tier1_hit,
         closed,
         cycles_to_closure,
         unhit,
+        bins,
     }
 }
 

@@ -535,12 +535,81 @@ fn batched_closure_report_is_byte_reproducible() {
     assert_eq!(a, b);
 }
 
+// ---- mergeable bin statistics ------------------------------------------------
+
+#[test]
+fn bin_stats_merge_sums_hits_and_takes_earliest_first_hit() {
+    let cfg = small_cfg(1);
+    let run = |seed: u64| {
+        let mut collector = CoverageCollector::new(CoverageModel::la1(&cfg));
+        let mut sc = LaSystemC::new(&cfg);
+        let mut mix = RandomMix::new(&cfg, seed, 0.5, 0.5);
+        run_abv_observed(&mut sc, &mut mix, 400, &mut collector);
+        collector.bin_stats()
+    };
+    let a = run(3);
+    let b = run(4);
+    let mut merged = a.clone();
+    CoverageModel::merge_bins(&mut merged, &b);
+    for (name, stat) in &merged {
+        let sa = &a[name];
+        let sb = &b[name];
+        assert_eq!(stat.hits, sa.hits + sb.hits, "{name} hits must sum");
+        let expected_first = match (sa.first_hit, sb.first_hit) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        assert_eq!(stat.first_hit, expected_first, "{name} first hit must be the earliest");
+        assert_eq!(stat.tier, sa.tier);
+    }
+}
+
+#[test]
+fn multi_stream_report_carries_mergeable_bins() {
+    let cfg = small_closure(small_cfg(1), 9);
+    let report = run_closure_rtl_batched(&cfg, true, 4);
+    assert_eq!(report.bins.len(), report.bins_total);
+    // the mergeable map agrees with the report's own summary figures
+    let hit = report.bins.values().filter(|s| s.hits > 0).count();
+    assert_eq!(hit, report.bins_hit);
+    let unhit: Vec<&String> = report
+        .bins
+        .iter()
+        .filter(|(_, s)| s.hits == 0)
+        .map(|(n, _)| n)
+        .collect();
+    assert_eq!(unhit.len(), report.unhit.len());
+}
+
 // ---- property-based checks (vendored proptest) -------------------------------
 
 #[cfg(feature = "proptest")]
 mod props {
     use super::*;
+    use crate::model::{BinStat, BinStats};
     use proptest::prelude::*;
+
+    /// Arbitrary per-bin statistics over a small shared name universe,
+    /// so generated shards overlap on some bins and miss others. Tier
+    /// is a function of the name (as it is for real models).
+    fn arb_bin_stats() -> impl Strategy<Value = BinStats> {
+        prop::collection::vec((0usize..6, 0u64..50, any::<bool>(), 0u64..1_000), 0..6).prop_map(
+            |entries| {
+                let mut stats = BinStats::new();
+                for (name_idx, hits, hit_at_all, first) in entries {
+                    stats.insert(
+                        format!("bin_{name_idx}"),
+                        BinStat {
+                            tier: (name_idx % 3) as u32 + 1,
+                            hits: if hit_at_all { hits + 1 } else { 0 },
+                            first_hit: hit_at_all.then_some(first),
+                        },
+                    );
+                }
+                stats
+            },
+        )
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
@@ -557,6 +626,66 @@ mod props {
                 (0..200).map(|_| agent.next_cycle()).collect::<Vec<_>>()
             };
             prop_assert_eq!(emit(seed), emit(seed));
+        }
+
+        /// merge_bins is commutative and associative on full stat maps
+        /// (hit sums and first-hit minima both commute and associate).
+        #[test]
+        fn merge_bins_commutes_and_associates(
+            a in arb_bin_stats(),
+            b in arb_bin_stats(),
+            c in arb_bin_stats(),
+        ) {
+            let mut ab = a.clone();
+            CoverageModel::merge_bins(&mut ab, &b);
+            let mut ba = b.clone();
+            CoverageModel::merge_bins(&mut ba, &a);
+            prop_assert_eq!(&ab, &ba);
+            // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+            let mut abc = ab;
+            CoverageModel::merge_bins(&mut abc, &c);
+            let mut bc = b.clone();
+            CoverageModel::merge_bins(&mut bc, &c);
+            let mut a_bc = a.clone();
+            CoverageModel::merge_bins(&mut a_bc, &bc);
+            prop_assert_eq!(abc, a_bc);
+        }
+
+        /// On the coverage view — the covered bin set and the first-hit
+        /// cycles — merging a shard into itself changes nothing: hit
+        /// counts are additive volume counters, coverage is a union.
+        #[test]
+        fn merge_bins_is_idempotent_on_the_coverage_view(a in arb_bin_stats()) {
+            let mut aa = a.clone();
+            CoverageModel::merge_bins(&mut aa, &a);
+            prop_assert_eq!(aa.len(), a.len());
+            for (name, stat) in &a {
+                let merged = &aa[name];
+                prop_assert_eq!(merged.hits > 0, stat.hits > 0);
+                prop_assert_eq!(merged.first_hit, stat.first_hit);
+                prop_assert_eq!(merged.tier, stat.tier);
+            }
+        }
+
+        /// Disjoint and overlapping shard families union to the same
+        /// result as one sequential fold (merge == sequential union).
+        #[test]
+        fn merge_bins_equals_sequential_union(
+            shards in prop::collection::vec(arb_bin_stats(), 1..5),
+            keys in prop::collection::vec(any::<u64>(), 5),
+        ) {
+            let sequential = shards.iter().fold(BinStats::new(), |mut acc, s| {
+                CoverageModel::merge_bins(&mut acc, s);
+                acc
+            });
+            // fold again in a key-shuffled order
+            let mut order: Vec<usize> = (0..shards.len()).collect();
+            order.sort_by_key(|&i| keys[i]);
+            let shuffled = order.iter().fold(BinStats::new(), |mut acc, &i| {
+                CoverageModel::merge_bins(&mut acc, &shards[i]);
+                acc
+            });
+            prop_assert_eq!(sequential, shuffled);
         }
 
         /// Every guided cycle respects the single address bus: at most

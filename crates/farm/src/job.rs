@@ -1,0 +1,565 @@
+//! The farm's job model: self-contained work units, their results, and
+//! the plans that decompose a verification task into jobs and merge the
+//! results back.
+//!
+//! Determinism contract: a [`FarmPlan`] fixes its job decomposition
+//! *independently of the worker count* — [`FarmPlan::jobs`] is a pure
+//! function of the plan — and every job is a pure function of its own
+//! description. Results are merged (and streamed) in job-id order, so
+//! the merged report and the JSONL stream are byte-identical for every
+//! worker count.
+
+use la1_asm::ExploreConfig;
+use la1_core::asm_model::LaAsmModel;
+use la1_core::json::opt_u64;
+use la1_core::spec::LaConfig;
+use la1_core::stimulus::stream_seed;
+use la1_cover::{
+    run_closure_rtl, run_closure_rtl_batched, BinStats, ClosureConfig, CoverageModel,
+    MultiClosureReport,
+};
+use la1_fault::{
+    run_campaign_batched_shard, run_campaign_shard, CampaignConfig, CampaignShard,
+    DetectionMatrix,
+};
+use la1_rtl::LANES;
+
+/// One self-contained unit of farm work. Jobs are plain data (no
+/// handles, no shared state), so a worker thread can run any job by
+/// value of its description alone.
+#[derive(Debug, Clone)]
+pub enum FarmJob {
+    /// One shard of a fault campaign: the shard's fault subset across
+    /// every configured level (plus the healthy controls on the shard
+    /// that carries them).
+    Campaign {
+        /// The full campaign configuration (shared by all shards).
+        config: CampaignConfig,
+        /// This job's fault subset.
+        shard: CampaignShard,
+        /// Run the RTL levels through the 64-lane batched engine.
+        batched: bool,
+    },
+    /// One group of coverage-closure streams with a job-private seed.
+    Closure {
+        /// The closure configuration; `cfg.seed` is already the
+        /// job-derived seed ([`stream_seed`] of the plan's base seed).
+        cfg: ClosureConfig,
+        /// Whether guidance is on.
+        guided: bool,
+        /// Streams this job runs (lanes of one batched driver).
+        streams: u32,
+        /// Run the streams through the bit-parallel RTL driver.
+        batched: bool,
+    },
+    /// One bounded model-checking run of the LA-1 ASM model.
+    Explore {
+        /// Interface configuration to explore.
+        config: LaConfig,
+        /// Exploration limits; plans pin `workers: Some(1)` so farm
+        /// jobs do not nest thread pools.
+        explore: ExploreConfig,
+    },
+}
+
+impl FarmJob {
+    /// The job kind as a JSONL tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FarmJob::Campaign { .. } => "campaign",
+            FarmJob::Closure { .. } => "closure",
+            FarmJob::Explore { .. } => "explore",
+        }
+    }
+
+    /// Runs the job to completion. Pure: the result depends only on
+    /// the job description, never on the worker or the schedule.
+    pub fn run(&self) -> JobResult {
+        match self {
+            FarmJob::Campaign {
+                config,
+                shard,
+                batched,
+            } => {
+                let matrix = if *batched {
+                    run_campaign_batched_shard(config, shard).0
+                } else {
+                    run_campaign_shard(config, shard)
+                };
+                JobResult::Campaign(matrix)
+            }
+            FarmJob::Closure {
+                cfg,
+                guided,
+                streams,
+                batched,
+            } => {
+                let report = if *batched {
+                    run_closure_rtl_batched(cfg, *guided, *streams)
+                } else {
+                    run_closure_rtl(cfg, *guided, *streams)
+                };
+                JobResult::Closure(report)
+            }
+            FarmJob::Explore { config, explore } => {
+                let model = LaAsmModel::new(config);
+                let r = model.model_check(explore.clone());
+                JobResult::Explore(ExploreSummary {
+                    banks: config.banks,
+                    states: r.fsm.num_states(),
+                    transitions: r.fsm.num_transitions(),
+                    max_depth_reached: r.stats.max_depth_reached,
+                    complete: r.stats.verdict.is_complete(),
+                    all_pass: r.all_pass(),
+                })
+            }
+        }
+    }
+}
+
+/// The plain-data summary an explore job hands back across the thread
+/// boundary (an [`la1_asm::ExploreResult`] carries the whole FSM; the
+/// farm only forwards the Table-1-style counters and verdicts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreSummary {
+    /// Bank count of the explored configuration.
+    pub banks: u32,
+    /// Product states explored.
+    pub states: usize,
+    /// Transitions recorded.
+    pub transitions: usize,
+    /// Deepest BFS level reached.
+    pub max_depth_reached: usize,
+    /// Whether the reachable graph was exhausted within all budgets.
+    pub complete: bool,
+    /// Whether every attached directive passed.
+    pub all_pass: bool,
+}
+
+/// The result of one [`FarmJob`], in mergeable form.
+#[derive(Debug, Clone)]
+pub enum JobResult {
+    /// A shard's detection matrix ([`DetectionMatrix::merge`]).
+    Campaign(DetectionMatrix),
+    /// A stream group's closure report; its `bins` field merges via
+    /// [`CoverageModel::merge_bins`].
+    Closure(MultiClosureReport),
+    /// An exploration summary (merged by concatenation in job order).
+    Explore(ExploreSummary),
+}
+
+impl JobResult {
+    /// Work units this result accounts for, in the unit natural to the
+    /// job kind: seeded runs for campaign shards (cells × runs plus
+    /// healthy controls), lane-cycles for closure groups, transitions
+    /// for explorations. Plans are homogeneous, so a plan's
+    /// patterns-per-second figure is unit-consistent.
+    pub fn patterns(&self) -> u64 {
+        match self {
+            JobResult::Campaign(m) => {
+                let runs: u64 = m
+                    .cells
+                    .values()
+                    .flat_map(|levels| levels.values())
+                    .map(|c| c.runs as u64)
+                    .sum();
+                runs + m.healthy.len() as u64
+            }
+            JobResult::Closure(r) => r.lane_cycles,
+            JobResult::Explore(s) => s.transitions as u64,
+        }
+    }
+
+    /// Renders the one-line JSON record the `--serve` stream emits for
+    /// this result. Deterministic: no timing, no worker identity —
+    /// byte-identical for every worker count.
+    pub fn record(&self, job: usize) -> String {
+        match self {
+            JobResult::Campaign(m) => {
+                let cells = m
+                    .cells
+                    .values()
+                    .map(|levels| levels.len())
+                    .sum::<usize>();
+                let detected = m
+                    .cells
+                    .values()
+                    .flat_map(|levels| levels.values())
+                    .filter(|c| c.detected())
+                    .count();
+                let healthy_ok = m.healthy.values().all(|&ok| ok);
+                format!(
+                    "{{\"job\": {job}, \"kind\": \"campaign\", \"banks\": {}, \
+                     \"cells\": {cells}, \"detected\": {detected}, \"healthy_ok\": {healthy_ok}}}",
+                    m.banks
+                )
+            }
+            JobResult::Closure(r) => format!(
+                "{{\"job\": {job}, \"kind\": \"closure\", \"banks\": {}, \"seed\": {}, \
+                 \"streams\": {}, \"cycles_run\": {}, \"bins_hit\": {}, \"bins_total\": {}, \
+                 \"closed\": {}}}",
+                r.banks, r.seed, r.streams, r.cycles_run, r.bins_hit, r.bins_total, r.closed
+            ),
+            JobResult::Explore(s) => format!(
+                "{{\"job\": {job}, \"kind\": \"explore\", \"banks\": {}, \"states\": {}, \
+                 \"transitions\": {}, \"complete\": {}, \"all_pass\": {}}}",
+                s.banks, s.states, s.transitions, s.complete, s.all_pass
+            ),
+        }
+    }
+}
+
+/// A verification task decomposed into farm jobs plus the merge that
+/// reassembles the sharded results.
+#[derive(Debug, Clone)]
+pub enum FarmPlan {
+    /// A fault campaign sharded by global fault index
+    /// ([`CampaignShard::split`]); merged by
+    /// [`DetectionMatrix::merge`], reproducing the unsharded campaign
+    /// byte for byte.
+    Campaign {
+        /// Campaign configuration.
+        config: CampaignConfig,
+        /// Shards to split the fault list into (clamped to the fault
+        /// count by `split`).
+        jobs: usize,
+        /// Use the 64-lane batched RTL engine inside each job.
+        batched: bool,
+    },
+    /// A coverage-closure campaign as independent stream groups, one
+    /// job per group with a [`stream_seed`]-derived seed; merged by
+    /// [`CoverageModel::merge_bins`].
+    Closure {
+        /// The base closure configuration; job `j` runs with seed
+        /// `stream_seed(cfg.seed, j)`.
+        cfg: ClosureConfig,
+        /// Stream groups to run.
+        jobs: u32,
+        /// Streams per group (lanes of one batched driver).
+        streams_per_job: u32,
+        /// Whether guidance is on.
+        guided: bool,
+        /// Use the bit-parallel RTL driver inside each job.
+        batched: bool,
+    },
+    /// A sweep of bounded model-checking runs, one job per
+    /// configuration; merged by concatenation in job order.
+    Explore {
+        /// The configurations to explore.
+        configs: Vec<LaConfig>,
+        /// Shared exploration limits (`workers` is pinned to
+        /// `Some(1)` per job so the farm's pool is the only one).
+        explore: ExploreConfig,
+    },
+}
+
+impl FarmPlan {
+    /// The plan's fixed job decomposition — a pure function of the
+    /// plan, independent of how many workers will run it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a closure plan asks for zero jobs/streams or for more
+    /// streams per job than the batched driver has lanes.
+    pub fn jobs(&self) -> Vec<FarmJob> {
+        match self {
+            FarmPlan::Campaign {
+                config,
+                jobs,
+                batched,
+            } => CampaignShard::split(config, *jobs)
+                .into_iter()
+                .map(|shard| FarmJob::Campaign {
+                    config: config.clone(),
+                    shard,
+                    batched: *batched,
+                })
+                .collect(),
+            FarmPlan::Closure {
+                cfg,
+                jobs,
+                streams_per_job,
+                guided,
+                batched,
+            } => {
+                assert!(*jobs > 0, "at least one closure job");
+                assert!(*streams_per_job > 0, "at least one stream per job");
+                assert!(
+                    *streams_per_job as usize <= LANES,
+                    "at most {LANES} streams per job"
+                );
+                (0..*jobs)
+                    .map(|j| {
+                        let mut job_cfg = cfg.clone();
+                        job_cfg.seed = stream_seed(cfg.seed, j as u64);
+                        FarmJob::Closure {
+                            cfg: job_cfg,
+                            guided: *guided,
+                            streams: *streams_per_job,
+                            batched: *batched,
+                        }
+                    })
+                    .collect()
+            }
+            FarmPlan::Explore { configs, explore } => configs
+                .iter()
+                .map(|config| FarmJob::Explore {
+                    config: config.clone(),
+                    explore: ExploreConfig {
+                        workers: Some(1),
+                        ..explore.clone()
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Folds the job results (in job-id order) into the plan's merged
+    /// report. The fold is over order-insensitive merges, so any
+    /// permutation would produce the same report — job-id order is
+    /// fixed anyway to make the byte-identity guarantee trivial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` does not line up with the plan's jobs
+    /// (wrong count or wrong kind) — a scheduler bug, not an input.
+    pub fn merge(&self, results: &[JobResult]) -> FarmReport {
+        match self {
+            FarmPlan::Campaign { .. } => {
+                let mut merged: Option<DetectionMatrix> = None;
+                for r in results {
+                    let JobResult::Campaign(m) = r else {
+                        panic!("campaign plan received a {r:?}");
+                    };
+                    match &mut merged {
+                        None => merged = Some(m.clone()),
+                        Some(acc) => acc.merge(m),
+                    }
+                }
+                FarmReport::Campaign(merged.expect("campaign plan has at least one shard"))
+            }
+            FarmPlan::Closure {
+                cfg,
+                jobs,
+                streams_per_job,
+                guided,
+                ..
+            } => {
+                let mut bins = BinStats::new();
+                let mut lane_cycles = 0u64;
+                for r in results {
+                    let JobResult::Closure(rep) = r else {
+                        panic!("closure plan received a {r:?}");
+                    };
+                    CoverageModel::merge_bins(&mut bins, &rep.bins);
+                    lane_cycles += rep.lane_cycles;
+                }
+                assert_eq!(results.len(), *jobs as usize, "closure plan job count");
+                let model = CoverageModel::la1(&cfg.config);
+                let stat = |b: &la1_cover::CoverBin| &bins[&b.name()];
+                let closed = model.bins().iter().all(|b| stat(b).hits > 0);
+                let cycles_to_closure = if closed {
+                    model
+                        .bins()
+                        .iter()
+                        .map(|b| stat(b).first_hit.expect("closed bin has a first hit") + 1)
+                        .max()
+                } else {
+                    None
+                };
+                FarmReport::Closure(ClosureFarmReport {
+                    banks: cfg.config.banks,
+                    burst: cfg.config.is_burst(),
+                    guided: *guided,
+                    seed: cfg.seed,
+                    jobs: *jobs,
+                    streams_per_job: *streams_per_job,
+                    lane_cycles,
+                    bins_total: model.len(),
+                    bins_hit: model.bins().iter().filter(|b| stat(b).hits > 0).count(),
+                    tier1_total: model.tier1_len(),
+                    tier1_hit: model
+                        .bins()
+                        .iter()
+                        .filter(|b| b.tier() == 1 && stat(b).hits > 0)
+                        .count(),
+                    closed,
+                    cycles_to_closure,
+                    total_hits: bins.values().map(|s| s.hits).sum(),
+                    unhit: model
+                        .bins()
+                        .iter()
+                        .filter(|b| stat(b).hits == 0)
+                        .map(|b| b.name())
+                        .collect(),
+                    bins,
+                })
+            }
+            FarmPlan::Explore { .. } => {
+                let runs: Vec<ExploreSummary> = results
+                    .iter()
+                    .map(|r| {
+                        let JobResult::Explore(s) = r else {
+                            panic!("explore plan received a {r:?}");
+                        };
+                        s.clone()
+                    })
+                    .collect();
+                FarmReport::Explore(ExploreFarmReport { runs })
+            }
+        }
+    }
+}
+
+/// Merged closure-farm figures, derived from the unioned
+/// [`BinStats`] map in coverage-model order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureFarmReport {
+    /// Bank count of the configuration.
+    pub banks: u32,
+    /// Whether the configuration was an LA-1B (burst) one.
+    pub burst: bool,
+    /// Whether guidance was on.
+    pub guided: bool,
+    /// The plan's base seed (job seeds derive from it).
+    pub seed: u64,
+    /// Stream groups run.
+    pub jobs: u32,
+    /// Streams per group.
+    pub streams_per_job: u32,
+    /// Total stimulus volume across all jobs and streams.
+    pub lane_cycles: u64,
+    /// Bins defined by the coverage model.
+    pub bins_total: usize,
+    /// Bins hit by at least one stream of any job.
+    pub bins_hit: usize,
+    /// Tier-1 bins defined.
+    pub tier1_total: usize,
+    /// Tier-1 bins hit.
+    pub tier1_hit: usize,
+    /// Whether the merged coverage is complete.
+    pub closed: bool,
+    /// Per-stream cycles after which the merged coverage was complete
+    /// (one past the latest earliest-any-shard first hit); `None` when
+    /// some bin stayed unhit.
+    pub cycles_to_closure: Option<u64>,
+    /// Total hits across all bins — the additive volume counter the
+    /// merge sums (coverage verdicts never depend on it).
+    pub total_hits: u64,
+    /// Names of the bins no stream of any job hit, in model order.
+    pub unhit: Vec<String>,
+    /// The merged per-bin map itself.
+    pub bins: BinStats,
+}
+
+/// Merged explore-farm report: the per-configuration summaries in job
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreFarmReport {
+    /// One summary per explored configuration.
+    pub runs: Vec<ExploreSummary>,
+}
+
+impl ExploreFarmReport {
+    /// Whether every run passed all its directives.
+    pub fn all_pass(&self) -> bool {
+        self.runs.iter().all(|r| r.all_pass)
+    }
+
+    /// Whether every run exhausted its reachable graph.
+    pub fn complete(&self) -> bool {
+        self.runs.iter().all(|r| r.complete)
+    }
+}
+
+/// The merged result of a farm plan.
+#[derive(Debug, Clone)]
+pub enum FarmReport {
+    /// Merged detection matrix — byte-identical to the unsharded
+    /// campaign's.
+    Campaign(DetectionMatrix),
+    /// Merged closure figures.
+    Closure(ClosureFarmReport),
+    /// Concatenated exploration summaries.
+    Explore(ExploreFarmReport),
+}
+
+impl FarmReport {
+    /// Renders the deterministic JSON report (no timing, no worker
+    /// count): byte-identical for every worker count, and for campaign
+    /// plans byte-identical to the unsharded engine's
+    /// [`DetectionMatrix::to_json`].
+    pub fn to_json(&self) -> String {
+        match self {
+            FarmReport::Campaign(m) => m.to_json(),
+            FarmReport::Closure(r) => {
+                let bins = r
+                    .bins
+                    .iter()
+                    .map(|(name, s)| {
+                        format!(
+                            "    {{\"bin\": \"{name}\", \"tier\": {}, \"hits\": {}, \
+                             \"first_hit\": {}}}",
+                            s.tier,
+                            s.hits,
+                            opt_u64(s.first_hit)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    "{{\n  \"kind\": \"closure-farm\",\n  \"banks\": {},\n  \"burst\": {},\n  \
+                     \"guided\": {},\n  \"seed\": {},\n  \"jobs\": {},\n  \
+                     \"streams_per_job\": {},\n  \"lane_cycles\": {},\n  \"bins_total\": {},\n  \
+                     \"bins_hit\": {},\n  \"tier1_total\": {},\n  \"tier1_hit\": {},\n  \
+                     \"closed\": {},\n  \"cycles_to_closure\": {},\n  \"total_hits\": {},\n  \
+                     \"unhit\": [{}],\n  \"bins\": [\n{bins}\n  ]\n}}\n",
+                    r.banks,
+                    r.burst,
+                    r.guided,
+                    r.seed,
+                    r.jobs,
+                    r.streams_per_job,
+                    r.lane_cycles,
+                    r.bins_total,
+                    r.bins_hit,
+                    r.tier1_total,
+                    r.tier1_hit,
+                    r.closed,
+                    opt_u64(r.cycles_to_closure),
+                    r.total_hits,
+                    la1_core::json::str_array_body(&r.unhit)
+                )
+            }
+            FarmReport::Explore(r) => {
+                let runs = r
+                    .runs
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "    {{\"banks\": {}, \"states\": {}, \"transitions\": {}, \
+                             \"max_depth_reached\": {}, \"complete\": {}, \"all_pass\": {}}}",
+                            s.banks,
+                            s.states,
+                            s.transitions,
+                            s.max_depth_reached,
+                            s.complete,
+                            s.all_pass
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",\n");
+                format!(
+                    "{{\n  \"kind\": \"explore-farm\",\n  \"jobs\": {},\n  \"states\": {},\n  \
+                     \"transitions\": {},\n  \"complete\": {},\n  \"all_pass\": {},\n  \
+                     \"runs\": [\n{runs}\n  ]\n}}\n",
+                    r.runs.len(),
+                    r.runs.iter().map(|s| s.states).sum::<usize>(),
+                    r.runs.iter().map(|s| s.transitions).sum::<usize>(),
+                    r.complete(),
+                    r.all_pass()
+                )
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # la1-farm — the verification-farm orchestrator
+//!
+//! The paper's methodology is embarrassingly parallel at the job
+//! level: fault campaigns, coverage closure and bounded exploration
+//! are independent `(seed, config)` runs whose results union cleanly.
+//! This crate turns that observation into infrastructure:
+//!
+//! * [`FarmJob`] — a self-contained work unit (one campaign shard,
+//!   one closure stream group, one exploration), pure in its
+//!   description, running the existing scalar or 64-lane batched
+//!   engines;
+//! * [`FarmPlan`] — a verification task decomposed into jobs with a
+//!   *worker-count-independent* decomposition
+//!   ([`CampaignShard::split`](la1_fault::CampaignShard::split) by
+//!   global fault index, [`stream_seed`](la1_core::stimulus::stream_seed)-derived
+//!   per-job closure seeds, one exploration per configuration) and the
+//!   merge that reassembles the results:
+//!   [`DetectionMatrix::merge`](la1_fault::DetectionMatrix::merge)
+//!   (cell-keyed union, order-insensitive),
+//!   [`CoverageModel::merge_bins`](la1_cover::CoverageModel::merge_bins)
+//!   (bin-set union + hit-count sum), summary concatenation for
+//!   explorations;
+//! * [`run_jobs`] — the pool: an atomic job-claim counter, per-job
+//!   result slots, and a job-id-ordered emitter, the same determinism
+//!   recipe the PR-1 parallel explorer established. `workers == 1` is
+//!   the inline sequential reference.
+//!
+//! **Determinism contract.** [`FarmReport::to_json`] and the per-job
+//! `--serve` records are byte-identical for every worker count; for
+//! campaign plans the merged matrix is additionally byte-identical to
+//! the *unsharded* engine's output. The `farm` binary in `la1-bench`
+//! measures jobs/s and patterns/s at 1/2/4/8 workers and gates the
+//! scaling floor in `scripts/check.sh`.
+
+pub mod job;
+pub mod pool;
+
+pub use job::{
+    ClosureFarmReport, ExploreFarmReport, ExploreSummary, FarmJob, FarmPlan, FarmReport,
+    JobResult,
+};
+pub use pool::run_jobs;
+
+impl FarmPlan {
+    /// Decomposes, runs and merges the plan on `workers` threads.
+    pub fn run(&self, workers: usize) -> FarmReport {
+        self.run_streaming(workers, |_, _| {})
+    }
+
+    /// [`FarmPlan::run`] with a per-job result callback, invoked in
+    /// job-id order (the `--serve` stream).
+    pub fn run_streaming<F: FnMut(usize, &JobResult)>(
+        &self,
+        workers: usize,
+        emit: F,
+    ) -> FarmReport {
+        let jobs = self.jobs();
+        let results = run_jobs(&jobs, workers, emit);
+        self.merge(&results)
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,92 @@
+//! The worker pool: claims jobs from a shared list, stores results in
+//! job-id slots, and emits them to the stream callback strictly in
+//! job-id order.
+//!
+//! The scheduling machinery mirrors the PR-1 exploration engine's
+//! determinism recipe (`crates/asm/src/shard.rs` and the
+//! level-synchronous merge): workers race only over *which* job they
+//! claim, never over what a job computes or where its result lands.
+//! Claims come from one atomic counter, results go into per-job slots,
+//! and the main thread replays the slots in index order — so the
+//! result vector, the merged report and the `--serve` stream are
+//! byte-identical for every worker count. `workers == 1` bypasses the
+//! pool entirely and is the sequential reference.
+
+use crate::job::{FarmJob, JobResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Runs `jobs` on `workers` threads, invoking `emit` with each result
+/// *in job-id order* (job `i` is emitted only after jobs `0..i`), and
+/// returns the results indexed by job id.
+///
+/// With `workers <= 1` the jobs run inline on the calling thread in
+/// order — the sequential reference schedule. With more workers, the
+/// calling thread only merges/emits; `workers` threads (capped at the
+/// job count) claim jobs from an atomic counter.
+pub fn run_jobs<F: FnMut(usize, &JobResult)>(
+    jobs: &[FarmJob],
+    workers: usize,
+    mut emit: F,
+) -> Vec<JobResult> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(jobs.len());
+    if workers == 1 {
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let r = job.run();
+                emit(i, &r);
+                r
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<JobResult>>> = Mutex::new(vec![None; jobs.len()]);
+    let done = Condvar::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // one atomic claim per job: claim order is index order,
+                // so the decomposition a worker sees never depends on
+                // the schedule
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = jobs[i].run();
+                let mut guard = slots.lock().expect("farm slots poisoned");
+                guard[i] = Some(r);
+                done.notify_all();
+            });
+        }
+        // the calling thread is the emitter: stream each result as
+        // soon as every lower-id job has landed
+        let mut emitted = 0usize;
+        let mut guard = slots.lock().expect("farm slots poisoned");
+        while emitted < jobs.len() {
+            while guard[emitted].is_none() {
+                guard = done.wait(guard).expect("farm slots poisoned");
+            }
+            while emitted < jobs.len() {
+                match &guard[emitted] {
+                    Some(r) => {
+                        emit(emitted, r);
+                        emitted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+    slots
+        .into_inner()
+        .expect("farm slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("every job slot filled"))
+        .collect()
+}

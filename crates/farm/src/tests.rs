@@ -1,0 +1,158 @@
+use crate::{FarmPlan, FarmReport};
+use la1_asm::ExploreConfig;
+use la1_core::spec::LaConfig;
+use la1_cover::ClosureConfig;
+use la1_fault::{run_campaign, run_campaign_batched, CampaignConfig};
+
+/// A small scalar campaign plan: 1 bank, one run per cell.
+fn small_campaign_plan(jobs: usize, batched: bool) -> FarmPlan {
+    let mut config = CampaignConfig::new(1, 17);
+    config.runs_per_fault = 1;
+    FarmPlan::Campaign {
+        config,
+        jobs,
+        batched,
+    }
+}
+
+/// A small closure plan on the batched RTL driver.
+fn small_closure_plan(jobs: u32) -> FarmPlan {
+    let mut cfg = ClosureConfig::new(LaConfig::new(1), 7);
+    cfg.budget = 2_000;
+    cfg.epoch = 200;
+    FarmPlan::Closure {
+        cfg,
+        jobs,
+        streams_per_job: 4,
+        guided: true,
+        batched: true,
+    }
+}
+
+#[test]
+fn campaign_farm_is_worker_count_invariant_and_matches_unsharded() {
+    let plan = small_campaign_plan(3, false);
+    let sequential = plan.run(1).to_json();
+    let parallel = plan.run(4).to_json();
+    assert_eq!(sequential, parallel, "worker count leaked into the report");
+    let FarmPlan::Campaign { config, .. } = &plan else {
+        unreachable!()
+    };
+    assert_eq!(
+        sequential,
+        run_campaign(config).to_json(),
+        "farm merge diverged from the unsharded campaign"
+    );
+}
+
+#[test]
+fn batched_campaign_farm_matches_unsharded_batched() {
+    let mut config = CampaignConfig::new(2, 29);
+    config.runs_per_fault = 1;
+    let plan = FarmPlan::Campaign {
+        config: config.clone(),
+        jobs: 4,
+        batched: true,
+    };
+    let merged = plan.run(4).to_json();
+    assert_eq!(
+        merged,
+        run_campaign_batched(&config).0.to_json(),
+        "batched farm merge diverged from the unsharded batched campaign"
+    );
+}
+
+#[test]
+fn closure_farm_is_worker_count_invariant() {
+    let plan = small_closure_plan(3);
+    let sequential = plan.run(1).to_json();
+    let parallel = plan.run(4).to_json();
+    assert_eq!(sequential, parallel, "worker count leaked into the report");
+    let FarmReport::Closure(report) = plan.run(2) else {
+        panic!("closure plan must produce a closure report")
+    };
+    assert_eq!(report.jobs, 3);
+    assert!(
+        report.lane_cycles > 0 && report.lane_cycles <= 3 * 4 * 2_000,
+        "lane cycles out of range: {}",
+        report.lane_cycles
+    );
+    assert!(report.bins_hit > 0, "stimulus hit no coverage at all");
+}
+
+#[test]
+fn serve_stream_is_ordered_and_worker_count_invariant() {
+    let plan = small_closure_plan(4);
+    let capture = |workers: usize| {
+        let mut records = Vec::new();
+        plan.run_streaming(workers, |i, r| records.push((i, r.record(i))));
+        records
+    };
+    let sequential = capture(1);
+    let parallel = capture(4);
+    assert_eq!(
+        sequential.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+        (0..4).collect::<Vec<_>>(),
+        "stream must emit in job-id order"
+    );
+    assert_eq!(sequential, parallel, "worker count leaked into the stream");
+}
+
+#[test]
+fn explore_farm_summarizes_each_config() {
+    let plan = FarmPlan::Explore {
+        configs: vec![LaConfig::mc_small(1), LaConfig::mc_small(2)],
+        explore: ExploreConfig {
+            max_depth: Some(3),
+            max_states: 20_000,
+            ..ExploreConfig::default()
+        },
+    };
+    let sequential = plan.run(1);
+    let parallel = plan.run(2);
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    let FarmReport::Explore(report) = sequential else {
+        panic!("explore plan must produce an explore report")
+    };
+    assert_eq!(report.runs.len(), 2);
+    assert_eq!(report.runs[0].banks, 1);
+    assert_eq!(report.runs[1].banks, 2);
+    assert!(report.all_pass(), "LA-1 properties must hold within bounds");
+    for run in &report.runs {
+        assert!(run.states > 0);
+        assert!(run.transitions as u64 > 0);
+    }
+}
+
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// The unsharded scalar reference, computed once.
+    fn reference_json() -> &'static String {
+        static REF: OnceLock<String> = OnceLock::new();
+        REF.get_or_init(|| {
+            let FarmPlan::Campaign { config, .. } = small_campaign_plan(1, false) else {
+                unreachable!()
+            };
+            run_campaign(&config).to_json()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Any (job count, worker count) pair reproduces the unsharded
+        /// campaign byte for byte.
+        #[test]
+        fn any_decomposition_and_worker_count_reproduces_the_campaign(
+            jobs in 1usize..5,
+            workers in 1usize..5,
+        ) {
+            let merged = small_campaign_plan(jobs, false).run(workers).to_json();
+            prop_assert_eq!(merged, reference_json().clone());
+        }
+    }
+}

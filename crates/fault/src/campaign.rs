@@ -66,6 +66,12 @@ impl Level {
             Level::RtlOvl => "rtl+ovl",
         }
     }
+
+    /// Parses a report name back into the level (the bench binaries'
+    /// `--levels` option).
+    pub fn from_name(name: &str) -> Option<Level> {
+        Level::ALL.into_iter().find(|l| l.name() == name)
+    }
 }
 
 /// Whether `fault` can be expressed at `level`.
@@ -121,6 +127,51 @@ impl CampaignConfig {
             levels: Level::ALL.to_vec(),
             faults: FaultModel::ALL.to_vec(),
         }
+    }
+}
+
+/// The slice of a campaign one farm job runs.
+///
+/// A shard names the *global* indices into [`CampaignConfig::faults`]
+/// it covers — per-run seeds are derived from those indices
+/// ([`run_seed`]), so a shard reproduces exactly the runs the full
+/// campaign would execute for its faults, and shard results union back
+/// into the full matrix byte-for-byte ([`DetectionMatrix::merge`]).
+/// Exactly one shard of a family should carry `healthy: true`: the
+/// healthy-design closed-loop controls run once per campaign, not once
+/// per shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignShard {
+    /// Indices into [`CampaignConfig::faults`] this shard runs.
+    pub fault_indices: Vec<usize>,
+    /// Whether this shard runs the healthy-design controls.
+    pub healthy: bool,
+}
+
+impl CampaignShard {
+    /// The whole campaign as one shard (what [`run_campaign`] uses).
+    pub fn full(config: &CampaignConfig) -> CampaignShard {
+        CampaignShard {
+            fault_indices: (0..config.faults.len()).collect(),
+            healthy: true,
+        }
+    }
+
+    /// Splits the campaign into `shards` round-robin fault shards; the
+    /// first carries the healthy controls. Fewer shards come back when
+    /// there are fewer faults than requested.
+    pub fn split(config: &CampaignConfig, shards: usize) -> Vec<CampaignShard> {
+        let shards = shards.max(1).min(config.faults.len().max(1));
+        (0..shards)
+            .map(|s| CampaignShard {
+                fault_indices: (s..config.faults.len()).step_by(shards).collect(),
+                healthy: s == 0,
+            })
+            .collect()
+    }
+
+    pub(crate) fn includes(&self, fault_idx: usize) -> bool {
+        self.fault_indices.contains(&fault_idx)
     }
 }
 
@@ -203,6 +254,59 @@ impl DetectionMatrix {
         self.cells
             .get(fault.name())
             .is_some_and(|levels| levels.values().any(CellStats::detected))
+    }
+
+    /// Unions another shard's results into this matrix.
+    ///
+    /// The merge is a *cell-keyed set union*: every `(fault, level)`
+    /// cell, and every per-level healthy verdict, is complete within
+    /// the shard that produced it, so a key present on both sides must
+    /// carry identical content (shards of one deterministic campaign
+    /// always do) and is kept once. That makes the merge associative,
+    /// commutative and idempotent, hence order- and
+    /// worker-count-insensitive — the farm's determinism argument.
+    /// Cross-level disagreements are recomputed from the merged cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two matrices come from different campaigns (banks,
+    /// seed or runs-per-fault differ) or if a shared cell disagrees —
+    /// both are contract violations, not recoverable states.
+    pub fn merge(&mut self, other: &DetectionMatrix) {
+        assert_eq!(self.banks, other.banks, "merging different interfaces");
+        assert_eq!(self.seed, other.seed, "merging different campaign seeds");
+        assert_eq!(
+            self.runs_per_fault, other.runs_per_fault,
+            "merging different runs-per-fault settings"
+        );
+        for (fault, levels) in &other.cells {
+            let mine = self.cells.entry(fault.clone()).or_default();
+            for (level, cell) in levels {
+                match mine.entry(level.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(cell.clone());
+                    }
+                    std::collections::btree_map::Entry::Occupied(e) => {
+                        assert_eq!(
+                            e.get(),
+                            cell,
+                            "shards disagree on cell ({fault}, {level})"
+                        );
+                    }
+                }
+            }
+        }
+        for (level, ok) in &other.healthy {
+            match self.healthy.entry(level.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(*ok);
+                }
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    assert_eq!(e.get(), ok, "shards disagree on healthy control at {level}");
+                }
+            }
+        }
+        self.disagreements = compute_disagreements(&self.cells);
     }
 
     /// Renders the matrix as the human-readable campaign report.
@@ -313,13 +417,7 @@ impl DetectionMatrix {
         out.push_str(&healthy);
         out.push_str("],\n");
         out.push_str("  \"disagreements\": [");
-        let dis = self
-            .disagreements
-            .iter()
-            .map(|d| format!("\"{d}\""))
-            .collect::<Vec<_>>()
-            .join(", ");
-        out.push_str(&dis);
+        out.push_str(&la1_core::json::str_array_body(&self.disagreements));
         match perf {
             Some(perf) => {
                 out.push_str("],\n");
@@ -726,6 +824,15 @@ pub(crate) fn run_seed(base: u64, fault_idx: usize, level_idx: usize, run: u32) 
 /// closed-loop control per level, and the cross-level monitor
 /// agreement check.
 pub fn run_campaign(config: &CampaignConfig) -> DetectionMatrix {
+    run_campaign_shard(config, &CampaignShard::full(config))
+}
+
+/// Runs one shard of the campaign with the scalar engines: only the
+/// shard's fault indices (with their *global* per-run seeds), and the
+/// healthy controls only when the shard carries them. The union of a
+/// disjoint shard family's matrices ([`DetectionMatrix::merge`])
+/// reproduces [`run_campaign`] byte-for-byte.
+pub fn run_campaign_shard(config: &CampaignConfig, shard: &CampaignShard) -> DetectionMatrix {
     install_guard_hook();
     let cfg = &config.la1;
     let mut matrix = DetectionMatrix {
@@ -737,6 +844,9 @@ pub fn run_campaign(config: &CampaignConfig) -> DetectionMatrix {
         disagreements: Vec::new(),
     };
     for (fault_idx, &fault) in config.faults.iter().enumerate() {
+        if !shard.includes(fault_idx) {
+            continue;
+        }
         for (level_idx, &level) in config.levels.iter().enumerate() {
             if !supports(fault, level) {
                 continue;
@@ -772,9 +882,12 @@ pub fn run_campaign(config: &CampaignConfig) -> DetectionMatrix {
             }
         }
     }
-    for &level in &config.levels {
-        let result = closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
-        matrix.healthy.insert(level.name().to_string(), !result.hung);
+    if shard.healthy {
+        for &level in &config.levels {
+            let result =
+                closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
+            matrix.healthy.insert(level.name().to_string(), !result.hung);
+        }
     }
     matrix.disagreements = compute_disagreements(&matrix.cells);
     matrix

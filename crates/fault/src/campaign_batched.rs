@@ -42,7 +42,7 @@
 use crate::campaign::{
     activation_window, closed_loop_run, compute_disagreements, inject_stream, install_guard_hook,
     open_loop_run, open_loop_script, replay_script, run_seed, supports, CampaignConfig,
-    DetectionMatrix, Level, RunResult,
+    CampaignShard, DetectionMatrix, Level, RunResult,
 };
 use crate::models::{FaultModel, FaultPlan, Injector};
 use la1_core::harness::attach_la1_ovl;
@@ -213,14 +213,16 @@ fn ops_legal(cfg: &LaConfig, ops: &[BankOp]) -> bool {
 }
 
 /// Runs every seeded run of one RTL-family level through the batched
-/// simulator. Returns the per-run results in `(fault, run)` order plus
-/// the healthy-design control verdict.
+/// simulator, restricted to the shard's faults. Returns the per-run
+/// results in `(fault, run)` order plus the healthy-design control
+/// verdict (`None` when the shard does not carry the controls).
 fn run_rtl_level_batched(
     config: &CampaignConfig,
+    shard: &CampaignShard,
     level: Level,
     level_idx: usize,
     stats: &mut BatchStats,
-) -> (Vec<(FaultModel, RunResult)>, bool) {
+) -> (Vec<(FaultModel, RunResult)>, Option<bool>) {
     let cfg = &config.la1;
     let with_bench = level == Level::RtlOvl;
     let window = activation_window(cfg);
@@ -230,7 +232,7 @@ fn run_rtl_level_batched(
 
     // ---- prepare: derive every run exactly as the scalar runner does
     for (fault_idx, &fault) in config.faults.iter().enumerate() {
-        if !supports(fault, level) {
+        if !shard.includes(fault_idx) || !supports(fault, level) {
             continue;
         }
         for run in 0..config.runs_per_fault {
@@ -279,22 +281,25 @@ fn run_rtl_level_batched(
         }
     }
     // the healthy-design closed-loop control rides in the closed group
-    let control_lane = alloc_lane(&mut groups, cfg, GroupKind::Closed, with_bench);
-    closed_runs.push(ClosedRun {
-        fault: None,
-        injector: None,
-        activation: 0,
-        min_cycles: window.1.max(READ_LATENCY as u64 + 4),
-        lane: control_lane,
-        completed: 0,
-        outstanding: false,
-        counter: 0,
-        last_progress: 0,
-        detections: BTreeMap::new(),
-        hung: false,
-        done: false,
-        driven: 0,
-    });
+    // (only on the shard carrying the controls)
+    if shard.healthy {
+        let control_lane = alloc_lane(&mut groups, cfg, GroupKind::Closed, with_bench);
+        closed_runs.push(ClosedRun {
+            fault: None,
+            injector: None,
+            activation: 0,
+            min_cycles: window.1.max(READ_LATENCY as u64 + 4),
+            lane: control_lane,
+            completed: 0,
+            outstanding: false,
+            counter: 0,
+            last_progress: 0,
+            detections: BTreeMap::new(),
+            hung: false,
+            done: false,
+            driven: 0,
+        });
+    }
 
     stats.groups += groups.len() as u32;
     stats.rtl_lane_runs += (2 * open_runs.len() + closed_runs.len()) as u32;
@@ -506,7 +511,7 @@ fn run_rtl_level_batched(
             },
         ));
     }
-    let mut healthy_ok = true;
+    let mut healthy_ok = None;
     for mut run in closed_runs {
         if run.completed < config.target_reads && !run.hung {
             // the hard cap ran out without the watchdog firing —
@@ -538,7 +543,7 @@ fn run_rtl_level_batched(
                     hung: run.hung,
                 },
             )),
-            None => healthy_ok = !run.hung,
+            None => healthy_ok = Some(!run.hung),
         }
     }
     (results, healthy_ok)
@@ -549,6 +554,18 @@ fn run_rtl_level_batched(
 /// [`run_campaign`](crate::run_campaign) plus the bit-parallel
 /// execution stats.
 pub fn run_campaign_batched(config: &CampaignConfig) -> (DetectionMatrix, BatchStats) {
+    run_campaign_batched_shard(config, &CampaignShard::full(config))
+}
+
+/// Runs one shard of the campaign with the batched RTL engines —
+/// the farm's per-worker unit of work. Shard semantics match
+/// [`run_campaign_shard`](crate::run_campaign_shard): global seed
+/// indices, healthy controls only on the carrying shard, so merged
+/// shard matrices reproduce [`run_campaign_batched`] byte-for-byte.
+pub fn run_campaign_batched_shard(
+    config: &CampaignConfig,
+    shard: &CampaignShard,
+) -> (DetectionMatrix, BatchStats) {
     install_guard_hook();
     let cfg = &config.la1;
     let mut stats = BatchStats::default();
@@ -562,6 +579,9 @@ pub fn run_campaign_batched(config: &CampaignConfig) -> (DetectionMatrix, BatchS
     };
     // ASM / SystemC levels: scalar path, verbatim
     for (fault_idx, &fault) in config.faults.iter().enumerate() {
+        if !shard.includes(fault_idx) {
+            continue;
+        }
         for (level_idx, &level) in config.levels.iter().enumerate() {
             if matches!(level, Level::Rtl | Level::RtlOvl) || !supports(fault, level) {
                 continue;
@@ -602,7 +622,8 @@ pub fn run_campaign_batched(config: &CampaignConfig) -> (DetectionMatrix, BatchS
         if !matches!(level, Level::Rtl | Level::RtlOvl) {
             continue;
         }
-        let (results, healthy_ok) = run_rtl_level_batched(config, level, level_idx, &mut stats);
+        let (results, healthy_ok) =
+            run_rtl_level_batched(config, shard, level, level_idx, &mut stats);
         for (fault, result) in results {
             let cell = matrix
                 .cells
@@ -618,15 +639,20 @@ pub fn run_campaign_batched(config: &CampaignConfig) -> (DetectionMatrix, BatchS
                 stat.latency_sum += latency;
             }
         }
-        matrix.healthy.insert(level.name().to_string(), healthy_ok);
+        if let Some(ok) = healthy_ok {
+            matrix.healthy.insert(level.name().to_string(), ok);
+        }
     }
     // healthy-design controls for the scalar levels
-    for &level in &config.levels {
-        if matches!(level, Level::Rtl | Level::RtlOvl) {
-            continue;
+    if shard.healthy {
+        for &level in &config.levels {
+            if matches!(level, Level::Rtl | Level::RtlOvl) {
+                continue;
+            }
+            let result =
+                closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
+            matrix.healthy.insert(level.name().to_string(), !result.hung);
         }
-        let result = closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
-        matrix.healthy.insert(level.name().to_string(), !result.hung);
     }
     matrix.disagreements = compute_disagreements(&matrix.cells);
     (matrix, stats)

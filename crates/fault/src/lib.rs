@@ -32,9 +32,10 @@ mod campaign_batched;
 mod models;
 
 pub use campaign::{
-    run_campaign, supports, CampaignConfig, CellStats, DetectionMatrix, Level, MonitorStat,
+    run_campaign, run_campaign_shard, supports, CampaignConfig, CampaignShard, CellStats,
+    DetectionMatrix, Level, MonitorStat,
 };
-pub use campaign_batched::{run_campaign_batched, BatchStats};
+pub use campaign_batched::{run_campaign_batched, run_campaign_batched_shard, BatchStats};
 pub use models::{FaultModel, FaultPlan, HostileMasterSeq, Injector};
 
 #[cfg(test)]

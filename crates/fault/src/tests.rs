@@ -1,7 +1,9 @@
 //! Tests for the fault models, the injector and the campaign engine.
 
-use crate::campaign::{run_campaign, supports, CampaignConfig, Level};
-use crate::campaign_batched::run_campaign_batched;
+use crate::campaign::{
+    run_campaign, run_campaign_shard, supports, CampaignConfig, CampaignShard, Level,
+};
+use crate::campaign_batched::{run_campaign_batched, run_campaign_batched_shard};
 use crate::models::{FaultModel, FaultPlan, HostileMasterSeq, Injector};
 use la1_core::spec::{BankOp, LaConfig};
 use la1_core::stimulus::{Driver, ScriptSequence};
@@ -355,6 +357,82 @@ fn batched_campaign_reproduces_committed_golden() {
 }
 
 #[test]
+fn level_from_name_round_trips() {
+    for level in Level::ALL {
+        assert_eq!(Level::from_name(level.name()), Some(level));
+    }
+    assert_eq!(Level::from_name("verilog"), None);
+}
+
+#[test]
+fn shard_split_partitions_faults() {
+    let config = CampaignConfig::new(1, 0);
+    let n = config.faults.len();
+    for shards in [1, 2, 3, 5, n, n + 7] {
+        let family = CampaignShard::split(&config, shards);
+        assert!(family.len() <= n, "more shards than faults");
+        // exactly one shard carries the healthy controls
+        assert_eq!(family.iter().filter(|s| s.healthy).count(), 1);
+        assert!(family[0].healthy);
+        // the shards partition the fault indices: disjoint and complete
+        let mut seen = vec![0u32; n];
+        for shard in &family {
+            for &idx in &shard.fault_indices {
+                seen[idx] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "split({shards}) is not a partition: {seen:?}"
+        );
+    }
+    // the full shard is the identity split
+    assert_eq!(CampaignShard::split(&config, 1), vec![CampaignShard::full(&config)]);
+}
+
+#[test]
+fn sharded_scalar_campaign_merges_byte_identical() {
+    let mut config = CampaignConfig::new(1, 17);
+    config.runs_per_fault = 1;
+    let full = run_campaign(&config);
+    let family = CampaignShard::split(&config, 3);
+    let parts: Vec<_> = family.iter().map(|s| run_campaign_shard(&config, s)).collect();
+    // forward merge order
+    let mut merged = parts[0].clone();
+    for part in &parts[1..] {
+        merged.merge(part);
+    }
+    assert_eq!(merged.to_json(), full.to_json(), "forward shard merge diverged");
+    // reverse merge order — the union is order-insensitive
+    let mut reversed = parts[parts.len() - 1].clone();
+    for part in parts[..parts.len() - 1].iter().rev() {
+        reversed.merge(part);
+    }
+    assert_eq!(reversed.to_json(), full.to_json(), "reverse shard merge diverged");
+}
+
+#[test]
+fn sharded_batched_campaign_merges_byte_identical() {
+    let mut config = CampaignConfig::new(2, 29);
+    config.runs_per_fault = 1;
+    let (full, _) = run_campaign_batched(&config);
+    let family = CampaignShard::split(&config, 4);
+    let mut merged: Option<crate::campaign::DetectionMatrix> = None;
+    for shard in &family {
+        let (part, _) = run_campaign_batched_shard(&config, shard);
+        match &mut merged {
+            None => merged = Some(part),
+            Some(m) => m.merge(&part),
+        }
+    }
+    assert_eq!(
+        merged.unwrap().to_json(),
+        full.to_json(),
+        "batched shard merge diverged from the unsharded batched run"
+    );
+}
+
+#[test]
 fn json_shape_is_stable() {
     let mut config = CampaignConfig::new(1, 1);
     config.faults = vec![FaultModel::DropWriteStrobe];
@@ -366,4 +444,80 @@ fn json_shape_is_stable() {
     assert!(json.contains("\"level\": \"asm\""));
     assert!(json.contains("\"monitor\": \"scoreboard\""));
     assert!(json.contains("\"healthy\""));
+}
+
+// ---- property-based checks (vendored proptest) -------------------------------
+
+#[cfg(feature = "proptest")]
+mod props {
+    use super::*;
+    use crate::campaign::DetectionMatrix;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// The shard matrices (and the full reference) are pure functions of
+    /// one fixed config, so they are computed once and the properties
+    /// below exercise only the merge algebra — hundreds of cases stay
+    /// cheap.
+    fn fixture() -> &'static (Vec<DetectionMatrix>, DetectionMatrix) {
+        static FIXTURE: OnceLock<(Vec<DetectionMatrix>, DetectionMatrix)> = OnceLock::new();
+        FIXTURE.get_or_init(|| {
+            let mut config = CampaignConfig::new(1, 41);
+            config.runs_per_fault = 1;
+            let parts = CampaignShard::split(&config, 4)
+                .iter()
+                .map(|s| run_campaign_shard(&config, s))
+                .collect();
+            (parts, run_campaign(&config))
+        })
+    }
+
+    /// Merges the fixture shards in the order given by `order`
+    /// (indices may repeat — repeats exercise idempotence).
+    fn merge_in_order(order: &[usize]) -> DetectionMatrix {
+        let (parts, _) = fixture();
+        let mut merged = parts[order[0] % parts.len()].clone();
+        for &i in &order[1..] {
+            merged.merge(&parts[i % parts.len()].clone());
+        }
+        merged
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Pairwise commutativity: a ∪ b == b ∪ a for any two shards
+        /// (including a shard with itself — idempotence of the union).
+        #[test]
+        fn merge_is_commutative_and_idempotent(a in 0usize..4, b in 0usize..4) {
+            let (parts, _) = fixture();
+            let mut ab = parts[a].clone();
+            ab.merge(&parts[b]);
+            let mut ba = parts[b].clone();
+            ba.merge(&parts[a]);
+            prop_assert_eq!(ab.to_json(), ba.to_json());
+            // merging the pair in again changes nothing
+            let json = ab.to_json();
+            ab.merge(&parts[a]);
+            ab.merge(&parts[b]);
+            prop_assert_eq!(ab.to_json(), json);
+        }
+
+        /// Any permutation of the shard family — with arbitrary
+        /// repeats (overlapping deliveries) — unions back to the full
+        /// campaign, which is associativity + commutativity +
+        /// idempotence in one shot.
+        #[test]
+        fn any_merge_order_reproduces_full_campaign(
+            keys in prop::collection::vec(any::<u64>(), 4),
+            repeats in prop::collection::vec(0usize..4, 0..4),
+        ) {
+            let (_, full) = fixture();
+            // order the 4 shards by random key => a random permutation
+            let mut order: Vec<usize> = (0..4).collect();
+            order.sort_by_key(|&i| keys[i]);
+            order.extend(&repeats);
+            prop_assert_eq!(merge_in_order(&order).to_json(), full.to_json());
+        }
+    }
 }

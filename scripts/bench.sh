@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness: runs the timed bench binaries with --json
+# and writes the BENCH_*.json artifacts, so throughput is tracked
+# across PRs (EXPERIMENTS.md quotes these figures). The perf objects
+# (elapsed seconds, patterns/s, speedups) vary run to run; everything
+# else in each report is deterministic. Not a gate — scripts/check.sh
+# owns the pass/fail floors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+
+# Cross-level fault campaign, 64-lane batched engines.
+./target/release/campaign 1 2 4 --batched --json BENCH_campaign.json > /dev/null
+# Multi-stream coverage closure on the bit-parallel RTL driver.
+./target/release/closure 1 2 4 --batched --json BENCH_closure.json > /dev/null
+# Transaction-level NPU traffic workloads across all model levels.
+./target/release/traffic --json BENCH_traffic.json > /dev/null
+# Verification farm: sharded campaign + closure plans at 1/2/4/8
+# workers (jobs/s, patterns/s, speedup vs 1 worker).
+./target/release/farm 4 --workers 1,2,4,8 --runs 12 --budget 60000 \
+    --json BENCH_farm.json > /dev/null
+
+echo "bench.sh: wrote BENCH_campaign.json BENCH_closure.json BENCH_traffic.json BENCH_farm.json"

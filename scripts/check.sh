@@ -43,5 +43,19 @@ cargo run -q -p la1-bench --bin campaign -- 1 2 --smoke --batched > /dev/null
 ./target/release/throughput 4 --cycles 2000 --assert-speedup 8 > /dev/null
 ./target/release/campaign 4 --batched --levels rtl --assert-speedup 4 > /dev/null
 ./target/release/closure --smoke --assert-speedup 3 > /dev/null
+# Verification-farm gates (DESIGN.md §12). The smoke line runs every
+# plan kind (sharded campaign, closure stream groups, exploration
+# sweep) at 1 and 4 workers with fixed seeds and asserts inside the
+# binary that the merged reports AND the per-job serve streams are
+# byte-identical across worker counts, that the campaign merge equals
+# the unsharded engine's matrix, that tier-1 coverage closes, and that
+# exploration passes.
+./target/release/farm --smoke > /dev/null
+# The scaling line gates farm throughput at 4 banks on the batched
+# engines: >=2.5x at 4 workers over 1 worker on the campaign and
+# closure plans when 4+ cores are available. On smaller hosts the
+# binary degrades the floor to max(0.5, 2.5*cores/4) — a
+# threading-overhead check — and notes the waiver on stderr.
+./target/release/farm 4 --workers 1,4 --runs 12 --budget 60000 --assert-scaling 2.5 > /dev/null
 
 echo "check.sh: all gates passed"
