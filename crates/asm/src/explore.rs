@@ -94,6 +94,30 @@ pub enum BudgetReason {
     MaxDepth,
 }
 
+impl BudgetReason {
+    /// A stable machine-readable token for reports and journals
+    /// (`Display` stays the human-readable phrasing).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetReason::WallClock => "wall-clock",
+            BudgetReason::MaxStates => "max-states",
+            BudgetReason::MaxTransitions => "max-transitions",
+            BudgetReason::MaxDepth => "max-depth",
+        }
+    }
+
+    /// The inverse of [`BudgetReason::as_str`].
+    pub fn from_str_token(token: &str) -> Option<BudgetReason> {
+        Some(match token {
+            "wall-clock" => BudgetReason::WallClock,
+            "max-states" => BudgetReason::MaxStates,
+            "max-transitions" => BudgetReason::MaxTransitions,
+            "max-depth" => BudgetReason::MaxDepth,
+            _ => return None,
+        })
+    }
+}
+
 impl std::fmt::Display for BudgetReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -128,6 +152,16 @@ impl ExploreVerdict {
     /// True for [`ExploreVerdict::Complete`].
     pub fn is_complete(&self) -> bool {
         matches!(self, ExploreVerdict::Complete)
+    }
+
+    /// The budget that cut a partial run short (`None` when complete) —
+    /// what downstream merges (the farm's degraded-shard report)
+    /// propagate instead of dropping the caveat.
+    pub fn budget_reason(&self) -> Option<BudgetReason> {
+        match self {
+            ExploreVerdict::Complete => None,
+            ExploreVerdict::Partial { reason, .. } => Some(*reason),
+        }
     }
 }
 

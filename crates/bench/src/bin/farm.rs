@@ -1,11 +1,15 @@
 //! Drives the verification farm (crate `la1-farm`): sharded fault
 //! campaigns, closure stream groups and exploration sweeps across a
-//! worker pool, reporting jobs/s and patterns/s per worker count.
+//! worker pool, reporting jobs/s and patterns/s per worker count —
+//! with crash recovery (write-ahead journal + `--resume`), a retry
+//! policy and the self-chaos harness.
 //!
 //! Usage: `farm [banks...] [--workers 1,2,4,8] [--mode campaign,closure,explore]
 //! [--seed N] [--runs N] [--jobs N] [--streams N] [--budget N] [--epoch N]
 //! [--depth N] [--levels l1,l2] [--scalar] [--serve] [--assert-scaling X]
-//! [--json <path>] [--smoke]`
+//! [--json <path>] [--merged-json <path>] [--journal <path>] [--resume <path>]
+//! [--chaos SEED] [--chaos-sites N] [--max-retries N] [--backoff-ms N]
+//! [--deadline-ms N] [--smoke]`
 //!
 //! * `banks...` — bank counts to farm over (default `2`; `1 2` under
 //!   `--smoke`);
@@ -25,27 +29,53 @@
 //! * `--levels` — campaign level filter (as in the `campaign` binary);
 //! * `--scalar` — run the scalar engines inside jobs instead of the
 //!   64-lane batched ones;
-//! * `--serve` — stream each job's result as one JSON line on stdout
-//!   (job-id order, deterministic) during the *first* worker-count
-//!   pass — the dashboard feed;
+//! * `--serve` — stream each job's result as one flushed JSON line on
+//!   stdout (job-id order, deterministic) during the *first*
+//!   worker-count pass, plus a closing `farm-summary` line. The stream
+//!   survives a hung-up consumer: on a broken pipe the output stops
+//!   but the run — gates, JSON artifacts, exit code — continues;
+//! * `--journal <path>` — write-ahead-journal the first worker-count
+//!   pass (single-plan runs only): the plan fingerprint plus each
+//!   committed result as one flushed JSONL line, crash-recoverable;
+//! * `--resume <path>` — resume the first pass from an interrupted
+//!   journal: committed results replay verbatim, only the remainder
+//!   runs, and the merged report is asserted byte-identical to the
+//!   fresh full runs at the later worker counts;
+//! * `--chaos SEED` — the self-chaos harness: deterministically
+//!   sabotage `--chaos-sites` (default 3) job indices with a
+//!   panic / synthetic timeout / delay round-robin on their first
+//!   attempt. A *clean* reference pass runs first and every chaos pass
+//!   is asserted byte-identical to it — the convergence gate of
+//!   `scripts/check.sh` (give the policy `--max-retries` ≥ 1 or the
+//!   assert will trip on the degraded report, by design);
+//! * `--max-retries` / `--backoff-ms` / `--deadline-ms` — the run
+//!   policy: retries per failed job, deterministic backoff base, hard
+//!   per-attempt wall-clock deadline (deadlines are timing-dependent;
+//!   deterministic gates leave them unset);
 //! * `--assert-scaling X` — gate: the last worker count must be at
 //!   least `X`× faster than the first on every campaign/closure plan.
 //!   On hosts with fewer cores than workers the floor degrades to
 //!   `max(0.5, X * cores / workers)` (with a stderr note), so the gate
 //!   checks threading overhead instead of impossible parallelism;
-//! * `--json` — write per-plan reports (perf + merged result) to a
-//!   file, the `BENCH_farm.json` artifact of `scripts/bench.sh`;
+//! * `--json` — write per-plan reports (perf + resilience counters +
+//!   merged result) to a file, the `BENCH_farm.json` artifact of
+//!   `scripts/bench.sh`;
+//! * `--merged-json` — write just the merged deterministic reports
+//!   (one per plan, no perf data) to a file: the byte-diffable
+//!   artifact the kill-and-resume gate compares across runs;
 //! * `--smoke` — gate mode for `scripts/check.sh`: fixed small
 //!   configs, 1-vs-4-worker byte identity on merged JSON *and* the
 //!   serve stream, campaign merge == unsharded engine, tier-1 closure
-//!   and explore verdicts.
+//!   and explore verdicts, no degraded shards.
 
-use la1_bench::{indent_json, opt_speedup, write_json_array, BenchArgs, Gate};
+use la1_bench::{indent_json, opt_speedup, sout, write_json_array, BenchArgs, Gate};
 use la1_core::spec::LaConfig;
 use la1_cover::ClosureConfig;
-use la1_farm::{FarmPlan, FarmReport};
+use la1_farm::{
+    ChaosConfig, FarmPlan, FarmReport, FarmRunStats, Journal, JobResult, MergedReport, RunPolicy,
+};
 use la1_fault::{run_campaign_batched, CampaignConfig, Level};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn parse_levels(spec: &str) -> Vec<Level> {
     spec.split(',')
@@ -81,6 +111,10 @@ struct PlanResult {
     patterns: u64,
     /// The merged deterministic report (identical across passes).
     report: FarmReport,
+    /// Resilience counters accumulated over every pass of this plan.
+    stats: FarmRunStats,
+    /// The chaos-sabotaged job indices, when the harness was on.
+    chaos_sites: Option<Vec<usize>>,
 }
 
 fn main() {
@@ -89,6 +123,14 @@ fn main() {
     let serve = args.flag("--serve");
     let scalar = args.flag("--scalar");
     let json_path: Option<String> = args.opt("--json");
+    let merged_json_path: Option<String> = args.opt("--merged-json");
+    let journal_path: Option<String> = args.opt("--journal");
+    let resume_path: Option<String> = args.opt("--resume");
+    let chaos_seed: Option<u64> = args.opt("--chaos");
+    let chaos_sites: u32 = args.value("--chaos-sites", 3);
+    let max_retries: u32 = args.value("--max-retries", 0);
+    let backoff_ms: u64 = args.value("--backoff-ms", 0);
+    let deadline_ms: Option<u64> = args.opt("--deadline-ms");
     let assert_scaling: Option<f64> = args.opt("--assert-scaling");
     let workers_spec: String =
         args.value("--workers", String::from(if smoke { "1,4" } else { "1,2,4,8" }));
@@ -110,11 +152,21 @@ fn main() {
     let levels: Option<Vec<Level>> = args.opt::<String>("--levels").map(|s| parse_levels(&s));
     let banks_list = args.banks(if smoke { &[1, 2] } else { &[2] });
 
+    assert!(
+        journal_path.is_none() || resume_path.is_none(),
+        "--journal and --resume are mutually exclusive (a resume appends to its own journal)"
+    );
     let workers_list = parse_workers(&workers_spec);
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     let batched = !scalar;
+    let policy = RunPolicy {
+        deadline: deadline_ms.map(Duration::from_millis),
+        max_retries,
+        backoff_base_ms: backoff_ms,
+        retry_seed: seed,
+    };
 
     // The fixed plan list: the decomposition is part of the plan, so
     // every worker-count pass runs the identical job set.
@@ -173,64 +225,131 @@ fn main() {
             other => panic!("unknown mode '{other}' (campaign, closure, explore)"),
         }
     }
+    if journal_path.is_some() || resume_path.is_some() {
+        assert_eq!(
+            plans.len(),
+            1,
+            "--journal/--resume map one journal file to one plan — select a single \
+             mode and bank count"
+        );
+    }
 
-    println!(
-        "verification farm: {} plan(s), workers {:?}, {} core(s), {} engines",
+    sout(format!(
+        "verification farm: {} plan(s), workers {:?}, {} core(s), {} engines{}{}",
         plans.len(),
         workers_list,
         cores,
-        if batched { "batched" } else { "scalar" }
-    );
+        if batched { "batched" } else { "scalar" },
+        if chaos_seed.is_some() { ", chaos on" } else { "" },
+        if max_retries > 0 {
+            format!(", {max_retries} retries")
+        } else {
+            String::new()
+        },
+    ));
     let mut gate = Gate::new("farm");
     let mut results: Vec<PlanResult> = Vec::new();
+    let mut totals = FarmRunStats::default();
     for (label, plan) in &plans {
         let njobs = plan.jobs().len();
+        let chaos = chaos_seed.map(|s| {
+            let mut cfg = ChaosConfig::new(s);
+            cfg.sites = chaos_sites;
+            cfg.plan(njobs)
+        });
+        if let Some(chaos) = &chaos {
+            sout(format!(
+                "{label:<14} chaos: sabotaging jobs {:?} of {njobs}",
+                chaos.sites()
+            ));
+        }
+        // under chaos, the reference is a *clean* (chaos-free,
+        // untimed) pass: every chaos pass must converge to it byte
+        // for byte — retries healing injected faults completely
+        let mut reference: Option<(FarmReport, Vec<String>)> = chaos.as_ref().map(|_| {
+            let mut records = Vec::with_capacity(njobs);
+            let report = plan.run_streaming(workers_list[0], |i, r| records.push(r.record(i)));
+            (report, records)
+        });
+        let chaos_reference = reference.is_some();
         let mut elapsed = Vec::new();
-        let mut reference: Option<(FarmReport, Vec<String>)> = None;
         let mut patterns = 0u64;
+        let mut plan_stats = FarmRunStats::default();
         for (pass, &w) in workers_list.iter().enumerate() {
             let mut records: Vec<String> = Vec::with_capacity(njobs);
             let stream_live = serve && pass == 0;
             let mut pass_patterns = 0u64;
-            let t0 = Instant::now();
-            let report = plan.run_streaming(w, |i, r| {
+            let mut emit = |i: usize, r: &JobResult, _attempts: u32| {
                 pass_patterns += r.patterns();
                 let rec = r.record(i);
                 if stream_live {
-                    println!("{rec}");
+                    sout(&rec);
                 }
                 records.push(rec);
-            });
+            };
+            let t0 = Instant::now();
+            let (report, stats) = if pass == 0 && resume_path.is_some() {
+                let path = std::path::Path::new(resume_path.as_deref().expect("checked"));
+                plan.resume(path, w, &policy, chaos.as_ref(), &mut emit)
+                    .unwrap_or_else(|e| panic!("farm --resume: {e}"))
+            } else {
+                let mut journal = (pass == 0)
+                    .then_some(journal_path.as_deref())
+                    .flatten()
+                    .map(|p| {
+                        Journal::create(std::path::Path::new(p), plan)
+                            .unwrap_or_else(|e| panic!("farm --journal {p}: {e}"))
+                    });
+                plan.run_with(w, &policy, chaos.as_ref(), journal.as_mut(), &mut emit)
+            };
             let dt = t0.elapsed().as_secs_f64();
             elapsed.push(dt);
-            println!(
-                "{label:<14} workers={w}: {njobs} jobs in {dt:.3}s = {:.1} jobs/s, {:.0} patterns/s",
+            plan_stats.absorb(&stats);
+            sout(format!(
+                "{label:<14} workers={w}: {njobs} jobs in {dt:.3}s = {:.1} jobs/s, \
+                 {:.0} patterns/s{}",
                 njobs as f64 / dt.max(1e-9),
-                pass_patterns as f64 / dt.max(1e-9)
-            );
+                pass_patterns as f64 / dt.max(1e-9),
+                if stats.retried + stats.failed + stats.replayed > 0 {
+                    format!(
+                        " ({} retried, {} failed, {} replayed)",
+                        stats.retried, stats.failed, stats.replayed
+                    )
+                } else {
+                    String::new()
+                },
+            ));
             match &reference {
                 None => {
                     patterns = pass_patterns;
                     reference = Some((report, records));
                 }
                 Some((ref_report, ref_records)) => {
-                    // the determinism contract, asserted on every run
+                    // the determinism contract, asserted on every run:
+                    // against the first pass, or under chaos against
+                    // the clean chaos-free reference
+                    let vs = if chaos_reference {
+                        "the clean chaos-free run".to_string()
+                    } else {
+                        format!("{} workers", workers_list[0])
+                    };
                     assert_eq!(
                         ref_report.to_json(),
                         report.to_json(),
-                        "{label}: merged report at {w} workers diverged from \
-                         {} workers",
-                        workers_list[0]
+                        "{label}: merged report at {w} workers diverged from {vs}"
                     );
                     assert_eq!(
                         ref_records, &records,
-                        "{label}: serve stream at {w} workers diverged from {} workers",
-                        workers_list[0]
+                        "{label}: serve stream at {w} workers diverged from {vs}"
                     );
+                    if chaos_reference && pass == 0 {
+                        patterns = pass_patterns;
+                    }
                 }
             }
         }
         let (report, _) = reference.expect("at least one worker-count pass");
+        totals.absorb(&plan_stats);
         results.push(PlanResult {
             label: label.clone(),
             banks: match plan {
@@ -242,6 +361,8 @@ fn main() {
             elapsed,
             patterns,
             report,
+            stats: plan_stats,
+            chaos_sites: chaos.as_ref().map(|c| c.sites()),
         });
     }
 
@@ -265,10 +386,10 @@ fn main() {
                 continue; // explore plans have one job per bank; too few jobs to gate
             }
             let speedup = r.elapsed[0] / r.elapsed.last().expect("non-empty").max(1e-9);
-            println!(
+            sout(format!(
                 "{}: speedup {w_ref}->{w_top} workers = {speedup:.2}x (floor {floor:.2}x)",
                 r.label
-            );
+            ));
             if speedup < floor {
                 gate.fail(format!(
                     "{}: {speedup:.2}x at {w_top} workers below the {floor:.2}x floor",
@@ -279,11 +400,20 @@ fn main() {
     }
 
     // smoke gates beyond byte identity (already asserted above):
-    // campaign merge == unsharded engine, tier-1 closure, explore pass
+    // campaign merge == unsharded engine, tier-1 closure, explore
+    // pass, no degraded shards in the final report
     if smoke {
         for (r, (_, plan)) in results.iter().zip(&plans) {
-            match &r.report {
-                FarmReport::Campaign(matrix) => {
+            if !r.report.is_complete() {
+                for d in &r.report.degraded {
+                    gate.fail(format!(
+                        "{}: job {} degraded the report: {}",
+                        r.label, d.job, d.reason
+                    ));
+                }
+            }
+            match &r.report.merged {
+                MergedReport::Campaign(matrix) => {
                     let FarmPlan::Campaign { config, .. } = plan else {
                         unreachable!()
                     };
@@ -307,7 +437,7 @@ fn main() {
                         }
                     }
                 }
-                FarmReport::Closure(c) => {
+                MergedReport::Closure(c) => {
                     if c.tier1_hit != c.tier1_total {
                         gate.fail(format!(
                             "{}: {}/{} tier-1 bins unhit within {} cycles/stream: {:?}",
@@ -319,7 +449,7 @@ fn main() {
                         ));
                     }
                 }
-                FarmReport::Explore(e) => {
+                MergedReport::Explore(e) => {
                     if !e.all_pass() {
                         gate.fail(format!("{}: a directive failed under exploration", r.label));
                     }
@@ -328,6 +458,26 @@ fn main() {
         }
     }
 
+    if serve {
+        // the closing record of the serve stream: what the whole run
+        // cost in resilience terms (deterministic counters only)
+        sout(format!(
+            "{{\"kind\": \"farm-summary\", \"plans\": {}, \"jobs_run\": {}, \
+             \"retried\": {}, \"failed\": {}, \"replayed\": {}}}",
+            plans.len(),
+            totals.jobs_run,
+            totals.retried,
+            totals.failed,
+            totals.replayed
+        ));
+    }
+
+    if let Some(path) = merged_json_path {
+        // merged reports only — the byte-diffable artifact for the
+        // kill-and-resume gate (no perf, no counters)
+        let jsons: Vec<String> = results.iter().map(|r| r.report.to_json()).collect();
+        write_json_array(&path, &jsons);
+    }
     if let Some(path) = json_path {
         let jsons: Vec<String> = results
             .iter()
@@ -346,16 +496,29 @@ fn main() {
                 let speedup =
                     fmt_list(&|i| opt_speedup(Some(r.elapsed[0] / r.elapsed[i].max(1e-9))));
                 let workers = fmt_list(&|i| workers_list[i].to_string());
+                let sites = match &r.chaos_sites {
+                    Some(s) => format!(
+                        "[{}]",
+                        s.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+                    ),
+                    None => "null".to_string(),
+                };
                 format!(
                     "{{\n  \"plan\": \"{}\",\n  \"banks\": {},\n  \"jobs\": {},\n  \
                      \"cores\": {cores},\n  \"workers\": [{workers}],\n  \
                      \"elapsed_seconds\": [{elapsed}],\n  \"jobs_per_second\": [{jps}],\n  \
                      \"patterns\": {},\n  \"patterns_per_second\": [{pps}],\n  \
-                     \"speedup_vs_first\": [{speedup}],\n  \"merged\": \n{}\n}}",
+                     \"speedup_vs_first\": [{speedup}],\n  \"resilience\": {{\"jobs_run\": {}, \
+                     \"retried\": {}, \"failed\": {}, \"replayed\": {}, \"max_retries\": \
+                     {max_retries}, \"chaos_sites\": {sites}}},\n  \"merged\": \n{}\n}}",
                     r.label,
                     r.banks,
                     r.jobs,
                     r.patterns,
+                    r.stats.jobs_run,
+                    r.stats.retried,
+                    r.stats.failed,
+                    r.stats.replayed,
                     indent_json(&r.report.to_json())
                 )
             })

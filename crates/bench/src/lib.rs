@@ -276,6 +276,23 @@ impl BenchArgs {
     }
 }
 
+/// Writes one line to stdout, flushed immediately, tolerating a broken
+/// pipe: when a consumer like `head` or a dashboard hangs up, the
+/// output silently stops but the computation — and its gates, JSON
+/// artifacts and exit code — continues. (Rust ignores `SIGPIPE`, so a
+/// plain `println!` would panic on EPIPE instead.) Flushing per line
+/// is the `--serve` contract: a live consumer sees each record the
+/// moment its job commits, not when a buffer happens to fill.
+pub fn sout(line: impl AsRef<str>) {
+    use std::io::Write;
+    let out = std::io::stdout();
+    let mut h = out.lock();
+    let _ = h
+        .write_all(line.as_ref().as_bytes())
+        .and_then(|()| h.write_all(b"\n"))
+        .and_then(|()| h.flush());
+}
+
 /// Renders an optional speedup figure as a JSON number with two
 /// decimals, or `null` when no reference was timed — the bench
 /// binaries' shared `"speedup_vs_scalar"` / `"speedup_vs_first"`
@@ -343,7 +360,7 @@ impl Gate {
     pub fn finish(self, armed: bool) {
         if self.failures.is_empty() {
             if armed {
-                println!("{} gate: ok", self.name);
+                sout(format!("{} gate: ok", self.name));
             }
             return;
         }

@@ -1,0 +1,142 @@
+//! The self-chaos harness: seeded, deterministic fault injection into
+//! the farm's *own* scheduler.
+//!
+//! The same move PR 3 made against the device under test — inject a
+//! known fault, assert the detection machinery catches it — applied to
+//! the orchestrator: a [`ChaosConfig`] derives, from a seed and the
+//! plan's job count, a fixed set of sabotage sites (job index → fault
+//! kind) and the pool consults it before every attempt. Panics unwind
+//! into [`JobResult::Failed`](crate::JobResult::Failed), synthetic
+//! timeouts exercise the deadline path without waiting, and delays
+//! perturb the schedule without touching results.
+//!
+//! Determinism contract: the injection depends only on `(seed, job,
+//! attempt)` — never on the worker, the schedule or the clock — so a
+//! chaos run with enough retries merges to a report *byte-identical*
+//! to the chaos-free run (`scripts/check.sh` gates exactly that, and
+//! the proptests quantify over the seed).
+
+use std::collections::BTreeMap;
+
+/// One kind of injected scheduler fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// The attempt panics (after the real work would have started).
+    Panic,
+    /// The attempt reports a synthetic deadline expiry.
+    Timeout,
+    /// The attempt is delayed by a bounded sleep, then runs normally —
+    /// a schedule perturbation that must not reach the report.
+    Delay,
+}
+
+impl ChaosFault {
+    /// JSONL tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosFault::Panic => "panic",
+            ChaosFault::Timeout => "timeout",
+            ChaosFault::Delay => "delay",
+        }
+    }
+}
+
+/// A seeded chaos campaign against the farm itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed the sabotage sites derive from.
+    pub seed: u64,
+    /// Number of distinct job indices to sabotage (clamped to the job
+    /// count when the plan is smaller).
+    pub sites: u32,
+    /// Attempts `0..faulty_attempts` of a sabotaged job fail; the next
+    /// attempt succeeds. Retries must cover this
+    /// (`max_retries >= faulty_attempts`) for the run to converge.
+    pub faulty_attempts: u32,
+    /// Upper bound on an injected delay, in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl ChaosConfig {
+    /// The default campaign for `seed`: three sabotage sites (panic,
+    /// timeout and delay round-robin), first attempt only, delays
+    /// under 20 ms.
+    pub fn new(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            sites: 3,
+            faulty_attempts: 1,
+            delay_ms: 20,
+        }
+    }
+
+    /// Fixes the sabotage sites for a plan of `njobs` jobs: `sites`
+    /// distinct job indices drawn by a splitmix walk over the seed,
+    /// fault kinds assigned round-robin so every kind appears once the
+    /// site count reaches three. Pure in `(self, njobs)`.
+    pub fn plan(&self, njobs: usize) -> ChaosPlan {
+        let mut faults = BTreeMap::new();
+        if njobs > 0 {
+            let sites = (self.sites as usize).min(njobs);
+            let mut state = self.seed;
+            let kinds = [ChaosFault::Panic, ChaosFault::Timeout, ChaosFault::Delay];
+            let mut kind = 0usize;
+            while faults.len() < sites {
+                state = splitmix(state);
+                let job = (state % njobs as u64) as usize;
+                if let std::collections::btree_map::Entry::Vacant(e) = faults.entry(job) {
+                    e.insert(kinds[kind % kinds.len()]);
+                    kind += 1;
+                }
+            }
+        }
+        ChaosPlan {
+            faults,
+            faulty_attempts: self.faulty_attempts,
+            delay_ms: self.delay_ms,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The fixed sabotage schedule for one plan: which jobs fail, how, and
+/// for how many attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    faults: BTreeMap<usize, ChaosFault>,
+    faulty_attempts: u32,
+    delay_ms: u64,
+    seed: u64,
+}
+
+impl ChaosPlan {
+    /// The fault to inject into `(job, attempt)`, if any.
+    pub fn fault_for(&self, job: usize, attempt: u32) -> Option<ChaosFault> {
+        if attempt >= self.faulty_attempts {
+            return None;
+        }
+        self.faults.get(&job).copied()
+    }
+
+    /// The sabotaged job indices, ascending.
+    pub fn sites(&self) -> Vec<usize> {
+        self.faults.keys().copied().collect()
+    }
+
+    /// The deterministic delay for a [`ChaosFault::Delay`] injection
+    /// at `(job, attempt)`, in milliseconds (bounded by the config's
+    /// `delay_ms`).
+    pub fn delay_for(&self, job: usize, attempt: u32) -> u64 {
+        let mix = splitmix(self.seed ^ ((job as u64) << 17) ^ attempt as u64);
+        mix % (self.delay_ms + 1)
+    }
+}
+
+/// The splitmix64 finalizer — the same seed-derivation idiom the
+/// stimulus stack uses (`stream_seed`, `run_seed`).
+pub(crate) fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

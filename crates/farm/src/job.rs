@@ -110,10 +110,90 @@ impl FarmJob {
                     transitions: r.fsm.num_transitions(),
                     max_depth_reached: r.stats.max_depth_reached,
                     complete: r.stats.verdict.is_complete(),
+                    budget: r
+                        .stats
+                        .verdict
+                        .budget_reason()
+                        .map(|b| b.as_str().to_string()),
                     all_pass: r.all_pass(),
                 })
             }
         }
+    }
+
+    /// [`FarmJob::run`] under a per-job wall-clock deadline. Explore
+    /// jobs get the deadline plumbed into
+    /// [`ExploreConfig::wall_clock`] (at 75% of the budget, leaving
+    /// headroom to assemble the partial result) so they stop
+    /// *gracefully* with [`la1_asm::ExploreVerdict::Partial`] instead
+    /// of being abandoned by the pool's hard watchdog; campaign and
+    /// closure jobs have no cooperative cut-off and rely on the
+    /// watchdog alone.
+    pub fn run_deadline(&self, deadline: Option<std::time::Duration>) -> JobResult {
+        match (self, deadline) {
+            (FarmJob::Explore { config, explore }, Some(d)) => {
+                let soft = d.mul_f64(0.75);
+                let wall_clock = Some(explore.wall_clock.map_or(soft, |w| w.min(soft)));
+                FarmJob::Explore {
+                    config: config.clone(),
+                    explore: ExploreConfig {
+                        wall_clock,
+                        ..explore.clone()
+                    },
+                }
+                .run()
+            }
+            _ => self.run(),
+        }
+    }
+}
+
+/// Why a job's final attempt did not produce a mergeable result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The job panicked; the payload message is preserved.
+    Panic(String),
+    /// The job exceeded its wall-clock deadline (or the chaos harness
+    /// injected a synthetic timeout).
+    Timeout {
+        /// The deadline that fired, in milliseconds (0 when the chaos
+        /// harness injected the timeout with no real deadline set).
+        budget_ms: u64,
+    },
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::Panic(msg) => write!(f, "panic: {msg}"),
+            FailReason::Timeout { budget_ms } => {
+                write!(f, "timeout after {budget_ms}ms")
+            }
+        }
+    }
+}
+
+/// A result of the wrong kind reached a plan's merge — a scheduler or
+/// journal bug. Carries everything needed to report it without
+/// crashing the merge (the three `panic!` arms this replaced used to
+/// take the whole farm down).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Job id whose result mismatched.
+    pub job: usize,
+    /// The result kind the plan expected.
+    pub expected: &'static str,
+    /// The result kind actually delivered.
+    pub actual: &'static str,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "merge error: job {} delivered a {} result to a {} plan",
+            self.job, self.actual, self.expected
+        )
     }
 }
 
@@ -132,6 +212,11 @@ pub struct ExploreSummary {
     pub max_depth_reached: usize,
     /// Whether the reachable graph was exhausted within all budgets.
     pub complete: bool,
+    /// The budget that cut a partial run short
+    /// ([`la1_asm::BudgetReason::as_str`] token), `None` when
+    /// complete. Wall-clock partials surface in the farm report's
+    /// degraded section.
+    pub budget: Option<String>,
     /// Whether every attached directive passed.
     pub all_pass: bool,
 }
@@ -146,9 +231,28 @@ pub enum JobResult {
     Closure(MultiClosureReport),
     /// An exploration summary (merged by concatenation in job order).
     Explore(ExploreSummary),
+    /// The job produced no result: every attempt panicked or timed
+    /// out. Merges record it in the report's degraded section instead
+    /// of aborting.
+    Failed {
+        /// Job id (slot index into the plan's decomposition).
+        job: usize,
+        /// The final attempt's failure.
+        reason: FailReason,
+    },
 }
 
 impl JobResult {
+    /// The result kind as a JSONL tag (mirrors [`FarmJob::kind`], plus
+    /// `"failed"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobResult::Campaign(_) => "campaign",
+            JobResult::Closure(_) => "closure",
+            JobResult::Explore(_) => "explore",
+            JobResult::Failed { .. } => "failed",
+        }
+    }
     /// Work units this result accounts for, in the unit natural to the
     /// job kind: seeded runs for campaign shards (cells × runs plus
     /// healthy controls), lane-cycles for closure groups, transitions
@@ -167,6 +271,7 @@ impl JobResult {
             }
             JobResult::Closure(r) => r.lane_cycles,
             JobResult::Explore(s) => s.transitions as u64,
+            JobResult::Failed { .. } => 0,
         }
     }
 
@@ -204,6 +309,10 @@ impl JobResult {
                 "{{\"job\": {job}, \"kind\": \"explore\", \"banks\": {}, \"states\": {}, \
                  \"transitions\": {}, \"complete\": {}, \"all_pass\": {}}}",
                 s.banks, s.states, s.transitions, s.complete, s.all_pass
+            ),
+            JobResult::Failed { reason, .. } => format!(
+                "{{\"job\": {job}, \"kind\": \"failed\", \"reason\": \"{}\"}}",
+                la1_core::json::escape(&reason.to_string())
             ),
         }
     }
@@ -314,29 +423,64 @@ impl FarmPlan {
         }
     }
 
+    /// The result kind this plan's merge expects.
+    pub fn expected_kind(&self) -> &'static str {
+        match self {
+            FarmPlan::Campaign { .. } => "campaign",
+            FarmPlan::Closure { .. } => "closure",
+            FarmPlan::Explore { .. } => "explore",
+        }
+    }
+
     /// Folds the job results (in job-id order) into the plan's merged
     /// report. The fold is over order-insensitive merges, so any
     /// permutation would produce the same report — job-id order is
     /// fixed anyway to make the byte-identity guarantee trivial.
     ///
-    /// # Panics
-    ///
-    /// Panics if `results` does not line up with the plan's jobs
-    /// (wrong count or wrong kind) — a scheduler bug, not an input.
+    /// Failure tolerance: a [`JobResult::Failed`] slot, a result of
+    /// the wrong kind ([`MergeError`]) or an exploration cut short by
+    /// its wall-clock budget contributes a [`Degraded`] entry instead
+    /// of aborting the merge — the report is the union of what
+    /// succeeded, with the gaps spelled out.
     pub fn merge(&self, results: &[JobResult]) -> FarmReport {
-        match self {
-            FarmPlan::Campaign { .. } => {
+        let mut degraded: Vec<Degraded> = Vec::new();
+        // first pass, shared by every plan kind: pull out failures and
+        // kind mismatches in job-id order
+        let expected = self.expected_kind();
+        let mut ok: Vec<(usize, &JobResult)> = Vec::with_capacity(results.len());
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                JobResult::Failed { reason, .. } => degraded.push(Degraded {
+                    job: i,
+                    kind: expected,
+                    reason: reason.to_string(),
+                }),
+                r if r.kind() != expected => degraded.push(Degraded {
+                    job: i,
+                    kind: expected,
+                    reason: MergeError {
+                        job: i,
+                        expected,
+                        actual: r.kind(),
+                    }
+                    .to_string(),
+                }),
+                r => ok.push((i, r)),
+            }
+        }
+        let merged = match self {
+            FarmPlan::Campaign { config, .. } => {
                 let mut merged: Option<DetectionMatrix> = None;
-                for r in results {
+                for (_, r) in &ok {
                     let JobResult::Campaign(m) = r else {
-                        panic!("campaign plan received a {r:?}");
+                        unreachable!("kind-filtered above")
                     };
                     match &mut merged {
                         None => merged = Some(m.clone()),
                         Some(acc) => acc.merge(m),
                     }
                 }
-                FarmReport::Campaign(merged.expect("campaign plan has at least one shard"))
+                MergedReport::Campaign(merged.unwrap_or_else(|| DetectionMatrix::empty(config)))
             }
             FarmPlan::Closure {
                 cfg,
@@ -347,16 +491,19 @@ impl FarmPlan {
             } => {
                 let mut bins = BinStats::new();
                 let mut lane_cycles = 0u64;
-                for r in results {
+                for (_, r) in &ok {
                     let JobResult::Closure(rep) = r else {
-                        panic!("closure plan received a {r:?}");
+                        unreachable!("kind-filtered above")
                     };
                     CoverageModel::merge_bins(&mut bins, &rep.bins);
                     lane_cycles += rep.lane_cycles;
                 }
                 assert_eq!(results.len(), *jobs as usize, "closure plan job count");
                 let model = CoverageModel::la1(&cfg.config);
-                let stat = |b: &la1_cover::CoverBin| &bins[&b.name()];
+                // a bin no surviving shard reported merges as unhit
+                let zero = la1_cover::BinStat::default();
+                let stat =
+                    |b: &la1_cover::CoverBin| bins.get(&b.name()).unwrap_or(&zero);
                 let closed = model.bins().iter().all(|b| stat(b).hits > 0);
                 let cycles_to_closure = if closed {
                     model
@@ -367,7 +514,7 @@ impl FarmPlan {
                 } else {
                     None
                 };
-                FarmReport::Closure(ClosureFarmReport {
+                MergedReport::Closure(ClosureFarmReport {
                     banks: cfg.config.banks,
                     burst: cfg.config.is_burst(),
                     guided: *guided,
@@ -396,18 +543,28 @@ impl FarmPlan {
                 })
             }
             FarmPlan::Explore { .. } => {
-                let runs: Vec<ExploreSummary> = results
-                    .iter()
-                    .map(|r| {
-                        let JobResult::Explore(s) = r else {
-                            panic!("explore plan received a {r:?}");
-                        };
-                        s.clone()
-                    })
-                    .collect();
-                FarmReport::Explore(ExploreFarmReport { runs })
+                let mut runs: Vec<ExploreSummary> = Vec::with_capacity(ok.len());
+                for (i, r) in &ok {
+                    let JobResult::Explore(s) = r else {
+                        unreachable!("kind-filtered above")
+                    };
+                    // a wall-clock partial is timing-dependent — the
+                    // one verdict a resumable campaign must not let
+                    // masquerade as a structural bound
+                    if s.budget.as_deref() == Some("wall-clock") {
+                        degraded.push(Degraded {
+                            job: *i,
+                            kind: expected,
+                            reason: "partial: wall-clock budget".to_string(),
+                        });
+                    }
+                    runs.push(s.clone());
+                }
+                MergedReport::Explore(ExploreFarmReport { runs })
             }
-        }
+        };
+        degraded.sort_by_key(|d| d.job);
+        FarmReport { merged, degraded }
     }
 }
 
@@ -472,11 +629,84 @@ impl ExploreFarmReport {
     }
 }
 
-/// The merged result of a farm plan.
+/// One shard the merged report could not account for in full: a job
+/// that failed every attempt, a kind-mismatched result, or an
+/// exploration cut short by its wall-clock budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    /// Job id (slot index into the plan's decomposition).
+    pub job: usize,
+    /// The plan's job kind.
+    pub kind: &'static str,
+    /// Human-readable failure description (deterministic: derived from
+    /// the job description and failure, never from timing or worker
+    /// identity).
+    pub reason: String,
+}
+
+/// The merged result of a farm plan: what every surviving shard
+/// contributed, plus the [`Degraded`] section naming the shards that
+/// did not make it. A clean run has an empty `degraded` list and
+/// renders byte-identically to the pre-fault-tolerance report.
 #[derive(Debug, Clone)]
-pub enum FarmReport {
+pub struct FarmReport {
+    /// The merge over the successful shards.
+    pub merged: MergedReport,
+    /// Failed or partial shards, in job-id order.
+    pub degraded: Vec<Degraded>,
+}
+
+impl FarmReport {
+    /// Whether every shard contributed fully.
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// Renders the deterministic JSON report (no timing, no worker
+    /// count): byte-identical for every worker count. A clean run
+    /// renders exactly [`MergedReport::to_json`] — for campaign plans
+    /// byte-identical to the unsharded engine's
+    /// [`DetectionMatrix::to_json`] — while a degraded run wraps the
+    /// merged body in a `degraded-farm` object listing the gaps.
+    pub fn to_json(&self) -> String {
+        if self.degraded.is_empty() {
+            return self.merged.to_json();
+        }
+        let entries = self
+            .degraded
+            .iter()
+            .map(|d| {
+                format!(
+                    "    {{\"job\": {}, \"kind\": \"{}\", \"reason\": \"{}\"}}",
+                    d.job,
+                    d.kind,
+                    la1_core::json::escape(&d.reason)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let merged = self
+            .merged
+            .to_json()
+            .trim_end()
+            .lines()
+            .map(|l| format!("  {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .trim_start()
+            .to_string();
+        format!(
+            "{{\n  \"kind\": \"degraded-farm\",\n  \"degraded\": [\n{entries}\n  ],\n  \
+             \"merged\": {merged}\n}}\n"
+        )
+    }
+}
+
+/// The merged body of a farm report, one variant per plan kind.
+#[derive(Debug, Clone)]
+pub enum MergedReport {
     /// Merged detection matrix — byte-identical to the unsharded
-    /// campaign's.
+    /// campaign's when no shard failed.
     Campaign(DetectionMatrix),
     /// Merged closure figures.
     Closure(ClosureFarmReport),
@@ -484,15 +714,13 @@ pub enum FarmReport {
     Explore(ExploreFarmReport),
 }
 
-impl FarmReport {
-    /// Renders the deterministic JSON report (no timing, no worker
-    /// count): byte-identical for every worker count, and for campaign
-    /// plans byte-identical to the unsharded engine's
-    /// [`DetectionMatrix::to_json`].
+impl MergedReport {
+    /// Renders the deterministic JSON body (no timing, no worker
+    /// count).
     pub fn to_json(&self) -> String {
         match self {
-            FarmReport::Campaign(m) => m.to_json(),
-            FarmReport::Closure(r) => {
+            MergedReport::Campaign(m) => m.to_json(),
+            MergedReport::Closure(r) => {
                 let bins = r
                     .bins
                     .iter()
@@ -531,19 +759,24 @@ impl FarmReport {
                     la1_core::json::str_array_body(&r.unhit)
                 )
             }
-            FarmReport::Explore(r) => {
+            MergedReport::Explore(r) => {
                 let runs = r
                     .runs
                     .iter()
                     .map(|s| {
                         format!(
                             "    {{\"banks\": {}, \"states\": {}, \"transitions\": {}, \
-                             \"max_depth_reached\": {}, \"complete\": {}, \"all_pass\": {}}}",
+                             \"max_depth_reached\": {}, \"complete\": {}, \"budget\": {}, \
+                             \"all_pass\": {}}}",
                             s.banks,
                             s.states,
                             s.transitions,
                             s.max_depth_reached,
                             s.complete,
+                            match &s.budget {
+                                Some(b) => format!("\"{b}\""),
+                                None => "null".to_string(),
+                            },
                             s.all_pass
                         )
                     })

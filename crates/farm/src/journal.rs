@@ -1,0 +1,464 @@
+//! The write-ahead journal: every committed job result as one JSONL
+//! line, so a killed campaign resumes from its last commit instead of
+//! starting over.
+//!
+//! Format (version 1):
+//!
+//! ```text
+//! {"kind": "farm-journal", "version": 1, "fingerprint": "<plan hash>", "jobs": N}
+//! {"job": 0, "attempts": 1, "result": {<full job result>}}
+//! {"job": 1, "attempts": 2, "result": {...}}
+//! ...
+//! ```
+//!
+//! The header pins the plan (a fingerprint over the plan's full
+//! description and its job count), so a journal can only resume the
+//! campaign that wrote it. Result lines are appended — and flushed —
+//! in job-id order as the pool's in-order emitter commits them, so a
+//! journal is always a *prefix* of the campaign: recovery truncates
+//! the torn trailing line a `kill -9` may leave (a proper prefix of a
+//! serialized line never parses as JSON — pinned by test in
+//! `la1_core::json`) and replays the complete prefix.
+//!
+//! Unlike the `--serve` stream, which summarizes, a journal line
+//! carries the *full* result payload — the detection-matrix cells, the
+//! per-bin coverage statistics — because the merged report of a
+//! resumed run must be byte-identical to an uninterrupted one.
+
+use crate::job::{ExploreSummary, FailReason, FarmPlan, JobResult};
+use la1_core::json::{escape, opt_u64, parse, Json};
+use la1_cover::{BinStat, BinStats, MultiClosureReport};
+use la1_fault::{CellStats, DetectionMatrix, MonitorStat};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version this build writes and reads.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// An append-only journal for one farm run. Appends are flushed per
+/// line; an I/O error is reported once to stderr and journaling stops
+/// (the run itself keeps computing — losing the journal must never
+/// lose the campaign).
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal for `plan` at `path` and writes
+    /// the header line.
+    pub fn create(path: &Path, plan: &FarmPlan) -> std::io::Result<Journal> {
+        let mut file = File::create(path)?;
+        let header = format!(
+            "{{\"kind\": \"farm-journal\", \"version\": {JOURNAL_VERSION}, \
+             \"fingerprint\": \"{:016x}\", \"jobs\": {}}}\n",
+            plan.fingerprint(),
+            plan.jobs().len()
+        );
+        file.write_all(header.as_bytes())?;
+        file.flush()?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Some(file),
+        })
+    }
+
+    /// Reopens a recovered journal for appending the remainder of the
+    /// run; `valid_bytes` is the length of the intact prefix
+    /// ([`load`] reports it) and anything beyond — the torn trailing
+    /// line — is truncated away first.
+    pub fn reopen(path: &Path, valid_bytes: u64) -> std::io::Result<Journal> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_bytes)?;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file: Some(file),
+        })
+    }
+
+    /// Appends one committed result, flushed so a crash right after
+    /// the commit point still finds the line on recovery.
+    pub fn append(&mut self, job: usize, attempts: u32, result: &JobResult) {
+        let line = format!(
+            "{{\"job\": {job}, \"attempts\": {attempts}, \"result\": {}}}\n",
+            result_to_json(result)
+        );
+        self.append_line(&line);
+    }
+
+    fn append_line(&mut self, line: &str) {
+        let Some(file) = &mut self.file else { return };
+        if file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            eprintln!(
+                "farm journal: write to {} failed — journaling disabled, run continues",
+                self.path.display()
+            );
+            self.file = None;
+        }
+    }
+}
+
+/// Why a journal could not be used to resume a plan.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The file could not be read or rewritten.
+    Io(std::io::Error),
+    /// The journal belongs to a different plan (or format version) —
+    /// resuming would silently mix campaigns, so this is a hard error
+    /// rather than a fresh start.
+    PlanMismatch {
+        /// What the journal header pinned.
+        found: String,
+        /// What the resuming plan expects.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::PlanMismatch { found, expected } => write!(
+                f,
+                "journal belongs to a different plan (journal {found}, plan {expected})"
+            ),
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// The recovered state of a journal: the intact committed prefix.
+#[derive(Debug)]
+pub struct Recovered {
+    /// `(result, attempts)` for jobs `0..results.len()`, in job-id
+    /// order.
+    pub results: Vec<(JobResult, u32)>,
+    /// Length in bytes of the intact prefix (header + complete result
+    /// lines); the file content beyond this is torn and must be
+    /// truncated before appending resumes.
+    pub valid_bytes: u64,
+}
+
+/// Loads and validates a journal for `plan`.
+///
+/// Recovery rules, in order:
+/// * unreadable file → [`JournalError::Io`];
+/// * header line torn or unparseable → nothing to trust: an empty
+///   recovery (`valid_bytes` 0) that resumes as a fresh run;
+/// * header intact but for a different plan/version →
+///   [`JournalError::PlanMismatch`];
+/// * result lines replay until the first torn, unparseable or
+///   out-of-order line; everything after is discarded.
+pub fn load(path: &Path, plan: &FarmPlan) -> Result<Recovered, JournalError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let mut results = Vec::new();
+    let mut valid_bytes = 0u64;
+    let njobs = plan.jobs().len();
+    let expected_fp = format!("{:016x}", plan.fingerprint());
+    for (idx, line) in text.split_inclusive('\n').enumerate() {
+        let Some(body) = line.strip_suffix('\n') else {
+            break; // torn trailing line: discard
+        };
+        let Ok(parsed) = parse(body) else {
+            break; // corrupt line: trust only what precedes it
+        };
+        if idx == 0 {
+            let fp = parsed.get("fingerprint").and_then(Json::as_str);
+            let version = parsed.get("version").and_then(Json::as_u64);
+            let jobs = parsed.get("jobs").and_then(Json::as_u64);
+            if parsed.get("kind").and_then(Json::as_str) != Some("farm-journal") {
+                break;
+            }
+            if version != Some(JOURNAL_VERSION)
+                || fp != Some(expected_fp.as_str())
+                || jobs != Some(njobs as u64)
+            {
+                return Err(JournalError::PlanMismatch {
+                    found: format!(
+                        "version {} fingerprint {} jobs {}",
+                        opt_u64(version),
+                        fp.unwrap_or("?"),
+                        opt_u64(jobs)
+                    ),
+                    expected: format!(
+                        "version {JOURNAL_VERSION} fingerprint {expected_fp} jobs {njobs}"
+                    ),
+                });
+            }
+        } else {
+            let job = parsed.get("job").and_then(Json::as_u64);
+            let attempts = parsed.get("attempts").and_then(Json::as_u64);
+            let result = parsed.get("result").and_then(result_from_json);
+            let (Some(job), Some(attempts), Some(result)) = (job, attempts, result) else {
+                break;
+            };
+            // commits are strictly in job-id order; a gap means the
+            // line belongs to some other history — stop trusting here
+            if job as usize != results.len() || results.len() >= njobs {
+                break;
+            }
+            results.push((result, attempts as u32));
+        }
+        valid_bytes += line.len() as u64;
+    }
+    Ok(Recovered {
+        results,
+        valid_bytes,
+    })
+}
+
+// ---------------------------------------------------------------------
+// full-fidelity result payloads
+
+/// Serializes a result as a single JSON line fragment carrying every
+/// field the merge and the serve record consume — the journal's
+/// round-trip contract ([`result_from_json`] inverts it exactly).
+pub fn result_to_json(result: &JobResult) -> String {
+    match result {
+        JobResult::Campaign(m) => {
+            let cells = m
+                .cells
+                .iter()
+                .flat_map(|(fault, levels)| {
+                    levels.iter().map(move |(level, cell)| {
+                        let monitors = cell
+                            .monitors
+                            .iter()
+                            .map(|(name, s)| {
+                                format!(
+                                    "{{\"name\": \"{}\", \"detected\": {}, \"latency_sum\": {}}}",
+                                    escape(name),
+                                    s.detected,
+                                    s.latency_sum
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{{\"fault\": \"{}\", \"level\": \"{}\", \"runs\": {}, \
+                             \"hung\": {}, \"monitors\": [{monitors}]}}",
+                            escape(fault),
+                            escape(level),
+                            cell.runs,
+                            cell.hung
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let healthy = m
+                .healthy
+                .iter()
+                .map(|(level, ok)| format!("{{\"level\": \"{}\", \"ok\": {ok}}}", escape(level)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let disagreements = m
+                .disagreements
+                .iter()
+                .map(|d| format!("\"{}\"", escape(d)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\"kind\": \"campaign\", \"banks\": {}, \"seed\": {}, \
+                 \"runs_per_fault\": {}, \"cells\": [{cells}], \"healthy\": [{healthy}], \
+                 \"disagreements\": [{disagreements}]}}",
+                m.banks, m.seed, m.runs_per_fault
+            )
+        }
+        JobResult::Closure(r) => {
+            let bins = r
+                .bins
+                .iter()
+                .map(|(name, s)| {
+                    format!(
+                        "{{\"name\": \"{}\", \"tier\": {}, \"hits\": {}, \"first_hit\": {}}}",
+                        escape(name),
+                        s.tier,
+                        s.hits,
+                        opt_u64(s.first_hit)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let unhit = r
+                .unhit
+                .iter()
+                .map(|u| format!("\"{}\"", escape(u)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\"kind\": \"closure\", \"banks\": {}, \"burst\": {}, \"guided\": {}, \
+                 \"seed\": {}, \"streams\": {}, \"budget\": {}, \"cycles_run\": {}, \
+                 \"lane_cycles\": {}, \"bins_total\": {}, \"bins_hit\": {}, \
+                 \"tier1_total\": {}, \"tier1_hit\": {}, \"closed\": {}, \
+                 \"cycles_to_closure\": {}, \"unhit\": [{unhit}], \"bins\": [{bins}]}}",
+                r.banks,
+                r.burst,
+                r.guided,
+                r.seed,
+                r.streams,
+                r.budget,
+                r.cycles_run,
+                r.lane_cycles,
+                r.bins_total,
+                r.bins_hit,
+                r.tier1_total,
+                r.tier1_hit,
+                r.closed,
+                opt_u64(r.cycles_to_closure)
+            )
+        }
+        JobResult::Explore(s) => format!(
+            "{{\"kind\": \"explore\", \"banks\": {}, \"states\": {}, \"transitions\": {}, \
+             \"max_depth_reached\": {}, \"complete\": {}, \"budget\": {}, \"all_pass\": {}}}",
+            s.banks,
+            s.states,
+            s.transitions,
+            s.max_depth_reached,
+            s.complete,
+            match &s.budget {
+                Some(b) => format!("\"{}\"", escape(b)),
+                None => "null".to_string(),
+            },
+            s.all_pass
+        ),
+        JobResult::Failed { job, reason } => {
+            let (kind, detail) = match reason {
+                FailReason::Panic(msg) => ("panic", format!("\"{}\"", escape(msg))),
+                FailReason::Timeout { budget_ms } => ("timeout", budget_ms.to_string()),
+            };
+            format!(
+                "{{\"kind\": \"failed\", \"job\": {job}, \"reason\": \"{kind}\", \
+                 \"detail\": {detail}}}"
+            )
+        }
+    }
+}
+
+/// Deserializes a [`result_to_json`] payload; `None` on any missing or
+/// mistyped field (the caller treats the line — and the rest of the
+/// journal — as torn).
+pub fn result_from_json(v: &Json) -> Option<JobResult> {
+    match v.get("kind")?.as_str()? {
+        "campaign" => {
+            let mut cells: BTreeMap<String, BTreeMap<String, CellStats>> = BTreeMap::new();
+            for cell in v.get("cells")?.as_arr()? {
+                let fault = cell.get("fault")?.as_str()?.to_string();
+                let level = cell.get("level")?.as_str()?.to_string();
+                let mut monitors = BTreeMap::new();
+                for m in cell.get("monitors")?.as_arr()? {
+                    monitors.insert(
+                        m.get("name")?.as_str()?.to_string(),
+                        MonitorStat {
+                            detected: m.get("detected")?.as_u64()? as u32,
+                            latency_sum: m.get("latency_sum")?.as_u64()?,
+                        },
+                    );
+                }
+                cells.entry(fault).or_default().insert(
+                    level,
+                    CellStats {
+                        runs: cell.get("runs")?.as_u64()? as u32,
+                        hung: cell.get("hung")?.as_u64()? as u32,
+                        monitors,
+                    },
+                );
+            }
+            let mut healthy = BTreeMap::new();
+            for h in v.get("healthy")?.as_arr()? {
+                healthy.insert(h.get("level")?.as_str()?.to_string(), h.get("ok")?.as_bool()?);
+            }
+            let disagreements = v
+                .get("disagreements")?
+                .as_arr()?
+                .iter()
+                .map(|d| d.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?;
+            Some(JobResult::Campaign(DetectionMatrix {
+                banks: v.get("banks")?.as_u64()? as u32,
+                seed: v.get("seed")?.as_u64()?,
+                runs_per_fault: v.get("runs_per_fault")?.as_u64()? as u32,
+                cells,
+                healthy,
+                disagreements,
+            }))
+        }
+        "closure" => {
+            let mut bins = BinStats::new();
+            for b in v.get("bins")?.as_arr()? {
+                bins.insert(
+                    b.get("name")?.as_str()?.to_string(),
+                    BinStat {
+                        tier: b.get("tier")?.as_u64()? as u32,
+                        hits: b.get("hits")?.as_u64()?,
+                        first_hit: b.get("first_hit")?.as_opt_u64()?,
+                    },
+                );
+            }
+            let unhit = v
+                .get("unhit")?
+                .as_arr()?
+                .iter()
+                .map(|u| u.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?;
+            Some(JobResult::Closure(MultiClosureReport {
+                banks: v.get("banks")?.as_u64()? as u32,
+                burst: v.get("burst")?.as_bool()?,
+                guided: v.get("guided")?.as_bool()?,
+                seed: v.get("seed")?.as_u64()?,
+                streams: v.get("streams")?.as_u64()? as u32,
+                budget: v.get("budget")?.as_u64()?,
+                cycles_run: v.get("cycles_run")?.as_u64()?,
+                lane_cycles: v.get("lane_cycles")?.as_u64()?,
+                bins_total: v.get("bins_total")?.as_u64()? as usize,
+                bins_hit: v.get("bins_hit")?.as_u64()? as usize,
+                tier1_total: v.get("tier1_total")?.as_u64()? as usize,
+                tier1_hit: v.get("tier1_hit")?.as_u64()? as usize,
+                closed: v.get("closed")?.as_bool()?,
+                cycles_to_closure: v.get("cycles_to_closure")?.as_opt_u64()?,
+                unhit,
+                bins,
+            }))
+        }
+        "explore" => Some(JobResult::Explore(ExploreSummary {
+            banks: v.get("banks")?.as_u64()? as u32,
+            states: v.get("states")?.as_u64()? as usize,
+            transitions: v.get("transitions")?.as_u64()? as usize,
+            max_depth_reached: v.get("max_depth_reached")?.as_u64()? as usize,
+            complete: v.get("complete")?.as_bool()?,
+            budget: match v.get("budget")? {
+                Json::Null => None,
+                b => Some(b.as_str()?.to_string()),
+            },
+            all_pass: v.get("all_pass")?.as_bool()?,
+        })),
+        "failed" => {
+            let job = v.get("job")?.as_u64()? as usize;
+            let reason = match v.get("reason")?.as_str()? {
+                "panic" => FailReason::Panic(v.get("detail")?.as_str()?.to_string()),
+                "timeout" => FailReason::Timeout {
+                    budget_ms: v.get("detail")?.as_u64()?,
+                },
+                _ => return None,
+            };
+            Some(JobResult::Failed { job, reason })
+        }
+        _ => None,
+    }
+}

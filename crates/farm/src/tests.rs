@@ -1,8 +1,11 @@
-use crate::{FarmPlan, FarmReport};
+use crate::journal::{result_from_json, result_to_json};
+use crate::{ChaosConfig, FarmPlan, Journal, JournalError, MergedReport, RunPolicy};
 use la1_asm::ExploreConfig;
+use la1_core::json::parse;
 use la1_core::spec::LaConfig;
 use la1_cover::ClosureConfig;
 use la1_fault::{run_campaign, run_campaign_batched, CampaignConfig};
+use std::path::PathBuf;
 
 /// A small scalar campaign plan: 1 bank, one run per cell.
 fn small_campaign_plan(jobs: usize, batched: bool) -> FarmPlan {
@@ -27,6 +30,11 @@ fn small_closure_plan(jobs: u32) -> FarmPlan {
         guided: true,
         batched: true,
     }
+}
+
+/// A unique scratch path for one test's journal.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("la1-farm-test-{}-{name}.jsonl", std::process::id()))
 }
 
 #[test]
@@ -68,7 +76,9 @@ fn closure_farm_is_worker_count_invariant() {
     let sequential = plan.run(1).to_json();
     let parallel = plan.run(4).to_json();
     assert_eq!(sequential, parallel, "worker count leaked into the report");
-    let FarmReport::Closure(report) = plan.run(2) else {
+    let report = plan.run(2);
+    assert!(report.is_complete(), "clean run must not degrade");
+    let MergedReport::Closure(report) = report.merged else {
         panic!("closure plan must produce a closure report")
     };
     assert_eq!(report.jobs, 3);
@@ -111,7 +121,11 @@ fn explore_farm_summarizes_each_config() {
     let sequential = plan.run(1);
     let parallel = plan.run(2);
     assert_eq!(sequential.to_json(), parallel.to_json());
-    let FarmReport::Explore(report) = sequential else {
+    assert!(
+        sequential.is_complete(),
+        "structural budgets must not degrade the report"
+    );
+    let MergedReport::Explore(report) = sequential.merged else {
         panic!("explore plan must produce an explore report")
     };
     assert_eq!(report.runs.len(), 2);
@@ -122,6 +136,244 @@ fn explore_farm_summarizes_each_config() {
         assert!(run.states > 0);
         assert!(run.transitions as u64 > 0);
     }
+}
+
+// ---------------------------------------------------------------------
+// fault tolerance
+
+#[test]
+fn chaos_with_retries_converges_to_the_clean_run() {
+    let plan = small_campaign_plan(4, false);
+    let clean = plan.run(1).to_json();
+    let chaos = ChaosConfig::new(0xC4A0).plan(plan.jobs().len());
+    assert_eq!(chaos.sites().len(), 3, "default chaos sabotages 3 jobs");
+    let policy = RunPolicy {
+        max_retries: 2,
+        ..RunPolicy::default()
+    };
+    for workers in [1, 4] {
+        let (report, stats) =
+            plan.run_with(workers, &policy, Some(&chaos), None, |_, _, _| {});
+        assert!(
+            report.is_complete(),
+            "retries must absorb every injected fault"
+        );
+        assert_eq!(
+            report.to_json(),
+            clean,
+            "chaos + retries diverged from the clean run at {workers} workers"
+        );
+        // the delay site needs no retry; the panic and timeout sites
+        // need exactly one each
+        assert_eq!(stats.retried, 2, "unexpected retry count");
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.jobs_run, 4);
+    }
+}
+
+#[test]
+fn chaos_without_retries_degrades_instead_of_crashing() {
+    let plan = small_campaign_plan(4, false);
+    let chaos = ChaosConfig::new(0xC4A0).plan(plan.jobs().len());
+    let (report, stats) =
+        plan.run_with(2, &RunPolicy::default(), Some(&chaos), None, |_, _, _| {});
+    // panic and timeout sites fail for good; the delay site still runs
+    assert_eq!(stats.failed, 2);
+    assert_eq!(report.degraded.len(), 2);
+    assert!(!report.is_complete());
+    let reasons = report
+        .degraded
+        .iter()
+        .map(|d| d.reason.as_str())
+        .collect::<Vec<_>>()
+        .join("; ");
+    assert!(reasons.contains("panic"), "missing panic entry: {reasons}");
+    assert!(
+        reasons.contains("timeout"),
+        "missing timeout entry: {reasons}"
+    );
+    let json = report.to_json();
+    assert!(
+        json.contains("\"kind\": \"degraded-farm\""),
+        "degraded report must be wrapped"
+    );
+    assert!(
+        matches!(report.merged, MergedReport::Campaign(_)),
+        "surviving shards must still merge"
+    );
+    // the degraded wrapper parses as JSON (the journal parser is the
+    // reference reader)
+    parse(json.trim_end()).expect("degraded report must be valid JSON");
+}
+
+#[test]
+fn chaos_runs_are_worker_count_invariant() {
+    let plan = small_campaign_plan(5, false);
+    let chaos = ChaosConfig::new(7).plan(plan.jobs().len());
+    let policy = RunPolicy::default(); // no retries: failures stay in the report
+    let render = |workers| {
+        plan.run_with(workers, &policy, Some(&chaos), None, |_, _, _| {})
+            .0
+            .to_json()
+    };
+    let sequential = render(1);
+    assert_eq!(sequential, render(3), "degraded report depends on schedule");
+    assert_eq!(sequential, render(8), "degraded report depends on schedule");
+}
+
+#[test]
+fn backoff_is_deterministic_and_bounded() {
+    let policy = RunPolicy {
+        max_retries: 3,
+        backoff_base_ms: 8,
+        retry_seed: 42,
+        ..RunPolicy::default()
+    };
+    for job in 0..4 {
+        for attempt in 1..4 {
+            let a = policy.backoff(job, attempt);
+            assert_eq!(a, policy.backoff(job, attempt), "backoff must be pure");
+            let base = 8u64 << (attempt - 1);
+            assert!(
+                (a.as_millis() as u64) >= base && (a.as_millis() as u64) < base + 8,
+                "backoff out of range: {a:?} for attempt {attempt}"
+            );
+        }
+    }
+    let none = RunPolicy::default();
+    assert!(none.backoff(0, 1).is_zero(), "zero base disables backoff");
+}
+
+// ---------------------------------------------------------------------
+// write-ahead journal
+
+#[test]
+fn journal_results_roundtrip_exactly() {
+    let plan = small_campaign_plan(2, false);
+    for result in crate::run_jobs(&plan.jobs(), 1, |_, _| {}) {
+        let line = result_to_json(&result);
+        let back = result_from_json(&parse(&line).expect("journal payload must parse"))
+            .expect("journal payload must deserialize");
+        assert_eq!(
+            format!("{back:?}"),
+            format!("{result:?}"),
+            "journal round-trip changed a campaign result"
+        );
+    }
+    let failed = crate::JobResult::Failed {
+        job: 7,
+        reason: crate::FailReason::Panic("assert \"x\"\nfailed".to_string()),
+    };
+    let line = result_to_json(&failed);
+    let back = result_from_json(&parse(&line).unwrap()).unwrap();
+    assert_eq!(format!("{back:?}"), format!("{failed:?}"));
+}
+
+#[test]
+fn resume_from_any_truncation_point_reproduces_the_run() {
+    let plan = small_campaign_plan(4, false);
+    let policy = RunPolicy::default();
+    let path = scratch("truncate");
+    let mut journal = Journal::create(&path, &plan).expect("create journal");
+    let (clean, _) = plan.run_with(2, &policy, None, Some(&mut journal), |_, _, _| {});
+    let clean = clean.to_json();
+    let full = std::fs::read(&path).expect("read journal");
+    let lines = full.split_inclusive(|&b| b == b'\n').collect::<Vec<_>>();
+    assert_eq!(lines.len(), 5, "header + one line per job");
+
+    // cut at every line boundary and in the middle of every line —
+    // including inside the header
+    let mut cuts = vec![0usize];
+    let mut off = 0;
+    for line in &lines {
+        cuts.push(off + line.len() / 2);
+        off += line.len();
+        cuts.push(off);
+    }
+    for cut in cuts {
+        std::fs::write(&path, &full[..cut]).expect("write truncated journal");
+        let mut replayed_ids = Vec::new();
+        let (report, stats) = plan
+            .resume(&path, 2, &policy, None, |i, _, _| replayed_ids.push(i))
+            .expect("resume must succeed on a truncated journal");
+        assert_eq!(
+            report.to_json(),
+            clean,
+            "resume from byte {cut} diverged from the clean run"
+        );
+        // whole lines survive; the torn tail is discarded and re-run
+        let intact = lines
+            .iter()
+            .scan(0usize, |acc, l| {
+                *acc += l.len();
+                Some(*acc)
+            })
+            .filter(|&end| end <= cut)
+            .count()
+            .saturating_sub(1); // header line carries no result
+        assert_eq!(stats.replayed, intact, "wrong replay count at byte {cut}");
+        assert_eq!(
+            stats.jobs_run,
+            4 - intact,
+            "resume re-ran a committed job at byte {cut}"
+        );
+        assert_eq!(
+            replayed_ids,
+            (0..4).collect::<Vec<_>>(),
+            "emit order broken at byte {cut}"
+        );
+        // the journal was repaired in place: a second resume replays
+        // everything and runs nothing
+        let (_, again) = plan
+            .resume(&path, 1, &policy, None, |_, _, _| {})
+            .expect("second resume");
+        assert_eq!(again.replayed, 4, "repaired journal must be complete");
+        assert_eq!(again.jobs_run, 0);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_of_a_different_plan_is_rejected() {
+    let plan = small_campaign_plan(3, false);
+    let path = scratch("mismatch");
+    let mut journal = Journal::create(&path, &plan).expect("create journal");
+    plan.run_with(1, &RunPolicy::default(), None, Some(&mut journal), |_, _, _| {});
+    let other = small_campaign_plan(4, false); // same kind, different split
+    match other.resume(&path, 1, &RunPolicy::default(), None, |_, _, _| {}) {
+        Err(JournalError::PlanMismatch { .. }) => {}
+        other => panic!("expected a plan mismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journaled_failures_replay_as_failures() {
+    let plan = small_campaign_plan(4, false);
+    let chaos = ChaosConfig::new(0xC4A0).plan(plan.jobs().len());
+    let path = scratch("failures");
+    let mut journal = Journal::create(&path, &plan).expect("create journal");
+    let (degraded_run, _) = plan.run_with(
+        1,
+        &RunPolicy::default(),
+        Some(&chaos),
+        Some(&mut journal),
+        |_, _, _| {},
+    );
+    assert!(!degraded_run.is_complete());
+    // resume with no chaos: journaled failures replay verbatim rather
+    // than being healed behind the report's back
+    let (resumed, stats) = plan
+        .resume(&path, 2, &RunPolicy::default(), None, |_, _, _| {})
+        .expect("resume");
+    assert_eq!(stats.replayed, 4);
+    assert_eq!(stats.jobs_run, 0);
+    assert_eq!(
+        resumed.to_json(),
+        degraded_run.to_json(),
+        "a replayed failure must reproduce the degraded report"
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[cfg(feature = "proptest")]
@@ -153,6 +405,48 @@ mod props {
         ) {
             let merged = small_campaign_plan(jobs, false).run(workers).to_json();
             prop_assert_eq!(merged, reference_json().clone());
+        }
+
+        /// Any chaos seed, at any worker count, converges to the
+        /// unsharded campaign once retries cover the faulty attempts.
+        #[test]
+        fn any_chaos_seed_converges_once_retried(
+            seed in any::<u64>(),
+            jobs in 1usize..5,
+            workers in 1usize..5,
+        ) {
+            let plan = small_campaign_plan(jobs, false);
+            let chaos = ChaosConfig::new(seed).plan(plan.jobs().len());
+            let policy = RunPolicy { max_retries: 2, ..RunPolicy::default() };
+            let (report, stats) =
+                plan.run_with(workers, &policy, Some(&chaos), None, |_, _, _| {});
+            prop_assert!(report.is_complete());
+            prop_assert_eq!(stats.failed, 0);
+            prop_assert_eq!(report.to_json(), reference_json().clone());
+        }
+
+        /// A journal truncated at *any* byte offset resumes to the
+        /// byte-identical report.
+        #[test]
+        fn any_truncation_offset_resumes_byte_identically(
+            cut_permille in 0u64..1000,
+            workers in 1usize..5,
+        ) {
+            let plan = small_campaign_plan(3, false);
+            let policy = RunPolicy::default();
+            let path = scratch(&format!("prop-{workers}-{cut_permille}"));
+            let mut journal = Journal::create(&path, &plan).expect("create journal");
+            let (clean, _) =
+                plan.run_with(1, &policy, None, Some(&mut journal), |_, _, _| {});
+            let full = std::fs::read(&path).expect("read journal");
+            let cut = (full.len() as u64 * cut_permille / 1000) as usize;
+            std::fs::write(&path, &full[..cut]).expect("truncate journal");
+            let resumed = plan
+                .resume(&path, workers, &policy, None, |_, _, _| {})
+                .expect("resume")
+                .0;
+            let _ = std::fs::remove_file(&path);
+            prop_assert_eq!(resumed.to_json(), clean.to_json());
         }
     }
 }

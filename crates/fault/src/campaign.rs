@@ -239,6 +239,21 @@ pub struct DetectionMatrix {
 }
 
 impl DetectionMatrix {
+    /// An empty matrix carrying the campaign's identity (banks, seed,
+    /// runs-per-fault) and no results — the merge seed a fault-tolerant
+    /// orchestrator starts from when every shard of a campaign failed,
+    /// so a fully degraded run still renders a well-formed report.
+    pub fn empty(config: &CampaignConfig) -> DetectionMatrix {
+        DetectionMatrix {
+            banks: config.la1.banks,
+            seed: config.seed,
+            runs_per_fault: config.runs_per_fault,
+            cells: BTreeMap::new(),
+            healthy: BTreeMap::new(),
+            disagreements: Vec::new(),
+        }
+    }
+
     /// The cell for `(fault, level)`, if that pair was run.
     pub fn cell(&self, fault: FaultModel, level: Level) -> Option<&CellStats> {
         self.cells.get(fault.name())?.get(level.name())

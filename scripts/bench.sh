@@ -17,8 +17,19 @@ cargo build --release
 # Transaction-level NPU traffic workloads across all model levels.
 ./target/release/traffic --json BENCH_traffic.json > /dev/null
 # Verification farm: sharded campaign + closure plans at 1/2/4/8
-# workers (jobs/s, patterns/s, speedup vs 1 worker).
+# workers (jobs/s, patterns/s, speedup vs 1 worker). Each plan object
+# carries a "resilience" block (jobs_run / retried / failed / replayed
+# / max_retries / chaos_sites); this clean run records the retry
+# policy with zero spent retries — the no-fault baseline.
 ./target/release/farm 4 --workers 1,2,4,8 --runs 12 --budget 60000 \
-    --json BENCH_farm.json > /dev/null
+    --max-retries 2 --json BENCH_farm.json > /dev/null
+# Recovery overhead: the same plans under the self-chaos harness
+# (3 sabotaged jobs per plan, healed by retries; merged reports are
+# asserted byte-identical to a clean reference inside the binary).
+# Comparing elapsed_seconds here against BENCH_farm.json quantifies
+# the cost of riding through faults — EXPERIMENTS.md's
+# recovery-overhead table quotes both.
+./target/release/farm 4 --workers 1,2,4,8 --runs 12 --budget 60000 \
+    --chaos 99 --max-retries 2 --json BENCH_farm_resilience.json > /dev/null
 
-echo "bench.sh: wrote BENCH_campaign.json BENCH_closure.json BENCH_traffic.json BENCH_farm.json"
+echo "bench.sh: wrote BENCH_campaign.json BENCH_closure.json BENCH_traffic.json BENCH_farm.json BENCH_farm_resilience.json"

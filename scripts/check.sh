@@ -57,5 +57,33 @@ cargo run -q -p la1-bench --bin campaign -- 1 2 --smoke --batched > /dev/null
 # binary degrades the floor to max(0.5, 2.5*cores/4) — a
 # threading-overhead check — and notes the waiver on stderr.
 ./target/release/farm 4 --workers 1,4 --runs 12 --budget 60000 --assert-scaling 2.5 > /dev/null
+# Fault-tolerance gates (DESIGN.md §13).
+# (1) Self-chaos convergence: seeded panics, synthetic timeouts and
+# delays are injected into 3 job indices of every smoke plan; with 2
+# retries the binary asserts each chaos pass is byte-identical to a
+# clean chaos-free reference pass at every worker count — injected
+# faults must be fully healed, never papered over.
+./target/release/farm --smoke --chaos 99 --max-retries 2 > /dev/null
+# (2) Kill-and-resume: a journaled campaign is SIGKILLed mid-run, then
+# resumed from the write-ahead journal; the resumed merged report must
+# be byte-identical to an uninterrupted run's (only incomplete jobs
+# re-execute — the binary replays the journaled prefix verbatim).
+FARM_TMP=$(mktemp -d)
+trap 'rm -rf "$FARM_TMP"' EXIT
+./target/release/farm 2 --mode campaign --jobs 8 --runs 400 --scalar --workers 1 \
+    --merged-json "$FARM_TMP/clean.json" > /dev/null
+./target/release/farm 2 --mode campaign --jobs 8 --runs 400 --scalar --workers 1 \
+    --journal "$FARM_TMP/journal.jsonl" > /dev/null 2>&1 &
+FARM_PID=$!
+sleep 1.2
+kill -9 "$FARM_PID" 2> /dev/null || true
+wait "$FARM_PID" 2> /dev/null || true
+./target/release/farm 2 --mode campaign --jobs 8 --runs 400 --scalar --workers 1 \
+    --resume "$FARM_TMP/journal.jsonl" --merged-json "$FARM_TMP/resumed.json" > /dev/null
+diff "$FARM_TMP/clean.json" "$FARM_TMP/resumed.json" > /dev/null \
+    || { echo "check.sh: resumed farm report diverged from the clean run" >&2; exit 1; }
+# (3) Broken-pipe serve: a consumer hanging up after 3 lines must stop
+# the stream but not the run — the farm still finishes and exits 0.
+./target/release/farm --smoke --serve 2> /dev/null | head -n 3 > /dev/null
 
 echo "check.sh: all gates passed"
