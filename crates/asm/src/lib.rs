@@ -54,7 +54,7 @@ pub use explore::{
     ExploreStats, ExploreVerdict, Explorer, Fsm, PropertyReport,
 };
 pub use machine::{AsmState, InconsistentUpdateError, Machine, MachineBuilder, Rule, VarId};
-pub use value::Value;
+pub use value::{intern_sym, Value};
 
 #[cfg(test)]
 mod tests;

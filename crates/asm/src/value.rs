@@ -75,6 +75,28 @@ impl Value {
     }
 }
 
+/// Interns a symbol name, returning a `'static` string deduplicated in
+/// a process-wide table.
+///
+/// [`Value::Sym`] holds `&'static str` so states stay `Copy`-cheap and
+/// hash by content; model code uses literals. Snapshot *restore* is the
+/// one place symbols arrive as runtime text (parsed from a serialized
+/// checkpoint), and this function turns them back into the static form.
+/// Each distinct name is leaked exactly once.
+pub fn intern_sym(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = table.lock().unwrap();
+    if let Some(&s) = guard.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

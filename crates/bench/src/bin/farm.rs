@@ -6,6 +6,7 @@
 //!
 //! Usage: `farm [banks...] [--workers 1,2,4,8] [--mode campaign,closure,explore]
 //! [--seed N] [--runs N] [--jobs N] [--streams N] [--budget N] [--epoch N]
+//! [--preamble N]
 //! [--depth N] [--levels l1,l2] [--scalar] [--serve] [--assert-scaling X]
 //! [--json <path>] [--merged-json <path>] [--journal <path>] [--resume <path>]
 //! [--chaos SEED] [--chaos-sites N] [--max-retries N] [--backoff-ms N]
@@ -26,6 +27,11 @@
 //!   batched driver);
 //! * `--budget` / `--epoch` — per-stream closure cycle budget and
 //!   guidance epoch;
+//! * `--preamble` — cycles of shared warm-start preamble traffic for
+//!   closure plans (default 0 = none). The preamble is recorded once,
+//!   snapshotted, and every shard restores the snapshot instead of
+//!   re-running it; the plan fingerprint (and so the journal header)
+//!   pins the exact preamble;
 //! * `--levels` — campaign level filter (as in the `campaign` binary);
 //! * `--scalar` — run the scalar engines inside jobs instead of the
 //!   64-lane batched ones;
@@ -70,7 +76,7 @@
 
 use la1_bench::{indent_json, opt_speedup, sout, write_json_array, BenchArgs, Gate};
 use la1_core::spec::LaConfig;
-use la1_cover::ClosureConfig;
+use la1_cover::{ClosureConfig, ClosurePreamble};
 use la1_farm::{
     ChaosConfig, FarmPlan, FarmReport, FarmRunStats, Journal, JobResult, MergedReport, RunPolicy,
 };
@@ -148,6 +154,7 @@ fn main() {
     let streams: u32 = args.value("--streams", 8);
     let budget: u64 = args.value("--budget", if smoke { 4_000 } else { 24_000 });
     let epoch: u64 = args.value("--epoch", if smoke { 200 } else { 500 });
+    let preamble_cycles: u64 = args.value("--preamble", 0);
     let depth: usize = args.value("--depth", if smoke { 4 } else { 6 });
     let levels: Option<Vec<Level>> = args.opt::<String>("--levels").map(|s| parse_levels(&s));
     let banks_list = args.banks(if smoke { &[1, 2] } else { &[2] });
@@ -195,6 +202,15 @@ fn main() {
                     let mut cfg = ClosureConfig::new(LaConfig::new(banks), seed);
                     cfg.budget = budget;
                     cfg.epoch = epoch;
+                    let preamble = if preamble_cycles > 0 {
+                        let rec = ClosurePreamble::record(&cfg.config, seed, preamble_cycles);
+                        Some(Box::new(
+                            rec.with_snapshots(&cfg.config)
+                                .expect("snapshotting a freshly recorded preamble cannot fail"),
+                        ))
+                    } else {
+                        None
+                    };
                     plans.push((
                         format!("closure/{banks}b"),
                         FarmPlan::Closure {
@@ -203,6 +219,7 @@ fn main() {
                             streams_per_job: streams,
                             guided: true,
                             batched,
+                            preamble,
                         },
                     ));
                 }

@@ -354,6 +354,48 @@ impl LaAsmModel {
         Explorer::new(&self.machine, explore).run()
     }
 
+    /// Captures the model's dynamic state: every ASM location's value
+    /// (in declaration order) plus the step-interface bookkeeping.
+    pub fn snapshot_state(&self) -> AsmSnap {
+        let values = self
+            .machine
+            .var_names()
+            .iter()
+            .map(|n| {
+                let var = self.machine.var(n).expect("declared variable resolves");
+                self.state.get(var).clone()
+            })
+            .collect();
+        AsmSnap {
+            values,
+            initialized: self.initialized,
+            cycles: self.cycles,
+        }
+    }
+
+    /// Installs a snapshot taken from a model built for the same
+    /// configuration (same variable declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Fails without modifying the model if the location count differs.
+    pub fn restore_state(&mut self, snap: &AsmSnap) -> Result<(), String> {
+        if snap.values.len() != self.machine.var_names().len() {
+            return Err(format!(
+                "snapshot has {} locations, model has {}",
+                snap.values.len(),
+                self.machine.var_names().len()
+            ));
+        }
+        for (name, value) in self.machine.var_names().iter().zip(&snap.values) {
+            let var = self.machine.var(name).expect("declared variable resolves");
+            self.state.set(var, value.clone());
+        }
+        self.initialized = snap.initialized;
+        self.cycles = snap.cycles;
+        Ok(())
+    }
+
     fn apply_tick(
         &mut self,
         read: Option<(usize, u64)>,
@@ -381,6 +423,18 @@ impl LaAsmModel {
         self.cycles += 1;
         true
     }
+}
+
+/// A plain-data snapshot of a [`LaAsmModel`]: one [`Value`] per ASM
+/// location in declaration order, plus the host bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmSnap {
+    /// Location values, in [`Machine::var_names`] order.
+    pub values: Vec<Value>,
+    /// Whether the deterministic init tick has run.
+    pub initialized: bool,
+    /// Completed full-cycle ticks.
+    pub cycles: u64,
 }
 
 impl CycleModel for LaAsmModel {

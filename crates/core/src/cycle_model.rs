@@ -22,11 +22,11 @@
 //! compiled simulator evaluates into.
 
 use crate::harness::attach_la1_ovl;
-use crate::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
+use crate::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver, RtlDriverSnap};
 use crate::sc_model::LaSystemC;
 use crate::spec::BankOp;
 use crate::workloads::Workload;
-use la1_ovl::OvlBench;
+use la1_ovl::{OvlBench, OvlSnap};
 use std::fmt;
 
 /// A cycle-accurate executable model of the LA-1 interface.
@@ -181,6 +181,42 @@ impl RtlWithOvl {
     pub fn driver_mut(&mut self) -> &mut LaRtlDriver {
         &mut self.driver
     }
+
+    /// Captures driver and OVL-bench state together at a protocol-cycle
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as
+    /// [`LaRtlDriver::snapshot_state`].
+    pub fn snapshot_state(&self) -> Result<RtlOvlSnap, String> {
+        Ok(RtlOvlSnap {
+            driver: self.driver.snapshot_state()?,
+            bench: self.bench.snapshot(),
+        })
+    }
+
+    /// Installs a snapshot into a freshly built model over the same
+    /// design (the OVL suite re-attaches identically, so the bench
+    /// lines up by construction).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the driver or bench state does not match this design.
+    pub fn restore_state(&mut self, snap: &RtlOvlSnap) -> Result<(), String> {
+        self.driver.restore_state(&snap.driver)?;
+        self.bench.restore_state(&snap.bench)
+    }
+}
+
+/// A plain-data snapshot of an [`RtlWithOvl`] model: the RTL driver
+/// state plus the OVL bench's obligation windows and violation log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlOvlSnap {
+    /// The interpreted-RTL driver state.
+    pub driver: RtlDriverSnap,
+    /// The OVL bench state.
+    pub bench: OvlSnap,
 }
 
 impl CycleModel for RtlWithOvl {

@@ -119,6 +119,75 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Renders the value as one compact JSON line fragment (no
+    /// newlines, `", "` / `": "` separators — the workspace's house
+    /// style for JSONL records). Deterministic: numbers render their
+    /// source text verbatim and objects keep their key order, so
+    /// `parse(render(v)) == v` and `render(parse(s))` is a canonical
+    /// form that is byte-stable under re-parsing.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\": ");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Builds a `Num` from an unsigned integer.
+    pub fn num(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Builds a `Str`.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an `Arr` of unsigned integers.
+    pub fn num_arr<I: IntoIterator<Item = u64>>(items: I) -> Json {
+        Json::Arr(items.into_iter().map(Json::num).collect())
+    }
+
+    /// The value as a `Vec<u64>`, when it is an array of parseable
+    /// `Num`s.
+    pub fn as_u64_vec(&self) -> Option<Vec<u64>> {
+        self.as_arr()?.iter().map(Json::as_u64).collect()
+    }
 }
 
 /// Parses one JSON value; trailing content (other than whitespace) is
@@ -409,6 +478,23 @@ mod tests {
             );
         }
         assert!(parse(line).is_ok());
+    }
+
+    #[test]
+    fn render_round_trips_and_canonicalizes() {
+        let source = "{\"n\": null, \"t\": true, \"u\": 18446744073709551615, \
+                      \"s\": \"a \\\"b\\\"\\n\", \"a\": [1, [], {\"x\": 0}]}";
+        let v = parse(source).expect("valid JSON");
+        let rendered = v.render();
+        assert_eq!(parse(&rendered).expect("render parses"), v);
+        // canonical: rendering the re-parse is byte-stable
+        assert_eq!(parse(&rendered).expect("render parses").render(), rendered);
+        assert_eq!(Json::num(7).render(), "7");
+        assert_eq!(Json::num_arr([1, 2]).render(), "[1, 2]");
+        assert_eq!(
+            parse("[3, 5, 8]").unwrap().as_u64_vec(),
+            Some(vec![3, 5, 8])
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod asm_model;
+pub mod checkpoint;
 pub mod cycle_model;
 pub mod harness;
 pub mod json;

@@ -23,7 +23,8 @@
 
 use crate::spec::{bank_bits, BankOp, LaConfig};
 use la1_rtl::{
-    BatchedRtlSim, Edge, Expr, LogicVec, NetId, Netlist, RtlSim, TransitionSystem, LANES,
+    BatchedRtlSim, BatchedRtlState, Edge, Expr, LogicVec, NetId, Netlist, RtlSim, RtlState,
+    TransitionSystem, LANES,
 };
 
 /// Net handles of the built design.
@@ -455,6 +456,11 @@ impl LaRtlDriver {
         self.cycles
     }
 
+    /// The configuration the driven design was built for.
+    pub fn config(&self) -> &LaConfig {
+        self.design.config()
+    }
+
     /// Expression evaluations performed by the interpreter so far.
     pub fn evals(&self) -> u64 {
         self.sim.evals()
@@ -596,6 +602,63 @@ impl LaRtlDriver {
         let net = self.design.nets.wdone[bank as usize];
         self.sim.get_u64(net) == Some(1)
     }
+
+    /// Captures the driver's complete state at a protocol-cycle
+    /// boundary: the simulator's value arena plus the DDR-merge
+    /// bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an X injection is armed but not yet consumed (arm it
+    /// again after restoring instead).
+    pub fn snapshot_state(&self) -> Result<RtlDriverSnap, String> {
+        if self.pending_x.is_some() {
+            return Err("cannot snapshot with an armed X injection".to_string());
+        }
+        Ok(RtlDriverSnap {
+            sim: self.sim.export_state()?,
+            cycles: self.cycles,
+            captured_lo: self.captured_lo,
+            outputs: self.outputs.clone(),
+        })
+    }
+
+    /// Installs a snapshot taken from a driver over the same design.
+    ///
+    /// # Errors
+    ///
+    /// Fails without modifying the driver if the simulator state does
+    /// not fit the design (arena size, widths, RAM geometry) or the
+    /// output list has the wrong bank count.
+    pub fn restore_state(&mut self, snap: &RtlDriverSnap) -> Result<(), String> {
+        if snap.outputs.len() != self.outputs.len() {
+            return Err(format!(
+                "snapshot has {} banks, driver has {}",
+                snap.outputs.len(),
+                self.outputs.len()
+            ));
+        }
+        self.sim.import_state(&snap.sim)?;
+        self.cycles = snap.cycles;
+        self.captured_lo = snap.captured_lo;
+        self.outputs.clone_from(&snap.outputs);
+        self.pending_x = None;
+        Ok(())
+    }
+}
+
+/// A plain-data snapshot of a [`LaRtlDriver`] at a protocol-cycle
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlDriverSnap {
+    /// The interpreted simulator's exported state.
+    pub sim: RtlState,
+    /// Completed protocol cycles.
+    pub cycles: u64,
+    /// The low DDR half captured during the last high phase.
+    pub captured_lo: Option<u64>,
+    /// Merged output words per bank.
+    pub outputs: Vec<Option<u64>>,
 }
 
 /// Clocks the 64-lane batched (PPSFP) RTL simulator through full
@@ -651,6 +714,11 @@ impl LaRtlBatchDriver {
     /// Completed protocol cycles (lane-uniform by construction).
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// The configuration the driven design was built for.
+    pub fn config(&self) -> &LaConfig {
+        self.design.config()
     }
 
     /// Compiled-op evaluations performed so far; each one advances all
@@ -827,6 +895,61 @@ impl LaRtlBatchDriver {
         let net = self.design.nets.wdone[bank as usize];
         self.sim.lane_u64(net, lane) == Some(1)
     }
+
+    /// Captures the batched driver's complete state at a protocol-cycle
+    /// boundary — all 64 lanes at once.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any lane has an armed, unconsumed X injection.
+    pub fn snapshot_state(&self) -> Result<RtlBatchDriverSnap, String> {
+        if self.pending_x.iter().any(Option::is_some) {
+            return Err("cannot snapshot with an armed X injection".to_string());
+        }
+        Ok(RtlBatchDriverSnap {
+            sim: self.sim.export_state()?,
+            cycles: self.cycles,
+            captured_lo: self.captured_lo.clone(),
+            outputs: self.outputs.clone(),
+        })
+    }
+
+    /// Installs a snapshot taken from a batched driver over the same
+    /// design.
+    ///
+    /// # Errors
+    ///
+    /// Fails without modifying the driver if the simulator state does
+    /// not fit the design or the per-lane output lists have the wrong
+    /// shape.
+    pub fn restore_state(&mut self, snap: &RtlBatchDriverSnap) -> Result<(), String> {
+        if snap.captured_lo.len() != LANES
+            || snap.outputs.len() != LANES
+            || snap.outputs.iter().any(|o| o.len() != self.outputs[0].len())
+        {
+            return Err("snapshot lane shape does not match the driver".to_string());
+        }
+        self.sim.import_state(&snap.sim)?;
+        self.cycles = snap.cycles;
+        self.captured_lo.clone_from(&snap.captured_lo);
+        self.outputs.clone_from(&snap.outputs);
+        self.pending_x.fill(None);
+        Ok(())
+    }
+}
+
+/// A plain-data snapshot of a [`LaRtlBatchDriver`] at a protocol-cycle
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlBatchDriverSnap {
+    /// The batched simulator's exported state (bit-plane encoded).
+    pub sim: BatchedRtlState,
+    /// Completed protocol cycles (lane-uniform).
+    pub cycles: u64,
+    /// The low DDR half captured during the last high phase, per lane.
+    pub captured_lo: Vec<Option<u64>>,
+    /// Merged output words per lane per bank.
+    pub outputs: Vec<Vec<Option<u64>>>,
 }
 
 /// A ripple-carry incrementer: `net + 1` truncated to `width` bits.

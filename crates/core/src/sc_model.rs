@@ -27,7 +27,7 @@ use crate::spec::{byte_parity, BankOp, LaConfig};
 use crate::uml::{ClockRef, ObservedMessage};
 use la1_asm::{StepSystem, Value};
 use la1_eventsim::{Signal, Simulator};
-use la1_psl::{BoundMonitor, Directive, Monitor};
+use la1_psl::{BoundMonitor, Directive, Monitor, MonitorSnap, Property};
 
 /// Signals of one bank's read and write ports (all `Copy` handles).
 #[derive(Clone, Copy)]
@@ -54,6 +54,24 @@ struct ScBank {
     wdone: Signal<bool>,
 }
 
+/// Internal per-bank state the port processes capture by handle. The
+/// model keeps a second copy of the handles so checkpointing can read
+/// and force every stateful signal without reaching into the closures.
+#[derive(Clone, Copy)]
+struct ScBankInternal {
+    sram: u32,
+    ra1: Signal<u64>,
+    ra2: Signal<u64>,
+    word_hold: Signal<u64>,
+    wa_c: Signal<u64>,
+    wd_lo_c: Signal<u64>,
+    wd_hi_c: Signal<u64>,
+    be_c: Signal<u32>,
+    hi_err: Signal<bool>,
+    beat2: Signal<bool>,
+    beat2_addr: Signal<u64>,
+}
+
 /// A recorded monitor violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScViolation {
@@ -72,7 +90,8 @@ pub struct LaSystemC {
     k: Signal<bool>,
     k_bar: Signal<bool>,
     banks: Vec<ScBank>,
-    monitors: Vec<(String, BoundMonitor)>,
+    internals: Vec<ScBankInternal>,
+    monitors: Vec<(String, Property, BoundMonitor)>,
     monitor_signal_order: Vec<String>,
     violations: Vec<ScViolation>,
     cycles: u64,
@@ -113,6 +132,7 @@ impl LaSystemC {
         let cycle_chan = sim.add_channel(0u64);
 
         let mut banks = Vec::new();
+        let mut internals = Vec::new();
         for b in 0..config.banks {
             let bank = ScBank {
                 rd_req: sim.signal(format!("rd_req_{b}"), false),
@@ -140,12 +160,26 @@ impl LaSystemC {
             let word_hold = sim.signal(format!("word_hold_{b}"), 0u64);
             let wa_c = sim.signal(format!("wa_c_{b}"), 0u64);
             let wd_lo_c = sim.signal(format!("wd_lo_c_{b}"), 0u64);
+            let wd_hi_c = sim.signal(format!("wd_hi_c_{b}"), 0u64);
             let be_c = sim.signal(format!("be_c_{b}"), 0u32);
             let hi_err_latch = sim.signal(format!("hi_err_{b}"), false);
             // LA-1B burst extension: the second beat's pending flag and
             // auto-incremented address
             let beat2 = sim.signal(format!("beat2_{b}"), false);
             let beat2_addr = sim.signal(format!("beat2_addr_{b}"), 0u64);
+            internals.push(ScBankInternal {
+                sram,
+                ra1,
+                ra2,
+                word_hold,
+                wa_c,
+                wd_lo_c,
+                wd_hi_c,
+                be_c,
+                hi_err: hi_err_latch,
+                beat2,
+                beat2_addr,
+            });
 
             // --- ReadPort module ------------------------------------
             {
@@ -293,7 +327,6 @@ impl LaSystemC {
             {
                 let cfg = config.clone();
                 let bk = bank;
-                let wd_hi_c = sim.signal(format!("wd_hi_c_{b}"), 0u64);
                 let sens = [k.event()];
                 let mask_word = word_mask;
                 sim.process(format!("write_port_{b}"), &sens, move |st| {
@@ -376,6 +409,7 @@ impl LaSystemC {
             k,
             k_bar,
             banks,
+            internals,
             monitors: Vec::new(),
             monitor_signal_order: monitor_signal_names(config.banks),
             violations: Vec::new(),
@@ -400,8 +434,11 @@ impl LaSystemC {
             .map(String::as_str)
             .collect();
         for d in directives {
-            self.monitors
-                .push((d.name.clone(), Monitor::new(&d.property).bind(&names)));
+            self.monitors.push((
+                d.name.clone(),
+                d.property.clone(),
+                Monitor::new(&d.property).bind(&names),
+            ));
         }
     }
 
@@ -487,7 +524,7 @@ impl LaSystemC {
             self.snapshot.push(bank.wdone.read(&self.sim));
         }
         let snapshot = &self.snapshot;
-        for (name, mon) in &mut self.monitors {
+        for (name, _, mon) in &mut self.monitors {
             let st = mon.step(snapshot);
             if st.is_violation() && !self.violations.iter().any(|v| v.property == *name) {
                 self.violations.push(ScViolation {
@@ -555,6 +592,268 @@ impl LaSystemC {
     pub fn clear_parity_fault(&mut self) {
         *self.sim.channel_mut::<Option<u32>>(self.parity_fault_chan) = None;
     }
+
+    /// Captures the model's complete dynamic state at a cycle boundary.
+    ///
+    /// At a boundary the event kernel is quiescent (no queued updates,
+    /// no notified processes, no timed events), so the model's state is
+    /// exactly: every signal's current value, every channel's contents,
+    /// the kernel's statistic counters, the attached monitors'
+    /// obligation state, and the host-side bookkeeping. Restoring that
+    /// into a freshly elaborated model ([`LaSystemC::restore_state`])
+    /// continues byte-for-byte identically to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if called mid-delta (only possible from inside a process)
+    /// or if a monitor holds state foreign to its property.
+    pub fn snapshot_state(&self) -> Result<ScSnap, String> {
+        if !self.sim.is_settled() {
+            return Err("cannot snapshot between delta cycles".to_string());
+        }
+        let st = &self.sim;
+        let mut banks = Vec::with_capacity(self.banks.len());
+        for (bank, inner) in self.banks.iter().zip(&self.internals) {
+            banks.push(ScBankSnap {
+                rd_req: bank.rd_req.read(st),
+                rd_addr: bank.rd_addr.read(st),
+                wr_req: bank.wr_req.read(st),
+                wr_addr: bank.wr_addr.read(st),
+                wr_data_lo: bank.wr_data_lo.read(st),
+                wr_data_hi: bank.wr_data_hi.read(st),
+                wr_byte_en: bank.wr_byte_en.read(st),
+                rv1: bank.rv1.read(st),
+                rv2: bank.rv2.read(st),
+                dv: bank.dv.read(st),
+                out_lo: bank.out_lo.read(st),
+                out_hi: bank.out_hi.read(st),
+                out_par_lo: bank.out_par_lo.read(st),
+                out_par_hi: bank.out_par_hi.read(st),
+                perr: bank.perr.read(st),
+                wv: bank.wv.read(st),
+                wdone: bank.wdone.read(st),
+                ra1: inner.ra1.read(st),
+                ra2: inner.ra2.read(st),
+                word_hold: inner.word_hold.read(st),
+                wa_c: inner.wa_c.read(st),
+                wd_lo_c: inner.wd_lo_c.read(st),
+                wd_hi_c: inner.wd_hi_c.read(st),
+                be_c: inner.be_c.read(st),
+                hi_err: inner.hi_err.read(st),
+                beat2: inner.beat2.read(st),
+                beat2_addr: inner.beat2_addr.read(st),
+                sram: st.channel::<Vec<u64>>(inner.sram).clone(),
+            });
+        }
+        let mut monitors = Vec::with_capacity(self.monitors.len());
+        for (name, prop, mon) in &self.monitors {
+            let snap = mon
+                .snapshot(prop)
+                .map_err(|e| format!("monitor {name}: {e}"))?;
+            monitors.push((name.clone(), snap));
+        }
+        Ok(ScSnap {
+            k: self.k.read(st),
+            k_bar: self.k_bar.read(st),
+            banks,
+            trace: st.channel::<Vec<ObservedMessage>>(self.trace_chan).clone(),
+            trace_enabled: *st.channel::<bool>(self.trace_enabled_chan),
+            parity_fault: *st.channel::<Option<u32>>(self.parity_fault_chan),
+            kernel: st.kernel_stats(),
+            monitors,
+            violations: self.violations.clone(),
+            cycles: self.cycles,
+            last_read: self.last_read,
+        })
+    }
+
+    /// Installs a [`LaSystemC::snapshot_state`] snapshot into this
+    /// model, which must be freshly elaborated for the same
+    /// configuration with the same monitors attached in the same order.
+    ///
+    /// Every stateful signal is forced to its captured value, channels
+    /// and kernel counters are overwritten, and each monitor's
+    /// obligation state is rebuilt against its stored property — no
+    /// delta cycles run, because the snapshot was taken settled.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the model in an unspecified state that should be
+    /// discarded) if the bank count, SRAM geometry or monitor list does
+    /// not match the snapshot.
+    pub fn restore_state(&mut self, snap: &ScSnap) -> Result<(), String> {
+        if snap.banks.len() != self.banks.len() {
+            return Err(format!(
+                "snapshot has {} banks, model has {}",
+                snap.banks.len(),
+                self.banks.len()
+            ));
+        }
+        if snap.monitors.len() != self.monitors.len() {
+            return Err(format!(
+                "snapshot has {} monitors, model has {}",
+                snap.monitors.len(),
+                self.monitors.len()
+            ));
+        }
+        let st = &mut self.sim;
+        self.k.force(st, snap.k);
+        self.k_bar.force(st, snap.k_bar);
+        for ((bank, inner), bs) in self.banks.iter().zip(&self.internals).zip(&snap.banks) {
+            if bs.sram.len() != st.channel::<Vec<u64>>(inner.sram).len() {
+                return Err(format!(
+                    "snapshot SRAM has {} words, model has {}",
+                    bs.sram.len(),
+                    st.channel::<Vec<u64>>(inner.sram).len()
+                ));
+            }
+            bank.rd_req.force(st, bs.rd_req);
+            bank.rd_addr.force(st, bs.rd_addr);
+            bank.wr_req.force(st, bs.wr_req);
+            bank.wr_addr.force(st, bs.wr_addr);
+            bank.wr_data_lo.force(st, bs.wr_data_lo);
+            bank.wr_data_hi.force(st, bs.wr_data_hi);
+            bank.wr_byte_en.force(st, bs.wr_byte_en);
+            bank.rv1.force(st, bs.rv1);
+            bank.rv2.force(st, bs.rv2);
+            bank.dv.force(st, bs.dv);
+            bank.out_lo.force(st, bs.out_lo);
+            bank.out_hi.force(st, bs.out_hi);
+            bank.out_par_lo.force(st, bs.out_par_lo);
+            bank.out_par_hi.force(st, bs.out_par_hi);
+            bank.perr.force(st, bs.perr);
+            bank.wv.force(st, bs.wv);
+            bank.wdone.force(st, bs.wdone);
+            inner.ra1.force(st, bs.ra1);
+            inner.ra2.force(st, bs.ra2);
+            inner.word_hold.force(st, bs.word_hold);
+            inner.wa_c.force(st, bs.wa_c);
+            inner.wd_lo_c.force(st, bs.wd_lo_c);
+            inner.wd_hi_c.force(st, bs.wd_hi_c);
+            inner.be_c.force(st, bs.be_c);
+            inner.hi_err.force(st, bs.hi_err);
+            inner.beat2.force(st, bs.beat2);
+            inner.beat2_addr.force(st, bs.beat2_addr);
+            st.channel_mut::<Vec<u64>>(inner.sram).clone_from(&bs.sram);
+        }
+        st.channel_mut::<Vec<ObservedMessage>>(self.trace_chan)
+            .clone_from(&snap.trace);
+        *st.channel_mut::<bool>(self.trace_enabled_chan) = snap.trace_enabled;
+        *st.channel_mut::<Option<u32>>(self.parity_fault_chan) = snap.parity_fault;
+        st.restore_kernel_stats(snap.kernel);
+        let names: Vec<&str> = self
+            .monitor_signal_order
+            .iter()
+            .map(String::as_str)
+            .collect();
+        for ((name, prop, mon), (snap_name, ms)) in
+            self.monitors.iter_mut().zip(&snap.monitors)
+        {
+            if name != snap_name {
+                return Err(format!(
+                    "monitor mismatch: model has {name}, snapshot has {snap_name}"
+                ));
+            }
+            *mon = BoundMonitor::restore(prop, &names, ms)
+                .map_err(|e| format!("monitor {name}: {e}"))?;
+        }
+        self.violations.clone_from(&snap.violations);
+        self.cycles = snap.cycles;
+        self.last_read = snap.last_read;
+        Ok(())
+    }
+}
+
+/// Snapshot of one bank's signals and SRAM contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScBankSnap {
+    /// Host-side request signals (quiescent between cycles, captured
+    /// for completeness).
+    pub rd_req: bool,
+    /// Read address input.
+    pub rd_addr: u64,
+    /// Write request input.
+    pub wr_req: bool,
+    /// Write address input.
+    pub wr_addr: u64,
+    /// Write data, low DDR half.
+    pub wr_data_lo: u64,
+    /// Write data, high DDR half.
+    pub wr_data_hi: u64,
+    /// Byte enables of the pending write.
+    pub wr_byte_en: u32,
+    /// Read pipeline stage-1 valid.
+    pub rv1: bool,
+    /// Read pipeline stage-2 valid.
+    pub rv2: bool,
+    /// Data-valid output.
+    pub dv: bool,
+    /// Output word, low half.
+    pub out_lo: u64,
+    /// Output word, high half.
+    pub out_hi: u64,
+    /// Output parity, low half.
+    pub out_par_lo: u64,
+    /// Output parity, high half.
+    pub out_par_hi: u64,
+    /// Parity-error flag.
+    pub perr: bool,
+    /// Write accepted flag.
+    pub wv: bool,
+    /// Write done flag.
+    pub wdone: bool,
+    /// Read pipeline stage-1 address.
+    pub ra1: u64,
+    /// Read pipeline stage-2 address.
+    pub ra2: u64,
+    /// The word held for the falling-edge DDR half.
+    pub word_hold: u64,
+    /// Captured write address.
+    pub wa_c: u64,
+    /// Captured write data, low half.
+    pub wd_lo_c: u64,
+    /// Captured write data, high half.
+    pub wd_hi_c: u64,
+    /// Captured byte enables.
+    pub be_c: u32,
+    /// Latched high-half parity error.
+    pub hi_err: bool,
+    /// LA-1B second-beat pending flag.
+    pub beat2: bool,
+    /// LA-1B second-beat address.
+    pub beat2_addr: u64,
+    /// The bank's SRAM contents.
+    pub sram: Vec<u64>,
+}
+
+/// A plain-data snapshot of a [`LaSystemC`] model at a cycle boundary
+/// — see [`LaSystemC::snapshot_state`]. Serialization lives in the
+/// checkpoint layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScSnap {
+    /// Clock `K` level (low between cycles).
+    pub k: bool,
+    /// Clock `K#` level.
+    pub k_bar: bool,
+    /// Per-bank signal and SRAM state.
+    pub banks: Vec<ScBankSnap>,
+    /// The recorded UML message trace.
+    pub trace: Vec<ObservedMessage>,
+    /// Whether trace recording is on.
+    pub trace_enabled: bool,
+    /// An injected parity fault, if armed.
+    pub parity_fault: Option<u32>,
+    /// Kernel statistic counters: (time, timed_seq, activations,
+    /// deltas, updates_applied).
+    pub kernel: (u64, u64, u64, u64, u64),
+    /// Per-monitor obligation state, in attach order.
+    pub monitors: Vec<(String, MonitorSnap)>,
+    /// Recorded property violations.
+    pub violations: Vec<ScViolation>,
+    /// Completed cycles.
+    pub cycles: u64,
+    /// Cycle of the most recent read (burst spacing check).
+    pub last_read: Option<u64>,
 }
 
 /// The fixed monitor signal order: per bank `rd{b}`, `wr{b}`, `dv{b}`,

@@ -76,6 +76,27 @@ pub struct Driver {
     stats: DriverStats,
 }
 
+/// Serializable dynamic state of a [`Driver`]
+/// ([`Driver::snapshot_state`] / [`Driver::restore_state`]): everything
+/// that changes as cycles are assembled, including the parked
+/// delayed-not-dropped items — dropping them on restore would shift
+/// every later cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverSnap {
+    /// Cycle index the driver will assemble next.
+    pub cycle: u64,
+    /// Cycle of the most recent read strobe (LA-1B burst spacing).
+    pub last_read: Option<u64>,
+    /// Per-master parked item.
+    pub pending: Vec<Option<SequenceItem>>,
+    /// Round-robin arbitration pointer.
+    pub rr_next: u64,
+    /// Armed X-injection request.
+    pub inject_x: bool,
+    /// Bookkeeping counters.
+    pub stats: DriverStats,
+}
+
 /// Outcome of trying to place one item into the cycle being built.
 enum Placed {
     /// Item taken; keep pulling from this master.
@@ -157,6 +178,46 @@ impl Driver {
     /// cycle runs.
     pub fn take_inject_x(&mut self) -> bool {
         std::mem::take(&mut self.inject_x)
+    }
+
+    /// Captures the driver's dynamic state (the legality parameters —
+    /// bank count, word count, burst length — come back from the
+    /// configuration on restore).
+    pub fn snapshot_state(&self) -> DriverSnap {
+        DriverSnap {
+            cycle: self.cycle,
+            last_read: self.last_read,
+            pending: self.pending.clone(),
+            rr_next: self.rr_next as u64,
+            inject_x: self.inject_x,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`Driver::snapshot_state`] into a
+    /// driver built for the same configuration. Errors if the master
+    /// count differs or the arbitration pointer is out of range.
+    pub fn restore_state(&mut self, snap: &DriverSnap) -> Result<(), String> {
+        if snap.pending.len() != self.pending.len() {
+            return Err(format!(
+                "driver snapshot has {} masters, driver has {}",
+                snap.pending.len(),
+                self.pending.len()
+            ));
+        }
+        if snap.rr_next as usize >= self.pending.len() {
+            return Err(format!(
+                "driver snapshot arbitration pointer {} out of range",
+                snap.rr_next
+            ));
+        }
+        self.cycle = snap.cycle;
+        self.last_read = snap.last_read;
+        self.pending = snap.pending.clone();
+        self.rr_next = snap.rr_next as usize;
+        self.inject_x = snap.inject_x;
+        self.stats = snap.stats;
+        Ok(())
     }
 
     /// Assembles one cycle from a single master.

@@ -45,6 +45,9 @@ mod item;
 mod monitor;
 pub mod traffic;
 
-pub use driver::{stream_seed, Agent, Driver, DriverStats, MultiAgent, ScriptSequence, SeqContext, Sequencer};
+pub use driver::{
+    stream_seed, Agent, Driver, DriverSnap, DriverStats, MultiAgent, ScriptSequence, SeqContext,
+    Sequencer,
+};
 pub use item::SequenceItem;
 pub use monitor::{Transaction, TransactionMonitor};

@@ -1506,3 +1506,393 @@ mod props {
         }
     }
 }
+
+// ---- checkpoint / replay ----------------------------------------------------
+
+mod checkpoint_tests {
+    use super::*;
+    use crate::checkpoint::{config_fingerprint, CheckpointError, Snapshot, Trace};
+    use crate::rtl_model::LaRtlBatchDriver;
+    use la1_rtl::LANES;
+
+    fn mix(cfg: &LaConfig, seed: u64, n: usize) -> Vec<Vec<BankOp>> {
+        let mut w = RandomMix::new(cfg, seed, 0.45, 0.45);
+        (0..n).map(|_| w.next_cycle()).collect()
+    }
+
+    /// The same stream with full-word byte enables (the ASM level
+    /// abstracts byte control).
+    fn full_be_mix(cfg: &LaConfig, seed: u64, n: usize) -> Vec<Vec<BankOp>> {
+        let full = (1u32 << cfg.byte_enables()) - 1;
+        mix(cfg, seed, n)
+            .into_iter()
+            .map(|ops| {
+                ops.into_iter()
+                    .map(|op| match op {
+                        BankOp::Write {
+                            bank, addr, data, ..
+                        } => BankOp::write(bank, addr, data, full),
+                        read => read,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn systemc_checkpoint_restore_continues_identically() {
+        let cfg = small_cfg(2);
+        let ops = mix(&cfg, 11, 80);
+        let mut orig = LaSystemC::new(&cfg);
+        orig.attach_default_monitors();
+        for c in &ops[..40] {
+            orig.cycle(c);
+        }
+        let snap = Snapshot::of_systemc(&cfg, &orig).unwrap();
+        let text = snap.to_jsonl();
+        let parsed = Snapshot::parse(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.to_jsonl(), text, "re-serialization is byte-stable");
+        let mut restored = parsed.into_systemc(&cfg).unwrap();
+        assert_eq!(restored.cycles(), orig.cycles());
+        for c in &ops[40..] {
+            orig.cycle(c);
+            restored.cycle(c);
+            for b in 0..cfg.banks {
+                assert_eq!(orig.bank_output(b), restored.bank_output(b));
+                assert_eq!(orig.write_done(b), restored.write_done(b));
+            }
+        }
+        assert_eq!(orig.violation_count(), restored.violation_count());
+        assert_eq!(orig.violation_details(), restored.violation_details());
+    }
+
+    #[test]
+    fn asm_checkpoint_restore_continues_identically() {
+        let cfg = small_cfg(2);
+        let ops = full_be_mix(&cfg, 13, 60);
+        let mut orig = LaAsmModel::new(&cfg);
+        for c in &ops[..30] {
+            orig.cycle(c);
+        }
+        let snap = Snapshot::of_asm(&orig);
+        let parsed = Snapshot::parse(&snap.to_jsonl()).unwrap();
+        assert_eq!(parsed, snap);
+        let mut restored = parsed.into_asm(&cfg).unwrap();
+        for c in &ops[30..] {
+            orig.cycle(c);
+            restored.cycle(c);
+            for b in 0..cfg.banks {
+                assert_eq!(orig.bank_output(b), restored.bank_output(b));
+                assert_eq!(orig.write_done(b), restored.write_done(b));
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_checkpoint_restore_continues_identically() {
+        let cfg = small_cfg(2);
+        let design = LaRtl::build(&cfg, None);
+        let ops = mix(&cfg, 17, 60);
+        let mut orig = LaRtlDriver::new(&design);
+        for c in &ops[..30] {
+            orig.cycle(c);
+        }
+        let snap = Snapshot::of_rtl(&orig).unwrap();
+        let parsed = Snapshot::parse(&snap.to_jsonl()).unwrap();
+        assert_eq!(parsed, snap);
+        let mut restored = parsed.into_rtl(&design).unwrap();
+        for c in &ops[30..] {
+            orig.cycle(c);
+            restored.cycle(c);
+            for b in 0..cfg.banks {
+                assert_eq!(orig.bank_output(b), restored.bank_output(b));
+                assert_eq!(orig.write_done(b), restored.write_done(b));
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_ovl_checkpoint_restore_continues_identically() {
+        let cfg = small_cfg(2);
+        let design = LaRtl::build(&cfg, None);
+        let ops = mix(&cfg, 19, 60);
+        let mut orig = RtlWithOvl::new(&design);
+        for c in &ops[..30] {
+            orig.cycle(c);
+        }
+        let snap = Snapshot::of_rtl_ovl(&cfg, &orig).unwrap();
+        let parsed = Snapshot::parse(&snap.to_jsonl()).unwrap();
+        assert_eq!(parsed, snap);
+        let mut restored = parsed.into_rtl_ovl(&design).unwrap();
+        for c in &ops[30..] {
+            orig.cycle(c);
+            restored.cycle(c);
+            for b in 0..cfg.banks {
+                assert_eq!(orig.bank_output(b), restored.bank_output(b));
+            }
+        }
+        assert_eq!(orig.violation_count(), restored.violation_count());
+        assert_eq!(orig.violation_details(), restored.violation_details());
+    }
+
+    #[test]
+    fn batched_checkpoint_restore_continues_identically() {
+        let cfg = small_cfg(1);
+        let design = LaRtl::build(&cfg, None);
+        // two distinct lanes exercised, the rest idle
+        let lane_a = mix(&cfg, 23, 40);
+        let lane_b = mix(&cfg, 29, 40);
+        let mut orig = LaRtlBatchDriver::new(&design);
+        for i in 0..20 {
+            orig.cycle(&[&lane_a[i], &lane_b[i]]);
+        }
+        let snap = Snapshot::of_rtl_batch(&orig).unwrap();
+        let parsed = Snapshot::parse(&snap.to_jsonl()).unwrap();
+        assert_eq!(parsed, snap);
+        let mut restored = parsed.into_rtl_batch(&design).unwrap();
+        for i in 20..40 {
+            orig.cycle(&[&lane_a[i], &lane_b[i]]);
+            restored.cycle(&[&lane_a[i], &lane_b[i]]);
+            for lane in 0..LANES {
+                for b in 0..cfg.banks {
+                    assert_eq!(orig.bank_output(lane, b), restored.bank_output(lane, b));
+                    assert_eq!(orig.write_done(lane, b), restored.write_done(lane, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_truncation_at_every_byte_is_a_typed_error() {
+        let cfg = small_cfg(1);
+        let mut m = LaAsmModel::new(&cfg);
+        for c in &full_be_mix(&cfg, 3, 10) {
+            m.cycle(c);
+        }
+        let text = Snapshot::of_asm(&m).to_jsonl();
+        for cut in 0..text.len() {
+            let err = Snapshot::parse(&text[..cut])
+                .expect_err("every proper prefix must fail to parse");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::Malformed { .. }
+                ),
+                "unexpected error at byte {cut}: {err}"
+            );
+        }
+        assert!(Snapshot::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn trace_truncation_at_every_byte_is_a_typed_error() {
+        let cfg = small_cfg(2);
+        let mut trace = Trace::new(config_fingerprint("systemc", &cfg));
+        for c in &mix(&cfg, 5, 8) {
+            trace.record(c);
+        }
+        let text = trace.to_jsonl();
+        for cut in 0..text.len() {
+            assert!(
+                Trace::parse(&text[..cut]).is_err(),
+                "strict parse accepted a {cut}-byte prefix"
+            );
+        }
+        let back = Trace::parse(&text).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn trace_recover_salvages_complete_cycles() {
+        let cfg = small_cfg(2);
+        let mut trace = Trace::new(config_fingerprint("rtl", &cfg));
+        let ops = mix(&cfg, 7, 6);
+        for c in &ops {
+            trace.record(c);
+        }
+        let text = trace.to_jsonl();
+        // full stream: complete
+        let (full, complete) = Trace::recover(&text).unwrap();
+        assert!(complete);
+        assert_eq!(full, trace);
+        // cut inside the footer: all cycles salvaged, marked incomplete
+        let footer_start = text.rfind("{\"end\"").unwrap();
+        let (salvaged, complete) = Trace::recover(&text[..footer_start + 5]).unwrap();
+        assert!(!complete);
+        assert_eq!(salvaged.cycles, trace.cycles);
+        // cut inside the last cycle line: that cycle is dropped
+        let lines: Vec<&str> = text.lines().collect();
+        let upto_last_cycle: usize = lines[..lines.len() - 2]
+            .iter()
+            .map(|l| l.len() + 1)
+            .sum();
+        let torn = &text[..upto_last_cycle + lines[lines.len() - 2].len() / 2];
+        let (salvaged, complete) = Trace::recover(torn).unwrap();
+        assert!(!complete);
+        assert_eq!(salvaged.cycles, trace.cycles[..trace.cycles.len() - 1].to_vec());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_fingerprint_and_version() {
+        let cfg1 = small_cfg(1);
+        let cfg2 = small_cfg(2);
+        let m = LaAsmModel::new(&cfg1);
+        let snap = Snapshot::of_asm(&m);
+        // wrong configuration
+        assert!(matches!(
+            snap.into_asm(&cfg2),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+        // wrong level
+        assert!(matches!(
+            snap.into_systemc(&cfg1),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+        // wrong version
+        let text = snap.to_jsonl().replace("\"version\": 1", "\"version\": 99");
+        assert_eq!(
+            Snapshot::parse(&text),
+            Err(CheckpointError::VersionMismatch {
+                found: 99,
+                expected: 1
+            })
+        );
+        // wrong kind
+        let text = snap.to_jsonl().replace("la1-snapshot", "la1-other");
+        assert!(matches!(
+            Snapshot::parse(&text),
+            Err(CheckpointError::Malformed { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn trace_replays_into_a_model() {
+        let cfg = small_cfg(2);
+        let ops = mix(&cfg, 31, 25);
+        let mut recorded = Trace::new(config_fingerprint("systemc", &cfg));
+        let mut direct = LaSystemC::new(&cfg);
+        for c in &ops {
+            recorded.record(c);
+            direct.cycle(c);
+        }
+        let mut replayed = LaSystemC::new(&cfg);
+        recorded.replay_into(&mut replayed);
+        assert_eq!(replayed.cycles(), direct.cycles());
+        for b in 0..cfg.banks {
+            assert_eq!(replayed.bank_output(b), direct.bank_output(b));
+        }
+    }
+
+    /// Compares one serialized artifact against its committed golden
+    /// file, or regenerates it under `UPDATE_GOLDEN=1`.
+    fn check_golden(name: &str, golden: &str, text: &str) {
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            let path = format!("{}/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+            std::fs::write(&path, text).expect("update golden file");
+            return;
+        }
+        assert_eq!(
+            text, golden,
+            "serialized {name} drifted from the committed golden              (crates/core/golden/{name}); the snapshot format is a              persistence contract — old checkpoints must stay loadable.              If the change is intentional, bump SNAPSHOT_VERSION and              regenerate with UPDATE_GOLDEN=1 cargo test -p la1-core"
+        );
+    }
+
+    #[test]
+    fn serialized_checkpoints_match_committed_goldens() {
+        // one fixed seeded state per level: the byte-level format
+        // contract, pinned in version control
+        let cfg = small_cfg(2);
+        let design = LaRtl::build(&cfg, None);
+        let ops = mix(&cfg, 41, 50);
+        let full = full_be_mix(&cfg, 41, 50);
+
+        let mut asm = crate::asm_model::LaAsmModel::new(&cfg);
+        full.iter().for_each(|c| asm.cycle(c));
+        check_golden(
+            "snapshot_asm_2bank_seed41.jsonl",
+            include_str!("../golden/snapshot_asm_2bank_seed41.jsonl"),
+            &Snapshot::of_asm(&asm).to_jsonl(),
+        );
+
+        let mut sc = LaSystemC::new(&cfg);
+        sc.attach_default_monitors();
+        ops.iter().for_each(|c| sc.cycle(c));
+        check_golden(
+            "snapshot_systemc_2bank_seed41.jsonl",
+            include_str!("../golden/snapshot_systemc_2bank_seed41.jsonl"),
+            &Snapshot::of_systemc(&cfg, &sc).unwrap().to_jsonl(),
+        );
+
+        let mut rtl = LaRtlDriver::new(&design);
+        ops.iter().for_each(|c| rtl.cycle(c));
+        check_golden(
+            "snapshot_rtl_2bank_seed41.jsonl",
+            include_str!("../golden/snapshot_rtl_2bank_seed41.jsonl"),
+            &Snapshot::of_rtl(&rtl).unwrap().to_jsonl(),
+        );
+
+        let mut ovl = RtlWithOvl::new(&design);
+        ops.iter().for_each(|c| ovl.cycle(c));
+        check_golden(
+            "snapshot_rtl_ovl_2bank_seed41.jsonl",
+            include_str!("../golden/snapshot_rtl_ovl_2bank_seed41.jsonl"),
+            &Snapshot::of_rtl_ovl(&cfg, &ovl).unwrap().to_jsonl(),
+        );
+
+        let mut batch = LaRtlBatchDriver::new(&design);
+        for c in &ops[..20] {
+            let lanes: Vec<&[BankOp]> = (0..LANES).map(|_| c.as_slice()).collect();
+            batch.cycle(&lanes);
+        }
+        check_golden(
+            "snapshot_rtl_batch_2bank_seed41.jsonl",
+            include_str!("../golden/snapshot_rtl_batch_2bank_seed41.jsonl"),
+            &Snapshot::of_rtl_batch(&batch).unwrap().to_jsonl(),
+        );
+
+        let mut trace = Trace::new(config_fingerprint("rtl", &cfg));
+        ops[..20].iter().for_each(|c| trace.record(c));
+        check_golden(
+            "trace_rtl_2bank_seed41.jsonl",
+            include_str!("../golden/trace_rtl_2bank_seed41.jsonl"),
+            &trace.to_jsonl(),
+        );
+    }
+
+    #[test]
+    fn committed_golden_snapshots_still_restore() {
+        // loadability, not just byte identity: each committed golden
+        // must parse and restore into a live model of its level
+        let cfg = small_cfg(2);
+        let design = LaRtl::build(&cfg, None);
+        let asm = Snapshot::parse(include_str!("../golden/snapshot_asm_2bank_seed41.jsonl"))
+            .expect("parse asm golden");
+        assert_eq!(asm.into_asm(&cfg).expect("restore asm golden").cycles(), 50);
+        let sc = Snapshot::parse(include_str!("../golden/snapshot_systemc_2bank_seed41.jsonl"))
+            .expect("parse systemc golden");
+        assert_eq!(
+            sc.into_systemc(&cfg).expect("restore systemc golden").cycles(),
+            50
+        );
+        let rtl = Snapshot::parse(include_str!("../golden/snapshot_rtl_2bank_seed41.jsonl"))
+            .expect("parse rtl golden");
+        assert_eq!(rtl.into_rtl(&design).expect("restore rtl golden").cycles(), 50);
+        let ovl = Snapshot::parse(include_str!("../golden/snapshot_rtl_ovl_2bank_seed41.jsonl"))
+            .expect("parse rtl+ovl golden");
+        assert_eq!(
+            ovl.into_rtl_ovl(&design).expect("restore rtl+ovl golden").cycles(),
+            50
+        );
+        let batch = Snapshot::parse(include_str!("../golden/snapshot_rtl_batch_2bank_seed41.jsonl"))
+            .expect("parse batch golden");
+        batch.into_rtl_batch(&design).expect("restore batch golden");
+        let trace = Trace::parse(include_str!("../golden/trace_rtl_2bank_seed41.jsonl"))
+            .expect("parse trace golden");
+        assert_eq!(trace.cycles.len(), 20);
+        let mut replayed = LaRtlDriver::new(&design);
+        trace.replay_into(&mut replayed);
+        assert_eq!(replayed.cycles(), 20);
+    }
+}

@@ -82,6 +82,30 @@ impl RandomMix {
         }
     }
 
+    /// Captures the generator's dynamic state (the rng's internal
+    /// counter plus any items queued when driven as a [`Sequencer`]).
+    /// The static traffic parameters come back from the configuration
+    /// on restore.
+    pub fn snapshot_state(&self) -> RandomMixSnap {
+        RandomMixSnap {
+            rng: self.rng.state(),
+            items: self.items.iter().cloned().collect(),
+        }
+    }
+
+    /// Restores state captured by [`RandomMix::snapshot_state`] into a
+    /// generator built with the same configuration and probabilities.
+    pub fn restore_state(&mut self, snap: &RandomMixSnap) {
+        self.rng = StdRng::from_state(snap.rng);
+        self.items = snap.items.iter().cloned().collect();
+    }
+
+    /// Replaces the rng with a freshly seeded one — how a restored
+    /// checkpoint fans out into divergent continuation streams.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     /// Draws one cycle's worth of operations from the seeded stream.
     fn draw(&mut self) -> Vec<BankOp> {
         let mut ops = Vec::new();
@@ -104,6 +128,16 @@ impl RandomMix {
         }
         ops
     }
+}
+
+/// Serializable dynamic state of a [`RandomMix`]
+/// ([`RandomMix::snapshot_state`] / [`RandomMix::restore_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomMixSnap {
+    /// The seeded rng's internal counter state.
+    pub rng: u64,
+    /// Items queued when driven as a [`Sequencer`].
+    pub items: Vec<SequenceItem>,
 }
 
 impl Workload for RandomMix {

@@ -16,7 +16,7 @@ use crate::model::{CoverBin, CoverageModel};
 use la1_core::harness::run_abv_observed;
 use la1_core::sc_model::LaSystemC;
 use la1_core::spec::{BankOp, LaConfig};
-use la1_core::stimulus::Driver;
+use la1_core::stimulus::{Driver, DriverSnap};
 use la1_core::workloads::{RandomMix, Workload};
 
 /// Parameters of one closure run.
@@ -129,7 +129,7 @@ pub(crate) enum GenSeq {
 
 /// One closure stream's stimulus agent: the chosen sequencer plus the
 /// [`Driver`] that maps its items onto protocol-legal cycles.
-pub(crate) struct Generator {
+pub struct Generator {
     driver: Driver,
     seq: GenSeq,
 }
@@ -138,7 +138,7 @@ impl Generator {
     /// The generator one closure stream uses: guided runs (and any
     /// burst run, where blind traffic would violate the spacing rule)
     /// get a [`GuidedMix`]; the unguided baseline gets a [`RandomMix`].
-    pub(crate) fn for_stream(cfg: &ClosureConfig, guided: bool, seed: u64) -> Generator {
+    pub fn for_stream(cfg: &ClosureConfig, guided: bool, seed: u64) -> Generator {
         let seq = if guided || cfg.config.is_burst() {
             GenSeq::Guided(GuidedMix::new(
                 &cfg.config,
@@ -164,12 +164,66 @@ impl Generator {
     /// the random baseline). The retarget replaces the whole plan, so
     /// an item delayed out of the *old* plan is dropped with it — the
     /// driver's pending slot is cancelled alongside.
-    pub(crate) fn retarget(&mut self, unhit: &[CoverBin]) {
+    pub fn retarget(&mut self, unhit: &[CoverBin]) {
         self.driver.cancel_pending(0);
         if let GenSeq::Guided(g) = &mut self.seq {
             g.retarget(unhit);
         }
     }
+
+    /// Captures the stream's full stimulus state: the driver's
+    /// protocol bookkeeping plus the sequencer's rng and queues.
+    pub fn snapshot_state(&self) -> (DriverSnap, GeneratorSnap) {
+        let seq = match &self.seq {
+            GenSeq::Guided(g) => GeneratorSnap::Guided(g.snapshot_state()),
+            GenSeq::Random(r) => GeneratorSnap::Random(r.snapshot_state()),
+        };
+        (self.driver.snapshot_state(), seq)
+    }
+
+    /// Restores state captured by [`Generator::snapshot_state`] into a
+    /// generator built by [`Generator::for_stream`] with the same
+    /// configuration and guidance flag. Errors when the sequencer
+    /// flavour disagrees (a guided snapshot into a random baseline or
+    /// vice versa) or the driver shapes mismatch.
+    pub fn restore_state(
+        &mut self,
+        driver: &DriverSnap,
+        seq: &GeneratorSnap,
+    ) -> Result<(), String> {
+        self.driver.restore_state(driver)?;
+        match (&mut self.seq, seq) {
+            (GenSeq::Guided(g), GeneratorSnap::Guided(s)) => g.restore_state(s),
+            (GenSeq::Random(r), GeneratorSnap::Random(s)) => r.restore_state(s),
+            (GenSeq::Guided(_), GeneratorSnap::Random(_)) => {
+                return Err("random-baseline snapshot into a guided stream".to_string())
+            }
+            (GenSeq::Random(_), GeneratorSnap::Guided(_)) => {
+                return Err("guided snapshot into a random-baseline stream".to_string())
+            }
+        }
+        Ok(())
+    }
+
+    /// Reseeds the sequencer's rng (queues and plan stay) — how the
+    /// staged flow turns one checkpoint into divergent continuation
+    /// streams.
+    pub fn reseed(&mut self, seed: u64) {
+        match &mut self.seq {
+            GenSeq::Guided(g) => g.reseed(seed),
+            GenSeq::Random(r) => r.reseed(seed),
+        }
+    }
+}
+
+/// Serializable state of one closure stream's sequencer, tagged by
+/// flavour so a checkpoint restores into the matching generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeneratorSnap {
+    /// A guided (or burst-legal) stream.
+    Guided(crate::guided::GuidedMixSnap),
+    /// The unguided random baseline.
+    Random(la1_core::workloads::RandomMixSnap),
 }
 
 impl Workload for Generator {

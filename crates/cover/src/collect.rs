@@ -52,6 +52,37 @@ impl CycleSample {
     }
 }
 
+/// Serializable form of one bank's cycle sample (the collector's
+/// private ring entries, mirrored so a checkpoint can carry them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankSampleSnap {
+    /// Read address driven this cycle, if any.
+    pub read: Option<u64>,
+    /// Write `(address, byte_en)` driven this cycle, if any.
+    pub write: Option<(u64, u32)>,
+    /// Word on the output bus if the data-valid flag was set.
+    pub dv: Option<u64>,
+    /// Write-done flag.
+    pub wdone: bool,
+    /// Parity-error flag.
+    pub perr: bool,
+}
+
+/// Serializable dynamic state of a [`CoverageCollector`]
+/// ([`CoverageCollector::snapshot_state`] /
+/// [`CoverageCollector::restore_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorSnap {
+    /// Hit count per bin, in model order.
+    pub hits: Vec<u64>,
+    /// First-hit cycle per bin, in model order.
+    pub first_hit: Vec<Option<u64>>,
+    /// The history ring in storage order: `history[i][bank]`.
+    pub history: Vec<Vec<BankSampleSnap>>,
+    /// Cycles observed so far.
+    pub cycle: u64,
+}
+
 /// Collects functional coverage from any [`CycleModel`] run.
 ///
 /// Attach through
@@ -182,6 +213,80 @@ impl CoverageCollector {
             return None;
         }
         self.first_hit.iter().map(|f| f.unwrap() + 1).max()
+    }
+
+    /// Captures the collector's full dynamic state: per-bin counters
+    /// *and* the sample-history ring. The ring matters — the sequence
+    /// and monitor-activation bins look back several cycles, so a
+    /// restored collector without it would score the first post-restore
+    /// cycles differently from a straight-through run.
+    pub fn snapshot_state(&self) -> CollectorSnap {
+        CollectorSnap {
+            hits: self.hits.clone(),
+            first_hit: self.first_hit.clone(),
+            history: self
+                .history
+                .iter()
+                .map(|c| {
+                    c.banks
+                        .iter()
+                        .map(|b| BankSampleSnap {
+                            read: b.read,
+                            write: b.write,
+                            dv: b.dv,
+                            wdone: b.wdone,
+                            perr: b.perr,
+                        })
+                        .collect()
+                })
+                .collect(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores state captured by [`CoverageCollector::snapshot_state`]
+    /// into a collector built over the same coverage model. Errors when
+    /// the shapes disagree (different model, bank count or lookback
+    /// depth).
+    pub fn restore_state(&mut self, snap: &CollectorSnap) -> Result<(), String> {
+        if snap.hits.len() != self.hits.len() || snap.first_hit.len() != self.first_hit.len() {
+            return Err(format!(
+                "collector snapshot has {} bins, model defines {}",
+                snap.hits.len(),
+                self.hits.len()
+            ));
+        }
+        if snap.history.len() != self.history.len() {
+            return Err(format!(
+                "collector snapshot has a depth-{} history ring, model needs {}",
+                snap.history.len(),
+                self.history.len()
+            ));
+        }
+        let banks = self.model.banks as usize;
+        if snap.history.iter().any(|c| c.len() != banks) {
+            return Err(format!("collector snapshot bank count is not {banks}"));
+        }
+        self.hits = snap.hits.clone();
+        self.first_hit = snap.first_hit.clone();
+        self.history = snap
+            .history
+            .iter()
+            .map(|c| CycleSample {
+                banks: c
+                    .iter()
+                    .map(|b| BankSample {
+                        read: b.read,
+                        write: b.write,
+                        dv: b.dv,
+                        wdone: b.wdone,
+                        perr: b.perr,
+                    })
+                    .collect(),
+            })
+            .collect();
+        self.cycle = snap.cycle;
+        Ok(())
     }
 
     /// The sample from `k` cycles before the current one, or `None`

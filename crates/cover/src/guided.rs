@@ -29,6 +29,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
+/// Serializable dynamic state of a [`GuidedMix`]
+/// ([`GuidedMix::snapshot_state`] / [`GuidedMix::restore_state`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuidedMixSnap {
+    /// The seeded rng's internal counter state.
+    pub rng: u64,
+    /// Directed cycles awaiting emission, front first.
+    pub plan: Vec<Vec<BankOp>>,
+    /// Items of the cycle currently being handed to the driver.
+    pub items: Vec<SequenceItem>,
+}
+
 /// A seeded, deterministic, coverage-guided constrained-random
 /// workload (see module docs).
 #[derive(Debug)]
@@ -73,6 +85,33 @@ impl GuidedMix {
     /// Number of directed cycles still queued.
     pub fn planned(&self) -> usize {
         self.plan.len()
+    }
+
+    /// Captures the generator's dynamic state: the rng's internal
+    /// counter, the directed plan and the partially-drained item queue.
+    /// The static traffic parameters come back from the configuration
+    /// on restore.
+    pub fn snapshot_state(&self) -> GuidedMixSnap {
+        GuidedMixSnap {
+            rng: self.rng.state(),
+            plan: self.plan.iter().cloned().collect(),
+            items: self.items.iter().cloned().collect(),
+        }
+    }
+
+    /// Restores state captured by [`GuidedMix::snapshot_state`] into a
+    /// generator built with the same configuration and probabilities.
+    pub fn restore_state(&mut self, snap: &GuidedMixSnap) {
+        self.rng = StdRng::from_state(snap.rng);
+        self.plan = snap.plan.iter().cloned().collect();
+        self.items = snap.items.iter().cloned().collect();
+    }
+
+    /// Replaces the rng with a freshly seeded one (plan and queued
+    /// items stay) — how a restored checkpoint fans out into divergent
+    /// continuation streams.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     /// Replaces the directed plan with preambles for `unhit` bins.

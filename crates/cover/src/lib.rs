@@ -45,12 +45,20 @@ pub mod collect;
 pub mod guided;
 pub mod model;
 pub mod multi;
+pub mod staged;
 
-pub use closure::{run_closure, ClosureConfig, ClosureReport};
-pub use collect::CoverageCollector;
-pub use guided::GuidedMix;
+pub use closure::{run_closure, ClosureConfig, ClosureReport, GeneratorSnap};
+pub use collect::{BankSampleSnap, CollectorSnap, CoverageCollector};
+pub use guided::{GuidedMix, GuidedMixSnap};
 pub use model::{BinKind, BinStat, BinStats, CoverBin, CoverageModel};
-pub use multi::{run_closure_rtl, run_closure_rtl_batched, MultiClosureReport};
+pub use multi::{
+    run_closure_rtl, run_closure_rtl_batched, run_closure_rtl_batched_from, run_closure_rtl_from,
+    ClosurePreamble, MultiClosureReport,
+};
+pub use staged::{
+    run_staged, staged_fingerprint, StageCheckpoint, StagedConfig, StagedReport, StreamOutcome,
+    STAGE_VERSION,
+};
 
 #[cfg(test)]
 mod tests;

@@ -26,13 +26,133 @@
 use crate::closure::{ClosureConfig, Generator};
 use crate::collect::CoverageCollector;
 use crate::model::{BinStats, CoverBin, CoverageModel};
+use la1_core::checkpoint::{config_fingerprint, CheckpointError, Snapshot, Trace};
 use la1_core::cycle_model::BatchLaneModel;
 use la1_core::cycle_model::CycleObserver;
 use la1_core::rtl_model::{LaRtl, LaRtlBatchDriver, LaRtlDriver};
-use la1_core::spec::BankOp;
+use la1_core::spec::{BankOp, LaConfig};
 use la1_core::stimulus::stream_seed;
-use la1_core::workloads::Workload;
+use la1_core::workloads::{RandomMix, Workload};
 use la1_rtl::LANES;
+
+/// A shared traffic preamble every closure stream runs before its
+/// seeded stimulus starts — typically table-initialization traffic on
+/// a large configuration, which can dwarf the closure run itself.
+///
+/// The cold path replays the recorded [`Trace`] cycle by cycle; the
+/// warm path restores the RTL state [`Snapshot`]s captured after the
+/// preamble and skips the replay entirely. The two are byte-equivalent
+/// (the core differential test layer proves snapshot restore equals
+/// straight-through execution), so a warm-started farm shard produces
+/// the identical report — the `checkpoint` bench measures the speedup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosurePreamble {
+    /// The recorded preamble traffic (the cold path, and the ground
+    /// truth the snapshots are captured from).
+    pub trace: Trace,
+    /// Scalar RTL state after the preamble (`None` → replay the trace).
+    pub snapshot: Option<Snapshot>,
+    /// Batched RTL state after the preamble, all lanes identical
+    /// (`None` → replay the trace broadcast across lanes).
+    pub batch_snapshot: Option<Snapshot>,
+}
+
+impl ClosurePreamble {
+    /// Records `cycles` of seeded write-heavy initialization traffic
+    /// as a replayable trace (no snapshots: the cold preamble).
+    pub fn record(config: &LaConfig, seed: u64, cycles: u64) -> ClosurePreamble {
+        let mut mix = RandomMix::new(config, seed, 0.2, 0.7);
+        let mut trace = Trace::new(config_fingerprint("rtl", config));
+        for _ in 0..cycles {
+            trace.record(&mix.next_cycle());
+        }
+        ClosurePreamble {
+            trace,
+            snapshot: None,
+            batch_snapshot: None,
+        }
+    }
+
+    /// Runs the recorded trace once through a scalar and a batched RTL
+    /// driver and captures both post-preamble snapshots — the warm
+    /// preamble every later stream restores instead of replaying.
+    pub fn with_snapshots(mut self, config: &LaConfig) -> Result<ClosurePreamble, CheckpointError> {
+        let design = LaRtl::build(config, None);
+        let mut driver = LaRtlDriver::new(&design);
+        self.trace.replay_into(&mut driver);
+        self.snapshot = Some(Snapshot::of_rtl(&driver)?);
+        let mut batch = LaRtlBatchDriver::new(&design);
+        for ops in &self.trace.cycles {
+            let refs: Vec<&[BankOp]> = (0..LANES).map(|_| ops.as_slice()).collect();
+            batch.cycle(&refs);
+        }
+        self.batch_snapshot = Some(Snapshot::of_rtl_batch(&batch)?);
+        Ok(self)
+    }
+
+    /// Preamble length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.trace.cycles.len() as u64
+    }
+
+    /// Whether the warm path is available.
+    pub fn is_warm(&self) -> bool {
+        self.snapshot.is_some() && self.batch_snapshot.is_some()
+    }
+
+    /// Brings one scalar driver past the preamble: restore when warm,
+    /// replay when cold. Fingerprint-checked either way.
+    fn apply_scalar(
+        &self,
+        design: &LaRtl,
+        driver: &mut LaRtlDriver,
+    ) -> Result<(), CheckpointError> {
+        match &self.snapshot {
+            Some(snap) => {
+                *driver = snap.into_rtl(design)?;
+                Ok(())
+            }
+            None => {
+                self.check_trace(design)?;
+                self.trace.replay_into(driver);
+                Ok(())
+            }
+        }
+    }
+
+    /// Brings the batched driver past the preamble (all lanes).
+    fn apply_batched(
+        &self,
+        design: &LaRtl,
+        driver: &mut LaRtlBatchDriver,
+    ) -> Result<(), CheckpointError> {
+        match &self.batch_snapshot {
+            Some(snap) => {
+                *driver = snap.into_rtl_batch(design)?;
+                Ok(())
+            }
+            None => {
+                self.check_trace(design)?;
+                for ops in &self.trace.cycles {
+                    let refs: Vec<&[BankOp]> = (0..LANES).map(|_| ops.as_slice()).collect();
+                    driver.cycle(&refs);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_trace(&self, design: &LaRtl) -> Result<(), CheckpointError> {
+        let expected = config_fingerprint("rtl", design.config());
+        if self.trace.fingerprint != expected {
+            return Err(CheckpointError::FingerprintMismatch {
+                found: self.trace.fingerprint,
+                expected,
+            });
+        }
+        Ok(())
+    }
+}
 
 /// Outcome of one multi-stream closure run; all coverage figures are
 /// over the merged (any-stream) bin sets.
@@ -221,10 +341,34 @@ fn merged_report(
 ///
 /// Panics if `streams` is zero.
 pub fn run_closure_rtl(cfg: &ClosureConfig, guided: bool, streams: u32) -> MultiClosureReport {
+    run_closure_rtl_from(cfg, guided, streams, None)
+        .expect("no preamble, so no checkpoint error is possible")
+}
+
+/// [`run_closure_rtl`] with an optional shared [`ClosurePreamble`]
+/// every stream runs (warm-restored or cold-replayed) before its
+/// seeded stimulus starts. Coverage is collected over the closure
+/// cycles only, so the warm and cold paths produce byte-identical
+/// reports.
+///
+/// # Panics
+///
+/// Panics if `streams` is zero.
+pub fn run_closure_rtl_from(
+    cfg: &ClosureConfig,
+    guided: bool,
+    streams: u32,
+    preamble: Option<&ClosurePreamble>,
+) -> Result<MultiClosureReport, CheckpointError> {
     assert!(streams > 0, "at least one stream");
     let design = LaRtl::build(&cfg.config, None);
     let mut drivers: Vec<LaRtlDriver> =
         (0..streams).map(|_| LaRtlDriver::new(&design)).collect();
+    if let Some(p) = preamble {
+        for d in &mut drivers {
+            p.apply_scalar(&design, d)?;
+        }
+    }
     let mut state = make_streams(cfg, guided, streams);
     let mut run = 0u64;
     while run < cfg.budget && !merged_full(&state) {
@@ -241,7 +385,7 @@ pub fn run_closure_rtl(cfg: &ClosureConfig, guided: bool, streams: u32) -> Multi
         }
         run += step;
     }
-    merged_report(cfg, guided, state, run)
+    Ok(merged_report(cfg, guided, state, run))
 }
 
 /// The bit-parallel multi-stream runner: all streams as lanes of one
@@ -256,10 +400,31 @@ pub fn run_closure_rtl_batched(
     guided: bool,
     streams: u32,
 ) -> MultiClosureReport {
+    run_closure_rtl_batched_from(cfg, guided, streams, None)
+        .expect("no preamble, so no checkpoint error is possible")
+}
+
+/// [`run_closure_rtl_batched`] with an optional shared
+/// [`ClosurePreamble`] applied to every lane before the seeded streams
+/// start. Byte-identical to [`run_closure_rtl_from`] with the same
+/// arguments.
+///
+/// # Panics
+///
+/// Panics if `streams` is zero or exceeds [`LANES`].
+pub fn run_closure_rtl_batched_from(
+    cfg: &ClosureConfig,
+    guided: bool,
+    streams: u32,
+    preamble: Option<&ClosurePreamble>,
+) -> Result<MultiClosureReport, CheckpointError> {
     assert!(streams > 0, "at least one stream");
     assert!(streams as usize <= LANES, "at most {LANES} streams");
     let design = LaRtl::build(&cfg.config, None);
     let mut driver = LaRtlBatchDriver::new(&design);
+    if let Some(p) = preamble {
+        p.apply_batched(&design, &mut driver)?;
+    }
     let mut state = make_streams(cfg, guided, streams);
     let mut run = 0u64;
     let mut ops: Vec<Vec<BankOp>> = vec![Vec::new(); streams as usize];
@@ -281,5 +446,5 @@ pub fn run_closure_rtl_batched(
         }
         run += step;
     }
-    merged_report(cfg, guided, state, run)
+    Ok(merged_report(cfg, guided, state, run))
 }

@@ -841,3 +841,151 @@ fn golden_closure_reports_byte_identical() {
     out.push_str(&run_closure_rtl_batched(&c, true, 8).to_json());
     check_golden("closure_reports.json", &out);
 }
+
+// ---- staged closure and warm-start preambles --------------------------------
+
+/// Runs `run_closure`-style epochs straight through for `budget`
+/// cycles and returns the final coverage fingerprint (hit counts plus
+/// first-hit cycles) and the violation count — everything stream 0 of
+/// a staged run must reproduce byte for byte.
+fn straight_through(cfg: &crate::staged::StagedConfig, budget: u64) -> (Vec<u64>, Vec<Option<u64>>, usize) {
+    let mut sc = LaSystemC::new(&cfg.closure.config);
+    let mut collector = CoverageCollector::new(CoverageModel::la1(&cfg.closure.config));
+    let mut generator = crate::closure::Generator::for_stream(&cfg.closure, cfg.guided, cfg.closure.seed);
+    let mut run = 0u64;
+    while run < budget && !collector.is_full() {
+        if cfg.guided {
+            generator.retarget(&collector.unhit());
+        }
+        let step = cfg.closure.epoch.min(budget - run);
+        run_abv_observed(&mut sc, &mut generator, step, &mut collector);
+        run += step;
+    }
+    (
+        collector.hits().to_vec(),
+        collector.first_hits().to_vec(),
+        sc.violation_count(),
+    )
+}
+
+#[test]
+fn staged_stream_zero_is_byte_identical_to_straight_through() {
+    let mut cfg = crate::staged::StagedConfig::new(small_cfg(2), 11);
+    cfg.closure.epoch = 200;
+    cfg.stage1_budget = 1_000; // epoch multiple, so boundaries align
+    cfg.streams = 3;
+    cfg.stream_budget = 2_000;
+    let report = crate::staged::run_staged(&cfg).expect("staged run");
+    assert_eq!(report.streams.len(), 3);
+    assert_eq!(report.stage1_cycles, 1_000.min(report.stage1_cycles));
+
+    // the straight-through reference stops at the same closure point
+    let budget = report.stage1_cycles + report.streams[0].cycles_run;
+    let (hits, first, _) = straight_through(&cfg, budget);
+    let s0 = &report.streams[0];
+    assert!(!s0.reseeded);
+    assert_eq!(
+        s0.bins_hit,
+        hits.iter().filter(|&&h| h > 0).count(),
+        "stream 0 must match the run that never checkpointed"
+    );
+    // the full counter state matters, not just the hit set: re-run the
+    // staged flow and compare its stream-0 collector to the reference
+    let parsed = {
+        // reconstruct the checkpoint exactly as run_staged did
+        let mut sc = LaSystemC::new(&cfg.closure.config);
+        let mut collector = CoverageCollector::new(CoverageModel::la1(&cfg.closure.config));
+        let mut generator =
+            crate::closure::Generator::for_stream(&cfg.closure, cfg.guided, cfg.closure.seed);
+        let mut run = 0u64;
+        while run < cfg.stage1_budget && !collector.is_full() {
+            if cfg.guided {
+                generator.retarget(&collector.unhit());
+            }
+            let step = cfg.closure.epoch.min(cfg.stage1_budget - run);
+            run_abv_observed(&mut sc, &mut generator, step, &mut collector);
+            run += step;
+        }
+        let ckpt =
+            crate::staged::StageCheckpoint::capture(&cfg, &sc, &collector, &generator).unwrap();
+        crate::staged::StageCheckpoint::parse(&ckpt.to_jsonl()).unwrap()
+    };
+    let (mut sc, mut collector, mut generator) = parsed.restore(&cfg).unwrap();
+    let mut run2 = 0u64;
+    while run2 < cfg.stream_budget && !collector.is_full() {
+        if cfg.guided {
+            generator.retarget(&collector.unhit());
+        }
+        let step = cfg.closure.epoch.min(cfg.stream_budget - run2);
+        run_abv_observed(&mut sc, &mut generator, step, &mut collector);
+        run2 += step;
+    }
+    assert_eq!(collector.hits(), &hits[..], "hit counters diverged");
+    assert_eq!(collector.first_hits(), &first[..], "first-hit cycles diverged");
+}
+
+#[test]
+fn stage_checkpoint_round_trips_and_rejects_corruption() {
+    let mut cfg = crate::staged::StagedConfig::new(small_cfg(1), 5);
+    cfg.closure.epoch = 100;
+    cfg.stage1_budget = 300;
+    let mut sc = LaSystemC::new(&cfg.closure.config);
+    let mut collector = CoverageCollector::new(CoverageModel::la1(&cfg.closure.config));
+    let mut generator =
+        crate::closure::Generator::for_stream(&cfg.closure, cfg.guided, cfg.closure.seed);
+    run_abv_observed(&mut sc, &mut generator, 300, &mut collector);
+    let ckpt = crate::staged::StageCheckpoint::capture(&cfg, &sc, &collector, &generator).unwrap();
+    let text = ckpt.to_jsonl();
+
+    // byte-stable round trip
+    let parsed = crate::staged::StageCheckpoint::parse(&text).unwrap();
+    assert_eq!(parsed, ckpt);
+    assert_eq!(parsed.to_jsonl(), text);
+
+    // truncation at every byte boundary is a typed error, never a panic
+    use la1_core::checkpoint::CheckpointError;
+    for cut in 0..text.len() {
+        let err = crate::staged::StageCheckpoint::parse(&text[..cut])
+            .expect_err("every proper prefix must fail");
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated | CheckpointError::Malformed { .. }
+            ),
+            "prefix of {cut} bytes gave {err:?}"
+        );
+    }
+
+    // wrong configuration refuses with a fingerprint mismatch
+    let other = crate::staged::StagedConfig::new(small_cfg(2), 5);
+    assert!(matches!(
+        parsed.restore(&other),
+        Err(CheckpointError::FingerprintMismatch { .. })
+    ));
+}
+
+#[test]
+fn warm_and_cold_preambles_close_identically() {
+    let cfg = small_closure(small_cfg(2), 21);
+    let cold = crate::multi::ClosurePreamble::record(&cfg.config, 77, 400);
+    let warm = cold.clone().with_snapshots(&cfg.config).expect("snapshots");
+    assert!(!cold.is_warm());
+    assert!(warm.is_warm());
+
+    let from_cold = crate::multi::run_closure_rtl_from(&cfg, true, 2, Some(&cold)).unwrap();
+    let from_warm = crate::multi::run_closure_rtl_from(&cfg, true, 2, Some(&warm)).unwrap();
+    assert_eq!(
+        from_cold.to_json(),
+        from_warm.to_json(),
+        "restoring the preamble snapshot must equal replaying the trace"
+    );
+    assert_eq!(from_cold.bins, from_warm.bins);
+
+    // batched path agrees with the scalar path under the same preamble
+    let batched = crate::multi::run_closure_rtl_batched_from(&cfg, true, 2, Some(&warm)).unwrap();
+    assert_eq!(from_warm.to_json(), batched.to_json());
+
+    // a preamble for a different configuration refuses
+    let foreign = crate::multi::ClosurePreamble::record(&small_cfg(4), 77, 50);
+    assert!(crate::multi::run_closure_rtl_from(&cfg, true, 1, Some(&foreign)).is_err());
+}

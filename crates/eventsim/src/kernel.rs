@@ -122,6 +122,41 @@ impl SimState {
         self.update_queue.len()
     }
 
+    /// Whether the kernel is quiescent: no pending updates, no delta
+    /// notifications, no timed notifications. At a settled cycle
+    /// boundary (after [`crate::Simulator::run_deltas`]) this holds by
+    /// construction — the checkpoint layer requires it, because a
+    /// quiescent kernel's state is exactly its signal values, channel
+    /// contents and counters.
+    pub fn is_settled(&self) -> bool {
+        self.update_queue.is_empty() && self.delta_notified.is_empty() && self.timed.is_empty()
+    }
+
+    /// The kernel's counter state — `(time, timed_seq, activations,
+    /// deltas, updates_applied)` — for checkpointing a settled kernel.
+    pub fn kernel_stats(&self) -> (SimTime, u64, u64, u64, u64) {
+        (
+            self.time,
+            self.timed_seq,
+            self.activations,
+            self.deltas,
+            self.updates_applied,
+        )
+    }
+
+    /// Restores counters captured by [`SimState::kernel_stats`] into a
+    /// settled kernel. Signal values and channel contents are restored
+    /// separately by the owning model (it holds the typed handles); the
+    /// kernel itself only carries these counters between cycles.
+    pub fn restore_kernel_stats(&mut self, stats: (SimTime, u64, u64, u64, u64)) {
+        let (time, timed_seq, activations, deltas, updates_applied) = stats;
+        self.time = time;
+        self.timed_seq = timed_seq;
+        self.activations = activations;
+        self.deltas = deltas;
+        self.updates_applied = updates_applied;
+    }
+
     /// Creates a fresh event.
     pub fn event(&mut self) -> Event {
         let e = Event(self.next_event);

@@ -15,8 +15,8 @@ use la1_core::json::opt_u64;
 use la1_core::spec::LaConfig;
 use la1_core::stimulus::stream_seed;
 use la1_cover::{
-    run_closure_rtl, run_closure_rtl_batched, BinStats, ClosureConfig, CoverageModel,
-    MultiClosureReport,
+    run_closure_rtl_batched_from, run_closure_rtl_from, BinStats, ClosureConfig, ClosurePreamble,
+    CoverageModel, MultiClosureReport,
 };
 use la1_fault::{
     run_campaign_batched_shard, run_campaign_shard, CampaignConfig, CampaignShard,
@@ -51,6 +51,12 @@ pub enum FarmJob {
         streams: u32,
         /// Run the streams through the bit-parallel RTL driver.
         batched: bool,
+        /// Shared traffic preamble every stream runs first: restored
+        /// from its snapshot when warm, replayed when cold. Shared by
+        /// all jobs of the plan, so it is part of the plan fingerprint.
+        /// Boxed: the preamble (trace + two snapshots) dwarfs the other
+        /// variants, and jobs are cloned per shard.
+        preamble: Option<Box<ClosurePreamble>>,
     },
     /// One bounded model-checking run of the LA-1 ASM model.
     Explore {
@@ -93,11 +99,17 @@ impl FarmJob {
                 guided,
                 streams,
                 batched,
+                preamble,
             } => {
+                // a preamble mismatch is a plan-construction bug; the
+                // panic is caught by the pool's per-attempt isolation
+                // and surfaces as a Failed slot in the degraded section
                 let report = if *batched {
-                    run_closure_rtl_batched(cfg, *guided, *streams)
+                    run_closure_rtl_batched_from(cfg, *guided, *streams, preamble.as_deref())
+                        .expect("preamble matches the plan configuration")
                 } else {
-                    run_closure_rtl(cfg, *guided, *streams)
+                    run_closure_rtl_from(cfg, *guided, *streams, preamble.as_deref())
+                        .expect("preamble matches the plan configuration")
                 };
                 JobResult::Closure(report)
             }
@@ -350,6 +362,15 @@ pub enum FarmPlan {
         guided: bool,
         /// Use the bit-parallel RTL driver inside each job.
         batched: bool,
+        /// Shared warm-start preamble ([`ClosurePreamble`]): every
+        /// shard restores (or cold-replays) it before its seeded
+        /// streams start, so the per-shard preamble cost collapses to
+        /// a snapshot restore. Participates in [`FarmPlan::fingerprint`]
+        /// through the plan's `Debug` rendering — the journal header
+        /// pins the exact preamble (trace *and* snapshots), so a
+        /// `--resume` against a drifted preamble refuses instead of
+        /// silently mixing campaigns.
+        preamble: Option<Box<ClosurePreamble>>,
     },
     /// A sweep of bounded model-checking runs, one job per
     /// configuration; merged by concatenation in job order.
@@ -390,6 +411,7 @@ impl FarmPlan {
                 streams_per_job,
                 guided,
                 batched,
+                preamble,
             } => {
                 assert!(*jobs > 0, "at least one closure job");
                 assert!(*streams_per_job > 0, "at least one stream per job");
@@ -406,6 +428,7 @@ impl FarmPlan {
                             guided: *guided,
                             streams: *streams_per_job,
                             batched: *batched,
+                            preamble: preamble.clone(),
                         }
                     })
                     .collect()

@@ -3,7 +3,7 @@ use crate::{ChaosConfig, FarmPlan, Journal, JournalError, MergedReport, RunPolic
 use la1_asm::ExploreConfig;
 use la1_core::json::parse;
 use la1_core::spec::LaConfig;
-use la1_cover::ClosureConfig;
+use la1_cover::{ClosureConfig, ClosurePreamble};
 use la1_fault::{run_campaign, run_campaign_batched, CampaignConfig};
 use std::path::PathBuf;
 
@@ -29,6 +29,7 @@ fn small_closure_plan(jobs: u32) -> FarmPlan {
         streams_per_job: 4,
         guided: true,
         batched: true,
+        preamble: None,
     }
 }
 
@@ -88,6 +89,77 @@ fn closure_farm_is_worker_count_invariant() {
         report.lane_cycles
     );
     assert!(report.bins_hit > 0, "stimulus hit no coverage at all");
+}
+
+#[test]
+fn warm_started_closure_farm_matches_cold_and_pins_the_preamble() {
+    // the same plan with the same preamble, cold (trace replay) vs
+    // warm (snapshot restore): merged reports must be byte-identical
+    let cold_preamble = ClosurePreamble::record(&LaConfig::new(1), 7, 300);
+    let warm_preamble = cold_preamble
+        .clone()
+        .with_snapshots(&LaConfig::new(1))
+        .expect("snapshotting a fresh preamble");
+    let base = small_closure_plan(2);
+    let with = |p: Option<&ClosurePreamble>| {
+        let FarmPlan::Closure {
+            cfg,
+            jobs,
+            streams_per_job,
+            guided,
+            batched,
+            ..
+        } = base.clone()
+        else {
+            unreachable!()
+        };
+        FarmPlan::Closure {
+            cfg,
+            jobs,
+            streams_per_job,
+            guided,
+            batched,
+            preamble: p.cloned().map(Box::new),
+        }
+    };
+    let cold = with(Some(&cold_preamble));
+    let warm = with(Some(&warm_preamble));
+    let bare = with(None);
+    assert_eq!(
+        cold.run(2).to_json(),
+        warm.run(2).to_json(),
+        "warm restore must be byte-equivalent to cold replay"
+    );
+    // non-vacuousness: the warm snapshot really carries 300 cycles of
+    // state distinct from a fresh driver (the coverage bins are
+    // op-driven, so the *report* legitimately need not differ — the
+    // cover crate's own differential tests pin the restored state)
+    let design = la1_core::rtl_model::LaRtl::build(&LaConfig::new(1), None);
+    let fresh = la1_core::checkpoint::Snapshot::of_rtl(&la1_core::rtl_model::LaRtlDriver::new(
+        &design,
+    ))
+    .unwrap();
+    let snap = warm_preamble.snapshot.as_ref().expect("warm path present");
+    assert_eq!(snap.cycle, 300, "snapshot captured after the full preamble");
+    assert_ne!(*snap, fresh, "preamble state must differ from reset state");
+
+    // the preamble is pinned by the plan fingerprint: a journal from
+    // the bare plan must not resume the warm-started one (and the two
+    // preamble forms of the *same* traffic share one campaign)
+    assert_ne!(bare.fingerprint(), warm.fingerprint());
+    assert_ne!(cold.fingerprint(), warm.fingerprint());
+    let path = scratch("warm-preamble");
+    let mut journal = Journal::create(&path, &bare).unwrap();
+    bare.run_with(1, &RunPolicy::default(), None, Some(&mut journal), |_, _, _| {});
+    drop(journal);
+    let err = warm
+        .resume(&path, 1, &RunPolicy::default(), None, |_, _, _| {})
+        .unwrap_err();
+    assert!(
+        matches!(err, JournalError::PlanMismatch { .. }),
+        "a bare-plan journal must not warm-resume: {err:?}"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -28,11 +28,13 @@
 
 use crate::models::{FaultModel, FaultPlan, HostileMasterSeq, Injector};
 use la1_core::asm_model::LaAsmModel;
+use la1_core::checkpoint::Trace;
 use la1_core::cycle_model::{CycleModel, RtlWithOvl};
 use la1_core::rtl_model::{LaRtl, LaRtlDriver, XPin};
 use la1_core::sc_model::LaSystemC;
 use la1_core::spec::{BankOp, LaConfig, READ_LATENCY};
 use la1_core::stimulus::{Driver, ScriptSequence};
+use la1_core::workloads::{RandomMix, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::Cell;
@@ -105,6 +107,17 @@ pub struct CampaignConfig {
     pub levels: Vec<Level>,
     /// Fault models to inject.
     pub faults: Vec<FaultModel>,
+    /// Deep-state preamble: op cycles replayed into every run's DUT
+    /// *and* golden from reset, before the scripted workload starts,
+    /// so faults are exercised against a warmed model instead of an
+    /// empty one. Script cycle numbering is untouched (the preamble
+    /// runs "before cycle 0"), so activation windows and injection
+    /// timing are identical with or without it. Ops must be
+    /// protocol-legal full-word traffic — partial-byte writes are not
+    /// representable at the ASM level the goldens include. Empty by
+    /// default; the farm journals pin it through the plan fingerprint
+    /// like every other campaign parameter.
+    pub preamble: Vec<Vec<BankOp>>,
 }
 
 impl CampaignConfig {
@@ -126,7 +139,27 @@ impl CampaignConfig {
             target_reads: 6,
             levels: Level::ALL.to_vec(),
             faults: FaultModel::ALL.to_vec(),
+            preamble: Vec::new(),
         }
+    }
+
+    /// Records a deep-state preamble in place: `cycles` of seeded
+    /// full-word random traffic (write-heavy, so the banks actually
+    /// fill). Full-word because the preamble replays into the ASM
+    /// golden too, which abstracts byte lanes away.
+    pub fn record_preamble(&mut self, seed: u64, cycles: u64) {
+        let mut mix = RandomMix::full_word(&self.la1, seed, 0.25, 0.65);
+        self.preamble = (0..cycles).map(|_| mix.next_cycle()).collect();
+    }
+
+    /// Adopts a recorded checkpoint [`Trace`] as the deep-state
+    /// preamble — how a deep state reached elsewhere (say a staged
+    /// closure preamble) becomes the starting point of a fault
+    /// campaign. Only the op cycles are taken: a trace fingerprint
+    /// pins one `(level, config)` pair, while the campaign replays
+    /// the same ops into every level's DUT and golden.
+    pub fn preamble_from_trace(&mut self, trace: &Trace) {
+        self.preamble = trace.cycles.clone();
     }
 }
 
@@ -679,13 +712,33 @@ pub(crate) fn activation_window(cfg: &LaConfig) -> (u64, u64) {
 /// intended stimulus, monitors collected afterwards. The intended
 /// cycles come off the transaction layer ([`replay_script`]) and the
 /// faulted stimulus off [`inject_stream`].
-pub(crate) fn open_loop_run(level: Level, cfg: &LaConfig, plan: FaultPlan, rng: &mut StdRng) -> RunResult {
+pub(crate) fn open_loop_run(
+    level: Level,
+    cfg: &LaConfig,
+    plan: FaultPlan,
+    rng: &mut StdRng,
+    preamble: &[Vec<BankOp>],
+) -> RunResult {
     let script = replay_script(cfg, open_loop_script(cfg, rng));
     let (injected_script, x_cycle) = inject_stream(cfg, &plan, &script);
     let mut golden = build_golden(level, cfg);
     let mut dut = build_dut(level, cfg, Some(&plan));
     let mut detections: BTreeMap<String, u64> = BTreeMap::new();
     let activation = plan.activation;
+    // deep-state preamble: both models advance through it from reset
+    // (the DUT guarded — a structural fault may legitimately trip an
+    // assertion on deep traffic), then the script starts at cycle 0
+    // as if the preamble were part of reset.
+    for ops in preamble {
+        golden.as_model().cycle(ops);
+        if guarded_cycle(&mut dut, ops) {
+            detections.insert("guard".to_string(), 0);
+            return RunResult {
+                detections,
+                hung: false,
+            };
+        }
+    }
     for (i, intended) in script.iter().enumerate() {
         let cycle = i as u64;
         let injected = &injected_script[i];
@@ -732,6 +785,7 @@ pub(crate) fn closed_loop_run(
     plan: Option<FaultPlan>,
     watchdog_cycles: u64,
     target_reads: u32,
+    preamble: &[Vec<BankOp>],
 ) -> RunResult {
     let words = cfg.words_per_bank;
     let slots = cfg.banks * words;
@@ -741,6 +795,18 @@ pub(crate) fn closed_loop_run(
     let activation = plan.as_ref().map_or(0, |p| p.activation);
     let mut detections: BTreeMap<String, u64> = BTreeMap::new();
     let mut hung = false;
+
+    // deep-state preamble, before priming (cycle numbering of the
+    // closed loop below is untouched — the preamble is part of reset)
+    for ops in preamble {
+        if guarded_cycle(&mut dut, ops) {
+            detections.insert("guard".to_string(), 0);
+            return RunResult {
+                detections,
+                hung: true,
+            };
+        }
+    }
 
     // prime every slot so reads return real data
     for slot in 0..slots {
@@ -883,9 +949,10 @@ pub fn run_campaign_shard(config: &CampaignConfig, shard: &CampaignShard) -> Det
                         Some(plan),
                         config.watchdog_cycles,
                         config.target_reads,
+                        &config.preamble,
                     )
                 } else {
-                    open_loop_run(level, cfg, plan, &mut rng)
+                    open_loop_run(level, cfg, plan, &mut rng, &config.preamble)
                 };
                 cell.runs += 1;
                 cell.hung += u32::from(result.hung);
@@ -899,8 +966,14 @@ pub fn run_campaign_shard(config: &CampaignConfig, shard: &CampaignShard) -> Det
     }
     if shard.healthy {
         for &level in &config.levels {
-            let result =
-                closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
+            let result = closed_loop_run(
+                level,
+                cfg,
+                None,
+                config.watchdog_cycles,
+                config.target_reads,
+                &config.preamble,
+            );
             matrix.healthy.insert(level.name().to_string(), !result.hung);
         }
     }

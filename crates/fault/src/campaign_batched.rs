@@ -304,6 +304,27 @@ fn run_rtl_level_batched(
     stats.groups += groups.len() as u32;
     stats.rtl_lane_runs += (2 * open_runs.len() + closed_runs.len()) as u32;
 
+    // ---- deep-state preamble: broadcast into every lane of every
+    // group (DUTs, goldens, closed-loop lanes alike) before any script
+    // starts, monitors sampling — exactly what each scalar run does
+    // from reset, so preambled matrices stay byte-identical between
+    // the scalar and batched runners.
+    for ops in &config.preamble {
+        for group in groups.iter_mut() {
+            let refs: Vec<&[BankOp]> = vec![ops.as_slice(); group.used];
+            let LaneGroup {
+                driver, benches, ..
+            } = group;
+            driver.cycle_with(&refs, |sim| {
+                for (lane, bench) in benches.iter_mut().enumerate() {
+                    if let Some(bench) = bench.as_mut() {
+                        bench.on_cycle(&mut sim.lane_probe(lane));
+                    }
+                }
+            });
+        }
+    }
+
     // ---- open-loop lockstep: all open groups advance one cycle
     // together so cross-group scoreboard pairs compare at the same
     // instant; first scoreboard mismatches land in `sb_cycles`
@@ -603,9 +624,10 @@ pub fn run_campaign_batched_shard(
                         Some(plan),
                         config.watchdog_cycles,
                         config.target_reads,
+                        &config.preamble,
                     )
                 } else {
-                    open_loop_run(level, cfg, plan, &mut rng)
+                    open_loop_run(level, cfg, plan, &mut rng, &config.preamble)
                 };
                 cell.runs += 1;
                 cell.hung += u32::from(result.hung);
@@ -649,8 +671,14 @@ pub fn run_campaign_batched_shard(
             if matches!(level, Level::Rtl | Level::RtlOvl) {
                 continue;
             }
-            let result =
-                closed_loop_run(level, cfg, None, config.watchdog_cycles, config.target_reads);
+            let result = closed_loop_run(
+                level,
+                cfg,
+                None,
+                config.watchdog_cycles,
+                config.target_reads,
+                &config.preamble,
+            );
             matrix.healthy.insert(level.name().to_string(), !result.hung);
         }
     }

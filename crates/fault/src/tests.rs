@@ -357,6 +357,60 @@ fn batched_campaign_reproduces_committed_golden() {
 }
 
 #[test]
+fn deep_state_preamble_keeps_scalar_and_batched_agreeing() {
+    // a recorded preamble replays into every run's DUT and golden from
+    // reset; the scalar and batched runners must agree byte-for-byte
+    // on the warmed matrix, and the warmed matrix must be reproducible
+    let mut config = CampaignConfig::new(1, 9);
+    config.runs_per_fault = 1;
+    config.record_preamble(3, 120);
+    assert_eq!(config.preamble.len(), 120);
+    assert!(
+        config.preamble.iter().any(|ops| !ops.is_empty()),
+        "recorded preamble carries no traffic"
+    );
+    let scalar = run_campaign(&config);
+    let (batched, _) = run_campaign_batched(&config);
+    assert_eq!(
+        scalar.to_json(),
+        batched.to_json(),
+        "preambled batched matrix diverged from the scalar runner"
+    );
+    assert_eq!(
+        run_campaign(&config).to_json(),
+        scalar.to_json(),
+        "preambled campaign is not deterministic"
+    );
+}
+
+#[test]
+fn preamble_from_trace_adopts_recorded_cycles() {
+    use la1_core::checkpoint::{config_fingerprint, Trace};
+    use la1_core::workloads::{RandomMix, Workload};
+
+    // a checkpoint trace recorded elsewhere becomes the campaign's
+    // deep state: the ops carry over verbatim and the campaign still
+    // executes every cell on top of them
+    let mut config = CampaignConfig::new(1, 4);
+    config.runs_per_fault = 1;
+    config.faults = vec![FaultModel::DataBitFlip, FaultModel::StuckAt0ReadSel];
+    let mut trace = Trace::new(config_fingerprint("rtl", &config.la1));
+    let mut mix = RandomMix::full_word(&config.la1, 5, 0.3, 0.6);
+    for _ in 0..40 {
+        trace.record(&mix.next_cycle());
+    }
+    config.preamble_from_trace(&trace);
+    assert_eq!(config.preamble, trace.cycles);
+    let matrix = run_campaign(&config);
+    for (fault, levels) in &matrix.cells {
+        assert!(!levels.is_empty(), "{fault}: no levels ran");
+        for (level, cell) in levels {
+            assert_eq!(cell.runs, 1, "{fault} at {level} lost its run");
+        }
+    }
+}
+
+#[test]
 fn level_from_name_round_trips() {
     for level in Level::ALL {
         assert_eq!(Level::from_name(level.name()), Some(level));

@@ -1,6 +1,6 @@
 //! The bench: monitor instances attached to a simulated design.
 
-use crate::monitors::{MonitorKind, MonitorState};
+use crate::monitors::{MonitorKind, MonitorState, OvlDynState};
 use la1_rtl::{Expr, RtlProbe};
 use std::fmt;
 
@@ -31,7 +31,7 @@ impl fmt::Display for Severity {
 }
 
 /// A recorded assertion failure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OvlViolation {
     /// Monitor instance name.
     pub monitor: String,
@@ -448,4 +448,91 @@ impl OvlBench {
             .map(|i| (i.name.clone(), i.state.kind(), i.failures))
             .collect()
     }
+
+    /// Captures the bench's dynamic state: per-instance obligation
+    /// windows and failure counts, plus the recorded violations and the
+    /// sampled-cycle counter.
+    ///
+    /// The monitor *wiring* (expressions, bounds, severities) is not
+    /// captured — the host reconstructs the bench with the same attach
+    /// calls and then applies the snapshot with
+    /// [`OvlBench::restore_state`].
+    pub fn snapshot(&self) -> OvlSnap {
+        OvlSnap {
+            instances: self
+                .instances
+                .iter()
+                .map(|i| OvlInstanceSnap {
+                    name: i.name.clone(),
+                    kind: i.state.kind(),
+                    failures: i.failures,
+                    dyn_state: i.state.dyn_state(),
+                })
+                .collect(),
+            violations: self.violations.clone(),
+            cycles: self.cycles,
+            fatal: self.fatal,
+        }
+    }
+
+    /// Installs a snapshot taken from an identically constructed bench
+    /// (same monitors, attached in the same order). Fails — leaving the
+    /// bench partially updated only in its per-instance fields, none of
+    /// which a caller should rely on after an error — if the instance
+    /// list does not line up or a dynamic payload does not fit its
+    /// monitor.
+    pub fn restore_state(&mut self, snap: &OvlSnap) -> Result<(), String> {
+        if self.instances.len() != snap.instances.len() {
+            return Err(format!(
+                "snapshot has {} monitors, bench has {}",
+                snap.instances.len(),
+                self.instances.len()
+            ));
+        }
+        for (inst, is) in self.instances.iter_mut().zip(&snap.instances) {
+            if inst.name != is.name || inst.state.kind() != is.kind {
+                return Err(format!(
+                    "monitor mismatch: bench has {} ({}), snapshot has {} ({})",
+                    inst.name,
+                    inst.state.kind().ovl_name(),
+                    is.name,
+                    is.kind.ovl_name()
+                ));
+            }
+            inst.state.apply_dyn_state(&is.dyn_state)?;
+            inst.failures = is.failures;
+        }
+        self.violations = snap.violations.clone();
+        self.cycles = snap.cycles;
+        self.fatal = snap.fatal;
+        Ok(())
+    }
+}
+
+/// Snapshot of one monitor instance: identity (for validation), the
+/// failure count and the dynamic obligation state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OvlInstanceSnap {
+    /// Instance name, matched against the rebuilt bench.
+    pub name: String,
+    /// Monitor kind, matched against the rebuilt bench.
+    pub kind: MonitorKind,
+    /// Violations this instance has fired so far.
+    pub failures: u64,
+    /// Obligation windows / sequence threads / pulse length.
+    pub dyn_state: OvlDynState,
+}
+
+/// A plain-data snapshot of an [`OvlBench`], taken with
+/// [`OvlBench::snapshot`] and applied with [`OvlBench::restore_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OvlSnap {
+    /// Per-instance state, in attach order.
+    pub instances: Vec<OvlInstanceSnap>,
+    /// Violations recorded so far.
+    pub violations: Vec<OvlViolation>,
+    /// Sampled cycles so far.
+    pub cycles: u64,
+    /// Whether a fatal monitor has fired.
+    pub fatal: bool,
 }

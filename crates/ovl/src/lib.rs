@@ -47,8 +47,8 @@
 mod bench;
 mod monitors;
 
-pub use bench::{OvlBench, OvlViolation, Severity};
-pub use monitors::MonitorKind;
+pub use bench::{OvlBench, OvlInstanceSnap, OvlSnap, OvlViolation, Severity};
+pub use monitors::{MonitorKind, OvlDynState};
 
 #[cfg(test)]
 mod tests;

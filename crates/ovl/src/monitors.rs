@@ -132,7 +132,100 @@ pub(crate) enum MonitorState {
     },
 }
 
+/// The dynamic (cycle-varying) part of one monitor instance's state.
+///
+/// The expressions a monitor samples are fixed at attach time and are
+/// reconstructed by the host when it rebuilds the bench; a snapshot
+/// carries only what the monitor accumulated while running.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OvlDynState {
+    /// Monitors with no cycle-to-cycle state (always / never /
+    /// proposition / implication / one-hot / range / parity).
+    None,
+    /// Outstanding countdown windows (`assert_next`, `assert_frame`,
+    /// `assert_time`).
+    Counters(Vec<u32>),
+    /// Active sequence-thread positions (`assert_cycle_sequence`).
+    Threads(Vec<u64>),
+    /// Sampled-value windows (`assert_change` / `assert_unchange`):
+    /// `(initial value, remaining cycles)` per window.
+    ValueCounters(Vec<(u64, u32)>),
+    /// Length of the high pulse in progress (`assert_width`).
+    Pulse(Option<u32>),
+}
+
 impl MonitorState {
+    pub(crate) fn dyn_state(&self) -> OvlDynState {
+        match self {
+            MonitorState::Simple { .. }
+            | MonitorState::Implication { .. }
+            | MonitorState::VectorCheck { .. }
+            | MonitorState::Range { .. }
+            | MonitorState::EvenParity { .. } => OvlDynState::None,
+            MonitorState::Next { pending, .. }
+            | MonitorState::Frame { pending, .. }
+            | MonitorState::Time { pending, .. } => OvlDynState::Counters(pending.clone()),
+            MonitorState::CycleSequence { active, .. } => {
+                OvlDynState::Threads(active.iter().map(|&p| p as u64).collect())
+            }
+            MonitorState::ChangeLike { pending, .. } => {
+                OvlDynState::ValueCounters(pending.clone())
+            }
+            MonitorState::Width { high_for, .. } => OvlDynState::Pulse(*high_for),
+        }
+    }
+
+    /// Installs a previously captured [`OvlDynState`]. Fails when the
+    /// shape does not match this monitor's kind, or a sequence-thread
+    /// position is out of range.
+    pub(crate) fn apply_dyn_state(&mut self, st: &OvlDynState) -> Result<(), String> {
+        match (self, st) {
+            (
+                MonitorState::Simple { .. }
+                | MonitorState::Implication { .. }
+                | MonitorState::VectorCheck { .. }
+                | MonitorState::Range { .. }
+                | MonitorState::EvenParity { .. },
+                OvlDynState::None,
+            ) => Ok(()),
+            (
+                MonitorState::Next { pending, .. }
+                | MonitorState::Frame { pending, .. }
+                | MonitorState::Time { pending, .. },
+                OvlDynState::Counters(c),
+            ) => {
+                *pending = c.clone();
+                Ok(())
+            }
+            (MonitorState::CycleSequence { events, active }, OvlDynState::Threads(t)) => {
+                let mut pos = Vec::with_capacity(t.len());
+                for &p in t {
+                    if p as usize >= events.len() {
+                        return Err(format!(
+                            "sequence thread at position {p} but only {} events",
+                            events.len()
+                        ));
+                    }
+                    pos.push(p as usize);
+                }
+                *active = pos;
+                Ok(())
+            }
+            (MonitorState::ChangeLike { pending, .. }, OvlDynState::ValueCounters(c)) => {
+                *pending = c.clone();
+                Ok(())
+            }
+            (MonitorState::Width { high_for, .. }, OvlDynState::Pulse(p)) => {
+                *high_for = *p;
+                Ok(())
+            }
+            (state, st) => Err(format!(
+                "dynamic state {st:?} does not fit an {} monitor",
+                state.kind().ovl_name()
+            )),
+        }
+    }
+
     pub(crate) fn kind(&self) -> MonitorKind {
         match self {
             MonitorState::Simple { kind, .. } | MonitorState::VectorCheck { kind, .. } => *kind,

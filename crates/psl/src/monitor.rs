@@ -430,6 +430,385 @@ impl BoundMonitor {
     }
 }
 
+// ---------------------------------------------------------------------
+// snapshot / restore
+//
+// A monitor's live state is its obligation list plus five scalars.
+// Every `Arc<Property>`, `Arc<BoolExpr>` and NFA-source `Sere` held by
+// a live obligation is structurally equal to a *subterm of the root
+// property* (`instantiate` and `spawn_now` only ever clone subterms;
+// the root itself appears via the zero-delay `Defer`), so a snapshot
+// stores each term as an index into a deterministic preorder subterm
+// table instead of re-serializing ASTs. Restore rebuilds the `Arc`s
+// from the same root — and re-runs the (deterministic) Glushkov
+// construction for the NFAs — so a restored monitor is behaviorally
+// identical: same obligation order (the step worklist pops LIFO), same
+// active sets, same verdict scalars, same `fingerprint()`.
+
+/// A plain-data snapshot of one live obligation: the term indices into
+/// the root property's preorder subterm tables ([`subterms`]), the
+/// NFA active-position list, and the obligation's flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObSnap {
+    /// [`Ob::Always`]: property-table index of the body.
+    Always { body: u32 },
+    /// [`Ob::Never`]: sere-table index and active positions.
+    Never { sere: u32, active: Vec<u64> },
+    /// [`Ob::Eventually`]: sere-table index and active positions.
+    Eventually { sere: u32, active: Vec<u64> },
+    /// [`Ob::SereStrong`].
+    SereStrong {
+        sere: u32,
+        active: Vec<u64>,
+        fresh: bool,
+    },
+    /// [`Ob::Defer`]: property-table index of the deferred body.
+    Defer {
+        remaining: u32,
+        strong: bool,
+        body: u32,
+    },
+    /// [`Ob::Until`]: bool-table indices.
+    Until { p: u32, q: u32, strong: bool },
+    /// [`Ob::Before`]: bool-table indices.
+    Before { p: u32, q: u32, strong: bool },
+    /// [`Ob::SuffixImpl`]: sere index of the precondition, property
+    /// index of the postcondition.
+    SuffixImpl {
+        pre: u32,
+        active: Vec<u64>,
+        post: u32,
+        overlap: bool,
+        persistent: bool,
+        fresh: bool,
+    },
+}
+
+/// A plain-data snapshot of a [`Monitor`], valid against the property
+/// it was taken from. Serialization lives in the checkpoint layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSnap {
+    /// Live obligations in worklist order (order is semantic: the step
+    /// worklist pops last-in-first-out).
+    pub obs: Vec<ObSnap>,
+    /// Cycles consumed.
+    pub cycle: u64,
+    /// Cycle of the first violation, if any.
+    pub failed_at: Option<u64>,
+    /// Whether every obligation discharged.
+    pub determined_holds: bool,
+    /// Whether the property positively matched at least once.
+    pub covered: bool,
+}
+
+/// The root property's subterm tables, in deterministic preorder.
+struct Subterms<'a> {
+    props: Vec<&'a Property>,
+    seres: Vec<&'a Sere>,
+    bools: Vec<&'a BoolExpr>,
+}
+
+fn subterms(root: &Property) -> Subterms<'_> {
+    let mut t = Subterms {
+        props: Vec::new(),
+        seres: Vec::new(),
+        bools: Vec::new(),
+    };
+    collect_prop(root, &mut t);
+    t
+}
+
+fn collect_prop<'a>(p: &'a Property, t: &mut Subterms<'a>) {
+    t.props.push(p);
+    match p {
+        Property::Bool(b) => collect_bool(b, t),
+        Property::Always(x) => collect_prop(x, t),
+        Property::Never(s) | Property::Eventually(s) | Property::SereStrong(s) => {
+            collect_sere(s, t)
+        }
+        Property::Next { body, .. } => collect_prop(body, t),
+        Property::Until { p, q, .. } | Property::Before { p, q, .. } => {
+            collect_bool(p, t);
+            collect_bool(q, t);
+        }
+        Property::Implies(b, x) => {
+            collect_bool(b, t);
+            collect_prop(x, t);
+        }
+        Property::SuffixImpl { pre, post, .. } => {
+            collect_sere(pre, t);
+            collect_prop(post, t);
+        }
+        Property::And(a, b) => {
+            collect_prop(a, t);
+            collect_prop(b, t);
+        }
+    }
+}
+
+fn collect_sere<'a>(s: &'a Sere, t: &mut Subterms<'a>) {
+    t.seres.push(s);
+    match s {
+        Sere::Bool(b) => collect_bool(b, t),
+        Sere::Concat(a, b) | Sere::Or(a, b) | Sere::Fusion(a, b) | Sere::And(a, b) => {
+            collect_sere(a, t);
+            collect_sere(b, t);
+        }
+        Sere::Repeat { sere, .. } => collect_sere(sere, t),
+    }
+}
+
+fn collect_bool<'a>(b: &'a BoolExpr, t: &mut Subterms<'a>) {
+    t.bools.push(b);
+    match b {
+        BoolExpr::Const(_) | BoolExpr::Var(_) => {}
+        BoolExpr::Not(a) => collect_bool(a, t),
+        BoolExpr::And(a, b)
+        | BoolExpr::Or(a, b)
+        | BoolExpr::Xor(a, b)
+        | BoolExpr::Implies(a, b)
+        | BoolExpr::Iff(a, b) => {
+            collect_bool(a, t);
+            collect_bool(b, t);
+        }
+    }
+}
+
+fn bitset_to_list(active: &BitSet) -> Vec<u64> {
+    active.iter_ones().map(|p| p as u64).collect()
+}
+
+fn bitset_from_list(nfa: &Nfa, list: &[u64]) -> Result<BitSet, String> {
+    let mut set = nfa.new_active();
+    for &p in list {
+        if p as usize >= nfa.num_positions() {
+            return Err(format!(
+                "active position {p} out of range (NFA has {})",
+                nfa.num_positions()
+            ));
+        }
+        set.set(p as usize);
+    }
+    Ok(set)
+}
+
+impl Monitor {
+    /// Snapshots the monitor's live state against `root`, the property
+    /// this monitor was created from ([`Monitor::new`]). Fails if any
+    /// live obligation holds a term that is not a subterm of `root` —
+    /// which would mean `root` is the wrong property.
+    pub fn snapshot(&self, root: &Property) -> Result<MonitorSnap, String> {
+        let t = subterms(root);
+        // NFAs are matched by rebuilding: Glushkov construction is a
+        // deterministic pure function of the sere, so the obligation's
+        // automaton equals `from_sere` of its source subterm.
+        let sere_nfas: Vec<Nfa> = t.seres.iter().map(|s| Nfa::from_sere(s)).collect();
+        let find_prop = |p: &Property| -> Result<u32, String> {
+            t.props
+                .iter()
+                .position(|&x| x == p)
+                .map(|i| i as u32)
+                .ok_or_else(|| "obligation body is not a subterm of the root".to_string())
+        };
+        let find_bool = |b: &BoolExpr| -> Result<u32, String> {
+            t.bools
+                .iter()
+                .position(|&x| x == b)
+                .map(|i| i as u32)
+                .ok_or_else(|| "obligation guard is not a subterm of the root".to_string())
+        };
+        let find_nfa = |n: &Nfa| -> Result<u32, String> {
+            sere_nfas
+                .iter()
+                .position(|x| x == n)
+                .map(|i| i as u32)
+                .ok_or_else(|| "obligation automaton matches no subterm SERE".to_string())
+        };
+        let mut obs = Vec::with_capacity(self.active.len());
+        for ob in &self.active {
+            obs.push(match ob {
+                Ob::Always { body } => ObSnap::Always {
+                    body: find_prop(body)?,
+                },
+                Ob::Never { nfa, active } => ObSnap::Never {
+                    sere: find_nfa(nfa)?,
+                    active: bitset_to_list(active),
+                },
+                Ob::Eventually { nfa, active } => ObSnap::Eventually {
+                    sere: find_nfa(nfa)?,
+                    active: bitset_to_list(active),
+                },
+                Ob::SereStrong { nfa, active, fresh } => ObSnap::SereStrong {
+                    sere: find_nfa(nfa)?,
+                    active: bitset_to_list(active),
+                    fresh: *fresh,
+                },
+                Ob::Defer {
+                    remaining,
+                    strong,
+                    body,
+                } => ObSnap::Defer {
+                    remaining: *remaining,
+                    strong: *strong,
+                    body: find_prop(body)?,
+                },
+                Ob::Until { p, q, strong } => ObSnap::Until {
+                    p: find_bool(p)?,
+                    q: find_bool(q)?,
+                    strong: *strong,
+                },
+                Ob::Before { p, q, strong } => ObSnap::Before {
+                    p: find_bool(p)?,
+                    q: find_bool(q)?,
+                    strong: *strong,
+                },
+                Ob::SuffixImpl {
+                    nfa,
+                    active,
+                    post,
+                    overlap,
+                    persistent,
+                    fresh,
+                } => ObSnap::SuffixImpl {
+                    pre: find_nfa(nfa)?,
+                    active: bitset_to_list(active),
+                    post: find_prop(post)?,
+                    overlap: *overlap,
+                    persistent: *persistent,
+                    fresh: *fresh,
+                },
+            });
+        }
+        Ok(MonitorSnap {
+            obs,
+            cycle: self.cycle as u64,
+            failed_at: self.failed_at.map(|c| c as u64),
+            determined_holds: self.determined_holds,
+            covered: self.covered,
+        })
+    }
+
+    /// Rebuilds a monitor from a [`Monitor::snapshot`] taken against
+    /// the same `root` property. Validates every table index and
+    /// active position; a restored monitor is behaviorally identical
+    /// to the snapshotted one (same obligation order, same verdicts,
+    /// same [`Monitor::fingerprint`]).
+    pub fn restore(root: &Property, snap: &MonitorSnap) -> Result<Monitor, String> {
+        let t = subterms(root);
+        let prop = |i: u32| -> Result<Arc<Property>, String> {
+            t.props
+                .get(i as usize)
+                .map(|&p| Arc::new(p.clone()))
+                .ok_or_else(|| format!("property index {i} out of range"))
+        };
+        let boole = |i: u32| -> Result<Arc<BoolExpr>, String> {
+            t.bools
+                .get(i as usize)
+                .map(|&b| Arc::new(b.clone()))
+                .ok_or_else(|| format!("boolean index {i} out of range"))
+        };
+        let nfa_of = |i: u32| -> Result<Arc<Nfa>, String> {
+            t.seres
+                .get(i as usize)
+                .map(|&s| Arc::new(Nfa::from_sere(s)))
+                .ok_or_else(|| format!("sere index {i} out of range"))
+        };
+        let mut active = Vec::with_capacity(snap.obs.len());
+        for ob in &snap.obs {
+            active.push(match ob {
+                ObSnap::Always { body } => Ob::Always { body: prop(*body)? },
+                ObSnap::Never { sere, active } => {
+                    let nfa = nfa_of(*sere)?;
+                    let active = bitset_from_list(&nfa, active)?;
+                    Ob::Never { nfa, active }
+                }
+                ObSnap::Eventually { sere, active } => {
+                    let nfa = nfa_of(*sere)?;
+                    let active = bitset_from_list(&nfa, active)?;
+                    Ob::Eventually { nfa, active }
+                }
+                ObSnap::SereStrong {
+                    sere,
+                    active,
+                    fresh,
+                } => {
+                    let nfa = nfa_of(*sere)?;
+                    let active = bitset_from_list(&nfa, active)?;
+                    Ob::SereStrong {
+                        nfa,
+                        active,
+                        fresh: *fresh,
+                    }
+                }
+                ObSnap::Defer {
+                    remaining,
+                    strong,
+                    body,
+                } => Ob::Defer {
+                    remaining: *remaining,
+                    strong: *strong,
+                    body: prop(*body)?,
+                },
+                ObSnap::Until { p, q, strong } => Ob::Until {
+                    p: boole(*p)?,
+                    q: boole(*q)?,
+                    strong: *strong,
+                },
+                ObSnap::Before { p, q, strong } => Ob::Before {
+                    p: boole(*p)?,
+                    q: boole(*q)?,
+                    strong: *strong,
+                },
+                ObSnap::SuffixImpl {
+                    pre,
+                    active,
+                    post,
+                    overlap,
+                    persistent,
+                    fresh,
+                } => {
+                    let nfa = nfa_of(*pre)?;
+                    let active = bitset_from_list(&nfa, active)?;
+                    Ob::SuffixImpl {
+                        nfa,
+                        active,
+                        post: prop(*post)?,
+                        overlap: *overlap,
+                        persistent: *persistent,
+                        fresh: *fresh,
+                    }
+                }
+            });
+        }
+        Ok(Monitor {
+            active,
+            scratch: Vec::new(),
+            cycle: snap.cycle as usize,
+            failed_at: snap.failed_at.map(|c| c as usize),
+            determined_holds: snap.determined_holds,
+            covered: snap.covered,
+        })
+    }
+}
+
+impl BoundMonitor {
+    /// See [`Monitor::snapshot`].
+    pub fn snapshot(&self, root: &Property) -> Result<MonitorSnap, String> {
+        self.monitor.snapshot(root)
+    }
+
+    /// Rebuilds a bound monitor: [`Monitor::restore`] plus a fresh
+    /// [`Monitor::bind`] over `signals` (the binding is a pure function
+    /// of the signal list, so it is not part of the snapshot).
+    pub fn restore(
+        root: &Property,
+        signals: &[&str],
+        snap: &MonitorSnap,
+    ) -> Result<BoundMonitor, String> {
+        Ok(Monitor::restore(root, snap)?.bind(signals))
+    }
+}
+
 /// Expands a property into the obligations live at its start cycle.
 fn instantiate(prop: &Property, out: &mut Vec<Ob>) {
     match prop {

@@ -82,7 +82,7 @@ impl BitSet {
 ///     vec![("done", true)],
 /// ]));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Nfa {
     /// Guard of each position.
     guards: Vec<BoolExpr>,

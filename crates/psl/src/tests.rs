@@ -380,6 +380,70 @@ fn monitor_state_encoding() {
 }
 
 #[test]
+fn monitor_snapshot_restore_is_equivalent() {
+    // Properties chosen to exercise every Ob variant: Always/Defer,
+    // Never, Eventually, SereStrong, Until, Before, SuffixImpl.
+    let props = [
+        "always {rd} |=> next dvalid",
+        "always a",
+        "never {a ; b}",
+        "eventually! {a ; a}",
+        "{a ; b[*] ; a}!",
+        "a until! b",
+        "a before b",
+        "always {a ; b} |-> {b ; a}!",
+    ];
+    // A deterministic but irregular trace over a and b / rd and dvalid.
+    let trace: Vec<Cycle> = (0u32..12)
+        .map(|i| {
+            vec![
+                ("a", i.wrapping_mul(2654435761) % 3 != 0),
+                ("b", i.wrapping_mul(40503) % 2 == 0),
+                ("rd", i % 4 == 1),
+                ("dvalid", i % 4 == 3),
+            ]
+        })
+        .collect();
+    for text in props {
+        let p = parse_property(text).unwrap();
+        for split in 0..trace.len() {
+            let mut straight = Monitor::new(&p);
+            let mut first = Monitor::new(&p);
+            for cyv in &trace[..split] {
+                straight.step(cyv.as_slice());
+                first.step(cyv.as_slice());
+            }
+            let snap = first.snapshot(&p).unwrap_or_else(|e| {
+                panic!("snapshot of {text} at {split}: {e}")
+            });
+            let mut resumed = Monitor::restore(&p, &snap).unwrap();
+            assert_eq!(resumed.fingerprint(), straight.fingerprint(), "{text}@{split}");
+            for cyv in &trace[split..] {
+                let a = straight.step(cyv.as_slice());
+                let b = resumed.step(cyv.as_slice());
+                assert_eq!(a, b, "{text}@{split}");
+                assert_eq!(resumed.fingerprint(), straight.fingerprint(), "{text}@{split}");
+            }
+            assert_eq!(resumed.finalize(), straight.finalize(), "{text}@{split}");
+            assert_eq!(resumed.covered(), straight.covered(), "{text}@{split}");
+        }
+    }
+}
+
+#[test]
+fn monitor_snapshot_rejects_foreign_root() {
+    let p = parse_property("always {a ; b} |=> a").unwrap();
+    let other = parse_property("never {b}").unwrap();
+    let mut m = Monitor::new(&p);
+    m.step(&[("a", true), ("b", false)]);
+    assert!(m.snapshot(&p).is_ok());
+    assert!(m.snapshot(&other).is_err());
+    // Restore validates indices and active positions.
+    let snap = m.snapshot(&p).unwrap();
+    assert!(Monitor::restore(&other, &snap).is_err());
+}
+
+#[test]
 fn bound_monitor_slices() {
     let p = parse_property("always {rd} |=> vld").unwrap();
     let mut m = Monitor::new(&p).bind(&["rd", "vld"]);

@@ -806,4 +806,108 @@ impl BatchedRtlSim {
             Edge::Neg => p == Logic::L1 && c == Logic::L0,
         }
     }
+
+    /// Exports the batched simulator's full mutable state — every
+    /// packed arena slot as its two raw bit-planes, the packed RAM
+    /// contents, the lane-uniform clock levels and the counters — as
+    /// plain data for the checkpoint layer. The batched counterpart of
+    /// [`RtlSim::export_state`](crate::RtlSim::export_state), with the
+    /// same quiescent-boundary precondition; per-step scratch
+    /// (commit masks, RAM write selects/samples) is rewritten before it
+    /// is read each step and is deliberately not captured.
+    pub fn export_state(&self) -> Result<BatchedRtlState, String> {
+        if !self.stage_list.is_empty() {
+            return Err("cannot export with staged inputs pending".to_string());
+        }
+        if !self.heap.is_empty() {
+            return Err("cannot export with an unsettled network".to_string());
+        }
+        let planes = |p: &PackedVec| {
+            let (v, x) = p.planes();
+            (v.to_vec(), x.to_vec())
+        };
+        Ok(BatchedRtlState {
+            vals: self.vals.iter().map(planes).collect(),
+            rams: self
+                .rams
+                .iter()
+                .map(|ram| ram.iter().map(planes).collect())
+                .collect(),
+            prev_clk: self.prev_clk.iter().map(|l| l.to_char()).collect(),
+            steps: self.steps,
+            evals: self.evals,
+        })
+    }
+
+    /// Restores a state exported from a batched simulator compiled from
+    /// the *same* netlist; shape-checks every slot and rejects
+    /// mismatches without modifying `self`.
+    pub fn import_state(&mut self, st: &BatchedRtlState) -> Result<(), String> {
+        if st.vals.len() != self.vals.len() {
+            return Err(format!(
+                "arena size mismatch: snapshot has {} slots, design has {}",
+                st.vals.len(),
+                self.vals.len()
+            ));
+        }
+        if st.rams.len() != self.rams.len() || st.prev_clk.chars().count() != self.prev_clk.len()
+        {
+            return Err("RAM/clock table shape mismatch".to_string());
+        }
+        let mut vals = Vec::with_capacity(st.vals.len());
+        for (i, (v, x)) in st.vals.iter().enumerate() {
+            let p = PackedVec::from_planes(self.vals[i].width(), v.clone(), x.clone())
+                .ok_or_else(|| format!("bad planes in arena slot {i}"))?;
+            vals.push(p);
+        }
+        let mut rams = Vec::with_capacity(st.rams.len());
+        for (r, words) in st.rams.iter().enumerate() {
+            if words.len() != self.rams[r].len() {
+                return Err(format!("RAM {r} word-count mismatch"));
+            }
+            let width = self.rams[r].first().map_or(0, PackedVec::width);
+            let mut ram = Vec::with_capacity(words.len());
+            for (a, (v, x)) in words.iter().enumerate() {
+                let p = PackedVec::from_planes(width, v.clone(), x.clone())
+                    .ok_or_else(|| format!("bad word {a} in RAM {r}"))?;
+                ram.push(p);
+            }
+            rams.push(ram);
+        }
+        let prev_clk = st
+            .prev_clk
+            .chars()
+            .map(Logic::from_char)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "bad clock-level table".to_string())?;
+        self.vals = vals;
+        self.rams = rams;
+        self.prev_clk = prev_clk;
+        self.steps = st.steps;
+        self.evals = st.evals;
+        self.heap.clear();
+        self.dirty.fill(false);
+        self.stage_list.clear();
+        self.staged.fill(false);
+        Ok(())
+    }
+}
+
+/// A plain-data export of a [`BatchedRtlSim`]'s full mutable state:
+/// every packed arena slot and RAM word as `(value plane, X plane)`
+/// word vectors, plus clock levels and counters. Built by
+/// [`BatchedRtlSim::export_state`], consumed by
+/// [`BatchedRtlSim::import_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchedRtlState {
+    /// Every arena slot's bit-planes (one word per bit position).
+    pub vals: Vec<(Vec<u64>, Vec<u64>)>,
+    /// Packed RAM contents, indexed by netlist item then word address.
+    pub rams: Vec<Vec<(Vec<u64>, Vec<u64>)>>,
+    /// Previous end-of-step clock levels, one character per net.
+    pub prev_clk: String,
+    /// Steps executed.
+    pub steps: u64,
+    /// Compiled-op evaluations performed.
+    pub evals: u64,
 }

@@ -56,12 +56,12 @@ mod sim;
 mod vcd;
 mod verilog;
 
-pub use batched::{BatchedRtlSim, LaneProbe};
+pub use batched::{BatchedRtlSim, BatchedRtlState, LaneProbe};
 pub use extract::{BitExpr, BitId, TransitionSystem};
 pub use logic::{Logic, LogicVec};
 pub use netlist::{Edge, Expr, Item, NetId, NetKind, Netlist};
 pub use packed::{PackedVec, LANES};
-pub use sim::{RtlProbe, RtlSim, SettleMode};
+pub use sim::{RtlProbe, RtlSim, RtlState, SettleMode};
 pub use vcd::VcdWriter;
 
 #[cfg(test)]

@@ -76,6 +76,27 @@ impl Logic {
         }
     }
 
+    /// The character [`fmt::Display`] renders for this value.
+    pub fn to_char(self) -> char {
+        match self {
+            Logic::L0 => '0',
+            Logic::L1 => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+
+    /// Inverse of [`Logic::to_char`]; `None` for anything else.
+    pub fn from_char(c: char) -> Option<Logic> {
+        match c {
+            '0' => Some(Logic::L0),
+            '1' => Some(Logic::L1),
+            'x' => Some(Logic::X),
+            'z' => Some(Logic::Z),
+            _ => None,
+        }
+    }
+
     /// Wired resolution of two drivers: `Z` yields to the other driver,
     /// agreement keeps the value, conflict is `X`.
     pub fn resolve(self, other: Logic) -> Logic {
@@ -146,6 +167,18 @@ impl LogicVec {
     /// Builds a vector from individual bits (LSB first).
     pub fn from_bits(bits: Vec<Logic>) -> Self {
         LogicVec { bits }
+    }
+
+    /// Parses the MSB-first four-state string [`fmt::Display`] renders
+    /// (`"01xz"` characters); `None` on any other character. The
+    /// checkpoint layer round-trips arena values through this form.
+    pub fn parse_fourstate(s: &str) -> Option<LogicVec> {
+        let mut bits = s
+            .chars()
+            .map(Logic::from_char)
+            .collect::<Option<Vec<_>>>()?;
+        bits.reverse(); // Display renders MSB first; storage is LSB first
+        Some(LogicVec { bits })
     }
 
     /// The numeric value, if every bit is known and width ≤ 64.

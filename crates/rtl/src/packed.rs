@@ -107,6 +107,23 @@ impl PackedVec {
         self.width
     }
 
+    /// The two raw bit-planes, one word per bit position (lane = word
+    /// bit): `(value plane, unknown/impedance plane)`. The checkpoint
+    /// layer serializes packed state through this view; everything else
+    /// should use the typed kernels.
+    pub fn planes(&self) -> (&[u64], &[u64]) {
+        (&self.v, &self.x)
+    }
+
+    /// Rebuilds a packed vector from raw planes ([`PackedVec::planes`]
+    /// inverse). `None` unless both planes have exactly `width` words.
+    pub fn from_planes(width: u32, v: Vec<u64>, x: Vec<u64>) -> Option<PackedVec> {
+        if v.len() != width as usize || x.len() != width as usize {
+            return None;
+        }
+        Some(PackedVec { width, v, x })
+    }
+
     /// The four-state value of one bit in one lane.
     ///
     /// # Panics

@@ -753,6 +753,109 @@ impl RtlSim {
             Edge::Neg => p == Logic::L1 && c == Logic::L0,
         }
     }
+
+    /// Exports the simulator's full mutable state as plain data (the
+    /// checkpoint layer serializes it). Exporting every arena slot —
+    /// nets, constants *and* expression temporaries — makes
+    /// [`RtlSim::import_state`] a pure copy with no re-settle, so a
+    /// restored simulator is byte-identical to the one exported.
+    ///
+    /// Only legal at a quiescent step boundary: staged inputs applied,
+    /// dirty worklist drained. (Every caller in the workspace snapshots
+    /// between [`RtlSim::step`]s, where both hold by construction.)
+    pub fn export_state(&self) -> Result<RtlState, String> {
+        if !self.stage_list.is_empty() {
+            return Err("cannot export with staged inputs pending".to_string());
+        }
+        if !self.heap.is_empty() {
+            return Err("cannot export with an unsettled network".to_string());
+        }
+        Ok(RtlState {
+            vals: self.vals.iter().map(LogicVec::to_string).collect(),
+            rams: self
+                .rams
+                .iter()
+                .map(|ram| ram.iter().map(LogicVec::to_string).collect())
+                .collect(),
+            prev_clk: self.prev_clk.iter().map(|l| l.to_char()).collect(),
+            steps: self.steps,
+            evals: self.evals,
+        })
+    }
+
+    /// Restores a state exported from a simulator compiled from the
+    /// *same* netlist. Shape-checks every slot (arena length, widths,
+    /// RAM geometry) and rejects mismatches without modifying `self`.
+    pub fn import_state(&mut self, st: &RtlState) -> Result<(), String> {
+        if st.vals.len() != self.vals.len() {
+            return Err(format!(
+                "arena size mismatch: snapshot has {} slots, design has {}",
+                st.vals.len(),
+                self.vals.len()
+            ));
+        }
+        if st.rams.len() != self.rams.len() || st.prev_clk.chars().count() != self.prev_clk.len()
+        {
+            return Err("RAM/clock table shape mismatch".to_string());
+        }
+        let mut vals = Vec::with_capacity(st.vals.len());
+        for (i, s) in st.vals.iter().enumerate() {
+            let v = LogicVec::parse_fourstate(s)
+                .filter(|v| v.width() == self.vals[i].width())
+                .ok_or_else(|| format!("bad value in arena slot {i}"))?;
+            vals.push(v);
+        }
+        let mut rams = Vec::with_capacity(st.rams.len());
+        for (r, words) in st.rams.iter().enumerate() {
+            if words.len() != self.rams[r].len() {
+                return Err(format!("RAM {r} word-count mismatch"));
+            }
+            let mut ram = Vec::with_capacity(words.len());
+            for (a, s) in words.iter().enumerate() {
+                let v = LogicVec::parse_fourstate(s)
+                    .filter(|v| v.width() == self.rams[r].first().map_or(0, LogicVec::width))
+                    .ok_or_else(|| format!("bad word {a} in RAM {r}"))?;
+                ram.push(v);
+            }
+            rams.push(ram);
+        }
+        let prev_clk = st
+            .prev_clk
+            .chars()
+            .map(Logic::from_char)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| "bad clock-level table".to_string())?;
+        self.vals = vals;
+        self.rams = rams;
+        self.prev_clk = prev_clk;
+        self.steps = st.steps;
+        self.evals = st.evals;
+        // the imported arena is settled by the export precondition
+        self.heap.clear();
+        self.dirty.fill(false);
+        self.stage_list.clear();
+        self.staged.fill(false);
+        Ok(())
+    }
+}
+
+/// A plain-data export of an [`RtlSim`]'s full mutable state: every
+/// arena slot (four-state strings, MSB first), the RAM contents, the
+/// per-net previous clock levels, and the step/eval counters. Built by
+/// [`RtlSim::export_state`], consumed by [`RtlSim::import_state`];
+/// serialization lives in the checkpoint layer (`la1-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlState {
+    /// Every arena slot (nets, then constants and temporaries).
+    pub vals: Vec<String>,
+    /// RAM contents, indexed by netlist item then word address.
+    pub rams: Vec<Vec<String>>,
+    /// Previous end-of-step clock levels, one character per net.
+    pub prev_clk: String,
+    /// Steps executed.
+    pub steps: u64,
+    /// Expression/op evaluations performed.
+    pub evals: u64,
 }
 
 impl RtlProbe for RtlSim {

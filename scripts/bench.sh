@@ -4,9 +4,21 @@
 # across PRs (EXPERIMENTS.md quotes these figures). The perf objects
 # (elapsed seconds, patterns/s, speedups) vary run to run; everything
 # else in each report is deterministic. Not a gate — scripts/check.sh
-# owns the pass/fail floors.
+# owns the pass/fail floors — but each new artifact is diffed against
+# the previous run's copy and >10% regressions on the perf figures are
+# printed, so the trend signal is visible in the PR log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+ARTIFACTS="BENCH_campaign.json BENCH_closure.json BENCH_traffic.json \
+BENCH_checkpoint.json BENCH_farm.json BENCH_farm_resilience.json"
+
+# Keep the previous run's artifacts so the new ones can be diffed.
+PREV_DIR=$(mktemp -d)
+trap 'rm -rf "$PREV_DIR"' EXIT
+for f in $ARTIFACTS; do
+    [ -f "$f" ] && cp "$f" "$PREV_DIR/$f"
+done
 
 cargo build --release
 
@@ -16,6 +28,11 @@ cargo build --release
 ./target/release/closure 1 2 4 --batched --json BENCH_closure.json > /dev/null
 # Transaction-level NPU traffic workloads across all model levels.
 ./target/release/traffic --json BENCH_traffic.json > /dev/null
+# Checkpoint warm-start vs cold trace replay: what restoring a
+# serialized snapshot buys over re-running a 10k-cycle preamble,
+# scalar and 64-lane batched (byte-equivalence is re-asserted inside
+# the binary before any timing is reported).
+./target/release/checkpoint 1 2 4 --cycles 10000 --json BENCH_checkpoint.json > /dev/null
 # Verification farm: sharded campaign + closure plans at 1/2/4/8
 # workers (jobs/s, patterns/s, speedup vs 1 worker). Each plan object
 # carries a "resilience" block (jobs_run / retried / failed / replayed
@@ -32,4 +49,54 @@ cargo build --release
 ./target/release/farm 4 --workers 1,2,4,8 --runs 12 --budget 60000 \
     --chaos 99 --max-retries 2 --json BENCH_farm_resilience.json > /dev/null
 
-echo "bench.sh: wrote BENCH_campaign.json BENCH_closure.json BENCH_traffic.json BENCH_farm.json BENCH_farm_resilience.json"
+# Diff each artifact against the previous run: perf keys are matched
+# positionally (the key sequence is deterministic for a given binary
+# version) and a >10% move in the bad direction is printed. Throughput
+# keys (speedups, rates) regress downward; latency keys (ms/ns,
+# elapsed) regress upward. Purely informational — timing noise on a
+# shared host is expected, the check.sh floors are the gate.
+report_trend() {
+    awk -v name="$1" '
+        function dir(key) {
+            if (key ~ /speedup|per_second|per_sec|patterns/) return 1
+            if (key ~ /_ms|_ns|elapsed|seconds/) return -1
+            return 0
+        }
+        FNR == 1 { file++ }
+        {
+            line = $0
+            while (match(line, /"[a-z_0-9]+": -?[0-9]+(\.[0-9]+)?/)) {
+                pair = substr(line, RSTART, RLENGTH)
+                line = substr(line, RSTART + RLENGTH)
+                split(pair, kv, /": /)
+                key = substr(kv[1], 2)
+                if (dir(key) != 0)
+                    vals[file "," ++idx[file]] = key SUBSEP kv[2]
+            }
+        }
+        END {
+            n = (idx[1] < idx[2]) ? idx[1] : idx[2]
+            for (i = 1; i <= n; i++) {
+                split(vals[1 "," i], a, SUBSEP)
+                split(vals[2 "," i], b, SUBSEP)
+                if (a[1] != b[1]) continue
+                old = a[2] + 0; new = b[2] + 0
+                if (old <= 0 || new <= 0) continue
+                d = dir(a[1])
+                ratio = (d == 1) ? new / old : old / new
+                if (ratio < 0.9)
+                    printf "bench.sh: %s: %s regressed %.0f%% (%s -> %s)\n", \
+                        name, a[1], (1 - ratio) * 100, a[2], b[2]
+            }
+        }' "$2" "$3"
+}
+
+for f in $ARTIFACTS; do
+    if [ -f "$PREV_DIR/$f" ]; then
+        report_trend "$f" "$PREV_DIR/$f" "$f"
+    else
+        echo "bench.sh: $f: first run, nothing to diff against"
+    fi
+done
+
+echo "bench.sh: wrote $ARTIFACTS"

@@ -85,5 +85,39 @@ diff "$FARM_TMP/clean.json" "$FARM_TMP/resumed.json" > /dev/null \
 # (3) Broken-pipe serve: a consumer hanging up after 3 lines must stop
 # the stream but not the run — the farm still finishes and exits 0.
 ./target/release/farm --smoke --serve 2> /dev/null | head -n 3 > /dev/null
+# Checkpoint gates (DESIGN.md §14).
+# (1) Equivalence smoke at 1 and 2 banks: parse-and-restore of a
+# serialized snapshot must land on state byte-identical to replaying
+# the recorded preamble trace, scalar and 64-lane batched; the binary
+# re-captures both end states and compares the serialized bytes
+# before reporting any timing (no speedup floor here — equivalence,
+# not speed, is the tier-1 contract).
+./target/release/checkpoint --smoke > /dev/null
+# (2) The differential restore-equivalence suite, widened with the
+# property-based sweeps: random seeds and random cut cycles across all
+# four levels plus the batched engine, pins/verdicts/coverage compared
+# every cycle after restore.
+cargo test -q --test checkpoint_equivalence --features proptest > /dev/null
+# (3) SIGKILL-mid-stage + restore-from-snapshot: a journaled
+# warm-started closure farm (every shard restores a 4000-cycle
+# preamble from its snapshot instead of re-running it) is SIGKILLed
+# mid-run and resumed; the resumed merged report must be
+# byte-identical to an uninterrupted warm run. The journal header pins
+# the plan fingerprint — which covers the preamble trace *and*
+# snapshots — so a resume against a drifted preamble refuses instead
+# of silently mixing campaigns.
+./target/release/farm 2 --mode closure --jobs 400 --runs 1 --budget 60000 \
+    --preamble 4000 --workers 1 --merged-json "$FARM_TMP/warm_clean.json" > /dev/null
+./target/release/farm 2 --mode closure --jobs 400 --runs 1 --budget 60000 \
+    --preamble 4000 --workers 1 --journal "$FARM_TMP/warm_journal.jsonl" > /dev/null 2>&1 &
+FARM_PID=$!
+sleep 1.2
+kill -9 "$FARM_PID" 2> /dev/null || true
+wait "$FARM_PID" 2> /dev/null || true
+./target/release/farm 2 --mode closure --jobs 400 --runs 1 --budget 60000 \
+    --preamble 4000 --workers 1 --resume "$FARM_TMP/warm_journal.jsonl" \
+    --merged-json "$FARM_TMP/warm_resumed.json" > /dev/null
+diff "$FARM_TMP/warm_clean.json" "$FARM_TMP/warm_resumed.json" > /dev/null \
+    || { echo "check.sh: warm-resumed closure report diverged from the clean run" >&2; exit 1; }
 
 echo "check.sh: all gates passed"

@@ -10,6 +10,11 @@
 //! The stream differs from upstream `rand`'s ChaCha-based `StdRng`; every
 //! in-repo consumer only requires a deterministic seeded stream, not a
 //! specific one.
+//!
+//! Beyond upstream's surface, [`rngs::StdRng`] exposes its 64-bit state
+//! word ([`rngs::StdRng::state`] / [`rngs::StdRng::from_state`]) so the
+//! workspace's checkpoint layer can freeze and resume a stimulus stream
+//! mid-flight.
 
 /// Low-level source of random 64-bit words.
 pub trait RngCore {
@@ -149,6 +154,24 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full state: the SplitMix64 state word.
+        /// Restoring it with [`StdRng::from_state`] resumes the stream
+        /// exactly where this generator left off.
+        #[inline]
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] word. Unlike
+        /// [`super::SeedableRng::seed_from_u64`], which treats its input
+        /// as a seed, this resumes the exact stream position.
+        #[inline]
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -187,6 +210,18 @@ mod tests {
             assert!(x < 2);
             let y: i64 = rng.gen_range(-4..4);
             assert!((-4..4).contains(&y));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
     }
 
